@@ -1,0 +1,58 @@
+//! Benchmarks of the RL stack: DQN inference/training and full
+//! environment steps (the unit of training cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use posetrl::actions::ActionSet;
+use posetrl::env::{EnvConfig, PhaseEnv};
+use posetrl_bench::bench_module;
+use posetrl_rl::dqn::{DqnAgent, DqnConfig};
+use posetrl_rl::replay::Transition;
+use std::hint::black_box;
+
+fn bench_dqn(c: &mut Criterion) {
+    let cfg = DqnConfig { state_dim: 300, n_actions: 34, ..DqnConfig::default() };
+    let mut agent = DqnAgent::new(cfg);
+    let state = vec![0.1; 300];
+    c.bench_function("dqn_forward_300x128x64x34", |b| {
+        b.iter(|| black_box(agent.q_values(black_box(&state))))
+    });
+    // pre-fill replay so observe() trains each call
+    for i in 0..128 {
+        agent.observe(Transition {
+            state: vec![0.01 * i as f64; 300],
+            action: (i % 34) as usize,
+            reward: 0.1,
+            next_state: vec![0.01 * (i + 1) as f64; 300],
+            done: i % 15 == 14,
+        });
+    }
+    c.bench_function("dqn_train_batch32", |b| {
+        b.iter(|| {
+            agent.observe(Transition {
+                state: vec![0.5; 300],
+                action: 3,
+                reward: 0.2,
+                next_state: vec![0.4; 300],
+                done: false,
+            })
+        })
+    });
+}
+
+fn bench_env_step(c: &mut Criterion) {
+    let module = bench_module(20);
+    c.bench_function("env_episode_15_odg_actions", |b| {
+        b.iter(|| {
+            let mut env = PhaseEnv::new(EnvConfig::default(), ActionSet::odg());
+            env.reset(module.clone());
+            let mut total = 0.0;
+            for a in [23, 8, 5, 30, 13, 0, 19, 33, 10, 2, 27, 17, 6, 31, 21] {
+                total += env.step(a).reward;
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_dqn, bench_env_step);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the substrates: embedding, size model, MCA model,
+//! interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use posetrl_bench::bench_module;
+use posetrl_embed::Embedder;
+use posetrl_ir::interp::Interpreter;
+use posetrl_target::{mca, size::object_size, TargetArch};
+use std::hint::black_box;
+
+fn bench_embedding(c: &mut Criterion) {
+    let m = bench_module(1);
+    let e = Embedder::default();
+    c.bench_function("embed_module_medium", |b| {
+        b.iter(|| black_box(e.embed_module(black_box(&m))))
+    });
+}
+
+fn bench_size_model(c: &mut Criterion) {
+    let m = bench_module(2);
+    c.bench_function("object_size_x86", |b| {
+        b.iter(|| black_box(object_size(black_box(&m), TargetArch::X86_64).total))
+    });
+    c.bench_function("object_size_aarch64", |b| {
+        b.iter(|| black_box(object_size(black_box(&m), TargetArch::AArch64).total))
+    });
+}
+
+fn bench_mca(c: &mut Criterion) {
+    let m = bench_module(3);
+    c.bench_function("mca_analyze_x86", |b| {
+        b.iter(|| black_box(mca::analyze(black_box(&m), TargetArch::X86_64).throughput))
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let m = bench_module(4);
+    c.bench_function("interpret_main", |b| {
+        b.iter(|| {
+            let out = Interpreter::new(black_box(&m)).run("main", &[]);
+            black_box(out.profile.total_steps)
+        })
+    });
+}
+
+criterion_group!(benches, bench_embedding, bench_size_model, bench_mca, bench_interp);
+criterion_main!(benches);

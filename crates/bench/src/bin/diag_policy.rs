@@ -1,0 +1,41 @@
+//! Diagnoses a freshly trained ODG policy: predicted sequences, per-step
+//! rewards, and absolute size trajectories vs Oz.
+use posetrl::actions::ActionSet;
+use posetrl::env::{EnvConfig, PhaseEnv};
+use posetrl::trainer::{train, TrainerConfig};
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use posetrl_rl::dqn::DqnConfig;
+use posetrl_target::{size::object_size, TargetArch};
+
+fn main() {
+    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let cfg = TrainerConfig {
+        total_steps: steps,
+        env: EnvConfig::default(),
+        agent: DqnConfig { eps_decay_steps: steps * 2 / 3, lr: 5e-4, ..DqnConfig::default() },
+        max_programs: None,
+        log_every: 0,
+    };
+    let programs = posetrl_workloads::training_suite();
+    let model = train(&cfg, ActionSet::odg(), &programs);
+    eprintln!("reward {:.2}", model.final_mean_reward);
+    let pm = PassManager::new();
+    for b in posetrl_workloads::mibench().into_iter().take(4) {
+        let base = object_size(&b.module, TargetArch::X86_64).total;
+        let mut oz = b.module.clone();
+        pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
+        let ozs = object_size(&oz, TargetArch::X86_64).total;
+        let mut env = PhaseEnv::new(EnvConfig::default(), ActionSet::odg());
+        let mut state = env.reset(b.module.clone());
+        print!("{:<14} base={base} oz={ozs} | ", b.name);
+        loop {
+            let a = model.agent.act_greedy(&state);
+            let r = env.step(a);
+            print!("{a}:{} ", r.size);
+            state = r.state;
+            if r.done { break; }
+        }
+        println!();
+    }
+}

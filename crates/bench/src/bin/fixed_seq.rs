@@ -1,0 +1,37 @@
+//! Probes fixed ODG action sequences against Oz: is Oz parity reachable in
+//! the ODG action space at all?
+use posetrl::actions::ActionSet;
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use posetrl_target::{size::object_size, TargetArch};
+
+fn main() {
+    let pm = PassManager::new();
+    let actions = ActionSet::odg();
+    let arch = TargetArch::X86_64;
+    // candidate fixed sequences (0-based Table III indices)
+    let candidates: Vec<(&str, Vec<usize>)> = vec![
+        // inliner-first, then scalar opts, loops, cleanup
+        ("inline-scalar-loop-clean", vec![23, 32, 5, 7, 28, 9, 13, 3, 0, 18, 19, 1, 22, 6, 0]),
+        // mimic Oz phases: early (30), inline (26), scalar (33), loops (7,9,12), late (0,1), final (18)
+        ("oz-like", vec![31, 25, 33, 6, 12, 7, 9, 3, 13, 0, 1, 21, 18, 5, 22]),
+        // mostly cleanup + ipo
+        ("cleanup-heavy", vec![23, 2, 5, 3, 9, 0, 1, 22, 18, 23, 2, 5, 3, 0, 1]),
+    ];
+    for b in posetrl_workloads::mibench().into_iter().chain(posetrl_workloads::spec2017()) {
+        let mut oz = b.module.clone();
+        pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
+        let oz_size = object_size(&oz, arch).total;
+        print!("{:<16} oz={:>6}", b.name, oz_size);
+        for (name, seq) in &candidates {
+            let mut m = b.module.clone();
+            for &a in seq {
+                pm.run_pipeline(&mut m, &actions.passes(a)).unwrap();
+            }
+            let s = object_size(&m, arch).total;
+            let red = 100.0 * (oz_size as f64 - s as f64) / oz_size as f64;
+            print!("  {name}={s} ({red:+.1}%)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Greedy size-oracle probe: per step, try every ODG action and keep the one
+//! that shrinks the module most. Upper-bounds what a trained policy can do.
+use posetrl::actions::ActionSet;
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use posetrl_target::{size::object_size, TargetArch};
+
+fn main() {
+    let pm = PassManager::new();
+    let actions = ActionSet::odg();
+    let arch = TargetArch::X86_64;
+    let mut improvements = Vec::new();
+    for b in posetrl_workloads::mibench().into_iter().chain(posetrl_workloads::spec2017()) {
+        let mut oz = b.module.clone();
+        pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
+        let oz_size = object_size(&oz, arch).total;
+
+        let mut cur = b.module.clone();
+        for _ in 0..15 {
+            let cur_size = object_size(&cur, arch).total;
+            let mut best: Option<(u64, posetrl_ir::Module)> = None;
+            for i in 0..actions.len() {
+                let mut trial = cur.clone();
+                let passes: Vec<&str> = actions.passes(i);
+                pm.run_pipeline(&mut trial, &passes).unwrap();
+                let s = object_size(&trial, arch).total;
+                if best.as_ref().map(|(bs, _)| s < *bs).unwrap_or(true) {
+                    best = Some((s, trial));
+                }
+            }
+            let (bs, bm) = best.unwrap();
+            if bs >= cur_size { break; }
+            cur = bm;
+        }
+        let model_size = object_size(&cur, arch).total;
+        let red = 100.0 * (oz_size as f64 - model_size as f64) / oz_size as f64;
+        improvements.push(red);
+        println!("{:<16} oz={} oracle={} reduction={:+.2}%", b.name, oz_size, model_size, red);
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!("average oracle size reduction vs Oz: {avg:+.2}%");
+}

@@ -1,0 +1,58 @@
+//! Hyper-parameter probe: trains one ODG/x86 model with CLI-given settings
+//! and reports average size reduction vs Oz on MiBench + SPEC-2017.
+use posetrl::actions::ActionSet;
+use posetrl::env::EnvConfig;
+use posetrl::eval::evaluate_suite;
+use posetrl::trainer::{train, TrainerConfig};
+use posetrl_rl::dqn::DqnConfig;
+use posetrl_target::TargetArch;
+
+fn arg<T: std::str::FromStr>(i: usize, d: T) -> T {
+    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(d)
+}
+
+fn main() {
+    let steps: u64 = arg(1, 12000);
+    let gamma: f64 = arg(2, 0.9);
+    let lr: f64 = arg(3, 3e-4);
+    let updates: usize = arg(4, 2);
+    let h1: usize = arg(5, 256);
+    let h2: usize = arg(6, 128);
+    let eps_end: f64 = arg(7, 0.05);
+    let cfg = TrainerConfig {
+        total_steps: steps,
+        env: EnvConfig::default(),
+        agent: DqnConfig {
+            eps_decay_steps: steps * 2 / 3,
+            lr,
+            gamma,
+            batch_size: 64,
+            updates_per_step: updates,
+            hidden: if h2 == 0 { vec![h1] } else { vec![h1, h2] },
+            eps_end,
+            target_sync_every: 500,
+            replay_capacity: 30_000,
+            ..DqnConfig::default()
+        },
+        max_programs: None,
+        log_every: 0,
+    };
+    let programs = posetrl_workloads::training_suite();
+    let model = train(&cfg, ActionSet::odg(), &programs);
+    let mut parts = Vec::new();
+    for (name, benches) in [
+        ("mi", posetrl_workloads::mibench()),
+        ("s17", posetrl_workloads::spec2017()),
+    ] {
+        let (_, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
+        parts.push(format!(
+            "{name}: min {:+.1} avg {:+.1} max {:+.1}",
+            stats.min_size_reduction_pct, stats.avg_size_reduction_pct, stats.max_size_reduction_pct
+        ));
+    }
+    println!(
+        "steps={steps} gamma={gamma} lr={lr} upd={updates} h=[{h1},{h2}] eps_end={eps_end} reward={:.2} | {}",
+        model.final_mean_reward,
+        parts.join(" | ")
+    );
+}

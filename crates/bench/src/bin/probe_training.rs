@@ -1,0 +1,32 @@
+//! Trains one ODG/x86 model at a given step budget and reports suite stats —
+//! a calibration probe for the trainer schedule.
+use posetrl::actions::ActionSet;
+use posetrl::env::EnvConfig;
+use posetrl::eval::evaluate_suite;
+use posetrl::trainer::{train, TrainerConfig};
+use posetrl_rl::dqn::DqnConfig;
+use posetrl_target::TargetArch;
+
+fn main() {
+    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9000);
+    let cfg = TrainerConfig {
+        total_steps: steps,
+        env: EnvConfig::default(),
+        agent: DqnConfig { eps_decay_steps: steps * 2 / 3, lr: 5e-4, ..DqnConfig::default() },
+        max_programs: None,
+        log_every: 1005,
+    };
+    let programs = posetrl_workloads::training_suite();
+    let model = train(&cfg, ActionSet::odg(), &programs);
+    eprintln!("final mean reward: {:.3}", model.final_mean_reward);
+    for (name, benches) in [
+        ("SPEC-2017", posetrl_workloads::spec2017()),
+        ("MiBench", posetrl_workloads::mibench()),
+    ] {
+        let (_, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
+        println!(
+            "{name}: min {:+.2} avg {:+.2} max {:+.2}",
+            stats.min_size_reduction_pct, stats.avg_size_reduction_pct, stats.max_size_reduction_pct
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the reproduction harness and the Criterion benches.
+
+use posetrl_ir::Module;
+use posetrl_workloads::{generate, ProgramKind, ProgramSpec, SizeClass};
+
+/// A deterministic medium-sized module used by the micro-benchmarks.
+pub fn bench_module(seed: u64) -> Module {
+    generate(&ProgramSpec {
+        name: format!("bench{seed}"),
+        kind: ProgramKind::Mixed,
+        size: SizeClass::Medium,
+        seed,
+    })
+}
+
+/// Writes an experiment artifact (text + JSON) under `results/`.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness should fail loudly rather than
+/// silently drop results.
+pub fn write_artifact(name: &str, text: &str, json: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    std::fs::write(dir.join(format!("{name}.txt")), text).expect("write text artifact");
+    std::fs::write(
+        dir.join(format!("{name}.json")),
+        serde_json::to_string_pretty(json).expect("serialize artifact"),
+    )
+    .expect("write json artifact");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_module_is_reusable() {
+        let m = bench_module(1);
+        assert!(m.num_insts() > 100);
+        posetrl_ir::verifier::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Evaluation against `-Oz` (Section V-B).
+//!
+//! For every benchmark the evaluator compiles two versions of the module —
+//! one with the standard `-Oz` pipeline and one with the trained model's
+//! greedy phase ordering — and compares:
+//!
+//! - **object size** (the paper's Table IV metric, negative = regression),
+//! - **estimated runtime** from the dynamic cost model (Table V / Fig. 5).
+
+use crate::trainer::TrainedModel;
+use posetrl_ir::interp::{InterpConfig, Interpreter};
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use posetrl_target::runtime::dynamic_cycles;
+use posetrl_target::size::object_size;
+use posetrl_target::TargetArch;
+use posetrl_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Per-benchmark comparison of the model's sequence against `-Oz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite display name.
+    pub suite: String,
+    /// Object size after `-Oz`.
+    pub oz_size: u64,
+    /// Object size after the predicted sequence.
+    pub model_size: u64,
+    /// Size reduction relative to `-Oz`, percent (positive = smaller).
+    pub size_reduction_pct: f64,
+    /// Estimated cycles after `-Oz` (0 when runtime was not measured).
+    pub oz_cycles: f64,
+    /// Estimated cycles after the predicted sequence.
+    pub model_cycles: f64,
+    /// Runtime improvement relative to `-Oz`, percent (positive = faster).
+    pub runtime_improvement_pct: f64,
+    /// The predicted action indices.
+    pub sequence: Vec<usize>,
+}
+
+/// Aggregate statistics over one suite (one row of Table IV / V).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteStats {
+    /// Suite display name.
+    pub suite: String,
+    /// Architecture the sizes were measured on.
+    pub arch: TargetArch,
+    /// Minimum size reduction (negative = worst regression).
+    pub min_size_reduction_pct: f64,
+    /// Mean size reduction.
+    pub avg_size_reduction_pct: f64,
+    /// Maximum size reduction.
+    pub max_size_reduction_pct: f64,
+    /// Mean runtime improvement (x86 measurements only in the paper).
+    pub avg_runtime_improvement_pct: f64,
+}
+
+/// Interpreter budget for runtime measurement.
+fn eval_interp_config() -> InterpConfig {
+    InterpConfig { fuel: 50_000_000, max_depth: 512 }
+}
+
+/// Measures estimated cycles of `module`'s `main` on `arch`.
+///
+/// Incomplete runs (trap or fuel exhaustion) are reported to stderr — the
+/// returned cycle count then covers only the executed prefix, which would
+/// silently flatter the slower binary in comparisons.
+pub fn measure_cycles(module: &posetrl_ir::Module, arch: TargetArch) -> f64 {
+    let out = Interpreter::with_config(module, eval_interp_config()).run("main", &[]);
+    if let Err(e) = &out.result {
+        eprintln!("[eval] warning: '{}' did not complete ({e}); cycles cover the executed prefix", module.name);
+    }
+    dynamic_cycles(module, &out.profile, arch)
+}
+
+/// Evaluates a trained model over `benchmarks`.
+///
+/// Size is measured on `arch`; runtime is measured only when
+/// `measure_runtime` is set (the paper reports runtime for x86 only).
+pub fn evaluate_suite(
+    model: &TrainedModel,
+    benchmarks: &[Benchmark],
+    arch: TargetArch,
+    measure_runtime: bool,
+) -> (Vec<BenchmarkResult>, SuiteStats) {
+    let pm = PassManager::new();
+    let mut results = Vec::new();
+    for b in benchmarks {
+        // -Oz baseline
+        let mut oz_module = b.module.clone();
+        pm.run_pipeline(&mut oz_module, &pipelines::oz()).expect("Oz pipeline runs");
+        let oz_size = object_size(&oz_module, arch).total;
+
+        // model-predicted sequence
+        let (model_module, sequence) = model.optimize(b.module.clone());
+        let model_size = object_size(&model_module, arch).total;
+
+        let size_reduction_pct = 100.0 * (oz_size as f64 - model_size as f64) / oz_size as f64;
+
+        let (oz_cycles, model_cycles, runtime_improvement_pct) = if measure_runtime {
+            let ozc = measure_cycles(&oz_module, arch);
+            let mc = measure_cycles(&model_module, arch);
+            let imp = if ozc > 0.0 { 100.0 * (ozc - mc) / ozc } else { 0.0 };
+            (ozc, mc, imp)
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+
+        results.push(BenchmarkResult {
+            name: b.name.clone(),
+            suite: b.suite.name().to_string(),
+            oz_size,
+            model_size,
+            size_reduction_pct,
+            oz_cycles,
+            model_cycles,
+            runtime_improvement_pct,
+            sequence,
+        });
+    }
+    let stats = aggregate(&results, arch);
+    (results, stats)
+}
+
+/// Aggregates per-benchmark results into suite statistics.
+pub fn aggregate(results: &[BenchmarkResult], arch: TargetArch) -> SuiteStats {
+    let suite = results.first().map(|r| r.suite.clone()).unwrap_or_default();
+    let n = results.len().max(1) as f64;
+    let min = results.iter().map(|r| r.size_reduction_pct).fold(f64::INFINITY, f64::min);
+    let max = results.iter().map(|r| r.size_reduction_pct).fold(f64::NEG_INFINITY, f64::max);
+    let avg = results.iter().map(|r| r.size_reduction_pct).sum::<f64>() / n;
+    let avg_rt = results.iter().map(|r| r.runtime_improvement_pct).sum::<f64>() / n;
+    SuiteStats {
+        suite,
+        arch,
+        min_size_reduction_pct: if min.is_finite() { min } else { 0.0 },
+        avg_size_reduction_pct: avg,
+        max_size_reduction_pct: if max.is_finite() { max } else { 0.0 },
+        avg_runtime_improvement_pct: avg_rt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionSet;
+    use crate::trainer::{train, TrainerConfig};
+    use posetrl_workloads::{mibench, training_suite};
+
+    #[test]
+    fn evaluation_produces_consistent_stats() {
+        let programs = training_suite();
+        let model = train(&TrainerConfig::quick(), ActionSet::odg(), &programs);
+        let benches: Vec<_> = mibench().into_iter().take(3).collect();
+        let (results, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
+        assert_eq!(results.len(), 3);
+        assert!(stats.min_size_reduction_pct <= stats.avg_size_reduction_pct);
+        assert!(stats.avg_size_reduction_pct <= stats.max_size_reduction_pct);
+        for r in &results {
+            assert!(r.oz_size > 0 && r.model_size > 0);
+            assert_eq!(r.sequence.len(), 5);
+        }
+    }
+
+    #[test]
+    fn runtime_measurement_is_positive_when_enabled() {
+        let programs = training_suite();
+        let model = train(&TrainerConfig::quick(), ActionSet::manual(), &programs);
+        let benches: Vec<_> = mibench().into_iter().take(1).collect();
+        let (results, _) = evaluate_suite(&model, &benches, TargetArch::X86_64, true);
+        assert!(results[0].oz_cycles > 0.0);
+        assert!(results[0].model_cycles > 0.0);
+    }
+
+    #[test]
+    fn evaluated_modules_preserve_semantics() {
+        use posetrl_ir::interp::Interpreter;
+        let programs = training_suite();
+        let model = train(&TrainerConfig::quick(), ActionSet::odg(), &programs);
+        for b in mibench().into_iter().take(2) {
+            let before = Interpreter::new(&b.module).run("main", &[]).observation();
+            let (optimized, _) = model.optimize(b.module.clone());
+            let after = Interpreter::new(&optimized).run("main", &[]).observation();
+            assert_eq!(before, after, "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! POSET-RL: phase ordering for optimizing size and execution time using
+//! reinforcement learning — the paper's system, end to end.
+//!
+//! This crate wires the substrates together:
+//!
+//! - [`actions`]: the RL action sets (Table II manual groups, Table III ODG
+//!   walks, plus single-pass and custom sets for ablations),
+//! - [`mod@env`]: the compiler environment — states are IR2Vec-style program
+//!   embeddings, actions apply pass sub-sequences through the pass manager,
+//!   and rewards combine binary-size and MCA-throughput deltas
+//!   (`R = α·R_BinSize + β·R_Throughput`, Eqns 1–3, α=10, β=5),
+//! - [`trainer`]: the Double-DQN training loop over the 130-program
+//!   training suite,
+//! - [`eval`]: greedy-rollout evaluation against `-Oz` on the benchmark
+//!   suites (size on x86-64 and AArch64, runtime on x86-64),
+//! - [`experiments`]: one function per table/figure of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use posetrl::env::{EnvConfig, PhaseEnv};
+//! use posetrl::actions::ActionSet;
+//! use posetrl_workloads::{generate, ProgramKind, ProgramSpec, SizeClass};
+//!
+//! let spec = ProgramSpec {
+//!     name: "demo".into(),
+//!     kind: ProgramKind::BranchyInteger,
+//!     size: SizeClass::Small,
+//!     seed: 5,
+//! };
+//! let module = generate(&spec);
+//! let mut env = PhaseEnv::new(EnvConfig::default(), ActionSet::odg());
+//! let state = env.reset(module);
+//! assert_eq!(state.len(), posetrl_embed::DIM);
+//! let step = env.step(0);
+//! assert!(step.reward.is_finite());
+//! ```
+
+pub mod actions;
+pub mod env;
+pub mod eval;
+pub mod experiments;
+pub mod trainer;
+
+pub use actions::ActionSet;
+pub use env::{EnvConfig, PhaseEnv, StepResult};
+pub use eval::{evaluate_suite, BenchmarkResult, SuiteStats};
+pub use trainer::{train, TrainedModel, TrainerConfig};

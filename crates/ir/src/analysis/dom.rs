@@ -1,0 +1,221 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy algorithm.
+
+use crate::analysis::cfg::Cfg;
+use crate::module::{BlockId, Function};
+use std::collections::HashMap;
+
+/// Dominator tree of the reachable CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each reachable block (the entry maps to itself).
+    pub idom: HashMap<BlockId, BlockId>,
+    /// Children in the dominator tree.
+    pub children: HashMap<BlockId, Vec<BlockId>>,
+    entry: BlockId,
+    /// Depth of each block in the dominator tree (entry = 0).
+    depth: HashMap<BlockId, u32>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree for `f` using its `cfg`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> DomTree {
+        let entry = f.entry;
+        let rpo = &cfg.rpo;
+        let index: HashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let preds = cfg.preds.get(&b).cloned().unwrap_or_default();
+                let mut new_idom: Option<BlockId> = None;
+                for p in preds {
+                    if !index.contains_key(&p) || !idom.contains_key(&p) {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(cur, p, &idom, &index),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for (&b, &d) in &idom {
+            children.entry(d).or_default();
+            if b != d {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        for v in children.values_mut() {
+            v.sort();
+        }
+
+        let mut depth = HashMap::new();
+        depth.insert(entry, 0u32);
+        // children follow parents in rpo order not guaranteed; BFS instead.
+        let mut queue = vec![entry];
+        while let Some(b) = queue.pop() {
+            let d = depth[&b];
+            for &c in children.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+                depth.insert(c, d + 1);
+                queue.push(c);
+            }
+        }
+
+        DomTree { idom, children, entry, depth }
+    }
+
+    fn intersect(
+        mut a: BlockId,
+        mut b: BlockId,
+        idom: &HashMap<BlockId, BlockId>,
+        index: &HashMap<BlockId, usize>,
+    ) -> BlockId {
+        while a != b {
+            while index[&a] > index[&b] {
+                a = idom[&a];
+            }
+            while index[&b] > index[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Depth of `b` in the dominator tree (entry = 0), if reachable.
+    pub fn depth(&self, b: BlockId) -> Option<u32> {
+        self.depth.get(&b).copied()
+    }
+
+    /// Pre-order walk of the dominator tree from the entry.
+    pub fn preorder(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            if let Some(cs) = self.children.get(&b) {
+                for &c in cs.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+    use crate::types::Ty;
+    use crate::value::Value;
+
+    /// entry -> a -> {b, c}; b -> d; c -> d; d -> ret
+    fn build() -> (Function, BlockId, BlockId, BlockId, BlockId, BlockId) {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let entry = f.entry;
+        let a = f.add_block();
+        let b = f.add_block();
+        let c = f.add_block();
+        let d = f.add_block();
+        f.append_inst(entry, Op::Br { target: a });
+        f.append_inst(a, Op::CondBr { cond: Value::bool(true), then_bb: b, else_bb: c });
+        f.append_inst(b, Op::Br { target: d });
+        f.append_inst(c, Op::Br { target: d });
+        f.append_inst(d, Op::Ret { val: None });
+        (f, entry, a, b, c, d)
+    }
+
+    #[test]
+    fn idoms_of_diamond() {
+        let (f, entry, a, b, c, d) = build();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom[&a], entry);
+        assert_eq!(dt.idom[&b], a);
+        assert_eq!(dt.idom[&c], a);
+        assert_eq!(dt.idom[&d], a);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (f, entry, a, b, _c, d) = build();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert!(dt.dominates(entry, d));
+        assert!(dt.dominates(a, d));
+        assert!(!dt.dominates(b, d));
+        assert!(dt.dominates(b, b));
+        assert!(dt.strictly_dominates(entry, a));
+        assert!(!dt.strictly_dominates(a, a));
+    }
+
+    #[test]
+    fn depth_and_preorder() {
+        let (f, entry, a, b, c, d) = build();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.depth(entry), Some(0));
+        assert_eq!(dt.depth(a), Some(1));
+        assert_eq!(dt.depth(b), Some(2));
+        assert_eq!(dt.depth(d), Some(2));
+        let pre = dt.preorder();
+        assert_eq!(pre[0], entry);
+        assert_eq!(pre.len(), 5);
+        let pos = |x: BlockId| pre.iter().position(|&y| y == x).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c) && pos(a) < pos(d));
+    }
+
+    #[test]
+    fn loop_back_edge_does_not_confuse_idom() {
+        // entry -> h; h -> {body, exit}; body -> h
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let entry = f.entry;
+        let h = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.append_inst(entry, Op::Br { target: h });
+        f.append_inst(h, Op::CondBr { cond: Value::bool(true), then_bb: body, else_bb: exit });
+        f.append_inst(body, Op::Br { target: h });
+        f.append_inst(exit, Op::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom[&h], entry);
+        assert_eq!(dt.idom[&body], h);
+        assert_eq!(dt.idom[&exit], h);
+        assert!(dt.dominates(h, body));
+        assert!(!dt.dominates(body, h));
+    }
+}

@@ -1,0 +1,176 @@
+//! Block-level liveness of instruction results.
+
+use crate::analysis::cfg::Cfg;
+use crate::inst::{InstId, Op};
+use crate::module::{BlockId, Function};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Live-in/live-out sets of instruction results per block.
+///
+/// Phi operands are treated edge-sensitively: a phi's incoming value is live
+/// out of the corresponding predecessor, not live-in to the phi's block.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values (instruction results) live on entry to each block.
+    pub live_in: HashMap<BlockId, HashSet<InstId>>,
+    /// Values live on exit of each block.
+    pub live_out: HashMap<BlockId, HashSet<InstId>>,
+}
+
+impl Liveness {
+    /// Computes liveness with a standard backward fixed-point iteration.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        // use[b]: values used in b before being defined in b (phi uses
+        // attributed to predecessors); def[b]: values defined in b.
+        let mut use_set: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+        let mut def_set: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+        // phi_uses[p] = values used by phis in successors along edge p->succ
+        let mut phi_uses: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+
+        for &b in &cfg.rpo {
+            let mut uses = HashSet::new();
+            let mut defs: HashSet<InstId> = HashSet::new();
+            for &id in &f.block(b).unwrap().insts {
+                match f.op(id) {
+                    Op::Phi { incomings, .. } => {
+                        for (pred, v) in incomings {
+                            if let Value::Inst(d) = v {
+                                phi_uses.entry(*pred).or_default().insert(*d);
+                            }
+                        }
+                    }
+                    op => {
+                        for v in op.operands() {
+                            if let Value::Inst(d) = v {
+                                if !defs.contains(&d) {
+                                    uses.insert(d);
+                                }
+                            }
+                        }
+                    }
+                }
+                if f.op(id).result_ty() != crate::types::Ty::Void {
+                    defs.insert(id);
+                }
+            }
+            use_set.insert(b, uses);
+            def_set.insert(b, defs);
+        }
+
+        let mut live_in: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+        let mut live_out: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+        for &b in &cfg.rpo {
+            live_in.insert(b, HashSet::new());
+            live_out.insert(b, HashSet::new());
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // iterate in post-order for faster convergence of backward analysis
+            for &b in cfg.rpo.iter().rev() {
+                let mut out: HashSet<InstId> = phi_uses.get(&b).cloned().unwrap_or_default();
+                for s in cfg.succs.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if let Some(li) = live_in.get(s) {
+                        out.extend(li.iter().copied());
+                    }
+                }
+                let mut inn: HashSet<InstId> = use_set[&b].clone();
+                for &v in &out {
+                    if !def_set[&b].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[&b] {
+                    live_out.insert(b, out);
+                    changed = true;
+                }
+                if inn != live_in[&b] {
+                    live_in.insert(b, inn);
+                    changed = true;
+                }
+            }
+        }
+
+        Liveness { live_in, live_out }
+    }
+
+    /// Returns `true` if the result of `id` is live into `b`.
+    pub fn is_live_in(&self, b: BlockId, id: InstId) -> bool {
+        self.live_in.get(&b).is_some_and(|s| s.contains(&id))
+    }
+
+    /// Maximum number of simultaneously live values across block boundaries —
+    /// a cheap register-pressure proxy used by the cost models.
+    pub fn max_pressure(&self) -> usize {
+        self.live_in.values().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, IntPred};
+    use crate::types::Ty;
+
+    #[test]
+    fn value_live_across_branch() {
+        // entry: x = arg0 + 1; condbr(arg-based) -> a, b
+        // a: ret x ; b: ret 0
+        let mut f = Function::new("f", vec![Ty::I64], Ty::I64);
+        let entry = f.entry;
+        let a = f.add_block();
+        let b = f.add_block();
+        let x = f.append_inst(
+            entry,
+            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(1) },
+        );
+        let c = f.append_inst(
+            entry,
+            Op::Icmp { pred: IntPred::Sgt, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(0) },
+        );
+        f.append_inst(entry, Op::CondBr { cond: Value::Inst(c), then_bb: a, else_bb: b });
+        f.append_inst(a, Op::Ret { val: Some(Value::Inst(x)) });
+        f.append_inst(b, Op::Ret { val: Some(Value::i64(0)) });
+
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.is_live_in(a, x));
+        assert!(!lv.is_live_in(b, x));
+        assert!(lv.live_out[&entry].contains(&x));
+        assert!(lv.max_pressure() >= 1);
+    }
+
+    #[test]
+    fn phi_operand_live_out_of_pred_only() {
+        // entry -> {a, b} -> merge(phi[a: x, b: 5])
+        let mut f = Function::new("f", vec![Ty::I64], Ty::I64);
+        let entry = f.entry;
+        let a = f.add_block();
+        let b = f.add_block();
+        let merge = f.add_block();
+        let x = f.append_inst(
+            entry,
+            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(1) },
+        );
+        let c = f.append_inst(
+            entry,
+            Op::Icmp { pred: IntPred::Sgt, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(0) },
+        );
+        f.append_inst(entry, Op::CondBr { cond: Value::Inst(c), then_bb: a, else_bb: b });
+        f.append_inst(a, Op::Br { target: merge });
+        f.append_inst(b, Op::Br { target: merge });
+        let phi = f.append_inst(
+            merge,
+            Op::Phi { ty: Ty::I64, incomings: vec![(a, Value::Inst(x)), (b, Value::i64(5))] },
+        );
+        f.append_inst(merge, Op::Ret { val: Some(Value::Inst(phi)) });
+
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // x is live out of block `a` (phi use), but not live-in to merge.
+        assert!(lv.live_out[&a].contains(&x));
+        assert!(!lv.is_live_in(merge, x));
+    }
+}

@@ -1,0 +1,210 @@
+//! Natural loop detection from dominance back-edges.
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dom::DomTree;
+use crate::module::{BlockId, Function};
+use std::collections::{HashMap, HashSet};
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// Blocks belonging to the loop (includes the header).
+    pub blocks: HashSet<BlockId>,
+    /// Latch blocks: in-loop predecessors of the header (back-edge sources).
+    pub latches: Vec<BlockId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Blocks outside the loop that are branched to from inside.
+    pub fn exit_blocks(&self, f: &Function) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &b in &self.blocks {
+            for s in f.successors(b) {
+                if !self.blocks.contains(&s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// In-loop blocks that branch outside (exiting blocks).
+    pub fn exiting_blocks(&self, f: &Function) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &b in &self.blocks {
+            if f.successors(b).iter().any(|s| !self.blocks.contains(s)) {
+                out.push(b);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The unique preheader: the single out-of-loop predecessor of the
+    /// header whose only successor is the header. `None` when the CFG is not
+    /// in loop-simplified form.
+    pub fn preheader(&self, f: &Function, cfg: &Cfg) -> Option<BlockId> {
+        let preds = cfg.preds.get(&self.header)?;
+        let outside: Vec<BlockId> =
+            preds.iter().copied().filter(|p| !self.blocks.contains(p)).collect();
+        match outside.as_slice() {
+            [p] if f.successors(*p) == vec![self.header] => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops sorted outer-to-inner (by depth, then header id).
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detects natural loops using back edges `latch -> header` where the
+    /// header dominates the latch. Multiple back edges to the same header are
+    /// merged into one loop (as LLVM does).
+    pub fn compute(_f: &Function, cfg: &Cfg, dt: &DomTree) -> LoopForest {
+        let mut by_header: HashMap<BlockId, Loop> = HashMap::new();
+        for &b in &cfg.rpo {
+            for s in cfg.succs.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if dt.dominates(*s, b) {
+                    // back edge b -> s
+                    let l = by_header.entry(*s).or_insert_with(|| Loop {
+                        header: *s,
+                        blocks: HashSet::from([*s]),
+                        latches: Vec::new(),
+                        depth: 0,
+                    });
+                    l.latches.push(b);
+                    // collect the natural-loop body by walking predecessors
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if l.blocks.insert(x) {
+                            for p in cfg.preds.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                                stack.push(*p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = by_header.into_values().collect();
+        // depth = 1 + number of other loops whose body strictly contains our header
+        let snapshots: Vec<(BlockId, HashSet<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
+        for l in &mut loops {
+            let mut depth = 1;
+            for (h, blocks) in &snapshots {
+                if *h != l.header && blocks.contains(&l.header) {
+                    depth += 1;
+                }
+            }
+            l.depth = depth;
+            l.latches.sort();
+            l.latches.dedup();
+        }
+        loops.sort_by_key(|l| (l.depth, l.header));
+        LoopForest { loops }
+    }
+
+    /// Loop nesting depth of `b` (0 when not in any loop).
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.loops.iter().filter(|l| l.blocks.contains(&b)).count() as u32
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops.iter().filter(|l| l.blocks.contains(&b)).max_by_key(|l| l.depth)
+    }
+
+    /// The loop headed by `h`, if any.
+    pub fn loop_with_header(&self, h: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+    use crate::types::Ty;
+    use crate::value::Value;
+
+    /// entry -> outer_h; outer_h -> {inner_h, exit}; inner_h -> {inner_body, outer_latch};
+    /// inner_body -> inner_h; outer_latch -> outer_h
+    fn nested() -> (Function, BlockId, BlockId) {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let entry = f.entry;
+        let outer_h = f.add_block();
+        let inner_h = f.add_block();
+        let inner_body = f.add_block();
+        let outer_latch = f.add_block();
+        let exit = f.add_block();
+        f.append_inst(entry, Op::Br { target: outer_h });
+        f.append_inst(outer_h, Op::CondBr { cond: Value::bool(true), then_bb: inner_h, else_bb: exit });
+        f.append_inst(inner_h, Op::CondBr { cond: Value::bool(true), then_bb: inner_body, else_bb: outer_latch });
+        f.append_inst(inner_body, Op::Br { target: inner_h });
+        f.append_inst(outer_latch, Op::Br { target: outer_h });
+        f.append_inst(exit, Op::Ret { val: None });
+        (f, outer_h, inner_h)
+    }
+
+    fn forest(f: &Function) -> LoopForest {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        LoopForest::compute(f, &cfg, &dt)
+    }
+
+    #[test]
+    fn finds_nested_loops_with_depths() {
+        let (f, outer_h, inner_h) = nested();
+        let lf = forest(&f);
+        assert_eq!(lf.loops.len(), 2);
+        let outer = lf.loop_with_header(outer_h).unwrap();
+        let inner = lf.loop_with_header(inner_h).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(outer.blocks.contains(&inner_h));
+        assert!(!inner.blocks.contains(&outer_h));
+        assert_eq!(lf.depth_of(inner_h), 2);
+        assert_eq!(lf.depth_of(outer_h), 1);
+        assert_eq!(lf.depth_of(f.entry), 0);
+    }
+
+    #[test]
+    fn exits_and_latches() {
+        let (f, outer_h, inner_h) = nested();
+        let lf = forest(&f);
+        let inner = lf.loop_with_header(inner_h).unwrap();
+        assert_eq!(inner.latches.len(), 1);
+        let exits = inner.exit_blocks(&f);
+        assert_eq!(exits.len(), 1); // outer_latch
+        let outer = lf.loop_with_header(outer_h).unwrap();
+        assert_eq!(outer.exiting_blocks(&f), vec![outer_h]);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry;
+        f.append_inst(e, Op::Ret { val: None });
+        assert!(forest(&f).loops.is_empty());
+    }
+
+    #[test]
+    fn preheader_detection() {
+        let (f, outer_h, _) = nested();
+        let cfg = Cfg::compute(&f);
+        let lf = forest(&f);
+        let outer = lf.loop_with_header(outer_h).unwrap();
+        assert_eq!(outer.preheader(&f, &cfg), Some(f.entry));
+    }
+}

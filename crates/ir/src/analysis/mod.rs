@@ -1,0 +1,11 @@
+//! Standard control-flow and data-flow analyses over [`crate::Function`].
+
+pub mod cfg;
+pub mod dom;
+pub mod liveness;
+pub mod loops;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopForest};

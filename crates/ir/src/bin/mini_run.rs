@@ -1,0 +1,96 @@
+//! `mini-run`: the workspace's answer to LLVM's `lli` — runs a textual IR
+//! module under the reference interpreter.
+//!
+//! ```text
+//! mini-run [--entry NAME] [--fuel N] [--profile] [file.ir] [ARGS...]
+//! ```
+//!
+//! `ARGS` are i64 values passed to the entry function. Prints the external
+//! call trace, the return value, and (with `--profile`) the dynamic
+//! instruction counts.
+
+use posetrl_ir::interp::{InterpConfig, Interpreter, RtVal, TraceArg};
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::verifier::verify_module;
+use std::io::Read;
+
+fn main() {
+    let mut entry = "main".to_string();
+    let mut fuel = 50_000_000u64;
+    let mut profile = false;
+    let mut file: Option<String> = None;
+    let mut call_args: Vec<RtVal> = Vec::new();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = it.next().unwrap_or_default(),
+            "--fuel" => fuel = it.next().and_then(|s| s.parse().ok()).unwrap_or(fuel),
+            "--profile" => profile = true,
+            other => {
+                if let Ok(v) = other.parse::<i64>() {
+                    call_args.push(RtVal::Int(v));
+                } else if file.is_none() {
+                    file = Some(other.to_string());
+                } else {
+                    eprintln!("mini-run: unexpected argument '{other}'");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let text = match file {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("mini-run: cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            buf
+        }
+    };
+
+    let module = match parse_module(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mini-run: parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = verify_module(&module) {
+        eprintln!("mini-run: module does not verify: {e}");
+        std::process::exit(1);
+    }
+
+    let out = Interpreter::with_config(&module, InterpConfig { fuel, max_depth: 1024 })
+        .run(&entry, &call_args);
+
+    for ev in &out.trace {
+        let args: Vec<String> = ev
+            .args
+            .iter()
+            .map(|a| match a {
+                TraceArg::Int(v) => v.to_string(),
+                TraceArg::Float(bits) => format!("{}", f64::from_bits(*bits)),
+                TraceArg::Ptr => "<ptr>".to_string(),
+                TraceArg::Undef => "<undef>".to_string(),
+            })
+            .collect();
+        println!("[{}] {}", ev.callee, args.join(", "));
+    }
+
+    match out.result {
+        Ok(Some(v)) => println!("=> {v:?}"),
+        Ok(None) => println!("=> (void)"),
+        Err(e) => {
+            eprintln!("mini-run: trapped: {e}");
+            std::process::exit(4);
+        }
+    }
+
+    if profile {
+        println!("dynamic instructions: {}", out.profile.total_steps);
+    }
+}

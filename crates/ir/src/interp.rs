@@ -1,0 +1,1002 @@
+//! Reference interpreter.
+//!
+//! The interpreter defines the observable semantics of the IR: the value
+//! returned by the entry function plus the ordered trace of external calls
+//! (`print_*` and friends). Optimization passes must preserve exactly this
+//! behaviour, which the property tests in `posetrl-opt` check by running
+//! modules before and after each pass.
+//!
+//! All operations are total and deterministic: integer arithmetic wraps at
+//! the type width, shifts mask their amount, division by zero traps with a
+//! well-defined [`ExecError`], and float-to-int casts saturate.
+//!
+//! # Undefined behaviour contract
+//!
+//! Like LLVM, the optimization passes assume programs are free of
+//! *erroneous* executions, and the preservation guarantee applies to
+//! programs whose runs do not trap: division/remainder by zero,
+//! out-of-bounds memory access, writes to immutable globals, and control
+//! or trapping-operand uses of `undef` are erroneous. The interpreter
+//! reports them deterministically (useful for debugging and for the
+//! workload generator's guarantees), but passes may reorder, remove, or
+//! refine such executions — e.g. DSE may delete a store that would have
+//! trapped out-of-bounds, and instcombine may refine `icmp undef, undef`
+//! to a constant. Generated workloads never trap, so the property tests
+//! compare behaviour on the defined domain.
+
+use crate::inst::{BinOp, CastKind, InstId, Op};
+use crate::module::{BlockId, FuncId, GlobalId, Module};
+use crate::types::Ty;
+use crate::value::{Const, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer of any width (kept wrapped to its type's range).
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Pointer into an allocation.
+    Ptr(PtrVal),
+    /// Uninitialized / undefined.
+    Undef,
+}
+
+impl RtVal {
+    fn as_int(self) -> Result<i64, ExecError> {
+        match self {
+            RtVal::Int(v) => Ok(v),
+            RtVal::Undef => Err(ExecError::UndefUse),
+            other => Err(ExecError::TypeError(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    fn as_float(self) -> Result<f64, ExecError> {
+        match self {
+            RtVal::Float(v) => Ok(v),
+            RtVal::Undef => Err(ExecError::UndefUse),
+            other => Err(ExecError::TypeError(format!("expected float, got {other:?}"))),
+        }
+    }
+
+    fn as_ptr(self) -> Result<PtrVal, ExecError> {
+        match self {
+            RtVal::Ptr(p) => Ok(p),
+            RtVal::Undef => Err(ExecError::UndefUse),
+            other => Err(ExecError::TypeError(format!("expected ptr, got {other:?}"))),
+        }
+    }
+}
+
+/// The base object a pointer points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemBase {
+    /// A global variable.
+    Global(GlobalId),
+    /// A stack allocation, identified by a unique serial number.
+    Stack(u64),
+}
+
+/// A fat pointer: base object + element offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PtrVal {
+    /// The allocation this pointer addresses.
+    pub base: MemBase,
+    /// Offset in elements.
+    pub offset: i64,
+}
+
+/// An observable event: a call to an external (declaration-only) function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Callee name.
+    pub callee: String,
+    /// Scalar arguments (pointers are abstracted away as opaque).
+    pub args: Vec<TraceArg>,
+}
+
+/// A traced argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceArg {
+    /// Integer argument.
+    Int(i64),
+    /// Float argument (compared bitwise).
+    Float(u64),
+    /// Pointer argument (opaque).
+    Ptr,
+    /// Undef argument.
+    Undef,
+}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// Call stack exceeded the depth limit.
+    StackOverflow,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Memory access outside an allocation.
+    OutOfBounds,
+    /// Load/store element type mismatched the allocation.
+    TypeError(String),
+    /// A write targeted an immutable (const) global.
+    WriteToConst,
+    /// A control decision depended on an undefined value.
+    UndefUse,
+    /// An `unreachable` instruction was executed.
+    Unreachable,
+    /// The module has no function with the requested name.
+    NoSuchFunction(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => f.write_str("out of fuel"),
+            ExecError::StackOverflow => f.write_str("stack overflow"),
+            ExecError::DivByZero => f.write_str("division by zero"),
+            ExecError::OutOfBounds => f.write_str("out-of-bounds memory access"),
+            ExecError::TypeError(m) => write!(f, "runtime type error: {m}"),
+            ExecError::WriteToConst => f.write_str("write to immutable global"),
+            ExecError::UndefUse => f.write_str("control or memory use of undef"),
+            ExecError::Unreachable => f.write_str("executed unreachable"),
+            ExecError::NoSuchFunction(n) => write!(f, "no such function '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The observable outcome of a run, used for semantic equivalence checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// `Ok(return value)` or the error the program trapped with.
+    pub result: Result<Option<TraceArg>, ExecError>,
+    /// Ordered external-call trace.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Per-instruction dynamic execution counts.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Execution count per (function, instruction).
+    pub counts: HashMap<(FuncId, InstId), u64>,
+    /// Total instructions executed.
+    pub total_steps: u64,
+}
+
+/// The complete result of an interpreter run.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Return value of the entry function (if it returned normally).
+    pub result: Result<Option<RtVal>, ExecError>,
+    /// Ordered external-call trace.
+    pub trace: Vec<TraceEvent>,
+    /// Dynamic profile.
+    pub profile: ExecProfile,
+}
+
+impl ExecOutcome {
+    /// Projects the outcome to its observable part.
+    pub fn observation(&self) -> Observation {
+        let result = match &self.result {
+            Ok(v) => Ok(v.map(abstract_val)),
+            Err(e) => Err(e.clone()),
+        };
+        Observation { result, trace: self.trace.clone() }
+    }
+}
+
+fn abstract_val(v: RtVal) -> TraceArg {
+    match v {
+        RtVal::Int(i) => TraceArg::Int(i),
+        RtVal::Float(f) => TraceArg::Float(f.to_bits()),
+        RtVal::Ptr(_) => TraceArg::Ptr,
+        RtVal::Undef => TraceArg::Undef,
+    }
+}
+
+#[derive(Debug)]
+struct Allocation {
+    elem_ty: Ty,
+    cells: Vec<RtVal>,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// Maximum number of executed instructions.
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { fuel: 2_000_000, max_depth: 256 }
+    }
+}
+
+/// The interpreter.
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    config: InterpConfig,
+    memory: HashMap<MemBase, Allocation>,
+    next_stack_serial: u64,
+    fuel: u64,
+    trace: Vec<TraceEvent>,
+    profile: ExecProfile,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter over `module` with default limits.
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        Interpreter::with_config(module, InterpConfig::default())
+    }
+
+    /// Creates an interpreter with explicit limits.
+    pub fn with_config(module: &'m Module, config: InterpConfig) -> Interpreter<'m> {
+        Interpreter {
+            module,
+            config,
+            memory: HashMap::new(),
+            next_stack_serial: 0,
+            fuel: config.fuel,
+            trace: Vec::new(),
+            profile: ExecProfile::default(),
+        }
+    }
+
+    /// Runs the function named `name` with `args` and returns the outcome.
+    ///
+    /// Globals are (re-)initialized at the start of every run. The run
+    /// executes on a dedicated thread with a large stack so that deep (but
+    /// in-budget) guest recursion cannot overflow the host stack.
+    pub fn run(self, name: &str, args: &[RtVal]) -> ExecOutcome {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .stack_size(64 * 1024 * 1024)
+                .spawn_scoped(scope, move || self.run_on_current_thread(name, args))
+                .expect("spawn interpreter thread")
+                .join()
+                .expect("interpreter thread panicked")
+        })
+    }
+
+    fn run_on_current_thread(mut self, name: &str, args: &[RtVal]) -> ExecOutcome {
+        let fid = match self.module.func_by_name(name) {
+            Some(f) => f,
+            None => {
+                return ExecOutcome {
+                    result: Err(ExecError::NoSuchFunction(name.to_string())),
+                    trace: Vec::new(),
+                    profile: ExecProfile::default(),
+                }
+            }
+        };
+        self.init_globals();
+        let result = self.call_function(fid, args.to_vec(), 0);
+        ExecOutcome { result, trace: self.trace, profile: self.profile }
+    }
+
+    fn init_globals(&mut self) {
+        for gid in self.module.global_ids() {
+            let g = self.module.global(gid).unwrap();
+            let mut cells = vec![RtVal::Undef; g.count as usize];
+            for (i, c) in g.init.iter().enumerate().take(g.count as usize) {
+                cells[i] = const_val(*c);
+            }
+            // zero-fill the tail beyond the initializer
+            for cell in cells.iter_mut().skip(g.init.len()) {
+                *cell = zero_val(g.ty);
+            }
+            self.memory.insert(MemBase::Global(gid), Allocation { elem_ty: g.ty, cells });
+        }
+    }
+
+    fn call_function(
+        &mut self,
+        fid: FuncId,
+        args: Vec<RtVal>,
+        depth: usize,
+    ) -> Result<Option<RtVal>, ExecError> {
+        if depth > self.config.max_depth {
+            return Err(ExecError::StackOverflow);
+        }
+        let f = self.module.func(fid).expect("call target exists");
+        if f.is_decl {
+            return self.external_call(&f.name.clone(), &args, f.ret);
+        }
+
+        let mut regs: HashMap<InstId, RtVal> = HashMap::new();
+        let mut cur = f.entry;
+        let mut prev: Option<BlockId> = None;
+        let mut frame_allocs: Vec<MemBase> = Vec::new();
+
+        let result = 'outer: loop {
+            // Evaluate phis simultaneously on block entry.
+            if let Some(p) = prev {
+                let block = f.block(cur).ok_or(ExecError::Unreachable)?;
+                let mut phi_updates: Vec<(InstId, RtVal)> = Vec::new();
+                for &id in &block.insts {
+                    match f.op(id) {
+                        Op::Phi { incomings, .. } => {
+                            let (_, v) = incomings
+                                .iter()
+                                .find(|(b, _)| *b == p)
+                                .ok_or_else(|| ExecError::TypeError("phi missing incoming".into()))?;
+                            phi_updates.push((id, self.value(f, &regs, &args, *v)?));
+                        }
+                        _ => break,
+                    }
+                }
+                for (id, v) in phi_updates {
+                    regs.insert(id, v);
+                }
+            }
+
+            let block = f.block(cur).ok_or(ExecError::Unreachable)?;
+            let insts = block.insts.clone();
+            let mut idx = 0usize;
+            // skip phis (already handled, except on function entry where a
+            // verified function has none in the entry block)
+            if prev.is_some() {
+                while idx < insts.len() && matches!(f.op(insts[idx]), Op::Phi { .. }) {
+                    idx += 1;
+                }
+            }
+
+            while idx < insts.len() {
+                let id = insts[idx];
+                idx += 1;
+                if self.fuel == 0 {
+                    break 'outer Err(ExecError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                self.profile.total_steps += 1;
+                *self.profile.counts.entry((fid, id)).or_insert(0) += 1;
+
+                match f.op(id).clone() {
+                    Op::Phi { incomings, .. } => {
+                        // Entry-block phi with a single incoming (degenerate but legal).
+                        let v = incomings
+                            .first()
+                            .map(|(_, v)| self.value(f, &regs, &args, *v))
+                            .transpose()?
+                            .unwrap_or(RtVal::Undef);
+                        regs.insert(id, v);
+                    }
+                    Op::Bin { op, ty, lhs, rhs } => {
+                        let a = self.value(f, &regs, &args, lhs)?;
+                        let b = self.value(f, &regs, &args, rhs)?;
+                        regs.insert(id, eval_bin(op, ty, a, b)?);
+                    }
+                    Op::Icmp { pred, lhs, rhs, .. } => {
+                        let a = self.value(f, &regs, &args, lhs)?;
+                        let b = self.value(f, &regs, &args, rhs)?;
+                        let r = match (a, b) {
+                            (RtVal::Int(x), RtVal::Int(y)) => pred.eval(x, y),
+                            (RtVal::Ptr(x), RtVal::Ptr(y)) => {
+                                pred.eval(ptr_ordinal(x), ptr_ordinal(y))
+                            }
+                            (RtVal::Undef, _) | (_, RtVal::Undef) => {
+                                return_err_store(&mut regs, id);
+                                continue;
+                            }
+                            _ => break 'outer Err(ExecError::TypeError("icmp operands".into())),
+                        };
+                        regs.insert(id, RtVal::Int(r as i64));
+                    }
+                    Op::Fcmp { pred, lhs, rhs } => {
+                        let a = self.value(f, &regs, &args, lhs)?.as_float()?;
+                        let b = self.value(f, &regs, &args, rhs)?.as_float()?;
+                        regs.insert(id, RtVal::Int(pred.eval(a, b) as i64));
+                    }
+                    Op::Select { cond, tval, fval, .. } => {
+                        let c = self.value(f, &regs, &args, cond)?.as_int()?;
+                        let v = if c != 0 {
+                            self.value(f, &regs, &args, tval)?
+                        } else {
+                            self.value(f, &regs, &args, fval)?
+                        };
+                        regs.insert(id, v);
+                    }
+                    Op::Cast { kind, to, val } => {
+                        let src_ty = value_type_in(f, val);
+                        let v = self.value(f, &regs, &args, val)?;
+                        regs.insert(id, eval_cast_src(kind, to, src_ty, v)?);
+                    }
+                    Op::Alloca { ty, count } => {
+                        let serial = self.next_stack_serial;
+                        self.next_stack_serial += 1;
+                        let base = MemBase::Stack(serial);
+                        self.memory
+                            .insert(base, Allocation { elem_ty: ty, cells: vec![RtVal::Undef; count as usize] });
+                        frame_allocs.push(base);
+                        regs.insert(id, RtVal::Ptr(PtrVal { base, offset: 0 }));
+                    }
+                    Op::Load { ty, ptr } => {
+                        let p = self.value(f, &regs, &args, ptr)?.as_ptr()?;
+                        let v = self.mem_load(p, ty)?;
+                        regs.insert(id, v);
+                    }
+                    Op::Store { ty, val, ptr } => {
+                        let v = self.value(f, &regs, &args, val)?;
+                        let p = self.value(f, &regs, &args, ptr)?.as_ptr()?;
+                        self.mem_store(p, ty, v)?;
+                    }
+                    Op::Gep { ptr, index, .. } => {
+                        let p = self.value(f, &regs, &args, ptr)?.as_ptr()?;
+                        let i = self.value(f, &regs, &args, index)?.as_int()?;
+                        regs.insert(id, RtVal::Ptr(PtrVal { base: p.base, offset: p.offset + i }));
+                    }
+                    Op::Call { callee, args: call_args, ret_ty } => {
+                        let mut vals = Vec::with_capacity(call_args.len());
+                        for a in &call_args {
+                            vals.push(self.value(f, &regs, &args, *a)?);
+                        }
+                        let r = self.call_function(callee, vals, depth + 1)?;
+                        if ret_ty != Ty::Void {
+                            regs.insert(id, r.unwrap_or(RtVal::Undef));
+                        }
+                    }
+                    Op::MemCpy { dst, src, len, .. } => {
+                        let d = self.value(f, &regs, &args, dst)?.as_ptr()?;
+                        let s = self.value(f, &regs, &args, src)?.as_ptr()?;
+                        let n = self.value(f, &regs, &args, len)?.as_int()?;
+                        self.mem_copy(d, s, n)?;
+                    }
+                    Op::MemSet { dst, val, len, .. } => {
+                        let d = self.value(f, &regs, &args, dst)?.as_ptr()?;
+                        let v = self.value(f, &regs, &args, val)?;
+                        let n = self.value(f, &regs, &args, len)?.as_int()?;
+                        self.mem_set(d, v, n)?;
+                    }
+                    Op::Br { target } => {
+                        prev = Some(cur);
+                        cur = target;
+                        continue 'outer;
+                    }
+                    Op::CondBr { cond, then_bb, else_bb } => {
+                        let c = self.value(f, &regs, &args, cond)?;
+                        let c = match c {
+                            RtVal::Int(v) => v,
+                            RtVal::Undef => break 'outer Err(ExecError::UndefUse),
+                            _ => break 'outer Err(ExecError::TypeError("condbr cond".into())),
+                        };
+                        prev = Some(cur);
+                        cur = if c != 0 { then_bb } else { else_bb };
+                        continue 'outer;
+                    }
+                    Op::Ret { val } => {
+                        let r = match val {
+                            Some(v) => Some(self.value(f, &regs, &args, v)?),
+                            None => None,
+                        };
+                        break 'outer Ok(r);
+                    }
+                    Op::Unreachable => break 'outer Err(ExecError::Unreachable),
+                }
+            }
+            // fell off the end of a block without a terminator
+            break 'outer Err(ExecError::Unreachable);
+        };
+
+        // Free this frame's stack allocations.
+        for base in frame_allocs {
+            self.memory.remove(&base);
+        }
+        result
+    }
+
+    fn external_call(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        ret: Ty,
+    ) -> Result<Option<RtVal>, ExecError> {
+        self.trace.push(TraceEvent {
+            callee: name.to_string(),
+            args: args.iter().map(|v| abstract_val(*v)).collect(),
+        });
+        Ok(match ret {
+            Ty::Void => None,
+            Ty::F64 => Some(RtVal::Float(0.0)),
+            Ty::Ptr => Some(RtVal::Ptr(PtrVal { base: MemBase::Stack(u64::MAX), offset: 0 })),
+            _ => Some(RtVal::Int(0)),
+        })
+    }
+
+    fn value(
+        &self,
+        f: &crate::module::Function,
+        regs: &HashMap<InstId, RtVal>,
+        args: &[RtVal],
+        v: Value,
+    ) -> Result<RtVal, ExecError> {
+        Ok(match v {
+            Value::Inst(id) => regs.get(&id).copied().unwrap_or(RtVal::Undef),
+            Value::Arg(i) => args.get(i as usize).copied().unwrap_or(RtVal::Undef),
+            Value::Const(c) => const_val(c),
+            Value::Global(g) => RtVal::Ptr(PtrVal { base: MemBase::Global(g), offset: 0 }),
+            Value::Func(_) => RtVal::Ptr(PtrVal { base: MemBase::Stack(u64::MAX - 1), offset: 0 }),
+        })
+        .map(|val| {
+            let _ = f;
+            val
+        })
+    }
+
+    fn check_writable(&self, base: MemBase) -> Result<(), ExecError> {
+        if let MemBase::Global(g) = base {
+            if let Some(gl) = self.module.global(g) {
+                if !gl.mutable {
+                    return Err(ExecError::WriteToConst);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn mem_load(&self, p: PtrVal, ty: Ty) -> Result<RtVal, ExecError> {
+        let alloc = self.memory.get(&p.base).ok_or(ExecError::OutOfBounds)?;
+        if alloc.elem_ty != ty {
+            return Err(ExecError::TypeError(format!(
+                "load {ty} from allocation of {}",
+                alloc.elem_ty
+            )));
+        }
+        alloc
+            .cells
+            .get(usize::try_from(p.offset).map_err(|_| ExecError::OutOfBounds)?)
+            .copied()
+            .ok_or(ExecError::OutOfBounds)
+    }
+
+    fn mem_store(&mut self, p: PtrVal, ty: Ty, v: RtVal) -> Result<(), ExecError> {
+        self.check_writable(p.base)?;
+        let alloc = self.memory.get_mut(&p.base).ok_or(ExecError::OutOfBounds)?;
+        if alloc.elem_ty != ty {
+            return Err(ExecError::TypeError(format!(
+                "store {ty} into allocation of {}",
+                alloc.elem_ty
+            )));
+        }
+        let idx = usize::try_from(p.offset).map_err(|_| ExecError::OutOfBounds)?;
+        match alloc.cells.get_mut(idx) {
+            Some(cell) => {
+                *cell = v;
+                Ok(())
+            }
+            None => Err(ExecError::OutOfBounds),
+        }
+    }
+
+    fn mem_copy(&mut self, dst: PtrVal, src: PtrVal, len: i64) -> Result<(), ExecError> {
+        if len < 0 {
+            return Err(ExecError::OutOfBounds);
+        }
+        if len > 0 {
+            self.check_writable(dst.base)?;
+        }
+        let mut tmp = Vec::with_capacity(len as usize);
+        {
+            let alloc = self.memory.get(&src.base).ok_or(ExecError::OutOfBounds)?;
+            for i in 0..len {
+                let idx = usize::try_from(src.offset + i).map_err(|_| ExecError::OutOfBounds)?;
+                tmp.push(*alloc.cells.get(idx).ok_or(ExecError::OutOfBounds)?);
+            }
+        }
+        let alloc = self.memory.get_mut(&dst.base).ok_or(ExecError::OutOfBounds)?;
+        for (i, v) in tmp.into_iter().enumerate() {
+            let idx =
+                usize::try_from(dst.offset + i as i64).map_err(|_| ExecError::OutOfBounds)?;
+            match alloc.cells.get_mut(idx) {
+                Some(cell) => *cell = v,
+                None => return Err(ExecError::OutOfBounds),
+            }
+        }
+        Ok(())
+    }
+
+    fn mem_set(&mut self, dst: PtrVal, v: RtVal, len: i64) -> Result<(), ExecError> {
+        if len < 0 {
+            return Err(ExecError::OutOfBounds);
+        }
+        if len > 0 {
+            self.check_writable(dst.base)?;
+        }
+        let alloc = self.memory.get_mut(&dst.base).ok_or(ExecError::OutOfBounds)?;
+        for i in 0..len {
+            let idx = usize::try_from(dst.offset + i).map_err(|_| ExecError::OutOfBounds)?;
+            match alloc.cells.get_mut(idx) {
+                Some(cell) => *cell = v,
+                None => return Err(ExecError::OutOfBounds),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn return_err_store(regs: &mut HashMap<InstId, RtVal>, id: InstId) {
+    regs.insert(id, RtVal::Undef);
+}
+
+fn ptr_ordinal(p: PtrVal) -> i64 {
+    // A deterministic total order on pointers: base-discriminated, offset-major.
+    let base = match p.base {
+        MemBase::Global(g) => g.0 as i64,
+        MemBase::Stack(s) => (1i64 << 40) + s as i64,
+    };
+    base.wrapping_mul(1 << 20).wrapping_add(p.offset)
+}
+
+fn const_val(c: Const) -> RtVal {
+    match c {
+        Const::Int { val, .. } => RtVal::Int(val),
+        Const::Float(v) => RtVal::Float(v),
+        Const::Null => RtVal::Ptr(PtrVal { base: MemBase::Stack(u64::MAX - 2), offset: 0 }),
+        Const::Undef(_) => RtVal::Undef,
+    }
+}
+
+fn zero_val(ty: Ty) -> RtVal {
+    match ty {
+        Ty::F64 => RtVal::Float(0.0),
+        Ty::Ptr => const_val(Const::Null),
+        _ => RtVal::Int(0),
+    }
+}
+
+/// Evaluates a binary operation with total, deterministic semantics.
+///
+/// # Errors
+///
+/// Division and remainder by zero return [`ExecError::DivByZero`]; use of an
+/// undefined value propagates as [`RtVal::Undef`] for non-trapping ops.
+pub fn eval_bin(op: BinOp, ty: Ty, a: RtVal, b: RtVal) -> Result<RtVal, ExecError> {
+    if op.is_float() {
+        let (x, y) = (a.as_float()?, b.as_float()?);
+        let r = match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            _ => unreachable!(),
+        };
+        return Ok(RtVal::Float(r));
+    }
+    // Undef propagates through non-trapping integer ops.
+    if matches!(a, RtVal::Undef) || matches!(b, RtVal::Undef) {
+        if op.can_trap() {
+            return Err(ExecError::UndefUse);
+        }
+        return Ok(RtVal::Undef);
+    }
+    let (x, y) = (a.as_int()?, b.as_int()?);
+    let width = ty.bit_width() as u32;
+    let r = match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::SDiv => {
+            if y == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::SRem => {
+            if y == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl((y as u32) % width.max(1)),
+        BinOp::AShr => x.wrapping_shr((y as u32) % width.max(1)),
+        BinOp::LShr => {
+            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            (((x as u64) & mask) >> ((y as u32) % width.max(1))) as i64
+        }
+        _ => unreachable!(),
+    };
+    Ok(RtVal::Int(ty.wrap(r)))
+}
+
+/// The static type of a value in the context of `f` (interpreter-internal
+/// version of `verifier::value_ty`).
+fn value_type_in(f: &crate::module::Function, v: Value) -> Ty {
+    match v {
+        Value::Inst(id) => f.op(id).result_ty(),
+        Value::Arg(i) => f.params.get(i as usize).copied().unwrap_or(Ty::I64),
+        Value::Const(c) => c.ty(),
+        Value::Global(_) | Value::Func(_) => Ty::Ptr,
+    }
+}
+
+/// Evaluates a cast with total, deterministic semantics (`fptosi` saturates;
+/// NaN converts to 0). `zext` requires the source type; this entry point
+/// assumes the widest integer source and exists for constant folding where
+/// the operand's own type is authoritative (constants carry their type).
+pub fn eval_cast(kind: CastKind, to: Ty, v: RtVal) -> Result<RtVal, ExecError> {
+    eval_cast_src(kind, to, Ty::I64, v)
+}
+
+/// Evaluates a cast given the operand's static type `src` (needed for
+/// `zext`, whose result depends on the source width).
+pub fn eval_cast_src(kind: CastKind, to: Ty, src: Ty, v: RtVal) -> Result<RtVal, ExecError> {
+    if matches!(v, RtVal::Undef) {
+        return Ok(RtVal::Undef);
+    }
+    Ok(match kind {
+        CastKind::Trunc => RtVal::Int(to.wrap(v.as_int()?)),
+        CastKind::SExt => RtVal::Int(v.as_int()?),
+        CastKind::ZExt => {
+            // values are stored sign-extended at their source width; zext
+            // reinterprets the low `src` bits as unsigned
+            let x = v.as_int()?;
+            let bits = if src.is_int() { src.bit_width() } else { 64 };
+            let r = if bits >= 64 {
+                x
+            } else {
+                x & ((1i64 << bits) - 1)
+            };
+            RtVal::Int(to.wrap(r))
+        }
+        CastKind::SiToFp => RtVal::Float(v.as_int()? as f64),
+        CastKind::FpToSi => {
+            let f = v.as_float()?;
+            let i = if f.is_nan() {
+                0
+            } else if f >= i64::MAX as f64 {
+                i64::MAX
+            } else if f <= i64::MIN as f64 {
+                i64::MIN
+            } else {
+                f as i64
+            };
+            RtVal::Int(to.wrap(i))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn run(text: &str, entry: &str, args: &[RtVal]) -> ExecOutcome {
+        let m = parse_module(text).expect("parse");
+        crate::verifier::verify_module(&m).expect("verify");
+        Interpreter::new(&m).run(entry, args)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let text = r#"
+module "m"
+fn @f(i64) -> i64 internal {
+bb0:
+  %0 = mul i64 %arg0, 3:i64
+  %1 = add i64 %0, 4:i64
+  ret %1
+}
+"#;
+        let out = run(text, "f", &[RtVal::Int(5)]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(19))));
+        assert_eq!(out.profile.total_steps, 3);
+    }
+
+    #[test]
+    fn loop_sums_global_array() {
+        let text = r#"
+module "m"
+global @data : i64 x 4 mutable internal = [10:i64, 20:i64, 30:i64, 40:i64]
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, 4:i64
+  condbr %c, bb2, bb3
+bb2:
+  %p = gep i64, @data, %i
+  %v = load i64, %p
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#;
+        let out = run(text, "main", &[]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(100))));
+    }
+
+    #[test]
+    fn external_calls_are_traced() {
+        let text = r#"
+module "m"
+declare @print_i64(i64) -> void
+fn @main() -> void internal {
+bb0:
+  call @print_i64(7:i64) -> void
+  call @print_i64(9:i64) -> void
+  ret
+}
+"#;
+        let out = run(text, "main", &[]);
+        assert_eq!(out.trace.len(), 2);
+        assert_eq!(out.trace[0].args, vec![TraceArg::Int(7)]);
+        assert_eq!(out.trace[1].args, vec![TraceArg::Int(9)]);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let text = r#"
+module "m"
+fn @f(i64) -> i64 internal {
+bb0:
+  %0 = sdiv i64 10:i64, %arg0
+  ret %0
+}
+"#;
+        let out = run(text, "f", &[RtVal::Int(0)]);
+        assert_eq!(out.result, Err(ExecError::DivByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let text = r#"
+module "m"
+global @g : i64 x 2 mutable internal = []
+fn @f() -> i64 internal {
+bb0:
+  %p = gep i64, @g, 5:i64
+  %v = load i64, %p
+  ret %v
+}
+"#;
+        let out = run(text, "f", &[]);
+        assert_eq!(out.result, Err(ExecError::OutOfBounds));
+    }
+
+    #[test]
+    fn recursion_with_depth_limit() {
+        let text = r#"
+module "m"
+fn @fact(i64) -> i64 internal {
+bb0:
+  %c = icmp sle i64 %arg0, 1:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret 1:i64
+bb2:
+  %n1 = sub i64 %arg0, 1:i64
+  %r = call @fact(%n1) -> i64
+  %m = mul i64 %arg0, %r
+  ret %m
+}
+"#;
+        let out = run(text, "fact", &[RtVal::Int(10)]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(3628800))));
+        let deep = run(text, "fact", &[RtVal::Int(100000)]);
+        assert_eq!(deep.result, Err(ExecError::StackOverflow));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let text = r#"
+module "m"
+fn @spin() -> void internal {
+bb0:
+  br bb1
+bb1:
+  br bb1
+}
+"#;
+        let m = parse_module(text).unwrap();
+        let out = Interpreter::with_config(&m, InterpConfig { fuel: 100, max_depth: 8 })
+            .run("spin", &[]);
+        assert_eq!(out.result, Err(ExecError::OutOfFuel));
+    }
+
+    #[test]
+    fn memcpy_and_memset() {
+        let text = r#"
+module "m"
+global @a : i64 x 4 mutable internal = [1:i64, 2:i64, 3:i64, 4:i64]
+global @b : i64 x 4 mutable internal = []
+fn @main() -> i64 internal {
+bb0:
+  memcpy i64 @b, @a, 4:i64
+  memset i64 @a, 9:i64, 2:i64
+  %p = gep i64, @b, 3:i64
+  %v1 = load i64, %p
+  %v2 = load i64, @a
+  %r = add i64 %v1, %v2
+  ret %r
+}
+"#;
+        let out = run(text, "main", &[]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(13))));
+    }
+
+    #[test]
+    fn alloca_frames_are_freed() {
+        let text = r#"
+module "m"
+fn @leaf() -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 42:i64, %p
+  %v = load i64, %p
+  ret %v
+}
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, 100:i64
+  condbr %c, bb2, bb3
+bb2:
+  %v = call @leaf() -> i64
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#;
+        let out = run(text, "main", &[]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(4200))));
+    }
+
+    #[test]
+    fn observation_equality_is_usable() {
+        let text = r#"
+module "m"
+declare @print_i64(i64) -> void
+fn @main() -> i64 internal {
+bb0:
+  call @print_i64(1:i64) -> void
+  ret 5:i64
+}
+"#;
+        let a = run(text, "main", &[]).observation();
+        let b = run(text, "main", &[]).observation();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shift_semantics_masked() {
+        assert_eq!(
+            eval_bin(BinOp::Shl, Ty::I64, RtVal::Int(1), RtVal::Int(65)).unwrap(),
+            RtVal::Int(2)
+        );
+        assert_eq!(
+            eval_bin(BinOp::LShr, Ty::I8, RtVal::Int(-1), RtVal::Int(1)).unwrap(),
+            RtVal::Int(127)
+        );
+    }
+
+    #[test]
+    fn fptosi_saturates() {
+        assert_eq!(eval_cast(CastKind::FpToSi, Ty::I64, RtVal::Float(f64::NAN)).unwrap(), RtVal::Int(0));
+        assert_eq!(
+            eval_cast(CastKind::FpToSi, Ty::I64, RtVal::Float(1e300)).unwrap(),
+            RtVal::Int(i64::MAX)
+        );
+        assert_eq!(eval_cast(CastKind::FpToSi, Ty::I32, RtVal::Float(3.9)).unwrap(), RtVal::Int(3));
+    }
+}

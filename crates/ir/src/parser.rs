@@ -1,0 +1,691 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+
+use crate::inst::{BinOp, CastKind, FloatPred, InstId, IntPred, Op};
+use crate::module::{BlockId, FuncId, Function, Global, GlobalId, Linkage, Module};
+use crate::types::Ty;
+use crate::value::{Const, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a module from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first malformed line.
+///
+/// # Example
+///
+/// ```
+/// let text = r#"
+/// module "m"
+/// fn @id(i64) -> i64 internal {
+/// bb0:
+///   ret %arg0
+/// }
+/// "#;
+/// let m = posetrl_ir::parser::parse_module(text)?;
+/// assert!(m.func_by_name("id").is_some());
+/// # Ok::<(), posetrl_ir::parser::ParseError>(())
+/// ```
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut module = Module::new("module");
+    let mut func_names: HashMap<String, FuncId> = HashMap::new();
+    let mut global_names: HashMap<String, GlobalId> = HashMap::new();
+
+    // Pass 1: collect module name, globals and function signatures so calls
+    // and global references can be resolved in pass 2.
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, l) = lines[i];
+        if let Some(rest) = l.strip_prefix("module ") {
+            module.name = rest.trim().trim_matches('"').to_string();
+            i += 1;
+        } else if l.starts_with("global ") {
+            let g = parse_global(ln, l)?;
+            let name = g.name.clone();
+            let id = module.add_global(g);
+            global_names.insert(name, id);
+            i += 1;
+        } else if l.starts_with("declare ") {
+            let (name, params, ret) = parse_signature(ln, l.trim_start_matches("declare ").trim())?;
+            let id = module.add_function(Function::new_decl(name.clone(), params, ret));
+            func_names.insert(name, id);
+            i += 1;
+        } else if l.starts_with("fn ") {
+            let header = l.trim_start_matches("fn ").trim_end_matches('{').trim();
+            let (sig, tail) = split_signature(header);
+            let (name, params, ret) = parse_signature(ln, sig)?;
+            let mut f = Function::new(name.clone(), params, ret);
+            apply_fn_keywords(&mut f, tail);
+            // remove the default entry block; blocks come from labels
+            f.remove_block(f.entry);
+            let id = module.add_function(f);
+            func_names.insert(name, id);
+            // skip body in pass 1
+            i += 1;
+            while i < lines.len() && lines[i].1 != "}" {
+                i += 1;
+            }
+            i += 1; // the '}'
+        } else {
+            return Err(perr(ln, format!("unexpected top-level line: {l}")));
+        }
+    }
+
+    // Pass 2: parse function bodies.
+    let mut i = 0;
+    while i < lines.len() {
+        let (_, l) = lines[i];
+        if l.starts_with("fn ") {
+            let header = l.trim_start_matches("fn ").trim_end_matches('{').trim();
+            let (sig, _) = split_signature(header);
+            let (name, _, _) = parse_signature(lines[i].0, sig)?;
+            let fid = func_names[&name];
+            let mut body = Vec::new();
+            i += 1;
+            while i < lines.len() && lines[i].1 != "}" {
+                body.push(lines[i]);
+                i += 1;
+            }
+            i += 1;
+            parse_body(&mut module, fid, &func_names, &global_names, &body)?;
+        } else {
+            i += 1;
+        }
+    }
+
+    Ok(module)
+}
+
+fn strip_comment(l: &str) -> &str {
+    match l.find(';') {
+        Some(pos) => &l[..pos],
+        None => l,
+    }
+}
+
+fn split_signature(header: &str) -> (&str, &str) {
+    // "@f(i64) -> i64 internal readnone" -> ("@f(i64) -> i64", "internal readnone")
+    if let Some(arrow) = header.find("->") {
+        let after = &header[arrow + 2..];
+        let trimmed = after.trim_start();
+        match trimmed.find(' ') {
+            Some(sp) => {
+                let cut = arrow + 2 + (after.len() - trimmed.len()) + sp;
+                (&header[..cut], header[cut..].trim())
+            }
+            None => (header, ""),
+        }
+    } else {
+        (header, "")
+    }
+}
+
+fn apply_fn_keywords(f: &mut Function, tail: &str) {
+    for word in tail.split_whitespace() {
+        match word {
+            "internal" => f.linkage = Linkage::Internal,
+            "external" => f.linkage = Linkage::External,
+            "readnone" => f.attrs.readnone = true,
+            "readonly" => f.attrs.readonly = true,
+            "norecurse" => f.attrs.norecurse = true,
+            "nounwind" => f.attrs.nounwind = true,
+            "willreturn" => f.attrs.willreturn = true,
+            _ => {}
+        }
+    }
+}
+
+fn parse_ty(line: usize, s: &str) -> Result<Ty, ParseError> {
+    match s.trim() {
+        "void" => Ok(Ty::Void),
+        "i1" => Ok(Ty::I1),
+        "i8" => Ok(Ty::I8),
+        "i32" => Ok(Ty::I32),
+        "i64" => Ok(Ty::I64),
+        "f64" => Ok(Ty::F64),
+        "ptr" => Ok(Ty::Ptr),
+        other => Err(perr(line, format!("unknown type '{other}'"))),
+    }
+}
+
+fn parse_signature(line: usize, s: &str) -> Result<(String, Vec<Ty>, Ty), ParseError> {
+    // @name(i64, f64) -> i64
+    let s = s.trim();
+    let name_start = s.strip_prefix('@').ok_or_else(|| perr(line, "expected '@name'"))?;
+    let open = name_start.find('(').ok_or_else(|| perr(line, "expected '('"))?;
+    let name = name_start[..open].to_string();
+    let close = name_start.rfind(')').ok_or_else(|| perr(line, "expected ')'"))?;
+    let params_str = &name_start[open + 1..close];
+    let params: Vec<Ty> = if params_str.trim().is_empty() {
+        Vec::new()
+    } else {
+        params_str
+            .split(',')
+            .map(|p| parse_ty(line, p))
+            .collect::<Result<_, _>>()?
+    };
+    let after = name_start[close + 1..].trim();
+    let ret_str = after.strip_prefix("->").ok_or_else(|| perr(line, "expected '->'"))?;
+    let ret = parse_ty(line, ret_str.split_whitespace().next().unwrap_or(""))?;
+    Ok((name, params, ret))
+}
+
+fn parse_global(line: usize, l: &str) -> Result<Global, ParseError> {
+    // global @name : ty x count mutable|const internal|external = [c, c]
+    let rest = l.trim_start_matches("global ").trim();
+    let name_end = rest.find(':').ok_or_else(|| perr(line, "expected ':' in global"))?;
+    let name = rest[..name_end].trim().strip_prefix('@').ok_or_else(|| perr(line, "expected '@name'"))?.to_string();
+    let after = rest[name_end + 1..].trim();
+    let (head, init_str) = match after.find('=') {
+        Some(eq) => (after[..eq].trim(), after[eq + 1..].trim()),
+        None => (after, "[]"),
+    };
+    let mut words = head.split_whitespace();
+    let ty = parse_ty(line, words.next().unwrap_or(""))?;
+    if words.next() != Some("x") {
+        return Err(perr(line, "expected 'x' in global"));
+    }
+    let count: u32 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| perr(line, "bad global count"))?;
+    let mut mutable = true;
+    let mut linkage = Linkage::Internal;
+    for w in words {
+        match w {
+            "mutable" => mutable = true,
+            "const" => mutable = false,
+            "internal" => linkage = Linkage::Internal,
+            "external" => linkage = Linkage::External,
+            other => return Err(perr(line, format!("unknown global keyword '{other}'"))),
+        }
+    }
+    let inner = init_str.trim().trim_start_matches('[').trim_end_matches(']');
+    let init: Vec<Const> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|c| parse_const(line, c.trim()))
+            .collect::<Result<_, _>>()?
+    };
+    Ok(Global { name, ty, count, init, mutable, linkage })
+}
+
+fn parse_const(line: usize, s: &str) -> Result<Const, ParseError> {
+    match s {
+        "true" => return Ok(Const::bool(true)),
+        "false" => return Ok(Const::bool(false)),
+        "null" => return Ok(Const::Null),
+        _ => {}
+    }
+    if let Some(rest) = s.strip_prefix("undef:") {
+        return Ok(Const::Undef(parse_ty(line, rest)?));
+    }
+    let colon = s.rfind(':').ok_or_else(|| perr(line, format!("bad constant '{s}'")))?;
+    let (num, ty) = (&s[..colon], parse_ty(line, &s[colon + 1..])?);
+    if ty == Ty::F64 {
+        let v: f64 = num.parse().map_err(|_| perr(line, format!("bad float '{num}'")))?;
+        Ok(Const::Float(v))
+    } else {
+        let v: i64 = num.parse().map_err(|_| perr(line, format!("bad integer '{num}'")))?;
+        Ok(Const::int(ty, v))
+    }
+}
+
+struct BodyCtx<'a> {
+    funcs: &'a HashMap<String, FuncId>,
+    globals: &'a HashMap<String, GlobalId>,
+    values: HashMap<String, Value>,
+    blocks: HashMap<String, BlockId>,
+}
+
+impl BodyCtx<'_> {
+    fn value(&self, line: usize, s: &str) -> Result<Value, ParseError> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("%arg") {
+            let idx: u32 = rest.parse().map_err(|_| perr(line, format!("bad argument '{s}'")))?;
+            return Ok(Value::Arg(idx));
+        }
+        if s.starts_with('%') {
+            return self
+                .values
+                .get(s)
+                .copied()
+                .ok_or_else(|| perr(line, format!("unknown value '{s}'")));
+        }
+        if let Some(name) = s.strip_prefix("&@") {
+            return self
+                .funcs
+                .get(name)
+                .map(|&f| Value::Func(f))
+                .ok_or_else(|| perr(line, format!("unknown function '{name}'")));
+        }
+        if let Some(name) = s.strip_prefix('@') {
+            return self
+                .globals
+                .get(name)
+                .map(|&g| Value::Global(g))
+                .ok_or_else(|| perr(line, format!("unknown global '{name}'")));
+        }
+        parse_const(line, s).map(Value::Const)
+    }
+
+    fn block(&self, line: usize, s: &str) -> Result<BlockId, ParseError> {
+        self.blocks
+            .get(s.trim())
+            .copied()
+            .ok_or_else(|| perr(line, format!("unknown block '{s}'")))
+    }
+}
+
+fn parse_body(
+    module: &mut Module,
+    fid: FuncId,
+    funcs: &HashMap<String, FuncId>,
+    globals: &HashMap<String, GlobalId>,
+    lines: &[(usize, &str)],
+) -> Result<(), ParseError> {
+    // First: collect block labels in order.
+    let mut ctx = BodyCtx { funcs, globals, values: HashMap::new(), blocks: HashMap::new() };
+    {
+        let f = module.func_mut(fid).unwrap();
+        let mut first = true;
+        for &(ln, l) in lines {
+            if let Some(label) = l.strip_suffix(':') {
+                if !label.contains(' ') && !label.contains('=') {
+                    let b = f.add_block();
+                    if first {
+                        f.entry = b;
+                        first = false;
+                    }
+                    if ctx.blocks.insert(label.to_string(), b).is_some() {
+                        return Err(perr(ln, format!("duplicate block label '{label}'")));
+                    }
+                }
+            }
+        }
+        if first {
+            return Err(perr(lines.first().map(|l| l.0).unwrap_or(0), "function has no blocks"));
+        }
+    }
+
+    // Two sub-passes over instructions so that forward references (loops,
+    // phis) resolve: first create placeholder instructions to learn result
+    // names, then re-parse operands.
+    // Simpler single-pass approach: pre-scan result names and map them to
+    // fresh instruction ids by parsing in order but patching operands later
+    // would duplicate the grammar. Instead: scan result names, allocate
+    // placeholder `Unreachable` ops, record ids, then re-parse each line and
+    // overwrite the op in place.
+    let mut placeholder_ids: Vec<(usize, InstId)> = Vec::new(); // (line idx, id)
+    {
+        let f = module.func_mut(fid).unwrap();
+        let mut cur: Option<BlockId> = None;
+        for (idx, &(ln, l)) in lines.iter().enumerate() {
+            if let Some(label) = l.strip_suffix(':') {
+                if !label.contains(' ') && !label.contains('=') {
+                    cur = Some(ctx.blocks[label]);
+                    continue;
+                }
+            }
+            let b = cur.ok_or_else(|| perr(ln, "instruction before first label"))?;
+            let id = f.append_inst(b, Op::Unreachable);
+            placeholder_ids.push((idx, id));
+            if let Some(eq) = l.find('=') {
+                let name = l[..eq].trim();
+                if name.starts_with('%') {
+                    ctx.values.insert(name.to_string(), Value::Inst(id));
+                }
+            }
+        }
+    }
+
+    for (idx, id) in placeholder_ids {
+        let (ln, l) = lines[idx];
+        let text = match l.find('=') {
+            Some(eq) if l[..eq].trim().starts_with('%') && !l[..eq].trim().contains(' ') => {
+                l[eq + 1..].trim()
+            }
+            _ => l,
+        };
+        let op = parse_op(module, &ctx, ln, text)?;
+        module.func_mut(fid).unwrap().inst_mut(id).unwrap().op = op;
+    }
+
+    Ok(())
+}
+
+fn split_args(s: &str) -> Vec<&str> {
+    // split on commas that are not inside brackets/parens
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op, ParseError> {
+    let (mnemonic, rest) = match text.find(' ') {
+        Some(sp) => (&text[..sp], text[sp + 1..].trim()),
+        None => (text, ""),
+    };
+
+    let bin = |op: BinOp| -> Result<Op, ParseError> {
+        let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "expected type"))?;
+        let ty = parse_ty(ln, ty_str)?;
+        let parts = split_args(args);
+        if parts.len() != 2 {
+            return Err(perr(ln, "binary op needs two operands"));
+        }
+        Ok(Op::Bin { op, ty, lhs: ctx.value(ln, parts[0])?, rhs: ctx.value(ln, parts[1])? })
+    };
+
+    match mnemonic {
+        "add" => bin(BinOp::Add),
+        "sub" => bin(BinOp::Sub),
+        "mul" => bin(BinOp::Mul),
+        "sdiv" => bin(BinOp::SDiv),
+        "srem" => bin(BinOp::SRem),
+        "and" => bin(BinOp::And),
+        "or" => bin(BinOp::Or),
+        "xor" => bin(BinOp::Xor),
+        "shl" => bin(BinOp::Shl),
+        "ashr" => bin(BinOp::AShr),
+        "lshr" => bin(BinOp::LShr),
+        "fadd" => bin(BinOp::FAdd),
+        "fsub" => bin(BinOp::FSub),
+        "fmul" => bin(BinOp::FMul),
+        "fdiv" => bin(BinOp::FDiv),
+        "icmp" => {
+            let mut words = rest.splitn(3, ' ');
+            let pred = match words.next().unwrap_or("") {
+                "eq" => IntPred::Eq,
+                "ne" => IntPred::Ne,
+                "slt" => IntPred::Slt,
+                "sle" => IntPred::Sle,
+                "sgt" => IntPred::Sgt,
+                "sge" => IntPred::Sge,
+                p => return Err(perr(ln, format!("unknown icmp predicate '{p}'"))),
+            };
+            let ty = parse_ty(ln, words.next().unwrap_or(""))?;
+            let parts = split_args(words.next().unwrap_or(""));
+            if parts.len() != 2 {
+                return Err(perr(ln, "icmp needs two operands"));
+            }
+            Ok(Op::Icmp { pred, ty, lhs: ctx.value(ln, parts[0])?, rhs: ctx.value(ln, parts[1])? })
+        }
+        "fcmp" => {
+            let (pred_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad fcmp"))?;
+            let pred = match pred_str {
+                "oeq" => FloatPred::Oeq,
+                "one" => FloatPred::One,
+                "olt" => FloatPred::Olt,
+                "ole" => FloatPred::Ole,
+                "ogt" => FloatPred::Ogt,
+                "oge" => FloatPred::Oge,
+                p => return Err(perr(ln, format!("unknown fcmp predicate '{p}'"))),
+            };
+            let parts = split_args(args);
+            if parts.len() != 2 {
+                return Err(perr(ln, "fcmp needs two operands"));
+            }
+            Ok(Op::Fcmp { pred, lhs: ctx.value(ln, parts[0])?, rhs: ctx.value(ln, parts[1])? })
+        }
+        "select" => {
+            let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad select"))?;
+            let ty = parse_ty(ln, ty_str)?;
+            let parts = split_args(args);
+            if parts.len() != 3 {
+                return Err(perr(ln, "select needs three operands"));
+            }
+            Ok(Op::Select {
+                ty,
+                cond: ctx.value(ln, parts[0])?,
+                tval: ctx.value(ln, parts[1])?,
+                fval: ctx.value(ln, parts[2])?,
+            })
+        }
+        "trunc" | "zext" | "sext" | "sitofp" | "fptosi" => {
+            let kind = match mnemonic {
+                "trunc" => CastKind::Trunc,
+                "zext" => CastKind::ZExt,
+                "sext" => CastKind::SExt,
+                "sitofp" => CastKind::SiToFp,
+                _ => CastKind::FpToSi,
+            };
+            let (val_str, to_str) =
+                rest.split_once(" to ").ok_or_else(|| perr(ln, "cast expects 'to'"))?;
+            Ok(Op::Cast { kind, to: parse_ty(ln, to_str)?, val: ctx.value(ln, val_str)? })
+        }
+        "alloca" => {
+            let (ty_str, count_str) =
+                rest.split_once(" x ").ok_or_else(|| perr(ln, "alloca expects 'ty x count'"))?;
+            let count: u32 =
+                count_str.trim().parse().map_err(|_| perr(ln, "bad alloca count"))?;
+            Ok(Op::Alloca { ty: parse_ty(ln, ty_str)?, count })
+        }
+        "load" => {
+            let parts = split_args(rest);
+            if parts.len() != 2 {
+                return Err(perr(ln, "load expects 'ty, ptr'"));
+            }
+            Ok(Op::Load { ty: parse_ty(ln, parts[0])?, ptr: ctx.value(ln, parts[1])? })
+        }
+        "store" => {
+            let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad store"))?;
+            let parts = split_args(args);
+            if parts.len() != 2 {
+                return Err(perr(ln, "store expects 'ty val, ptr'"));
+            }
+            Ok(Op::Store {
+                ty: parse_ty(ln, ty_str)?,
+                val: ctx.value(ln, parts[0])?,
+                ptr: ctx.value(ln, parts[1])?,
+            })
+        }
+        "gep" => {
+            let parts = split_args(rest);
+            if parts.len() != 3 {
+                return Err(perr(ln, "gep expects 'ty, ptr, index'"));
+            }
+            Ok(Op::Gep {
+                elem_ty: parse_ty(ln, parts[0])?,
+                ptr: ctx.value(ln, parts[1])?,
+                index: ctx.value(ln, parts[2])?,
+            })
+        }
+        "call" => {
+            // @name(args) -> ty
+            let open = rest.find('(').ok_or_else(|| perr(ln, "bad call"))?;
+            let name = rest[..open].trim().strip_prefix('@').ok_or_else(|| perr(ln, "bad callee"))?;
+            let close = rest.rfind(')').ok_or_else(|| perr(ln, "bad call"))?;
+            let args: Vec<Value> = split_args(&rest[open + 1..close])
+                .into_iter()
+                .map(|a| ctx.value(ln, a))
+                .collect::<Result<_, _>>()?;
+            let ret_str = rest[close + 1..].trim().strip_prefix("->").ok_or_else(|| perr(ln, "call expects '-> ty'"))?;
+            let callee = *ctx
+                .funcs
+                .get(name)
+                .ok_or_else(|| perr(ln, format!("unknown callee '{name}'")))?;
+            let _ = module; // callee resolution already done via ctx
+            Ok(Op::Call { callee, args, ret_ty: parse_ty(ln, ret_str)? })
+        }
+        "phi" => {
+            let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad phi"))?;
+            let ty = parse_ty(ln, ty_str)?;
+            let mut incomings = Vec::new();
+            for part in split_args(args) {
+                let inner = part.trim().trim_start_matches('[').trim_end_matches(']');
+                let (b, v) = inner.split_once(':').ok_or_else(|| perr(ln, "bad phi incoming"))?;
+                incomings.push((ctx.block(ln, b)?, ctx.value(ln, v)?));
+            }
+            Ok(Op::Phi { ty, incomings })
+        }
+        "memcpy" | "memset" => {
+            let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad mem op"))?;
+            let elem_ty = parse_ty(ln, ty_str)?;
+            let parts = split_args(args);
+            if parts.len() != 3 {
+                return Err(perr(ln, "mem op expects three operands"));
+            }
+            if mnemonic == "memcpy" {
+                Ok(Op::MemCpy {
+                    elem_ty,
+                    dst: ctx.value(ln, parts[0])?,
+                    src: ctx.value(ln, parts[1])?,
+                    len: ctx.value(ln, parts[2])?,
+                })
+            } else {
+                Ok(Op::MemSet {
+                    elem_ty,
+                    dst: ctx.value(ln, parts[0])?,
+                    val: ctx.value(ln, parts[1])?,
+                    len: ctx.value(ln, parts[2])?,
+                })
+            }
+        }
+        "br" => Ok(Op::Br { target: ctx.block(ln, rest)? }),
+        "condbr" => {
+            let parts = split_args(rest);
+            if parts.len() != 3 {
+                return Err(perr(ln, "condbr expects 'cond, bb, bb'"));
+            }
+            Ok(Op::CondBr {
+                cond: ctx.value(ln, parts[0])?,
+                then_bb: ctx.block(ln, parts[1])?,
+                else_bb: ctx.block(ln, parts[2])?,
+            })
+        }
+        "ret" => {
+            if rest.is_empty() {
+                Ok(Op::Ret { val: None })
+            } else {
+                Ok(Op::Ret { val: Some(ctx.value(ln, rest)?) })
+            }
+        }
+        "unreachable" => Ok(Op::Unreachable),
+        other => Err(perr(ln, format!("unknown instruction '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+    use crate::verifier::verify_module;
+
+    const LOOP_PROGRAM: &str = r#"
+module "loopy"
+global @data : i64 x 4 mutable internal = [1:i64, 2:i64, 3:i64, 4:i64]
+declare @print_i64(i64) -> void
+
+fn @sum(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %0 = phi i64 [bb0: 0:i64], [bb2: %3]
+  %1 = phi i64 [bb0: 0:i64], [bb2: %4]
+  %2 = icmp slt i64 %0, %arg0
+  condbr %2, bb2, bb3
+bb2:
+  %p = gep i64, @data, %0
+  %v = load i64, %p
+  %3 = add i64 %0, 1:i64
+  %4 = add i64 %1, %v
+  br bb1
+bb3:
+  ret %1
+}
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = call @sum(4:i64) -> i64
+  call @print_i64(%0) -> void
+  ret %0
+}
+"#;
+
+    #[test]
+    fn parses_and_verifies_loop_program() {
+        let m = parse_module(LOOP_PROGRAM).expect("parses");
+        verify_module(&m).expect("verifies");
+        assert_eq!(m.name, "loopy");
+        assert!(m.func_by_name("sum").is_some());
+        assert!(m.global_by_name("data").is_some());
+    }
+
+    #[test]
+    fn print_parse_round_trip_is_stable() {
+        let m = parse_module(LOOP_PROGRAM).expect("parses");
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).expect("reparses");
+        let p2 = print_module(&m2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let bad = "module \"m\"\nfn @f() -> i64 internal {\nbb0:\n  frob i64 1:i64, 2:i64\n}\n";
+        let e = parse_module(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frob"));
+    }
+
+    #[test]
+    fn unknown_value_rejected() {
+        let bad = "module \"m\"\nfn @f() -> i64 internal {\nbb0:\n  ret %9\n}\n";
+        assert!(parse_module(bad).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "module \"m\"\n; a comment\n\nfn @f() -> void internal {\nbb0: ; entry\n  ret\n}\n";
+        let m = parse_module(text).expect("parses");
+        verify_module(&m).expect("verifies");
+    }
+}

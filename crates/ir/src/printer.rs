@@ -1,0 +1,268 @@
+//! Human-readable textual form of the IR.
+//!
+//! The format round-trips through [`crate::parser::parse_module`]:
+//! instruction results are renumbered sequentially per function, so printing
+//! is also a canonicalization step.
+
+use crate::inst::{InstId, Op};
+use crate::module::{BlockId, Function, Linkage, Module};
+use crate::types::Ty;
+use crate::value::{Const, Value};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Prints a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    for gid in m.global_ids() {
+        let g = m.global(gid).unwrap();
+        let mutability = if g.mutable { "mutable" } else { "const" };
+        let linkage = linkage_str(g.linkage);
+        let init: Vec<String> = g.init.iter().map(print_const).collect();
+        let _ = writeln!(
+            out,
+            "global @{} : {} x {} {} {} = [{}]",
+            g.name,
+            g.ty,
+            g.count,
+            mutability,
+            linkage,
+            init.join(", ")
+        );
+    }
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        out.push('\n');
+        if f.is_decl {
+            let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(out, "declare @{}({}) -> {}", f.name, params.join(", "), f.ret);
+        } else {
+            out.push_str(&print_function(m, f));
+        }
+    }
+    out
+}
+
+fn linkage_str(l: Linkage) -> &'static str {
+    match l {
+        Linkage::External => "external",
+        Linkage::Internal => "internal",
+    }
+}
+
+fn attrs_str(f: &Function) -> String {
+    let mut s = String::new();
+    if f.attrs.readnone {
+        s.push_str(" readnone");
+    }
+    if f.attrs.readonly {
+        s.push_str(" readonly");
+    }
+    if f.attrs.norecurse {
+        s.push_str(" norecurse");
+    }
+    if f.attrs.nounwind {
+        s.push_str(" nounwind");
+    }
+    if f.attrs.willreturn {
+        s.push_str(" willreturn");
+    }
+    s
+}
+
+/// Prints one function body with sequentially renumbered values.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "fn @{}({}) -> {} {}{} {{",
+        f.name,
+        params.join(", "),
+        f.ret,
+        linkage_str(f.linkage),
+        attrs_str(f)
+    );
+
+    // sequential numbering of value-producing instructions, in block order
+    let mut numbering: HashMap<InstId, usize> = HashMap::new();
+    let mut next = 0usize;
+    for b in f.block_ids() {
+        for &id in &f.block(b).unwrap().insts {
+            if f.op(id).result_ty() != Ty::Void {
+                numbering.insert(id, next);
+                next += 1;
+            }
+        }
+    }
+
+    // block label renumbering: entry first, then arena order
+    let mut block_names: HashMap<BlockId, String> = HashMap::new();
+    block_names.insert(f.entry, "bb0".to_string());
+    let mut bn = 1usize;
+    for b in f.block_ids() {
+        if b != f.entry {
+            block_names.insert(b, format!("bb{bn}"));
+            bn += 1;
+        }
+    }
+
+    let mut blocks: Vec<BlockId> = f.block_ids().collect();
+    blocks.sort_by_key(|b| if *b == f.entry { 0 } else { b.index() + 1 });
+
+    for b in blocks {
+        let _ = writeln!(out, "{}:", block_names[&b]);
+        for &id in &f.block(b).unwrap().insts {
+            let _ = writeln!(out, "  {}", print_inst(m, f, id, &numbering, &block_names));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_const(c: &Const) -> String {
+    match *c {
+        Const::Int { ty, val } => {
+            if ty == Ty::I1 {
+                if val != 0 { "true".into() } else { "false".into() }
+            } else {
+                format!("{val}:{ty}")
+            }
+        }
+        Const::Float(v) => format!("{v:?}:f64"),
+        Const::Null => "null".into(),
+        Const::Undef(ty) => format!("undef:{ty}"),
+    }
+}
+
+fn print_value(m: &Module, v: Value, numbering: &HashMap<InstId, usize>) -> String {
+    match v {
+        Value::Inst(id) => match numbering.get(&id) {
+            Some(n) => format!("%{n}"),
+            None => format!("%?{}", id.0),
+        },
+        Value::Arg(i) => format!("%arg{i}"),
+        Value::Const(c) => print_const(&c),
+        Value::Global(g) => match m.global(g) {
+            Some(g) => format!("@{}", g.name),
+            None => "@?".into(),
+        },
+        Value::Func(fr) => match m.func(fr) {
+            Some(f) => format!("&@{}", f.name),
+            None => "&@?".into(),
+        },
+    }
+}
+
+fn print_inst(
+    m: &Module,
+    f: &Function,
+    id: InstId,
+    numbering: &HashMap<InstId, usize>,
+    blocks: &HashMap<BlockId, String>,
+) -> String {
+    let pv = |v: Value| print_value(m, v, numbering);
+    let pb = |b: BlockId| blocks.get(&b).cloned().unwrap_or_else(|| format!("bb?{}", b.0));
+    let lhs = match numbering.get(&id) {
+        Some(n) => format!("%{n} = "),
+        None => String::new(),
+    };
+    let body = match f.op(id) {
+        Op::Bin { op, ty, lhs, rhs } => format!("{} {} {}, {}", op.mnemonic(), ty, pv(*lhs), pv(*rhs)),
+        Op::Icmp { pred, ty, lhs, rhs } => {
+            format!("icmp {} {} {}, {}", pred.mnemonic(), ty, pv(*lhs), pv(*rhs))
+        }
+        Op::Fcmp { pred, lhs, rhs } => format!("fcmp {} {}, {}", pred.mnemonic(), pv(*lhs), pv(*rhs)),
+        Op::Select { ty, cond, tval, fval } => {
+            format!("select {} {}, {}, {}", ty, pv(*cond), pv(*tval), pv(*fval))
+        }
+        Op::Cast { kind, to, val } => format!("{} {} to {}", kind.mnemonic(), pv(*val), to),
+        Op::Alloca { ty, count } => format!("alloca {} x {}", ty, count),
+        Op::Load { ty, ptr } => format!("load {}, {}", ty, pv(*ptr)),
+        Op::Store { ty, val, ptr } => format!("store {} {}, {}", ty, pv(*val), pv(*ptr)),
+        Op::Gep { elem_ty, ptr, index } => format!("gep {}, {}, {}", elem_ty, pv(*ptr), pv(*index)),
+        Op::Call { callee, args, ret_ty } => {
+            let callee_name = m.func(*callee).map(|f| f.name.clone()).unwrap_or_else(|| "?".into());
+            let args: Vec<String> = args.iter().map(|a| pv(*a)).collect();
+            format!("call @{}({}) -> {}", callee_name, args.join(", "), ret_ty)
+        }
+        Op::Phi { ty, incomings } => {
+            let inc: Vec<String> =
+                incomings.iter().map(|(b, v)| format!("[{}: {}]", pb(*b), pv(*v))).collect();
+            format!("phi {} {}", ty, inc.join(", "))
+        }
+        Op::MemCpy { elem_ty, dst, src, len } => {
+            format!("memcpy {} {}, {}, {}", elem_ty, pv(*dst), pv(*src), pv(*len))
+        }
+        Op::MemSet { elem_ty, dst, val, len } => {
+            format!("memset {} {}, {}, {}", elem_ty, pv(*dst), pv(*val), pv(*len))
+        }
+        Op::Br { target } => format!("br {}", pb(*target)),
+        Op::CondBr { cond, then_bb, else_bb } => {
+            format!("condbr {}, {}, {}", pv(*cond), pb(*then_bb), pb(*else_bb))
+        }
+        Op::Ret { val } => match val {
+            Some(v) => format!("ret {}", pv(*v)),
+            None => "ret".into(),
+        },
+        Op::Unreachable => "unreachable".into(),
+    };
+    format!("{lhs}{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::IntPred;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.begin_function("f", vec![Ty::I64], Ty::I64);
+        {
+            let mut fb = mb.func_builder(f);
+            let x = fb.add(Ty::I64, Value::Arg(0), Value::i64(1));
+            let c = fb.icmp(IntPred::Slt, Ty::I64, x, Value::i64(10));
+            let s = fb.select(Ty::I64, c, x, Value::i64(0));
+            fb.ret(Some(s));
+        }
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("fn @f(i64) -> i64 internal {"), "{text}");
+        assert!(text.contains("%0 = add i64 %arg0, 1:i64"), "{text}");
+        assert!(text.contains("%1 = icmp slt i64 %0, 10:i64"), "{text}");
+        assert!(text.contains("ret %2"), "{text}");
+    }
+
+    #[test]
+    fn prints_globals_and_decls() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.add_global("tbl", Ty::I32, 3, vec![Const::int(Ty::I32, 5)], false);
+        mb.declare_function("print_i64", vec![Ty::I64], Ty::Void);
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("global @tbl : i32 x 3 const internal = [5:i32]"), "{text}");
+        assert!(text.contains("declare @print_i64(i64) -> void"), "{text}");
+    }
+
+    #[test]
+    fn numbering_skips_void_results() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.begin_function("f", vec![], Ty::Void);
+        {
+            let mut fb = mb.func_builder(f);
+            let p = fb.alloca(Ty::I64, 1);
+            fb.store(Ty::I64, Value::i64(3), p);
+            let v = fb.load(Ty::I64, p);
+            let _ = fb.add(Ty::I64, v, v);
+            fb.ret(None);
+        }
+        let m = mb.finish();
+        let text = print_module(&m);
+        // store gets no %N; load is %1
+        assert!(text.contains("store i64 3:i64, %0"), "{text}");
+        assert!(text.contains("%1 = load i64, %0"), "{text}");
+    }
+}

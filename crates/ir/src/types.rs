@@ -1,0 +1,140 @@
+//! Scalar types of the mini-IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A first-class type.
+///
+/// The type system is deliberately small: enough to express the integer,
+/// floating point and pointer programs that the Oz-style passes manipulate,
+/// while keeping the interpreter and cost models simple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Ty {
+    /// No value (function return type only).
+    Void,
+    /// 1-bit boolean, produced by comparisons.
+    I1,
+    /// 8-bit signed integer.
+    I8,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Opaque pointer (element type carried by the memory operation).
+    Ptr,
+}
+
+impl Ty {
+    /// Returns `true` for the integer types (`i1`/`i8`/`i32`/`i64`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I1 | Ty::I8 | Ty::I32 | Ty::I64)
+    }
+
+    /// Returns `true` for the floating point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F64)
+    }
+
+    /// Returns `true` if values of this type can be stored in memory.
+    pub fn is_storable(self) -> bool {
+        !matches!(self, Ty::Void)
+    }
+
+    /// Bit width of an integer type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I8 => 8,
+            Ty::I32 => 32,
+            Ty::I64 => 64,
+            _ => panic!("bit_width on non-integer type {self}"),
+        }
+    }
+
+    /// Size in bytes when stored in memory (used by the size cost models).
+    pub fn byte_size(self) -> u32 {
+        match self {
+            Ty::Void => 0,
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 8,
+        }
+    }
+
+    /// Wraps `v` to the value range of this integer type (two's complement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn wrap(self, v: i64) -> i64 {
+        match self {
+            Ty::I1 => v & 1,
+            Ty::I8 => v as i8 as i64,
+            Ty::I32 => v as i32 as i64,
+            Ty::I64 => v,
+            _ => panic!("wrap on non-integer type {self}"),
+        }
+    }
+
+    /// All types, useful for exhaustive vocabulary construction.
+    pub const ALL: [Ty; 7] = [Ty::Void, Ty::I1, Ty::I8, Ty::I32, Ty::I64, Ty::F64, Ty::Ptr];
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Void => "void",
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_respects_width() {
+        assert_eq!(Ty::I8.wrap(130), -126);
+        assert_eq!(Ty::I8.wrap(-1), -1);
+        assert_eq!(Ty::I32.wrap(1 << 33), 0);
+        assert_eq!(Ty::I1.wrap(3), 1);
+        assert_eq!(Ty::I64.wrap(i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::I1.is_int());
+        assert!(!Ty::F64.is_int());
+        assert!(Ty::F64.is_float());
+        assert!(!Ty::Void.is_storable());
+        assert!(Ty::Ptr.is_storable());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Ty::Void.byte_size(), 0);
+        assert_eq!(Ty::I8.byte_size(), 1);
+        assert_eq!(Ty::I32.byte_size(), 4);
+        assert_eq!(Ty::Ptr.byte_size(), 8);
+    }
+
+    #[test]
+    fn display_round_trip_names() {
+        for ty in Ty::ALL {
+            assert!(!ty.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! SSA values and constants.
+
+use crate::inst::InstId;
+use crate::module::{FuncId, GlobalId};
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum Const {
+    /// An integer constant of the given integer type (value stored
+    /// sign-extended to 64 bits, always within the type's range).
+    Int { ty: Ty, val: i64 },
+    /// A 64-bit float constant.
+    Float(f64),
+    /// The null pointer.
+    Null,
+    /// An undefined value of the given type.
+    Undef(Ty),
+}
+
+impl Const {
+    /// Creates an integer constant, wrapping `val` into the range of `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not an integer type.
+    pub fn int(ty: Ty, val: i64) -> Const {
+        Const::Int { ty, val: ty.wrap(val) }
+    }
+
+    /// Creates a boolean (`i1`) constant.
+    pub fn bool(b: bool) -> Const {
+        Const::Int { ty: Ty::I1, val: b as i64 }
+    }
+
+    /// Creates a float constant.
+    pub fn float(v: f64) -> Const {
+        Const::Float(v)
+    }
+
+    /// The zero value of `ty` (null for pointers).
+    pub fn zero(ty: Ty) -> Const {
+        match ty {
+            Ty::F64 => Const::Float(0.0),
+            Ty::Ptr => Const::Null,
+            Ty::Void => Const::Undef(Ty::Void),
+            _ => Const::Int { ty, val: 0 },
+        }
+    }
+
+    /// The type of this constant.
+    pub fn ty(&self) -> Ty {
+        match *self {
+            Const::Int { ty, .. } => ty,
+            Const::Float(_) => Ty::F64,
+            Const::Null => Ty::Ptr,
+            Const::Undef(ty) => ty,
+        }
+    }
+
+    /// Integer payload if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match *self {
+            Const::Int { val, .. } => Some(val),
+            _ => None,
+        }
+    }
+
+    /// Float payload if this is a float constant.
+    pub fn as_float(&self) -> Option<f64> {
+        match *self {
+            Const::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this constant is the integer or float zero / null.
+    pub fn is_zero(&self) -> bool {
+        match *self {
+            Const::Int { val, .. } => val == 0,
+            Const::Float(v) => v == 0.0,
+            Const::Null => true,
+            Const::Undef(_) => false,
+        }
+    }
+
+    /// Returns `true` if this constant is the integer 1 or float 1.0.
+    pub fn is_one(&self) -> bool {
+        match *self {
+            Const::Int { val, .. } => val == 1,
+            Const::Float(v) => v == 1.0,
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for `Undef`.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, Const::Undef(_))
+    }
+}
+
+impl PartialEq for Const {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Const::Int { ty: a, val: x }, Const::Int { ty: b, val: y }) => a == b && x == y,
+            // Compare floats by bit pattern so that the IR value identity is
+            // well-defined (NaN == NaN as an IR constant).
+            (Const::Float(a), Const::Float(b)) => a.to_bits() == b.to_bits(),
+            (Const::Null, Const::Null) => true,
+            (Const::Undef(a), Const::Undef(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Const {}
+
+impl Hash for Const {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match *self {
+            Const::Int { ty, val } => {
+                0u8.hash(state);
+                ty.hash(state);
+                val.hash(state);
+            }
+            Const::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Const::Null => 2u8.hash(state),
+            Const::Undef(ty) => {
+                3u8.hash(state);
+                ty.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Const::Int { val, .. } => write!(f, "{val}"),
+            Const::Float(v) => write!(f, "{v:?}"),
+            Const::Null => f.write_str("null"),
+            Const::Undef(_) => f.write_str("undef"),
+        }
+    }
+}
+
+/// An SSA value: the operand of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The result of an instruction.
+    Inst(InstId),
+    /// The `n`-th function argument.
+    Arg(u32),
+    /// A literal constant.
+    Const(Const),
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// A function reference (used only as a call-analysis marker).
+    Func(FuncId),
+}
+
+impl Value {
+    /// Convenience constructor for an `i64` constant value.
+    pub fn i64(v: i64) -> Value {
+        Value::Const(Const::int(Ty::I64, v))
+    }
+
+    /// Convenience constructor for an `i32` constant value.
+    pub fn i32(v: i64) -> Value {
+        Value::Const(Const::int(Ty::I32, v))
+    }
+
+    /// Convenience constructor for an `i1` constant value.
+    pub fn bool(b: bool) -> Value {
+        Value::Const(Const::bool(b))
+    }
+
+    /// Convenience constructor for an `f64` constant value.
+    pub fn f64(v: f64) -> Value {
+        Value::Const(Const::Float(v))
+    }
+
+    /// The constant payload, if this value is a constant.
+    pub fn as_const(&self) -> Option<Const> {
+        match *self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The instruction id, if this value is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match *self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Returns the integer constant payload, if any.
+    pub fn const_int(&self) -> Option<i64> {
+        self.as_const().and_then(|c| c.as_int())
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Value {
+        Value::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn const_int_wraps() {
+        let c = Const::int(Ty::I8, 300);
+        assert_eq!(c.as_int(), Some(44));
+        assert_eq!(c.ty(), Ty::I8);
+    }
+
+    #[test]
+    fn zero_and_one_classification() {
+        assert!(Const::zero(Ty::I32).is_zero());
+        assert!(Const::zero(Ty::F64).is_zero());
+        assert!(Const::zero(Ty::Ptr).is_zero());
+        assert!(Const::int(Ty::I64, 1).is_one());
+        assert!(Const::Float(1.0).is_one());
+        assert!(!Const::Undef(Ty::I64).is_zero());
+    }
+
+    #[test]
+    fn float_identity_is_bitwise() {
+        let nan1 = Const::Float(f64::NAN);
+        let nan2 = Const::Float(f64::NAN);
+        assert_eq!(nan1, nan2);
+        let mut set = HashSet::new();
+        set.insert(nan1);
+        assert!(set.contains(&nan2));
+        assert_ne!(Const::Float(0.0), Const::Float(-0.0));
+    }
+
+    #[test]
+    fn value_helpers() {
+        assert_eq!(Value::i64(7).const_int(), Some(7));
+        assert_eq!(Value::bool(true).const_int(), Some(1));
+        assert!(Value::f64(2.5).is_const());
+        assert_eq!(Value::Arg(0).as_const(), None);
+    }
+}

@@ -1,0 +1,434 @@
+//! Structural and SSA verification.
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dom::DomTree;
+use crate::inst::{InstId, Op};
+use crate::module::{BlockId, FuncId, Function, Module};
+use crate::types::Ty;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found, if any.
+    pub func: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in function '{name}': {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(func: Option<&str>, message: impl Into<String>) -> VerifyError {
+    VerifyError { func: func.map(str::to_owned), message: message.into() }
+}
+
+/// Verifies every function of a module plus cross-function invariants.
+///
+/// # Errors
+///
+/// Returns the first violation found: malformed blocks (missing or misplaced
+/// terminators), dangling references, phi/predecessor mismatches, type
+/// errors, or SSA dominance violations.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let mut names = HashSet::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        if !names.insert(f.name.clone()) {
+            return Err(err(None, format!("duplicate function name '{}'", f.name)));
+        }
+        if !f.is_decl {
+            verify_function(m, fid)?;
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a single function body.
+///
+/// # Errors
+///
+/// See [`verify_module`].
+pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
+    let f = m.func(fid).expect("verify of removed function");
+    let name = Some(f.name.as_str());
+
+    if f.block(f.entry).is_none() {
+        return Err(err(name, "entry block was removed"));
+    }
+
+    // Structural block checks.
+    for b in f.block_ids() {
+        let block = f.block(b).unwrap();
+        if block.insts.is_empty() {
+            return Err(err(name, format!("{b} is empty (needs a terminator)")));
+        }
+        for (i, &id) in block.insts.iter().enumerate() {
+            let inst = f
+                .inst(id)
+                .ok_or_else(|| err(name, format!("{b} references removed instruction {id}")))?;
+            if inst.block != b {
+                return Err(err(name, format!("{id} back-reference points to {} not {b}", inst.block)));
+            }
+            let is_last = i + 1 == block.insts.len();
+            if inst.op.is_terminator() != is_last {
+                return Err(err(
+                    name,
+                    format!("{b}: terminator placement error at {id} ({})", inst.op.kind_name()),
+                ));
+            }
+            if matches!(inst.op, Op::Phi { .. }) {
+                // phis must be grouped at the top
+                let all_phis_before = block.insts[..i]
+                    .iter()
+                    .all(|&p| matches!(f.op(p), Op::Phi { .. }));
+                if !all_phis_before {
+                    return Err(err(name, format!("{b}: phi {id} not at block top")));
+                }
+            }
+        }
+    }
+
+    let cfg = Cfg::compute(f);
+    let reachable = cfg.reachable();
+
+    // The entry block must have no predecessors (as in LLVM); the
+    // interpreter's phi handling and loop transforms rely on this.
+    if cfg.preds.get(&f.entry).is_some_and(|p| !p.is_empty()) {
+        return Err(err(name, "entry block has predecessors"));
+    }
+
+    // Terminator targets and phi consistency.
+    for b in f.block_ids() {
+        for s in f.successors(b) {
+            if f.block(s).is_none() {
+                return Err(err(name, format!("{b} branches to removed block {s}")));
+            }
+        }
+    }
+    for &b in &cfg.rpo {
+        let preds: HashSet<BlockId> = cfg.preds[&b].iter().copied().filter(|p| reachable.contains(p)).collect();
+        for &id in &f.block(b).unwrap().insts {
+            if let Op::Phi { incomings, .. } = f.op(id) {
+                let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                if inc.len() != incomings.len() {
+                    return Err(err(name, format!("{id}: duplicate phi incoming blocks")));
+                }
+                for p in &inc {
+                    if !preds.contains(p) && reachable.contains(p) {
+                        return Err(err(name, format!("{id}: phi incoming {p} is not a predecessor of {b}")));
+                    }
+                }
+                for p in &preds {
+                    if !inc.contains(p) {
+                        return Err(err(name, format!("{id}: phi missing incoming for predecessor {p}")));
+                    }
+                }
+            }
+        }
+    }
+
+    // Operand existence, argument indices, global/function references, types.
+    for id in f.inst_ids() {
+        let op = f.op(id);
+        for v in op.operands() {
+            match v {
+                Value::Inst(d) => {
+                    if f.inst(d).is_none() {
+                        return Err(err(name, format!("{id} uses removed instruction {d}")));
+                    }
+                }
+                Value::Arg(i) => {
+                    if i as usize >= f.params.len() {
+                        return Err(err(name, format!("{id} uses out-of-range argument {i}")));
+                    }
+                }
+                Value::Global(g) => {
+                    if m.global(g).is_none() {
+                        return Err(err(name, format!("{id} references removed global")));
+                    }
+                }
+                Value::Func(fr) => {
+                    if m.func(fr).is_none() {
+                        return Err(err(name, format!("{id} references removed function")));
+                    }
+                }
+                Value::Const(_) => {}
+            }
+        }
+        verify_types(m, f, id, name)?;
+    }
+
+    // SSA dominance: every use of an instruction result must be dominated by
+    // its definition (phi uses checked at the incoming edge).
+    let dt = DomTree::compute(f, &cfg);
+    let pos: HashMap<InstId, (BlockId, usize)> = {
+        let mut map = HashMap::new();
+        for b in f.block_ids() {
+            for (i, &id) in f.block(b).unwrap().insts.iter().enumerate() {
+                map.insert(id, (b, i));
+            }
+        }
+        map
+    };
+    for &b in &cfg.rpo {
+        for (use_idx, &id) in f.block(b).unwrap().insts.iter().enumerate() {
+            match f.op(id) {
+                Op::Phi { incomings, .. } => {
+                    for (pred, v) in incomings {
+                        if !reachable.contains(pred) {
+                            continue;
+                        }
+                        if let Value::Inst(d) = v {
+                            let (db, _) = pos[d];
+                            if !dt.dominates(db, *pred) {
+                                return Err(err(
+                                    name,
+                                    format!("{id}: phi incoming {d} does not dominate edge from {pred}"),
+                                ));
+                            }
+                        }
+                    }
+                }
+                op => {
+                    for v in op.operands() {
+                        if let Value::Inst(d) = v {
+                            let (db, di) = pos[&d];
+                            let ok = if db == b { di < use_idx } else { dt.strictly_dominates(db, b) || dt.dominates(db, b) };
+                            if !ok {
+                                return Err(err(name, format!("{id}: use of {d} not dominated by its definition")));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Type of a value within function `f`.
+pub fn value_ty(_m: &Module, f: &Function, v: Value) -> Ty {
+    match v {
+        Value::Inst(id) => f.op(id).result_ty(),
+        Value::Arg(i) => f.params.get(i as usize).copied().unwrap_or(Ty::Void),
+        Value::Const(c) => c.ty(),
+        Value::Global(_) => Ty::Ptr,
+        Value::Func(_) => Ty::Ptr,
+    }
+}
+
+fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Result<(), VerifyError> {
+    let vt = |v: Value| value_ty(m, f, v);
+    let want = |cond: bool, msg: String| -> Result<(), VerifyError> {
+        if cond {
+            Ok(())
+        } else {
+            Err(err(name, msg))
+        }
+    };
+    match f.op(id) {
+        Op::Bin { op, ty, lhs, rhs } => {
+            want(
+                vt(*lhs) == *ty && vt(*rhs) == *ty,
+                format!("{id}: {} operand types {} / {} != {}", op.mnemonic(), vt(*lhs), vt(*rhs), ty),
+            )?;
+            want(
+                op.is_float() == ty.is_float(),
+                format!("{id}: {} on wrong type class {ty}", op.mnemonic()),
+            )
+        }
+        Op::Icmp { ty, lhs, rhs, .. } => want(
+            vt(*lhs) == *ty && vt(*rhs) == *ty && (ty.is_int() || *ty == Ty::Ptr),
+            format!("{id}: icmp operand type mismatch"),
+        ),
+        Op::Fcmp { lhs, rhs, .. } => want(
+            vt(*lhs) == Ty::F64 && vt(*rhs) == Ty::F64,
+            format!("{id}: fcmp operands must be f64"),
+        ),
+        Op::Select { ty, cond, tval, fval } => want(
+            vt(*cond) == Ty::I1 && vt(*tval) == *ty && vt(*fval) == *ty,
+            format!("{id}: select type mismatch"),
+        ),
+        Op::Cast { kind, to, val } => {
+            use crate::inst::CastKind::*;
+            let from = vt(*val);
+            let ok = match kind {
+                Trunc => from.is_int() && to.is_int() && from.bit_width() > to.bit_width(),
+                ZExt | SExt => from.is_int() && to.is_int() && from.bit_width() < to.bit_width(),
+                SiToFp => from.is_int() && *to == Ty::F64,
+                FpToSi => from == Ty::F64 && to.is_int(),
+            };
+            want(ok, format!("{id}: invalid cast {} from {from} to {to}", kind.mnemonic()))
+        }
+        Op::Alloca { ty, count } => want(
+            ty.is_storable() && *count > 0,
+            format!("{id}: invalid alloca"),
+        ),
+        Op::Load { ty, ptr } => want(
+            vt(*ptr) == Ty::Ptr && ty.is_storable(),
+            format!("{id}: load type mismatch"),
+        ),
+        Op::Store { ty, val, ptr } => want(
+            vt(*ptr) == Ty::Ptr && vt(*val) == *ty && ty.is_storable(),
+            format!("{id}: store type mismatch ({} into {})", vt(*val), ty),
+        ),
+        Op::Gep { ptr, index, .. } => want(
+            vt(*ptr) == Ty::Ptr && vt(*index).is_int(),
+            format!("{id}: gep type mismatch"),
+        ),
+        Op::Call { callee, args, ret_ty } => {
+            let callee_f = m
+                .func(*callee)
+                .ok_or_else(|| err(name, format!("{id}: call to removed function")))?;
+            want(
+                callee_f.ret == *ret_ty,
+                format!("{id}: call return type {} != {}", ret_ty, callee_f.ret),
+            )?;
+            want(
+                args.len() == callee_f.params.len(),
+                format!("{id}: call arity {} != {}", args.len(), callee_f.params.len()),
+            )?;
+            for (a, p) in args.iter().zip(&callee_f.params) {
+                want(vt(*a) == *p, format!("{id}: call argument type {} != {}", vt(*a), p))?;
+            }
+            Ok(())
+        }
+        Op::Phi { ty, incomings } => {
+            want(!incomings.is_empty(), format!("{id}: empty phi"))?;
+            for (_, v) in incomings {
+                want(vt(*v) == *ty, format!("{id}: phi incoming type {} != {ty}", vt(*v)))?;
+            }
+            Ok(())
+        }
+        Op::MemCpy { dst, src, len, .. } => want(
+            vt(*dst) == Ty::Ptr && vt(*src) == Ty::Ptr && vt(*len).is_int(),
+            format!("{id}: memcpy type mismatch"),
+        ),
+        Op::MemSet { dst, val, len, elem_ty } => want(
+            vt(*dst) == Ty::Ptr && vt(*val) == *elem_ty && vt(*len).is_int(),
+            format!("{id}: memset type mismatch"),
+        ),
+        Op::CondBr { cond, .. } => want(vt(*cond) == Ty::I1, format!("{id}: condbr condition must be i1")),
+        Op::Ret { val } => match (val, f.ret) {
+            (None, Ty::Void) => Ok(()),
+            (Some(v), ty) if ty != Ty::Void => want(vt(*v) == ty, format!("{id}: return type mismatch")),
+            _ => Err(err(name, format!("{id}: return/void mismatch"))),
+        },
+        Op::Br { .. } | Op::Unreachable => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("m");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let f = Function::new("f", vec![], Ty::Void);
+        let m = module_with(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry;
+        f.append_inst(e, Op::Alloca { ty: Ty::I64, count: 1 });
+        let m = module_with(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry;
+        let bad = f.append_inst(
+            e,
+            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::i32(1), rhs: Value::i64(2) },
+        );
+        f.append_inst(e, Op::Ret { val: Some(Value::Inst(bad)) });
+        let m = module_with(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("add"), "{e}");
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry;
+        // ret uses an instruction defined *after* it in the same block: build
+        // manually out of order.
+        let a = f.append_inst(
+            e,
+            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::i64(1), rhs: Value::i64(2) },
+        );
+        let b = f.append_inst(
+            e,
+            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Inst(a), rhs: Value::i64(3) },
+        );
+        f.append_inst(e, Op::Ret { val: Some(Value::Inst(b)) });
+        // swap a and b in the block order to break dominance
+        let blk = f.block_mut(e).unwrap();
+        blk.insts.swap(0, 1);
+        let m = module_with(f);
+        let msg = verify_module(&m).unwrap_err();
+        assert!(msg.message.contains("not dominated"), "{msg}");
+    }
+
+    #[test]
+    fn phi_missing_incoming_rejected() {
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry;
+        let a = f.add_block();
+        let b = f.add_block();
+        let merge = f.add_block();
+        f.append_inst(e, Op::CondBr { cond: Value::bool(true), then_bb: a, else_bb: b });
+        f.append_inst(a, Op::Br { target: merge });
+        f.append_inst(b, Op::Br { target: merge });
+        let phi = f.append_inst(merge, Op::Phi { ty: Ty::I64, incomings: vec![(a, Value::i64(1))] });
+        f.append_inst(merge, Op::Ret { val: Some(Value::Inst(phi)) });
+        let m = module_with(f);
+        let msg = verify_module(&m).unwrap_err();
+        assert!(msg.message.contains("missing incoming"), "{msg}");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut m = Module::new("m");
+        let callee = m.add_function(Function::new_decl("ext", vec![Ty::I64], Ty::Void));
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry;
+        f.append_inst(e, Op::Call { callee, args: vec![], ret_ty: Ty::Void });
+        f.append_inst(e, Op::Ret { val: None });
+        m.add_function(f);
+        let msg = verify_module(&m).unwrap_err();
+        assert!(msg.message.contains("arity"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new("m");
+        m.add_function(Function::new_decl("x", vec![], Ty::Void));
+        m.add_function(Function::new_decl("x", vec![], Ty::Void));
+        assert!(verify_module(&m).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Interpreter edge-semantics tests: the total, deterministic definitions
+//! that constant folding and the property tests rely on.
+
+use posetrl_ir::interp::{ExecError, InterpConfig, Interpreter, RtVal};
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::verifier::verify_module;
+
+fn run(text: &str, entry: &str, args: &[RtVal]) -> posetrl_ir::interp::ExecOutcome {
+    let m = parse_module(text).expect("parse");
+    verify_module(&m).expect("verify");
+    Interpreter::new(&m).run(entry, args)
+}
+
+#[test]
+fn integer_wrapping_matches_type_width() {
+    let text = r#"
+module "m"
+fn @f(i64) -> i64 internal {
+bb0:
+  %t = trunc %arg0 to i8
+  %d = add i8 %t, 100:i8
+  %w = sext %d to i64
+  ret %w
+}
+"#;
+    // 100 (i8) + 100 = 200 -> wraps to -56
+    let out = run(text, "f", &[RtVal::Int(100)]);
+    assert_eq!(out.result, Ok(Some(RtVal::Int(-56))));
+}
+
+#[test]
+fn srem_sign_follows_dividend() {
+    let text = r#"
+module "m"
+fn @f(i64, i64) -> i64 internal {
+bb0:
+  %r = srem i64 %arg0, %arg1
+  ret %r
+}
+"#;
+    assert_eq!(run(text, "f", &[RtVal::Int(-7), RtVal::Int(3)]).result, Ok(Some(RtVal::Int(-1))));
+    assert_eq!(run(text, "f", &[RtVal::Int(7), RtVal::Int(-3)]).result, Ok(Some(RtVal::Int(1))));
+}
+
+#[test]
+fn sdiv_min_by_minus_one_wraps() {
+    let text = r#"
+module "m"
+fn @f(i64) -> i64 internal {
+bb0:
+  %r = sdiv i64 %arg0, -1:i64
+  ret %r
+}
+"#;
+    // defined as wrapping, not UB: i64::MIN / -1 == i64::MIN
+    let out = run(text, "f", &[RtVal::Int(i64::MIN)]);
+    assert_eq!(out.result, Ok(Some(RtVal::Int(i64::MIN))));
+}
+
+#[test]
+fn negative_gep_offset_out_of_bounds_traps() {
+    let text = r#"
+module "m"
+global @g : i64 x 4 mutable internal = []
+fn @f() -> i64 internal {
+bb0:
+  %p = gep i64, @g, -1:i64
+  %v = load i64, %p
+  ret %v
+}
+"#;
+    assert_eq!(run(text, "f", &[]).result, Err(ExecError::OutOfBounds));
+}
+
+#[test]
+fn gep_negative_then_positive_is_fine() {
+    let text = r#"
+module "m"
+global @g : i64 x 4 mutable internal = [10:i64, 20:i64, 30:i64, 40:i64]
+fn @f() -> i64 internal {
+bb0:
+  %p = gep i64, @g, 3:i64
+  %q = gep i64, %p, -2:i64
+  %v = load i64, %q
+  ret %v
+}
+"#;
+    assert_eq!(run(text, "f", &[]).result, Ok(Some(RtVal::Int(20))));
+}
+
+#[test]
+fn overlapping_memcpy_is_element_ordered() {
+    // memcpy reads the whole source snapshot first (memmove semantics)
+    let text = r#"
+module "m"
+global @g : i64 x 4 mutable internal = [1:i64, 2:i64, 3:i64, 4:i64]
+fn @f() -> i64 internal {
+bb0:
+  %src = gep i64, @g, 0:i64
+  %dst = gep i64, @g, 1:i64
+  memcpy i64 %dst, %src, 3:i64
+  %p = gep i64, @g, 3:i64
+  %v = load i64, %p
+  ret %v
+}
+"#;
+    // snapshot copy: g becomes [1,1,2,3]
+    assert_eq!(run(text, "f", &[]).result, Ok(Some(RtVal::Int(3))));
+}
+
+#[test]
+fn store_wrong_type_traps() {
+    let text = r#"
+module "m"
+global @g : i64 x 1 mutable internal = []
+fn @f() -> i64 internal {
+bb0:
+  store i32 1:i32, @g
+  ret 0:i64
+}
+"#;
+    match run(text, "f", &[]).result {
+        Err(ExecError::TypeError(_)) => {}
+        other => panic!("expected type error, got {other:?}"),
+    }
+}
+
+#[test]
+fn global_state_resets_between_runs() {
+    let text = r#"
+module "m"
+global @counter : i64 x 1 mutable internal = [0:i64]
+fn @main() -> i64 internal {
+bb0:
+  %v = load i64, @counter
+  %v2 = add i64 %v, 1:i64
+  store i64 %v2, @counter
+  ret %v2
+}
+"#;
+    let m = parse_module(text).unwrap();
+    for _ in 0..3 {
+        let out = Interpreter::new(&m).run("main", &[]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(1))), "each run starts fresh");
+    }
+}
+
+#[test]
+fn profile_counts_match_control_flow() {
+    let text = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}
+"#;
+    let m = parse_module(text).unwrap();
+    let out = Interpreter::new(&m).run("main", &[]);
+    let fid = m.func_by_name("main").unwrap();
+    let f = m.func(fid).unwrap();
+    // the add executes exactly 10 times, the compare 11 times
+    let count_of = |kind: &str| -> u64 {
+        f.inst_ids()
+            .iter()
+            .filter(|&&id| f.op(id).kind_name() == kind)
+            .map(|&id| out.profile.counts.get(&(fid, id)).copied().unwrap_or(0))
+            .sum()
+    };
+    assert_eq!(count_of("add"), 10);
+    assert_eq!(count_of("icmp"), 11);
+    assert_eq!(count_of("condbr"), 11);
+}
+
+#[test]
+fn fuel_counts_phis_lazily_not_at_block_entry() {
+    // phi evaluation at block entry must not consume unbounded fuel
+    let text = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb1: %i2]
+  %i2 = add i64 %i, 1:i64
+  %c = icmp slt i64 %i2, 100:i64
+  condbr %c, bb1, bb2
+bb2:
+  ret %i2
+}
+"#;
+    let m = parse_module(text).unwrap();
+    let out = Interpreter::with_config(&m, InterpConfig { fuel: 5_000, max_depth: 8 })
+        .run("main", &[]);
+    assert_eq!(out.result, Ok(Some(RtVal::Int(100))));
+}

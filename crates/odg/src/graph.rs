@@ -1,0 +1,137 @@
+//! The Oz Dependence Graph.
+//!
+//! Nodes are the unique transformation passes of the `-Oz` sequence; for
+//! every consecutive pair `(a, b)` in the sequence there is one edge
+//! `a → b` (deduplicated). Nodes whose total degree reaches the threshold
+//! `k` are *critical nodes*; the paper chooses `k ≥ 8`, which selects
+//! `simplifycfg`, `instcombine` and `loop-simplify`.
+//!
+//! (The paper's prose describes the edge for "`simplifycfg` appears after
+//! `instcombine`" as pointing from `simplifycfg` to `instcombine`, while
+//! its walk examples follow the forward program order; degrees are
+//! identical either way, and we store edges in forward order so that walks
+//! read like pipelines.)
+
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The ODG.
+#[derive(Debug, Clone, Serialize)]
+pub struct OzDependenceGraph {
+    nodes: Vec<&'static str>,
+    /// Forward edges `a -> b` (deduplicated, order-preserving).
+    edges: Vec<(&'static str, &'static str)>,
+}
+
+impl OzDependenceGraph {
+    /// Builds the ODG from an arbitrary pass sequence.
+    pub fn from_sequence(seq: &[&'static str]) -> OzDependenceGraph {
+        let mut nodes = Vec::new();
+        let mut seen_nodes = BTreeSet::new();
+        for &p in seq {
+            if seen_nodes.insert(p) {
+                nodes.push(p);
+            }
+        }
+        let mut edges = Vec::new();
+        let mut seen_edges = BTreeSet::new();
+        for w in seq.windows(2) {
+            let e = (w[0], w[1]);
+            if e.0 != e.1 && seen_edges.insert(e) {
+                edges.push(e);
+            }
+        }
+        OzDependenceGraph { nodes, edges }
+    }
+
+    /// Builds the ODG of LLVM 10's `-Oz` sequence (Table I).
+    pub fn from_oz() -> OzDependenceGraph {
+        let seq = posetrl_opt::pipelines::oz();
+        Self::from_sequence(&seq)
+    }
+
+    /// The node set, in first-appearance order.
+    pub fn nodes(&self) -> &[&'static str] {
+        &self.nodes
+    }
+
+    /// The deduplicated edge set, in first-appearance order.
+    pub fn edges(&self) -> &[(&'static str, &'static str)] {
+        &self.edges
+    }
+
+    /// Out-neighbors of `node`, in edge order.
+    pub fn successors(&self, node: &str) -> Vec<&'static str> {
+        self.edges.iter().filter(|(a, _)| *a == node).map(|(_, b)| *b).collect()
+    }
+
+    /// Total degree (in + out) per node.
+    pub fn degrees(&self) -> BTreeMap<&'static str, usize> {
+        let mut deg: BTreeMap<&'static str, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        for (a, b) in &self.edges {
+            *deg.get_mut(a).unwrap() += 1;
+            *deg.get_mut(b).unwrap() += 1;
+        }
+        deg
+    }
+
+    /// Nodes with degree ≥ `k`, most-connected first.
+    pub fn critical_nodes(&self, k: usize) -> Vec<(&'static str, usize)> {
+        let mut v: Vec<(&'static str, usize)> =
+            self.degrees().into_iter().filter(|(_, d)| *d >= k).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Returns `true` if `a -> b` is an ODG edge (in either stored
+    /// direction, since the paper's prose and examples disagree on edge
+    /// orientation and walks must respect adjacency, not direction).
+    pub fn adjacent(&self, a: &str, b: &str) -> bool {
+        self.edges.iter().any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oz_graph_has_54_nodes() {
+        let g = OzDependenceGraph::from_oz();
+        assert_eq!(g.nodes().len(), 54, "54 unique Oz passes");
+    }
+
+    #[test]
+    fn paper_critical_nodes_at_k8() {
+        // "We choose a degree k >= 8 ... simplifycfg, instcombine and
+        // loop-simplify ... degree of 11, 10 and 8 respectively."
+        let g = OzDependenceGraph::from_oz();
+        let critical = g.critical_nodes(8);
+        let names: Vec<&str> = critical.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"simplifycfg"), "critical: {critical:?}");
+        assert!(names.contains(&"instcombine"), "critical: {critical:?}");
+        assert!(names.contains(&"loop-simplify"), "critical: {critical:?}");
+        let deg = g.degrees();
+        assert_eq!(deg["simplifycfg"], 11, "degrees: {deg:?}");
+        assert_eq!(deg["instcombine"], 10);
+        assert_eq!(deg["loop-simplify"], 8);
+    }
+
+    #[test]
+    fn edges_are_consecutive_pairs() {
+        let g = OzDependenceGraph::from_sequence(&["a", "b", "c", "a", "b"]);
+        assert_eq!(g.edges(), &[("a", "b"), ("b", "c"), ("c", "a")]);
+        assert_eq!(g.degrees()["a"], 2, "a: one outgoing (a,b) + one incoming (c,a)");
+        assert_eq!(g.degrees()["b"], 2);
+        assert!(g.adjacent("a", "b"));
+        assert!(g.adjacent("b", "a"), "adjacency is orientation-insensitive");
+        let line = OzDependenceGraph::from_sequence(&["a", "b", "c"]);
+        assert!(!line.adjacent("a", "c"));
+    }
+
+    #[test]
+    fn self_pairs_are_not_edges() {
+        let g = OzDependenceGraph::from_sequence(&["x", "x", "y"]);
+        assert_eq!(g.edges(), &[("x", "y")]);
+    }
+}

@@ -1,0 +1,88 @@
+//! `mini-opt`: the workspace's answer to LLVM's `opt` tool.
+//!
+//! ```text
+//! mini-opt [-passes | -O0|-O1|-O2|-O3|-Os|-Oz | -<pass>...] [--stats] [file.ir]
+//! ```
+//!
+//! Reads textual IR from the file (or stdin), applies the requested passes
+//! or pipeline in order, and prints the optimized module. `-passes` lists
+//! every registered pass. `--stats` prints instruction/block counts before
+//! and after instead of the module text.
+
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::printer::print_module;
+use posetrl_ir::verifier::verify_module;
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pm = PassManager::new();
+
+    if args.iter().any(|a| a == "-passes") {
+        for name in pm.pass_names() {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let mut passes: Vec<String> = Vec::new();
+    let mut file: Option<String> = None;
+    let mut stats = false;
+    for a in args {
+        if a == "--stats" {
+            stats = true;
+        } else if let Some(p) = pipelines::by_name(&a) {
+            passes.extend(p.iter().map(|s| s.to_string()));
+        } else if let Some(name) = a.strip_prefix('-') {
+            passes.push(name.to_string());
+        } else {
+            file = Some(a);
+        }
+    }
+
+    let text = match file {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("mini-opt: cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            buf
+        }
+    };
+
+    let mut module = match parse_module(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mini-opt: parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = verify_module(&module) {
+        eprintln!("mini-opt: input does not verify: {e}");
+        std::process::exit(1);
+    }
+
+    let before_insts = module.num_insts();
+    for p in &passes {
+        if let Err(e) = pm.run_pass(&mut module, p) {
+            eprintln!("mini-opt: {e} (see `mini-opt -passes`)");
+            std::process::exit(2);
+        }
+    }
+    if let Err(e) = verify_module(&module) {
+        eprintln!("mini-opt: INTERNAL ERROR — output does not verify: {e}");
+        std::process::exit(3);
+    }
+
+    if stats {
+        println!("instructions: {before_insts} -> {}", module.num_insts());
+        println!("functions:    {}", module.func_ids().count());
+        println!("globals:      {}", module.global_ids().count());
+    } else {
+        print!("{}", print_module(&module));
+    }
+}

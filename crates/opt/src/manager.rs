@@ -1,0 +1,165 @@
+//! Pass registry and pipeline execution.
+
+use crate::passes;
+use crate::Pass;
+use posetrl_ir::Module;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned when a pipeline names a pass that is not registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPassError {
+    /// The unknown name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownPassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown pass '{}'", self.name)
+    }
+}
+
+impl std::error::Error for UnknownPassError {}
+
+/// Applies passes and pipelines by name, mirroring LLVM's `opt` tool.
+///
+/// Names accept an optional leading `-` so that sequences copied verbatim
+/// from the paper's tables (`-simplifycfg -sroa ...`) work unchanged.
+pub struct PassManager {
+    registry: BTreeMap<&'static str, Box<dyn Pass + Send + Sync>>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.registry.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// Creates a manager with every pass in this crate registered.
+    pub fn new() -> PassManager {
+        let mut registry: BTreeMap<&'static str, Box<dyn Pass + Send + Sync>> = BTreeMap::new();
+        for pass in passes::all_passes() {
+            registry.insert(pass.name(), pass);
+        }
+        PassManager { registry }
+    }
+
+    /// The sorted list of registered pass names.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.registry.keys().copied().collect()
+    }
+
+    /// Returns `true` if `name` (with or without a leading `-`) is registered.
+    pub fn has_pass(&self, name: &str) -> bool {
+        self.registry.contains_key(name.trim_start_matches('-'))
+    }
+
+    /// Runs a single pass by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPassError`] if the name is not registered.
+    pub fn run_pass(&self, module: &mut Module, name: &str) -> Result<bool, UnknownPassError> {
+        let key = name.trim_start_matches('-');
+        match self.registry.get(key) {
+            Some(pass) => Ok(pass.run(module)),
+            None => Err(UnknownPassError { name: name.to_string() }),
+        }
+    }
+
+    /// Runs a sequence of passes in order; returns `true` if any changed the
+    /// module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPassError`] on the first unknown name (passes before
+    /// it will already have run).
+    pub fn run_pipeline<S: AsRef<str>>(
+        &self,
+        module: &mut Module,
+        names: &[S],
+    ) -> Result<bool, UnknownPassError> {
+        let mut changed = false;
+        for name in names {
+            changed |= self.run_pass(module, name.as_ref())?;
+        }
+        Ok(changed)
+    }
+
+    /// Runs a whitespace-separated pass string, e.g.
+    /// `"-simplifycfg -sroa -early-cse"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPassError`] on the first unknown name.
+    pub fn run_flags(&self, module: &mut Module, flags: &str) -> Result<bool, UnknownPassError> {
+        let names: Vec<&str> = flags.split_whitespace().collect();
+        self.run_pipeline(module, &names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::parser::parse_module;
+
+    #[test]
+    fn registry_contains_every_oz_pass_name() {
+        let pm = PassManager::new();
+        // The unique pass names of LLVM 10's Oz sequence (Table I).
+        let oz_unique = [
+            "ee-instrument", "simplifycfg", "sroa", "early-cse", "lower-expect", "forceattrs",
+            "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt",
+            "mem2reg", "deadargelim", "instcombine", "prune-eh", "inline", "functionattrs",
+            "early-cse-memssa", "speculative-execution", "jump-threading",
+            "correlated-propagation", "loop-simplify", "lcssa", "loop-rotate", "licm",
+            "loop-unswitch", "tailcallelim", "reassociate", "indvars", "loop-idiom",
+            "loop-deletion", "loop-unroll", "mldst-motion", "gvn", "memcpyopt", "sccp", "bdce",
+            "dse", "adce", "barrier", "elim-avail-extern", "rpo-functionattrs", "globaldce",
+            "float2int", "lower-constant-intrinsics", "loop-distribute", "loop-vectorize",
+            "loop-load-elim", "alignment-from-assumptions", "strip-dead-prototypes",
+            "constmerge", "loop-sink", "instsimplify", "div-rem-pairs",
+        ];
+        for name in oz_unique {
+            assert!(pm.has_pass(name), "missing pass: {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_pass_is_an_error() {
+        let pm = PassManager::new();
+        let mut m = Module::new("m");
+        let e = pm.run_pass(&mut m, "-frobnicate").unwrap_err();
+        assert_eq!(e.name, "-frobnicate");
+    }
+
+    #[test]
+    fn flags_string_runs() {
+        let pm = PassManager::new();
+        let mut m = parse_module(
+            r#"
+module "m"
+fn @f(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 %arg0, %p
+  %v = load i64, %p
+  ret %v
+}
+"#,
+        )
+        .unwrap();
+        let changed = pm.run_flags(&mut m, "-mem2reg -instcombine -adce").unwrap();
+        assert!(changed);
+        assert_eq!(m.num_insts(), 1);
+    }
+}

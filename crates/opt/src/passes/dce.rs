@@ -1,0 +1,492 @@
+//! Dead-code elimination family: `-adce`, `-bdce`, `-dse`.
+
+use crate::util::{is_removable, may_alias, pointer_root, simplify_trivial_phis, PtrRoot};
+use crate::Pass;
+use posetrl_ir::{BinOp, Const, Function, InstId, Module, Op, Ty, Value};
+use std::collections::{HashMap, HashSet};
+
+/// `-adce`: aggressive dead-code elimination.
+///
+/// Marks roots (side-effecting instructions and terminators) and propagates
+/// liveness backwards through operands; everything unmarked is removed. The
+/// worklist formulation removes dead phi *cycles* — e.g. an induction
+/// variable that only feeds itself — which a use-count sweep cannot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Adce;
+
+impl Pass for Adce {
+    fn name(&self) -> &'static str {
+        "adce"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= adce_function(&snapshot, f);
+        });
+        changed
+    }
+}
+
+fn adce_function(m: &Module, f: &mut Function) -> bool {
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: Vec<InstId> = Vec::new();
+    for id in f.inst_ids() {
+        let op = f.op(id);
+        if op.is_terminator() || !is_removable(m, f, id) {
+            live.insert(id);
+            work.push(id);
+        }
+    }
+    while let Some(id) = work.pop() {
+        for v in f.op(id).operands() {
+            if let Value::Inst(d) = v {
+                if live.insert(d) {
+                    work.push(d);
+                }
+            }
+        }
+    }
+    let dead: Vec<InstId> = f.inst_ids().into_iter().filter(|id| !live.contains(id)).collect();
+    if dead.is_empty() {
+        return false;
+    }
+    for id in &dead {
+        // break operand links first so removal order does not matter
+        f.replace_all_uses(Value::Inst(*id), Value::Const(Const::Undef(f.op(*id).result_ty())));
+    }
+    for id in dead {
+        f.remove_inst(id);
+    }
+    simplify_trivial_phis(f);
+    true
+}
+
+/// `-bdce`: bit-tracking dead-code elimination.
+///
+/// Computes known-zero bit masks forward and uses them to collapse masking
+/// operations whose effect is a no-op (or a constant), then sweeps dead code
+/// like `-adce`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bdce;
+
+impl Pass for Bdce {
+    fn name(&self) -> &'static str {
+        "bdce"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= bit_simplify(f);
+            changed |= adce_function(&snapshot, f);
+        });
+        changed
+    }
+}
+
+/// Bits guaranteed zero in `v` (within the width of `ty`), one analysis step
+/// deep through the defining instruction.
+fn known_zero(f: &Function, v: Value, ty: Ty) -> u64 {
+    let width = ty.bit_width();
+    let ty_mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let kz = match v {
+        Value::Const(c) => match c.as_int() {
+            Some(i) => !(i as u64),
+            None => 0,
+        },
+        Value::Inst(id) => match f.op(id) {
+            Op::Bin { op: BinOp::And, lhs, rhs, .. } => {
+                known_zero(f, *lhs, ty) | known_zero(f, *rhs, ty)
+            }
+            Op::Bin { op: BinOp::Or, lhs, rhs, .. } => {
+                known_zero(f, *lhs, ty) & known_zero(f, *rhs, ty)
+            }
+            Op::Bin { op: BinOp::Shl, rhs, .. } => match rhs.const_int() {
+                Some(k) if k >= 0 && (k as u32) < width => (1u64 << k) - 1,
+                _ => 0,
+            },
+            Op::Bin { op: BinOp::LShr, rhs, .. } => match rhs.const_int() {
+                Some(k) if k > 0 && (k as u32) < width => {
+                    // top k bits (within the type width) become zero
+                    let keep = width - k as u32;
+                    !((1u64 << keep) - 1)
+                }
+                _ => 0,
+            },
+            Op::Cast { kind: posetrl_ir::CastKind::ZExt, val, .. } => {
+                // bits above the source width are zero
+                let src_ty = match val {
+                    Value::Inst(i) => f.op(*i).result_ty(),
+                    Value::Const(c) => c.ty(),
+                    Value::Arg(i) => f.params.get(*i as usize).copied().unwrap_or(Ty::I64),
+                    _ => Ty::I64,
+                };
+                if src_ty.is_int() && src_ty.bit_width() < width {
+                    !((1u64 << src_ty.bit_width()) - 1)
+                } else {
+                    0
+                }
+            }
+            Op::Icmp { .. } | Op::Fcmp { .. } => !1u64,
+            _ => 0,
+        },
+        _ => 0,
+    };
+    kz & ty_mask
+}
+
+fn bit_simplify(f: &mut Function) -> bool {
+    let mut changed = false;
+    for id in f.inst_ids() {
+        let Some(inst) = f.inst(id) else { continue };
+        let Op::Bin { op, ty, lhs, rhs } = inst.op else { continue };
+        if !ty.is_int() {
+            continue;
+        }
+        let width = ty.bit_width();
+        let ty_mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        match op {
+            BinOp::And => {
+                if let Some(c) = rhs.const_int() {
+                    let possibly_set = !known_zero(f, lhs, ty) & ty_mask;
+                    // mask keeps every possibly-set bit -> and is a no-op
+                    if possibly_set & !(c as u64) == 0 {
+                        f.replace_all_uses(Value::Inst(id), lhs);
+                        f.remove_inst(id);
+                        changed = true;
+                    }
+                }
+            }
+            BinOp::Or => {
+                if let Some(c) = rhs.const_int() {
+                    let possibly_set = !known_zero(f, lhs, ty) & ty_mask;
+                    // every possibly-set bit is already in the constant
+                    if possibly_set & !(c as u64) == 0 {
+                        f.replace_all_uses(Value::Inst(id), Value::Const(Const::int(ty, c)));
+                        f.remove_inst(id);
+                        changed = true;
+                    }
+                }
+            }
+            BinOp::SRem => {
+                // x srem 2^k == and x, 2^k-1 when x is known non-negative
+                if let Some(c) = rhs.const_int() {
+                    if c > 1 && (c as u64).is_power_of_two() {
+                        let sign_bit = 1u64 << (width - 1);
+                        if known_zero(f, lhs, ty) & sign_bit != 0 {
+                            f.inst_mut(id).unwrap().op = Op::Bin {
+                                op: BinOp::And,
+                                ty,
+                                lhs,
+                                rhs: Value::Const(Const::int(ty, c - 1)),
+                            };
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// `-dse`: dead-store elimination.
+///
+/// Removes (a) stores overwritten by a later store to the same address in
+/// the same block with no intervening reader, and (b) all stores to
+/// non-escaping allocas that are never loaded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dse;
+
+impl Pass for Dse {
+    fn name(&self) -> &'static str {
+        "dse"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= dse_block_local(&snapshot, f);
+            changed |= dse_dead_slots(f);
+        });
+        changed
+    }
+}
+
+fn dse_block_local(m: &Module, f: &mut Function) -> bool {
+    let mut dead: Vec<InstId> = Vec::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // pending[ptr value] = earlier store awaiting a decision
+        let mut pending: HashMap<Value, InstId> = HashMap::new();
+        for &id in &f.block(b).unwrap().insts.clone() {
+            match f.op(id) {
+                Op::Store { ptr, .. } => {
+                    if let Some(&prev) = pending.get(ptr) {
+                        // same pointer value overwritten with no reader between
+                        dead.push(prev);
+                    }
+                    // a store to P clobbers knowledge about aliasing pointers
+                    pending.retain(|p, _| !may_alias(f, *p, *ptr));
+                    pending.insert(*ptr, id);
+                }
+                Op::Load { ptr, .. } => {
+                    pending.retain(|p, _| !may_alias(f, *p, *ptr));
+                }
+                Op::MemCpy { src, dst, .. } => {
+                    pending.retain(|p, _| !may_alias(f, *p, *src) && !may_alias(f, *p, *dst));
+                }
+                Op::MemSet { dst, .. } => {
+                    pending.retain(|p, _| !may_alias(f, *p, *dst));
+                }
+                Op::Call { callee, .. } => {
+                    if !crate::util::call_is_readonly(m, *callee)
+                        || !crate::util::call_is_pure(m, *callee)
+                    {
+                        // the callee may read any memory we can't prove local
+                        pending.retain(|p, _| {
+                            matches!(pointer_root(f, *p).0, PtrRoot::Alloca(a) if !crate::util::alloca_escapes(f, a))
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if dead.is_empty() {
+        return false;
+    }
+    dead.sort();
+    dead.dedup();
+    for id in dead {
+        f.remove_inst(id);
+    }
+    true
+}
+
+fn dse_dead_slots(f: &mut Function) -> bool {
+    // allocas that never escape and are never loaded from (directly or via
+    // geps/memcpy): their stores are unobservable
+    let mut candidates: Vec<InstId> = Vec::new();
+    'next: for id in f.inst_ids() {
+        if !matches!(f.op(id), Op::Alloca { .. }) {
+            continue;
+        }
+        if crate::util::alloca_escapes(f, id) {
+            continue;
+        }
+        for user in f.inst_ids() {
+            match f.op(user) {
+                Op::Load { ptr, .. } => {
+                    if pointer_root(f, *ptr).0 == PtrRoot::Alloca(id) {
+                        continue 'next;
+                    }
+                }
+                Op::MemCpy { src, .. } => {
+                    if pointer_root(f, *src).0 == PtrRoot::Alloca(id) {
+                        continue 'next;
+                    }
+                }
+                _ => {}
+            }
+        }
+        candidates.push(id);
+    }
+    let mut changed = false;
+    for alloca in candidates {
+        for user in f.inst_ids() {
+            let remove = match f.op(user) {
+                Op::Store { ptr, .. } => pointer_root(f, *ptr).0 == PtrRoot::Alloca(alloca),
+                Op::MemSet { dst, .. } => pointer_root(f, *dst).0 == PtrRoot::Alloca(alloca),
+                Op::MemCpy { dst, .. } => pointer_root(f, *dst).0 == PtrRoot::Alloca(alloca),
+                _ => false,
+            };
+            if remove {
+                f.remove_inst(user);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn adce_removes_dead_phi_cycle() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %dead = phi i64 [bb0: 0:i64], [bb2: %dead2]
+  %c = icmp slt i64 %i, %arg0
+  condbr %c, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 1:i64
+  %dead2 = mul i64 %dead, 3:i64
+  br bb1
+bb3:
+  ret %i
+}
+"#,
+            &["adce"],
+            &[vec![RtVal::Int(5)]],
+        );
+        assert_eq!(count_ops(&m, "phi"), 1, "dead accumulator phi cycle removed");
+        assert_eq!(count_ops(&m, "mul"), 0);
+    }
+
+    #[test]
+    fn adce_keeps_side_effects() {
+        let m = assert_preserves(
+            r#"
+module "m"
+declare @print_i64(i64) -> void
+fn @main() -> void internal {
+bb0:
+  %x = add i64 1:i64, 2:i64
+  call @print_i64(%x) -> void
+  %dead = add i64 3:i64, 4:i64
+  ret
+}
+"#,
+            &["adce"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "call"), 1);
+        assert_eq!(count_ops(&m, "add"), 1, "the call operand stays; the dead add goes");
+    }
+
+    #[test]
+    fn bdce_collapses_redundant_mask() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = and i64 %arg0, 255:i64
+  %b = and i64 %a, 255:i64
+  %c = and i64 %b, 4095:i64
+  ret %c
+}
+"#,
+            &["bdce"],
+            &[vec![RtVal::Int(-1)], vec![RtVal::Int(77)]],
+        );
+        assert_eq!(count_ops(&m, "and"), 1, "only the first mask survives");
+    }
+
+    #[test]
+    fn bdce_srem_power_of_two() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %nn = and i64 %arg0, 1023:i64
+  %r = srem i64 %nn, 8:i64
+  ret %r
+}
+"#,
+            &["bdce"],
+            &[vec![RtVal::Int(13)], vec![RtVal::Int(-13)]],
+        );
+        assert_eq!(count_ops(&m, "srem"), 0);
+    }
+
+    #[test]
+    fn dse_removes_overwritten_store() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @g : i64 x 1 mutable internal = []
+fn @main() -> i64 internal {
+bb0:
+  store i64 1:i64, @g
+  store i64 2:i64, @g
+  %v = load i64, @g
+  ret %v
+}
+"#,
+            &["dse"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "store"), 1);
+    }
+
+    #[test]
+    fn dse_keeps_store_with_intervening_load() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @g : i64 x 1 mutable internal = []
+fn @main() -> i64 internal {
+bb0:
+  store i64 1:i64, @g
+  %v = load i64, @g
+  store i64 2:i64, @g
+  %w = load i64, @g
+  %r = add i64 %v, %w
+  ret %r
+}
+"#,
+            &["dse"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "store"), 2);
+    }
+
+    #[test]
+    fn dse_removes_stores_to_never_loaded_slot() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 4
+  %q = gep i64, %p, 1:i64
+  store i64 %arg0, %q
+  memset i64 %p, 0:i64, 4:i64
+  ret %arg0
+}
+"#,
+            &["dse"],
+            &[vec![RtVal::Int(3)]],
+        );
+        assert_eq!(count_ops(&m, "store"), 0);
+        assert_eq!(count_ops(&m, "memset"), 0);
+    }
+
+    #[test]
+    fn dse_respects_aliasing_unknown_pointers() {
+        let m = assert_preserves(
+            r#"
+module "m"
+declare @get(ptr) -> void
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 1:i64, %p
+  call @get(%p) -> void
+  store i64 2:i64, %p
+  %v = load i64, %p
+  ret %v
+}
+"#,
+            &["dse"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "store"), 2, "call may observe the first store");
+    }
+}

@@ -1,0 +1,151 @@
+//! `-gvn`: global value numbering with load elimination.
+//!
+//! Reuses the dominator-scoped value numbering of `early-cse` and extends
+//! memory handling: when a function is free of memory writes (the common
+//! case after `mem2reg`/`dse`), loads are value-numbered across the whole
+//! dominator tree; otherwise forwarding stays block-local like
+//! `early-cse-memssa`.
+
+use crate::passes::early_cse;
+use crate::util::call_is_readonly;
+use crate::Pass;
+use posetrl_ir::analysis::{Cfg, DomTree};
+use posetrl_ir::{Function, Module, Op, Ty, Value};
+use std::collections::HashMap;
+
+/// The `gvn` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gvn;
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= gvn_function(&snapshot, f);
+        });
+        changed
+    }
+}
+
+fn function_writes_memory(m: &Module, f: &Function) -> bool {
+    f.inst_ids().iter().any(|&id| match f.op(id) {
+        Op::Store { .. } | Op::MemCpy { .. } | Op::MemSet { .. } => true,
+        Op::Call { callee, .. } => !call_is_readonly(m, *callee),
+        _ => false,
+    })
+}
+
+fn gvn_function(m: &Module, f: &mut Function) -> bool {
+    // The early-cse machinery provides scoped pure-expression numbering and
+    // block-local memory forwarding.
+    let mut changed = early_cse::cse_function(m, f, true);
+
+    // Whole-tree load numbering when nothing in the function writes memory.
+    if !function_writes_memory(m, f) {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let mut stack: Vec<(posetrl_ir::BlockId, HashMap<(Value, Ty), Value>)> =
+            vec![(f.entry, HashMap::new())];
+        while let Some((b, mut table)) = stack.pop() {
+            for id in f.block(b).unwrap().insts.clone() {
+                if f.inst(id).is_none() {
+                    continue;
+                }
+                if let Op::Load { ty, ptr } = f.op(id).clone() {
+                    if let Some(&v) = table.get(&(ptr, ty)) {
+                        f.replace_all_uses(Value::Inst(id), v);
+                        f.remove_inst(id);
+                        changed = true;
+                    } else {
+                        table.insert((ptr, ty), Value::Inst(id));
+                    }
+                }
+            }
+            for &c in dt.children.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+                stack.push((c, table.clone()));
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn numbers_loads_across_blocks_without_writes() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @g : i64 x 1 mutable internal = [5:i64]
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = load i64, @g
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %b = load i64, @g
+  %r = add i64 %a, %b
+  ret %r
+bb2:
+  ret %a
+}
+"#,
+            &["gvn"],
+            &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
+        );
+        assert_eq!(count_ops(&m, "load"), 1, "dominated load removed");
+    }
+
+    #[test]
+    fn keeps_loads_when_function_writes() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @g : i64 x 1 mutable internal = [5:i64]
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = load i64, @g
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  store i64 9:i64, @g
+  br bb2
+bb2:
+  %b = load i64, @g
+  %r = add i64 %a, %b
+  ret %r
+}
+"#,
+            &["gvn"],
+            &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
+        );
+        assert_eq!(count_ops(&m, "load"), 2, "store on one path blocks global numbering");
+    }
+
+    #[test]
+    fn gvn_subsumes_pure_cse() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = mul i64 %arg0, %arg0
+  %b = mul i64 %arg0, %arg0
+  %r = add i64 %a, %b
+  ret %r
+}
+"#,
+            &["gvn"],
+            &[vec![RtVal::Int(6)]],
+        );
+        assert_eq!(count_ops(&m, "mul"), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! `-inline` and `-prune-eh`.
+
+use crate::util::{clone_blocks_into, split_block, CloneMap};
+use crate::Pass;
+use posetrl_ir::{BlockId, FuncId, InstId, Module, Op, Ty, Value};
+use std::collections::HashMap;
+
+/// Maximum callee size (instructions) for the size-conscious (Oz-style)
+/// inliner threshold.
+const INLINE_THRESHOLD: usize = 25;
+/// Larger budget for internal functions with exactly one call site, where
+/// inlining always shrinks total code (the callee disappears afterwards).
+const SINGLE_SITE_THRESHOLD: usize = 200;
+/// Cap on inlining actions per pass run (prevents size blow-ups when the
+/// pass is repeated by an RL-chosen sequence).
+const MAX_INLINES_PER_RUN: usize = 64;
+
+/// The `-inline` pass. The default instance uses `-Oz`-style thresholds;
+/// [`Inline::aggressive`] is the `-O2`/`-O3` inliner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inline {
+    aggressive: bool,
+}
+
+impl Inline {
+    /// The `-O2`/`-O3` inliner (larger thresholds).
+    pub fn aggressive() -> Inline {
+        Inline { aggressive: true }
+    }
+}
+
+impl Pass for Inline {
+    fn name(&self) -> &'static str {
+        if self.aggressive {
+            "inline-aggressive"
+        } else {
+            "inline"
+        }
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let (threshold, single) = if self.aggressive {
+            (INLINE_THRESHOLD * 3, SINGLE_SITE_THRESHOLD * 2)
+        } else {
+            (INLINE_THRESHOLD, SINGLE_SITE_THRESHOLD)
+        };
+        let mut changed = false;
+        let mut budget = MAX_INLINES_PER_RUN;
+        loop {
+            let Some((caller, call)) = find_candidate(module, threshold, single) else { break };
+            inline_site(module, caller, call);
+            changed = true;
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+/// Number of call sites of every function.
+fn call_site_counts(m: &Module) -> HashMap<FuncId, usize> {
+    let mut counts = HashMap::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        for id in f.inst_ids() {
+            if let Op::Call { callee, .. } = f.op(id) {
+                *counts.entry(*callee).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+fn is_self_recursive(m: &Module, fid: FuncId) -> bool {
+    let f = m.func(fid).unwrap();
+    f.inst_ids()
+        .iter()
+        .any(|&id| matches!(f.op(id), Op::Call { callee, .. } if *callee == fid))
+}
+
+fn find_candidate(m: &Module, threshold: usize, single_site: usize) -> Option<(FuncId, InstId)> {
+    let counts = call_site_counts(m);
+    for caller in m.func_ids() {
+        let f = m.func(caller).unwrap();
+        if f.is_decl {
+            continue;
+        }
+        for id in f.inst_ids() {
+            let Op::Call { callee, .. } = f.op(id) else { continue };
+            let callee = *callee;
+            if callee == caller {
+                continue;
+            }
+            let cf = m.func(callee)?;
+            if cf.is_decl || is_self_recursive(m, callee) {
+                continue;
+            }
+            let size = cf.num_insts();
+            let is_single_site = counts.get(&callee).copied().unwrap_or(0) == 1
+                && cf.linkage == posetrl_ir::Linkage::Internal;
+            let limit = if is_single_site { single_site } else { threshold };
+            if size <= limit {
+                return Some((caller, id));
+            }
+        }
+    }
+    None
+}
+
+/// Inlines one call site. The callee must be defined and distinct from the
+/// caller.
+pub fn inline_site(m: &mut Module, caller: FuncId, call: InstId) {
+    let (callee, args, ret_ty) = match m.func(caller).unwrap().op(call) {
+        Op::Call { callee, args, ret_ty } => (*callee, args.clone(), *ret_ty),
+        _ => panic!("inline_site on a non-call"),
+    };
+    let callee_fn = m.func(callee).unwrap().clone();
+
+    let f = m.func_mut(caller).unwrap();
+    let call_block = f.inst(call).unwrap().block;
+    let call_pos = f.block(call_block).unwrap().insts.iter().position(|&i| i == call).unwrap();
+
+    // Split so the call is the last real instruction of its block.
+    let cont = split_block(f, call_block, call_pos + 1);
+
+    // Clone the callee body.
+    let mut map = CloneMap { args, ..CloneMap::default() };
+    let callee_blocks: Vec<BlockId> = callee_fn.block_ids().collect();
+    for &b in &callee_blocks {
+        map.blocks.insert(b, f.add_block());
+    }
+    clone_blocks_into(&callee_fn, f, &callee_blocks, &mut map);
+
+    // Retarget the caller block into the inlined entry.
+    let inlined_entry = map.blocks[&callee_fn.entry];
+    let term = f.terminator(call_block).expect("split added terminator");
+    f.inst_mut(term).unwrap().op = Op::Br { target: inlined_entry };
+
+    // Rewire cloned returns into branches to the continuation.
+    let mut returns: Vec<(BlockId, Option<Value>)> = Vec::new();
+    for &b in &callee_blocks {
+        let nb = map.blocks[&b];
+        let Some(t) = f.terminator(nb) else { continue };
+        if let Op::Ret { val } = f.op(t).clone() {
+            returns.push((nb, val));
+            f.inst_mut(t).unwrap().op = Op::Br { target: cont };
+        }
+    }
+
+    // Replace uses of the call result.
+    if ret_ty != Ty::Void {
+        let replacement: Value = match returns.as_slice() {
+            [] => Value::Const(posetrl_ir::Const::Undef(ret_ty)),
+            [(_, v)] => v.unwrap_or(Value::Const(posetrl_ir::Const::Undef(ret_ty))),
+            many => {
+                let incomings = many
+                    .iter()
+                    .map(|(b, v)| (*b, v.unwrap_or(Value::Const(posetrl_ir::Const::Undef(ret_ty)))))
+                    .collect();
+                let phi = f.insert_inst(cont, 0, Op::Phi { ty: ret_ty, incomings });
+                Value::Inst(phi)
+            }
+        };
+        f.replace_all_uses(Value::Inst(call), replacement);
+    }
+    f.remove_inst(call);
+
+    // A callee with no reachable return leaves `cont` unreachable; clean up.
+    if returns.is_empty() {
+        crate::util::remove_unreachable_blocks(f);
+    }
+}
+
+/// `-prune-eh`: with no exceptions in the mini-IR, this marks every defined
+/// function `nounwind` (its LLVM effect after proving no-throw) — an
+/// attribute the attribute-driven passes consult.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PruneEh;
+
+impl Pass for PruneEh {
+    fn name(&self) -> &'static str {
+        "prune-eh"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        let fids: Vec<FuncId> = module.func_ids().collect();
+        for fid in fids {
+            let f = module.func_mut(fid).unwrap();
+            if !f.is_decl && !f.attrs.nounwind {
+                f.attrs.nounwind = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn inlines_small_callee() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @sq(i64) -> i64 internal {
+bb0:
+  %r = mul i64 %arg0, %arg0
+  ret %r
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = call @sq(%arg0) -> i64
+  %b = call @sq(3:i64) -> i64
+  %s = add i64 %a, %b
+  ret %s
+}
+"#,
+            &["inline"],
+            &[vec![RtVal::Int(4)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        let calls = f.inst_ids().iter().filter(|&&id| f.op(id).kind_name() == "call").count();
+        assert_eq!(calls, 0, "both call sites inlined");
+    }
+
+    #[test]
+    fn inlines_branchy_callee_with_phi_merge() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @clamp(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret 0:i64
+bb2:
+  %c2 = icmp sgt i64 %arg0, 100:i64
+  condbr %c2, bb3, bb4
+bb3:
+  ret 100:i64
+bb4:
+  ret %arg0
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  %v = call @clamp(%arg0) -> i64
+  %w = add i64 %v, 1:i64
+  ret %w
+}
+"#,
+            &["inline"],
+            &[vec![RtVal::Int(-5)], vec![RtVal::Int(50)], vec![RtVal::Int(500)]],
+        );
+        assert_eq!(count_ops(&m, "call"), 0);
+        assert!(count_ops(&m, "phi") >= 1, "multiple returns merge through a phi");
+    }
+
+    #[test]
+    fn does_not_inline_recursive_callee() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @fact(i64) -> i64 internal {
+bb0:
+  %c = icmp sle i64 %arg0, 1:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret 1:i64
+bb2:
+  %n = sub i64 %arg0, 1:i64
+  %r = call @fact(%n) -> i64
+  %p = mul i64 %arg0, %r
+  ret %p
+}
+fn @main() -> i64 internal {
+bb0:
+  %r = call @fact(6:i64) -> i64
+  ret %r
+}
+"#,
+            &["inline"],
+            &[],
+        );
+        assert!(count_ops(&m, "call") >= 1, "recursive function stays out-of-line");
+    }
+
+    #[test]
+    fn inlining_exposes_constant_folding() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @mix(i64, i64) -> i64 internal {
+bb0:
+  %a = add i64 %arg0, %arg1
+  %b = mul i64 %a, 2:i64
+  ret %b
+}
+fn @main() -> i64 internal {
+bb0:
+  %r = call @mix(3:i64, 4:i64) -> i64
+  ret %r
+}
+"#,
+            &["inline", "instcombine", "simplifycfg", "globaldce"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_insts(), 1, "inlined body folds to ret 14");
+    }
+
+    #[test]
+    fn prune_eh_marks_nounwind() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> void internal {
+bb0:
+  ret
+}
+"#,
+            &["prune-eh"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert!(f.attrs.nounwind);
+    }
+}

@@ -1,0 +1,642 @@
+//! `-instcombine` and `-instsimplify`: peephole simplification.
+//!
+//! `instsimplify` only folds instructions to constants or existing values;
+//! `instcombine` additionally canonicalizes and rewrites (strength
+//! reduction, operand reassociation with constants, compare/select
+//! rewrites). All folds reuse the interpreter's arithmetic so they can never
+//! diverge from runtime behaviour.
+
+use crate::util::fold_inst;
+use crate::Pass;
+use posetrl_ir::{BinOp, CastKind, Const, Function, InstId, IntPred, Module, Op, Ty, Value};
+
+/// The `instcombine` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstCombine;
+
+impl Pass for InstCombine {
+    fn name(&self) -> &'static str {
+        "instcombine"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        run_peepholes(module, true)
+    }
+}
+
+/// The `instsimplify` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstSimplify;
+
+impl Pass for InstSimplify {
+    fn name(&self) -> &'static str {
+        "instsimplify"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        run_peepholes(module, false)
+    }
+}
+
+fn run_peepholes(module: &mut Module, combine: bool) -> bool {
+    let mut changed = false;
+    let snapshot = module.clone(); // for immutable-global initializer lookups
+    module.for_each_body(|_, f| {
+        changed |= peephole_function(&snapshot, f, combine);
+    });
+    changed
+}
+
+fn peephole_function(m: &Module, f: &mut Function, combine: bool) -> bool {
+    let mut changed = false;
+    for _ in 0..8 {
+        let mut round = false;
+        for id in f.inst_ids() {
+            if f.inst(id).is_none() {
+                continue;
+            }
+            // 1) full constant fold
+            if let Some(c) = fold_inst(f, id) {
+                f.replace_all_uses(Value::Inst(id), Value::Const(c));
+                f.remove_inst(id);
+                round = true;
+                continue;
+            }
+            // 2) simplify to an existing value
+            if let Some(v) = simplify_to_value(m, f, id) {
+                f.replace_all_uses(Value::Inst(id), v);
+                f.remove_inst(id);
+                round = true;
+                continue;
+            }
+            // 3) rewrites (instcombine only)
+            if combine {
+                if let Some(op) = rewrite(f, id) {
+                    f.inst_mut(id).unwrap().op = op;
+                    round = true;
+                }
+            }
+        }
+        if combine {
+            // like LLVM's instcombine, erase instructions that became
+            // trivially dead during this round
+            round |= crate::util::dce_sweep(m, f);
+        }
+        if !round {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn int_const(v: Value) -> Option<i64> {
+    v.const_int()
+}
+
+/// Identities that collapse an instruction to one of its operands or a
+/// constant, without creating new instructions.
+fn simplify_to_value(m: &Module, f: &Function, id: InstId) -> Option<Value> {
+    let all_ones = |ty: Ty| -> i64 { ty.wrap(-1) };
+    match f.op(id) {
+        Op::Bin { op, ty, lhs, rhs } => {
+            let (l, r) = (*lhs, *rhs);
+            let rc = int_const(r);
+            let lc = int_const(l);
+            match op {
+                BinOp::Add => {
+                    if rc == Some(0) {
+                        return Some(l);
+                    }
+                    if lc == Some(0) {
+                        return Some(r);
+                    }
+                }
+                BinOp::Sub => {
+                    if rc == Some(0) {
+                        return Some(l);
+                    }
+                    if l == r {
+                        return Some(Value::Const(Const::int(*ty, 0)));
+                    }
+                }
+                BinOp::Mul => {
+                    if rc == Some(1) {
+                        return Some(l);
+                    }
+                    if lc == Some(1) {
+                        return Some(r);
+                    }
+                    if rc == Some(0) || lc == Some(0) {
+                        return Some(Value::Const(Const::int(*ty, 0)));
+                    }
+                }
+                BinOp::SDiv => {
+                    if rc == Some(1) {
+                        return Some(l);
+                    }
+                }
+                BinOp::SRem => {
+                    if rc == Some(1) || rc == Some(-1) {
+                        return Some(Value::Const(Const::int(*ty, 0)));
+                    }
+                }
+                BinOp::And => {
+                    if l == r {
+                        return Some(l);
+                    }
+                    if rc == Some(0) || lc == Some(0) {
+                        return Some(Value::Const(Const::int(*ty, 0)));
+                    }
+                    if rc == Some(all_ones(*ty)) {
+                        return Some(l);
+                    }
+                    if lc == Some(all_ones(*ty)) {
+                        return Some(r);
+                    }
+                }
+                BinOp::Or => {
+                    if l == r {
+                        return Some(l);
+                    }
+                    if rc == Some(0) {
+                        return Some(l);
+                    }
+                    if lc == Some(0) {
+                        return Some(r);
+                    }
+                    if rc == Some(all_ones(*ty)) || lc == Some(all_ones(*ty)) {
+                        return Some(Value::Const(Const::int(*ty, all_ones(*ty))));
+                    }
+                }
+                BinOp::Xor => {
+                    if l == r {
+                        return Some(Value::Const(Const::int(*ty, 0)));
+                    }
+                    if rc == Some(0) {
+                        return Some(l);
+                    }
+                    if lc == Some(0) {
+                        return Some(r);
+                    }
+                }
+                BinOp::Shl | BinOp::AShr | BinOp::LShr => {
+                    if rc == Some(0) {
+                        return Some(l);
+                    }
+                    if lc == Some(0) {
+                        return Some(Value::Const(Const::int(*ty, 0)));
+                    }
+                }
+                // Floating point identities are unsafe (signed zero, NaN);
+                // only full constant folding (handled above) applies.
+                _ => {}
+            }
+            None
+        }
+        Op::Icmp { pred, lhs, rhs, .. } => {
+            if lhs == rhs {
+                let r = match pred {
+                    IntPred::Eq | IntPred::Sle | IntPred::Sge => true,
+                    IntPred::Ne | IntPred::Slt | IntPred::Sgt => false,
+                };
+                return Some(Value::bool(r));
+            }
+            None
+        }
+        Op::Select { cond, tval, fval, ty } => {
+            if tval == fval {
+                return Some(*tval);
+            }
+            if let Some(c) = int_const(*cond) {
+                return Some(if c != 0 { *tval } else { *fval });
+            }
+            // select c, true, false -> c (i1 only)
+            if *ty == Ty::I1 && int_const(*tval) == Some(1) && int_const(*fval) == Some(0) {
+                return Some(*cond);
+            }
+            None
+        }
+        Op::Gep { ptr, index, .. } => {
+            if int_const(*index) == Some(0) {
+                return Some(*ptr);
+            }
+            None
+        }
+        Op::Phi { incomings, .. } => {
+            let mut vals: Vec<Value> =
+                incomings.iter().map(|(_, v)| *v).filter(|v| *v != Value::Inst(id)).collect();
+            vals.dedup();
+            if vals.len() == 1 {
+                return Some(vals[0]);
+            }
+            None
+        }
+        Op::Cast { kind: CastKind::Trunc, to, val } => {
+            // trunc (zext/sext x) back to x's own type -> x
+            if let Value::Inst(inner) = val {
+                if let Op::Cast { kind, val: orig, .. } = f.op(*inner) {
+                    if matches!(kind, CastKind::ZExt | CastKind::SExt)
+                        && value_ty_local(f, *orig) == Some(*to)
+                    {
+                        return Some(*orig);
+                    }
+                }
+            }
+            None
+        }
+        Op::Load { ty, ptr } => {
+            // load of an immutable global's initializer
+            let (root, off) = crate::util::pointer_root(f, *ptr);
+            if let (crate::util::PtrRoot::Global(g), Some(off)) = (root, off) {
+                let g = m.global(g)?;
+                if !g.mutable && g.ty == *ty && off >= 0 && (off as u32) < g.count {
+                    let c = g
+                        .init
+                        .get(off as usize)
+                        .copied()
+                        .unwrap_or(Const::zero(g.ty));
+                    return Some(Value::Const(c));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites that change the instruction in place (instcombine only).
+fn rewrite(f: &Function, id: InstId) -> Option<Op> {
+    let op = f.op(id);
+    match op {
+        Op::Bin { op: bop, ty, lhs, rhs } => {
+            let (l, r) = (*lhs, *rhs);
+            // canonicalize: constant to the right for commutative ops
+            if bop.is_commutative() && l.is_const() && !r.is_const() {
+                return Some(Op::Bin { op: *bop, ty: *ty, lhs: r, rhs: l });
+            }
+            // sub x, C -> add x, -C
+            if *bop == BinOp::Sub && !ty.is_float() {
+                if let Some(c) = r.const_int() {
+                    if c != 0 {
+                        return Some(Op::Bin {
+                            op: BinOp::Add,
+                            ty: *ty,
+                            lhs: l,
+                            rhs: Value::Const(Const::int(*ty, c.wrapping_neg())),
+                        });
+                    }
+                }
+            }
+            // (x op C1) op C2 -> x op (C1 op C2) for associative ops
+            if bop.is_associative() {
+                if let (Value::Inst(inner), Some(c2)) = (l, r.const_int()) {
+                    if let Op::Bin { op: iop, lhs: il, rhs: ir, .. } = f.op(inner) {
+                        if iop == bop {
+                            if let Some(c1) = ir.const_int() {
+                                let folded = match bop {
+                                    BinOp::Add => c1.wrapping_add(c2),
+                                    BinOp::Mul => c1.wrapping_mul(c2),
+                                    BinOp::And => c1 & c2,
+                                    BinOp::Or => c1 | c2,
+                                    BinOp::Xor => c1 ^ c2,
+                                    _ => return None,
+                                };
+                                return Some(Op::Bin {
+                                    op: *bop,
+                                    ty: *ty,
+                                    lhs: *il,
+                                    rhs: Value::Const(Const::int(*ty, folded)),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // mul x, 2^k -> shl x, k
+            if *bop == BinOp::Mul {
+                if let Some(c) = r.const_int() {
+                    if c > 1 && (c as u64).is_power_of_two() {
+                        let k = (c as u64).trailing_zeros() as i64;
+                        return Some(Op::Bin {
+                            op: BinOp::Shl,
+                            ty: *ty,
+                            lhs: l,
+                            rhs: Value::Const(Const::int(*ty, k)),
+                        });
+                    }
+                }
+            }
+            // shl (shl x, C1), C2 -> shl x, C1+C2 (bounded by width)
+            if *bop == BinOp::Shl {
+                if let (Value::Inst(inner), Some(c2)) = (l, r.const_int()) {
+                    if let Op::Bin { op: BinOp::Shl, lhs: il, rhs: ir, .. } = f.op(inner) {
+                        if let Some(c1) = ir.const_int() {
+                            let w = ty.bit_width() as i64;
+                            if c1 >= 0 && c2 >= 0 && c1 < w && c2 < w {
+                                if c1 + c2 >= w {
+                                    // shifting everything out: result is 0;
+                                    // leave to the fold path via mul? encode
+                                    // directly as constant by multiplying by 0
+                                    return Some(Op::Bin {
+                                        op: BinOp::Mul,
+                                        ty: *ty,
+                                        lhs: *il,
+                                        rhs: Value::Const(Const::int(*ty, 0)),
+                                    });
+                                }
+                                return Some(Op::Bin {
+                                    op: BinOp::Shl,
+                                    ty: *ty,
+                                    lhs: *il,
+                                    rhs: Value::Const(Const::int(*ty, c1 + c2)),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // xor (xor x, C1), C2 handled by associative rule above
+            None
+        }
+        Op::Icmp { pred, ty, lhs, rhs } => {
+            // canonicalize constant to the right
+            if lhs.is_const() && !rhs.is_const() {
+                return Some(Op::Icmp { pred: pred.swapped(), ty: *ty, lhs: *rhs, rhs: *lhs });
+            }
+            // icmp eq/ne (sub x, y), 0 -> icmp eq/ne x, y (wrapping-safe)
+            if matches!(pred, IntPred::Eq | IntPred::Ne) && rhs.const_int() == Some(0) {
+                if let Value::Inst(inner) = lhs {
+                    if let Op::Bin { op: BinOp::Sub, lhs: x, rhs: y, ty: ity } = f.op(*inner) {
+                        return Some(Op::Icmp { pred: *pred, ty: *ity, lhs: *x, rhs: *y });
+                    }
+                    // icmp eq (xor x, y), 0 -> icmp eq x, y
+                    if let Op::Bin { op: BinOp::Xor, lhs: x, rhs: y, ty: ity } = f.op(*inner) {
+                        return Some(Op::Icmp { pred: *pred, ty: *ity, lhs: *x, rhs: *y });
+                    }
+                }
+            }
+            None
+        }
+        Op::Select { ty, cond, tval, fval } => {
+            // select (xor c, true), a, b -> select c, b, a
+            if let Value::Inst(ci) = cond {
+                if let Op::Bin { op: BinOp::Xor, lhs, rhs, .. } = f.op(*ci) {
+                    if rhs.const_int() == Some(1) {
+                        return Some(Op::Select { ty: *ty, cond: *lhs, tval: *fval, fval: *tval });
+                    }
+                }
+            }
+            // select c, false, true -> xor c, true
+            if *ty == Ty::I1 && tval.const_int() == Some(0) && fval.const_int() == Some(1) {
+                return Some(Op::Bin {
+                    op: BinOp::Xor,
+                    ty: Ty::I1,
+                    lhs: *cond,
+                    rhs: Value::bool(true),
+                });
+            }
+            None
+        }
+        Op::CondBr { cond, then_bb, else_bb } => {
+            // condbr (xor c, true), a, b -> condbr c, b, a
+            if let Value::Inst(ci) = cond {
+                if let Op::Bin { op: BinOp::Xor, lhs, rhs, .. } = f.op(*ci) {
+                    if rhs.const_int() == Some(1) && then_bb != else_bb {
+                        return Some(Op::CondBr { cond: *lhs, then_bb: *else_bb, else_bb: *then_bb });
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn value_ty_local(f: &Function, v: Value) -> Option<Ty> {
+    match v {
+        Value::Inst(id) => Some(f.op(id).result_ty()),
+        Value::Arg(i) => f.params.get(i as usize).copied(),
+        Value::Const(c) => Some(c.ty()),
+        Value::Global(_) | Value::Func(_) => Some(Ty::Ptr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn folds_constants_through_chains() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %a = add i64 2:i64, 3:i64
+  %b = mul i64 %a, 4:i64
+  %c = sub i64 %b, 6:i64
+  ret %c
+}
+"#,
+            &["instcombine"],
+            &[],
+        );
+        assert_eq!(m.num_insts(), 1, "everything folds into ret 14");
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = add i64 %arg0, 0:i64
+  %b = mul i64 %a, 1:i64
+  %c = xor i64 %b, %b
+  %d = or i64 %c, %arg0
+  %e = sub i64 %d, %d
+  %r = add i64 %e, %arg0
+  ret %r
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Int(42)], vec![RtVal::Int(-3)]],
+        );
+        assert_eq!(m.num_insts(), 1);
+    }
+
+    #[test]
+    fn strength_reduces_mul_to_shl() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = mul i64 %arg0, 8:i64
+  ret %a
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(-9)]],
+        );
+        assert_eq!(count_ops(&m, "shl"), 1);
+        assert_eq!(count_ops(&m, "mul"), 0);
+    }
+
+    #[test]
+    fn reassociates_constant_chain() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = add i64 %arg0, 10:i64
+  %b = add i64 %a, 20:i64
+  ret %b
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Int(1)]],
+        );
+        assert_eq!(m.num_insts(), 2, "two adds collapse to one");
+    }
+
+    #[test]
+    fn sub_canonicalized_to_add() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = sub i64 %arg0, 5:i64
+  %b = sub i64 %a, 7:i64
+  ret %b
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Int(100)], vec![RtVal::Int(i64::MIN)]],
+        );
+        assert_eq!(m.num_insts(), 2);
+        assert_eq!(count_ops(&m, "sub"), 0);
+    }
+
+    #[test]
+    fn icmp_same_operands_folds() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 %arg0, %arg0
+  %r = select i64 %c, 1:i64, 2:i64
+  ret %r
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Int(3)]],
+        );
+        assert_eq!(m.num_insts(), 1);
+    }
+
+    #[test]
+    fn select_identities() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i1 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  %s = select i1 %c, true, false
+  ret %s
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
+        );
+        assert_eq!(count_ops(&m, "select"), 0);
+    }
+
+    #[test]
+    fn immutable_global_load_folds() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @k : i64 x 2 const internal = [30:i64, 12:i64]
+fn @main() -> i64 internal {
+bb0:
+  %p = gep i64, @k, 1:i64
+  %a = load i64, @k
+  %b = load i64, %p
+  %r = add i64 %a, %b
+  ret %r
+}
+"#,
+            &["instcombine"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "load"), 0);
+        assert_eq!(m.num_insts(), 1);
+    }
+
+    #[test]
+    fn mutable_global_load_not_folded() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @k : i64 x 1 mutable internal = [5:i64]
+fn @main() -> i64 internal {
+bb0:
+  %a = load i64, @k
+  ret %a
+}
+"#,
+            &["instcombine"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "load"), 1);
+    }
+
+    #[test]
+    fn instsimplify_does_not_rewrite() {
+        // mul-by-8 stays a mul under instsimplify (no strength reduction)
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = mul i64 %arg0, 8:i64
+  %b = add i64 %a, 0:i64
+  ret %b
+}
+"#,
+            &["instsimplify"],
+            &[vec![RtVal::Int(2)]],
+        );
+        assert_eq!(count_ops(&m, "mul"), 1);
+        assert_eq!(m.num_insts(), 2, "add-0 removed, mul kept");
+    }
+
+    #[test]
+    fn float_identities_not_applied() {
+        // fadd x, 0.0 must NOT fold (x = -0.0 differs); constant folding of
+        // two float constants is fine.
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(f64) -> f64 internal {
+bb0:
+  %a = fadd f64 %arg0, 0.0:f64
+  %b = fadd f64 1.5:f64, 2.5:f64
+  %c = fmul f64 %a, %b
+  ret %c
+}
+"#,
+            &["instcombine"],
+            &[vec![RtVal::Float(-0.0)], vec![RtVal::Float(3.25)]],
+        );
+        assert_eq!(count_ops(&m, "fadd"), 1, "variable fadd kept, const fadd folded");
+    }
+}

@@ -1,0 +1,409 @@
+//! `-loop-rotate`: turns while-loops into guarded do-while loops.
+//!
+//! For a loop whose header computes only phis, a pure condition and a
+//! conditional branch, the condition is duplicated into the preheader (the
+//! guard) and into the latch (the bottom-of-loop test), and the header
+//! falls through into the body. This removes one branch per iteration and
+//! is what exposes LICM/unrolling opportunities — the classic pass
+//! interaction the phase-ordering problem is about.
+
+use crate::Pass;
+use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
+use posetrl_ir::{BlockId, Function, InstId, Module, Op, Value};
+use std::collections::HashMap;
+
+/// The `loop-rotate` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopRotate;
+
+impl Pass for LoopRotate {
+    fn name(&self) -> &'static str {
+        "loop-rotate"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            // rotate one loop at a time; analyses go stale after each
+            for _ in 0..8 {
+                if !rotate_one(f) {
+                    break;
+                }
+                changed = true;
+            }
+        });
+        changed
+    }
+}
+
+fn rotate_one(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dt);
+    'loops: for l in &forest.loops {
+        let Some(preheader) = l.preheader(f, &cfg) else { continue };
+        if l.latches.len() != 1 {
+            continue;
+        }
+        let latch = l.latches[0];
+        let header = l.header;
+        if latch == header {
+            continue; // already bottom-tested
+        }
+        // header must end in condbr with one in-loop, one exit successor
+        let hterm = f.terminator(header).unwrap();
+        let Op::CondBr { cond, then_bb, else_bb } = f.op(hterm).clone() else { continue };
+        let (body_in, exit) = if l.blocks.contains(&then_bb) && !l.blocks.contains(&else_bb) {
+            (then_bb, else_bb)
+        } else if l.blocks.contains(&else_bb) && !l.blocks.contains(&then_bb) {
+            (else_bb, then_bb)
+        } else {
+            continue;
+        };
+        let cond_negated = body_in == else_bb;
+        // the only exiting block must be the header (so the exit's loop
+        // predecessor set is {header}) and the exit must be dedicated
+        if l.exiting_blocks(f) != vec![header] {
+            continue;
+        }
+        if cfg.preds.get(&exit).map(|p| p.as_slice()) != Some(&[header][..]) {
+            continue;
+        }
+        // latch must end with `br header`
+        let lterm = f.terminator(latch).unwrap();
+        if !matches!(f.op(lterm), Op::Br { target } if *target == header) {
+            continue;
+        }
+        // header contents: phis, then pure instructions, then the condbr
+        let hinsts = f.block(header).unwrap().insts.clone();
+        let mut phis: Vec<InstId> = Vec::new();
+        let mut cond_insts: Vec<InstId> = Vec::new();
+        for &id in &hinsts {
+            match f.op(id) {
+                Op::Phi { .. } => phis.push(id),
+                op if op.is_terminator() => {}
+                op if op.is_pure() && !matches!(op, Op::Alloca { .. }) => cond_insts.push(id),
+                _ => continue 'loops,
+            }
+        }
+        if cond_insts.len() > 6 {
+            continue; // duplication cost cap
+        }
+        // phi incomings: (preheader, init), (latch, next)
+        let mut init_of: HashMap<InstId, Value> = HashMap::new();
+        let mut next_of: HashMap<InstId, Value> = HashMap::new();
+        for &p in &phis {
+            let Op::Phi { incomings, .. } = f.op(p) else { unreachable!() };
+            let mut init = None;
+            let mut next = None;
+            for (b, v) in incomings {
+                if *b == preheader {
+                    init = Some(*v);
+                } else if *b == latch {
+                    next = Some(*v);
+                } else {
+                    continue 'loops;
+                }
+            }
+            let (Some(i), Some(n)) = (init, next) else { continue 'loops };
+            init_of.insert(p, i);
+            next_of.insert(p, n);
+        }
+        // `next` values must be visible at the latch end: defined outside
+        // the loop, in the header (cloned), or anywhere that dominates the
+        // latch. We conservatively require: outside loop, header phi, header
+        // cond inst, or defined in a block dominating the latch.
+        let visible_at_latch = |v: Value, f: &Function| -> bool {
+            match v {
+                Value::Inst(d) => {
+                    let db = f.inst(d).unwrap().block;
+                    !l.blocks.contains(&db) || dt.dominates(db, latch)
+                }
+                _ => true,
+            }
+        };
+        for &p in &phis {
+            if !visible_at_latch(next_of[&p], f) {
+                continue 'loops;
+            }
+        }
+
+        // --- perform the rotation -----------------------------------------
+
+        // clone the condition computation with a substitution map
+        let clone_cond = |f: &mut Function,
+                          into: BlockId,
+                          subst: &HashMap<InstId, Value>|
+         -> (Value, HashMap<InstId, Value>) {
+            let mut map: HashMap<InstId, Value> = subst.clone();
+            for &ci in &cond_insts {
+                let mut op = f.op(ci).clone();
+                op.map_operands(|v| match v {
+                    Value::Inst(d) => map.get(&d).copied().unwrap_or(v),
+                    other => other,
+                });
+                let nid = f.insert_before_terminator(into, op);
+                map.insert(ci, Value::Inst(nid));
+            }
+            let guard_cond = match cond {
+                Value::Inst(d) => map.get(&d).copied().unwrap_or(cond),
+                other => other,
+            };
+            (guard_cond, map)
+        };
+
+        // 1) guard in the preheader, using init values
+        let (guard_cond, guard_map) = clone_cond(f, preheader, &init_of);
+        let ph_term = f.terminator(preheader).unwrap();
+        f.inst_mut(ph_term).unwrap().op = if cond_negated {
+            Op::CondBr { cond: guard_cond, then_bb: exit, else_bb: header }
+        } else {
+            Op::CondBr { cond: guard_cond, then_bb: header, else_bb: exit }
+        };
+
+        // 2) bottom test in the latch, using next values
+        let (latch_cond, latch_map) = clone_cond(f, latch, &next_of);
+        f.inst_mut(lterm).unwrap().op = if cond_negated {
+            Op::CondBr { cond: latch_cond, then_bb: exit, else_bb: header }
+        } else {
+            Op::CondBr { cond: latch_cond, then_bb: header, else_bb: exit }
+        };
+
+        // 3) header falls through into the body
+        f.inst_mut(hterm).unwrap().op = Op::Br { target: body_in };
+
+        // 4) the exit now has preds {preheader, latch} instead of {header}:
+        //    split exit phis accordingly
+        for id in f.block(exit).unwrap().insts.clone() {
+            let Op::Phi { incomings, .. } = f.op(id).clone() else { continue };
+            let mut new_inc = Vec::new();
+            for (b, v) in incomings {
+                if b != header {
+                    new_inc.push((b, v));
+                    continue;
+                }
+                let map_through = |map: &HashMap<InstId, Value>, fallback: &HashMap<InstId, Value>| {
+                    match v {
+                        Value::Inst(d) => fallback
+                            .get(&d)
+                            .copied()
+                            .or_else(|| map.get(&d).copied())
+                            .unwrap_or(v),
+                        other => other,
+                    }
+                };
+                // from the guard edge: header phis take their init values,
+                // cond insts their preheader clones
+                new_inc.push((preheader, map_through(&guard_map, &init_of)));
+                // from the latch edge: next values / latch clones
+                new_inc.push((latch, map_through(&latch_map, &next_of)));
+            }
+            if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+                *slot = new_inc;
+            }
+        }
+
+        // exit-block *non-phi* uses of header values would now be reached
+        // from two edges; LCSSA form guarantees they go through phis, and we
+        // verified the exit's only pred was the header, so any direct use in
+        // the exit of a header phi/cond value must be rewritten through a
+        // fresh phi. Handle it by creating phis on demand.
+        let mut header_vals: Vec<InstId> = phis.clone();
+        header_vals.extend(cond_insts.iter().copied());
+        for d in header_vals {
+            let uses = f.uses();
+            let users: Vec<InstId> = uses
+                .get(&d)
+                .map(|us| {
+                    us.iter()
+                        .copied()
+                        .filter(|&u| {
+                            let ub = f.inst(u).unwrap().block;
+                            !l.blocks.contains(&ub) && ub != header
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            // skip users that are the exit phis we just fixed
+            let users: Vec<InstId> = users
+                .into_iter()
+                .filter(|&u| {
+                    !(f.inst(u).unwrap().block == exit && matches!(f.op(u), Op::Phi { .. }))
+                })
+                .collect();
+            if users.is_empty() {
+                continue;
+            }
+            let ty = f.op(d).result_ty();
+            let from_guard = match Value::Inst(d) {
+                Value::Inst(x) => init_of
+                    .get(&x)
+                    .copied()
+                    .or_else(|| guard_map.get(&x).copied())
+                    .unwrap_or(Value::Inst(d)),
+                v => v,
+            };
+            let from_latch = match Value::Inst(d) {
+                Value::Inst(x) => next_of
+                    .get(&x)
+                    .copied()
+                    .or_else(|| latch_map.get(&x).copied())
+                    .unwrap_or(Value::Inst(d)),
+                v => v,
+            };
+            let phi = f.insert_inst(
+                exit,
+                0,
+                Op::Phi { ty, incomings: vec![(preheader, from_guard), (latch, from_latch)] },
+            );
+            for u in users {
+                if u != phi {
+                    f.replace_uses_in(u, Value::Inst(d), Value::Inst(phi));
+                }
+            }
+        }
+
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::assert_preserves;
+    use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
+    use posetrl_ir::interp::RtVal;
+
+    const WHILE_LOOP: &str = r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#;
+
+    fn is_rotated(m: &posetrl_ir::Module) -> bool {
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dt);
+        forest.loops.iter().all(|l| {
+            // bottom-tested: the latch is an exiting block
+            l.latches.iter().all(|lb| l.exiting_blocks(f).contains(lb))
+        })
+    }
+
+    #[test]
+    fn rotates_while_loop_preserving_sum() {
+        let m = assert_preserves(
+            WHILE_LOOP,
+            &["loop-rotate"],
+            &[vec![RtVal::Int(10)], vec![RtVal::Int(0)], vec![RtVal::Int(1)]],
+        );
+        assert!(is_rotated(&m), "loop is bottom-tested after rotation");
+    }
+
+    #[test]
+    fn zero_trip_guard_works() {
+        // with arg0 = 0 the rotated loop's body must not execute
+        assert_preserves(WHILE_LOOP, &["loop-rotate"], &[vec![RtVal::Int(0)], vec![RtVal::Int(-5)]]);
+    }
+
+    #[test]
+    fn rotation_enables_licm_of_header_loads() {
+        // after rotation the load is no longer guaranteed-to-execute from
+        // the header; but LICM on the rotated form can still hoist because
+        // the guard dominates. Here we just check the combination stays
+        // semantically correct.
+        assert_preserves(
+            r#"
+module "m"
+global @k : i64 x 1 mutable internal = [3:i64]
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  %v = load i64, @k
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["loop-rotate", "licm", "simplifycfg", "instcombine"],
+            &[vec![RtVal::Int(4)], vec![RtVal::Int(0)]],
+        );
+    }
+
+    #[test]
+    fn rotated_loop_value_used_after_exit() {
+        // %i is used after the loop: rotation must thread it through a phi
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 2:i64
+  br bb1
+bb3:
+  %r = mul i64 %i, 10:i64
+  ret %r
+}
+"#,
+            &["loop-rotate"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(0)]],
+        );
+        assert!(is_rotated(&m));
+    }
+
+    #[test]
+    fn does_not_rotate_multi_exit_loop() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb3: %i2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb4
+bb2:
+  %big = icmp sgt i64 %i, 100:i64
+  condbr %big, bb4, bb3
+bb3:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb4:
+  ret %i
+}
+"#,
+            &["loop-rotate"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(200)]],
+        );
+        let _ = m; // behaviour preserved is the point; shape unchanged
+    }
+}

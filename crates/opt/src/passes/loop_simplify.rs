@@ -1,0 +1,438 @@
+//! `-loop-simplify` and `-lcssa`: canonical loop form.
+//!
+//! Loop-simplified form gives every natural loop a dedicated *preheader*
+//! (single outside predecessor whose only successor is the header) and
+//! *dedicated exits* (every exit block is reached only from inside the
+//! loop). LCSSA additionally funnels every value that leaves a loop through
+//! a phi in the exit block. The other loop passes require these shapes and
+//! bail out without them.
+
+use crate::Pass;
+use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
+use posetrl_ir::{BlockId, Function, InstId, Module, Op, Value};
+use std::collections::HashSet;
+
+/// The `loop-simplify` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopSimplify;
+
+impl Pass for LoopSimplify {
+    fn name(&self) -> &'static str {
+        "loop-simplify"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= simplify_loops(f);
+        });
+        changed
+    }
+}
+
+/// Reroutes all edges from `subset` predecessors of `target` through a new
+/// block, moving/merging the corresponding phi incomings. Returns the new
+/// block.
+fn funnel_edges(f: &mut Function, target: BlockId, subset: &[BlockId]) -> BlockId {
+    let nb = f.add_block();
+    // fix phis in target first
+    for id in f.block(target).unwrap().insts.clone() {
+        let Op::Phi { ty, incomings } = f.op(id).clone() else { continue };
+        let (moved, kept): (Vec<_>, Vec<_>) =
+            incomings.into_iter().partition(|(p, _)| subset.contains(p));
+        if moved.is_empty() {
+            continue;
+        }
+        let vals: HashSet<Value> = moved.iter().map(|(_, v)| *v).collect();
+        let merged: Value = if vals.len() == 1 {
+            *vals.iter().next().unwrap()
+        } else {
+            let phi = f.insert_inst(nb, 0, Op::Phi { ty, incomings: moved.clone() });
+            Value::Inst(phi)
+        };
+        let mut new_incomings = kept;
+        new_incomings.push((nb, merged));
+        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+            *slot = new_incomings;
+        }
+    }
+    // retarget the edges
+    for &p in subset {
+        if let Some(t) = f.terminator(p) {
+            f.inst_mut(t).unwrap().op.map_blocks(|b| if b == target { nb } else { b });
+        }
+    }
+    f.append_inst(nb, Op::Br { target });
+    nb
+}
+
+fn simplify_loops(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Re-analyze after each structural change (block ids shift).
+    for _ in 0..16 {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dt);
+        let mut did = false;
+        for l in &forest.loops {
+            // 1) preheader
+            if l.preheader(f, &cfg).is_none() {
+                let outside: Vec<BlockId> = cfg
+                    .preds
+                    .get(&l.header)
+                    .map(|ps| ps.iter().copied().filter(|p| !l.blocks.contains(p)).collect())
+                    .unwrap_or_default();
+                if !outside.is_empty() {
+                    funnel_edges(f, l.header, &outside);
+                    did = true;
+                    break;
+                }
+            }
+            // 2) dedicated exits
+            for e in l.exit_blocks(f) {
+                let outside_preds: Vec<BlockId> = cfg
+                    .preds
+                    .get(&e)
+                    .map(|ps| ps.iter().copied().filter(|p| !l.blocks.contains(p)).collect())
+                    .unwrap_or_default();
+                if !outside_preds.is_empty() {
+                    let inside_preds: Vec<BlockId> = cfg
+                        .preds
+                        .get(&e)
+                        .map(|ps| ps.iter().copied().filter(|p| l.blocks.contains(p)).collect())
+                        .unwrap_or_default();
+                    funnel_edges(f, e, &inside_preds);
+                    did = true;
+                    break;
+                }
+            }
+            if did {
+                break;
+            }
+            // 3) single latch
+            if l.latches.len() > 1 {
+                funnel_edges(f, l.header, &l.latches);
+                did = true;
+                break;
+            }
+        }
+        if !did {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// The `lcssa` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lcssa;
+
+impl Pass for Lcssa {
+    fn name(&self) -> &'static str {
+        "lcssa"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= form_lcssa(f);
+        });
+        changed
+    }
+}
+
+fn form_lcssa(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dt);
+    let mut changed = false;
+
+    // inner loops first so outer-loop phis see the inner phis
+    for l in forest.loops.iter().rev() {
+        let exits = l.exit_blocks(f);
+        if exits.is_empty() {
+            continue;
+        }
+        // defs inside the loop with uses outside
+        let mut work: Vec<(InstId, Vec<InstId>)> = Vec::new();
+        let uses = f.uses();
+        for &b in &l.blocks {
+            let Some(block) = f.block(b) else { continue };
+            for &d in &block.insts {
+                if f.op(d).result_ty() == posetrl_ir::Ty::Void {
+                    continue;
+                }
+                let outside: Vec<InstId> = uses
+                    .get(&d)
+                    .map(|us| {
+                        us.iter()
+                            .copied()
+                            .filter(|&u| {
+                                let ub = f.inst(u).unwrap().block;
+                                !l.blocks.contains(&ub)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !outside.is_empty() {
+                    work.push((d, outside));
+                }
+            }
+        }
+        for (d, outside_uses) in work {
+            let d_block = f.inst(d).unwrap().block;
+            let ty = f.op(d).result_ty();
+            // build one phi per exit that the def dominates
+            let mut exit_phis: Vec<(BlockId, InstId)> = Vec::new();
+            for &e in &exits {
+                if !dt.dominates(d_block, e) {
+                    continue;
+                }
+                // already an lcssa phi for d here?
+                let existing = f.block(e).unwrap().insts.iter().copied().find(|&id| {
+                    matches!(f.op(id), Op::Phi { incomings, .. }
+                        if !incomings.is_empty() && incomings.iter().all(|(_, v)| *v == Value::Inst(d)))
+                });
+                let phi = match existing {
+                    Some(p) => p,
+                    None => {
+                        let in_preds: Vec<BlockId> = cfg
+                            .preds
+                            .get(&e)
+                            .map(|ps| ps.iter().copied().filter(|p| l.blocks.contains(p)).collect())
+                            .unwrap_or_default();
+                        if in_preds.is_empty()
+                            || cfg.preds.get(&e).map(|ps| ps.len() != in_preds.len()).unwrap_or(true)
+                        {
+                            continue; // exit not dedicated; skip
+                        }
+                        let incomings = in_preds.iter().map(|&p| (p, Value::Inst(d))).collect();
+                        let phi = f.insert_inst(e, 0, Op::Phi { ty, incomings });
+                        changed = true;
+                        phi
+                    }
+                };
+                exit_phis.push((e, phi));
+            }
+            if exit_phis.is_empty() {
+                continue;
+            }
+            for u in outside_uses {
+                if exit_phis.iter().any(|&(_, p)| p == u) {
+                    continue;
+                }
+                // a phi uses its operand at the end of the incoming edge's
+                // source block, so dominance is checked there per-incoming
+                if matches!(f.op(u), Op::Phi { .. }) {
+                    let Op::Phi { incomings, .. } = f.op(u).clone() else { unreachable!() };
+                    let mut new_incomings = incomings.clone();
+                    let mut rewrote = false;
+                    for (pb, v) in new_incomings.iter_mut() {
+                        if *v != Value::Inst(d) || l.blocks.contains(pb) {
+                            continue;
+                        }
+                        let dominating: Vec<InstId> = exit_phis
+                            .iter()
+                            .filter(|&&(e, _)| dt.dominates(e, *pb))
+                            .map(|&(_, p)| p)
+                            .collect();
+                        if dominating.len() == 1 && dominating[0] != u {
+                            *v = Value::Inst(dominating[0]);
+                            rewrote = true;
+                        }
+                    }
+                    if rewrote {
+                        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(u).unwrap().op {
+                            *slot = new_incomings;
+                        }
+                        changed = true;
+                    }
+                    continue;
+                }
+                let ub = f.inst(u).unwrap().block;
+                // rewrite the use if exactly one exit phi dominates it
+                let dominating: Vec<InstId> = exit_phis
+                    .iter()
+                    .filter(|&&(e, _)| dt.dominates(e, ub))
+                    .map(|&(_, p)| p)
+                    .collect();
+                if dominating.len() == 1 && dominating[0] != u {
+                    f.replace_uses_in(u, Value::Inst(d), Value::Inst(dominating[0]));
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
+    use posetrl_ir::interp::RtVal;
+
+    const MULTI_ENTRY_PREHEADER: &str = r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %i = phi i64 [bb1: 0:i64], [bb2: 5:i64], [bb4: %i2]
+  %cc = icmp slt i64 %i, 20:i64
+  condbr %cc, bb4, bb5
+bb4:
+  %i2 = add i64 %i, 3:i64
+  br bb3
+bb5:
+  ret %i
+}
+"#;
+
+    #[test]
+    fn creates_preheader_for_multi_entry_loop() {
+        let m = assert_preserves(
+            MULTI_ENTRY_PREHEADER,
+            &["loop-simplify"],
+            &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
+        );
+        let fid = m.func_by_name("main").unwrap();
+        let f = m.func(fid).unwrap();
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dt);
+        assert_eq!(forest.loops.len(), 1);
+        assert!(forest.loops[0].preheader(f, &cfg).is_some(), "preheader created");
+    }
+
+    #[test]
+    fn dedicates_shared_exit() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 100:i64
+  condbr %c, bb4, bb1
+bb1:
+  br bb2
+bb2:
+  %i = phi i64 [bb1: 0:i64], [bb3: %i2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb3, bb4
+bb3:
+  %i2 = add i64 %i, 1:i64
+  br bb2
+bb4:
+  %r = phi i64 [bb0: -1:i64], [bb2: %i]
+  ret %r
+}
+"#,
+            &["loop-simplify"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(500)]],
+        );
+        let fid = m.func_by_name("main").unwrap();
+        let f = m.func(fid).unwrap();
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dt);
+        let l = &forest.loops[0];
+        for e in l.exit_blocks(f) {
+            let all_inside = cfg.preds[&e].iter().all(|p| l.blocks.contains(p));
+            assert!(all_inside, "exit {e} is dedicated");
+        }
+    }
+
+    #[test]
+    fn merges_multiple_latches() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %a], [bb3: %b]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb4
+bb2:
+  %a = add i64 %i, 1:i64
+  %even = and i64 %i, 1:i64
+  %isodd = icmp eq i64 %even, 1:i64
+  condbr %isodd, bb3, bb1
+bb3:
+  %b = add i64 %a, 1:i64
+  br bb1
+bb4:
+  ret %i
+}
+"#,
+            &["loop-simplify"],
+            &[vec![RtVal::Int(10)], vec![RtVal::Int(0)]],
+        );
+        let fid = m.func_by_name("main").unwrap();
+        let f = m.func(fid).unwrap();
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dt);
+        assert_eq!(forest.loops[0].latches.len(), 1, "latches merged");
+    }
+
+    #[test]
+    fn lcssa_inserts_exit_phi() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  %r = mul i64 %i, 2:i64
+  ret %r
+}
+"#,
+            &["lcssa"],
+            &[vec![RtVal::Int(7)], vec![RtVal::Int(0)]],
+        );
+        // %i used in bb3 now flows through a phi in the exit block
+        assert!(count_ops(&m, "phi") >= 2);
+    }
+
+    #[test]
+    fn lcssa_is_idempotent() {
+        let m1 = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}
+"#,
+            &["lcssa", "lcssa", "lcssa"],
+            &[vec![RtVal::Int(3)]],
+        );
+        assert_eq!(count_ops(&m1, "phi"), 2, "one loop phi + one lcssa phi, no duplicates");
+    }
+}

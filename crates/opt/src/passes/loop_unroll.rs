@@ -1,0 +1,696 @@
+//! `-loop-unroll` and `-loop-vectorize`, plus the canonical-loop matcher
+//! shared with the other loop passes.
+//!
+//! Full unrolling replaces a counted loop of known small trip count with
+//! straight-line code (faster, bigger — the central size/speed tension the
+//! POSET-RL agent learns to navigate). "Vectorization" here is interleaving
+//! ×4 of counted loops whose trip count is divisible by four: without
+//! vector types, the speed benefit (fewer branches, more ILP for the MCA
+//! model) and the size cost are the same trade the real pass makes.
+
+use crate::Pass;
+use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
+use posetrl_ir::{BinOp, BlockId, Function, InstId, IntPred, Module, Op, Value};
+use std::collections::HashMap;
+
+/// A loop in the canonical 2-block counted form:
+///
+/// ```text
+/// preheader: ... br header
+/// header:    phis; cond = icmp pred iv, bound; condbr cond, body, exit
+/// body:      ...; iv_next = add iv, step; ...; br header   (single latch)
+/// exit:      (dedicated)
+/// ```
+#[derive(Debug, Clone)]
+pub(crate) struct CanonicalLoop {
+    pub preheader: BlockId,
+    pub header: BlockId,
+    pub body: BlockId,
+    pub exit: BlockId,
+    /// Induction variable phi, its constant init and constant step.
+    pub iv: InstId,
+    /// The IV's integer type (simulation wraps at this width).
+    pub iv_ty: posetrl_ir::Ty,
+    pub init: i64,
+    pub step: i64,
+    /// Exit test: `icmp pred iv, bound` where bound is loop-invariant.
+    pub pred: IntPred,
+    pub bound: Value,
+    /// The bound's constant payload when it is a literal.
+    pub bound_const: Option<i64>,
+    pub cond: InstId,
+    /// Header phis other than the IV, with (init value, latch value).
+    pub other_phis: Vec<(InstId, Value, Value)>,
+    /// `true` when `condbr cond, body, exit` (not swapped).
+    pub cond_enters_body: bool,
+}
+
+impl CanonicalLoop {
+    /// Computes the trip count by simulating the IV, up to `cap` iterations.
+    /// Requires a constant bound.
+    pub fn trip_count(&self, cap: u64) -> Option<u64> {
+        let bound = self.bound_const?;
+        let mut iv = self.init;
+        let mut n = 0u64;
+        loop {
+            let c = self.pred.eval(iv, bound);
+            let continue_loop = if self.cond_enters_body { c } else { !c };
+            if !continue_loop {
+                return Some(n);
+            }
+            n += 1;
+            if n > cap {
+                return None;
+            }
+            iv = self.iv_ty.wrap(iv.wrapping_add(self.step));
+        }
+    }
+}
+
+/// Matches the canonical counted-loop shape. `allow_memory`/`allow_calls`
+/// control whether the body may contain memory operations or calls.
+pub(crate) fn match_canonical(
+    f: &Function,
+    cfg: &Cfg,
+    l: &posetrl_ir::analysis::Loop,
+    allow_memory: bool,
+    allow_calls: bool,
+) -> Option<CanonicalLoop> {
+    if l.blocks.len() != 2 || l.latches.len() != 1 {
+        return None;
+    }
+    let header = l.header;
+    let body = l.latches[0];
+    if body == header || !l.blocks.contains(&body) {
+        return None;
+    }
+    let preheader = l.preheader(f, cfg)?;
+    // header: phis*, cond, condbr
+    let hinsts = f.block(header)?.insts.clone();
+    if hinsts.len() < 2 {
+        return None;
+    }
+    let term = *hinsts.last()?;
+    let cond_id = hinsts[hinsts.len() - 2];
+    let Op::CondBr { cond, then_bb, else_bb } = f.op(term) else { return None };
+    if *cond != Value::Inst(cond_id) {
+        return None;
+    }
+    let (cond_enters_body, exit) = if *then_bb == body && !l.blocks.contains(else_bb) {
+        (true, *else_bb)
+    } else if *else_bb == body && !l.blocks.contains(then_bb) {
+        (false, *then_bb)
+    } else {
+        return None;
+    };
+    // dedicated exit with single pred (the header)
+    if cfg.preds.get(&exit).map(|p| p.as_slice()) != Some(&[header][..]) {
+        return None;
+    }
+    // the compare must be used only by the branch
+    let uses = f.uses();
+    if uses.get(&cond_id).map(|u| u.iter().any(|&x| x != term)).unwrap_or(false) {
+        return None;
+    }
+    let Op::Icmp { pred, lhs, rhs, .. } = f.op(cond_id) else { return None };
+    let iv = lhs.as_inst()?;
+    let bound = *rhs;
+    // the bound must be loop-invariant
+    match bound {
+        Value::Inst(d) => {
+            if l.blocks.contains(&f.inst(d)?.block) {
+                return None;
+            }
+        }
+        Value::Const(_) | Value::Arg(_) => {}
+        _ => return None,
+    }
+    let bound_const = bound.const_int();
+    // all header insts other than phis/cond/term must be absent
+    for &id in &hinsts[..hinsts.len() - 2] {
+        if !matches!(f.op(id), Op::Phi { .. }) {
+            return None;
+        }
+    }
+    // phi structure
+    let mut iv_init = None;
+    let mut iv_next = None;
+    let mut other_phis = Vec::new();
+    for &id in &hinsts[..hinsts.len() - 2] {
+        let Op::Phi { incomings, .. } = f.op(id) else { unreachable!() };
+        let mut init = None;
+        let mut next = None;
+        for (b, v) in incomings {
+            if *b == preheader {
+                init = Some(*v);
+            } else if *b == body {
+                next = Some(*v);
+            } else {
+                return None;
+            }
+        }
+        let (init, next) = (init?, next?);
+        if id == iv {
+            iv_init = init.const_int();
+            iv_next = Some(next);
+        } else {
+            other_phis.push((id, init, next));
+        }
+    }
+    let init = iv_init?;
+    // iv_next must be `add iv, step-const` computed in the body
+    let next_id = iv_next?.as_inst()?;
+    let Op::Bin { op: BinOp::Add, lhs, rhs, .. } = f.op(next_id) else { return None };
+    if *lhs != Value::Inst(iv) {
+        return None;
+    }
+    let step = rhs.const_int()?;
+    if step == 0 {
+        return None;
+    }
+    // body: single latch ending in br header; restrictions on contents
+    let binsts = f.block(body)?.insts.clone();
+    let bterm = *binsts.last()?;
+    if !matches!(f.op(bterm), Op::Br { target } if *target == header) {
+        return None;
+    }
+    for &id in &binsts {
+        match f.op(id) {
+            Op::Phi { .. } | Op::Alloca { .. } => return None,
+            Op::Call { .. } if !allow_calls => return None,
+            Op::Load { .. } | Op::Store { .. } | Op::MemCpy { .. } | Op::MemSet { .. }
+                if !allow_memory =>
+            {
+                return None
+            }
+            _ => {}
+        }
+    }
+    Some(CanonicalLoop {
+        preheader,
+        header,
+        body,
+        exit,
+        iv,
+        iv_ty: f.op(iv).result_ty(),
+        init,
+        step,
+        pred: *pred,
+        bound,
+        bound_const,
+        cond: cond_id,
+        other_phis,
+        cond_enters_body,
+    })
+}
+
+/// Unrolling thresholds, parameterized by optimization aggressiveness
+/// ("some passes vary the parameters ... depending on the optimization
+/// level", Section IV). The restrained variant is what `-Oz` runs — it only
+/// unrolls when the expansion stays small; `-O2`/`-O3` use the aggressive
+/// variant.
+#[derive(Debug, Clone, Copy)]
+struct UnrollLimits {
+    trip: u64,
+    body: usize,
+    total: u64,
+}
+
+const UNROLL_OZ: UnrollLimits = UnrollLimits { trip: 8, body: 12, total: 64 };
+const UNROLL_AGGRESSIVE: UnrollLimits = UnrollLimits { trip: 16, body: 24, total: 192 };
+
+/// The `loop-unroll` pass (full unrolling of small constant-trip loops).
+#[derive(Debug, Clone, Copy)]
+pub struct LoopUnroll {
+    aggressive: bool,
+}
+
+impl LoopUnroll {
+    /// The size-restrained (`-Oz`) unroller.
+    pub fn oz() -> LoopUnroll {
+        LoopUnroll { aggressive: false }
+    }
+
+    /// The `-O2`/`-O3` unroller.
+    pub fn aggressive() -> LoopUnroll {
+        LoopUnroll { aggressive: true }
+    }
+}
+
+impl Pass for LoopUnroll {
+    fn name(&self) -> &'static str {
+        if self.aggressive {
+            "loop-unroll-aggressive"
+        } else {
+            "loop-unroll"
+        }
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let limits = if self.aggressive { UNROLL_AGGRESSIVE } else { UNROLL_OZ };
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            for _ in 0..4 {
+                if !unroll_one(f, limits) {
+                    break;
+                }
+                changed = true;
+            }
+        });
+        changed
+    }
+}
+
+fn unroll_one(f: &mut Function, limits: UnrollLimits) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dt);
+    for l in forest.loops.iter().rev() {
+        let Some(c) = match_canonical(f, &cfg, l, true, true) else { continue };
+        let body_size = f.block(c.body).unwrap().insts.len();
+        if body_size > limits.body {
+            continue;
+        }
+        let Some(trip) = c.trip_count(limits.trip) else { continue };
+        if trip * body_size as u64 > limits.total {
+            continue;
+        }
+        fully_unroll(f, &c, trip);
+        return true;
+    }
+    false
+}
+
+/// Replaces the loop with `trip` copies of the body in a fresh block.
+fn fully_unroll(f: &mut Function, c: &CanonicalLoop, trip: u64) {
+    let nb = f.add_block();
+    // current values of the header phis (start with init values)
+    let mut cur: HashMap<InstId, Value> = HashMap::new();
+    cur.insert(c.iv, Value::Const(posetrl_ir::Const::int(iv_ty(f, c), c.init)));
+    for (p, init, _) in &c.other_phis {
+        cur.insert(*p, *init);
+    }
+    let body_insts: Vec<InstId> = f.block(c.body).unwrap().insts.clone();
+    for _ in 0..trip {
+        // clone the body once, substituting phi values and prior clones
+        let mut local: HashMap<InstId, Value> = HashMap::new();
+        for &id in &body_insts {
+            let op = f.op(id).clone();
+            if op.is_terminator() {
+                continue;
+            }
+            let mut nop = op;
+            nop.map_operands(|v| match v {
+                Value::Inst(d) => local
+                    .get(&d)
+                    .copied()
+                    .or_else(|| cur.get(&d).copied())
+                    .unwrap_or(v),
+                other => other,
+            });
+            let nid = f.append_inst(nb, nop);
+            local.insert(id, Value::Inst(nid));
+        }
+        // advance the phi values
+        let mut next_cur = HashMap::new();
+        let latch_value = |v: Value| -> Value {
+            match v {
+                Value::Inst(d) => local
+                    .get(&d)
+                    .copied()
+                    .or_else(|| cur.get(&d).copied())
+                    .unwrap_or(v),
+                other => other,
+            }
+        };
+        // iv next: find via the phi's latch incoming
+        let Op::Phi { incomings, .. } = f.op(c.iv).clone() else { unreachable!() };
+        let (_, ivn) = incomings.iter().find(|(b, _)| *b == c.body).unwrap();
+        next_cur.insert(c.iv, latch_value(*ivn));
+        for (p, _, next) in &c.other_phis {
+            next_cur.insert(*p, latch_value(*next));
+        }
+        cur = next_cur;
+    }
+    f.append_inst(nb, Op::Br { target: c.exit });
+
+    // retarget the preheader into the unrolled block
+    let ph_term = f.terminator(c.preheader).unwrap();
+    f.inst_mut(ph_term).unwrap().op = Op::Br { target: nb };
+
+    // the exit's phis were keyed by the header; now they come from nb with
+    // final values
+    for id in f.block(c.exit).unwrap().insts.clone() {
+        let Op::Phi { incomings, .. } = f.op(id).clone() else { continue };
+        let new_inc: Vec<(BlockId, Value)> = incomings
+            .into_iter()
+            .map(|(b, v)| {
+                if b == c.header {
+                    let nv = match v {
+                        Value::Inst(d) => cur.get(&d).copied().unwrap_or(v),
+                        other => other,
+                    };
+                    (nb, nv)
+                } else {
+                    (b, v)
+                }
+            })
+            .collect();
+        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+            *slot = new_inc;
+        }
+    }
+    // replace outside uses of header phis with their final values
+    let phi_ids: Vec<InstId> =
+        std::iter::once(c.iv).chain(c.other_phis.iter().map(|(p, _, _)| *p)).collect();
+    for p in phi_ids {
+        let fin = cur.get(&p).copied().unwrap_or(Value::Const(posetrl_ir::Const::Undef(
+            f.op(p).result_ty(),
+        )));
+        f.replace_all_uses(Value::Inst(p), fin);
+    }
+    // delete the loop blocks
+    f.remove_block(c.header);
+    f.remove_block(c.body);
+    crate::util::simplify_trivial_phis(f);
+}
+
+fn iv_ty(f: &Function, c: &CanonicalLoop) -> posetrl_ir::Ty {
+    f.op(c.iv).result_ty()
+}
+
+/// Interleave factor of the "vectorizer".
+const VEC_WIDTH: u64 = 4;
+
+/// The `loop-vectorize` pass (×4 interleaving of counted loops).
+#[derive(Debug, Clone, Copy)]
+pub struct LoopVectorize {
+    aggressive: bool,
+}
+
+impl LoopVectorize {
+    /// The size-conscious (`-Oz`) vectorizer (tiny bodies only).
+    pub fn oz() -> LoopVectorize {
+        LoopVectorize { aggressive: false }
+    }
+
+    /// The `-O2`/`-O3` vectorizer.
+    pub fn aggressive() -> LoopVectorize {
+        LoopVectorize { aggressive: true }
+    }
+}
+
+impl Pass for LoopVectorize {
+    fn name(&self) -> &'static str {
+        if self.aggressive {
+            "loop-vectorize-aggressive"
+        } else {
+            "loop-vectorize"
+        }
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let body_limit = if self.aggressive { 20 } else { 8 };
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            for _ in 0..4 {
+                if !interleave_one(f, body_limit) {
+                    break;
+                }
+                changed = true;
+            }
+        });
+        changed
+    }
+}
+
+fn interleave_one(f: &mut Function, body_limit: usize) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dt);
+    for l in forest.loops.iter().rev() {
+        // memory allowed (that is the point of vectorizing array loops);
+        // calls are not
+        let Some(c) = match_canonical(f, &cfg, l, true, false) else { continue };
+        if c.step != 1 || !matches!(c.pred, IntPred::Slt | IntPred::Ne) || !c.cond_enters_body {
+            continue;
+        }
+        let body_insts: Vec<InstId> = f.block(c.body).unwrap().insts.clone();
+        if body_insts.len() > body_limit {
+            continue;
+        }
+        let Some(trip) = c.trip_count(1 << 20) else { continue };
+        if trip <= VEC_WIDTH || trip % VEC_WIDTH != 0 {
+            continue;
+        }
+        // the loop must already be interleave-free: iv_next used only by
+        // the phi and the compare
+        interleave(f, &c, &body_insts);
+        return true;
+    }
+    false
+}
+
+/// Clones the body VEC_WIDTH-1 extra times inside itself, chaining phi
+/// values, and rewrites the exit compare to step by VEC_WIDTH.
+fn interleave(f: &mut Function, c: &CanonicalLoop, body_insts: &[InstId]) {
+    // cur maps each header phi to its value after the previous copy
+    let mut cur: HashMap<InstId, Value> = HashMap::new();
+    let Op::Phi { incomings, .. } = f.op(c.iv).clone() else { unreachable!() };
+    let (_, iv_next0) = *incomings.iter().find(|(b, _)| *b == c.body).unwrap();
+    cur.insert(c.iv, iv_next0);
+    let mut next0: HashMap<InstId, Value> = HashMap::new();
+    for (p, _, next) in &c.other_phis {
+        cur.insert(*p, *next);
+        next0.insert(*p, *next);
+    }
+
+    for _copy in 1..VEC_WIDTH {
+        let mut local: HashMap<InstId, Value> = HashMap::new();
+        for &id in body_insts {
+            let op = f.op(id).clone();
+            if op.is_terminator() {
+                continue;
+            }
+            let mut nop = op;
+            nop.map_operands(|v| match v {
+                Value::Inst(d) => local
+                    .get(&d)
+                    .copied()
+                    .or_else(|| cur.get(&d).copied())
+                    .unwrap_or(v),
+                other => other,
+            });
+            let nid = f.insert_before_terminator(c.body, nop);
+            local.insert(id, Value::Inst(nid));
+        }
+        let mut next_cur: HashMap<InstId, Value> = HashMap::new();
+        let latch_value = |v: Value, local: &HashMap<InstId, Value>, cur: &HashMap<InstId, Value>| match v {
+            Value::Inst(d) => {
+                local.get(&d).copied().or_else(|| cur.get(&d).copied()).unwrap_or(v)
+            }
+            other => other,
+        };
+        next_cur.insert(c.iv, latch_value(iv_next0, &local, &cur));
+        for (p, _, _) in &c.other_phis {
+            next_cur.insert(*p, latch_value(next0[p], &local, &cur));
+        }
+        cur = next_cur;
+    }
+
+    // header phis' latch incomings now take the last copy's values
+    let update: Vec<(InstId, Value)> = std::iter::once((c.iv, cur[&c.iv]))
+        .chain(c.other_phis.iter().map(|(p, _, _)| (*p, cur[p])))
+        .collect();
+    for (p, v) in update {
+        if let Op::Phi { incomings, .. } = &mut f.inst_mut(p).unwrap().op {
+            for (b, slot) in incomings.iter_mut() {
+                if *b == c.body {
+                    *slot = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn fully_unrolls_small_constant_loop() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 5:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %t = mul i64 %i, %arg0
+  %s2 = add i64 %s, %t
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["loop-unroll", "instcombine"],
+            &[vec![RtVal::Int(3)], vec![RtVal::Int(-2)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert!(f.num_blocks() <= 3, "loop structure replaced by a straight line");
+        assert_eq!(count_ops(&m, "phi"), 0);
+        assert_eq!(count_ops(&m, "condbr"), 0);
+    }
+
+    #[test]
+    fn unrolled_loop_with_memory_side_effects() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @out : i64 x 4 mutable internal = []
+declare @print_i64(i64) -> void
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 4:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, @out, %i
+  %sq = mul i64 %i, %i
+  store i64 %sq, %p
+  call @print_i64(%sq) -> void
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  %q = gep i64, @out, 3:i64
+  %v = load i64, %q
+  ret %v
+}
+"#,
+            &["loop-unroll"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "condbr"), 0);
+        assert_eq!(count_ops(&m, "call"), 4, "all four prints emitted in order");
+    }
+
+    #[test]
+    fn does_not_unroll_unknown_trip_count() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}
+"#,
+            &["loop-unroll"],
+            &[vec![RtVal::Int(9)]],
+        );
+        assert!(count_ops(&m, "condbr") >= 1, "runtime-trip loop kept");
+    }
+
+    #[test]
+    fn does_not_unroll_large_trip_count() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 1000:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["loop-unroll"],
+            &[],
+        );
+        assert!(count_ops(&m, "phi") >= 2, "1000-trip loop not unrolled");
+    }
+
+    #[test]
+    fn vectorize_interleaves_by_four() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @a : i64 x 16 mutable internal = [1:i64, 2:i64, 3:i64, 4:i64, 5:i64, 6:i64, 7:i64, 8:i64, 9:i64, 10:i64, 11:i64, 12:i64, 13:i64, 14:i64, 15:i64, 16:i64]
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 16:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, @a, %i
+  %v = load i64, %p
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["loop-vectorize"],
+            &[],
+        );
+        // 4 loads per iteration now
+        assert_eq!(count_ops(&m, "load"), 4);
+        assert!(count_ops(&m, "condbr") >= 1, "loop structure retained");
+    }
+
+    #[test]
+    fn vectorize_skips_non_divisible_trip() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 17:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["loop-vectorize"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "add"), 2, "trip 17 not divisible by 4: untouched");
+    }
+}

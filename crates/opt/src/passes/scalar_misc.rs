@@ -1,0 +1,1285 @@
+//! Assorted scalar passes: `-reassociate`, `-tailcallelim`,
+//! `-jump-threading`, `-correlated-propagation`, `-speculative-execution`,
+//! `-div-rem-pairs`, `-float2int`, `-mldst-motion`, `-memcpyopt`, and the
+//! intentionally-trivial lowering passes.
+
+use crate::util::{dce_sweep, may_alias};
+use crate::Pass;
+use posetrl_ir::analysis::{Cfg, DomTree};
+use posetrl_ir::{
+    BinOp, BlockId, CastKind, Const, Function, InstId, IntPred, Module, Op, Ty, Value,
+};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// reassociate
+// ---------------------------------------------------------------------------
+
+/// `-reassociate`: flattens chains of one associative integer operator,
+/// folds all constant leaves into one, and rebuilds a left-linear chain with
+/// the constant last — the canonical shape instcombine and CSE expect.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reassociate;
+
+impl Pass for Reassociate {
+    fn name(&self) -> &'static str {
+        "reassociate"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= reassociate_function(&snapshot, f);
+        });
+        changed
+    }
+}
+
+fn reassociate_function(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    // rewrites invalidate the use map; recompute per round and rewrite one
+    // chain at a time
+    for _ in 0..64 {
+        if !reassociate_one(f) {
+            break;
+        }
+        changed = true;
+    }
+    if changed {
+        dce_sweep(m, f);
+    }
+    changed
+}
+
+fn reassociate_one(f: &mut Function) -> bool {
+    let uses = f.uses();
+    for id in f.inst_ids() {
+        if f.inst(id).is_none() {
+            continue;
+        }
+        let Op::Bin { op, ty, .. } = *f.op(id) else { continue };
+        if !op.is_associative() || !op.is_commutative() {
+            continue;
+        }
+        // Only rewrite chain roots (results not consumed by the same op kind).
+        let is_root = uses
+            .get(&id)
+            .map(|us| {
+                !us.iter().any(|&u| matches!(f.op(u), Op::Bin { op: uop, .. } if *uop == op))
+            })
+            .unwrap_or(true);
+        if !is_root {
+            continue;
+        }
+        // Flatten the single-use tree under this root.
+        let mut leaves: Vec<Value> = Vec::new();
+        let mut interior: Vec<InstId> = Vec::new();
+        let mut stack = vec![Value::Inst(id)];
+        while let Some(v) = stack.pop() {
+            let expandable = match v {
+                Value::Inst(i) => match f.op(i) {
+                    Op::Bin { op: iop, lhs, rhs, .. } if *iop == op => {
+                        let single_use =
+                            v == Value::Inst(id) || uses.get(&i).map(|u| u.len() == 1).unwrap_or(false);
+                        if single_use {
+                            stack.push(*lhs);
+                            stack.push(*rhs);
+                            interior.push(i);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                },
+                _ => false,
+            };
+            if !expandable {
+                leaves.push(v);
+            }
+        }
+        if interior.len() < 2 {
+            continue; // nothing to gain
+        }
+        // Fold constant leaves together.
+        let identity: i64 = match op {
+            BinOp::Add | BinOp::Or | BinOp::Xor => 0,
+            BinOp::Mul => 1,
+            BinOp::And => ty.wrap(-1),
+            _ => continue,
+        };
+        let mut acc = identity;
+        let mut vars: Vec<Value> = Vec::new();
+        for v in leaves {
+            match v.const_int() {
+                Some(c) => {
+                    acc = match op {
+                        BinOp::Add => acc.wrapping_add(c),
+                        BinOp::Mul => acc.wrapping_mul(c),
+                        BinOp::And => acc & c,
+                        BinOp::Or => acc | c,
+                        BinOp::Xor => acc ^ c,
+                        _ => unreachable!(),
+                    };
+                    acc = ty.wrap(acc);
+                }
+                None => vars.push(v),
+            }
+        }
+        if vars.is_empty() {
+            f.replace_all_uses(Value::Inst(id), Value::Const(Const::int(ty, acc)));
+            f.remove_inst(id);
+            return true;
+        }
+        // Deterministic order: stable by the value's debug identity.
+        vars.sort_by_key(|v| match v {
+            Value::Inst(i) => (0u8, i.0),
+            Value::Arg(i) => (1, *i),
+            Value::Global(g) => (2, g.0),
+            Value::Func(fr) => (3, fr.0),
+            Value::Const(_) => (4, 0),
+        });
+        // Skip chains already in canonical left-linear sorted form, so the
+        // pass is idempotent.
+        let mut expected: Vec<Value> = vars.clone();
+        if acc != identity {
+            expected.push(Value::Const(Const::int(ty, acc)));
+        }
+        if is_canonical_chain(f, id, op, &expected) {
+            continue;
+        }
+        // Rebuild: ((v0 op v1) op v2) ... op const, in place of the root.
+        let block = f.inst(id).unwrap().block;
+        let root_pos = f.block(block).unwrap().insts.iter().position(|&i| i == id).unwrap();
+        let mut cur = vars[0];
+        let mut pos = root_pos;
+        for v in &vars[1..] {
+            let nid = f.insert_inst(block, pos, Op::Bin { op, ty, lhs: cur, rhs: *v });
+            cur = Value::Inst(nid);
+            pos += 1;
+        }
+        if acc != identity {
+            let nid = f.insert_inst(
+                block,
+                pos,
+                Op::Bin { op, ty, lhs: cur, rhs: Value::Const(Const::int(ty, acc)) },
+            );
+            cur = Value::Inst(nid);
+        }
+        f.replace_all_uses(Value::Inst(id), cur);
+        f.remove_inst(id);
+        return true;
+    }
+    false
+}
+
+/// Returns `true` if `root` is already the left-linear chain
+/// `((e0 op e1) op e2) ... op e_last` over exactly `expected`.
+fn is_canonical_chain(f: &Function, root: InstId, op: BinOp, expected: &[Value]) -> bool {
+    if expected.len() < 2 {
+        return false;
+    }
+    let mut cur = root;
+    for k in (1..expected.len()).rev() {
+        let Op::Bin { op: cop, lhs, rhs, .. } = f.op(cur) else { return false };
+        if *cop != op || *rhs != expected[k] {
+            return false;
+        }
+        if k == 1 {
+            return *lhs == expected[0];
+        }
+        match lhs {
+            Value::Inst(next) => cur = *next,
+            _ => return false,
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// tailcallelim
+// ---------------------------------------------------------------------------
+
+/// `-tailcallelim`: rewrites self-recursive tail calls into loops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailCallElim;
+
+impl Pass for TailCallElim {
+    fn name(&self) -> &'static str {
+        "tailcallelim"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        let fids: Vec<_> = module.func_ids().collect();
+        for fid in fids {
+            if module.func(fid).unwrap().is_decl {
+                continue;
+            }
+            let f = module.func_mut(fid).unwrap();
+            changed |= tce_function(fid, f);
+        }
+        changed
+    }
+}
+
+fn tce_function(fid: posetrl_ir::FuncId, f: &mut Function) -> bool {
+    // find tail calls: `%r = call @self(...)` immediately followed by
+    // `ret %r` (or call + ret for void)
+    let mut sites: Vec<(BlockId, InstId, InstId)> = Vec::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let insts = f.block(b).unwrap().insts.clone();
+        if insts.len() < 2 {
+            continue;
+        }
+        let ret = insts[insts.len() - 1];
+        let call = insts[insts.len() - 2];
+        let Op::Ret { val } = f.op(ret) else { continue };
+        let Op::Call { callee, .. } = f.op(call) else { continue };
+        if *callee != fid {
+            continue;
+        }
+        let ok = match val {
+            None => true,
+            Some(v) => *v == Value::Inst(call),
+        };
+        if ok {
+            sites.push((b, call, ret));
+        }
+    }
+    if sites.is_empty() {
+        return false;
+    }
+
+    // Build: new entry block branching to the old entry; parameters become
+    // phis in the old entry.
+    let old_entry = f.entry;
+    let new_entry = f.add_block();
+    f.entry = new_entry;
+    f.append_inst(new_entry, Op::Br { target: old_entry });
+
+    let params = f.params.clone();
+    let mut param_phis = Vec::new();
+    for (i, ty) in params.iter().enumerate() {
+        let phi = f.insert_inst(
+            old_entry,
+            i,
+            Op::Phi { ty: *ty, incomings: vec![(new_entry, Value::Arg(i as u32))] },
+        );
+        param_phis.push(phi);
+    }
+    // replace Arg uses with the phis (except inside the phis themselves)
+    for id in f.inst_ids() {
+        if param_phis.contains(&id) {
+            continue;
+        }
+        if let Some(inst) = f.inst_mut(id) {
+            inst.op.map_operands(|v| match v {
+                Value::Arg(i) => Value::Inst(param_phis[i as usize]),
+                other => other,
+            });
+        }
+    }
+    // rewrite each tail-call site into a jump back to the loop header
+    for (b, call, ret) in sites {
+        let Op::Call { args, .. } = f.op(call).clone() else { unreachable!() };
+        for (i, phi) in param_phis.iter().enumerate() {
+            let incoming = args.get(i).copied().unwrap_or(Value::Const(Const::Undef(params[i])));
+            if let Op::Phi { incomings, .. } = &mut f.inst_mut(*phi).unwrap().op {
+                incomings.push((b, incoming));
+            }
+        }
+        f.remove_inst(call);
+        f.inst_mut(ret).unwrap().op = Op::Br { target: old_entry };
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// jump-threading
+// ---------------------------------------------------------------------------
+
+/// `-jump-threading`: when a block branches on a phi with constant
+/// incomings, predecessors contributing constants jump directly to the
+/// decided successor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JumpThreading;
+
+impl Pass for JumpThreading {
+    fn name(&self) -> &'static str {
+        "jump-threading"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= thread_jumps(f);
+        });
+        changed
+    }
+}
+
+fn thread_jumps(f: &mut Function) -> bool {
+    let mut changed = false;
+    // iterate to a fixpoint; each successful thread invalidates the maps
+    for _ in 0..32 {
+        if !thread_one(f) {
+            break;
+        }
+        changed = true;
+    }
+    if changed {
+        crate::util::remove_unreachable_blocks(f);
+        crate::util::simplify_trivial_phis(f);
+    }
+    changed
+}
+
+fn thread_one(f: &mut Function) -> bool {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if b == f.entry {
+            continue;
+        }
+        let insts = f.block(b).unwrap().insts.clone();
+        // shape: block is exactly [phi, condbr(phi)] so threading is safe
+        if insts.len() != 2 {
+            continue;
+        }
+        let (phi, term) = (insts[0], insts[1]);
+        let Op::Phi { incomings, .. } = f.op(phi).clone() else { continue };
+        let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() else { continue };
+        if cond != Value::Inst(phi) || then_bb == else_bb || then_bb == b || else_bb == b {
+            continue;
+        }
+        // the phi must have no users besides the branch: threading away an
+        // incoming edge must not change a value observed elsewhere
+        let uses = f.uses();
+        if uses.get(&phi).map(|u| u.iter().any(|&x| x != term)).unwrap_or(false) {
+            continue;
+        }
+        // thread predecessors that contribute constants
+        for (pred, v) in &incomings {
+            let Some(c) = v.const_int() else { continue };
+            let target = if c != 0 { then_bb } else { else_bb };
+            // the target must not have phis keyed by `b` conflicts with pred
+            let preds_of_target = f.predecessors();
+            if preds_of_target.get(&target).map(|p| p.contains(pred)).unwrap_or(false) {
+                continue; // would create a duplicate edge into a phi
+            }
+            // pred's terminator edge b -> target
+            let Some(pterm) = f.terminator(*pred) else { continue };
+            // don't thread if pred reaches b on both condbr edges
+            let n = f.op(pterm).successors().iter().filter(|&&s| s == b).count();
+            if n != 1 {
+                continue;
+            }
+            f.inst_mut(pterm).unwrap().op.map_blocks(|t| if t == b { target } else { t });
+            // extend target's phis: value that flowed through b's edge
+            for &tid in &f.block(target).unwrap().insts.clone() {
+                if let Op::Phi { incomings: tin, .. } = &mut f.inst_mut(tid).unwrap().op {
+                    if let Some((_, tv)) = tin.iter().find(|(p, _)| *p == b).copied() {
+                        tin.push((*pred, tv));
+                    }
+                }
+            }
+            // remove pred from b's phi
+            if let Op::Phi { incomings: bin, .. } = &mut f.inst_mut(phi).unwrap().op {
+                bin.retain(|(p, _)| p != pred);
+            }
+            if matches!(f.op(phi), Op::Phi { incomings, .. } if incomings.is_empty()) {
+                // b became unreachable; clean up immediately so the
+                // function never holds an empty phi
+                crate::util::remove_unreachable_blocks(f);
+            }
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// correlated-propagation
+// ---------------------------------------------------------------------------
+
+/// `-correlated-propagation`: in code dominated by the true edge of
+/// `condbr (icmp eq x, C)`, uses of `x` become `C`; uses of the condition
+/// itself become `true`/`false` on the respective sides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorrelatedPropagation;
+
+impl Pass for CorrelatedPropagation {
+    fn name(&self) -> &'static str {
+        "correlated-propagation"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= propagate_correlations(f);
+        });
+        changed
+    }
+}
+
+fn propagate_correlations(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let mut changed = false;
+    for b in cfg.rpo.clone() {
+        let Some(term) = f.terminator(b) else { continue };
+        let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() else { continue };
+        if then_bb == else_bb {
+            continue;
+        }
+        // The then-side facts hold in blocks dominated by then_bb *if* the
+        // edge is the only way in (then_bb has exactly one predecessor).
+        let single_pred = |x: BlockId| cfg.preds.get(&x).map(|p| p.len() == 1).unwrap_or(false);
+        let mut facts: Vec<(BlockId, Value, Value)> = Vec::new(); // (root, from, to)
+        if single_pred(then_bb) && then_bb != b {
+            facts.push((then_bb, cond, Value::bool(true)));
+            if let Value::Inst(ci) = cond {
+                if let Op::Icmp { pred: IntPred::Eq, lhs, rhs, .. } = f.op(ci) {
+                    if rhs.is_const() {
+                        facts.push((then_bb, *lhs, *rhs));
+                    }
+                }
+            }
+        }
+        if single_pred(else_bb) && else_bb != b {
+            facts.push((else_bb, cond, Value::bool(false)));
+            if let Value::Inst(ci) = cond {
+                if let Op::Icmp { pred: IntPred::Ne, lhs, rhs, .. } = f.op(ci) {
+                    if rhs.is_const() {
+                        facts.push((else_bb, *lhs, *rhs));
+                    }
+                }
+            }
+        }
+        for (root, from, to) in facts {
+            if from.is_const() {
+                continue;
+            }
+            for &blk in &cfg.rpo {
+                if !dt.dominates(root, blk) {
+                    continue;
+                }
+                for id in f.block(blk).unwrap().insts.clone() {
+                    // do not rewrite the branch itself or phi incomings from
+                    // edges outside the dominated region
+                    if id == term {
+                        continue;
+                    }
+                    if let Op::Phi { .. } = f.op(id) {
+                        continue;
+                    }
+                    let before = f.op(id).clone();
+                    f.replace_uses_in(id, from, to);
+                    if *f.op(id) != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// speculative-execution
+// ---------------------------------------------------------------------------
+
+/// `-speculative-execution`: hoists a few cheap, side-effect-free
+/// instructions from both arms of a conditional branch into the branch
+/// block, exposing if-conversion opportunities to `simplifycfg`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeculativeExecution;
+
+impl Pass for SpeculativeExecution {
+    fn name(&self) -> &'static str {
+        "speculative-execution"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= speculate(f);
+        });
+        changed
+    }
+}
+
+const SPEC_LIMIT: usize = 4;
+
+fn speculate(f: &mut Function) -> bool {
+    let mut changed = false;
+    let preds = f.predecessors();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Some(term) = f.terminator(b) else { continue };
+        let Op::CondBr { then_bb, else_bb, .. } = f.op(term).clone() else { continue };
+        for arm in [then_bb, else_bb] {
+            if arm == b || preds.get(&arm).map(|p| p.len() != 1).unwrap_or(true) {
+                continue;
+            }
+            let insts = f.block(arm).unwrap().insts.clone();
+            let mut hoistable = Vec::new();
+            for &id in &insts {
+                let op = f.op(id);
+                if op.is_terminator() {
+                    break;
+                }
+                // speculation must be side-effect free, non-trapping and
+                // must not allocate
+                if !op.is_pure() || matches!(op, Op::Alloca { .. } | Op::Phi { .. }) {
+                    hoistable.clear();
+                    break;
+                }
+                hoistable.push(id);
+                if hoistable.len() > SPEC_LIMIT {
+                    hoistable.clear();
+                    break;
+                }
+            }
+            // Hoist only if the whole straight-line prefix is speculatable
+            // (all of the arm except its terminator).
+            if hoistable.is_empty() || hoistable.len() + 1 != insts.len() {
+                continue;
+            }
+            for id in hoistable {
+                f.move_inst_before_terminator(id, b);
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// div-rem-pairs
+// ---------------------------------------------------------------------------
+
+/// `-div-rem-pairs`: when both `sdiv a, b` and `srem a, b` are computed and
+/// the division dominates the remainder, the remainder becomes
+/// `a - (a / b) * b`, sharing the expensive division.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DivRemPairs;
+
+impl Pass for DivRemPairs {
+    fn name(&self) -> &'static str {
+        "div-rem-pairs"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= div_rem_pairs(f);
+        });
+        changed
+    }
+}
+
+fn div_rem_pairs(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    // position index for same-block ordering
+    let mut pos: HashMap<InstId, (BlockId, usize)> = HashMap::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for (i, &id) in f.block(b).unwrap().insts.iter().enumerate() {
+            pos.insert(id, (b, i));
+        }
+    }
+    let mut divs: HashMap<(Value, Value, Ty), InstId> = HashMap::new();
+    for id in f.inst_ids() {
+        if let Op::Bin { op: BinOp::SDiv, ty, lhs, rhs } = f.op(id) {
+            divs.entry((*lhs, *rhs, *ty)).or_insert(id);
+        }
+    }
+    let mut changed = false;
+    for id in f.inst_ids() {
+        if f.inst(id).is_none() {
+            continue;
+        }
+        let Op::Bin { op: BinOp::SRem, ty, lhs, rhs } = *f.op(id) else { continue };
+        let Some(&div) = divs.get(&(lhs, rhs, ty)) else { continue };
+        if div == id {
+            continue;
+        }
+        let (db, di) = pos[&div];
+        let (rb, ri) = pos[&id];
+        let dominates = if db == rb { di < ri } else { dt.strictly_dominates(db, rb) };
+        if !dominates {
+            continue;
+        }
+        // rem = a - (a/b)*b ; insert mul then rewrite rem to sub
+        let mul = f.insert_inst(rb, ri, Op::Bin { op: BinOp::Mul, ty, lhs: Value::Inst(div), rhs });
+        f.inst_mut(id).unwrap().op = Op::Bin { op: BinOp::Sub, ty, lhs, rhs: Value::Inst(mul) };
+        changed = true;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// float2int
+// ---------------------------------------------------------------------------
+
+/// `-float2int`: demotes float arithmetic that starts and ends in *narrow*
+/// integers back to integer arithmetic:
+/// `fptosi(fop(sitofp(a), sitofp(b)))` → `iop(a, b)` for i32-or-narrower
+/// operands, where f64 arithmetic is exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Float2Int;
+
+impl Pass for Float2Int {
+    fn name(&self) -> &'static str {
+        "float2int"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= float_to_int(f);
+        });
+        changed
+    }
+}
+
+fn float_to_int(f: &mut Function) -> bool {
+    let mut changed = false;
+    for id in f.inst_ids() {
+        if f.inst(id).is_none() {
+            continue;
+        }
+        let Op::Cast { kind: CastKind::FpToSi, to, val } = *f.op(id) else { continue };
+        if to != Ty::I32 {
+            continue;
+        }
+        let Value::Inst(fop) = val else { continue };
+        let Op::Bin { op, lhs, rhs, .. } = *f.op(fop) else { continue };
+        let iop = match op {
+            BinOp::FAdd => BinOp::Add,
+            BinOp::FSub => BinOp::Sub,
+            BinOp::FMul => BinOp::Mul,
+            _ => continue,
+        };
+        let as_narrow_int = |v: Value, f: &Function| -> Option<Value> {
+            let Value::Inst(c) = v else { return None };
+            let Op::Cast { kind: CastKind::SiToFp, val, .. } = *f.op(c) else { return None };
+            let ty = match val {
+                Value::Inst(i) => f.op(i).result_ty(),
+                Value::Arg(i) => f.params.get(i as usize).copied()?,
+                Value::Const(k) => k.ty(),
+                _ => return None,
+            };
+            // i32 add/sub are exact in f64; i32 mul can reach 2^62 < 2^53?
+            // No: i32*i32 can be ~2^62 which f64 cannot represent exactly,
+            // but the *int* result wraps while the float result rounds, so
+            // only allow i8-sourced multiplies and i32 add/sub.
+            match (iop, ty) {
+                (BinOp::Mul, Ty::I8) => Some(val),
+                (BinOp::Add | BinOp::Sub, Ty::I32 | Ty::I8) => Some(val),
+                _ => None,
+            }
+        };
+        let (Some(a), Some(b)) = (as_narrow_int(lhs, f), as_narrow_int(rhs, f)) else { continue };
+        // operand widths must match the i32 result; widen i8 sources
+        let block = f.inst(id).unwrap().block;
+        let posn = f.block(block).unwrap().insts.iter().position(|&i| i == id).unwrap();
+        let widen = |v: Value, f: &mut Function, posn: &mut usize| -> Value {
+            let ty = match v {
+                Value::Inst(i) => f.op(i).result_ty(),
+                Value::Arg(i) => f.params[i as usize],
+                Value::Const(k) => k.ty(),
+                _ => Ty::I32,
+            };
+            if ty == Ty::I32 {
+                return v;
+            }
+            let c = f.insert_inst(block, *posn, Op::Cast { kind: CastKind::SExt, to: Ty::I32, val: v });
+            *posn += 1;
+            Value::Inst(c)
+        };
+        // fptosi rounds toward zero; integer arithmetic is exact here, and
+        // i32 add/sub of i32 inputs can overflow i32 while the f64 result
+        // does not wrap. Guard: only i8/i16-ish inputs for add/sub too.
+        let tight = |v: Value, f: &Function| -> bool {
+            let ty = match v {
+                Value::Inst(i) => f.op(i).result_ty(),
+                Value::Arg(i) => f.params[i as usize],
+                Value::Const(k) => k.ty(),
+                _ => Ty::I32,
+            };
+            ty == Ty::I8
+        };
+        if !(tight(a, f) && tight(b, f)) {
+            continue;
+        }
+        let mut p = posn;
+        let wa = widen(a, f, &mut p);
+        let wb = widen(b, f, &mut p);
+        f.inst_mut(id).unwrap().op = Op::Bin { op: iop, ty: Ty::I32, lhs: wa, rhs: wb };
+        changed = true;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// mldst-motion
+// ---------------------------------------------------------------------------
+
+/// `-mldst-motion`: sinks a pair of stores to the same address from both
+/// arms of a diamond into the merge block, selecting the stored value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergedLoadStoreMotion;
+
+impl Pass for MergedLoadStoreMotion {
+    fn name(&self) -> &'static str {
+        "mldst-motion"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= sink_stores(f);
+        });
+        changed
+    }
+}
+
+fn sink_stores(f: &mut Function) -> bool {
+    let mut changed = false;
+    let preds = f.predecessors();
+    for m in f.block_ids().collect::<Vec<_>>() {
+        let ps = match preds.get(&m) {
+            Some(p) if p.len() == 2 => p.clone(),
+            _ => continue,
+        };
+        let (a, b) = (ps[0], ps[1]);
+        if a == b {
+            continue;
+        }
+        // both arms end with [store; br m] and the store is their only
+        // memory operation
+        let last_store = |x: BlockId, f: &Function| -> Option<InstId> {
+            let insts = &f.block(x).unwrap().insts;
+            if insts.len() < 2 {
+                return None;
+            }
+            let s = insts[insts.len() - 2];
+            let t = insts[insts.len() - 1];
+            if !matches!(f.op(t), Op::Br { target } if *target == m) {
+                return None;
+            }
+            match f.op(s) {
+                Op::Store { .. } => Some(s),
+                _ => None,
+            }
+        };
+        let (Some(sa), Some(sb)) = (last_store(a, f), last_store(b, f)) else { continue };
+        let Op::Store { ty: ta, val: va, ptr: pa } = *f.op(sa) else { continue };
+        let Op::Store { ty: tb, val: vb, ptr: pb } = *f.op(sb) else { continue };
+        if ta != tb || pa != pb {
+            continue;
+        }
+        // the stored values must be available in m; both arms' values are
+        // defined at or above the stores, and m is dominated by the diamond
+        // head — a phi in m selects between them.
+        // find the branch head: both a and b must have the same single pred
+        let head = match (preds.get(&a), preds.get(&b)) {
+            (Some(x), Some(y)) if x.len() == 1 && y.len() == 1 && x[0] == y[0] => x[0],
+            _ => continue,
+        };
+        let _ = head;
+        let phi = f.insert_inst(m, 0, Op::Phi { ty: ta, incomings: vec![(a, va), (b, vb)] });
+        // insert the merged store after the phis of m
+        let first_non_phi = f
+            .block(m)
+            .unwrap()
+            .insts
+            .iter()
+            .position(|&i| !matches!(f.op(i), Op::Phi { .. }))
+            .unwrap_or(0);
+        f.insert_inst(m, first_non_phi, Op::Store { ty: ta, val: Value::Inst(phi), ptr: pa });
+        f.remove_inst(sa);
+        f.remove_inst(sb);
+        changed = true;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// memcpyopt
+// ---------------------------------------------------------------------------
+
+/// `-memcpyopt`: forwards loads from a `memcpy` destination to its source
+/// within the same block (no intervening clobbers), and collapses
+/// memcpy-of-memcpy chains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemCpyOpt;
+
+impl Pass for MemCpyOpt {
+    fn name(&self) -> &'static str {
+        "memcpyopt"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= memcpy_forward(&snapshot, f);
+        });
+        changed
+    }
+}
+
+/// The element type of a pointer's root allocation, when statically known.
+fn root_elem_ty(m: &Module, f: &Function, v: Value) -> Option<Ty> {
+    match crate::util::pointer_root(f, v).0 {
+        crate::util::PtrRoot::Global(g) => m.global(g).map(|g| g.ty),
+        crate::util::PtrRoot::Alloca(a) => match f.op(a) {
+            Op::Alloca { ty, .. } => Some(*ty),
+            _ => None,
+        },
+        crate::util::PtrRoot::Unknown => None,
+    }
+}
+
+fn memcpy_forward(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // active memcpys in this block: dst -> (src, len, elem_ty)
+        let mut active: Vec<(Value, Value, Value, Ty)> = Vec::new();
+        for id in f.block(b).unwrap().insts.clone() {
+            if f.inst(id).is_none() {
+                continue;
+            }
+            match f.op(id).clone() {
+                Op::MemCpy { elem_ty, dst: _, src, len } => {
+                    // chain: if src is itself the dst of an active memcpy
+                    // with the same length, read from the original source
+                    if let Some((_, orig_src, olen, oty)) =
+                        active.iter().find(|(d, _, _, _)| *d == src).cloned()
+                    {
+                        if olen == len && oty == elem_ty {
+                            if let Op::MemCpy { src: s, .. } = &mut f.inst_mut(id).unwrap().op {
+                                *s = orig_src;
+                                changed = true;
+                            }
+                        }
+                    }
+                    let Op::MemCpy { dst, src, len, elem_ty } = f.op(id).clone() else {
+                        unreachable!()
+                    };
+                    // this copy clobbers dst
+                    active.retain(|(d, s, _, _)| {
+                        !may_alias(f, *d, dst) && !may_alias(f, *s, dst)
+                    });
+                    active.push((dst, src, len, elem_ty));
+                }
+                Op::Store { ptr, .. } | Op::MemSet { dst: ptr, .. } => {
+                    active.retain(|(d, s, _, _)| !may_alias(f, *d, ptr) && !may_alias(f, *s, ptr));
+                }
+                Op::Load { ty, ptr } => {
+                    // load from dst+k -> load from src+k when k is constant
+                    // and within the copied length
+                    let mut redirect: Option<Value> = None;
+                    for (d, s, len, ety) in &active {
+                        // the redirected load reads the *source* allocation,
+                        // whose element type must match
+                        if *ety != ty || root_elem_ty(m, f, *s) != Some(ty) {
+                            continue;
+                        }
+                        if ptr == *d && len.const_int().map(|n| n >= 1).unwrap_or(false) {
+                            redirect = Some(*s);
+                            break;
+                        }
+                        if let Value::Inst(gi) = ptr {
+                            if let Op::Gep { ptr: base, index, elem_ty } = f.op(gi) {
+                                if *base == *d && *elem_ty == ty {
+                                    if let (Some(k), Some(n)) = (index.const_int(), len.const_int())
+                                    {
+                                        if k >= 0 && k < n {
+                                            // build gep off the source
+                                            let blk = f.inst(id).unwrap().block;
+                                            let posn = f
+                                                .block(blk)
+                                                .unwrap()
+                                                .insts
+                                                .iter()
+                                                .position(|&x| x == id)
+                                                .unwrap();
+                                            let g = f.insert_inst(
+                                                blk,
+                                                posn,
+                                                Op::Gep { elem_ty: ty, ptr: *s, index: Value::i64(k) },
+                                            );
+                                            redirect = Some(Value::Inst(g));
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some(np) = redirect {
+                        if let Op::Load { ptr: p, .. } = &mut f.inst_mut(id).unwrap().op {
+                            *p = np;
+                            changed = true;
+                        }
+                    }
+                }
+                Op::Call { callee, .. } => {
+                    if !crate::util::call_is_readonly(m, callee) {
+                        active.clear();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// intentionally-minimal lowering passes
+// ---------------------------------------------------------------------------
+
+macro_rules! trivial_pass {
+    ($(#[$doc:meta])* $name:ident, $flag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        impl Pass for $name {
+            fn name(&self) -> &'static str {
+                $flag
+            }
+
+            fn run(&self, _module: &mut Module) -> bool {
+                false
+            }
+        }
+    };
+}
+
+trivial_pass!(
+    /// `-lower-expect`: the mini-IR has no `llvm.expect` intrinsics to
+    /// lower, so this faithfully does nothing (it is registered so Oz-derived
+    /// pipelines and sub-sequences resolve).
+    LowerExpect,
+    "lower-expect"
+);
+trivial_pass!(
+    /// `-lower-constant-intrinsics`: no `llvm.is.constant`/`objectsize`
+    /// intrinsics exist in the mini-IR; a faithful no-op.
+    LowerConstantIntrinsics,
+    "lower-constant-intrinsics"
+);
+trivial_pass!(
+    /// `-alignment-from-assumptions`: the mini-IR has no `llvm.assume`
+    /// alignment annotations; a faithful no-op.
+    AlignmentFromAssumptions,
+    "alignment-from-assumptions"
+);
+trivial_pass!(
+    /// `-ee-instrument`: entry/exit instrumentation applies only when
+    /// building with `-finstrument-functions`; a faithful no-op.
+    EeInstrument,
+    "ee-instrument"
+);
+trivial_pass!(
+    /// `-barrier`: a pass-manager barrier; carries no IR transformation.
+    Barrier,
+    "barrier"
+);
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn reassociate_folds_scattered_constants() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64, i64) -> i64 internal {
+bb0:
+  %a = add i64 5:i64, %arg0
+  %b = add i64 %a, %arg1
+  %c = add i64 %b, 7:i64
+  ret %c
+}
+"#,
+            &["reassociate"],
+            &[vec![RtVal::Int(1), RtVal::Int(2)]],
+        );
+        // (arg0 + arg1) + 12
+        assert_eq!(count_ops(&m, "add"), 2);
+    }
+
+    #[test]
+    fn tailcall_becomes_loop() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @count(i64, i64) -> i64 internal {
+bb0:
+  %c = icmp sle i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret %arg1
+bb2:
+  %n = sub i64 %arg0, 1:i64
+  %acc = add i64 %arg1, %arg0
+  %r = call @count(%n, %acc) -> i64
+  ret %r
+}
+fn @main() -> i64 internal {
+bb0:
+  %r = call @count(10:i64, 0:i64) -> i64
+  ret %r
+}
+"#,
+            &["tailcallelim"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("count").unwrap()).unwrap();
+        let self_calls = f
+            .inst_ids()
+            .iter()
+            .filter(|&&id| matches!(f.op(id), posetrl_ir::Op::Call { callee, .. } if m.func(*callee).unwrap().name == "count"))
+            .count();
+        assert_eq!(self_calls, 0, "self tail call becomes a loop");
+        assert!(count_ops(&m, "phi") >= 2);
+    }
+
+    #[test]
+    fn tailcall_deep_recursion_no_longer_overflows() {
+        use posetrl_ir::interp::Interpreter;
+        use posetrl_ir::parser::parse_module;
+        let text = r#"
+module "m"
+fn @count(i64, i64) -> i64 internal {
+bb0:
+  %c = icmp sle i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret %arg1
+bb2:
+  %n = sub i64 %arg0, 1:i64
+  %acc = add i64 %arg1, %arg0
+  %r = call @count(%n, %acc) -> i64
+  ret %r
+}
+"#;
+        let mut m = parse_module(text).unwrap();
+        crate::manager::PassManager::new().run_pass(&mut m, "tailcallelim").unwrap();
+        let out = Interpreter::new(&m).run("count", &[RtVal::Int(5000), RtVal::Int(0)]);
+        assert_eq!(out.result, Ok(Some(RtVal::Int(5000 * 5001 / 2))));
+    }
+
+    #[test]
+    fn jump_threading_bypasses_phi_branch() {
+        let m = assert_preserves(
+            r#"
+module "m"
+declare @print_i64(i64) -> void
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  call @print_i64(1:i64) -> void
+  br bb3
+bb2:
+  call @print_i64(2:i64) -> void
+  br bb3
+bb3:
+  %flag = phi i1 [bb1: true], [bb2: false]
+  condbr %flag, bb4, bb5
+bb4:
+  ret 100:i64
+bb5:
+  ret 200:i64
+}
+"#,
+            &["jump-threading"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(-5)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        // bb3 becomes unreachable and is removed; preds jump straight to
+        // bb4/bb5
+        assert!(f.num_blocks() <= 5);
+        assert_eq!(count_ops(&m, "phi"), 0);
+    }
+
+    #[test]
+    fn correlated_propagation_uses_branch_facts() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp eq i64 %arg0, 10:i64
+  condbr %c, bb1, bb2
+bb1:
+  %r = add i64 %arg0, 1:i64
+  ret %r
+bb2:
+  ret 0:i64
+}
+"#,
+            &["correlated-propagation", "instcombine"],
+            &[vec![RtVal::Int(10)], vec![RtVal::Int(3)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        // in bb1, arg0 is known to be 10, so the add folds to 11
+        let has_add = f.inst_ids().iter().any(|&id| f.op(id).kind_name() == "add");
+        assert!(!has_add, "add folded using the equality fact");
+    }
+
+    #[test]
+    fn speculative_execution_hoists_small_arms() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %a = mul i64 %arg0, 3:i64
+  br bb3
+bb2:
+  %b = mul i64 %arg0, 5:i64
+  br bb3
+bb3:
+  %v = phi i64 [bb1: %a], [bb2: %b]
+  ret %v
+}
+"#,
+            &["speculative-execution", "simplifycfg"],
+            &[vec![RtVal::Int(2)], vec![RtVal::Int(-2)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_blocks(), 1, "speculation enables full if-conversion");
+        assert_eq!(count_ops(&m, "select"), 1);
+    }
+
+    #[test]
+    fn div_rem_pair_shares_division() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64, i64) -> i64 internal {
+bb0:
+  %z = icmp eq i64 %arg1, 0:i64
+  condbr %z, bb2, bb1
+bb1:
+  %d = sdiv i64 %arg0, %arg1
+  %r = srem i64 %arg0, %arg1
+  %s = add i64 %d, %r
+  ret %s
+bb2:
+  ret 0:i64
+}
+"#,
+            &["div-rem-pairs"],
+            &[vec![RtVal::Int(17), RtVal::Int(5)], vec![RtVal::Int(-17), RtVal::Int(5)], vec![RtVal::Int(17), RtVal::Int(0)]],
+        );
+        assert_eq!(count_ops(&m, "srem"), 0);
+        assert_eq!(count_ops(&m, "sdiv"), 1);
+    }
+
+    #[test]
+    fn float2int_demotes_narrow_arithmetic() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i32 internal {
+bb0:
+  %t = trunc %arg0 to i8
+  %fa = sitofp %t to f64
+  %fb = sitofp 3:i8 to f64
+  %fs = fadd f64 %fa, %fb
+  %r = fptosi %fs to i32
+  ret %r
+}
+"#,
+            &["float2int", "adce"],
+            &[vec![RtVal::Int(100)], vec![RtVal::Int(-100)]],
+        );
+        assert_eq!(count_ops(&m, "fadd"), 0);
+        assert_eq!(count_ops(&m, "sitofp"), 0);
+    }
+
+    #[test]
+    fn mldst_motion_merges_diamond_stores() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @g : i64 x 1 mutable internal = []
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  store i64 1:i64, @g
+  br bb3
+bb2:
+  store i64 2:i64, @g
+  br bb3
+bb3:
+  %v = load i64, @g
+  ret %v
+}
+"#,
+            &["mldst-motion"],
+            &[vec![RtVal::Int(4)], vec![RtVal::Int(-4)]],
+        );
+        assert_eq!(count_ops(&m, "store"), 1, "stores merged into one");
+    }
+
+    #[test]
+    fn memcpyopt_forwards_load_to_source() {
+        let m = assert_preserves(
+            r#"
+module "m"
+global @a : i64 x 4 mutable internal = [1:i64, 2:i64, 3:i64, 4:i64]
+global @b : i64 x 4 mutable internal = []
+fn @main() -> i64 internal {
+bb0:
+  memcpy i64 @b, @a, 4:i64
+  %p = gep i64, @b, 2:i64
+  %v = load i64, %p
+  ret %v
+}
+"#,
+            &["memcpyopt", "adce"],
+            &[],
+        );
+        // the load now reads @a directly
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        let loads_from_b = f.inst_ids().iter().any(|&id| {
+            if let posetrl_ir::Op::Load { ptr, .. } = f.op(id) {
+                let root = crate::util::pointer_root(f, *ptr).0;
+                matches!(root, crate::util::PtrRoot::Global(g) if m.global(g).unwrap().name == "b")
+            } else {
+                false
+            }
+        });
+        assert!(!loads_from_b);
+    }
+
+    #[test]
+    fn trivial_passes_run_and_do_nothing() {
+        let pm = crate::manager::PassManager::new();
+        let mut m = posetrl_ir::parser::parse_module(
+            "module \"m\"\nfn @f() -> void internal {\nbb0:\n  ret\n}\n",
+        )
+        .unwrap();
+        for p in ["lower-expect", "lower-constant-intrinsics", "alignment-from-assumptions", "ee-instrument", "barrier"] {
+            assert!(!pm.run_pass(&mut m, p).unwrap());
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! `-sccp` and `-ipsccp`: sparse conditional constant propagation.
+//!
+//! `sccp` runs the classic Wegman–Zadeck lattice analysis per function:
+//! values start unknown (⊤), meet to a constant or overdefined (⊥), and
+//! branch feasibility is tracked so code behind never-taken edges does not
+//! pollute the result. `ipsccp` additionally propagates constants across
+//! internal call boundaries (arguments passed identically at every call
+//! site, and constant return values).
+
+use crate::util::{remove_unreachable_blocks, simplify_trivial_phis};
+use crate::Pass;
+use posetrl_ir::{BlockId, Const, FuncId, Function, InstId, Linkage, Module, Op, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The constant-propagation lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lattice {
+    /// Not yet known (top).
+    Unknown,
+    /// Proven constant.
+    Const(Const),
+    /// Multiple possible values (bottom).
+    Over,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Unknown, x) | (x, Lattice::Unknown) => x,
+            (Lattice::Const(a), Lattice::Const(b)) if a == b => Lattice::Const(a),
+            _ => Lattice::Over,
+        }
+    }
+}
+
+/// The `sccp` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sccp;
+
+impl Pass for Sccp {
+    fn name(&self) -> &'static str {
+        "sccp"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        let snapshot = module.clone();
+        module.for_each_body(|_, f| {
+            changed |= sccp_function(&snapshot, f, &HashMap::new());
+        });
+        changed
+    }
+}
+
+/// The `ipsccp` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpSccp;
+
+impl Pass for IpSccp {
+    fn name(&self) -> &'static str {
+        "ipsccp"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        // Interprocedural seeding: for internal functions whose address is
+        // never taken, compute per-parameter meets over all call sites and
+        // per-function constant returns, then specialize.
+        for _round in 0..2 {
+            let address_taken: HashSet<FuncId> = module
+                .func_ids()
+                .flat_map(|fid| {
+                    let f = module.func(fid).unwrap();
+                    f.inst_ids()
+                        .into_iter()
+                        .flat_map(move |id| f.op(id).operands())
+                        .filter_map(|v| match v {
+                            Value::Func(t) => Some(t),
+                            _ => None,
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+
+            // arg meets
+            let mut arg_meet: HashMap<FuncId, Vec<Lattice>> = HashMap::new();
+            let mut callers: HashMap<FuncId, usize> = HashMap::new();
+            for fid in module.func_ids() {
+                let f = module.func(fid).unwrap();
+                for id in f.inst_ids() {
+                    if let Op::Call { callee, args, .. } = f.op(id) {
+                        *callers.entry(*callee).or_insert(0) += 1;
+                        let entry = arg_meet
+                            .entry(*callee)
+                            .or_insert_with(|| vec![Lattice::Unknown; args.len()]);
+                        for (i, a) in args.iter().enumerate() {
+                            let l = match a.as_const() {
+                                Some(c) if !c.is_undef() => Lattice::Const(c),
+                                _ => Lattice::Over,
+                            };
+                            if let Some(slot) = entry.get_mut(i) {
+                                *slot = slot.meet(l);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // constant returns
+            let mut const_ret: HashMap<FuncId, Const> = HashMap::new();
+            for fid in module.func_ids() {
+                let f = module.func(fid).unwrap();
+                if f.is_decl || f.linkage != Linkage::Internal {
+                    continue;
+                }
+                let mut ret: Lattice = Lattice::Unknown;
+                for id in f.inst_ids() {
+                    if let Op::Ret { val: Some(v) } = f.op(id) {
+                        let l = match v.as_const() {
+                            Some(c) if !c.is_undef() => Lattice::Const(c),
+                            _ => Lattice::Over,
+                        };
+                        ret = ret.meet(l);
+                    }
+                }
+                if let Lattice::Const(c) = ret {
+                    const_ret.insert(fid, c);
+                }
+            }
+
+            let mut round_changed = false;
+            let fids: Vec<FuncId> = module.func_ids().collect();
+            for fid in fids {
+                let f = module.func(fid).unwrap();
+                if f.is_decl {
+                    continue;
+                }
+                // seed argument lattices for internal, non-address-taken fns
+                let mut args: HashMap<u32, Const> = HashMap::new();
+                // Entry points can be invoked from outside the module with
+                // arbitrary arguments (the interpreter runs `main` directly),
+                // so only specialize functions whose complete caller set is
+                // visible inside the module.
+                let externally_invocable = f.name == "main" || f.linkage != Linkage::Internal;
+                if !externally_invocable
+                    && !address_taken.contains(&fid)
+                    && callers.get(&fid).copied().unwrap_or(0) > 0
+                {
+                    if let Some(meets) = arg_meet.get(&fid) {
+                        for (i, l) in meets.iter().enumerate() {
+                            if let Lattice::Const(c) = l {
+                                args.insert(i as u32, *c);
+                            }
+                        }
+                    }
+                }
+                // replace calls with known-constant returns (keep the call
+                // for its side effects; DCE cleans up pure ones)
+                let snapshot = module.clone();
+                let f = module.func_mut(fid).unwrap();
+                for id in f.inst_ids() {
+                    if let Op::Call { callee, .. } = f.op(id) {
+                        if let Some(&c) = const_ret.get(callee) {
+                            let uses = f.uses();
+                            if uses.get(&id).map(|u| !u.is_empty()).unwrap_or(false) {
+                                f.replace_all_uses(Value::Inst(id), Value::Const(c));
+                                round_changed = true;
+                            }
+                        }
+                    }
+                }
+                round_changed |= sccp_function(&snapshot, f, &args);
+            }
+            changed |= round_changed;
+            if !round_changed {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+/// Runs the SCCP analysis + rewrite on one function. `arg_consts` seeds
+/// known-constant parameters (used by `ipsccp`).
+fn sccp_function(m: &Module, f: &mut Function, arg_consts: &HashMap<u32, Const>) -> bool {
+    let mut value: HashMap<InstId, Lattice> = HashMap::new();
+    let mut exec_blocks: HashSet<BlockId> = HashSet::new();
+    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
+    let mut flow: VecDeque<BlockId> = VecDeque::new();
+    let mut ssa: VecDeque<InstId> = VecDeque::new();
+
+    let uses = f.uses();
+
+    let lattice_of = |v: Value, value: &HashMap<InstId, Lattice>| -> Lattice {
+        match v {
+            Value::Const(c) if !c.is_undef() => Lattice::Const(c),
+            Value::Const(_) => Lattice::Over,
+            Value::Inst(id) => value.get(&id).copied().unwrap_or(Lattice::Unknown),
+            Value::Arg(i) => match arg_consts.get(&i) {
+                Some(&c) => Lattice::Const(c),
+                None => Lattice::Over,
+            },
+            Value::Global(_) | Value::Func(_) => Lattice::Over,
+        }
+    };
+
+    flow.push_back(f.entry);
+    exec_blocks.insert(f.entry);
+
+    let eval_inst = |id: InstId,
+                     f: &Function,
+                     value: &HashMap<InstId, Lattice>,
+                     exec_edges: &HashSet<(BlockId, BlockId)>|
+     -> Lattice {
+        let op = f.op(id);
+        match op {
+            Op::Phi { incomings, .. } => {
+                let b = f.inst(id).unwrap().block;
+                let mut l = Lattice::Unknown;
+                for (p, v) in incomings {
+                    if exec_edges.contains(&(*p, b)) {
+                        l = l.meet(lattice_of(*v, value));
+                    }
+                }
+                l
+            }
+            Op::Load { .. } | Op::Call { .. } | Op::Alloca { .. } | Op::Gep { .. } => Lattice::Over,
+            op if op.result_ty() != posetrl_ir::Ty::Void => {
+                // operands all constant -> fold with interpreter semantics
+                let operands = op.operands();
+                let mut lat = Vec::with_capacity(operands.len());
+                for v in &operands {
+                    lat.push(lattice_of(*v, value));
+                }
+                if lat.iter().any(|l| matches!(l, Lattice::Over)) {
+                    return Lattice::Over;
+                }
+                if lat.iter().any(|l| matches!(l, Lattice::Unknown)) {
+                    return Lattice::Unknown;
+                }
+                // substitute and fold on a scratch clone
+                let mut scratch = op.clone();
+                let mut idx = 0usize;
+                scratch.map_operands(|_| {
+                    let l = lat[idx];
+                    idx += 1;
+                    match l {
+                        Lattice::Const(c) => Value::Const(c),
+                        _ => unreachable!("checked above"),
+                    }
+                });
+                // fold via a temporary single-inst view
+                match fold_scratch(&scratch) {
+                    Some(c) => Lattice::Const(c),
+                    None => Lattice::Over,
+                }
+            }
+            _ => Lattice::Over,
+        }
+    };
+
+    let mut guard = 0usize;
+    while !flow.is_empty() || !ssa.is_empty() {
+        guard += 1;
+        if guard > 200_000 {
+            break; // safety net; analysis is monotone so this should not hit
+        }
+        if let Some(b) = flow.pop_front() {
+            for &id in &f.block(b).unwrap().insts {
+                ssa.push_back(id);
+            }
+        }
+        if let Some(id) = ssa.pop_front() {
+            let b = f.inst(id).unwrap().block;
+            if !exec_blocks.contains(&b) {
+                continue;
+            }
+            let op = f.op(id);
+            if op.is_terminator() {
+                let succs: Vec<BlockId> = match op {
+                    Op::CondBr { cond, then_bb, else_bb } => match lattice_of(*cond, &value) {
+                        Lattice::Const(c) => {
+                            if c.as_int() == Some(1) {
+                                vec![*then_bb]
+                            } else {
+                                vec![*else_bb]
+                            }
+                        }
+                        Lattice::Unknown => vec![],
+                        Lattice::Over => vec![*then_bb, *else_bb],
+                    },
+                    Op::Br { target } => vec![*target],
+                    _ => vec![],
+                };
+                for s in succs {
+                    let new_edge = exec_edges.insert((b, s));
+                    let new_block = exec_blocks.insert(s);
+                    if new_block {
+                        flow.push_back(s);
+                    } else if new_edge {
+                        // re-evaluate phis of s
+                        for &pid in &f.block(s).unwrap().insts {
+                            if matches!(f.op(pid), Op::Phi { .. }) {
+                                ssa.push_back(pid);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            if op.result_ty() == posetrl_ir::Ty::Void {
+                continue;
+            }
+            let new = eval_inst(id, f, &value, &exec_edges);
+            let old = value.get(&id).copied().unwrap_or(Lattice::Unknown);
+            let merged = old.meet(new);
+            if merged != old {
+                value.insert(id, merged);
+                for u in uses.get(&id).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    ssa.push_back(*u);
+                }
+                // condbr users need re-evaluation too
+                for u in uses.get(&id).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if f.op(*u).is_terminator() {
+                        ssa.push_back(*u);
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite: constants, then constant branches, then unreachable code.
+    let mut changed = false;
+    for (id, l) in &value {
+        if let Lattice::Const(c) = l {
+            if f.inst(*id).is_some() {
+                f.replace_all_uses(Value::Inst(*id), Value::Const(*c));
+                if crate::util::is_removable(m, f, *id) {
+                    f.remove_inst(*id);
+                }
+                changed = true;
+            }
+        }
+    }
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Some(term) = f.terminator(b) else { continue };
+        if let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() {
+            if let Some(c) = cond.const_int() {
+                let (taken, dropped) = if c != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                if taken != dropped {
+                    f.inst_mut(term).unwrap().op = Op::Br { target: taken };
+                    f.remove_phi_incoming(dropped, b);
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed |= remove_unreachable_blocks(f);
+    changed |= simplify_trivial_phis(f);
+    changed
+}
+
+/// Folds an operation whose operands are all constants (scratch copy, not
+/// part of any function).
+fn fold_scratch(op: &Op) -> Option<Const> {
+    use posetrl_ir::interp::{eval_bin, eval_cast, RtVal};
+    let cv = |v: Value| -> Option<RtVal> {
+        match v.as_const()? {
+            Const::Int { val, .. } => Some(RtVal::Int(val)),
+            Const::Float(x) => Some(RtVal::Float(x)),
+            _ => None,
+        }
+    };
+    match op {
+        Op::Bin { op, ty, lhs, rhs } => {
+            let r = eval_bin(*op, *ty, cv(*lhs)?, cv(*rhs)?).ok()?;
+            match r {
+                RtVal::Int(i) => Some(Const::int(*ty, i)),
+                RtVal::Float(x) => Some(Const::Float(x)),
+                _ => None,
+            }
+        }
+        Op::Icmp { pred, lhs, rhs, .. } => {
+            Some(Const::bool(pred.eval(lhs.as_const()?.as_int()?, rhs.as_const()?.as_int()?)))
+        }
+        Op::Fcmp { pred, lhs, rhs } => {
+            Some(Const::bool(pred.eval(lhs.as_const()?.as_float()?, rhs.as_const()?.as_float()?)))
+        }
+        Op::Cast { kind, to, val } => {
+            let src = val.as_const()?.ty();
+            let r = posetrl_ir::interp::eval_cast_src(*kind, *to, src, cv(*val)?).ok()?;
+            match r {
+                RtVal::Int(i) => Some(Const::int(*to, i)),
+                RtVal::Float(x) => Some(Const::Float(x)),
+                _ => None,
+            }
+        }
+        Op::Select { cond, tval, fval, .. } => {
+            let c = cond.as_const()?.as_int()?;
+            (if c != 0 { tval } else { fval }).as_const()
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn propagates_through_feasible_edges_only() {
+        // The classic SCCP example: x is 1 on both paths of a branch that a
+        // simple pass would treat as joining 1 with an unreachable value.
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %x = phi i64 [bb0: 1:i64], [bb3: %y]
+  %c = icmp eq i64 %x, 1:i64
+  condbr %c, bb2, bb3
+bb2:
+  ret %x
+bb3:
+  %y = add i64 %x, 1:i64
+  br bb1
+}
+"#,
+            &["sccp"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_blocks(), 3, "infeasible back edge removed");
+        assert_eq!(count_ops(&m, "phi"), 0);
+        assert_eq!(count_ops(&m, "add"), 0);
+    }
+
+    #[test]
+    fn folds_constant_branch_chains() {
+        let m = assert_preserves(
+            r#"
+module "m"
+declare @print_i64(i64) -> void
+fn @main() -> i64 internal {
+bb0:
+  %a = add i64 2:i64, 2:i64
+  %c = icmp eq i64 %a, 4:i64
+  condbr %c, bb1, bb2
+bb1:
+  call @print_i64(%a) -> void
+  ret %a
+bb2:
+  call @print_i64(0:i64) -> void
+  ret 0:i64
+}
+"#,
+            &["sccp"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert!(f.num_blocks() <= 2, "dead branch removed");
+    }
+
+    #[test]
+    fn ipsccp_propagates_constant_arguments() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @scale(i64) -> i64 internal {
+bb0:
+  %r = mul i64 %arg0, 3:i64
+  ret %r
+}
+fn @main() -> i64 internal {
+bb0:
+  %a = call @scale(7:i64) -> i64
+  %b = call @scale(7:i64) -> i64
+  %s = add i64 %a, %b
+  ret %s
+}
+"#,
+            &["ipsccp"],
+            &[],
+        );
+        // scale's body folds to ret 21; call results replaced by 21
+        assert_eq!(count_ops(&m, "mul"), 0);
+    }
+
+    #[test]
+    fn ipsccp_keeps_varying_arguments() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @scale(i64) -> i64 internal {
+bb0:
+  %r = mul i64 %arg0, 3:i64
+  ret %r
+}
+fn @main() -> i64 internal {
+bb0:
+  %a = call @scale(7:i64) -> i64
+  %b = call @scale(8:i64) -> i64
+  %s = add i64 %a, %b
+  ret %s
+}
+"#,
+            &["ipsccp"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "mul"), 1, "argument varies across call sites");
+    }
+
+    #[test]
+    fn sccp_handles_select_and_casts() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %t = trunc 300:i64 to i8
+  %w = sext %t to i64
+  %c = icmp slt i64 %w, 0:i64
+  %s = select i64 %c, 1:i64, 2:i64
+  %r = add i64 %s, %arg0
+  ret %r
+}
+"#,
+            &["sccp"],
+            &[vec![RtVal::Int(10)]],
+        );
+        assert_eq!(m.num_insts(), 2, "everything but the final add folds");
+    }
+}

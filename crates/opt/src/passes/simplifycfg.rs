@@ -1,0 +1,483 @@
+//! `-simplifycfg`: CFG cleanup.
+//!
+//! Performs, to a fixpoint: unreachable-block elimination, constant-branch
+//! folding, linear block merging, empty-block forwarding, and if-conversion
+//! of small diamonds/triangles into `select`s.
+
+use crate::util::{remove_unreachable_blocks, simplify_trivial_phis};
+use crate::Pass;
+use posetrl_ir::analysis::Cfg;
+use posetrl_ir::{BlockId, Function, InstId, Module, Op, Value};
+
+/// The `simplifycfg` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplifyCfg;
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplifycfg"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        module.for_each_body(|_, f| {
+            changed |= simplify_function(f);
+        });
+        changed
+    }
+}
+
+/// Runs all CFG simplifications on one function to a fixpoint.
+pub fn simplify_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for _ in 0..8 {
+        let mut round = false;
+        round |= remove_unreachable_blocks(f);
+        round |= fold_constant_branches(f);
+        round |= simplify_trivial_phis(f);
+        round |= if_convert_to_selects(f);
+        round |= merge_linear_blocks(f);
+        round |= forward_empty_blocks(f);
+        round |= remove_unreachable_blocks(f);
+        if !round {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// `condbr const, a, b` becomes `br taken`; phi incomings from the dropped
+/// edge are removed.
+fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Some(term) = f.terminator(b) else { continue };
+        if let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() {
+            if then_bb == else_bb {
+                f.inst_mut(term).unwrap().op = Op::Br { target: then_bb };
+                changed = true;
+            } else if let Some(c) = cond.const_int() {
+                let (taken, dropped) = if c != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                f.inst_mut(term).unwrap().op = Op::Br { target: taken };
+                f.remove_phi_incoming(dropped, b);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Merges `b -> s` when `b` ends in an unconditional branch to `s` and `s`
+/// has no other predecessors.
+fn merge_linear_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let Some(term) = f.terminator(b) else { continue };
+            let Op::Br { target: s } = *f.op(term) else { continue };
+            if s == b || s == f.entry {
+                continue;
+            }
+            let ps = preds.get(&s).cloned().unwrap_or_default();
+            if ps.len() != 1 || ps[0] != b {
+                continue;
+            }
+            // resolve phis in s (single incoming, from b)
+            let s_insts: Vec<InstId> = f.block(s).unwrap().insts.clone();
+            for id in &s_insts {
+                if let Op::Phi { incomings, .. } = f.op(*id) {
+                    let v = incomings
+                        .iter()
+                        .find(|(p, _)| *p == b)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(Value::Const(posetrl_ir::Const::Undef(f.op(*id).result_ty())));
+                    f.replace_all_uses(Value::Inst(*id), v);
+                    f.remove_inst(*id);
+                }
+            }
+            // remove b's terminator, move s's remaining insts into b
+            f.remove_inst(term);
+            let remaining: Vec<InstId> = f.block(s).unwrap().insts.clone();
+            for id in remaining {
+                f.move_inst_to_end(id, b);
+            }
+            // successors of (old) s now flow from b
+            for succ in f.successors(b) {
+                f.retarget_phi_incoming(succ, s, b);
+            }
+            f.remove_block(s);
+            merged = true;
+            changed = true;
+            break; // predecessor map is stale; recompute
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Retargets predecessors of blocks that contain only `br target`, when the
+/// target's phis stay consistent.
+fn forward_empty_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.predecessors();
+        let mut forwarded = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if b == f.entry {
+                continue;
+            }
+            let insts = f.block(b).unwrap().insts.clone();
+            if insts.len() != 1 {
+                continue;
+            }
+            let Op::Br { target } = *f.op(insts[0]) else { continue };
+            if target == b {
+                continue;
+            }
+            let bs_preds = preds.get(&b).cloned().unwrap_or_default();
+            if bs_preds.is_empty() {
+                continue; // unreachable; other step handles it
+            }
+            // Duplicate-edge checks only matter when the target has phis:
+            // a predecessor that already branches to `target` directly, or
+            // reaches b on both condbr edges, would create duplicate phi
+            // incomings after retargeting.
+            let target_has_phis = f
+                .block(target)
+                .unwrap()
+                .insts
+                .iter()
+                .any(|&id| matches!(f.op(id), Op::Phi { .. }));
+            if target_has_phis {
+                let target_preds = preds.get(&target).cloned().unwrap_or_default();
+                if bs_preds.iter().any(|p| target_preds.contains(p)) {
+                    continue;
+                }
+                let mut ok = true;
+                for p in &bs_preds {
+                    let t = f.terminator(*p).unwrap();
+                    let n = f.op(t).successors().iter().filter(|&&s| s == b).count();
+                    if n > 1 {
+                        ok = false;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+            }
+            // retarget each predecessor and extend target's phis
+            let target_insts: Vec<InstId> = f.block(target).unwrap().insts.clone();
+            for p in &bs_preds {
+                let t = f.terminator(*p).unwrap();
+                f.inst_mut(t).unwrap().op.map_blocks(|x| if x == b { target } else { x });
+                for id in &target_insts {
+                    if let Op::Phi { incomings, .. } = &mut f.inst_mut(*id).unwrap().op {
+                        if let Some((_, v)) = incomings.iter().find(|(pb, _)| *pb == b).copied() {
+                            incomings.push((*p, v));
+                        }
+                    }
+                }
+            }
+            for id in &target_insts {
+                if let Op::Phi { incomings, .. } = &mut f.inst_mut(*id).unwrap().op {
+                    incomings.retain(|(pb, _)| *pb != b);
+                }
+            }
+            f.remove_block(b);
+            forwarded = true;
+            changed = true;
+            break;
+        }
+        if !forwarded {
+            return changed;
+        }
+    }
+}
+
+/// Converts diamonds/triangles whose arms are empty into selects:
+///
+/// ```text
+/// c: condbr %x, a, b      c: %v = select %x, va, vb
+/// a: br m            =>      br m
+/// b: br m
+/// m: %v = phi [a: va], [b: vb]
+/// ```
+fn if_convert_to_selects(f: &mut Function) -> bool {
+    let mut changed = false;
+    let cfg = Cfg::compute(f);
+    for &m in &cfg.rpo.clone() {
+        let preds = match cfg.preds.get(&m) {
+            Some(p) if p.len() == 2 => p.clone(),
+            _ => continue,
+        };
+        let (a, b) = (preds[0], preds[1]);
+        // Identify the branch block c and the shape.
+        let shape = diamond_or_triangle(f, &cfg, a, b, m);
+        let Some((c, cond, then_side, else_side)) = shape else { continue };
+        // Collect the phis of m.
+        let phi_ids: Vec<InstId> = f
+            .block(m)
+            .unwrap()
+            .insts
+            .iter()
+            .copied()
+            .filter(|&id| matches!(f.op(id), Op::Phi { .. }))
+            .collect();
+        if phi_ids.is_empty() {
+            continue;
+        }
+        // Replace each phi with a select inserted at the end of c.
+        let mut rewrites = Vec::new();
+        for id in &phi_ids {
+            let Op::Phi { ty, incomings } = f.op(*id).clone() else { unreachable!() };
+            let val_of = |side: BlockId| incomings.iter().find(|(p, _)| *p == side).map(|(_, v)| *v);
+            let (Some(tv), Some(fv)) = (val_of(then_side), val_of(else_side)) else {
+                rewrites.clear();
+                break;
+            };
+            rewrites.push((*id, ty, tv, fv));
+        }
+        if rewrites.is_empty() {
+            continue;
+        }
+        for (id, ty, tv, fv) in rewrites {
+            let sel = f.insert_before_terminator(c, Op::Select { ty, cond, tval: tv, fval: fv });
+            f.replace_all_uses(Value::Inst(id), Value::Inst(sel));
+            f.remove_inst(id);
+        }
+        changed = true;
+        // Structural cleanup (branch folding, merging) happens in the other
+        // steps of the fixpoint loop.
+        break;
+    }
+    changed
+}
+
+/// Checks whether predecessors `a`/`b` of `m` form an empty diamond or
+/// triangle hanging off one conditional branch. Returns
+/// `(branch block, condition, then-side pred of m, else-side pred of m)`.
+fn diamond_or_triangle(
+    f: &Function,
+    cfg: &Cfg,
+    a: BlockId,
+    b: BlockId,
+    m: BlockId,
+) -> Option<(BlockId, Value, BlockId, BlockId)> {
+    let is_empty_fwd = |x: BlockId| -> bool {
+        let insts = &f.block(x).unwrap().insts;
+        insts.len() == 1 && matches!(f.op(insts[0]), Op::Br { .. })
+    };
+    let single_pred = |x: BlockId| -> Option<BlockId> {
+        match cfg.preds.get(&x).map(|v| v.as_slice()) {
+            Some([p]) => Some(*p),
+            _ => None,
+        }
+    };
+    // Diamond: a and b are empty forwards with the same single pred c.
+    if is_empty_fwd(a) && is_empty_fwd(b) {
+        let (ca, cb) = (single_pred(a)?, single_pred(b)?);
+        if ca == cb {
+            if let Op::CondBr { cond, then_bb, else_bb } = f.op(f.terminator(ca)?) {
+                if (*then_bb == a && *else_bb == b) || (*then_bb == b && *else_bb == a) {
+                    let (t, e) = if *then_bb == a { (a, b) } else { (b, a) };
+                    return Some((ca, *cond, t, e));
+                }
+            }
+        }
+    }
+    // Triangle: one pred is the branch block itself, the other an empty fwd.
+    for (side, other) in [(a, b), (b, a)] {
+        if is_empty_fwd(side) {
+            if single_pred(side)? == other {
+                if let Op::CondBr { cond, then_bb, else_bb } = f.op(f.terminator(other)?) {
+                    if *then_bb == side && *else_bb == m {
+                        return Some((other, *cond, side, other));
+                    }
+                    if *then_bb == m && *else_bb == side {
+                        return Some((other, *cond, other, side));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn folds_constant_branch_and_drops_dead_arm() {
+        let m = assert_preserves(
+            r#"
+module "m"
+declare @print_i64(i64) -> void
+fn @main() -> i64 internal {
+bb0:
+  condbr true, bb1, bb2
+bb1:
+  call @print_i64(1:i64) -> void
+  ret 1:i64
+bb2:
+  call @print_i64(2:i64) -> void
+  ret 2:i64
+}
+"#,
+            &["simplifycfg"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_blocks(), 1, "dead arm removed and blocks merged");
+    }
+
+    #[test]
+    fn merges_linear_chain() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %a = add i64 1:i64, 2:i64
+  br bb1
+bb1:
+  %b = add i64 %a, 3:i64
+  br bb2
+bb2:
+  ret %b
+}
+"#,
+            &["simplifycfg"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn forwards_empty_block() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb3
+bb1:
+  br bb2
+bb2:
+  %p = phi i64 [bb1: 10:i64], [bb3: 20:i64]
+  ret %p
+bb3:
+  br bb2
+}
+"#,
+            &["simplifycfg"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(-5)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert!(f.num_blocks() <= 2, "empty forwarding blocks removed");
+    }
+
+    #[test]
+    fn if_converts_diamond_to_select() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %v = phi i64 [bb1: 7:i64], [bb2: 9:i64]
+  ret %v
+}
+"#,
+            &["simplifycfg"],
+            &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
+        );
+        assert_eq!(count_ops(&m, "select"), 1);
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn if_converts_triangle() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  br bb2
+bb2:
+  %v = phi i64 [bb1: 7:i64], [bb0: %arg0]
+  ret %v
+}
+"#,
+            &["simplifycfg"],
+            &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
+        );
+        assert_eq!(count_ops(&m, "select"), 1);
+    }
+
+    #[test]
+    fn keeps_loops_intact() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, %arg0
+  condbr %c, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["simplifycfg"],
+            &[vec![RtVal::Int(10)], vec![RtVal::Int(0)]],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert!(f.num_blocks() >= 3, "loop structure preserved");
+    }
+
+    #[test]
+    fn removes_unreachable_code() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  ret 1:i64
+bb1:
+  %x = add i64 1:i64, 2:i64
+  ret %x
+}
+"#,
+            &["simplifycfg"],
+            &[],
+        );
+        let f = m.func(m.func_by_name("main").unwrap()).unwrap();
+        assert_eq!(f.num_blocks(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! The standard optimization pipelines (`-O0` … `-Oz`).
+//!
+//! `oz()` is the exact LLVM 10 `-Oz` transformation-pass sequence from
+//! Table I of the POSET-RL paper (OCR artifacts corrected against LLVM 10's
+//! actual pass manager output: `-loop-inster` → the canonical
+//! `-loop-rotate -licm -loop-unswitch` run, `-alignmentfromassumptions` →
+//! `-alignment-from-assumptions`). The other levels are reduced variants
+//! with the same pass vocabulary, ordered the way LLVM's legacy pass
+//! manager orders them.
+
+/// The 90-pass `-Oz` sequence (Table I).
+pub fn oz() -> Vec<&'static str> {
+    vec![
+        "ee-instrument",
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "mem2reg",
+        "deadargelim",
+        "instcombine",
+        "simplifycfg",
+        "prune-eh",
+        "inline",
+        "functionattrs",
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+        "simplifycfg",
+        "instcombine",
+        "tailcallelim",
+        "simplifycfg",
+        "reassociate",
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "licm",
+        "loop-unswitch",
+        "simplifycfg",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "indvars",
+        "loop-idiom",
+        "loop-deletion",
+        "loop-unroll",
+        "mldst-motion",
+        "gvn",
+        "memcpyopt",
+        "sccp",
+        "bdce",
+        "instcombine",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "adce",
+        "simplifycfg",
+        "instcombine",
+        "barrier",
+        "elim-avail-extern",
+        "rpo-functionattrs",
+        "globalopt",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "loop-distribute",
+        "loop-vectorize",
+        "loop-simplify",
+        "loop-load-elim",
+        "instcombine",
+        "simplifycfg",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "loop-unroll",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "alignment-from-assumptions",
+        "strip-dead-prototypes",
+        "globaldce",
+        "constmerge",
+        "loop-simplify",
+        "lcssa",
+        "loop-sink",
+        "instsimplify",
+        "div-rem-pairs",
+        "simplifycfg",
+    ]
+}
+
+/// `-Os`: in LLVM 10 this is the `-Oz` pass roster with slightly less
+/// size-restrictive thresholds; our pass parameterization has no separate
+/// `-Os` tier, so it is modelled as the same sequence.
+pub fn os() -> Vec<&'static str> {
+    oz()
+}
+
+/// `-O0`: no optimization.
+pub fn o0() -> Vec<&'static str> {
+    Vec::new()
+}
+
+/// `-O1`: light cleanup.
+pub fn o1() -> Vec<&'static str> {
+    vec![
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "mem2reg",
+        "instcombine",
+        "simplifycfg",
+        "reassociate",
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "adce",
+        "simplifycfg",
+        "instcombine",
+        "globaldce",
+    ]
+}
+
+/// `-O2`: the full scalar/loop pipeline with moderate inlining.
+pub fn o2() -> Vec<&'static str> {
+    let mut p = vec![
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "globalopt",
+        "mem2reg",
+        "deadargelim",
+        "instcombine",
+        "simplifycfg",
+        "prune-eh",
+        "inline-aggressive",
+        "functionattrs",
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+        "simplifycfg",
+        "instcombine",
+        "tailcallelim",
+        "simplifycfg",
+        "reassociate",
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "licm",
+        "loop-unswitch-aggressive",
+        "simplifycfg",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "indvars",
+        "loop-idiom",
+        "loop-deletion",
+        "loop-unroll-aggressive",
+        "mldst-motion",
+        "gvn",
+        "memcpyopt",
+        "sccp",
+        "bdce",
+        "instcombine",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "adce",
+        "simplifycfg",
+        "instcombine",
+    ];
+    p.extend([
+        "barrier",
+        "elim-avail-extern",
+        "rpo-functionattrs",
+        "globalopt",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "loop-distribute",
+        "loop-vectorize-aggressive",
+        "loop-simplify",
+        "loop-load-elim",
+        "instcombine",
+        "simplifycfg",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "loop-unroll-aggressive",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "alignment-from-assumptions",
+        "strip-dead-prototypes",
+        "globaldce",
+        "constmerge",
+        "loop-sink",
+        "instsimplify",
+        "div-rem-pairs",
+        "simplifycfg",
+    ]);
+    p
+}
+
+/// `-O3`: `-O2` with extra rounds of unrolling/vectorization and more
+/// aggressive inlining (the inliner pass reads the pipeline name via a
+/// second `inline` run here).
+pub fn o3() -> Vec<&'static str> {
+    let mut p = o2();
+    // extra aggressive late passes, as the O3 extension points do
+    p.extend([
+        "inline-aggressive",
+        "sroa",
+        "early-cse-memssa",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "loop-unroll-aggressive",
+        "loop-vectorize-aggressive",
+        "instcombine",
+        "gvn",
+        "adce",
+        "simplifycfg",
+    ]);
+    p
+}
+
+/// Look up a pipeline by flag name (`"O0"`, `"-O2"`, `"Oz"`, ...).
+pub fn by_name(name: &str) -> Option<Vec<&'static str>> {
+    match name.trim_start_matches('-') {
+        "O0" => Some(o0()),
+        "O1" => Some(o1()),
+        "O2" => Some(o2()),
+        "O3" => Some(o3()),
+        "Os" => Some(os()),
+        "Oz" => Some(oz()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn oz_has_ninety_passes_fifty_four_unique() {
+        // The paper: "Oz of LLVM has 90 transformation passes, among which
+        // 54 are unique."
+        let seq = oz();
+        assert_eq!(seq.len(), 90);
+        let unique: HashSet<&str> = seq.iter().copied().collect();
+        assert_eq!(unique.len(), 54);
+    }
+
+    #[test]
+    fn by_name_accepts_dash_forms() {
+        assert!(by_name("-Oz").is_some());
+        assert!(by_name("O3").is_some());
+        assert!(by_name("O9").is_none());
+        assert!(by_name("O0").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Test helpers: semantic-equivalence checking for passes.
+
+use posetrl_ir::interp::{Interpreter, Observation, RtVal};
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::printer::print_module;
+use posetrl_ir::verifier::verify_module;
+use posetrl_ir::Module;
+
+/// Runs the module's `main` (or first defined function) on `args` and
+/// returns its observable behaviour.
+pub fn observe(m: &Module, args: &[RtVal]) -> Observation {
+    let entry = m
+        .func_by_name("main")
+        .or_else(|| m.func_ids().find(|&f| !m.func(f).unwrap().is_decl))
+        .expect("module has a function");
+    let name = m.func(entry).unwrap().name.clone();
+    Interpreter::new(m).run(&name, args).observation()
+}
+
+/// Asserts that applying `passes` to the module parsed from `text` keeps it
+/// verifier-clean and preserves observable behaviour for each argument set.
+///
+/// Returns the optimized module for additional structural assertions.
+pub fn assert_preserves(text: &str, passes: &[&str], arg_sets: &[Vec<RtVal>]) -> Module {
+    let m0 = parse_module(text).expect("test module parses");
+    verify_module(&m0).expect("test module verifies");
+    let mut m1 = m0.clone();
+    let pm = crate::manager::PassManager::new();
+    pm.run_pipeline(&mut m1, passes).expect("passes exist");
+    if let Err(e) = verify_module(&m1) {
+        panic!(
+            "verifier failed after {passes:?}: {e}\n--- before ---\n{}\n--- after ---\n{}",
+            print_module(&m0),
+            print_module(&m1)
+        );
+    }
+    let default_args = vec![Vec::new()];
+    let sets = if arg_sets.is_empty() { &default_args } else { arg_sets };
+    for args in sets {
+        let before = observe(&m0, args);
+        let after = observe(&m1, args);
+        if before != after {
+            panic!(
+                "behaviour changed by {passes:?} on args {args:?}:\nbefore: {before:?}\nafter: {after:?}\n--- before ---\n{}\n--- after ---\n{}",
+                print_module(&m0),
+                print_module(&m1)
+            );
+        }
+    }
+    m1
+}
+
+/// Counts instructions with the given opcode kind name across the module.
+pub fn count_ops(m: &Module, kind: &str) -> usize {
+    m.func_ids()
+        .map(|fid| {
+            let f = m.func(fid).unwrap();
+            f.inst_ids().iter().filter(|&&id| f.op(id).kind_name() == kind).count()
+        })
+        .sum()
+}

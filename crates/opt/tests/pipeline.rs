@@ -1,0 +1,308 @@
+//! Whole-pipeline integration tests: the standard O-levels and the paper's
+//! sub-sequences applied to nontrivial programs must preserve observable
+//! behaviour and keep the IR verifier-clean.
+
+use posetrl_ir::interp::{Interpreter, Observation, RtVal};
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::printer::print_module;
+use posetrl_ir::verifier::verify_module;
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+
+const PROGRAM_MATMUL: &str = r#"
+module "matmul"
+global @a : i64 x 16 mutable internal = [1:i64, 2:i64, 3:i64, 4:i64, 5:i64, 6:i64, 7:i64, 8:i64, 9:i64, 10:i64, 11:i64, 12:i64, 13:i64, 14:i64, 15:i64, 16:i64]
+global @b : i64 x 16 mutable internal = [2:i64, 0:i64, 1:i64, 3:i64, 1:i64, 1:i64, 4:i64, 0:i64, 5:i64, 2:i64, 2:i64, 1:i64, 0:i64, 3:i64, 1:i64, 2:i64]
+global @c : i64 x 16 mutable internal = []
+declare @print_i64(i64) -> void
+
+fn @idx(i64, i64) -> i64 internal {
+bb0:
+  %r = mul i64 %arg0, 4:i64
+  %s = add i64 %r, %arg1
+  ret %s
+}
+
+fn @main() -> i64 internal {
+bb0:
+  br bb_i
+bb_i:
+  %i = phi i64 [bb0: 0:i64], [bb_i_latch: %i2]
+  %ci = icmp slt i64 %i, 4:i64
+  condbr %ci, bb_j, bb_done
+bb_j:
+  %j = phi i64 [bb_i: 0:i64], [bb_j_latch: %j2]
+  %cj = icmp slt i64 %j, 4:i64
+  condbr %cj, bb_k, bb_i_latch
+bb_k:
+  %k = phi i64 [bb_j: 0:i64], [bb_k_body: %k2]
+  %acc = phi i64 [bb_j: 0:i64], [bb_k_body: %acc2]
+  %ck = icmp slt i64 %k, 4:i64
+  condbr %ck, bb_k_body, bb_j_latch
+bb_k_body:
+  %ia = call @idx(%i, %k) -> i64
+  %pa = gep i64, @a, %ia
+  %va = load i64, %pa
+  %ib = call @idx(%k, %j) -> i64
+  %pb = gep i64, @b, %ib
+  %vb = load i64, %pb
+  %prod = mul i64 %va, %vb
+  %acc2 = add i64 %acc, %prod
+  %k2 = add i64 %k, 1:i64
+  br bb_k
+bb_j_latch:
+  %ic = call @idx(%i, %j) -> i64
+  %pc = gep i64, @c, %ic
+  store i64 %acc, %pc
+  %j2 = add i64 %j, 1:i64
+  br bb_j
+bb_i_latch:
+  %i2 = add i64 %i, 1:i64
+  br bb_i
+bb_done:
+  br bb_sum
+bb_sum:
+  %n = phi i64 [bb_done: 0:i64], [bb_sum_body: %n2]
+  %t = phi i64 [bb_done: 0:i64], [bb_sum_body: %t2]
+  %cn = icmp slt i64 %n, 16:i64
+  condbr %cn, bb_sum_body, bb_out
+bb_sum_body:
+  %pp = gep i64, @c, %n
+  %vv = load i64, %pp
+  %t2 = add i64 %t, %vv
+  %n2 = add i64 %n, 1:i64
+  br bb_sum
+bb_out:
+  call @print_i64(%t) -> void
+  ret %t
+}
+"#;
+
+const PROGRAM_STATE_MACHINE: &str = r#"
+module "fsm"
+declare @print_i64(i64) -> void
+global @tape : i64 x 8 mutable internal = [1:i64, 0:i64, 2:i64, 1:i64, 0:i64, 2:i64, 2:i64, 1:i64]
+
+fn @step(i64, i64) -> i64 internal {
+bb0:
+  %is0 = icmp eq i64 %arg1, 0:i64
+  condbr %is0, bb_s0, bb_ck1
+bb_s0:
+  %n0 = add i64 %arg0, 1:i64
+  ret %n0
+bb_ck1:
+  %is1 = icmp eq i64 %arg1, 1:i64
+  condbr %is1, bb_s1, bb_s2
+bb_s1:
+  %n1 = mul i64 %arg0, 2:i64
+  ret %n1
+bb_s2:
+  %n2 = sub i64 %arg0, 3:i64
+  ret %n2
+}
+
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %st = phi i64 [bb0: 5:i64], [bb2: %st2]
+  %c = icmp slt i64 %i, 8:i64
+  condbr %c, bb2, bb3
+bb2:
+  %p = gep i64, @tape, %i
+  %sym = load i64, %p
+  %st2 = call @step(%st, %sym) -> i64
+  call @print_i64(%st2) -> void
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %st
+}
+"#;
+
+const PROGRAM_RECURSIVE: &str = r#"
+module "rec"
+declare @print_i64(i64) -> void
+
+fn @fib(i64) -> i64 internal {
+bb0:
+  %c = icmp sle i64 %arg0, 1:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret %arg0
+bb2:
+  %n1 = sub i64 %arg0, 1:i64
+  %f1 = call @fib(%n1) -> i64
+  %n2 = sub i64 %arg0, 2:i64
+  %f2 = call @fib(%n2) -> i64
+  %s = add i64 %f1, %f2
+  ret %s
+}
+
+fn @sum_tail(i64, i64) -> i64 internal {
+bb0:
+  %c = icmp sle i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret %arg1
+bb2:
+  %n = sub i64 %arg0, 1:i64
+  %a = add i64 %arg1, %arg0
+  %r = call @sum_tail(%n, %a) -> i64
+  ret %r
+}
+
+fn @main() -> i64 internal {
+bb0:
+  %f = call @fib(12:i64) -> i64
+  call @print_i64(%f) -> void
+  %s = call @sum_tail(100:i64, 0:i64) -> i64
+  call @print_i64(%s) -> void
+  %r = add i64 %f, %s
+  ret %r
+}
+"#;
+
+fn observe(m: &posetrl_ir::Module) -> Observation {
+    Interpreter::new(m).run("main", &[]).observation()
+}
+
+fn check_pipeline(text: &str, passes: &[&str], label: &str) {
+    let m0 = parse_module(text).expect("parse");
+    verify_module(&m0).expect("verify input");
+    let before = observe(&m0);
+    let mut m = m0.clone();
+    let pm = PassManager::new();
+    pm.run_pipeline(&mut m, passes).expect("pipeline runs");
+    if let Err(e) = verify_module(&m) {
+        panic!("verifier after {label}: {e}\n{}", print_module(&m));
+    }
+    let after = observe(&m);
+    assert_eq!(before, after, "behaviour changed by {label}\n{}", print_module(&m));
+}
+
+fn programs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("matmul", PROGRAM_MATMUL),
+        ("fsm", PROGRAM_STATE_MACHINE),
+        ("rec", PROGRAM_RECURSIVE),
+    ]
+}
+
+#[test]
+fn oz_pipeline_preserves_semantics() {
+    for (name, text) in programs() {
+        check_pipeline(text, &pipelines::oz(), &format!("Oz on {name}"));
+    }
+}
+
+#[test]
+fn o3_pipeline_preserves_semantics() {
+    for (name, text) in programs() {
+        check_pipeline(text, &pipelines::o3(), &format!("O3 on {name}"));
+    }
+}
+
+#[test]
+fn o1_and_o2_preserve_semantics() {
+    for (name, text) in programs() {
+        check_pipeline(text, &pipelines::o1(), &format!("O1 on {name}"));
+        check_pipeline(text, &pipelines::o2(), &format!("O2 on {name}"));
+    }
+}
+
+#[test]
+fn oz_reduces_size_on_matmul() {
+    let m0 = parse_module(PROGRAM_MATMUL).unwrap();
+    let mut m = m0.clone();
+    PassManager::new().run_pipeline(&mut m, &pipelines::oz()).unwrap();
+    assert!(
+        m.num_insts() < m0.num_insts(),
+        "Oz shrinks the matmul module: {} -> {}",
+        m0.num_insts(),
+        m.num_insts()
+    );
+}
+
+#[test]
+fn repeated_oz_is_stable_and_safe() {
+    // Applying Oz several times (as RL episodes do with sub-sequences) must
+    // stay semantics-preserving and eventually stop shrinking.
+    let m0 = parse_module(PROGRAM_STATE_MACHINE).unwrap();
+    let before = observe(&m0);
+    let mut m = m0.clone();
+    let pm = PassManager::new();
+    let mut sizes = Vec::new();
+    for _ in 0..3 {
+        pm.run_pipeline(&mut m, &pipelines::oz()).unwrap();
+        verify_module(&m).expect("verify");
+        sizes.push(m.num_insts());
+    }
+    assert_eq!(before, observe(&m));
+    assert!(sizes[2] <= sizes[0]);
+}
+
+#[test]
+fn every_single_pass_is_individually_safe() {
+    let pm = PassManager::new();
+    for (name, text) in programs() {
+        for pass in pm.pass_names() {
+            let m0 = parse_module(text).unwrap();
+            let before = observe(&m0);
+            let mut m = m0.clone();
+            pm.run_pass(&mut m, pass).unwrap();
+            if let Err(e) = verify_module(&m) {
+                panic!("verifier after -{pass} on {name}: {e}\n{}", print_module(&m));
+            }
+            let after = observe(&m);
+            assert_eq!(before, after, "-{pass} changed behaviour of {name}\n{}", print_module(&m));
+        }
+    }
+}
+
+#[test]
+fn random_pass_orderings_are_safe() {
+    // 40 random orderings of 12 passes each — the exact situation the RL
+    // agent creates during exploration.
+    let pm = PassManager::new();
+    let names = pm.pass_names();
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for (prog_name, text) in programs() {
+        let m0 = parse_module(text).unwrap();
+        let before = observe(&m0);
+        for round in 0..12 {
+            let mut m = m0.clone();
+            let mut order = Vec::new();
+            for _ in 0..12 {
+                order.push(names[(next() % names.len() as u64) as usize]);
+            }
+            pm.run_pipeline(&mut m, &order).unwrap();
+            if let Err(e) = verify_module(&m) {
+                panic!(
+                    "verifier after random order #{round} {order:?} on {prog_name}: {e}\n{}",
+                    print_module(&m)
+                );
+            }
+            let after = observe(&m);
+            assert_eq!(
+                before, after,
+                "random order #{round} {order:?} changed {prog_name}\n{}",
+                print_module(&m)
+            );
+        }
+    }
+}
+
+#[test]
+fn rtval_reexport_sanity() {
+    // keep RtVal in the public test surface (guards accidental API breaks)
+    let v = RtVal::Int(3);
+    assert_eq!(format!("{v:?}"), "Int(3)");
+}

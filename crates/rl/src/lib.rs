@@ -1,0 +1,32 @@
+//! A minimal, dependency-light deep-RL stack.
+//!
+//! POSET-RL's agent is a Double Deep Q-Network over 300-dimensional IR2Vec
+//! states and ≤34 discrete actions — small enough that a hand-rolled dense
+//! network is both faster and more auditable than an ML framework. This
+//! crate provides:
+//!
+//! - [`nn`]: dense feed-forward networks with manual backprop (gradient
+//!   checked against finite differences in the tests), Huber/MSE losses and
+//!   the Adam optimizer,
+//! - [`replay`]: a ring-buffer replay memory with uniform sampling,
+//! - [`dqn`]: the (Double) DQN agent with ε-greedy exploration, target
+//!   network synchronization and JSON (de)serialization.
+//!
+//! # Example
+//!
+//! ```
+//! use posetrl_rl::dqn::{DqnAgent, DqnConfig};
+//!
+//! let config = DqnConfig { state_dim: 4, n_actions: 3, ..DqnConfig::default() };
+//! let mut agent = DqnAgent::new(config);
+//! let action = agent.act(&[0.1, -0.2, 0.3, 0.0]);
+//! assert!(action < 3);
+//! ```
+
+pub mod dqn;
+pub mod nn;
+pub mod replay;
+
+pub use dqn::{DqnAgent, DqnConfig};
+pub use nn::{Adam, Mlp};
+pub use replay::{ReplayBuffer, Transition};

@@ -1,0 +1,418 @@
+//! Dense feed-forward networks with manual backpropagation and Adam.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One fully-connected layer (`y = act(W·x + b)`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Output × input weight matrix, row-major.
+    pub w: Vec<f64>,
+    /// Bias per output.
+    pub b: Vec<f64>,
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+    /// Apply ReLU after the affine transform.
+    pub relu: bool,
+}
+
+impl Dense {
+    fn new(n_in: usize, n_out: usize, relu: bool, rng: &mut StdRng) -> Dense {
+        // He initialization
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.gen_range(-1.0..1.0) * scale).collect();
+        Dense { w, b: vec![0.0; n_out], n_in, n_out, relu }
+    }
+
+    fn forward(&self, x: &[f64], pre: &mut Vec<f64>, out: &mut Vec<f64>) {
+        pre.clear();
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            pre.push(acc);
+            out.push(if self.relu && acc < 0.0 { 0.0 } else { acc });
+        }
+    }
+}
+
+/// Per-layer gradients.
+#[derive(Debug, Clone)]
+pub struct Grads {
+    /// dL/dW per layer (same layout as the layer's `w`).
+    pub dw: Vec<Vec<f64>>,
+    /// dL/db per layer.
+    pub db: Vec<Vec<f64>>,
+}
+
+impl Grads {
+    fn zeros_like(mlp: &Mlp) -> Grads {
+        Grads {
+            dw: mlp.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            db: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn add_assign(&mut self, other: &Grads) {
+        for (a, b) in self.dw.iter_mut().zip(&other.dw) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.db.iter_mut().zip(&other.db) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all gradients by `s` (e.g. `1/batch`).
+    pub fn scale(&mut self, s: f64) {
+        for a in self.dw.iter_mut().chain(self.db.iter_mut()) {
+            for x in a {
+                *x *= s;
+            }
+        }
+    }
+}
+
+/// A multi-layer perceptron with ReLU hidden layers and a linear output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// The layers in order.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[300, 128, 64, 34]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2, "an MLP needs input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::new();
+        for i in 0..sizes.len() - 1 {
+            let relu = i + 2 < sizes.len();
+            layers.push(Dense::new(sizes[i], sizes[i + 1], relu, &mut rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.n_in).unwrap_or(0)
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.n_out).unwrap_or(0)
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut pre = Vec::new();
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&cur, &mut pre, &mut out);
+            std::mem::swap(&mut cur, &mut out);
+        }
+        cur
+    }
+
+    /// Forward pass retaining the per-layer pre-activations and outputs
+    /// needed for backprop.
+    pub fn forward_cache(&self, x: &[f64]) -> ForwardCache {
+        let mut inputs = vec![x.to_vec()];
+        let mut pres = Vec::new();
+        for layer in &self.layers {
+            let mut pre = Vec::new();
+            let mut out = Vec::new();
+            layer.forward(inputs.last().unwrap(), &mut pre, &mut out);
+            pres.push(pre);
+            inputs.push(out);
+        }
+        ForwardCache { inputs, pres }
+    }
+
+    /// Backpropagates `dloss_dout` (gradient w.r.t. the network output)
+    /// through the cached forward pass.
+    pub fn backward(&self, cache: &ForwardCache, dloss_dout: &[f64]) -> Grads {
+        let mut grads = Grads::zeros_like(self);
+        let mut delta = dloss_dout.to_vec();
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            // ReLU derivative on the pre-activation
+            if layer.relu {
+                for (d, &p) in delta.iter_mut().zip(&cache.pres[li]) {
+                    if p < 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            let x = &cache.inputs[li];
+            for o in 0..layer.n_out {
+                grads.db[li][o] += delta[o];
+                let row = &mut grads.dw[li][o * layer.n_in..(o + 1) * layer.n_in];
+                for (g, xi) in row.iter_mut().zip(x) {
+                    *g += delta[o] * xi;
+                }
+            }
+            if li > 0 {
+                let mut prev = vec![0.0; layer.n_in];
+                for o in 0..layer.n_out {
+                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                    for (p, wi) in prev.iter_mut().zip(row) {
+                        *p += delta[o] * wi;
+                    }
+                }
+                delta = prev;
+            }
+        }
+        grads
+    }
+}
+
+/// Cached activations of one forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `inputs[i]` is the input of layer `i`; the last entry is the output.
+    pub inputs: Vec<Vec<f64>>,
+    /// Pre-activations per layer.
+    pub pres: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output of this pass.
+    pub fn output(&self) -> &[f64] {
+        self.inputs.last().expect("cache has at least the input")
+    }
+}
+
+/// The Adam optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    mw: Vec<Vec<f64>>,
+    vw: Vec<Vec<f64>>,
+    mb: Vec<Vec<f64>>,
+    vb: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `mlp` with learning rate `lr`.
+    pub fn new(mlp: &Mlp, lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            mw: mlp.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            vw: mlp.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            mb: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            vb: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Applies one Adam step with gradients `g`.
+    pub fn step(&mut self, mlp: &mut Mlp, g: &Grads) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (li, layer) in mlp.layers.iter_mut().enumerate() {
+            Self::update(
+                &mut layer.w,
+                &g.dw[li],
+                &mut self.mw[li],
+                &mut self.vw[li],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+            Self::update(
+                &mut layer.b,
+                &g.db[li],
+                &mut self.mb[li],
+                &mut self.vb[li],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update(
+        p: &mut [f64],
+        g: &[f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        lr: f64,
+        b1: f64,
+        b2: f64,
+        eps: f64,
+        bc1: f64,
+        bc2: f64,
+    ) {
+        for i in 0..p.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            p[i] -= lr * mh / (vh.sqrt() + eps);
+        }
+    }
+}
+
+/// Huber loss and its derivative w.r.t. the prediction.
+pub fn huber(pred: f64, target: f64, delta: f64) -> (f64, f64) {
+    let err = pred - target;
+    if err.abs() <= delta {
+        (0.5 * err * err, err)
+    } else {
+        (delta * (err.abs() - 0.5 * delta), delta * err.signum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[4, 8, 3], 1);
+        let y = mlp.forward(&[0.1, 0.2, -0.3, 0.4]);
+        assert_eq!(y.len(), 3);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut mlp = Mlp::new(&[3, 5, 2], 42);
+        let x = [0.3, -0.7, 0.5];
+        let target = [1.0, -0.5];
+        // loss = 0.5 * sum (y - t)^2
+        let loss_of = |mlp: &Mlp| -> f64 {
+            let y = mlp.forward(&x);
+            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b) * (a - b)).sum()
+        };
+        let cache = mlp.forward_cache(&x);
+        let dout: Vec<f64> = cache.output().iter().zip(&target).map(|(a, b)| a - b).collect();
+        let grads = mlp.backward(&cache, &dout);
+
+        let eps = 1e-6;
+        for li in 0..mlp.layers.len() {
+            for wi in (0..mlp.layers[li].w.len()).step_by(3) {
+                let orig = mlp.layers[li].w[wi];
+                mlp.layers[li].w[wi] = orig + eps;
+                let up = loss_of(&mlp);
+                mlp.layers[li].w[wi] = orig - eps;
+                let down = loss_of(&mlp);
+                mlp.layers[li].w[wi] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                let an = grads.dw[li][wi];
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "layer {li} w[{wi}]: fd {fd} vs analytic {an}"
+                );
+            }
+            for bi in 0..mlp.layers[li].b.len() {
+                let orig = mlp.layers[li].b[bi];
+                mlp.layers[li].b[bi] = orig + eps;
+                let up = loss_of(&mlp);
+                mlp.layers[li].b[bi] = orig - eps;
+                let down = loss_of(&mlp);
+                mlp.layers[li].b[bi] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                let an = grads.db[li][bi];
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "layer {li} b[{bi}]: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adam_reduces_regression_loss() {
+        let mut mlp = Mlp::new(&[2, 16, 1], 7);
+        let mut opt = Adam::new(&mlp, 1e-2);
+        // learn y = 2*a - b
+        let data: Vec<([f64; 2], f64)> = (0..50)
+            .map(|i| {
+                let a = (i as f64 / 25.0) - 1.0;
+                let b = ((i * 7 % 50) as f64 / 25.0) - 1.0;
+                ([a, b], 2.0 * a - b)
+            })
+            .collect();
+        let loss_now = |mlp: &Mlp| -> f64 {
+            data.iter().map(|(x, t)| {
+                let y = mlp.forward(x)[0];
+                0.5 * (y - t) * (y - t)
+            }).sum::<f64>() / data.len() as f64
+        };
+        let initial = loss_now(&mlp);
+        for _ in 0..300 {
+            let mut grads = Grads::zeros_like(&mlp);
+            for (x, t) in &data {
+                let cache = mlp.forward_cache(x);
+                let dout = vec![cache.output()[0] - t];
+                grads.add_assign(&mlp.backward(&cache, &dout));
+            }
+            grads.scale(1.0 / data.len() as f64);
+            opt.step(&mut mlp, &grads);
+        }
+        let final_loss = loss_now(&mlp);
+        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn huber_is_quadratic_then_linear() {
+        let (l1, g1) = huber(1.2, 1.0, 1.0);
+        assert!((l1 - 0.02).abs() < 1e-12);
+        assert!((g1 - 0.2).abs() < 1e-12);
+        let (l2, g2) = huber(5.0, 1.0, 1.0);
+        assert!((l2 - 3.5).abs() < 1e-12);
+        assert_eq!(g2, 1.0);
+        let (_, g3) = huber(-5.0, 1.0, 1.0);
+        assert_eq!(g3, -1.0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mlp = Mlp::new(&[3, 4, 2], 5);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.1, 0.2, 0.3];
+        assert_eq!(mlp.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(&[4, 4, 4], 9);
+        let b = Mlp::new(&[4, 4, 4], 9);
+        assert_eq!(a.forward(&[1.0, 2.0, 3.0, 4.0]), b.forward(&[1.0, 2.0, 3.0, 4.0]));
+        let c = Mlp::new(&[4, 4, 4], 10);
+        assert_ne!(a.forward(&[1.0, 2.0, 3.0, 4.0]), c.forward(&[1.0, 2.0, 3.0, 4.0]));
+    }
+}

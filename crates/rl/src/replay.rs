@@ -1,0 +1,106 @@
+//! Replay memory.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One experienced transition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f64>,
+    /// Chosen action index.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f64>,
+    /// Whether the episode ended on this transition.
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding up to `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReplayBuffer {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer { capacity, items: Vec::new(), next: 0 }
+    }
+
+    /// Adds a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Uniformly samples `n` transitions (with replacement).
+    pub fn sample<'a>(&'a self, rng: &mut StdRng, n: usize) -> Vec<&'a Transition> {
+        (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition { state: vec![r], action: 0, reward: r, next_state: vec![r], done: false }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f64> = buf.items.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&4.0) && rewards.contains(&3.0) && rewards.contains(&2.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sampling_covers_contents() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = buf.sample(&mut rng, 200);
+        let distinct: std::collections::HashSet<u64> =
+            batch.iter().map(|x| x.reward as u64).collect();
+        assert!(distinct.len() >= 8, "uniform sampling touches most items");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,597 @@
+//! The program generator.
+//!
+//! Emits "frontend-style" IR: every local lives in an alloca, loops test at
+//! the top, expressions are recomputed — the shape `clang -O0` produces and
+//! the Oz passes expect to clean up. All arithmetic is guarded so generated
+//! programs can never trap (divisors are masked to `1..=8`, array indices
+//! are loop counters bounded by the array length).
+
+use crate::{ProgramKind, ProgramSpec, SizeClass};
+use posetrl_ir::builder::{FunctionBuilder, ModuleBuilder};
+use posetrl_ir::{BinOp, CastKind, Const, FloatPred, FuncId, GlobalId, IntPred, Module, Ty, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size-class knobs.
+struct Knobs {
+    helpers: usize,
+    stmts_per_fn: usize,
+    max_loop_depth: usize,
+    arrays: usize,
+}
+
+fn knobs(size: SizeClass) -> Knobs {
+    match size {
+        SizeClass::Small => Knobs { helpers: 3, stmts_per_fn: 10, max_loop_depth: 1, arrays: 2 },
+        SizeClass::Medium => Knobs { helpers: 7, stmts_per_fn: 16, max_loop_depth: 2, arrays: 3 },
+        SizeClass::Large => Knobs { helpers: 14, stmts_per_fn: 22, max_loop_depth: 2, arrays: 5 },
+    }
+}
+
+/// A defined helper the generator can call.
+#[derive(Clone, Copy)]
+struct Helper {
+    id: FuncId,
+    n_params: usize,
+    /// Helpers that contain loops are only called outside loops to bound
+    /// dynamic cost.
+    heavy: bool,
+}
+
+pub(crate) struct Gen {
+    rng: StdRng,
+    kind: ProgramKind,
+    print: FuncId,
+    /// (global, length, mutable)
+    arrays: Vec<(GlobalId, u32, bool)>,
+    fp_array: Option<(GlobalId, u32)>,
+    helpers: Vec<Helper>,
+}
+
+pub(crate) fn generate_module(spec: &ProgramSpec) -> Module {
+    let k = knobs(spec.size);
+    let mut mb = ModuleBuilder::new(spec.name.clone());
+    let print = mb.declare_function("print_i64", vec![Ty::I64], Ty::Void);
+
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9);
+
+    // globals: power-of-two i64 arrays with baked-in data
+    let mut arrays = Vec::new();
+    for a in 0..k.arrays {
+        let len: u32 = *[8u32, 16, 32, 64].get(rng.gen_range(0..4)).unwrap();
+        let init: Vec<Const> =
+            (0..len).map(|i| Const::int(Ty::I64, rng.gen_range(-50..50) + i as i64)).collect();
+        let gid = mb.add_global(format!("data{a}"), Ty::I64, len, init, true);
+        arrays.push((gid, len, true));
+    }
+    let fp_array = if matches!(spec.kind, ProgramKind::NumericKernel | ProgramKind::Mixed) {
+        let len = 16u32;
+        let init: Vec<Const> =
+            (0..len).map(|i| Const::Float(i as f64 * 0.75 + 1.0)).collect();
+        Some((mb.add_global("fdata", Ty::F64, len, init, true), len))
+    } else {
+        None
+    };
+
+    // IPO targets for the CallHeavy/Mixed kinds
+    if matches!(spec.kind, ProgramKind::CallHeavy | ProgramKind::Mixed) {
+        let dup: Vec<Const> = (0..8).map(|i| Const::int(Ty::I64, i * 3 + 1)).collect();
+        let a = mb.add_global("ctab_a", Ty::I64, 8, dup.clone(), false);
+        let b = mb.add_global("ctab_b", Ty::I64, 8, dup, false);
+        arrays.push((a, 8, false));
+        arrays.push((b, 8, false));
+        mb.add_global("never_used", Ty::I64, 32, vec![], true);
+    }
+
+    let mut g = Gen { rng, kind: spec.kind, print, arrays, fp_array, helpers: Vec::new() };
+
+    // recursion helpers first; marked heavy so generated code never calls
+    // them with unbounded arguments (main calls them with small constants)
+    if matches!(spec.kind, ProgramKind::Recursive | ProgramKind::Mixed) {
+        let id = g.gen_recursive_fn(&mut mb, "rec_tail", true);
+        g.helpers.push(Helper { id, n_params: 2, heavy: true });
+        let id = g.gen_recursive_fn(&mut mb, "rec_tree", false);
+        g.helpers.push(Helper { id, n_params: 1, heavy: true });
+    }
+
+    // the first half of the helpers are leaf-ish (callable from others);
+    // the second half may call them, bounding dynamic call-chain depth at 2
+    for h in 0..k.helpers {
+        let name = format!("helper_{h}");
+        let callable_by_others = h < k.helpers / 2;
+        let helper = g.gen_helper(&mut mb, &name, &k, callable_by_others);
+        g.helpers.push(helper);
+    }
+
+    if matches!(spec.kind, ProgramKind::CallHeavy | ProgramKind::Mixed) {
+        // a never-called function (globaldce bait) and one with a dead
+        // parameter (deadargelim bait)
+        let dead = mb.begin_function("never_called", vec![Ty::I64], Ty::I64);
+        {
+            let mut fb = mb.func_builder(dead);
+            let v = fb.mul(Ty::I64, Value::Arg(0), Value::i64(17));
+            fb.ret(Some(v));
+        }
+        let lazy = mb.begin_function("lazy_param", vec![Ty::I64, Ty::I64, Ty::I64], Ty::I64);
+        {
+            let mut fb = mb.func_builder(lazy);
+            let v = fb.add(Ty::I64, Value::Arg(0), Value::Arg(2));
+            fb.ret(Some(v));
+        }
+        g.helpers.push(Helper { id: lazy, n_params: 3, heavy: false });
+    }
+
+    g.gen_main(&mut mb, &k);
+    mb.finish()
+}
+
+impl Gen {
+    // ---- expression helpers ----------------------------------------------
+
+    /// Any array (reads may target immutable tables too).
+    fn pick_array(&mut self) -> (GlobalId, u32) {
+        let i = self.rng.gen_range(0..self.arrays.len());
+        let (g, len, _) = self.arrays[i];
+        (g, len)
+    }
+
+    /// A mutable array (the only legal store/memset/memcpy-dst target).
+    fn pick_mut_array(&mut self) -> (GlobalId, u32) {
+        let muts: Vec<(GlobalId, u32)> = self
+            .arrays
+            .iter()
+            .filter(|(_, _, m)| *m)
+            .map(|(g, l, _)| (*g, *l))
+            .collect();
+        let i = self.rng.gen_range(0..muts.len());
+        muts[i]
+    }
+
+    /// A small integer constant (biased toward interesting values).
+    fn int_const(&mut self) -> Value {
+        let c = match self.rng.gen_range(0..6) {
+            0 => 0,
+            1 => 1,
+            2 => self.rng.gen_range(2..9),
+            3 => 1 << self.rng.gen_range(1..6),
+            4 => -self.rng.gen_range(1..20),
+            _ => self.rng.gen_range(10..100),
+        };
+        Value::i64(c)
+    }
+
+    /// Loads a random local.
+    fn load_local(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) -> Value {
+        let p = locals[self.rng.gen_range(0..locals.len())];
+        fb.load(Ty::I64, p)
+    }
+
+    /// A random integer r-value over the locals (depth-limited tree).
+    fn rvalue(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value], depth: usize) -> Value {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return if self.rng.gen_bool(0.7) {
+                self.load_local(fb, locals)
+            } else {
+                self.int_const()
+            };
+        }
+        let a = self.rvalue(fb, locals, depth - 1);
+        let b = self.rvalue(fb, locals, depth - 1);
+        let ops: &[BinOp] = match self.kind {
+            ProgramKind::BitManip => {
+                &[BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Shl, BinOp::LShr, BinOp::AShr, BinOp::Add]
+            }
+            _ => &[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor],
+        };
+        let op = ops[self.rng.gen_range(0..ops.len())];
+        match op {
+            BinOp::Shl | BinOp::AShr | BinOp::LShr => {
+                // mask the shift amount to 0..=7 to keep results tame
+                let amt = fb.bin(BinOp::And, Ty::I64, b, Value::i64(7));
+                fb.bin(op, Ty::I64, a, amt)
+            }
+            _ => fb.bin(op, Ty::I64, a, b),
+        }
+    }
+
+    /// A guaranteed-safe division or remainder.
+    fn safe_divrem(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) -> Value {
+        let a = self.rvalue(fb, locals, 1);
+        let b = self.load_local(fb, locals);
+        let masked = fb.bin(BinOp::And, Ty::I64, b, Value::i64(7));
+        let divisor = fb.add(Ty::I64, masked, Value::i64(1));
+        let op = if self.rng.gen_bool(0.5) { BinOp::SDiv } else { BinOp::SRem };
+        fb.bin(op, Ty::I64, a, divisor)
+    }
+
+    /// A boolean condition over the locals.
+    fn condition(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) -> Value {
+        let a = self.rvalue(fb, locals, 1);
+        let b = if self.rng.gen_bool(0.5) { self.load_local(fb, locals) } else { self.int_const() };
+        let preds =
+            [IntPred::Eq, IntPred::Ne, IntPred::Slt, IntPred::Sle, IntPred::Sgt, IntPred::Sge];
+        fb.icmp(preds[self.rng.gen_range(0..preds.len())], Ty::I64, a, b)
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    /// Emits `n` statements into the current block (may create new blocks;
+    /// leaves the cursor in a block that still needs a terminator).
+    fn stmts(
+        &mut self,
+        fb: &mut FunctionBuilder<'_>,
+        locals: &[Value],
+        n: usize,
+        loop_depth: usize,
+        max_loop_depth: usize,
+        allow_calls: bool,
+    ) {
+        for _ in 0..n {
+            let roll = self.rng.gen_range(0..100);
+            match roll {
+                0..=34 => self.stmt_assign(fb, locals),
+                35..=49 => self.stmt_if(fb, locals, loop_depth, max_loop_depth, allow_calls),
+                50..=64 => {
+                    if loop_depth < max_loop_depth {
+                        self.stmt_for(fb, locals, loop_depth, max_loop_depth);
+                    } else {
+                        self.stmt_array_rw(fb, locals);
+                    }
+                }
+                65..=76 => self.stmt_array_rw(fb, locals),
+                77..=84 => {
+                    let v = self.safe_divrem(fb, locals);
+                    let p = locals[self.rng.gen_range(0..locals.len())];
+                    fb.store(Ty::I64, v, p);
+                }
+                85..=92 => {
+                    if allow_calls && loop_depth == 0 {
+                        self.stmt_call(fb, locals);
+                    } else {
+                        self.stmt_assign(fb, locals);
+                    }
+                }
+                _ => {
+                    if matches!(self.kind, ProgramKind::NumericKernel | ProgramKind::Mixed) {
+                        self.stmt_fp(fb, locals);
+                    } else {
+                        self.stmt_assign(fb, locals);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stmt_assign(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) {
+        let v = self.rvalue(fb, locals, 2);
+        let p = locals[self.rng.gen_range(0..locals.len())];
+        fb.store(Ty::I64, v, p);
+    }
+
+    fn stmt_if(
+        &mut self,
+        fb: &mut FunctionBuilder<'_>,
+        locals: &[Value],
+        loop_depth: usize,
+        max_loop_depth: usize,
+        allow_calls: bool,
+    ) {
+        let c = self.condition(fb, locals);
+        let then_bb = fb.new_block();
+        let else_bb = fb.new_block();
+        let merge = fb.new_block();
+        fb.cond_br(c, then_bb, else_bb);
+
+        fb.switch_to(then_bb);
+        let n_then = self.rng.gen_range(1..3);
+        self.stmts(fb, locals, n_then, loop_depth, max_loop_depth, allow_calls);
+        fb.br(merge);
+
+        fb.switch_to(else_bb);
+        if self.rng.gen_bool(0.6) {
+            let n_else = self.rng.gen_range(1..3);
+            self.stmts(fb, locals, n_else, loop_depth, max_loop_depth, allow_calls);
+        }
+        fb.br(merge);
+
+        fb.switch_to(merge);
+    }
+
+    /// `for (i = 0; i < trip; i++) body` with the counter in its own alloca.
+    fn stmt_for(
+        &mut self,
+        fb: &mut FunctionBuilder<'_>,
+        locals: &[Value],
+        loop_depth: usize,
+        max_loop_depth: usize,
+    ) {
+        let trip = Value::i64(match self.rng.gen_range(0..4) {
+            0 => 4,
+            1 => 8,
+            2 => 12,
+            _ => 24,
+        });
+        let i_ptr = fb.alloca(Ty::I64, 1);
+        fb.store(Ty::I64, Value::i64(0), i_ptr);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(header);
+
+        fb.switch_to(header);
+        let iv = fb.load(Ty::I64, i_ptr);
+        let c = fb.icmp(IntPred::Slt, Ty::I64, iv, trip);
+        fb.cond_br(c, body, exit);
+
+        fb.switch_to(body);
+        // array access indexed by the counter (always in range via mask)
+        let (arr, len) = self.pick_array();
+        let iv2 = fb.load(Ty::I64, i_ptr);
+        let idx = fb.bin(BinOp::And, Ty::I64, iv2, Value::i64(len as i64 - 1));
+        let p = fb.gep(Ty::I64, Value::Global(arr), idx);
+        let elem = fb.load(Ty::I64, p);
+        let lp = locals[self.rng.gen_range(0..locals.len())];
+        let acc = fb.load(Ty::I64, lp);
+        let sum = fb.add(Ty::I64, acc, elem);
+        fb.store(Ty::I64, sum, lp);
+        // loop-invariant computation bait for LICM
+        let inv_a = self.load_local(fb, locals);
+        let inv = fb.mul(Ty::I64, inv_a, Value::i64(3));
+        let acc2 = fb.load(Ty::I64, lp);
+        let mixed = fb.bin(BinOp::Xor, Ty::I64, acc2, inv);
+        fb.store(Ty::I64, mixed, lp);
+        let n_body = self.rng.gen_range(0..3);
+        self.stmts(fb, locals, n_body, loop_depth + 1, max_loop_depth, false);
+        let ivb = fb.load(Ty::I64, i_ptr);
+        let inc = fb.add(Ty::I64, ivb, Value::i64(1));
+        fb.store(Ty::I64, inc, i_ptr);
+        fb.br(header);
+
+        fb.switch_to(exit);
+    }
+
+    /// Read-modify-write on a global array cell, or a fill/copy loop.
+    fn stmt_array_rw(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) {
+        match self.rng.gen_range(0..3) {
+            0 => {
+                // single cell RMW with masked index
+                let (arr, len) = self.pick_mut_array();
+                let i = self.load_local(fb, locals);
+                let idx = fb.bin(BinOp::And, Ty::I64, i, Value::i64(len as i64 - 1));
+                let p = fb.gep(Ty::I64, Value::Global(arr), idx);
+                let v = fb.load(Ty::I64, p);
+                let w = fb.add(Ty::I64, v, Value::i64(1));
+                fb.store(Ty::I64, w, p);
+            }
+            1 => {
+                // fill loop (loop-idiom bait)
+                let (arr, len) = self.pick_mut_array();
+                let fill = self.int_const();
+                self.counted_loop(fb, len as i64, |fb, iv| {
+                    let p = fb.gep(Ty::I64, Value::Global(arr), iv);
+                    fb.store(Ty::I64, fill, p);
+                });
+            }
+            _ => {
+                // copy loop between two arrays (memcpy-idiom bait)
+                let (a, la) = self.pick_array();
+                let (b, lb) = self.pick_mut_array();
+                if a == b {
+                    self.stmt_assign(fb, locals);
+                    return;
+                }
+                let n = la.min(lb) as i64;
+                self.counted_loop(fb, n, |fb, iv| {
+                    let ps = fb.gep(Ty::I64, Value::Global(a), iv);
+                    let v = fb.load(Ty::I64, ps);
+                    let pd = fb.gep(Ty::I64, Value::Global(b), iv);
+                    fb.store(Ty::I64, v, pd);
+                });
+            }
+        }
+    }
+
+    /// Emits a simple counted loop `for iv in 0..n { body(iv) }` in SSA
+    /// style (phi-based, the shape loop-idiom recognizes after mem2reg).
+    fn counted_loop(
+        &mut self,
+        fb: &mut FunctionBuilder<'_>,
+        n: i64,
+        body: impl FnOnce(&mut FunctionBuilder<'_>, Value),
+    ) {
+        let i_ptr = fb.alloca(Ty::I64, 1);
+        fb.store(Ty::I64, Value::i64(0), i_ptr);
+        let header = fb.new_block();
+        let body_bb = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let iv = fb.load(Ty::I64, i_ptr);
+        let c = fb.icmp(IntPred::Slt, Ty::I64, iv, Value::i64(n));
+        fb.cond_br(c, body_bb, exit);
+        fb.switch_to(body_bb);
+        let iv2 = fb.load(Ty::I64, i_ptr);
+        body(fb, iv2);
+        let iv3 = fb.load(Ty::I64, i_ptr);
+        let inc = fb.add(Ty::I64, iv3, Value::i64(1));
+        fb.store(Ty::I64, inc, i_ptr);
+        fb.br(header);
+        fb.switch_to(exit);
+    }
+
+    fn stmt_fp(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) {
+        let Some((farr, flen)) = self.fp_array else {
+            self.stmt_assign(fb, locals);
+            return;
+        };
+        // acc = Σ fdata[i] * scale; result folded back into an int local
+        let scale_i = self.load_local(fb, locals);
+        let masked = fb.bin(BinOp::And, Ty::I64, scale_i, Value::i64(15));
+        let scale = fb.cast(CastKind::SiToFp, Ty::F64, masked);
+        let acc_ptr = fb.alloca(Ty::F64, 1);
+        fb.store(Ty::F64, Value::f64(0.0), acc_ptr);
+        self.counted_loop(fb, flen as i64, |fb, iv| {
+            let p = fb.gep(Ty::F64, Value::Global(farr), iv);
+            let x = fb.load(Ty::F64, p);
+            let prod = fb.mul(Ty::F64, x, scale);
+            let a = fb.load(Ty::F64, acc_ptr);
+            let s = fb.add(Ty::F64, a, prod);
+            fb.store(Ty::F64, s, acc_ptr);
+        });
+        let acc = fb.load(Ty::F64, acc_ptr);
+        let big = fb.fcmp(FloatPred::Olt, acc, Value::f64(1e12));
+        let clamped = fb.select(Ty::F64, big, acc, Value::f64(1e12));
+        let as_int = fb.cast(CastKind::FpToSi, Ty::I64, clamped);
+        let p = locals[self.rng.gen_range(0..locals.len())];
+        fb.store(Ty::I64, as_int, p);
+    }
+
+    fn stmt_call(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) {
+        if self.helpers.is_empty() {
+            self.stmt_assign(fb, locals);
+            return;
+        }
+        let light: Vec<Helper> = self.helpers.iter().copied().filter(|h| !h.heavy).collect();
+        if light.is_empty() {
+            self.stmt_assign(fb, locals);
+            return;
+        }
+        let h = light[self.rng.gen_range(0..light.len())];
+        let mut args = Vec::new();
+        for _ in 0..h.n_params {
+            args.push(self.rvalue(fb, locals, 1));
+        }
+        let r = fb.call(h.id, args, Ty::I64);
+        let p = locals[self.rng.gen_range(0..locals.len())];
+        fb.store(Ty::I64, r, p);
+    }
+
+    // ---- functions ---------------------------------------------------------
+
+    /// Allocates and initializes the locals of a function.
+    fn make_locals(
+        &mut self,
+        fb: &mut FunctionBuilder<'_>,
+        n_params: usize,
+        n_locals: usize,
+    ) -> Vec<Value> {
+        let mut locals = Vec::new();
+        for i in 0..n_locals {
+            let p = fb.alloca(Ty::I64, 1);
+            let init = if i < n_params {
+                Value::Arg(i as u32)
+            } else {
+                self.int_const()
+            };
+            fb.store(Ty::I64, init, p);
+            locals.push(p);
+        }
+        locals
+    }
+
+    fn gen_helper(
+        &mut self,
+        mb: &mut ModuleBuilder,
+        name: &str,
+        k: &Knobs,
+        callable_by_others: bool,
+    ) -> Helper {
+        let n_params = self.rng.gen_range(1..4usize);
+        let id = mb.begin_function(name, vec![Ty::I64; n_params], Ty::I64);
+        let mut fb = mb.func_builder(id);
+        let extra = self.rng.gen_range(2..5);
+        let locals = self.make_locals(&mut fb, n_params, n_params + extra);
+        let n_stmts = self.rng.gen_range(k.stmts_per_fn / 2..=k.stmts_per_fn);
+        // leaf helpers must not call anyone (keeps call chains shallow)
+        self.stmts(&mut fb, &locals, n_stmts, 0, k.max_loop_depth, !callable_by_others);
+        // redundant-expression epilogue: classic CSE/GVN bait
+        let a = fb.load(Ty::I64, locals[0]);
+        let b = fb.load(Ty::I64, locals[locals.len() - 1]);
+        let x1 = fb.mul(Ty::I64, a, b);
+        let a2 = fb.load(Ty::I64, locals[0]);
+        let b2 = fb.load(Ty::I64, locals[locals.len() - 1]);
+        let x2 = fb.mul(Ty::I64, a2, b2);
+        let r = fb.add(Ty::I64, x1, x2);
+        let noise = fb.add(Ty::I64, r, Value::i64(0));
+        let noise2 = fb.mul(Ty::I64, noise, Value::i64(1));
+        fb.ret(Some(noise2));
+        Helper { id, n_params, heavy: !callable_by_others }
+    }
+
+    fn gen_recursive_fn(&mut self, mb: &mut ModuleBuilder, name: &str, tail: bool) -> FuncId {
+        if tail {
+            // sum_tail(n, acc): n <= 0 ? acc : sum_tail(n-1, acc + n*2)
+            let id = mb.begin_function(name, vec![Ty::I64, Ty::I64], Ty::I64);
+            let mut fb = mb.func_builder(id);
+            let done = fb.new_block();
+            let rec = fb.new_block();
+            let c = fb.icmp(IntPred::Sle, Ty::I64, Value::Arg(0), Value::i64(0));
+            fb.cond_br(c, done, rec);
+            fb.switch_to(done);
+            fb.ret(Some(Value::Arg(1)));
+            fb.switch_to(rec);
+            let n1 = fb.sub(Ty::I64, Value::Arg(0), Value::i64(1));
+            let t = fb.mul(Ty::I64, Value::Arg(0), Value::i64(2));
+            let acc = fb.add(Ty::I64, Value::Arg(1), t);
+            let r = fb.call(id, vec![n1, acc], Ty::I64);
+            fb.ret(Some(r));
+            id
+        } else {
+            // tree(n): n <= 1 ? n : tree(n-1) + tree(n-2)  (fib-like)
+            let id = mb.begin_function(name, vec![Ty::I64], Ty::I64);
+            let mut fb = mb.func_builder(id);
+            let done = fb.new_block();
+            let rec = fb.new_block();
+            let c = fb.icmp(IntPred::Sle, Ty::I64, Value::Arg(0), Value::i64(1));
+            fb.cond_br(c, done, rec);
+            fb.switch_to(done);
+            fb.ret(Some(Value::Arg(0)));
+            fb.switch_to(rec);
+            let n1 = fb.sub(Ty::I64, Value::Arg(0), Value::i64(1));
+            let a = fb.call(id, vec![n1], Ty::I64);
+            let n2 = fb.sub(Ty::I64, Value::Arg(0), Value::i64(2));
+            let b = fb.call(id, vec![n2], Ty::I64);
+            let s = fb.add(Ty::I64, a, b);
+            fb.ret(Some(s));
+            id
+        }
+    }
+
+    fn gen_main(&mut self, mb: &mut ModuleBuilder, k: &Knobs) {
+        let id = mb.begin_function("main", vec![], Ty::I64);
+        let print = self.print;
+        let mut fb = mb.func_builder(id);
+        let locals = self.make_locals(&mut fb, 0, 4);
+
+        // call every helper once or twice with small constant arguments
+        let helpers = self.helpers.clone();
+        for h in &helpers {
+            let reps = if h.heavy { 1 } else { 2 };
+            for r in 0..reps {
+                let mut args = Vec::new();
+                for p in 0..h.n_params {
+                    args.push(Value::i64(self.rng.gen_range(0..16) + (p as i64) + r));
+                }
+                // recursion depth arguments stay small
+                let ret = fb.call(h.id, args, Ty::I64);
+                let lp = locals[self.rng.gen_range(0..locals.len())];
+                let old = fb.load(Ty::I64, lp);
+                let mix = fb.bin(BinOp::Xor, Ty::I64, old, ret);
+                fb.store(Ty::I64, mix, lp);
+            }
+        }
+
+        // local statements in main too
+        self.stmts(&mut fb, &locals, k.stmts_per_fn / 2, 0, 1, false);
+
+        // observable output: print each local, return their mix
+        let mut acc = Value::i64(0);
+        for &p in &locals {
+            let v = fb.load(Ty::I64, p);
+            fb.call(print, vec![v], Ty::Void);
+            let shifted = fb.bin(BinOp::Shl, Ty::I64, acc, Value::i64(1));
+            acc = fb.bin(BinOp::Xor, Ty::I64, shifted, v);
+        }
+        fb.ret(Some(acc));
+    }
+}

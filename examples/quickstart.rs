@@ -1,0 +1,57 @@
+//! Quickstart: build a program, train a small POSET-RL agent, and compare
+//! its predicted phase ordering against `-Oz`.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use posetrl::actions::ActionSet;
+use posetrl::eval::evaluate_suite;
+use posetrl::trainer::{train, TrainerConfig};
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use posetrl_target::{size::object_size, TargetArch};
+use posetrl_workloads::{mibench, training_suite};
+
+fn main() {
+    // 1) a corpus of unoptimized programs (the paper's training set)
+    let programs = training_suite();
+    println!("training corpus: {} programs", programs.len());
+    let sample = &programs[0];
+    println!(
+        "sample program '{}': {} instructions before optimization",
+        sample.name,
+        sample.module.num_insts()
+    );
+
+    // 2) the standard compiler baseline: the -Oz pipeline
+    let pm = PassManager::new();
+    let mut oz = sample.module.clone();
+    pm.run_pipeline(&mut oz, &pipelines::oz()).expect("Oz pipeline");
+    println!(
+        "-Oz: {} instructions, {} bytes (x86-64 object)",
+        oz.num_insts(),
+        object_size(&oz, TargetArch::X86_64).total
+    );
+
+    // 3) train a small Double-DQN agent over the ODG action space
+    println!("\ntraining a small agent (a few thousand env steps)...");
+    let config = TrainerConfig::default();
+    let model = train(&config, ActionSet::odg(), &programs);
+    println!("final mean episode reward: {:+.3}", model.final_mean_reward);
+
+    // 4) let the agent pick the phase ordering for an unseen benchmark
+    let benches: Vec<_> = mibench().into_iter().take(4).collect();
+    let (results, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
+    println!("\nagent vs -Oz on unseen MiBench programs (object size):");
+    for r in &results {
+        println!(
+            "  {:<14} Oz {:>6} B | agent {:>6} B | {:+.2}%  (actions: {:?})",
+            r.name, r.oz_size, r.model_size, r.size_reduction_pct, r.sequence
+        );
+    }
+    println!(
+        "suite: min {:+.2}% avg {:+.2}% max {:+.2}%",
+        stats.min_size_reduction_pct, stats.avg_size_reduction_pct, stats.max_size_reduction_pct
+    );
+}

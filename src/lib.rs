@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the POSET-RL workspace for the examples and
+//! integration tests that live at the repository root.
+
+pub use posetrl;
+pub use posetrl_embed as embed;
+pub use posetrl_ir as ir;
+pub use posetrl_odg as odg;
+pub use posetrl_opt as opt;
+pub use posetrl_rl as rl;
+pub use posetrl_target as target;
+pub use posetrl_workloads as workloads;

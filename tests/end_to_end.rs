@@ -1,0 +1,117 @@
+//! End-to-end reproduction smoke tests: train small models, evaluate them
+//! against `-Oz`, and check the structural invariants the paper's results
+//! depend on.
+
+use posetrl::actions::ActionSet;
+use posetrl::env::{EnvConfig, PhaseEnv};
+use posetrl::eval::evaluate_suite;
+use posetrl::trainer::{train, TrainerConfig};
+use posetrl_ir::interp::Interpreter;
+use posetrl_target::TargetArch;
+use posetrl_workloads::{mibench, training_suite};
+
+#[test]
+fn trained_model_end_to_end() {
+    let programs = training_suite();
+    let cfg = TrainerConfig::quick();
+    let model = train(&cfg, ActionSet::odg(), &programs);
+
+    // evaluation produces full records on an unseen suite
+    let benches: Vec<_> = mibench().into_iter().take(3).collect();
+    let (results, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
+    assert_eq!(results.len(), 3);
+    assert!(stats.min_size_reduction_pct <= stats.max_size_reduction_pct);
+
+    // every optimized module preserves behaviour
+    for (r, b) in results.iter().zip(&benches) {
+        let before = Interpreter::new(&b.module).run("main", &[]).observation();
+        let (optimized, _) = model.optimize(b.module.clone());
+        let after = Interpreter::new(&optimized).run("main", &[]).observation();
+        assert_eq!(before, after, "{}", r.name);
+    }
+}
+
+#[test]
+fn episode_rewards_telescope_to_total_improvement() {
+    // the per-step rewards sum (by construction) to alpha * total size
+    // improvement + beta * total throughput improvement — check numerically
+    let programs = training_suite();
+    let module = programs[17].module.clone();
+    let cfg = EnvConfig::default();
+    let mut env = PhaseEnv::new(cfg.clone(), ActionSet::odg());
+    env.reset(module.clone());
+
+    let base_size = posetrl_target::size::object_size(&module, cfg.arch).total as f64;
+    let base_cycles = posetrl_target::mca::analyze(&module, cfg.arch).flat_cycles;
+
+    let mut total_reward = 0.0;
+    let mut last_size = 0.0;
+    for a in [23, 8, 30, 5, 13, 0, 19, 10, 2, 27, 33, 17, 6, 31, 21] {
+        let r = env.step(a);
+        total_reward += r.reward;
+        last_size = r.size as f64;
+    }
+    let final_cycles =
+        posetrl_target::mca::analyze(env.module(), cfg.arch).flat_cycles;
+    let expected = cfg.alpha * (base_size - last_size) / base_size
+        + cfg.beta * (base_cycles - final_cycles) / base_cycles;
+    assert!(
+        (total_reward - expected).abs() < 1e-6,
+        "telescoped {total_reward} vs expected {expected}"
+    );
+}
+
+#[test]
+fn manual_space_in_order_approximates_oz() {
+    // Table II's groups cover the Oz pass set (with a couple of passes
+    // regrouped by functionality, exactly as in the paper), so an in-order
+    // manual episode lands very close to Oz quality — the parity floor a
+    // manual-space agent always has available.
+    let manual = ActionSet::manual();
+    let mut concat: Vec<String> = Vec::new();
+    for i in 0..manual.len() {
+        concat.extend(manual.sequences[i].iter().cloned());
+    }
+    let mut concat_set: Vec<&str> = concat.iter().map(|s| s.as_str()).collect();
+    concat_set.sort_unstable();
+    concat_set.dedup();
+    let mut oz_set = posetrl_opt::pipelines::oz();
+    oz_set.sort_unstable();
+    oz_set.dedup();
+    assert_eq!(concat_set, oz_set, "manual groups cover exactly the Oz pass set");
+
+    let programs = training_suite();
+    let pm = posetrl_opt::manager::PassManager::new();
+    for b in programs.iter().take(6) {
+        let mut via_actions = b.module.clone();
+        for i in 0..manual.len() {
+            pm.run_pipeline(&mut via_actions, &manual.passes(i)).unwrap();
+        }
+        let mut via_oz = b.module.clone();
+        pm.run_pipeline(&mut via_oz, &posetrl_opt::pipelines::oz()).unwrap();
+
+        let size_a =
+            posetrl_target::size::object_size(&via_actions, TargetArch::X86_64).total as f64;
+        let size_b =
+            posetrl_target::size::object_size(&via_oz, TargetArch::X86_64).total as f64;
+        assert!(
+            size_a <= size_b * 1.10,
+            "{}: in-order manual episode within 10% of Oz ({size_a} vs {size_b})",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn model_survives_serialization_mid_pipeline() {
+    let programs = training_suite();
+    let model = train(&TrainerConfig::quick(), ActionSet::manual(), &programs);
+    let json = model.to_json();
+    let restored = posetrl::trainer::TrainedModel::from_json(&json).unwrap();
+    let m = programs[3].module.clone();
+    assert_eq!(
+        model.predict_sequence(m.clone()),
+        restored.predict_sequence(m),
+        "restored model predicts identically"
+    );
+}

@@ -1,0 +1,32 @@
+//! Randomized corruption hunt: applies random action sub-sequences to the
+//! training corpus with the verifier run after *every single pass*. This is
+//! the test that catches passes leaving dangling references or broken phis
+//! behind (it found a real bug in loop-unswitch during development).
+
+use posetrl_ir::verifier::verify_module;
+use posetrl_odg::ActionSpace;
+use posetrl_opt::manager::PassManager;
+
+#[test]
+fn hunt_corruption() {
+    let programs = posetrl_workloads::training_suite();
+    let pm = PassManager::new();
+    let mut h = 0xABCDEFu64;
+    let mut next = move |n: usize| { h ^= h<<13; h ^= h>>7; h ^= h<<17; (h % n as u64) as usize };
+    for space in [ActionSpace::manual(), ActionSpace::odg()] {
+        for b in programs.iter().step_by(3) {
+            let mut m = b.module.clone();
+            let mut applied: Vec<(usize, &str)> = Vec::new();
+            for step in 0..8 {
+                let a = next(space.len());
+                for pass in space.subsequence(a) {
+                    applied.push((a, pass));
+                    pm.run_pass(&mut m, pass).unwrap();
+                    if let Err(e) = verify_module(&m) {
+                        panic!("{} [{}] corrupted after step {step} {applied:?}: {e}", b.name, space.kind().name());
+                    }
+                }
+            }
+        }
+    }
+}

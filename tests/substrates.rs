@@ -1,0 +1,116 @@
+//! Cross-crate integration: generated workloads flow through the whole
+//! substrate stack (pipelines → verifier → interpreter → size/MCA models).
+
+use posetrl_ir::interp::{InterpConfig, Interpreter};
+use posetrl_ir::verifier::verify_module;
+use posetrl_opt::manager::PassManager;
+use posetrl_opt::pipelines;
+use posetrl_target::{mca, size::object_size, TargetArch};
+use posetrl_workloads::{generate, ProgramKind, ProgramSpec, SizeClass};
+
+fn programs() -> Vec<posetrl_ir::Module> {
+    ProgramKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            generate(&ProgramSpec {
+                name: format!("it{i}"),
+                kind,
+                size: SizeClass::Medium,
+                seed: 9000 + i as u64,
+            })
+        })
+        .collect()
+}
+
+fn observe(m: &posetrl_ir::Module) -> posetrl_ir::interp::Observation {
+    Interpreter::with_config(m, InterpConfig { fuel: 20_000_000, max_depth: 512 })
+        .run("main", &[])
+        .observation()
+}
+
+#[test]
+fn every_pipeline_preserves_semantics_on_every_kind() {
+    let pm = PassManager::new();
+    for m0 in programs() {
+        let before = observe(&m0);
+        for level in ["O1", "O2", "O3", "Os", "Oz"] {
+            let mut m = m0.clone();
+            pm.run_pipeline(&mut m, &pipelines::by_name(level).unwrap()).unwrap();
+            verify_module(&m).unwrap_or_else(|e| panic!("{level} on {}: {e}", m0.name));
+            assert_eq!(before, observe(&m), "{level} changed behaviour of {}", m0.name);
+        }
+    }
+}
+
+#[test]
+fn oz_is_smaller_or_equal_and_o3_not_slower_on_average() {
+    let pm = PassManager::new();
+    let mut oz_sizes = 0i64;
+    let mut o3_sizes = 0i64;
+    let mut oz_cycles = 0.0;
+    let mut o3_cycles = 0.0;
+    for m0 in programs() {
+        let mut o3 = m0.clone();
+        pm.run_pipeline(&mut o3, &pipelines::o3()).unwrap();
+        let mut oz = m0.clone();
+        pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
+        o3_sizes += object_size(&o3, TargetArch::X86_64).total as i64;
+        oz_sizes += object_size(&oz, TargetArch::X86_64).total as i64;
+        let run = |m: &posetrl_ir::Module| {
+            let out = Interpreter::with_config(m, InterpConfig { fuel: 20_000_000, max_depth: 512 })
+                .run("main", &[]);
+            posetrl_target::runtime::dynamic_cycles(m, &out.profile, TargetArch::X86_64)
+        };
+        o3_cycles += run(&o3);
+        oz_cycles += run(&oz);
+    }
+    // Fig. 1's shape in aggregate: Oz no larger than O3; O3 no slower than Oz
+    assert!(oz_sizes <= o3_sizes, "Oz total {oz_sizes} vs O3 total {o3_sizes}");
+    assert!(o3_cycles <= oz_cycles * 1.02, "O3 {o3_cycles:.0} vs Oz {oz_cycles:.0}");
+}
+
+#[test]
+fn optimization_reduces_size_meaningfully() {
+    let pm = PassManager::new();
+    for m0 in programs() {
+        let before = object_size(&m0, TargetArch::X86_64).total;
+        let mut m = m0.clone();
+        pm.run_pipeline(&mut m, &pipelines::oz()).unwrap();
+        let after = object_size(&m, TargetArch::X86_64).total;
+        assert!(
+            (after as f64) < before as f64 * 0.95,
+            "{}: Oz shrinks the object by >5% ({before} -> {after})",
+            m0.name
+        );
+    }
+}
+
+#[test]
+fn mca_and_size_models_work_on_all_optimized_outputs() {
+    let pm = PassManager::new();
+    for m0 in programs() {
+        let mut m = m0;
+        pm.run_pipeline(&mut m, &pipelines::oz()).unwrap();
+        for arch in TargetArch::ALL {
+            let s = object_size(&m, arch);
+            assert!(s.total > 0);
+            let r = mca::analyze(&m, arch);
+            assert!(r.throughput > 0.0 && r.throughput.is_finite());
+        }
+    }
+}
+
+#[test]
+fn embeddings_separate_optimization_levels() {
+    let pm = PassManager::new();
+    let e = posetrl_embed::Embedder::default();
+    for m0 in programs().into_iter().take(3) {
+        let v0 = e.embed_module(&m0);
+        let mut oz = m0.clone();
+        pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
+        let v1 = e.embed_module(&oz);
+        let dist: f64 = v0.iter().zip(&v1).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(dist > 1e-3, "O0 and Oz states are distinguishable (dist {dist})");
+    }
+}
