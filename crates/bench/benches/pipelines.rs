@@ -33,7 +33,15 @@ fn bench_o3_pipeline(c: &mut Criterion) {
 fn bench_hot_passes(c: &mut Criterion) {
     let m = bench_module(11);
     let pm = PassManager::new();
-    for pass in ["mem2reg", "instcombine", "gvn", "simplifycfg", "sccp", "licm", "inline"] {
+    for pass in [
+        "mem2reg",
+        "instcombine",
+        "gvn",
+        "simplifycfg",
+        "sccp",
+        "licm",
+        "inline",
+    ] {
         c.bench_function(&format!("pass_{pass}"), |b| {
             b.iter(|| {
                 let mut m2 = m.clone();
@@ -44,5 +52,10 @@ fn bench_hot_passes(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_oz_pipeline, bench_o3_pipeline, bench_hot_passes);
+criterion_group!(
+    benches,
+    bench_oz_pipeline,
+    bench_o3_pipeline,
+    bench_hot_passes
+);
 criterion_main!(benches);

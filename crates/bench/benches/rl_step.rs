@@ -10,7 +10,11 @@ use posetrl_rl::replay::Transition;
 use std::hint::black_box;
 
 fn bench_dqn(c: &mut Criterion) {
-    let cfg = DqnConfig { state_dim: 300, n_actions: 34, ..DqnConfig::default() };
+    let cfg = DqnConfig {
+        state_dim: 300,
+        n_actions: 34,
+        ..DqnConfig::default()
+    };
     let mut agent = DqnAgent::new(cfg);
     let state = vec![0.1; 300];
     c.bench_function("dqn_forward_300x128x64x34", |b| {

@@ -43,5 +43,11 @@ fn bench_interp(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_embedding, bench_size_model, bench_mca, bench_interp);
+criterion_group!(
+    benches,
+    bench_embedding,
+    bench_size_model,
+    bench_mca,
+    bench_interp
+);
 criterion_main!(benches);

@@ -9,11 +9,18 @@ use posetrl_rl::dqn::DqnConfig;
 use posetrl_target::{size::object_size, TargetArch};
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
     let cfg = TrainerConfig {
         total_steps: steps,
         env: EnvConfig::default(),
-        agent: DqnConfig { eps_decay_steps: steps * 2 / 3, lr: 5e-4, ..DqnConfig::default() },
+        agent: DqnConfig {
+            eps_decay_steps: steps * 2 / 3,
+            lr: 5e-4,
+            ..DqnConfig::default()
+        },
         max_programs: None,
         log_every: 0,
     };
@@ -34,7 +41,9 @@ fn main() {
             let r = env.step(a);
             print!("{a}:{} ", r.size);
             state = r.state;
-            if r.done { break; }
+            if r.done {
+                break;
+            }
         }
         println!();
     }

@@ -12,13 +12,25 @@ fn main() {
     // candidate fixed sequences (0-based Table III indices)
     let candidates: Vec<(&str, Vec<usize>)> = vec![
         // inliner-first, then scalar opts, loops, cleanup
-        ("inline-scalar-loop-clean", vec![23, 32, 5, 7, 28, 9, 13, 3, 0, 18, 19, 1, 22, 6, 0]),
+        (
+            "inline-scalar-loop-clean",
+            vec![23, 32, 5, 7, 28, 9, 13, 3, 0, 18, 19, 1, 22, 6, 0],
+        ),
         // mimic Oz phases: early (30), inline (26), scalar (33), loops (7,9,12), late (0,1), final (18)
-        ("oz-like", vec![31, 25, 33, 6, 12, 7, 9, 3, 13, 0, 1, 21, 18, 5, 22]),
+        (
+            "oz-like",
+            vec![31, 25, 33, 6, 12, 7, 9, 3, 13, 0, 1, 21, 18, 5, 22],
+        ),
         // mostly cleanup + ipo
-        ("cleanup-heavy", vec![23, 2, 5, 3, 9, 0, 1, 22, 18, 23, 2, 5, 3, 0, 1]),
+        (
+            "cleanup-heavy",
+            vec![23, 2, 5, 3, 9, 0, 1, 22, 18, 23, 2, 5, 3, 0, 1],
+        ),
     ];
-    for b in posetrl_workloads::mibench().into_iter().chain(posetrl_workloads::spec2017()) {
+    for b in posetrl_workloads::mibench()
+        .into_iter()
+        .chain(posetrl_workloads::spec2017())
+    {
         let mut oz = b.module.clone();
         pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
         let oz_size = object_size(&oz, arch).total;

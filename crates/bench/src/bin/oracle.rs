@@ -10,7 +10,10 @@ fn main() {
     let actions = ActionSet::odg();
     let arch = TargetArch::X86_64;
     let mut improvements = Vec::new();
-    for b in posetrl_workloads::mibench().into_iter().chain(posetrl_workloads::spec2017()) {
+    for b in posetrl_workloads::mibench()
+        .into_iter()
+        .chain(posetrl_workloads::spec2017())
+    {
         let mut oz = b.module.clone();
         pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
         let oz_size = object_size(&oz, arch).total;
@@ -29,13 +32,18 @@ fn main() {
                 }
             }
             let (bs, bm) = best.unwrap();
-            if bs >= cur_size { break; }
+            if bs >= cur_size {
+                break;
+            }
             cur = bm;
         }
         let model_size = object_size(&cur, arch).total;
         let red = 100.0 * (oz_size as f64 - model_size as f64) / oz_size as f64;
         improvements.push(red);
-        println!("{:<16} oz={} oracle={} reduction={:+.2}%", b.name, oz_size, model_size, red);
+        println!(
+            "{:<16} oz={} oracle={} reduction={:+.2}%",
+            b.name, oz_size, model_size, red
+        );
     }
     let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
     println!("average oracle size reduction vs Oz: {avg:+.2}%");

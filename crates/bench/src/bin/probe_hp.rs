@@ -8,7 +8,10 @@ use posetrl_rl::dqn::DqnConfig;
 use posetrl_target::TargetArch;
 
 fn arg<T: std::str::FromStr>(i: usize, d: T) -> T {
-    std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(d)
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(d)
 }
 
 fn main() {
@@ -47,7 +50,9 @@ fn main() {
         let (_, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
         parts.push(format!(
             "{name}: min {:+.1} avg {:+.1} max {:+.1}",
-            stats.min_size_reduction_pct, stats.avg_size_reduction_pct, stats.max_size_reduction_pct
+            stats.min_size_reduction_pct,
+            stats.avg_size_reduction_pct,
+            stats.max_size_reduction_pct
         ));
     }
     println!(

@@ -8,11 +8,18 @@ use posetrl_rl::dqn::DqnConfig;
 use posetrl_target::TargetArch;
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9000);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9000);
     let cfg = TrainerConfig {
         total_steps: steps,
         env: EnvConfig::default(),
-        agent: DqnConfig { eps_decay_steps: steps * 2 / 3, lr: 5e-4, ..DqnConfig::default() },
+        agent: DqnConfig {
+            eps_decay_steps: steps * 2 / 3,
+            lr: 5e-4,
+            ..DqnConfig::default()
+        },
         max_programs: None,
         log_every: 1005,
     };
@@ -26,7 +33,9 @@ fn main() {
         let (_, stats) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
         println!(
             "{name}: min {:+.2} avg {:+.2} max {:+.2}",
-            stats.min_size_reduction_pct, stats.avg_size_reduction_pct, stats.max_size_reduction_pct
+            stats.min_size_reduction_pct,
+            stats.avg_size_reduction_pct,
+            stats.max_size_reduction_pct
         );
     }
 }

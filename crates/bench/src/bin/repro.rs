@@ -44,7 +44,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--scale quick|standard|paper] <experiment>...");
-                println!("experiments: table1 table2 table3 odgstats fig1 table4 table5 fig5 table6");
+                println!(
+                    "experiments: table1 table2 table3 odgstats fig1 table4 table5 fig5 table6"
+                );
                 println!("             ablate-reward ablate-ddqn ablate-actions ablate-embed all");
                 return;
             }
@@ -55,8 +57,20 @@ fn main() {
         wanted.push("all".to_string());
     }
     const KNOWN: [&str; 14] = [
-        "all", "table1", "table2", "table3", "odgstats", "fig1", "table4", "table5", "fig5",
-        "table6", "ablate-reward", "ablate-ddqn", "ablate-actions", "ablate-embed",
+        "all",
+        "table1",
+        "table2",
+        "table3",
+        "odgstats",
+        "fig1",
+        "table4",
+        "table5",
+        "fig5",
+        "table6",
+        "ablate-reward",
+        "ablate-ddqn",
+        "ablate-actions",
+        "ablate-embed",
     ];
     for w in &wanted {
         if !KNOWN.contains(&w.as_str()) {
@@ -87,9 +101,18 @@ fn main() {
     }
 
     // trained experiments share one context
-    let needs_ctx = ["table4", "table5", "fig5", "table6", "ablate-reward", "ablate-ddqn", "ablate-actions", "ablate-embed"]
-        .iter()
-        .any(|e| want(e));
+    let needs_ctx = [
+        "table4",
+        "table5",
+        "fig5",
+        "table6",
+        "ablate-reward",
+        "ablate-ddqn",
+        "ablate-actions",
+        "ablate-embed",
+    ]
+    .iter()
+    .any(|e| want(e));
     if !needs_ctx {
         return;
     }
@@ -115,19 +138,35 @@ fn main() {
     }
     if want("ablate-reward") {
         let a = experiments::ablate_reward(&ctx);
-        emit("ablate-reward", &a.render(), &serde_json::to_value(&a).unwrap());
+        emit(
+            "ablate-reward",
+            &a.render(),
+            &serde_json::to_value(&a).unwrap(),
+        );
     }
     if want("ablate-ddqn") {
         let a = experiments::ablate_ddqn(&ctx);
-        emit("ablate-ddqn", &a.render(), &serde_json::to_value(&a).unwrap());
+        emit(
+            "ablate-ddqn",
+            &a.render(),
+            &serde_json::to_value(&a).unwrap(),
+        );
     }
     if want("ablate-actions") {
         let a = experiments::ablate_actions(&ctx);
-        emit("ablate-actions", &a.render(), &serde_json::to_value(&a).unwrap());
+        emit(
+            "ablate-actions",
+            &a.render(),
+            &serde_json::to_value(&a).unwrap(),
+        );
     }
     if want("ablate-embed") {
         let a = experiments::ablate_embed(&ctx);
-        emit("ablate-embed", &a.render(), &serde_json::to_value(&a).unwrap());
+        emit(
+            "ablate-embed",
+            &a.render(),
+            &serde_json::to_value(&a).unwrap(),
+        );
     }
 }
 
@@ -141,10 +180,19 @@ fn run_table1() {
     let seq = posetrl_opt::pipelines::oz();
     let unique: std::collections::BTreeSet<&str> = seq.iter().copied().collect();
     let mut text = String::new();
-    let _ = writeln!(text, "Table I: the Oz sequence ({} passes, {} unique)", seq.len(), unique.len());
+    let _ = writeln!(
+        text,
+        "Table I: the Oz sequence ({} passes, {} unique)",
+        seq.len(),
+        unique.len()
+    );
     let flags: Vec<String> = seq.iter().map(|p| format!("-{p}")).collect();
     let _ = writeln!(text, "{}", flags.join(" "));
-    emit("table1", &text, &serde_json::json!({ "passes": seq, "unique": unique.len() }));
+    emit(
+        "table1",
+        &text,
+        &serde_json::json!({ "passes": seq, "unique": unique.len() }),
+    );
 }
 
 fn run_table2() {

@@ -45,12 +45,18 @@ impl ActionSet {
                 sequences.push(vec![p.to_string()]);
             }
         }
-        ActionSet { name: "single-pass".into(), sequences }
+        ActionSet {
+            name: "single-pass".into(),
+            sequences,
+        }
     }
 
     /// A custom set (for experiments).
     pub fn custom(name: impl Into<String>, sequences: Vec<Vec<String>>) -> ActionSet {
-        ActionSet { name: name.into(), sequences }
+        ActionSet {
+            name: name.into(),
+            sequences,
+        }
     }
 
     /// Number of actions.
@@ -87,7 +93,11 @@ mod tests {
     #[test]
     fn all_actions_resolve_in_the_pass_manager() {
         let pm = posetrl_opt::manager::PassManager::new();
-        for set in [ActionSet::manual(), ActionSet::odg(), ActionSet::single_passes()] {
+        for set in [
+            ActionSet::manual(),
+            ActionSet::odg(),
+            ActionSet::single_passes(),
+        ] {
             for i in 0..set.len() {
                 for p in set.passes(i) {
                     assert!(pm.has_pass(p), "{}: '{p}'", set.name);

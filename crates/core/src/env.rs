@@ -167,7 +167,9 @@ impl PhaseEnv {
         let module = self.module.as_mut().expect("environment not reset");
         let passes = self.actions.sequences[a].clone();
         let refs: Vec<&str> = passes.iter().map(|s| s.as_str()).collect();
-        self.pm.run_pipeline(module, &refs).expect("action passes are registered");
+        self.pm
+            .run_pipeline(module, &refs)
+            .expect("action passes are registered");
 
         let size = object_size(module, self.config.arch).total as f64;
         let report = mca::analyze(module, self.config.arch);
@@ -273,11 +275,19 @@ mod tests {
         // Action 24 of Table III (index 23) is the big inliner sequence; on
         // a call-heavy module it reduces size markedly. Compare reward signs
         // with alpha-only weighting.
-        let cfg = EnvConfig { alpha: 1.0, beta: 0.0, ..EnvConfig::default() };
+        let cfg = EnvConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            ..EnvConfig::default()
+        };
         let mut env = PhaseEnv::new(cfg, ActionSet::odg());
         env.reset(program(7));
         let r = env.step(23);
-        assert!(r.reward >= 0.0, "shrinking module yields non-negative size reward: {}", r.reward);
+        assert!(
+            r.reward >= 0.0,
+            "shrinking module yields non-negative size reward: {}",
+            r.reward
+        );
     }
 
     #[test]
@@ -289,12 +299,19 @@ mod tests {
         let _ = env.step(5); // "instcombine"
         let _ = env.step(5);
         let r3 = env.step(5);
-        assert!(r3.reward.abs() < 1e-9, "idempotent action rewards vanish: {}", r3.reward);
+        assert!(
+            r3.reward.abs() < 1e-9,
+            "idempotent action rewards vanish: {}",
+            r3.reward
+        );
     }
 
     #[test]
     fn histogram_encoding_works() {
-        let cfg = EnvConfig { encoding: StateEncoding::Histogram, ..EnvConfig::default() };
+        let cfg = EnvConfig {
+            encoding: StateEncoding::Histogram,
+            ..EnvConfig::default()
+        };
         let env = PhaseEnv::new(cfg, ActionSet::manual());
         let m = program(9);
         let v = env.encode(&m);
@@ -312,7 +329,12 @@ mod tests {
         for a in [8, 23, 30, 13, 5, 19, 0, 33, 21, 10, 2, 27, 17, 6, 31] {
             env.step(a);
         }
-        let after = Interpreter::new(env.module()).run("main", &[]).observation();
-        assert_eq!(before, after, "episode of 15 ODG actions preserves semantics");
+        let after = Interpreter::new(env.module())
+            .run("main", &[])
+            .observation();
+        assert_eq!(
+            before, after,
+            "episode of 15 ODG actions preserves semantics"
+        );
     }
 }

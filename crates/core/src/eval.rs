@@ -59,7 +59,10 @@ pub struct SuiteStats {
 
 /// Interpreter budget for runtime measurement.
 fn eval_interp_config() -> InterpConfig {
-    InterpConfig { fuel: 50_000_000, max_depth: 512 }
+    InterpConfig {
+        fuel: 50_000_000,
+        max_depth: 512,
+    }
 }
 
 /// Measures estimated cycles of `module`'s `main` on `arch`.
@@ -70,7 +73,10 @@ fn eval_interp_config() -> InterpConfig {
 pub fn measure_cycles(module: &posetrl_ir::Module, arch: TargetArch) -> f64 {
     let out = Interpreter::with_config(module, eval_interp_config()).run("main", &[]);
     if let Err(e) = &out.result {
-        eprintln!("[eval] warning: '{}' did not complete ({e}); cycles cover the executed prefix", module.name);
+        eprintln!(
+            "[eval] warning: '{}' did not complete ({e}); cycles cover the executed prefix",
+            module.name
+        );
     }
     dynamic_cycles(module, &out.profile, arch)
 }
@@ -90,7 +96,8 @@ pub fn evaluate_suite(
     for b in benchmarks {
         // -Oz baseline
         let mut oz_module = b.module.clone();
-        pm.run_pipeline(&mut oz_module, &pipelines::oz()).expect("Oz pipeline runs");
+        pm.run_pipeline(&mut oz_module, &pipelines::oz())
+            .expect("Oz pipeline runs");
         let oz_size = object_size(&oz_module, arch).total;
 
         // model-predicted sequence
@@ -102,7 +109,11 @@ pub fn evaluate_suite(
         let (oz_cycles, model_cycles, runtime_improvement_pct) = if measure_runtime {
             let ozc = measure_cycles(&oz_module, arch);
             let mc = measure_cycles(&model_module, arch);
-            let imp = if ozc > 0.0 { 100.0 * (ozc - mc) / ozc } else { 0.0 };
+            let imp = if ozc > 0.0 {
+                100.0 * (ozc - mc) / ozc
+            } else {
+                0.0
+            };
             (ozc, mc, imp)
         } else {
             (0.0, 0.0, 0.0)
@@ -128,10 +139,20 @@ pub fn evaluate_suite(
 pub fn aggregate(results: &[BenchmarkResult], arch: TargetArch) -> SuiteStats {
     let suite = results.first().map(|r| r.suite.clone()).unwrap_or_default();
     let n = results.len().max(1) as f64;
-    let min = results.iter().map(|r| r.size_reduction_pct).fold(f64::INFINITY, f64::min);
-    let max = results.iter().map(|r| r.size_reduction_pct).fold(f64::NEG_INFINITY, f64::max);
+    let min = results
+        .iter()
+        .map(|r| r.size_reduction_pct)
+        .fold(f64::INFINITY, f64::min);
+    let max = results
+        .iter()
+        .map(|r| r.size_reduction_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
     let avg = results.iter().map(|r| r.size_reduction_pct).sum::<f64>() / n;
-    let avg_rt = results.iter().map(|r| r.runtime_improvement_pct).sum::<f64>() / n;
+    let avg_rt = results
+        .iter()
+        .map(|r| r.runtime_improvement_pct)
+        .sum::<f64>()
+        / n;
     SuiteStats {
         suite,
         arch,

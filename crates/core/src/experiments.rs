@@ -36,7 +36,10 @@ impl Scale {
         match self {
             Scale::Quick => TrainerConfig {
                 total_steps: 600,
-                env: EnvConfig { episode_len: 15, ..EnvConfig::default() },
+                env: EnvConfig {
+                    episode_len: 15,
+                    ..EnvConfig::default()
+                },
                 agent: DqnConfig {
                     hidden: vec![64],
                     eps_decay_steps: 400,
@@ -101,7 +104,11 @@ impl ExperimentContext {
                 models.push(((name, arch), model));
             }
         }
-        ExperimentContext { scale, models, training }
+        ExperimentContext {
+            scale,
+            models,
+            training,
+        }
     }
 
     /// The model for (space, arch).
@@ -167,8 +174,11 @@ pub struct Fig1 {
 pub fn fig1(scale: Scale) -> Fig1 {
     let pm = PassManager::new();
     let cap = scale.benchmark_cap();
-    let benches: Vec<Benchmark> =
-        spec2017().into_iter().chain(spec2006()).take(cap.saturating_mul(2).max(6)).collect();
+    let benches: Vec<Benchmark> = spec2017()
+        .into_iter()
+        .chain(spec2006())
+        .take(cap.saturating_mul(2).max(6))
+        .collect();
     let mut rows = Vec::new();
     for b in benches {
         let mut o3 = b.module.clone();
@@ -194,7 +204,11 @@ pub fn fig1(scale: Scale) -> Fig1 {
         .map(|r| 100.0 * (r.o3_size as f64 - r.oz_size as f64) / r.o3_size as f64)
         .sum::<f64>()
         / n;
-    Fig1 { rows, avg_oz_runtime_penalty_pct: avg_rt, avg_oz_size_saving_pct: avg_sz }
+    Fig1 {
+        rows,
+        avg_oz_runtime_penalty_pct: avg_rt,
+        avg_oz_size_saving_pct: avg_sz,
+    }
 }
 
 impl Fig1 {
@@ -202,7 +216,11 @@ impl Fig1 {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "Fig. 1: O3 vs Oz (x86-64)");
-        let _ = writeln!(s, "{:<16} {:>12} {:>12} {:>10} {:>10}", "benchmark", "O3 cycles", "Oz cycles", "O3 size", "Oz size");
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12} {:>12} {:>10} {:>10}",
+            "benchmark", "O3 cycles", "Oz cycles", "O3 size", "Oz size"
+        );
         for r in &self.rows {
             let _ = writeln!(
                 s,
@@ -210,8 +228,16 @@ impl Fig1 {
                 r.name, r.o3_cycles, r.oz_cycles, r.o3_size, r.oz_size
             );
         }
-        let _ = writeln!(s, "avg Oz runtime penalty: {:+.2}%  (paper: ~+10%)", self.avg_oz_runtime_penalty_pct);
-        let _ = writeln!(s, "avg Oz size saving:     {:+.2}%  (paper: ~+3.5%)", self.avg_oz_size_saving_pct);
+        let _ = writeln!(
+            s,
+            "avg Oz runtime penalty: {:+.2}%  (paper: ~+10%)",
+            self.avg_oz_runtime_penalty_pct
+        );
+        let _ = writeln!(
+            s,
+            "avg Oz size saving:     {:+.2}%  (paper: ~+3.5%)",
+            self.avg_oz_size_saving_pct
+        );
         s
     }
 }
@@ -273,7 +299,11 @@ impl Table4 {
         let _ = writeln!(s, "Table IV: % size reduction w.r.t. Oz (min / avg / max)");
         for arch in TargetArch::ALL {
             let _ = writeln!(s, "-- {arch} --");
-            let _ = writeln!(s, "{:<12} {:>28} {:>28}", "benchmark", "manual (min/avg/max)", "ODG (min/avg/max)");
+            let _ = writeln!(
+                s,
+                "{:<12} {:>28} {:>28}",
+                "benchmark", "manual (min/avg/max)", "ODG (min/avg/max)"
+            );
             for suite in ["SPEC-2017", "SPEC-2006", "MiBench"] {
                 let get = |space: &str| {
                     self.rows
@@ -315,8 +345,7 @@ pub fn table5(ctx: &ExperimentContext) -> Table5 {
     let mut rows = Vec::new();
     let mut details = Vec::new();
     for (suite_name, benches) in ctx.suites() {
-        let (_, stats_manual) =
-            evaluate_suite(ctx.model("manual", arch), &benches, arch, true);
+        let (_, stats_manual) = evaluate_suite(ctx.model("manual", arch), &benches, arch, true);
         let (mut res_odg, stats_odg) = evaluate_suite(ctx.model("ODG", arch), &benches, arch, true);
         rows.push((
             suite_name.to_string(),
@@ -332,7 +361,10 @@ impl Table5 {
     /// Renders the table as text.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Table V: % improvement in execution time w.r.t. Oz (x86-64)");
+        let _ = writeln!(
+            s,
+            "Table V: % improvement in execution time w.r.t. Oz (x86-64)"
+        );
         let _ = writeln!(s, "{:<12} {:>10} {:>10}", "benchmark", "manual", "ODG");
         for (suite, m, o) in &self.rows {
             let _ = writeln!(s, "{:<12} {:>+10.2} {:>+10.2}", suite, m, o);
@@ -363,16 +395,20 @@ pub fn fig5(ctx: &ExperimentContext) -> Fig5 {
     let s06: Vec<Benchmark> = spec2006().into_iter().take(cap).collect();
     let (r17, _) = evaluate_suite(model, &s17, arch, true);
     let (r06, _) = evaluate_suite(model, &s06, arch, true);
-    Fig5 { spec2017: r17, spec2006: r06 }
+    Fig5 {
+        spec2017: r17,
+        spec2006: r06,
+    }
 }
 
 impl Fig5 {
     /// Renders both panels as text.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        for (title, rows) in
-            [("Fig. 5a/5c: SPEC-2017", &self.spec2017), ("Fig. 5b/5d: SPEC-2006", &self.spec2006)]
-        {
+        for (title, rows) in [
+            ("Fig. 5a/5c: SPEC-2017", &self.spec2017),
+            ("Fig. 5b/5d: SPEC-2006", &self.spec2006),
+        ] {
             let _ = writeln!(s, "{title} (x86-64, ODG model vs Oz)");
             let _ = writeln!(
                 s,
@@ -421,7 +457,9 @@ pub fn table6(ctx: &ExperimentContext) -> Table6 {
     let all: Vec<Benchmark> = spec2017().into_iter().chain(mibench()).collect();
     let mut rows = Vec::new();
     for (name, arch) in picks {
-        let Some(b) = all.iter().find(|b| b.name == name) else { continue };
+        let Some(b) = all.iter().find(|b| b.name == name) else {
+            continue;
+        };
         let model = ctx.model("ODG", arch);
         let seq = model.predict_sequence(b.module.clone());
         rows.push((name.to_string(), arch, seq));
@@ -436,7 +474,14 @@ impl Table6 {
         let _ = writeln!(s, "Table VI: predicted ODG sub-sequences (action indices)");
         for (i, (name, arch, seq)) in self.rows.iter().enumerate() {
             let chain: Vec<String> = seq.iter().map(|a| a.to_string()).collect();
-            let _ = writeln!(s, "{} [{:>8} {:>7}]  {}", i + 1, name, arch.name(), chain.join(" -> "));
+            let _ = writeln!(
+                s,
+                "{} [{:>8} {:>7}]  {}",
+                i + 1,
+                name,
+                arch.name(),
+                chain.join(" -> ")
+            );
         }
         s
     }
@@ -480,7 +525,10 @@ impl OdgStats {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "ODG: {} nodes, {} edges", self.nodes, self.edges);
-        let _ = writeln!(s, "critical nodes at k>=8 (paper: simplifycfg=11, instcombine=10, loop-simplify=8):");
+        let _ = writeln!(
+            s,
+            "critical nodes at k>=8 (paper: simplifycfg=11, instcombine=10, loop-simplify=8):"
+        );
         for (n, d) in &self.critical_at_8 {
             let _ = writeln!(s, "  {n}: degree {d}");
         }
@@ -556,7 +604,10 @@ fn ablation_arm(
 
 /// Sweeps the reward weights α/β (paper fixes 10/5).
 pub fn ablate_reward(ctx: &ExperimentContext) -> Ablation {
-    let probes: Vec<Benchmark> = mibench().into_iter().take(ctx.scale.benchmark_cap()).collect();
+    let probes: Vec<Benchmark> = mibench()
+        .into_iter()
+        .take(ctx.scale.benchmark_cap())
+        .collect();
     let mut arms = Vec::new();
     for (alpha, beta) in [(10.0, 5.0), (10.0, 0.0), (0.0, 5.0), (5.0, 10.0)] {
         let mut cfg = ablation_budget(ctx.scale.trainer());
@@ -570,52 +621,102 @@ pub fn ablate_reward(ctx: &ExperimentContext) -> Ablation {
             &probes,
         ));
     }
-    Ablation { name: "reward weights (paper: alpha=10, beta=5)".into(), arms }
+    Ablation {
+        name: "reward weights (paper: alpha=10, beta=5)".into(),
+        arms,
+    }
 }
 
 /// Double DQN vs vanilla DQN (paper uses double).
 pub fn ablate_ddqn(ctx: &ExperimentContext) -> Ablation {
-    let probes: Vec<Benchmark> = mibench().into_iter().take(ctx.scale.benchmark_cap()).collect();
+    let probes: Vec<Benchmark> = mibench()
+        .into_iter()
+        .take(ctx.scale.benchmark_cap())
+        .collect();
     let mut arms = Vec::new();
     for double in [true, false] {
         let mut cfg = ablation_budget(ctx.scale.trainer());
         cfg.agent.double = double;
         arms.push(ablation_arm(
-            if double { "double DQN (paper)" } else { "vanilla DQN" },
+            if double {
+                "double DQN (paper)"
+            } else {
+                "vanilla DQN"
+            },
             &cfg,
             ActionSet::odg(),
             ctx.training(),
             &probes,
         ));
     }
-    Ablation { name: "double vs vanilla DQN".into(), arms }
+    Ablation {
+        name: "double vs vanilla DQN".into(),
+        arms,
+    }
 }
 
 /// Sub-sequence actions vs naive single-pass actions (Section IV).
 pub fn ablate_actions(ctx: &ExperimentContext) -> Ablation {
-    let probes: Vec<Benchmark> = mibench().into_iter().take(ctx.scale.benchmark_cap()).collect();
+    let probes: Vec<Benchmark> = mibench()
+        .into_iter()
+        .take(ctx.scale.benchmark_cap())
+        .collect();
     let cfg = ablation_budget(ctx.scale.trainer());
     let arms = vec![
-        ablation_arm("ODG sub-sequences (34)", &cfg, ActionSet::odg(), ctx.training(), &probes),
-        ablation_arm("manual sub-sequences (15)", &cfg, ActionSet::manual(), ctx.training(), &probes),
-        ablation_arm("single passes (54)", &cfg, ActionSet::single_passes(), ctx.training(), &probes),
+        ablation_arm(
+            "ODG sub-sequences (34)",
+            &cfg,
+            ActionSet::odg(),
+            ctx.training(),
+            &probes,
+        ),
+        ablation_arm(
+            "manual sub-sequences (15)",
+            &cfg,
+            ActionSet::manual(),
+            ctx.training(),
+            &probes,
+        ),
+        ablation_arm(
+            "single passes (54)",
+            &cfg,
+            ActionSet::single_passes(),
+            ctx.training(),
+            &probes,
+        ),
     ];
-    Ablation { name: "action-space granularity".into(), arms }
+    Ablation {
+        name: "action-space granularity".into(),
+        arms,
+    }
 }
 
 /// IR2Vec-style embeddings vs a flat opcode histogram.
 pub fn ablate_embed(ctx: &ExperimentContext) -> Ablation {
     use crate::env::StateEncoding;
-    let probes: Vec<Benchmark> = mibench().into_iter().take(ctx.scale.benchmark_cap()).collect();
+    let probes: Vec<Benchmark> = mibench()
+        .into_iter()
+        .take(ctx.scale.benchmark_cap())
+        .collect();
     let mut arms = Vec::new();
-    for (label, enc) in
-        [("IR2Vec flow-aware (paper)", StateEncoding::Ir2Vec), ("opcode histogram", StateEncoding::Histogram)]
-    {
+    for (label, enc) in [
+        ("IR2Vec flow-aware (paper)", StateEncoding::Ir2Vec),
+        ("opcode histogram", StateEncoding::Histogram),
+    ] {
         let mut cfg = ablation_budget(ctx.scale.trainer());
         cfg.env.encoding = enc;
-        arms.push(ablation_arm(label, &cfg, ActionSet::odg(), ctx.training(), &probes));
+        arms.push(ablation_arm(
+            label,
+            &cfg,
+            ActionSet::odg(),
+            ctx.training(),
+            &probes,
+        ));
     }
-    Ablation { name: "state encoding".into(), arms }
+    Ablation {
+        name: "state encoding".into(),
+        arms,
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,11 @@ impl TrainerConfig {
         TrainerConfig {
             total_steps: 60_000,
             env: EnvConfig::default(),
-            agent: DqnConfig { lr: 1e-4, eps_decay_steps: 20_000, ..DqnConfig::default() },
+            agent: DqnConfig {
+                lr: 1e-4,
+                eps_decay_steps: 20_000,
+                ..DqnConfig::default()
+            },
             max_programs: None,
             log_every: 1_005, // the paper's timesteps-per-iteration
         }
@@ -67,7 +71,10 @@ impl TrainerConfig {
     pub fn quick() -> TrainerConfig {
         TrainerConfig {
             total_steps: 300,
-            env: EnvConfig { episode_len: 5, ..EnvConfig::default() },
+            env: EnvConfig {
+                episode_len: 5,
+                ..EnvConfig::default()
+            },
             agent: DqnConfig {
                 hidden: vec![32],
                 eps_decay_steps: 200,
@@ -120,7 +127,13 @@ impl TrainedModel {
         let actions: ActionSet = serde_json::from_value(v["actions"].clone())?;
         let env: EnvConfig = serde_json::from_value(v["env"].clone())?;
         let final_mean_reward = v["final_mean_reward"].as_f64().unwrap_or(0.0);
-        Ok(TrainedModel { agent, actions, env, final_mean_reward, episode_rewards: Vec::new() })
+        Ok(TrainedModel {
+            agent,
+            actions,
+            env,
+            final_mean_reward,
+            episode_rewards: Vec::new(),
+        })
     }
 
     /// Greedily rolls out a full episode on `module`, returning the chosen
@@ -181,7 +194,7 @@ pub fn train(config: &TrainerConfig, actions: ActionSet, programs: &[Benchmark])
             });
             state = r.state;
             steps += 1;
-            if config.log_every > 0 && steps % config.log_every == 0 {
+            if config.log_every > 0 && steps.is_multiple_of(config.log_every) {
                 eprintln!(
                     "[train:{}@{}] step {steps}/{} eps={:.3} episodes={}",
                     actions.name,
@@ -198,9 +211,17 @@ pub fn train(config: &TrainerConfig, actions: ActionSet, programs: &[Benchmark])
         episode_rewards.push(ep_reward);
     }
 
-    let tail = episode_rewards.iter().rev().take(50).copied().collect::<Vec<_>>();
-    let final_mean_reward =
-        if tail.is_empty() { 0.0 } else { tail.iter().sum::<f64>() / tail.len() as f64 };
+    let tail = episode_rewards
+        .iter()
+        .rev()
+        .take(50)
+        .copied()
+        .collect::<Vec<_>>();
+    let final_mean_reward = if tail.is_empty() {
+        0.0
+    } else {
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
     TrainedModel {
         agent,
         actions,
@@ -244,7 +265,10 @@ mod tests {
         let n0 = m0.num_insts();
         let (m1, seq) = model.optimize(m0);
         assert_eq!(seq.len(), 5);
-        assert!(m1.num_insts() <= n0, "episodes should not bloat a module here");
+        assert!(
+            m1.num_insts() <= n0,
+            "episodes should not bloat a module here"
+        );
         posetrl_ir::verifier::verify_module(&m1).expect("optimized module verifies");
     }
 }

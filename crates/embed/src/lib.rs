@@ -61,7 +61,11 @@ pub struct Vocabulary {
 impl Vocabulary {
     /// Creates a vocabulary with the given dimensionality and seed.
     pub fn new(dim: usize, seed: u64) -> Vocabulary {
-        Vocabulary { dim, seed, cache: Mutex::new(HashMap::new()) }
+        Vocabulary {
+            dim,
+            seed,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The vector for `token` (cached; deterministic across runs).
@@ -81,7 +85,10 @@ impl Vocabulary {
         for x in &mut v {
             *x /= norm;
         }
-        self.cache.lock().unwrap().insert(token.to_string(), v.clone());
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(token.to_string(), v.clone());
         v
     }
 }
@@ -130,7 +137,14 @@ pub struct EmbedConfig {
 
 impl Default for EmbedConfig {
     fn default() -> Self {
-        EmbedConfig { dim: DIM, seed: 0x1125_2022, flow_beta: 0.3, flow_iters: 2, scale: 1.0 / 64.0, log_compress: true }
+        EmbedConfig {
+            dim: DIM,
+            seed: 0x1125_2022,
+            flow_beta: 0.3,
+            flow_iters: 2,
+            scale: 1.0 / 64.0,
+            log_compress: true,
+        }
     }
 }
 
@@ -177,15 +191,31 @@ impl Embedder {
     pub fn embed_inst_symbolic(&self, f: &Function, id: InstId) -> Vec<f64> {
         let op = f.op(id);
         let mut v = vec![0.0; self.config.dim];
-        axpy(&mut v, W_OPCODE, &self.vocab.vector(&format!("opcode.{}", op.kind_name())));
-        axpy(&mut v, W_TYPE, &self.vocab.vector(&format!("type.{}", op.result_ty())));
+        axpy(
+            &mut v,
+            W_OPCODE,
+            &self.vocab.vector(&format!("opcode.{}", op.kind_name())),
+        );
+        axpy(
+            &mut v,
+            W_TYPE,
+            &self.vocab.vector(&format!("type.{}", op.result_ty())),
+        );
         for o in op.operands() {
-            axpy(&mut v, W_OPERAND, &self.vocab.vector(Self::operand_token(o)));
+            axpy(
+                &mut v,
+                W_OPERAND,
+                &self.vocab.vector(Self::operand_token(o)),
+            );
         }
         // terminators with successors contribute control-flow tokens
         let nsucc = op.successors().len();
         if nsucc > 0 {
-            axpy(&mut v, W_OPERAND, &self.vocab.vector(&format!("cfg.succ{nsucc}")));
+            axpy(
+                &mut v,
+                W_OPERAND,
+                &self.vocab.vector(&format!("cfg.succ{nsucc}")),
+            );
         }
         v
     }
@@ -193,8 +223,10 @@ impl Embedder {
     /// Flow-aware instruction embeddings for a whole function.
     pub fn embed_function_insts(&self, f: &Function) -> HashMap<InstId, Vec<f64>> {
         let ids = f.inst_ids();
-        let mut cur: HashMap<InstId, Vec<f64>> =
-            ids.iter().map(|&id| (id, self.embed_inst_symbolic(f, id))).collect();
+        let mut cur: HashMap<InstId, Vec<f64>> = ids
+            .iter()
+            .map(|&id| (id, self.embed_inst_symbolic(f, id)))
+            .collect();
         for _ in 0..self.config.flow_iters {
             let mut next = HashMap::with_capacity(cur.len());
             for &id in &ids {
@@ -251,7 +283,11 @@ impl Embedder {
         }
         for gid in m.global_ids() {
             let g = m.global(gid).unwrap();
-            let token = format!("global.{}.{}", g.ty, if g.mutable { "mut" } else { "const" });
+            let token = format!(
+                "global.{}.{}",
+                g.ty,
+                if g.mutable { "mut" } else { "const" }
+            );
             axpy(&mut v, 0.5, &self.vocab.vector(&token));
         }
         for x in &mut v {
@@ -320,7 +356,10 @@ bb3:
         let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!((na - 1.0).abs() < 1e-9);
         let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!(dot.abs() < 0.5, "random unit vectors are near-orthogonal: {dot}");
+        assert!(
+            dot.abs() < 0.5,
+            "random unit vectors are near-orthogonal: {dot}"
+        );
         assert_eq!(a, v.vector("opcode.add"), "cache returns identical vectors");
     }
 
@@ -333,8 +372,12 @@ bb3:
         let changed = PassManager::new().run_pass(&mut m2, "loop-rotate").unwrap();
         assert!(changed, "rotation applies to the while loop");
         let after = e.embed_module(&m2);
-        let dist: f64 =
-            before.iter().zip(&after).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let dist: f64 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         assert!(dist > 1e-6, "state moves when the module changes");
     }
 
@@ -370,8 +413,16 @@ bb0:
         let e = Embedder::default();
         let va = e.embed_module(&chain);
         let vb = e.embed_module(&parallel);
-        let dist: f64 = va.iter().zip(&vb).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
-        assert!(dist > 1e-9, "flow-aware embeddings separate different dataflow");
+        let dist: f64 = va
+            .iter()
+            .zip(&vb)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            dist > 1e-9,
+            "flow-aware embeddings separate different dataflow"
+        );
     }
 
     #[test]
@@ -388,10 +439,9 @@ bb0:
         let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(norm.is_finite() && norm > 0.01);
         // magnitude tracks size: a longer program embeds with larger norm
-        let small = parse_module(
-            "module \"s\"\nfn @f(i64) -> i64 internal {\nbb0:\n  ret %arg0\n}\n",
-        )
-        .unwrap();
+        let small =
+            parse_module("module \"s\"\nfn @f(i64) -> i64 internal {\nbb0:\n  ret %arg0\n}\n")
+                .unwrap();
         let vs = Embedder::default().embed_module(&small);
         let ns: f64 = vs.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(norm > ns * 5.0, "size signal preserved: {norm} vs {ns}");

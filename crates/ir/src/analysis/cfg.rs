@@ -31,7 +31,12 @@ impl Cfg {
             }
         }
         let rpo = Self::reverse_post_order(f.entry, &succs);
-        Cfg { entry: f.entry, succs, preds, rpo }
+        Cfg {
+            entry: f.entry,
+            succs,
+            preds,
+            rpo,
+        }
     }
 
     fn reverse_post_order(entry: BlockId, succs: &HashMap<BlockId, Vec<BlockId>>) -> Vec<BlockId> {
@@ -92,7 +97,14 @@ mod tests {
         let b = f.add_block();
         let merge = f.add_block();
         let dead = f.add_block();
-        f.append_inst(entry, Op::CondBr { cond: Value::bool(true), then_bb: a, else_bb: b });
+        f.append_inst(
+            entry,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: a,
+                else_bb: b,
+            },
+        );
         f.append_inst(a, Op::Br { target: merge });
         f.append_inst(b, Op::Br { target: merge });
         f.append_inst(merge, Op::Ret { val: None });

@@ -72,7 +72,12 @@ impl DomTree {
             }
         }
 
-        DomTree { idom, children, entry, depth }
+        DomTree {
+            idom,
+            children,
+            entry,
+            depth,
+        }
     }
 
     fn intersect(
@@ -151,7 +156,14 @@ mod tests {
         let c = f.add_block();
         let d = f.add_block();
         f.append_inst(entry, Op::Br { target: a });
-        f.append_inst(a, Op::CondBr { cond: Value::bool(true), then_bb: b, else_bb: c });
+        f.append_inst(
+            a,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: b,
+                else_bb: c,
+            },
+        );
         f.append_inst(b, Op::Br { target: d });
         f.append_inst(c, Op::Br { target: d });
         f.append_inst(d, Op::Ret { val: None });
@@ -207,7 +219,14 @@ mod tests {
         let body = f.add_block();
         let exit = f.add_block();
         f.append_inst(entry, Op::Br { target: h });
-        f.append_inst(h, Op::CondBr { cond: Value::bool(true), then_bb: body, else_bb: exit });
+        f.append_inst(
+            h,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: body,
+                else_bb: exit,
+            },
+        );
         f.append_inst(body, Op::Br { target: h });
         f.append_inst(exit, Op::Ret { val: None });
         let cfg = Cfg::compute(&f);

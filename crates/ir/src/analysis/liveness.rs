@@ -124,15 +124,42 @@ mod tests {
         let b = f.add_block();
         let x = f.append_inst(
             entry,
-            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
         );
         let c = f.append_inst(
             entry,
-            Op::Icmp { pred: IntPred::Sgt, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(0) },
+            Op::Icmp {
+                pred: IntPred::Sgt,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(0),
+            },
         );
-        f.append_inst(entry, Op::CondBr { cond: Value::Inst(c), then_bb: a, else_bb: b });
-        f.append_inst(a, Op::Ret { val: Some(Value::Inst(x)) });
-        f.append_inst(b, Op::Ret { val: Some(Value::i64(0)) });
+        f.append_inst(
+            entry,
+            Op::CondBr {
+                cond: Value::Inst(c),
+                then_bb: a,
+                else_bb: b,
+            },
+        );
+        f.append_inst(
+            a,
+            Op::Ret {
+                val: Some(Value::Inst(x)),
+            },
+        );
+        f.append_inst(
+            b,
+            Op::Ret {
+                val: Some(Value::i64(0)),
+            },
+        );
 
         let cfg = Cfg::compute(&f);
         let lv = Liveness::compute(&f, &cfg);
@@ -152,20 +179,45 @@ mod tests {
         let merge = f.add_block();
         let x = f.append_inst(
             entry,
-            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
         );
         let c = f.append_inst(
             entry,
-            Op::Icmp { pred: IntPred::Sgt, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(0) },
+            Op::Icmp {
+                pred: IntPred::Sgt,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(0),
+            },
         );
-        f.append_inst(entry, Op::CondBr { cond: Value::Inst(c), then_bb: a, else_bb: b });
+        f.append_inst(
+            entry,
+            Op::CondBr {
+                cond: Value::Inst(c),
+                then_bb: a,
+                else_bb: b,
+            },
+        );
         f.append_inst(a, Op::Br { target: merge });
         f.append_inst(b, Op::Br { target: merge });
         let phi = f.append_inst(
             merge,
-            Op::Phi { ty: Ty::I64, incomings: vec![(a, Value::Inst(x)), (b, Value::i64(5))] },
+            Op::Phi {
+                ty: Ty::I64,
+                incomings: vec![(a, Value::Inst(x)), (b, Value::i64(5))],
+            },
         );
-        f.append_inst(merge, Op::Ret { val: Some(Value::Inst(phi)) });
+        f.append_inst(
+            merge,
+            Op::Ret {
+                val: Some(Value::Inst(phi)),
+            },
+        );
 
         let cfg = Cfg::compute(&f);
         let lv = Liveness::compute(&f, &cfg);

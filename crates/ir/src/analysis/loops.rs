@@ -50,8 +50,11 @@ impl Loop {
     /// in loop-simplified form.
     pub fn preheader(&self, f: &Function, cfg: &Cfg) -> Option<BlockId> {
         let preds = cfg.preds.get(&self.header)?;
-        let outside: Vec<BlockId> =
-            preds.iter().copied().filter(|p| !self.blocks.contains(p)).collect();
+        let outside: Vec<BlockId> = preds
+            .iter()
+            .copied()
+            .filter(|p| !self.blocks.contains(p))
+            .collect();
         match outside.as_slice() {
             [p] if f.successors(*p) == vec![self.header] => Some(*p),
             _ => None,
@@ -122,7 +125,10 @@ impl LoopForest {
 
     /// The innermost loop containing `b`, if any.
     pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
-        self.loops.iter().filter(|l| l.blocks.contains(&b)).max_by_key(|l| l.depth)
+        self.loops
+            .iter()
+            .filter(|l| l.blocks.contains(&b))
+            .max_by_key(|l| l.depth)
     }
 
     /// The loop headed by `h`, if any.
@@ -149,8 +155,22 @@ mod tests {
         let outer_latch = f.add_block();
         let exit = f.add_block();
         f.append_inst(entry, Op::Br { target: outer_h });
-        f.append_inst(outer_h, Op::CondBr { cond: Value::bool(true), then_bb: inner_h, else_bb: exit });
-        f.append_inst(inner_h, Op::CondBr { cond: Value::bool(true), then_bb: inner_body, else_bb: outer_latch });
+        f.append_inst(
+            outer_h,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: inner_h,
+                else_bb: exit,
+            },
+        );
+        f.append_inst(
+            inner_h,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: inner_body,
+                else_bb: outer_latch,
+            },
+        );
         f.append_inst(inner_body, Op::Br { target: inner_h });
         f.append_inst(outer_latch, Op::Br { target: outer_h });
         f.append_inst(exit, Op::Ret { val: None });

@@ -47,7 +47,9 @@ fn main() {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
             buf
         }
     };
@@ -64,8 +66,14 @@ fn main() {
         std::process::exit(1);
     }
 
-    let out = Interpreter::with_config(&module, InterpConfig { fuel, max_depth: 1024 })
-        .run(&entry, &call_args);
+    let out = Interpreter::with_config(
+        &module,
+        InterpConfig {
+            fuel,
+            max_depth: 1024,
+        },
+    )
+    .run(&entry, &call_args);
 
     for ev in &out.trace {
         let args: Vec<String> = ev

@@ -32,7 +32,9 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Starts a new module.
     pub fn new(name: impl Into<String>) -> ModuleBuilder {
-        ModuleBuilder { module: Module::new(name) }
+        ModuleBuilder {
+            module: Module::new(name),
+        }
     }
 
     /// Adds a function with a body and returns its id. Use
@@ -42,8 +44,14 @@ impl ModuleBuilder {
     }
 
     /// Adds an external declaration.
-    pub fn declare_function(&mut self, name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> FuncId {
-        self.module.add_function(Function::new_decl(name, params, ret))
+    pub fn declare_function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Ty>,
+        ret: Ty,
+    ) -> FuncId {
+        self.module
+            .add_function(Function::new_decl(name, params, ret))
     }
 
     /// Adds a global variable.
@@ -67,9 +75,15 @@ impl ModuleBuilder {
 
     /// Returns a cursor positioned at the entry block of `func`.
     pub fn func_builder(&mut self, func: FuncId) -> FunctionBuilder<'_> {
-        let f = self.module.func_mut(func).expect("building a removed function");
+        let f = self
+            .module
+            .func_mut(func)
+            .expect("building a removed function");
         let entry = f.entry;
-        FunctionBuilder { func: f, cur: entry }
+        FunctionBuilder {
+            func: f,
+            cur: entry,
+        }
     }
 
     /// Direct access to the module under construction.
@@ -135,19 +149,31 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Appends an integer/float `add`/`fadd` according to `ty`.
     pub fn add(&mut self, ty: Ty, lhs: Value, rhs: Value) -> Value {
-        let op = if ty.is_float() { BinOp::FAdd } else { BinOp::Add };
+        let op = if ty.is_float() {
+            BinOp::FAdd
+        } else {
+            BinOp::Add
+        };
         self.bin(op, ty, lhs, rhs)
     }
 
     /// Appends a `sub`/`fsub` according to `ty`.
     pub fn sub(&mut self, ty: Ty, lhs: Value, rhs: Value) -> Value {
-        let op = if ty.is_float() { BinOp::FSub } else { BinOp::Sub };
+        let op = if ty.is_float() {
+            BinOp::FSub
+        } else {
+            BinOp::Sub
+        };
         self.bin(op, ty, lhs, rhs)
     }
 
     /// Appends a `mul`/`fmul` according to `ty`.
     pub fn mul(&mut self, ty: Ty, lhs: Value, rhs: Value) -> Value {
-        let op = if ty.is_float() { BinOp::FMul } else { BinOp::Mul };
+        let op = if ty.is_float() {
+            BinOp::FMul
+        } else {
+            BinOp::Mul
+        };
         self.bin(op, ty, lhs, rhs)
     }
 
@@ -163,7 +189,12 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Appends a select.
     pub fn select(&mut self, ty: Ty, cond: Value, tval: Value, fval: Value) -> Value {
-        self.push(Op::Select { ty, cond, tval, fval })
+        self.push(Op::Select {
+            ty,
+            cond,
+            tval,
+            fval,
+        })
     }
 
     /// Appends a cast.
@@ -190,24 +221,42 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Appends pointer arithmetic.
     pub fn gep(&mut self, elem_ty: Ty, ptr: Value, index: Value) -> Value {
-        self.push(Op::Gep { elem_ty, ptr, index })
+        self.push(Op::Gep {
+            elem_ty,
+            ptr,
+            index,
+        })
     }
 
     /// Appends a memcpy.
     pub fn memcpy(&mut self, elem_ty: Ty, dst: Value, src: Value, len: Value) -> InstId {
-        self.push_void(Op::MemCpy { elem_ty, dst, src, len })
+        self.push_void(Op::MemCpy {
+            elem_ty,
+            dst,
+            src,
+            len,
+        })
     }
 
     /// Appends a memset.
     pub fn memset(&mut self, elem_ty: Ty, dst: Value, val: Value, len: Value) -> InstId {
-        self.push_void(Op::MemSet { elem_ty, dst, val, len })
+        self.push_void(Op::MemSet {
+            elem_ty,
+            dst,
+            val,
+            len,
+        })
     }
 
     // ---- calls and control flow ----------------------------------------------
 
     /// Appends a direct call.
     pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret_ty: Ty) -> Value {
-        self.push(Op::Call { callee, args, ret_ty })
+        self.push(Op::Call {
+            callee,
+            args,
+            ret_ty,
+        })
     }
 
     /// Appends a phi node. Usually placed at the top of a block: prefer
@@ -223,7 +272,11 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Appends a conditional branch.
     pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) -> InstId {
-        self.push_void(Op::CondBr { cond, then_bb, else_bb })
+        self.push_void(Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        })
     }
 
     /// Appends a return.

@@ -53,14 +53,23 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
         )
     }
 
     /// Returns `true` if the operation is associative (exact for integers;
     /// floats are treated as non-associative).
     pub fn is_associative(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 
     /// Returns `true` if the operation can trap at runtime (division by zero).
@@ -239,13 +248,32 @@ impl CastKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Op {
     /// Binary arithmetic: `lhs op rhs`, both of type `ty`, result `ty`.
-    Bin { op: BinOp, ty: Ty, lhs: Value, rhs: Value },
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        lhs: Value,
+        rhs: Value,
+    },
     /// Integer comparison over operands of type `ty`, result `i1`.
-    Icmp { pred: IntPred, ty: Ty, lhs: Value, rhs: Value },
+    Icmp {
+        pred: IntPred,
+        ty: Ty,
+        lhs: Value,
+        rhs: Value,
+    },
     /// Float comparison, result `i1`.
-    Fcmp { pred: FloatPred, lhs: Value, rhs: Value },
+    Fcmp {
+        pred: FloatPred,
+        lhs: Value,
+        rhs: Value,
+    },
     /// `cond ? tval : fval`, result `ty`.
-    Select { ty: Ty, cond: Value, tval: Value, fval: Value },
+    Select {
+        ty: Ty,
+        cond: Value,
+        tval: Value,
+        fval: Value,
+    },
     /// Type conversion of `val` to `to`.
     Cast { kind: CastKind, to: Ty, val: Value },
     /// Stack slot of `count` elements of `ty`; result `ptr`.
@@ -255,19 +283,44 @@ pub enum Op {
     /// Store `val` (of type `ty`) to `ptr`. No result.
     Store { ty: Ty, val: Value, ptr: Value },
     /// Pointer arithmetic: `ptr + index` elements of `elem_ty`; result `ptr`.
-    Gep { elem_ty: Ty, ptr: Value, index: Value },
+    Gep {
+        elem_ty: Ty,
+        ptr: Value,
+        index: Value,
+    },
     /// Direct call; `ret_ty` is the callee's return type.
-    Call { callee: FuncId, args: Vec<Value>, ret_ty: Ty },
+    Call {
+        callee: FuncId,
+        args: Vec<Value>,
+        ret_ty: Ty,
+    },
     /// SSA phi node merging `incomings` values on entry; result `ty`.
-    Phi { ty: Ty, incomings: Vec<(BlockId, Value)> },
+    Phi {
+        ty: Ty,
+        incomings: Vec<(BlockId, Value)>,
+    },
     /// Copy `len` elements of `elem_ty` from `src` to `dst`. No result.
-    MemCpy { elem_ty: Ty, dst: Value, src: Value, len: Value },
+    MemCpy {
+        elem_ty: Ty,
+        dst: Value,
+        src: Value,
+        len: Value,
+    },
     /// Set `len` elements of `elem_ty` at `dst` to `val`. No result.
-    MemSet { elem_ty: Ty, dst: Value, val: Value, len: Value },
+    MemSet {
+        elem_ty: Ty,
+        dst: Value,
+        val: Value,
+        len: Value,
+    },
     /// Unconditional branch. Terminator.
     Br { target: BlockId },
     /// Conditional branch on an `i1`. Terminator.
-    CondBr { cond: Value, then_bb: BlockId, else_bb: BlockId },
+    CondBr {
+        cond: Value,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Function return. Terminator.
     Ret { val: Option<Value> },
     /// Unreachable point. Terminator.
@@ -277,7 +330,10 @@ pub enum Op {
 impl Op {
     /// Returns `true` if this operation terminates a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Op::Br { .. } | Op::CondBr { .. } | Op::Ret { .. } | Op::Unreachable)
+        matches!(
+            self,
+            Op::Br { .. } | Op::CondBr { .. } | Op::Ret { .. } | Op::Unreachable
+        )
     }
 
     /// The result type of the instruction (`Void` if it produces no value).
@@ -307,9 +363,12 @@ impl Op {
     pub fn is_pure(&self) -> bool {
         match self {
             Op::Bin { op, .. } => !op.can_trap(),
-            Op::Icmp { .. } | Op::Fcmp { .. } | Op::Select { .. } | Op::Cast { .. } | Op::Gep { .. } | Op::Phi { .. } => {
-                true
-            }
+            Op::Icmp { .. }
+            | Op::Fcmp { .. }
+            | Op::Select { .. }
+            | Op::Cast { .. }
+            | Op::Gep { .. }
+            | Op::Phi { .. } => true,
             // Alloca has no observable side effect but must not be duplicated
             // or hoisted casually; it is still removable when unused.
             Op::Alloca { .. } => true,
@@ -320,7 +379,10 @@ impl Op {
     /// Returns `true` if the instruction writes memory or performs I/O
     /// (conservatively true for calls).
     pub fn writes_memory(&self) -> bool {
-        matches!(self, Op::Store { .. } | Op::MemCpy { .. } | Op::MemSet { .. } | Op::Call { .. })
+        matches!(
+            self,
+            Op::Store { .. } | Op::MemCpy { .. } | Op::MemSet { .. } | Op::Call { .. }
+        )
     }
 
     /// Returns `true` if the instruction reads memory (conservatively true
@@ -335,7 +397,9 @@ impl Op {
             Op::Bin { lhs, rhs, .. } | Op::Icmp { lhs, rhs, .. } | Op::Fcmp { lhs, rhs, .. } => {
                 vec![*lhs, *rhs]
             }
-            Op::Select { cond, tval, fval, .. } => vec![*cond, *tval, *fval],
+            Op::Select {
+                cond, tval, fval, ..
+            } => vec![*cond, *tval, *fval],
             Op::Cast { val, .. } => vec![*val],
             Op::Alloca { .. } => vec![],
             Op::Load { ptr, .. } => vec![*ptr],
@@ -359,7 +423,9 @@ impl Op {
                 *lhs = f(*lhs);
                 *rhs = f(*rhs);
             }
-            Op::Select { cond, tval, fval, .. } => {
+            Op::Select {
+                cond, tval, fval, ..
+            } => {
                 *cond = f(*cond);
                 *tval = f(*tval);
                 *fval = f(*fval);
@@ -410,7 +476,9 @@ impl Op {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Op::Br { target } => vec![*target],
-            Op::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Op::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             _ => vec![],
         }
     }
@@ -419,7 +487,9 @@ impl Op {
     pub fn map_blocks(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Op::Br { target } => *target = f(*target),
-            Op::CondBr { then_bb, else_bb, .. } => {
+            Op::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -474,7 +544,11 @@ mod tests {
     fn terminator_classification() {
         assert!(Op::Ret { val: None }.is_terminator());
         assert!(Op::Unreachable.is_terminator());
-        assert!(!Op::Alloca { ty: Ty::I64, count: 1 }.is_terminator());
+        assert!(!Op::Alloca {
+            ty: Ty::I64,
+            count: 1
+        }
+        .is_terminator());
     }
 
     #[test]
@@ -505,14 +579,35 @@ mod tests {
 
     #[test]
     fn purity() {
-        assert!(Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::i64(1), rhs: Value::i64(2) }.is_pure());
-        assert!(!Op::Bin { op: BinOp::SDiv, ty: Ty::I64, lhs: Value::i64(1), rhs: Value::Arg(0) }.is_pure());
-        assert!(!Op::Store { ty: Ty::I64, val: Value::i64(0), ptr: Value::Arg(0) }.is_pure());
+        assert!(Op::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            lhs: Value::i64(1),
+            rhs: Value::i64(2)
+        }
+        .is_pure());
+        assert!(!Op::Bin {
+            op: BinOp::SDiv,
+            ty: Ty::I64,
+            lhs: Value::i64(1),
+            rhs: Value::Arg(0)
+        }
+        .is_pure());
+        assert!(!Op::Store {
+            ty: Ty::I64,
+            val: Value::i64(0),
+            ptr: Value::Arg(0)
+        }
+        .is_pure());
     }
 
     #[test]
     fn successors_of_terminators() {
-        let b = Op::CondBr { cond: Value::bool(true), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let b = Op::CondBr {
+            cond: Value::bool(true),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Op::Ret { val: None }.successors().is_empty());
     }

@@ -57,7 +57,9 @@ impl RtVal {
         match self {
             RtVal::Float(v) => Ok(v),
             RtVal::Undef => Err(ExecError::UndefUse),
-            other => Err(ExecError::TypeError(format!("expected float, got {other:?}"))),
+            other => Err(ExecError::TypeError(format!(
+                "expected float, got {other:?}"
+            ))),
         }
     }
 
@@ -187,7 +189,10 @@ impl ExecOutcome {
             Ok(v) => Ok(v.map(abstract_val)),
             Err(e) => Err(e.clone()),
         };
-        Observation { result, trace: self.trace.clone() }
+        Observation {
+            result,
+            trace: self.trace.clone(),
+        }
     }
 }
 
@@ -217,7 +222,10 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { fuel: 2_000_000, max_depth: 256 }
+        InterpConfig {
+            fuel: 2_000_000,
+            max_depth: 256,
+        }
     }
 }
 
@@ -281,7 +289,11 @@ impl<'m> Interpreter<'m> {
         };
         self.init_globals();
         let result = self.call_function(fid, args.to_vec(), 0);
-        ExecOutcome { result, trace: self.trace, profile: self.profile }
+        ExecOutcome {
+            result,
+            trace: self.trace,
+            profile: self.profile,
+        }
     }
 
     fn init_globals(&mut self) {
@@ -295,7 +307,13 @@ impl<'m> Interpreter<'m> {
             for cell in cells.iter_mut().skip(g.init.len()) {
                 *cell = zero_val(g.ty);
             }
-            self.memory.insert(MemBase::Global(gid), Allocation { elem_ty: g.ty, cells });
+            self.memory.insert(
+                MemBase::Global(gid),
+                Allocation {
+                    elem_ty: g.ty,
+                    cells,
+                },
+            );
         }
     }
 
@@ -326,10 +344,10 @@ impl<'m> Interpreter<'m> {
                 for &id in &block.insts {
                     match f.op(id) {
                         Op::Phi { incomings, .. } => {
-                            let (_, v) = incomings
-                                .iter()
-                                .find(|(b, _)| *b == p)
-                                .ok_or_else(|| ExecError::TypeError("phi missing incoming".into()))?;
+                            let (_, v) =
+                                incomings.iter().find(|(b, _)| *b == p).ok_or_else(|| {
+                                    ExecError::TypeError("phi missing incoming".into())
+                                })?;
                             phi_updates.push((id, self.value(f, &regs, &args, *v)?));
                         }
                         _ => break,
@@ -397,7 +415,9 @@ impl<'m> Interpreter<'m> {
                         let b = self.value(f, &regs, &args, rhs)?.as_float()?;
                         regs.insert(id, RtVal::Int(pred.eval(a, b) as i64));
                     }
-                    Op::Select { cond, tval, fval, .. } => {
+                    Op::Select {
+                        cond, tval, fval, ..
+                    } => {
                         let c = self.value(f, &regs, &args, cond)?.as_int()?;
                         let v = if c != 0 {
                             self.value(f, &regs, &args, tval)?
@@ -415,8 +435,13 @@ impl<'m> Interpreter<'m> {
                         let serial = self.next_stack_serial;
                         self.next_stack_serial += 1;
                         let base = MemBase::Stack(serial);
-                        self.memory
-                            .insert(base, Allocation { elem_ty: ty, cells: vec![RtVal::Undef; count as usize] });
+                        self.memory.insert(
+                            base,
+                            Allocation {
+                                elem_ty: ty,
+                                cells: vec![RtVal::Undef; count as usize],
+                            },
+                        );
                         frame_allocs.push(base);
                         regs.insert(id, RtVal::Ptr(PtrVal { base, offset: 0 }));
                     }
@@ -433,9 +458,19 @@ impl<'m> Interpreter<'m> {
                     Op::Gep { ptr, index, .. } => {
                         let p = self.value(f, &regs, &args, ptr)?.as_ptr()?;
                         let i = self.value(f, &regs, &args, index)?.as_int()?;
-                        regs.insert(id, RtVal::Ptr(PtrVal { base: p.base, offset: p.offset + i }));
+                        regs.insert(
+                            id,
+                            RtVal::Ptr(PtrVal {
+                                base: p.base,
+                                offset: p.offset + i,
+                            }),
+                        );
                     }
-                    Op::Call { callee, args: call_args, ret_ty } => {
+                    Op::Call {
+                        callee,
+                        args: call_args,
+                        ret_ty,
+                    } => {
                         let mut vals = Vec::with_capacity(call_args.len());
                         for a in &call_args {
                             vals.push(self.value(f, &regs, &args, *a)?);
@@ -462,7 +497,11 @@ impl<'m> Interpreter<'m> {
                         cur = target;
                         continue 'outer;
                     }
-                    Op::CondBr { cond, then_bb, else_bb } => {
+                    Op::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         let c = self.value(f, &regs, &args, cond)?;
                         let c = match c {
                             RtVal::Int(v) => v,
@@ -507,7 +546,10 @@ impl<'m> Interpreter<'m> {
         Ok(match ret {
             Ty::Void => None,
             Ty::F64 => Some(RtVal::Float(0.0)),
-            Ty::Ptr => Some(RtVal::Ptr(PtrVal { base: MemBase::Stack(u64::MAX), offset: 0 })),
+            Ty::Ptr => Some(RtVal::Ptr(PtrVal {
+                base: MemBase::Stack(u64::MAX),
+                offset: 0,
+            })),
             _ => Some(RtVal::Int(0)),
         })
     }
@@ -523,12 +565,17 @@ impl<'m> Interpreter<'m> {
             Value::Inst(id) => regs.get(&id).copied().unwrap_or(RtVal::Undef),
             Value::Arg(i) => args.get(i as usize).copied().unwrap_or(RtVal::Undef),
             Value::Const(c) => const_val(c),
-            Value::Global(g) => RtVal::Ptr(PtrVal { base: MemBase::Global(g), offset: 0 }),
-            Value::Func(_) => RtVal::Ptr(PtrVal { base: MemBase::Stack(u64::MAX - 1), offset: 0 }),
+            Value::Global(g) => RtVal::Ptr(PtrVal {
+                base: MemBase::Global(g),
+                offset: 0,
+            }),
+            Value::Func(_) => RtVal::Ptr(PtrVal {
+                base: MemBase::Stack(u64::MAX - 1),
+                offset: 0,
+            }),
         })
-        .map(|val| {
+        .inspect(|_val| {
             let _ = f;
-            val
         })
     }
 
@@ -592,10 +639,12 @@ impl<'m> Interpreter<'m> {
                 tmp.push(*alloc.cells.get(idx).ok_or(ExecError::OutOfBounds)?);
             }
         }
-        let alloc = self.memory.get_mut(&dst.base).ok_or(ExecError::OutOfBounds)?;
+        let alloc = self
+            .memory
+            .get_mut(&dst.base)
+            .ok_or(ExecError::OutOfBounds)?;
         for (i, v) in tmp.into_iter().enumerate() {
-            let idx =
-                usize::try_from(dst.offset + i as i64).map_err(|_| ExecError::OutOfBounds)?;
+            let idx = usize::try_from(dst.offset + i as i64).map_err(|_| ExecError::OutOfBounds)?;
             match alloc.cells.get_mut(idx) {
                 Some(cell) => *cell = v,
                 None => return Err(ExecError::OutOfBounds),
@@ -611,7 +660,10 @@ impl<'m> Interpreter<'m> {
         if len > 0 {
             self.check_writable(dst.base)?;
         }
-        let alloc = self.memory.get_mut(&dst.base).ok_or(ExecError::OutOfBounds)?;
+        let alloc = self
+            .memory
+            .get_mut(&dst.base)
+            .ok_or(ExecError::OutOfBounds)?;
         for i in 0..len {
             let idx = usize::try_from(dst.offset + i).map_err(|_| ExecError::OutOfBounds)?;
             match alloc.cells.get_mut(idx) {
@@ -640,7 +692,10 @@ fn const_val(c: Const) -> RtVal {
     match c {
         Const::Int { val, .. } => RtVal::Int(val),
         Const::Float(v) => RtVal::Float(v),
-        Const::Null => RtVal::Ptr(PtrVal { base: MemBase::Stack(u64::MAX - 2), offset: 0 }),
+        Const::Null => RtVal::Ptr(PtrVal {
+            base: MemBase::Stack(u64::MAX - 2),
+            offset: 0,
+        }),
         Const::Undef(_) => RtVal::Undef,
     }
 }
@@ -679,7 +734,7 @@ pub fn eval_bin(op: BinOp, ty: Ty, a: RtVal, b: RtVal) -> Result<RtVal, ExecErro
         return Ok(RtVal::Undef);
     }
     let (x, y) = (a.as_int()?, b.as_int()?);
-    let width = ty.bit_width() as u32;
+    let width = ty.bit_width();
     let r = match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
@@ -702,7 +757,11 @@ pub fn eval_bin(op: BinOp, ty: Ty, a: RtVal, b: RtVal) -> Result<RtVal, ExecErro
         BinOp::Shl => x.wrapping_shl((y as u32) % width.max(1)),
         BinOp::AShr => x.wrapping_shr((y as u32) % width.max(1)),
         BinOp::LShr => {
-            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             (((x as u64) & mask) >> ((y as u32) % width.max(1))) as i64
         }
         _ => unreachable!(),
@@ -904,8 +963,14 @@ bb1:
 }
 "#;
         let m = parse_module(text).unwrap();
-        let out = Interpreter::with_config(&m, InterpConfig { fuel: 100, max_depth: 8 })
-            .run("spin", &[]);
+        let out = Interpreter::with_config(
+            &m,
+            InterpConfig {
+                fuel: 100,
+                max_depth: 8,
+            },
+        )
+        .run("spin", &[]);
         assert_eq!(out.result, Err(ExecError::OutOfFuel));
     }
 
@@ -992,11 +1057,17 @@ bb0:
 
     #[test]
     fn fptosi_saturates() {
-        assert_eq!(eval_cast(CastKind::FpToSi, Ty::I64, RtVal::Float(f64::NAN)).unwrap(), RtVal::Int(0));
+        assert_eq!(
+            eval_cast(CastKind::FpToSi, Ty::I64, RtVal::Float(f64::NAN)).unwrap(),
+            RtVal::Int(0)
+        );
         assert_eq!(
             eval_cast(CastKind::FpToSi, Ty::I64, RtVal::Float(1e300)).unwrap(),
             RtVal::Int(i64::MAX)
         );
-        assert_eq!(eval_cast(CastKind::FpToSi, Ty::I32, RtVal::Float(3.9)).unwrap(), RtVal::Int(3));
+        assert_eq!(
+            eval_cast(CastKind::FpToSi, Ty::I32, RtVal::Float(3.9)).unwrap(),
+            RtVal::Int(3)
+        );
     }
 }

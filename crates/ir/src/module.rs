@@ -256,7 +256,11 @@ impl Function {
 
     /// Inserts an instruction just before the terminator of `block`.
     pub fn insert_before_terminator(&mut self, block: BlockId, op: Op) -> InstId {
-        let len = self.blocks[block.index()].as_ref().expect("removed block").insts.len();
+        let len = self.blocks[block.index()]
+            .as_ref()
+            .expect("removed block")
+            .insts
+            .len();
         let pos = len.saturating_sub(1);
         self.insert_inst(block, pos, op)
     }
@@ -279,7 +283,11 @@ impl Function {
         if let Some(Some(b)) = self.blocks.get_mut(old.index()) {
             b.insts.retain(|&i| i != id);
         }
-        self.blocks[block.index()].as_mut().expect("removed block").insts.push(id);
+        self.blocks[block.index()]
+            .as_mut()
+            .expect("removed block")
+            .insts
+            .push(id);
         self.insts[id.index()].as_mut().unwrap().block = block;
     }
 
@@ -306,7 +314,9 @@ impl Function {
 
     /// Number of live instructions.
     pub fn num_insts(&self) -> usize {
-        self.block_ids().map(|b| self.block(b).unwrap().insts.len()).sum()
+        self.block_ids()
+            .map(|b| self.block(b).unwrap().insts.len())
+            .sum()
     }
 
     /// The terminator instruction of `block`, if the block is non-empty and
@@ -323,17 +333,17 @@ impl Function {
 
     /// Successor blocks of `block`.
     pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
-        self.terminator(block).map(|t| self.op(t).successors()).unwrap_or_default()
+        self.terminator(block)
+            .map(|t| self.op(t).successors())
+            .unwrap_or_default()
     }
 
     // ---- value rewriting ---------------------------------------------------
 
     /// Replaces every use of `from` with `to` in all instructions.
     pub fn replace_all_uses(&mut self, from: Value, to: Value) {
-        for slot in &mut self.insts {
-            if let Some(inst) = slot {
-                inst.op.map_operands(|v| if v == from { to } else { v });
-            }
+        for inst in self.insts.iter_mut().flatten() {
+            inst.op.map_operands(|v| if v == from { to } else { v });
         }
     }
 
@@ -419,7 +429,11 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Module {
-        Module { name: name.into(), functions: Vec::new(), globals: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
     }
 
     /// Adds a function, returning its id.
@@ -488,17 +502,21 @@ impl Module {
 
     /// Looks up a function by symbol name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.func_ids().find(|&id| self.func(id).unwrap().name == name)
+        self.func_ids()
+            .find(|&id| self.func(id).unwrap().name == name)
     }
 
     /// Looks up a global by symbol name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.global_ids().find(|&id| self.global(id).unwrap().name == name)
+        self.global_ids()
+            .find(|&id| self.global(id).unwrap().name == name)
     }
 
     /// Total number of live instructions across all function bodies.
     pub fn num_insts(&self) -> usize {
-        self.func_ids().map(|f| self.func(f).unwrap().num_insts()).sum()
+        self.func_ids()
+            .map(|f| self.func(f).unwrap().num_insts())
+            .sum()
     }
 
     /// Applies `f` to every function body (skipping declarations).
@@ -524,9 +542,19 @@ mod tests {
         let entry = f.entry;
         let add = f.append_inst(
             entry,
-            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Arg(0), rhs: Value::i64(1) },
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
         );
-        f.append_inst(entry, Op::Ret { val: Some(Value::Inst(add)) });
+        f.append_inst(
+            entry,
+            Op::Ret {
+                val: Some(Value::Inst(add)),
+            },
+        );
         f
     }
 
@@ -553,7 +581,12 @@ mod tests {
         let add = f.block(f.entry).unwrap().insts[0];
         f.replace_all_uses(Value::Inst(add), Value::i64(42));
         let ret = f.terminator(f.entry).unwrap();
-        assert_eq!(f.op(ret), &Op::Ret { val: Some(Value::i64(42)) });
+        assert_eq!(
+            f.op(ret),
+            &Op::Ret {
+                val: Some(Value::i64(42))
+            }
+        );
     }
 
     #[test]
@@ -562,7 +595,14 @@ mod tests {
         let entry = f.entry;
         let b1 = f.add_block();
         let b2 = f.add_block();
-        f.append_inst(entry, Op::CondBr { cond: Value::bool(true), then_bb: b1, else_bb: b2 });
+        f.append_inst(
+            entry,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: b1,
+                else_bb: b2,
+            },
+        );
         f.append_inst(b1, Op::Ret { val: None });
         f.append_inst(b2, Op::Ret { val: None });
         assert_eq!(f.successors(entry), vec![b1, b2]);
@@ -600,14 +640,29 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let merge = f.add_block();
-        f.append_inst(entry, Op::CondBr { cond: Value::bool(true), then_bb: b1, else_bb: b2 });
+        f.append_inst(
+            entry,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: b1,
+                else_bb: b2,
+            },
+        );
         f.append_inst(b1, Op::Br { target: merge });
         f.append_inst(b2, Op::Br { target: merge });
         let phi = f.append_inst(
             merge,
-            Op::Phi { ty: Ty::I64, incomings: vec![(b1, Value::i64(1)), (b2, Value::i64(2))] },
+            Op::Phi {
+                ty: Ty::I64,
+                incomings: vec![(b1, Value::i64(1)), (b2, Value::i64(2))],
+            },
         );
-        f.append_inst(merge, Op::Ret { val: Some(Value::Inst(phi)) });
+        f.append_inst(
+            merge,
+            Op::Ret {
+                val: Some(Value::Inst(phi)),
+            },
+        );
         f.remove_phi_incoming(merge, b1);
         match f.op(phi) {
             Op::Phi { incomings, .. } => assert_eq!(incomings.len(), 1),

@@ -25,7 +25,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn perr(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a module from its textual form.
@@ -180,10 +183,16 @@ fn parse_ty(line: usize, s: &str) -> Result<Ty, ParseError> {
 fn parse_signature(line: usize, s: &str) -> Result<(String, Vec<Ty>, Ty), ParseError> {
     // @name(i64, f64) -> i64
     let s = s.trim();
-    let name_start = s.strip_prefix('@').ok_or_else(|| perr(line, "expected '@name'"))?;
-    let open = name_start.find('(').ok_or_else(|| perr(line, "expected '('"))?;
+    let name_start = s
+        .strip_prefix('@')
+        .ok_or_else(|| perr(line, "expected '@name'"))?;
+    let open = name_start
+        .find('(')
+        .ok_or_else(|| perr(line, "expected '('"))?;
     let name = name_start[..open].to_string();
-    let close = name_start.rfind(')').ok_or_else(|| perr(line, "expected ')'"))?;
+    let close = name_start
+        .rfind(')')
+        .ok_or_else(|| perr(line, "expected ')'"))?;
     let params_str = &name_start[open + 1..close];
     let params: Vec<Ty> = if params_str.trim().is_empty() {
         Vec::new()
@@ -194,7 +203,9 @@ fn parse_signature(line: usize, s: &str) -> Result<(String, Vec<Ty>, Ty), ParseE
             .collect::<Result<_, _>>()?
     };
     let after = name_start[close + 1..].trim();
-    let ret_str = after.strip_prefix("->").ok_or_else(|| perr(line, "expected '->'"))?;
+    let ret_str = after
+        .strip_prefix("->")
+        .ok_or_else(|| perr(line, "expected '->'"))?;
     let ret = parse_ty(line, ret_str.split_whitespace().next().unwrap_or(""))?;
     Ok((name, params, ret))
 }
@@ -202,8 +213,14 @@ fn parse_signature(line: usize, s: &str) -> Result<(String, Vec<Ty>, Ty), ParseE
 fn parse_global(line: usize, l: &str) -> Result<Global, ParseError> {
     // global @name : ty x count mutable|const internal|external = [c, c]
     let rest = l.trim_start_matches("global ").trim();
-    let name_end = rest.find(':').ok_or_else(|| perr(line, "expected ':' in global"))?;
-    let name = rest[..name_end].trim().strip_prefix('@').ok_or_else(|| perr(line, "expected '@name'"))?.to_string();
+    let name_end = rest
+        .find(':')
+        .ok_or_else(|| perr(line, "expected ':' in global"))?;
+    let name = rest[..name_end]
+        .trim()
+        .strip_prefix('@')
+        .ok_or_else(|| perr(line, "expected '@name'"))?
+        .to_string();
     let after = rest[name_end + 1..].trim();
     let (head, init_str) = match after.find('=') {
         Some(eq) => (after[..eq].trim(), after[eq + 1..].trim()),
@@ -229,7 +246,10 @@ fn parse_global(line: usize, l: &str) -> Result<Global, ParseError> {
             other => return Err(perr(line, format!("unknown global keyword '{other}'"))),
         }
     }
-    let inner = init_str.trim().trim_start_matches('[').trim_end_matches(']');
+    let inner = init_str
+        .trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']');
     let init: Vec<Const> = if inner.trim().is_empty() {
         Vec::new()
     } else {
@@ -238,7 +258,14 @@ fn parse_global(line: usize, l: &str) -> Result<Global, ParseError> {
             .map(|c| parse_const(line, c.trim()))
             .collect::<Result<_, _>>()?
     };
-    Ok(Global { name, ty, count, init, mutable, linkage })
+    Ok(Global {
+        name,
+        ty,
+        count,
+        init,
+        mutable,
+        linkage,
+    })
 }
 
 fn parse_const(line: usize, s: &str) -> Result<Const, ParseError> {
@@ -251,13 +278,19 @@ fn parse_const(line: usize, s: &str) -> Result<Const, ParseError> {
     if let Some(rest) = s.strip_prefix("undef:") {
         return Ok(Const::Undef(parse_ty(line, rest)?));
     }
-    let colon = s.rfind(':').ok_or_else(|| perr(line, format!("bad constant '{s}'")))?;
+    let colon = s
+        .rfind(':')
+        .ok_or_else(|| perr(line, format!("bad constant '{s}'")))?;
     let (num, ty) = (&s[..colon], parse_ty(line, &s[colon + 1..])?);
     if ty == Ty::F64 {
-        let v: f64 = num.parse().map_err(|_| perr(line, format!("bad float '{num}'")))?;
+        let v: f64 = num
+            .parse()
+            .map_err(|_| perr(line, format!("bad float '{num}'")))?;
         Ok(Const::Float(v))
     } else {
-        let v: i64 = num.parse().map_err(|_| perr(line, format!("bad integer '{num}'")))?;
+        let v: i64 = num
+            .parse()
+            .map_err(|_| perr(line, format!("bad integer '{num}'")))?;
         Ok(Const::int(ty, v))
     }
 }
@@ -273,7 +306,9 @@ impl BodyCtx<'_> {
     fn value(&self, line: usize, s: &str) -> Result<Value, ParseError> {
         let s = s.trim();
         if let Some(rest) = s.strip_prefix("%arg") {
-            let idx: u32 = rest.parse().map_err(|_| perr(line, format!("bad argument '{s}'")))?;
+            let idx: u32 = rest
+                .parse()
+                .map_err(|_| perr(line, format!("bad argument '{s}'")))?;
             return Ok(Value::Arg(idx));
         }
         if s.starts_with('%') {
@@ -316,7 +351,12 @@ fn parse_body(
     lines: &[(usize, &str)],
 ) -> Result<(), ParseError> {
     // First: collect block labels in order.
-    let mut ctx = BodyCtx { funcs, globals, values: HashMap::new(), blocks: HashMap::new() };
+    let mut ctx = BodyCtx {
+        funcs,
+        globals,
+        values: HashMap::new(),
+        blocks: HashMap::new(),
+    };
     {
         let f = module.func_mut(fid).unwrap();
         let mut first = true;
@@ -335,7 +375,10 @@ fn parse_body(
             }
         }
         if first {
-            return Err(perr(lines.first().map(|l| l.0).unwrap_or(0), "function has no blocks"));
+            return Err(perr(
+                lines.first().map(|l| l.0).unwrap_or(0),
+                "function has no blocks",
+            ));
         }
     }
 
@@ -415,13 +458,20 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
     };
 
     let bin = |op: BinOp| -> Result<Op, ParseError> {
-        let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "expected type"))?;
+        let (ty_str, args) = rest
+            .split_once(' ')
+            .ok_or_else(|| perr(ln, "expected type"))?;
         let ty = parse_ty(ln, ty_str)?;
         let parts = split_args(args);
         if parts.len() != 2 {
             return Err(perr(ln, "binary op needs two operands"));
         }
-        Ok(Op::Bin { op, ty, lhs: ctx.value(ln, parts[0])?, rhs: ctx.value(ln, parts[1])? })
+        Ok(Op::Bin {
+            op,
+            ty,
+            lhs: ctx.value(ln, parts[0])?,
+            rhs: ctx.value(ln, parts[1])?,
+        })
     };
 
     match mnemonic {
@@ -456,7 +506,12 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
             if parts.len() != 2 {
                 return Err(perr(ln, "icmp needs two operands"));
             }
-            Ok(Op::Icmp { pred, ty, lhs: ctx.value(ln, parts[0])?, rhs: ctx.value(ln, parts[1])? })
+            Ok(Op::Icmp {
+                pred,
+                ty,
+                lhs: ctx.value(ln, parts[0])?,
+                rhs: ctx.value(ln, parts[1])?,
+            })
         }
         "fcmp" => {
             let (pred_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad fcmp"))?;
@@ -473,7 +528,11 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
             if parts.len() != 2 {
                 return Err(perr(ln, "fcmp needs two operands"));
             }
-            Ok(Op::Fcmp { pred, lhs: ctx.value(ln, parts[0])?, rhs: ctx.value(ln, parts[1])? })
+            Ok(Op::Fcmp {
+                pred,
+                lhs: ctx.value(ln, parts[0])?,
+                rhs: ctx.value(ln, parts[1])?,
+            })
         }
         "select" => {
             let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad select"))?;
@@ -497,23 +556,37 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
                 "sitofp" => CastKind::SiToFp,
                 _ => CastKind::FpToSi,
             };
-            let (val_str, to_str) =
-                rest.split_once(" to ").ok_or_else(|| perr(ln, "cast expects 'to'"))?;
-            Ok(Op::Cast { kind, to: parse_ty(ln, to_str)?, val: ctx.value(ln, val_str)? })
+            let (val_str, to_str) = rest
+                .split_once(" to ")
+                .ok_or_else(|| perr(ln, "cast expects 'to'"))?;
+            Ok(Op::Cast {
+                kind,
+                to: parse_ty(ln, to_str)?,
+                val: ctx.value(ln, val_str)?,
+            })
         }
         "alloca" => {
-            let (ty_str, count_str) =
-                rest.split_once(" x ").ok_or_else(|| perr(ln, "alloca expects 'ty x count'"))?;
-            let count: u32 =
-                count_str.trim().parse().map_err(|_| perr(ln, "bad alloca count"))?;
-            Ok(Op::Alloca { ty: parse_ty(ln, ty_str)?, count })
+            let (ty_str, count_str) = rest
+                .split_once(" x ")
+                .ok_or_else(|| perr(ln, "alloca expects 'ty x count'"))?;
+            let count: u32 = count_str
+                .trim()
+                .parse()
+                .map_err(|_| perr(ln, "bad alloca count"))?;
+            Ok(Op::Alloca {
+                ty: parse_ty(ln, ty_str)?,
+                count,
+            })
         }
         "load" => {
             let parts = split_args(rest);
             if parts.len() != 2 {
                 return Err(perr(ln, "load expects 'ty, ptr'"));
             }
-            Ok(Op::Load { ty: parse_ty(ln, parts[0])?, ptr: ctx.value(ln, parts[1])? })
+            Ok(Op::Load {
+                ty: parse_ty(ln, parts[0])?,
+                ptr: ctx.value(ln, parts[1])?,
+            })
         }
         "store" => {
             let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad store"))?;
@@ -541,19 +614,29 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
         "call" => {
             // @name(args) -> ty
             let open = rest.find('(').ok_or_else(|| perr(ln, "bad call"))?;
-            let name = rest[..open].trim().strip_prefix('@').ok_or_else(|| perr(ln, "bad callee"))?;
+            let name = rest[..open]
+                .trim()
+                .strip_prefix('@')
+                .ok_or_else(|| perr(ln, "bad callee"))?;
             let close = rest.rfind(')').ok_or_else(|| perr(ln, "bad call"))?;
             let args: Vec<Value> = split_args(&rest[open + 1..close])
                 .into_iter()
                 .map(|a| ctx.value(ln, a))
                 .collect::<Result<_, _>>()?;
-            let ret_str = rest[close + 1..].trim().strip_prefix("->").ok_or_else(|| perr(ln, "call expects '-> ty'"))?;
+            let ret_str = rest[close + 1..]
+                .trim()
+                .strip_prefix("->")
+                .ok_or_else(|| perr(ln, "call expects '-> ty'"))?;
             let callee = *ctx
                 .funcs
                 .get(name)
                 .ok_or_else(|| perr(ln, format!("unknown callee '{name}'")))?;
             let _ = module; // callee resolution already done via ctx
-            Ok(Op::Call { callee, args, ret_ty: parse_ty(ln, ret_str)? })
+            Ok(Op::Call {
+                callee,
+                args,
+                ret_ty: parse_ty(ln, ret_str)?,
+            })
         }
         "phi" => {
             let (ty_str, args) = rest.split_once(' ').ok_or_else(|| perr(ln, "bad phi"))?;
@@ -561,7 +644,9 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
             let mut incomings = Vec::new();
             for part in split_args(args) {
                 let inner = part.trim().trim_start_matches('[').trim_end_matches(']');
-                let (b, v) = inner.split_once(':').ok_or_else(|| perr(ln, "bad phi incoming"))?;
+                let (b, v) = inner
+                    .split_once(':')
+                    .ok_or_else(|| perr(ln, "bad phi incoming"))?;
                 incomings.push((ctx.block(ln, b)?, ctx.value(ln, v)?));
             }
             Ok(Op::Phi { ty, incomings })
@@ -589,7 +674,9 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
                 })
             }
         }
-        "br" => Ok(Op::Br { target: ctx.block(ln, rest)? }),
+        "br" => Ok(Op::Br {
+            target: ctx.block(ln, rest)?,
+        }),
         "condbr" => {
             let parts = split_args(rest);
             if parts.len() != 3 {
@@ -605,7 +692,9 @@ fn parse_op(module: &Module, ctx: &BodyCtx, ln: usize, text: &str) -> Result<Op,
             if rest.is_empty() {
                 Ok(Op::Ret { val: None })
             } else {
-                Ok(Op::Ret { val: Some(ctx.value(ln, rest)?) })
+                Ok(Op::Ret {
+                    val: Some(ctx.value(ln, rest)?),
+                })
             }
         }
         "unreachable" => Ok(Op::Unreachable),
@@ -684,7 +773,8 @@ bb0:
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "module \"m\"\n; a comment\n\nfn @f() -> void internal {\nbb0: ; entry\n  ret\n}\n";
+        let text =
+            "module \"m\"\n; a comment\n\nfn @f() -> void internal {\nbb0: ; entry\n  ret\n}\n";
         let m = parse_module(text).expect("parses");
         verify_module(&m).expect("verifies");
     }

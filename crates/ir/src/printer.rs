@@ -36,7 +36,13 @@ pub fn print_module(m: &Module) -> String {
         out.push('\n');
         if f.is_decl {
             let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
-            let _ = writeln!(out, "declare @{}({}) -> {}", f.name, params.join(", "), f.ret);
+            let _ = writeln!(
+                out,
+                "declare @{}({}) -> {}",
+                f.name,
+                params.join(", "),
+                f.ret
+            );
         } else {
             out.push_str(&print_function(m, f));
         }
@@ -125,7 +131,11 @@ fn print_const(c: &Const) -> String {
     match *c {
         Const::Int { ty, val } => {
             if ty == Ty::I1 {
-                if val != 0 { "true".into() } else { "false".into() }
+                if val != 0 {
+                    "true".into()
+                } else {
+                    "false".into()
+                }
             } else {
                 format!("{val}:{ty}")
             }
@@ -163,43 +173,96 @@ fn print_inst(
     blocks: &HashMap<BlockId, String>,
 ) -> String {
     let pv = |v: Value| print_value(m, v, numbering);
-    let pb = |b: BlockId| blocks.get(&b).cloned().unwrap_or_else(|| format!("bb?{}", b.0));
+    let pb = |b: BlockId| {
+        blocks
+            .get(&b)
+            .cloned()
+            .unwrap_or_else(|| format!("bb?{}", b.0))
+    };
     let lhs = match numbering.get(&id) {
         Some(n) => format!("%{n} = "),
         None => String::new(),
     };
     let body = match f.op(id) {
-        Op::Bin { op, ty, lhs, rhs } => format!("{} {} {}, {}", op.mnemonic(), ty, pv(*lhs), pv(*rhs)),
+        Op::Bin { op, ty, lhs, rhs } => {
+            format!("{} {} {}, {}", op.mnemonic(), ty, pv(*lhs), pv(*rhs))
+        }
         Op::Icmp { pred, ty, lhs, rhs } => {
             format!("icmp {} {} {}, {}", pred.mnemonic(), ty, pv(*lhs), pv(*rhs))
         }
-        Op::Fcmp { pred, lhs, rhs } => format!("fcmp {} {}, {}", pred.mnemonic(), pv(*lhs), pv(*rhs)),
-        Op::Select { ty, cond, tval, fval } => {
+        Op::Fcmp { pred, lhs, rhs } => {
+            format!("fcmp {} {}, {}", pred.mnemonic(), pv(*lhs), pv(*rhs))
+        }
+        Op::Select {
+            ty,
+            cond,
+            tval,
+            fval,
+        } => {
             format!("select {} {}, {}, {}", ty, pv(*cond), pv(*tval), pv(*fval))
         }
         Op::Cast { kind, to, val } => format!("{} {} to {}", kind.mnemonic(), pv(*val), to),
         Op::Alloca { ty, count } => format!("alloca {} x {}", ty, count),
         Op::Load { ty, ptr } => format!("load {}, {}", ty, pv(*ptr)),
         Op::Store { ty, val, ptr } => format!("store {} {}, {}", ty, pv(*val), pv(*ptr)),
-        Op::Gep { elem_ty, ptr, index } => format!("gep {}, {}, {}", elem_ty, pv(*ptr), pv(*index)),
-        Op::Call { callee, args, ret_ty } => {
-            let callee_name = m.func(*callee).map(|f| f.name.clone()).unwrap_or_else(|| "?".into());
+        Op::Gep {
+            elem_ty,
+            ptr,
+            index,
+        } => format!("gep {}, {}, {}", elem_ty, pv(*ptr), pv(*index)),
+        Op::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
+            let callee_name = m
+                .func(*callee)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "?".into());
             let args: Vec<String> = args.iter().map(|a| pv(*a)).collect();
             format!("call @{}({}) -> {}", callee_name, args.join(", "), ret_ty)
         }
         Op::Phi { ty, incomings } => {
-            let inc: Vec<String> =
-                incomings.iter().map(|(b, v)| format!("[{}: {}]", pb(*b), pv(*v))).collect();
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| format!("[{}: {}]", pb(*b), pv(*v)))
+                .collect();
             format!("phi {} {}", ty, inc.join(", "))
         }
-        Op::MemCpy { elem_ty, dst, src, len } => {
-            format!("memcpy {} {}, {}, {}", elem_ty, pv(*dst), pv(*src), pv(*len))
+        Op::MemCpy {
+            elem_ty,
+            dst,
+            src,
+            len,
+        } => {
+            format!(
+                "memcpy {} {}, {}, {}",
+                elem_ty,
+                pv(*dst),
+                pv(*src),
+                pv(*len)
+            )
         }
-        Op::MemSet { elem_ty, dst, val, len } => {
-            format!("memset {} {}, {}, {}", elem_ty, pv(*dst), pv(*val), pv(*len))
+        Op::MemSet {
+            elem_ty,
+            dst,
+            val,
+            len,
+        } => {
+            format!(
+                "memset {} {}, {}, {}",
+                elem_ty,
+                pv(*dst),
+                pv(*val),
+                pv(*len)
+            )
         }
         Op::Br { target } => format!("br {}", pb(*target)),
-        Op::CondBr { cond, then_bb, else_bb } => {
+        Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("condbr {}, {}, {}", pv(*cond), pb(*then_bb), pb(*else_bb))
         }
         Op::Ret { val } => match val {
@@ -243,7 +306,10 @@ mod tests {
         mb.declare_function("print_i64", vec![Ty::I64], Ty::Void);
         let m = mb.finish();
         let text = print_module(&m);
-        assert!(text.contains("global @tbl : i32 x 3 const internal = [5:i32]"), "{text}");
+        assert!(
+            text.contains("global @tbl : i32 x 3 const internal = [5:i32]"),
+            "{text}"
+        );
         assert!(text.contains("declare @print_i64(i64) -> void"), "{text}");
     }
 

@@ -28,12 +28,18 @@ impl Const {
     ///
     /// Panics if `ty` is not an integer type.
     pub fn int(ty: Ty, val: i64) -> Const {
-        Const::Int { ty, val: ty.wrap(val) }
+        Const::Int {
+            ty,
+            val: ty.wrap(val),
+        }
     }
 
     /// Creates a boolean (`i1`) constant.
     pub fn bool(b: bool) -> Const {
-        Const::Int { ty: Ty::I1, val: b as i64 }
+        Const::Int {
+            ty: Ty::I1,
+            val: b as i64,
+        }
     }
 
     /// Creates a float constant.

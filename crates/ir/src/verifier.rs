@@ -30,7 +30,10 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err(func: Option<&str>, message: impl Into<String>) -> VerifyError {
-    VerifyError { func: func.map(str::to_owned), message: message.into() }
+    VerifyError {
+        func: func.map(str::to_owned),
+        message: message.into(),
+    }
 }
 
 /// Verifies every function of a module plus cross-function invariants.
@@ -78,13 +81,19 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                 .inst(id)
                 .ok_or_else(|| err(name, format!("{b} references removed instruction {id}")))?;
             if inst.block != b {
-                return Err(err(name, format!("{id} back-reference points to {} not {b}", inst.block)));
+                return Err(err(
+                    name,
+                    format!("{id} back-reference points to {} not {b}", inst.block),
+                ));
             }
             let is_last = i + 1 == block.insts.len();
             if inst.op.is_terminator() != is_last {
                 return Err(err(
                     name,
-                    format!("{b}: terminator placement error at {id} ({})", inst.op.kind_name()),
+                    format!(
+                        "{b}: terminator placement error at {id} ({})",
+                        inst.op.kind_name()
+                    ),
                 ));
             }
             if matches!(inst.op, Op::Phi { .. }) {
@@ -117,7 +126,11 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
         }
     }
     for &b in &cfg.rpo {
-        let preds: HashSet<BlockId> = cfg.preds[&b].iter().copied().filter(|p| reachable.contains(p)).collect();
+        let preds: HashSet<BlockId> = cfg.preds[&b]
+            .iter()
+            .copied()
+            .filter(|p| reachable.contains(p))
+            .collect();
         for &id in &f.block(b).unwrap().insts {
             if let Op::Phi { incomings, .. } = f.op(id) {
                 let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
@@ -126,12 +139,18 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                 }
                 for p in &inc {
                     if !preds.contains(p) && reachable.contains(p) {
-                        return Err(err(name, format!("{id}: phi incoming {p} is not a predecessor of {b}")));
+                        return Err(err(
+                            name,
+                            format!("{id}: phi incoming {p} is not a predecessor of {b}"),
+                        ));
                     }
                 }
                 for p in &preds {
                     if !inc.contains(p) {
-                        return Err(err(name, format!("{id}: phi missing incoming for predecessor {p}")));
+                        return Err(err(
+                            name,
+                            format!("{id}: phi missing incoming for predecessor {p}"),
+                        ));
                     }
                 }
             }
@@ -194,7 +213,9 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                             if !dt.dominates(db, *pred) {
                                 return Err(err(
                                     name,
-                                    format!("{id}: phi incoming {d} does not dominate edge from {pred}"),
+                                    format!(
+                                        "{id}: phi incoming {d} does not dominate edge from {pred}"
+                                    ),
                                 ));
                             }
                         }
@@ -204,9 +225,16 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                     for v in op.operands() {
                         if let Value::Inst(d) = v {
                             let (db, di) = pos[&d];
-                            let ok = if db == b { di < use_idx } else { dt.strictly_dominates(db, b) || dt.dominates(db, b) };
+                            let ok = if db == b {
+                                di < use_idx
+                            } else {
+                                dt.strictly_dominates(db, b) || dt.dominates(db, b)
+                            };
                             if !ok {
-                                return Err(err(name, format!("{id}: use of {d} not dominated by its definition")));
+                                return Err(err(
+                                    name,
+                                    format!("{id}: use of {d} not dominated by its definition"),
+                                ));
                             }
                         }
                     }
@@ -229,7 +257,12 @@ pub fn value_ty(_m: &Module, f: &Function, v: Value) -> Ty {
     }
 }
 
-fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Result<(), VerifyError> {
+fn verify_types(
+    m: &Module,
+    f: &Function,
+    id: InstId,
+    name: Option<&str>,
+) -> Result<(), VerifyError> {
     let vt = |v: Value| value_ty(m, f, v);
     let want = |cond: bool, msg: String| -> Result<(), VerifyError> {
         if cond {
@@ -242,7 +275,13 @@ fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Res
         Op::Bin { op, ty, lhs, rhs } => {
             want(
                 vt(*lhs) == *ty && vt(*rhs) == *ty,
-                format!("{id}: {} operand types {} / {} != {}", op.mnemonic(), vt(*lhs), vt(*rhs), ty),
+                format!(
+                    "{id}: {} operand types {} / {} != {}",
+                    op.mnemonic(),
+                    vt(*lhs),
+                    vt(*rhs),
+                    ty
+                ),
             )?;
             want(
                 op.is_float() == ty.is_float(),
@@ -257,7 +296,12 @@ fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Res
             vt(*lhs) == Ty::F64 && vt(*rhs) == Ty::F64,
             format!("{id}: fcmp operands must be f64"),
         ),
-        Op::Select { ty, cond, tval, fval } => want(
+        Op::Select {
+            ty,
+            cond,
+            tval,
+            fval,
+        } => want(
             vt(*cond) == Ty::I1 && vt(*tval) == *ty && vt(*fval) == *ty,
             format!("{id}: select type mismatch"),
         ),
@@ -270,7 +314,10 @@ fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Res
                 SiToFp => from.is_int() && *to == Ty::F64,
                 FpToSi => from == Ty::F64 && to.is_int(),
             };
-            want(ok, format!("{id}: invalid cast {} from {from} to {to}", kind.mnemonic()))
+            want(
+                ok,
+                format!("{id}: invalid cast {} from {from} to {to}", kind.mnemonic()),
+            )
         }
         Op::Alloca { ty, count } => want(
             ty.is_storable() && *count > 0,
@@ -288,7 +335,11 @@ fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Res
             vt(*ptr) == Ty::Ptr && vt(*index).is_int(),
             format!("{id}: gep type mismatch"),
         ),
-        Op::Call { callee, args, ret_ty } => {
+        Op::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
             let callee_f = m
                 .func(*callee)
                 .ok_or_else(|| err(name, format!("{id}: call to removed function")))?;
@@ -298,17 +349,27 @@ fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Res
             )?;
             want(
                 args.len() == callee_f.params.len(),
-                format!("{id}: call arity {} != {}", args.len(), callee_f.params.len()),
+                format!(
+                    "{id}: call arity {} != {}",
+                    args.len(),
+                    callee_f.params.len()
+                ),
             )?;
             for (a, p) in args.iter().zip(&callee_f.params) {
-                want(vt(*a) == *p, format!("{id}: call argument type {} != {}", vt(*a), p))?;
+                want(
+                    vt(*a) == *p,
+                    format!("{id}: call argument type {} != {}", vt(*a), p),
+                )?;
             }
             Ok(())
         }
         Op::Phi { ty, incomings } => {
             want(!incomings.is_empty(), format!("{id}: empty phi"))?;
             for (_, v) in incomings {
-                want(vt(*v) == *ty, format!("{id}: phi incoming type {} != {ty}", vt(*v)))?;
+                want(
+                    vt(*v) == *ty,
+                    format!("{id}: phi incoming type {} != {ty}", vt(*v)),
+                )?;
             }
             Ok(())
         }
@@ -316,14 +377,24 @@ fn verify_types(m: &Module, f: &Function, id: InstId, name: Option<&str>) -> Res
             vt(*dst) == Ty::Ptr && vt(*src) == Ty::Ptr && vt(*len).is_int(),
             format!("{id}: memcpy type mismatch"),
         ),
-        Op::MemSet { dst, val, len, elem_ty } => want(
+        Op::MemSet {
+            dst,
+            val,
+            len,
+            elem_ty,
+        } => want(
             vt(*dst) == Ty::Ptr && vt(*val) == *elem_ty && vt(*len).is_int(),
             format!("{id}: memset type mismatch"),
         ),
-        Op::CondBr { cond, .. } => want(vt(*cond) == Ty::I1, format!("{id}: condbr condition must be i1")),
+        Op::CondBr { cond, .. } => want(
+            vt(*cond) == Ty::I1,
+            format!("{id}: condbr condition must be i1"),
+        ),
         Op::Ret { val } => match (val, f.ret) {
             (None, Ty::Void) => Ok(()),
-            (Some(v), ty) if ty != Ty::Void => want(vt(*v) == ty, format!("{id}: return type mismatch")),
+            (Some(v), ty) if ty != Ty::Void => {
+                want(vt(*v) == ty, format!("{id}: return type mismatch"))
+            }
             _ => Err(err(name, format!("{id}: return/void mismatch"))),
         },
         Op::Br { .. } | Op::Unreachable => Ok(()),
@@ -352,7 +423,13 @@ mod tests {
     fn missing_terminator_rejected() {
         let mut f = Function::new("f", vec![], Ty::Void);
         let e = f.entry;
-        f.append_inst(e, Op::Alloca { ty: Ty::I64, count: 1 });
+        f.append_inst(
+            e,
+            Op::Alloca {
+                ty: Ty::I64,
+                count: 1,
+            },
+        );
         let m = module_with(f);
         assert!(verify_module(&m).is_err());
     }
@@ -363,9 +440,19 @@ mod tests {
         let e = f.entry;
         let bad = f.append_inst(
             e,
-            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::i32(1), rhs: Value::i64(2) },
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::i32(1),
+                rhs: Value::i64(2),
+            },
         );
-        f.append_inst(e, Op::Ret { val: Some(Value::Inst(bad)) });
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(bad)),
+            },
+        );
         let m = module_with(f);
         let e = verify_module(&m).unwrap_err();
         assert!(e.message.contains("add"), "{e}");
@@ -379,13 +466,28 @@ mod tests {
         // manually out of order.
         let a = f.append_inst(
             e,
-            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::i64(1), rhs: Value::i64(2) },
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
         );
         let b = f.append_inst(
             e,
-            Op::Bin { op: BinOp::Add, ty: Ty::I64, lhs: Value::Inst(a), rhs: Value::i64(3) },
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Inst(a),
+                rhs: Value::i64(3),
+            },
         );
-        f.append_inst(e, Op::Ret { val: Some(Value::Inst(b)) });
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(b)),
+            },
+        );
         // swap a and b in the block order to break dominance
         let blk = f.block_mut(e).unwrap();
         blk.insts.swap(0, 1);
@@ -401,11 +503,29 @@ mod tests {
         let a = f.add_block();
         let b = f.add_block();
         let merge = f.add_block();
-        f.append_inst(e, Op::CondBr { cond: Value::bool(true), then_bb: a, else_bb: b });
+        f.append_inst(
+            e,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: a,
+                else_bb: b,
+            },
+        );
         f.append_inst(a, Op::Br { target: merge });
         f.append_inst(b, Op::Br { target: merge });
-        let phi = f.append_inst(merge, Op::Phi { ty: Ty::I64, incomings: vec![(a, Value::i64(1))] });
-        f.append_inst(merge, Op::Ret { val: Some(Value::Inst(phi)) });
+        let phi = f.append_inst(
+            merge,
+            Op::Phi {
+                ty: Ty::I64,
+                incomings: vec![(a, Value::i64(1))],
+            },
+        );
+        f.append_inst(
+            merge,
+            Op::Ret {
+                val: Some(Value::Inst(phi)),
+            },
+        );
         let m = module_with(f);
         let msg = verify_module(&m).unwrap_err();
         assert!(msg.message.contains("missing incoming"), "{msg}");
@@ -417,7 +537,14 @@ mod tests {
         let callee = m.add_function(Function::new_decl("ext", vec![Ty::I64], Ty::Void));
         let mut f = Function::new("f", vec![], Ty::Void);
         let e = f.entry;
-        f.append_inst(e, Op::Call { callee, args: vec![], ret_ty: Ty::Void });
+        f.append_inst(
+            e,
+            Op::Call {
+                callee,
+                args: vec![],
+                ret_ty: Ty::Void,
+            },
+        );
         f.append_inst(e, Op::Ret { val: None });
         m.add_function(f);
         let msg = verify_module(&m).unwrap_err();

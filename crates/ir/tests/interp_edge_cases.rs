@@ -38,8 +38,14 @@ bb0:
   ret %r
 }
 "#;
-    assert_eq!(run(text, "f", &[RtVal::Int(-7), RtVal::Int(3)]).result, Ok(Some(RtVal::Int(-1))));
-    assert_eq!(run(text, "f", &[RtVal::Int(7), RtVal::Int(-3)]).result, Ok(Some(RtVal::Int(1))));
+    assert_eq!(
+        run(text, "f", &[RtVal::Int(-7), RtVal::Int(3)]).result,
+        Ok(Some(RtVal::Int(-1)))
+    );
+    assert_eq!(
+        run(text, "f", &[RtVal::Int(7), RtVal::Int(-3)]).result,
+        Ok(Some(RtVal::Int(1)))
+    );
 }
 
 #[test]
@@ -198,7 +204,13 @@ bb2:
 }
 "#;
     let m = parse_module(text).unwrap();
-    let out = Interpreter::with_config(&m, InterpConfig { fuel: 5_000, max_depth: 8 })
-        .run("main", &[]);
+    let out = Interpreter::with_config(
+        &m,
+        InterpConfig {
+            fuel: 5_000,
+            max_depth: 8,
+        },
+    )
+    .run("main", &[]);
     assert_eq!(out.result, Ok(Some(RtVal::Int(100))));
 }

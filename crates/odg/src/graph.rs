@@ -62,7 +62,11 @@ impl OzDependenceGraph {
 
     /// Out-neighbors of `node`, in edge order.
     pub fn successors(&self, node: &str) -> Vec<&'static str> {
-        self.edges.iter().filter(|(a, _)| *a == node).map(|(_, b)| *b).collect()
+        self.edges
+            .iter()
+            .filter(|(a, _)| *a == node)
+            .map(|(_, b)| *b)
+            .collect()
     }
 
     /// Total degree (in + out) per node.
@@ -77,8 +81,11 @@ impl OzDependenceGraph {
 
     /// Nodes with degree ≥ `k`, most-connected first.
     pub fn critical_nodes(&self, k: usize) -> Vec<(&'static str, usize)> {
-        let mut v: Vec<(&'static str, usize)> =
-            self.degrees().into_iter().filter(|(_, d)| *d >= k).collect();
+        let mut v: Vec<(&'static str, usize)> = self
+            .degrees()
+            .into_iter()
+            .filter(|(_, d)| *d >= k)
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     }
@@ -87,7 +94,9 @@ impl OzDependenceGraph {
     /// direction, since the paper's prose and examples disagree on edge
     /// orientation and walks must respect adjacency, not direction).
     pub fn adjacent(&self, a: &str, b: &str) -> bool {
-        self.edges.iter().any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
+        self.edges
+            .iter()
+            .any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
     }
 }
 
@@ -121,7 +130,11 @@ mod tests {
     fn edges_are_consecutive_pairs() {
         let g = OzDependenceGraph::from_sequence(&["a", "b", "c", "a", "b"]);
         assert_eq!(g.edges(), &[("a", "b"), ("b", "c"), ("c", "a")]);
-        assert_eq!(g.degrees()["a"], 2, "a: one outgoing (a,b) + one incoming (c,a)");
+        assert_eq!(
+            g.degrees()["a"],
+            2,
+            "a: one outgoing (a,b) + one incoming (c,a)"
+        );
         assert_eq!(g.degrees()["b"], 2);
         assert!(g.adjacent("a", "b"));
         assert!(g.adjacent("b", "a"), "adjacency is orientation-insensitive");

@@ -64,7 +64,10 @@ impl ActionSpace {
     pub fn manual() -> ActionSpace {
         ActionSpace {
             kind: ActionSpaceKind::Manual,
-            subsequences: manual::MANUAL_SUBSEQUENCES.iter().map(|s| s.to_vec()).collect(),
+            subsequences: manual::MANUAL_SUBSEQUENCES
+                .iter()
+                .map(|s| s.to_vec())
+                .collect(),
         }
     }
 
@@ -121,8 +124,16 @@ mod tests {
 
     #[test]
     fn action_spaces_have_paper_sizes() {
-        assert_eq!(ActionSpace::manual().len(), 15, "Table II has 15 sub-sequences");
-        assert_eq!(ActionSpace::odg().len(), 34, "Table III has 34 sub-sequences");
+        assert_eq!(
+            ActionSpace::manual().len(),
+            15,
+            "Table II has 15 sub-sequences"
+        );
+        assert_eq!(
+            ActionSpace::odg().len(),
+            34,
+            "Table III has 34 sub-sequences"
+        );
     }
 
     #[test]
@@ -147,6 +158,14 @@ mod tests {
         assert_eq!(odg.subsequence(5), ["instcombine"]);
         assert_eq!(odg.subsequence(22), ["simplifycfg"]);
         let manual = ActionSpace::manual();
-        assert_eq!(manual.subsequence(1), ["ipsccp", "called-value-propagation", "attributor", "globalopt"]);
+        assert_eq!(
+            manual.subsequence(1),
+            [
+                "ipsccp",
+                "called-value-propagation",
+                "attributor",
+                "globalopt"
+            ]
+        );
     }
 }

@@ -8,35 +8,132 @@
 /// The 15 manual sub-sequences, in the paper's order (index 0 = S.No. 1).
 pub const MANUAL_SUBSEQUENCES: [&[&str]; 15] = [
     // 1: initial cleanup + scalar promotion
-    &["ee-instrument", "simplifycfg", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "mem2reg"],
+    &[
+        "ee-instrument",
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "mem2reg",
+    ],
     // 2: module-level optimizations
-    &["ipsccp", "called-value-propagation", "attributor", "globalopt"],
+    &[
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+    ],
     // 3: signature + peephole cleanup
     &["deadargelim", "instcombine", "simplifycfg"],
     // 4: inlining
     &["prune-eh", "inline", "functionattrs", "barrier"],
     // 5: memory-aware scalar optimizations
-    &["sroa", "early-cse-memssa", "speculative-execution", "jump-threading", "correlated-propagation"],
+    &[
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+    ],
     // 6: CFG + algebraic cleanup
-    &["simplifycfg", "instcombine", "tailcallelim", "simplifycfg", "reassociate"],
+    &[
+        "simplifycfg",
+        "instcombine",
+        "tailcallelim",
+        "simplifycfg",
+        "reassociate",
+    ],
     // 7: rotation + LICM + unswitching
-    &["loop-simplify", "lcssa", "loop-rotate", "licm", "loop-unswitch", "simplifycfg", "instcombine"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "licm",
+        "loop-unswitch",
+        "simplifycfg",
+        "instcombine",
+    ],
     // 8: induction variables + idioms + unrolling
-    &["loop-simplify", "lcssa", "indvars", "loop-idiom", "loop-deletion", "loop-unroll"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "indvars",
+        "loop-idiom",
+        "loop-deletion",
+        "loop-unroll",
+    ],
     // 9: redundancy elimination
-    &["mldst-motion", "gvn", "memcpyopt", "sccp", "bdce", "instcombine", "jump-threading", "correlated-propagation", "dse"],
+    &[
+        "mldst-motion",
+        "gvn",
+        "memcpyopt",
+        "sccp",
+        "bdce",
+        "instcombine",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+    ],
     // 10: LICM + aggressive DCE
-    &["loop-simplify", "lcssa", "licm", "adce", "simplifycfg", "instcombine"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "adce",
+        "simplifycfg",
+        "instcombine",
+    ],
     // 11: late module-level cleanup
-    &["barrier", "elim-avail-extern", "rpo-functionattrs", "globalopt", "globaldce", "float2int", "lower-constant-intrinsics"],
+    &[
+        "barrier",
+        "elim-avail-extern",
+        "rpo-functionattrs",
+        "globalopt",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+    ],
     // 12: distribution + vectorization
-    &["loop-simplify", "lcssa", "loop-rotate", "loop-distribute", "loop-vectorize"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "loop-distribute",
+        "loop-vectorize",
+    ],
     // 13: load elimination + cleanup
-    &["loop-simplify", "loop-load-elim", "instcombine", "simplifycfg", "instcombine"],
+    &[
+        "loop-simplify",
+        "loop-load-elim",
+        "instcombine",
+        "simplifycfg",
+        "instcombine",
+    ],
     // 14: late unrolling + LICM
-    &["loop-simplify", "lcssa", "loop-unroll", "instcombine", "loop-simplify", "lcssa", "licm", "alignment-from-assumptions"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-unroll",
+        "instcombine",
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "alignment-from-assumptions",
+    ],
     // 15: final size cleanup
-    &["strip-dead-prototypes", "globaldce", "constmerge", "loop-simplify", "lcssa", "loop-sink", "instsimplify", "div-rem-pairs", "simplifycfg"],
+    &[
+        "strip-dead-prototypes",
+        "globaldce",
+        "constmerge",
+        "loop-simplify",
+        "lcssa",
+        "loop-sink",
+        "instsimplify",
+        "div-rem-pairs",
+        "simplifycfg",
+    ],
 ];
 
 #[cfg(test)]
@@ -54,17 +151,26 @@ mod tests {
         let oz: HashSet<&str> = posetrl_opt::pipelines::oz().into_iter().collect();
         for (i, seq) in MANUAL_SUBSEQUENCES.iter().enumerate() {
             for pass in *seq {
-                assert!(oz.contains(pass), "group {}: '{pass}' is not an Oz pass", i + 1);
+                assert!(
+                    oz.contains(pass),
+                    "group {}: '{pass}' is not an Oz pass",
+                    i + 1
+                );
             }
         }
     }
 
     #[test]
     fn groups_cover_every_unique_oz_pass() {
-        let covered: HashSet<&str> =
-            MANUAL_SUBSEQUENCES.iter().flat_map(|s| s.iter().copied()).collect();
+        let covered: HashSet<&str> = MANUAL_SUBSEQUENCES
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
         let oz: HashSet<&str> = posetrl_opt::pipelines::oz().into_iter().collect();
         let missing: Vec<&&str> = oz.iter().filter(|p| !covered.contains(*p)).collect();
-        assert!(missing.is_empty(), "passes not covered by any manual group: {missing:?}");
+        assert!(
+            missing.is_empty(),
+            "passes not covered by any manual group: {missing:?}"
+        );
     }
 }

@@ -9,13 +9,43 @@ use std::collections::BTreeSet;
 /// Transcribed verbatim (with the same OCR normalizations as Table II).
 pub const ODG_SUBSEQUENCES: [&[&str]; 34] = [
     // 1
-    &["instcombine", "barrier", "elim-avail-extern", "rpo-functionattrs", "globalopt", "globaldce", "constmerge"],
+    &[
+        "instcombine",
+        "barrier",
+        "elim-avail-extern",
+        "rpo-functionattrs",
+        "globalopt",
+        "globaldce",
+        "constmerge",
+    ],
     // 2
-    &["instcombine", "barrier", "elim-avail-extern", "rpo-functionattrs", "globalopt", "globaldce", "float2int", "lower-constant-intrinsics"],
+    &[
+        "instcombine",
+        "barrier",
+        "elim-avail-extern",
+        "rpo-functionattrs",
+        "globalopt",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+    ],
     // 3
-    &["instcombine", "barrier", "elim-avail-extern", "rpo-functionattrs", "globalopt", "mem2reg", "deadargelim"],
+    &[
+        "instcombine",
+        "barrier",
+        "elim-avail-extern",
+        "rpo-functionattrs",
+        "globalopt",
+        "mem2reg",
+        "deadargelim",
+    ],
     // 4
-    &["instcombine", "jump-threading", "correlated-propagation", "dse"],
+    &[
+        "instcombine",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+    ],
     // 5
     &["instcombine", "jump-threading", "correlated-propagation"],
     // 6
@@ -23,59 +53,272 @@ pub const ODG_SUBSEQUENCES: [&[&str]; 34] = [
     // 7
     &["instcombine", "tailcallelim"],
     // 8
-    &["loop-simplify", "lcssa", "indvars", "loop-idiom", "loop-deletion", "loop-unroll"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "indvars",
+        "loop-idiom",
+        "loop-deletion",
+        "loop-unroll",
+    ],
     // 9
-    &["loop-simplify", "lcssa", "indvars", "loop-idiom", "loop-deletion", "loop-unroll", "mldst-motion", "gvn", "memcpyopt", "sccp", "bdce"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "indvars",
+        "loop-idiom",
+        "loop-deletion",
+        "loop-unroll",
+        "mldst-motion",
+        "gvn",
+        "memcpyopt",
+        "sccp",
+        "bdce",
+    ],
     // 10
     &["loop-simplify", "lcssa", "licm", "adce"],
     // 11
-    &["loop-simplify", "lcssa", "licm", "alignment-from-assumptions", "strip-dead-prototypes", "globaldce", "constmerge"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "alignment-from-assumptions",
+        "strip-dead-prototypes",
+        "globaldce",
+        "constmerge",
+    ],
     // 12
-    &["loop-simplify", "lcssa", "licm", "alignment-from-assumptions", "strip-dead-prototypes", "globaldce", "float2int", "lower-constant-intrinsics"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "licm",
+        "alignment-from-assumptions",
+        "strip-dead-prototypes",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+    ],
     // 13
     &["loop-simplify", "lcssa", "licm", "loop-unswitch"],
     // 14
     &["loop-simplify", "lcssa", "loop-rotate", "licm", "adce"],
     // 15
-    &["loop-simplify", "lcssa", "loop-rotate", "licm", "alignment-from-assumptions", "strip-dead-prototypes", "globaldce", "constmerge"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "licm",
+        "alignment-from-assumptions",
+        "strip-dead-prototypes",
+        "globaldce",
+        "constmerge",
+    ],
     // 16
-    &["loop-simplify", "lcssa", "loop-rotate", "licm", "alignment-from-assumptions", "strip-dead-prototypes", "globaldce", "float2int", "lower-constant-intrinsics"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "licm",
+        "alignment-from-assumptions",
+        "strip-dead-prototypes",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+    ],
     // 17
-    &["loop-simplify", "lcssa", "loop-rotate", "licm", "loop-unswitch"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "licm",
+        "loop-unswitch",
+    ],
     // 18
-    &["loop-simplify", "lcssa", "loop-rotate", "loop-distribute", "loop-vectorize"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-rotate",
+        "loop-distribute",
+        "loop-vectorize",
+    ],
     // 19
-    &["loop-simplify", "lcssa", "loop-sink", "instsimplify", "div-rem-pairs", "simplifycfg"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-sink",
+        "instsimplify",
+        "div-rem-pairs",
+        "simplifycfg",
+    ],
     // 20
     &["loop-simplify", "lcssa", "loop-unroll"],
     // 21
-    &["loop-simplify", "lcssa", "loop-unroll", "mldst-motion", "gvn", "memcpyopt", "sccp", "bdce"],
+    &[
+        "loop-simplify",
+        "lcssa",
+        "loop-unroll",
+        "mldst-motion",
+        "gvn",
+        "memcpyopt",
+        "sccp",
+        "bdce",
+    ],
     // 22
     &["loop-simplify", "loop-load-elim"],
     // 23
     &["simplifycfg"],
     // 24
-    &["simplifycfg", "prune-eh", "inline", "functionattrs", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt", "globaldce", "constmerge", "barrier"],
+    &[
+        "simplifycfg",
+        "prune-eh",
+        "inline",
+        "functionattrs",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "globaldce",
+        "constmerge",
+        "barrier",
+    ],
     // 25
-    &["simplifycfg", "prune-eh", "inline", "functionattrs", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt", "globaldce", "float2int", "lower-constant-intrinsics", "barrier"],
+    &[
+        "simplifycfg",
+        "prune-eh",
+        "inline",
+        "functionattrs",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+        "barrier",
+    ],
     // 26
-    &["simplifycfg", "prune-eh", "inline", "functionattrs", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt", "mem2reg", "deadargelim", "barrier"],
+    &[
+        "simplifycfg",
+        "prune-eh",
+        "inline",
+        "functionattrs",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "mem2reg",
+        "deadargelim",
+        "barrier",
+    ],
     // 27
-    &["simplifycfg", "prune-eh", "inline", "functionattrs", "sroa", "early-cse-memssa", "speculative-execution", "jump-threading", "correlated-propagation", "dse", "barrier"],
+    &[
+        "simplifycfg",
+        "prune-eh",
+        "inline",
+        "functionattrs",
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+        "barrier",
+    ],
     // 28
-    &["simplifycfg", "prune-eh", "inline", "functionattrs", "sroa", "early-cse-memssa", "speculative-execution", "jump-threading", "correlated-propagation", "barrier"],
+    &[
+        "simplifycfg",
+        "prune-eh",
+        "inline",
+        "functionattrs",
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+        "barrier",
+    ],
     // 29
     &["simplifycfg", "reassociate"],
     // 30
-    &["simplifycfg", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt", "globaldce", "constmerge"],
+    &[
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "globaldce",
+        "constmerge",
+    ],
     // 31
-    &["simplifycfg", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt", "globaldce", "float2int", "lower-constant-intrinsics"],
+    &[
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "globaldce",
+        "float2int",
+        "lower-constant-intrinsics",
+    ],
     // 32
-    &["simplifycfg", "sroa", "early-cse", "lower-expect", "forceattrs", "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt", "mem2reg", "deadargelim"],
+    &[
+        "simplifycfg",
+        "sroa",
+        "early-cse",
+        "lower-expect",
+        "forceattrs",
+        "inferattrs",
+        "ipsccp",
+        "called-value-propagation",
+        "attributor",
+        "globalopt",
+        "mem2reg",
+        "deadargelim",
+    ],
     // 33
-    &["simplifycfg", "sroa", "early-cse-memssa", "speculative-execution", "jump-threading", "correlated-propagation", "dse"],
+    &[
+        "simplifycfg",
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+    ],
     // 34
-    &["simplifycfg", "sroa", "early-cse-memssa", "speculative-execution", "jump-threading", "correlated-propagation"],
+    &[
+        "simplifycfg",
+        "sroa",
+        "early-cse-memssa",
+        "speculative-execution",
+        "jump-threading",
+        "correlated-propagation",
+    ],
 ];
 
 /// Derives sub-sequences by walking the ODG from each critical node
@@ -142,8 +385,7 @@ mod tests {
     #[test]
     fn every_sequence_starts_at_a_critical_node() {
         let g = OzDependenceGraph::from_oz();
-        let critical: BTreeSet<&str> =
-            g.critical_nodes(8).into_iter().map(|(n, _)| n).collect();
+        let critical: BTreeSet<&str> = g.critical_nodes(8).into_iter().map(|(n, _)| n).collect();
         for (i, seq) in ODG_SUBSEQUENCES.iter().enumerate() {
             assert!(
                 critical.contains(seq[0]),
@@ -191,14 +433,16 @@ mod tests {
         let derived = derive_subsequences(&g, 8, 16);
         assert!(!derived.is_empty());
         // every derived walk is simple, starts critical, and is adjacent
-        let critical: BTreeSet<&str> =
-            g.critical_nodes(8).into_iter().map(|(n, _)| n).collect();
+        let critical: BTreeSet<&str> = g.critical_nodes(8).into_iter().map(|(n, _)| n).collect();
         for w in &derived {
             assert!(critical.contains(w[0]));
             let distinct: BTreeSet<&str> = w.iter().copied().collect();
             assert_eq!(distinct.len(), w.len(), "walk is simple: {w:?}");
             for pair in w.windows(2) {
-                assert!(g.adjacent(pair[0], pair[1]), "derived walk breaks adjacency: {w:?}");
+                assert!(
+                    g.adjacent(pair[0], pair[1]),
+                    "derived walk breaks adjacency: {w:?}"
+                );
             }
         }
         // a healthy share of the paper's curated rows appear verbatim among
@@ -206,11 +450,14 @@ mod tests {
         let derived_set: BTreeSet<Vec<&str>> = derived.into_iter().collect();
         let mut hits = 0;
         for seq in ODG_SUBSEQUENCES {
-            if derived_set.contains(&seq.to_vec()) {
+            if derived_set.contains(seq) {
                 hits += 1;
             }
         }
-        assert!(hits >= 10, "derived walks reproduce ≥10 of the 34 table rows, got {hits}");
+        assert!(
+            hits >= 10,
+            "derived walks reproduce ≥10 of the 34 table rows, got {hits}"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ fn main() {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
             buf
         }
     };

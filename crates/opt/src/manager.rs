@@ -72,7 +72,9 @@ impl PassManager {
         let key = name.trim_start_matches('-');
         match self.registry.get(key) {
             Some(pass) => Ok(pass.run(module)),
-            None => Err(UnknownPassError { name: name.to_string() }),
+            None => Err(UnknownPassError {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -117,17 +119,60 @@ mod tests {
         let pm = PassManager::new();
         // The unique pass names of LLVM 10's Oz sequence (Table I).
         let oz_unique = [
-            "ee-instrument", "simplifycfg", "sroa", "early-cse", "lower-expect", "forceattrs",
-            "inferattrs", "ipsccp", "called-value-propagation", "attributor", "globalopt",
-            "mem2reg", "deadargelim", "instcombine", "prune-eh", "inline", "functionattrs",
-            "early-cse-memssa", "speculative-execution", "jump-threading",
-            "correlated-propagation", "loop-simplify", "lcssa", "loop-rotate", "licm",
-            "loop-unswitch", "tailcallelim", "reassociate", "indvars", "loop-idiom",
-            "loop-deletion", "loop-unroll", "mldst-motion", "gvn", "memcpyopt", "sccp", "bdce",
-            "dse", "adce", "barrier", "elim-avail-extern", "rpo-functionattrs", "globaldce",
-            "float2int", "lower-constant-intrinsics", "loop-distribute", "loop-vectorize",
-            "loop-load-elim", "alignment-from-assumptions", "strip-dead-prototypes",
-            "constmerge", "loop-sink", "instsimplify", "div-rem-pairs",
+            "ee-instrument",
+            "simplifycfg",
+            "sroa",
+            "early-cse",
+            "lower-expect",
+            "forceattrs",
+            "inferattrs",
+            "ipsccp",
+            "called-value-propagation",
+            "attributor",
+            "globalopt",
+            "mem2reg",
+            "deadargelim",
+            "instcombine",
+            "prune-eh",
+            "inline",
+            "functionattrs",
+            "early-cse-memssa",
+            "speculative-execution",
+            "jump-threading",
+            "correlated-propagation",
+            "loop-simplify",
+            "lcssa",
+            "loop-rotate",
+            "licm",
+            "loop-unswitch",
+            "tailcallelim",
+            "reassociate",
+            "indvars",
+            "loop-idiom",
+            "loop-deletion",
+            "loop-unroll",
+            "mldst-motion",
+            "gvn",
+            "memcpyopt",
+            "sccp",
+            "bdce",
+            "dse",
+            "adce",
+            "barrier",
+            "elim-avail-extern",
+            "rpo-functionattrs",
+            "globaldce",
+            "float2int",
+            "lower-constant-intrinsics",
+            "loop-distribute",
+            "loop-vectorize",
+            "loop-load-elim",
+            "alignment-from-assumptions",
+            "strip-dead-prototypes",
+            "constmerge",
+            "loop-sink",
+            "instsimplify",
+            "div-rem-pairs",
         ];
         for name in oz_unique {
             assert!(pm.has_pass(name), "missing pass: {name}");

@@ -48,13 +48,20 @@ fn adce_function(m: &Module, f: &mut Function) -> bool {
             }
         }
     }
-    let dead: Vec<InstId> = f.inst_ids().into_iter().filter(|id| !live.contains(id)).collect();
+    let dead: Vec<InstId> = f
+        .inst_ids()
+        .into_iter()
+        .filter(|id| !live.contains(id))
+        .collect();
     if dead.is_empty() {
         return false;
     }
     for id in &dead {
         // break operand links first so removal order does not matter
-        f.replace_all_uses(Value::Inst(*id), Value::Const(Const::Undef(f.op(*id).result_ty())));
+        f.replace_all_uses(
+            Value::Inst(*id),
+            Value::Const(Const::Undef(f.op(*id).result_ty())),
+        );
     }
     for id in dead {
         f.remove_inst(id);
@@ -91,24 +98,42 @@ impl Pass for Bdce {
 /// deep through the defining instruction.
 fn known_zero(f: &Function, v: Value, ty: Ty) -> u64 {
     let width = ty.bit_width();
-    let ty_mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let ty_mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let kz = match v {
         Value::Const(c) => match c.as_int() {
             Some(i) => !(i as u64),
             None => 0,
         },
         Value::Inst(id) => match f.op(id) {
-            Op::Bin { op: BinOp::And, lhs, rhs, .. } => {
-                known_zero(f, *lhs, ty) | known_zero(f, *rhs, ty)
-            }
-            Op::Bin { op: BinOp::Or, lhs, rhs, .. } => {
-                known_zero(f, *lhs, ty) & known_zero(f, *rhs, ty)
-            }
-            Op::Bin { op: BinOp::Shl, rhs, .. } => match rhs.const_int() {
+            Op::Bin {
+                op: BinOp::And,
+                lhs,
+                rhs,
+                ..
+            } => known_zero(f, *lhs, ty) | known_zero(f, *rhs, ty),
+            Op::Bin {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+                ..
+            } => known_zero(f, *lhs, ty) & known_zero(f, *rhs, ty),
+            Op::Bin {
+                op: BinOp::Shl,
+                rhs,
+                ..
+            } => match rhs.const_int() {
                 Some(k) if k >= 0 && (k as u32) < width => (1u64 << k) - 1,
                 _ => 0,
             },
-            Op::Bin { op: BinOp::LShr, rhs, .. } => match rhs.const_int() {
+            Op::Bin {
+                op: BinOp::LShr,
+                rhs,
+                ..
+            } => match rhs.const_int() {
                 Some(k) if k > 0 && (k as u32) < width => {
                     // top k bits (within the type width) become zero
                     let keep = width - k as u32;
@@ -116,7 +141,11 @@ fn known_zero(f: &Function, v: Value, ty: Ty) -> u64 {
                 }
                 _ => 0,
             },
-            Op::Cast { kind: posetrl_ir::CastKind::ZExt, val, .. } => {
+            Op::Cast {
+                kind: posetrl_ir::CastKind::ZExt,
+                val,
+                ..
+            } => {
                 // bits above the source width are zero
                 let src_ty = match val {
                     Value::Inst(i) => f.op(*i).result_ty(),
@@ -142,12 +171,18 @@ fn bit_simplify(f: &mut Function) -> bool {
     let mut changed = false;
     for id in f.inst_ids() {
         let Some(inst) = f.inst(id) else { continue };
-        let Op::Bin { op, ty, lhs, rhs } = inst.op else { continue };
+        let Op::Bin { op, ty, lhs, rhs } = inst.op else {
+            continue;
+        };
         if !ty.is_int() {
             continue;
         }
         let width = ty.bit_width();
-        let ty_mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let ty_mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         match op {
             BinOp::And => {
                 if let Some(c) = rhs.const_int() {
@@ -243,15 +278,14 @@ fn dse_block_local(m: &Module, f: &mut Function) -> bool {
                 Op::MemSet { dst, .. } => {
                     pending.retain(|p, _| !may_alias(f, *p, *dst));
                 }
-                Op::Call { callee, .. } => {
-                    if !crate::util::call_is_readonly(m, *callee)
-                        || !crate::util::call_is_pure(m, *callee)
-                    {
-                        // the callee may read any memory we can't prove local
-                        pending.retain(|p, _| {
+                Op::Call { callee, .. }
+                    if (!crate::util::call_is_readonly(m, *callee)
+                        || !crate::util::call_is_pure(m, *callee)) =>
+                {
+                    // the callee may read any memory we can't prove local
+                    pending.retain(|p, _| {
                             matches!(pointer_root(f, *p).0, PtrRoot::Alloca(a) if !crate::util::alloca_escapes(f, a))
                         });
-                    }
                 }
                 _ => {}
             }
@@ -281,15 +315,11 @@ fn dse_dead_slots(f: &mut Function) -> bool {
         }
         for user in f.inst_ids() {
             match f.op(user) {
-                Op::Load { ptr, .. } => {
-                    if pointer_root(f, *ptr).0 == PtrRoot::Alloca(id) {
-                        continue 'next;
-                    }
+                Op::Load { ptr, .. } if pointer_root(f, *ptr).0 == PtrRoot::Alloca(id) => {
+                    continue 'next;
                 }
-                Op::MemCpy { src, .. } => {
-                    if pointer_root(f, *src).0 == PtrRoot::Alloca(id) {
-                        continue 'next;
-                    }
+                Op::MemCpy { src, .. } if pointer_root(f, *src).0 == PtrRoot::Alloca(id) => {
+                    continue 'next;
                 }
                 _ => {}
             }
@@ -343,7 +373,11 @@ bb3:
             &["adce"],
             &[vec![RtVal::Int(5)]],
         );
-        assert_eq!(count_ops(&m, "phi"), 1, "dead accumulator phi cycle removed");
+        assert_eq!(
+            count_ops(&m, "phi"),
+            1,
+            "dead accumulator phi cycle removed"
+        );
         assert_eq!(count_ops(&m, "mul"), 0);
     }
 
@@ -365,7 +399,11 @@ bb0:
             &[],
         );
         assert_eq!(count_ops(&m, "call"), 1);
-        assert_eq!(count_ops(&m, "add"), 1, "the call operand stays; the dead add goes");
+        assert_eq!(
+            count_ops(&m, "add"),
+            1,
+            "the call operand stays; the dead add goes"
+        );
     }
 
     #[test]
@@ -487,6 +525,10 @@ bb0:
             &["dse"],
             &[],
         );
-        assert_eq!(count_ops(&m, "store"), 2, "call may observe the first store");
+        assert_eq!(
+            count_ops(&m, "store"),
+            2,
+            "call may observe the first store"
+        );
     }
 }

@@ -40,7 +40,12 @@ pub(crate) fn expr_key(m: &Module, f: &Function, id: InstId) -> Option<ExprKey> 
     if !pure {
         return None;
     }
-    Some(ExprKey { kind: op.kind_name(), ty: op.result_ty(), ops: op.operands(), imm })
+    Some(ExprKey {
+        kind: op.kind_name(),
+        ty: op.result_ty(),
+        ops: op.operands(),
+        imm,
+    })
 }
 
 /// The `early-cse` / `early-cse-memssa` pass.
@@ -116,10 +121,8 @@ pub(crate) fn cse_function(m: &Module, f: &mut Function, memory: bool) -> bool {
                     Op::MemCpy { dst, .. } | Op::MemSet { dst, .. } => {
                         avail_loads.retain(|(p, _), _| !may_alias(f, *p, dst));
                     }
-                    Op::Call { callee, .. } => {
-                        if !crate::util::call_is_readonly(m, callee) {
-                            avail_loads.clear();
-                        }
+                    Op::Call { callee, .. } if !crate::util::call_is_readonly(m, callee) => {
+                        avail_loads.clear();
                     }
                     _ => {}
                 }
@@ -196,7 +199,11 @@ bb2:
             &["early-cse"],
             &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
         );
-        assert_eq!(count_ops(&m, "mul"), 2, "sibling blocks do not dominate each other");
+        assert_eq!(
+            count_ops(&m, "mul"),
+            2,
+            "sibling blocks do not dominate each other"
+        );
     }
 
     #[test]
@@ -217,7 +224,11 @@ bb0:
             &["early-cse-memssa"],
             &[vec![RtVal::Int(21)]],
         );
-        assert_eq!(count_ops(&m, "load"), 0, "both loads forwarded from the store");
+        assert_eq!(
+            count_ops(&m, "load"),
+            0,
+            "both loads forwarded from the store"
+        );
     }
 
     #[test]
@@ -259,7 +270,11 @@ bb0:
             &["early-cse-memssa"],
             &[vec![RtVal::Int(7)]],
         );
-        assert_eq!(count_ops(&m, "load"), 1, "call may have clobbered the global");
+        assert_eq!(
+            count_ops(&m, "load"),
+            1,
+            "call may have clobbered the global"
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@ use posetrl_ir::analysis::{Cfg, DomTree};
 use posetrl_ir::{Function, Module, Op, Ty, Value};
 use std::collections::HashMap;
 
+/// Value-number table for loads: `(pointer, type) -> known value`.
+type LoadTable = HashMap<(Value, Ty), Value>;
+
 /// The `gvn` pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Gvn;
@@ -49,8 +52,7 @@ fn gvn_function(m: &Module, f: &mut Function) -> bool {
     if !function_writes_memory(m, f) {
         let cfg = Cfg::compute(f);
         let dt = DomTree::compute(f, &cfg);
-        let mut stack: Vec<(posetrl_ir::BlockId, HashMap<(Value, Ty), Value>)> =
-            vec![(f.entry, HashMap::new())];
+        let mut stack: Vec<(posetrl_ir::BlockId, LoadTable)> = vec![(f.entry, HashMap::new())];
         while let Some((b, mut table)) = stack.pop() {
             for id in f.block(b).unwrap().insts.clone() {
                 if f.inst(id).is_none() {
@@ -127,7 +129,11 @@ bb2:
             &["gvn"],
             &[vec![RtVal::Int(1)], vec![RtVal::Int(-1)]],
         );
-        assert_eq!(count_ops(&m, "load"), 2, "store on one path blocks global numbering");
+        assert_eq!(
+            count_ops(&m, "load"),
+            2,
+            "store on one path blocks global numbering"
+        );
     }
 
     #[test]

@@ -46,8 +46,7 @@ impl Pass for Inline {
         };
         let mut changed = false;
         let mut budget = MAX_INLINES_PER_RUN;
-        loop {
-            let Some((caller, call)) = find_candidate(module, threshold, single) else { break };
+        while let Some((caller, call)) = find_candidate(module, threshold, single) {
             inline_site(module, caller, call);
             changed = true;
             budget -= 1;
@@ -88,7 +87,9 @@ fn find_candidate(m: &Module, threshold: usize, single_site: usize) -> Option<(F
             continue;
         }
         for id in f.inst_ids() {
-            let Op::Call { callee, .. } = f.op(id) else { continue };
+            let Op::Call { callee, .. } = f.op(id) else {
+                continue;
+            };
             let callee = *callee;
             if callee == caller {
                 continue;
@@ -100,7 +101,11 @@ fn find_candidate(m: &Module, threshold: usize, single_site: usize) -> Option<(F
             let size = cf.num_insts();
             let is_single_site = counts.get(&callee).copied().unwrap_or(0) == 1
                 && cf.linkage == posetrl_ir::Linkage::Internal;
-            let limit = if is_single_site { single_site } else { threshold };
+            let limit = if is_single_site {
+                single_site
+            } else {
+                threshold
+            };
             if size <= limit {
                 return Some((caller, id));
             }
@@ -113,20 +118,33 @@ fn find_candidate(m: &Module, threshold: usize, single_site: usize) -> Option<(F
 /// caller.
 pub fn inline_site(m: &mut Module, caller: FuncId, call: InstId) {
     let (callee, args, ret_ty) = match m.func(caller).unwrap().op(call) {
-        Op::Call { callee, args, ret_ty } => (*callee, args.clone(), *ret_ty),
+        Op::Call {
+            callee,
+            args,
+            ret_ty,
+        } => (*callee, args.clone(), *ret_ty),
         _ => panic!("inline_site on a non-call"),
     };
     let callee_fn = m.func(callee).unwrap().clone();
 
     let f = m.func_mut(caller).unwrap();
     let call_block = f.inst(call).unwrap().block;
-    let call_pos = f.block(call_block).unwrap().insts.iter().position(|&i| i == call).unwrap();
+    let call_pos = f
+        .block(call_block)
+        .unwrap()
+        .insts
+        .iter()
+        .position(|&i| i == call)
+        .unwrap();
 
     // Split so the call is the last real instruction of its block.
     let cont = split_block(f, call_block, call_pos + 1);
 
     // Clone the callee body.
-    let mut map = CloneMap { args, ..CloneMap::default() };
+    let mut map = CloneMap {
+        args,
+        ..CloneMap::default()
+    };
     let callee_blocks: Vec<BlockId> = callee_fn.block_ids().collect();
     for &b in &callee_blocks {
         map.blocks.insert(b, f.add_block());
@@ -136,7 +154,9 @@ pub fn inline_site(m: &mut Module, caller: FuncId, call: InstId) {
     // Retarget the caller block into the inlined entry.
     let inlined_entry = map.blocks[&callee_fn.entry];
     let term = f.terminator(call_block).expect("split added terminator");
-    f.inst_mut(term).unwrap().op = Op::Br { target: inlined_entry };
+    f.inst_mut(term).unwrap().op = Op::Br {
+        target: inlined_entry,
+    };
 
     // Rewire cloned returns into branches to the continuation.
     let mut returns: Vec<(BlockId, Option<Value>)> = Vec::new();
@@ -157,9 +177,21 @@ pub fn inline_site(m: &mut Module, caller: FuncId, call: InstId) {
             many => {
                 let incomings = many
                     .iter()
-                    .map(|(b, v)| (*b, v.unwrap_or(Value::Const(posetrl_ir::Const::Undef(ret_ty)))))
+                    .map(|(b, v)| {
+                        (
+                            *b,
+                            v.unwrap_or(Value::Const(posetrl_ir::Const::Undef(ret_ty))),
+                        )
+                    })
                     .collect();
-                let phi = f.insert_inst(cont, 0, Op::Phi { ty: ret_ty, incomings });
+                let phi = f.insert_inst(
+                    cont,
+                    0,
+                    Op::Phi {
+                        ty: ret_ty,
+                        incomings,
+                    },
+                );
                 Value::Inst(phi)
             }
         };
@@ -225,7 +257,11 @@ bb0:
             &[vec![RtVal::Int(4)]],
         );
         let f = m.func(m.func_by_name("main").unwrap()).unwrap();
-        let calls = f.inst_ids().iter().filter(|&&id| f.op(id).kind_name() == "call").count();
+        let calls = f
+            .inst_ids()
+            .iter()
+            .filter(|&&id| f.op(id).kind_name() == "call")
+            .count();
         assert_eq!(calls, 0, "both call sites inlined");
     }
 
@@ -256,10 +292,17 @@ bb0:
 }
 "#,
             &["inline"],
-            &[vec![RtVal::Int(-5)], vec![RtVal::Int(50)], vec![RtVal::Int(500)]],
+            &[
+                vec![RtVal::Int(-5)],
+                vec![RtVal::Int(50)],
+                vec![RtVal::Int(500)],
+            ],
         );
         assert_eq!(count_ops(&m, "call"), 0);
-        assert!(count_ops(&m, "phi") >= 1, "multiple returns merge through a phi");
+        assert!(
+            count_ops(&m, "phi") >= 1,
+            "multiple returns merge through a phi"
+        );
     }
 
     #[test]
@@ -288,7 +331,10 @@ bb0:
             &["inline"],
             &[],
         );
-        assert!(count_ops(&m, "call") >= 1, "recursive function stays out-of-line");
+        assert!(
+            count_ops(&m, "call") >= 1,
+            "recursive function stays out-of-line"
+        );
     }
 
     #[test]

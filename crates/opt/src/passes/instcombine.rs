@@ -131,15 +131,11 @@ fn simplify_to_value(m: &Module, f: &Function, id: InstId) -> Option<Value> {
                         return Some(Value::Const(Const::int(*ty, 0)));
                     }
                 }
-                BinOp::SDiv => {
-                    if rc == Some(1) {
-                        return Some(l);
-                    }
+                BinOp::SDiv if rc == Some(1) => {
+                    return Some(l);
                 }
-                BinOp::SRem => {
-                    if rc == Some(1) || rc == Some(-1) {
-                        return Some(Value::Const(Const::int(*ty, 0)));
-                    }
+                BinOp::SRem if (rc == Some(1) || rc == Some(-1)) => {
+                    return Some(Value::Const(Const::int(*ty, 0)));
                 }
                 BinOp::And => {
                     if l == r {
@@ -204,7 +200,12 @@ fn simplify_to_value(m: &Module, f: &Function, id: InstId) -> Option<Value> {
             }
             None
         }
-        Op::Select { cond, tval, fval, ty } => {
+        Op::Select {
+            cond,
+            tval,
+            fval,
+            ty,
+        } => {
             if tval == fval {
                 return Some(*tval);
             }
@@ -224,18 +225,28 @@ fn simplify_to_value(m: &Module, f: &Function, id: InstId) -> Option<Value> {
             None
         }
         Op::Phi { incomings, .. } => {
-            let mut vals: Vec<Value> =
-                incomings.iter().map(|(_, v)| *v).filter(|v| *v != Value::Inst(id)).collect();
+            let mut vals: Vec<Value> = incomings
+                .iter()
+                .map(|(_, v)| *v)
+                .filter(|v| *v != Value::Inst(id))
+                .collect();
             vals.dedup();
             if vals.len() == 1 {
                 return Some(vals[0]);
             }
             None
         }
-        Op::Cast { kind: CastKind::Trunc, to, val } => {
+        Op::Cast {
+            kind: CastKind::Trunc,
+            to,
+            val,
+        } => {
             // trunc (zext/sext x) back to x's own type -> x
             if let Value::Inst(inner) = val {
-                if let Op::Cast { kind, val: orig, .. } = f.op(*inner) {
+                if let Op::Cast {
+                    kind, val: orig, ..
+                } = f.op(*inner)
+                {
                     if matches!(kind, CastKind::ZExt | CastKind::SExt)
                         && value_ty_local(f, *orig) == Some(*to)
                     {
@@ -269,11 +280,21 @@ fn simplify_to_value(m: &Module, f: &Function, id: InstId) -> Option<Value> {
 fn rewrite(f: &Function, id: InstId) -> Option<Op> {
     let op = f.op(id);
     match op {
-        Op::Bin { op: bop, ty, lhs, rhs } => {
+        Op::Bin {
+            op: bop,
+            ty,
+            lhs,
+            rhs,
+        } => {
             let (l, r) = (*lhs, *rhs);
             // canonicalize: constant to the right for commutative ops
             if bop.is_commutative() && l.is_const() && !r.is_const() {
-                return Some(Op::Bin { op: *bop, ty: *ty, lhs: r, rhs: l });
+                return Some(Op::Bin {
+                    op: *bop,
+                    ty: *ty,
+                    lhs: r,
+                    rhs: l,
+                });
             }
             // sub x, C -> add x, -C
             if *bop == BinOp::Sub && !ty.is_float() {
@@ -291,7 +312,13 @@ fn rewrite(f: &Function, id: InstId) -> Option<Op> {
             // (x op C1) op C2 -> x op (C1 op C2) for associative ops
             if bop.is_associative() {
                 if let (Value::Inst(inner), Some(c2)) = (l, r.const_int()) {
-                    if let Op::Bin { op: iop, lhs: il, rhs: ir, .. } = f.op(inner) {
+                    if let Op::Bin {
+                        op: iop,
+                        lhs: il,
+                        rhs: ir,
+                        ..
+                    } = f.op(inner)
+                    {
                         if iop == bop {
                             if let Some(c1) = ir.const_int() {
                                 let folded = match bop {
@@ -330,7 +357,13 @@ fn rewrite(f: &Function, id: InstId) -> Option<Op> {
             // shl (shl x, C1), C2 -> shl x, C1+C2 (bounded by width)
             if *bop == BinOp::Shl {
                 if let (Value::Inst(inner), Some(c2)) = (l, r.const_int()) {
-                    if let Op::Bin { op: BinOp::Shl, lhs: il, rhs: ir, .. } = f.op(inner) {
+                    if let Op::Bin {
+                        op: BinOp::Shl,
+                        lhs: il,
+                        rhs: ir,
+                        ..
+                    } = f.op(inner)
+                    {
                         if let Some(c1) = ir.const_int() {
                             let w = ty.bit_width() as i64;
                             if c1 >= 0 && c2 >= 0 && c1 < w && c2 < w {
@@ -362,28 +395,71 @@ fn rewrite(f: &Function, id: InstId) -> Option<Op> {
         Op::Icmp { pred, ty, lhs, rhs } => {
             // canonicalize constant to the right
             if lhs.is_const() && !rhs.is_const() {
-                return Some(Op::Icmp { pred: pred.swapped(), ty: *ty, lhs: *rhs, rhs: *lhs });
+                return Some(Op::Icmp {
+                    pred: pred.swapped(),
+                    ty: *ty,
+                    lhs: *rhs,
+                    rhs: *lhs,
+                });
             }
             // icmp eq/ne (sub x, y), 0 -> icmp eq/ne x, y (wrapping-safe)
             if matches!(pred, IntPred::Eq | IntPred::Ne) && rhs.const_int() == Some(0) {
                 if let Value::Inst(inner) = lhs {
-                    if let Op::Bin { op: BinOp::Sub, lhs: x, rhs: y, ty: ity } = f.op(*inner) {
-                        return Some(Op::Icmp { pred: *pred, ty: *ity, lhs: *x, rhs: *y });
+                    if let Op::Bin {
+                        op: BinOp::Sub,
+                        lhs: x,
+                        rhs: y,
+                        ty: ity,
+                    } = f.op(*inner)
+                    {
+                        return Some(Op::Icmp {
+                            pred: *pred,
+                            ty: *ity,
+                            lhs: *x,
+                            rhs: *y,
+                        });
                     }
                     // icmp eq (xor x, y), 0 -> icmp eq x, y
-                    if let Op::Bin { op: BinOp::Xor, lhs: x, rhs: y, ty: ity } = f.op(*inner) {
-                        return Some(Op::Icmp { pred: *pred, ty: *ity, lhs: *x, rhs: *y });
+                    if let Op::Bin {
+                        op: BinOp::Xor,
+                        lhs: x,
+                        rhs: y,
+                        ty: ity,
+                    } = f.op(*inner)
+                    {
+                        return Some(Op::Icmp {
+                            pred: *pred,
+                            ty: *ity,
+                            lhs: *x,
+                            rhs: *y,
+                        });
                     }
                 }
             }
             None
         }
-        Op::Select { ty, cond, tval, fval } => {
+        Op::Select {
+            ty,
+            cond,
+            tval,
+            fval,
+        } => {
             // select (xor c, true), a, b -> select c, b, a
             if let Value::Inst(ci) = cond {
-                if let Op::Bin { op: BinOp::Xor, lhs, rhs, .. } = f.op(*ci) {
+                if let Op::Bin {
+                    op: BinOp::Xor,
+                    lhs,
+                    rhs,
+                    ..
+                } = f.op(*ci)
+                {
                     if rhs.const_int() == Some(1) {
-                        return Some(Op::Select { ty: *ty, cond: *lhs, tval: *fval, fval: *tval });
+                        return Some(Op::Select {
+                            ty: *ty,
+                            cond: *lhs,
+                            tval: *fval,
+                            fval: *tval,
+                        });
                     }
                 }
             }
@@ -398,12 +474,26 @@ fn rewrite(f: &Function, id: InstId) -> Option<Op> {
             }
             None
         }
-        Op::CondBr { cond, then_bb, else_bb } => {
+        Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             // condbr (xor c, true), a, b -> condbr c, b, a
             if let Value::Inst(ci) = cond {
-                if let Op::Bin { op: BinOp::Xor, lhs, rhs, .. } = f.op(*ci) {
+                if let Op::Bin {
+                    op: BinOp::Xor,
+                    lhs,
+                    rhs,
+                    ..
+                } = f.op(*ci)
+                {
                     if rhs.const_int() == Some(1) && then_bb != else_bb {
-                        return Some(Op::CondBr { cond: *lhs, then_bb: *else_bb, else_bb: *then_bb });
+                        return Some(Op::CondBr {
+                            cond: *lhs,
+                            then_bb: *else_bb,
+                            else_bb: *then_bb,
+                        });
                     }
                 }
             }
@@ -637,6 +727,10 @@ bb0:
             &["instcombine"],
             &[vec![RtVal::Float(-0.0)], vec![RtVal::Float(3.25)]],
         );
-        assert_eq!(count_ops(&m, "fadd"), 1, "variable fadd kept, const fadd folded");
+        assert_eq!(
+            count_ops(&m, "fadd"),
+            1,
+            "variable fadd kept, const fadd folded"
+        );
     }
 }

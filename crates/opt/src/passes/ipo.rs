@@ -34,10 +34,8 @@ fn local_memory_behaviour(m: &Module, fid: FuncId) -> LocalMem {
     };
     for id in f.inst_ids() {
         match f.op(id) {
-            Op::Store { ptr, .. } | Op::MemSet { dst: ptr, .. } => {
-                if !is_local(*ptr) {
-                    writes = true;
-                }
+            Op::Store { ptr, .. } | Op::MemSet { dst: ptr, .. } if !is_local(*ptr) => {
+                writes = true;
             }
             Op::MemCpy { dst, src, .. } => {
                 if !is_local(*dst) {
@@ -47,10 +45,8 @@ fn local_memory_behaviour(m: &Module, fid: FuncId) -> LocalMem {
                     reads = true;
                 }
             }
-            Op::Load { ptr, .. } => {
-                if !is_local(*ptr) {
-                    reads = true;
-                }
+            Op::Load { ptr, .. } if !is_local(*ptr) => {
+                reads = true;
             }
             _ => {}
         }
@@ -67,7 +63,11 @@ fn local_memory_behaviour(m: &Module, fid: FuncId) -> LocalMem {
             }
         }
     }
-    LocalMem { writes_nonlocal: writes, reads_nonlocal: reads, has_back_edge: back_edge }
+    LocalMem {
+        writes_nonlocal: writes,
+        reads_nonlocal: reads,
+        has_back_edge: back_edge,
+    }
 }
 
 /// Shared implementation of the attribute-inference passes.
@@ -127,7 +127,10 @@ fn infer_function_attrs(module: &mut Module) -> bool {
             continue;
         }
         let lm = locals[&fid];
-        readnone.insert(fid, !lm.writes_nonlocal && !lm.reads_nonlocal && !calls_decl.contains(&fid));
+        readnone.insert(
+            fid,
+            !lm.writes_nonlocal && !lm.reads_nonlocal && !calls_decl.contains(&fid),
+        );
         readonly.insert(fid, !lm.writes_nonlocal && !calls_decl.contains(&fid));
         willreturn.insert(fid, !lm.has_back_edge);
     }
@@ -142,9 +145,8 @@ fn infer_function_attrs(module: &mut Module) -> bool {
             let cs = callees.get(&fid).cloned().unwrap_or_default();
             let rn = readnone[&fid] && cs.iter().all(|c| readnone[c]);
             let ro = readonly[&fid] && cs.iter().all(|c| readonly[c]);
-            let wr = willreturn[&fid]
-                && cs.iter().all(|c| willreturn[c])
-                && !reach[&fid].contains(&fid);
+            let wr =
+                willreturn[&fid] && cs.iter().all(|c| willreturn[c]) && !reach[&fid].contains(&fid);
             if rn != readnone[&fid] || ro != readonly[&fid] || wr != willreturn[&fid] {
                 readnone.insert(fid, rn);
                 readonly.insert(fid, ro);
@@ -450,10 +452,8 @@ fn reachable_symbols(m: &Module) -> (HashSet<FuncId>, HashSet<GlobalId>) {
                     Value::Global(g) => {
                         globals.insert(g);
                     }
-                    Value::Func(t) => {
-                        if funcs.insert(t) {
-                            work.push(t);
-                        }
+                    Value::Func(t) if funcs.insert(t) => {
+                        work.push(t);
                     }
                     _ => {}
                 }
@@ -637,12 +637,10 @@ impl Pass for ConstMerge {
             for id in f.inst_ids() {
                 if let Some(inst) = f.inst_mut(id) {
                     inst.op.map_operands(|v| match v {
-                        Value::Global(g) => {
-                            match replace.iter().find(|(dup, _)| *dup == g) {
-                                Some((_, first)) => Value::Global(*first),
-                                None => v,
-                            }
-                        }
+                        Value::Global(g) => match replace.iter().find(|(dup, _)| *dup == g) {
+                            Some((_, first)) => Value::Global(*first),
+                            None => v,
+                        },
                         other => other,
                     });
                 }
@@ -797,7 +795,11 @@ bb0:
             &["inferattrs", "functionattrs", "early-cse", "adce"],
             &[],
         );
-        assert_eq!(count_ops(&m, "call"), 3, "both noisy calls and the inner print survive");
+        assert_eq!(
+            count_ops(&m, "call"),
+            3,
+            "both noisy calls and the inner print survive"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
         let mut round = false;
         // innermost loops first: hoisting cascades outward on later rounds
         for l in forest.loops.iter().rev() {
-            let Some(preheader) = l.preheader(f, &cfg) else { continue };
+            let Some(preheader) = l.preheader(f, &cfg) else {
+                continue;
+            };
             // does the loop write memory or call anything non-readonly?
             let mut loop_writes: Vec<Value> = Vec::new(); // written pointers
             let mut has_unknown_write = false;
@@ -46,10 +48,8 @@ fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
                             loop_writes.push(*ptr)
                         }
                         Op::MemCpy { dst, .. } => loop_writes.push(*dst),
-                        Op::Call { callee, .. } => {
-                            if !call_is_readonly(m, *callee) {
-                                has_unknown_write = true;
-                            }
+                        Op::Call { callee, .. } if !call_is_readonly(m, *callee) => {
+                            has_unknown_write = true;
                         }
                         _ => {}
                     }
@@ -90,7 +90,11 @@ fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
                         if !hoistable_shape {
                             continue;
                         }
-                        if op.operands().iter().all(|&v| value_invariant(v, &invariant, f)) {
+                        if op
+                            .operands()
+                            .iter()
+                            .all(|&v| value_invariant(v, &invariant, f))
+                        {
                             invariant.insert(id);
                             grow = true;
                         }
@@ -160,10 +164,14 @@ fn sink_into_loops(f: &mut Function) -> bool {
     let forest = LoopForest::compute(f, &cfg, &dt);
     let mut changed = false;
     for l in &forest.loops {
-        let Some(preheader) = l.preheader(f, &cfg) else { continue };
+        let Some(preheader) = l.preheader(f, &cfg) else {
+            continue;
+        };
         for id in f.block(preheader).unwrap().insts.clone() {
             let op = f.op(id);
-            if !op.is_pure() || matches!(op, Op::Alloca { .. } | Op::Phi { .. }) || op.is_terminator()
+            if !op.is_pure()
+                || matches!(op, Op::Alloca { .. } | Op::Phi { .. })
+                || op.is_terminator()
             {
                 continue;
             }
@@ -240,14 +248,25 @@ bb3:
         let m = assert_preserves(
             HOISTABLE,
             &["licm"],
-            &[vec![RtVal::Int(10), RtVal::Int(3)], vec![RtVal::Int(0), RtVal::Int(3)]],
+            &[
+                vec![RtVal::Int(10), RtVal::Int(3)],
+                vec![RtVal::Int(0), RtVal::Int(3)],
+            ],
         );
         let fid = m.func_by_name("main").unwrap();
         let f = m.func(fid).unwrap();
         // the mul now lives in the preheader (entry block here)
-        let entry_ops: Vec<&str> =
-            f.block(f.entry).unwrap().insts.iter().map(|&i| f.op(i).kind_name()).collect();
-        assert!(entry_ops.contains(&"mul"), "invariant mul hoisted to preheader: {entry_ops:?}");
+        let entry_ops: Vec<&str> = f
+            .block(f.entry)
+            .unwrap()
+            .insts
+            .iter()
+            .map(|&i| f.op(i).kind_name())
+            .collect();
+        assert!(
+            entry_ops.contains(&"mul"),
+            "invariant mul hoisted to preheader: {entry_ops:?}"
+        );
     }
 
     #[test]
@@ -278,9 +297,17 @@ bb3:
         );
         let fid = m.func_by_name("main").unwrap();
         let f = m.func(fid).unwrap();
-        let entry_ops: Vec<&str> =
-            f.block(f.entry).unwrap().insts.iter().map(|&i| f.op(i).kind_name()).collect();
-        assert!(entry_ops.contains(&"load"), "invariant load hoisted: {entry_ops:?}");
+        let entry_ops: Vec<&str> = f
+            .block(f.entry)
+            .unwrap()
+            .insts
+            .iter()
+            .map(|&i| f.op(i).kind_name())
+            .collect();
+        assert!(
+            entry_ops.contains(&"load"),
+            "invariant load hoisted: {entry_ops:?}"
+        );
     }
 
     #[test]
@@ -312,8 +339,13 @@ bb3:
         );
         let fid = m.func_by_name("main").unwrap();
         let f = m.func(fid).unwrap();
-        let entry_ops: Vec<&str> =
-            f.block(f.entry).unwrap().insts.iter().map(|&i| f.op(i).kind_name()).collect();
+        let entry_ops: Vec<&str> = f
+            .block(f.entry)
+            .unwrap()
+            .insts
+            .iter()
+            .map(|&i| f.op(i).kind_name())
+            .collect();
         assert!(!entry_ops.contains(&"load"), "clobbered load must stay put");
     }
 
@@ -350,8 +382,13 @@ bb3:
         assert_eq!(count_ops(&m, "sdiv"), 1);
         let fid = m.func_by_name("main").unwrap();
         let f = m.func(fid).unwrap();
-        let entry_ops: Vec<&str> =
-            f.block(f.entry).unwrap().insts.iter().map(|&i| f.op(i).kind_name()).collect();
+        let entry_ops: Vec<&str> = f
+            .block(f.entry)
+            .unwrap()
+            .insts
+            .iter()
+            .map(|&i| f.op(i).kind_name())
+            .collect();
         assert!(!entry_ops.contains(&"sdiv"));
     }
 
@@ -362,8 +399,16 @@ bb3:
         let m = assert_preserves(&text, &["loop-sink"], &[vec![RtVal::Int(4), RtVal::Int(2)]]);
         let fid = m.func_by_name("main").unwrap();
         let f = m.func(fid).unwrap();
-        let entry_ops: Vec<&str> =
-            f.block(f.entry).unwrap().insts.iter().map(|&i| f.op(i).kind_name()).collect();
-        assert!(!entry_ops.contains(&"mul"), "sunk back into the loop: {entry_ops:?}");
+        let entry_ops: Vec<&str> = f
+            .block(f.entry)
+            .unwrap()
+            .insts
+            .iter()
+            .map(|&i| f.op(i).kind_name())
+            .collect();
+        assert!(
+            !entry_ops.contains(&"mul"),
+            "sunk back into the loop: {entry_ops:?}"
+        );
     }
 }

@@ -5,9 +5,7 @@ use crate::passes::loop_unroll::match_canonical;
 use crate::util::{call_is_readonly, may_alias, simplify_trivial_phis, CloneMap};
 use crate::Pass;
 use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
-use posetrl_ir::{
-    BinOp, BlockId, Const, Function, InstId, IntPred, Module, Op, Ty, Value,
-};
+use posetrl_ir::{BinOp, BlockId, Const, Function, InstId, IntPred, Module, Op, Ty, Value};
 use std::collections::{HashMap, HashSet};
 
 // ---------------------------------------------------------------------------
@@ -44,7 +42,9 @@ fn delete_one(f: &mut Function) -> bool {
     let forest = LoopForest::compute(f, &cfg, &dt);
     'next: for l in forest.loops.iter().rev() {
         // side-effect-free body, provably finite
-        let Some(c) = match_canonical(f, &cfg, l, false, false) else { continue };
+        let Some(c) = match_canonical(f, &cfg, l, false, false) else {
+            continue;
+        };
         if c.trip_count(1 << 20).is_none() {
             continue;
         }
@@ -138,7 +138,9 @@ fn idiom_one(f: &mut Function) -> bool {
     let dt = DomTree::compute(f, &cfg);
     let forest = LoopForest::compute(f, &cfg, &dt);
     'next: for l in forest.loops.iter().rev() {
-        let Some(c) = match_canonical(f, &cfg, l, true, false) else { continue };
+        let Some(c) = match_canonical(f, &cfg, l, true, false) else {
+            continue;
+        };
         if c.step != 1 || c.pred != IntPred::Slt || !c.cond_enters_body || !c.other_phis.is_empty()
         {
             continue;
@@ -178,15 +180,26 @@ fn idiom_one(f: &mut Function) -> bool {
                 return None;
             }
             let (g, s, a) = (non_term[0], non_term[1], non_term[2]);
-            let Op::Gep { elem_ty, ptr, index } = f.op(g) else { return None };
+            let Op::Gep {
+                elem_ty,
+                ptr,
+                index,
+            } = f.op(g)
+            else {
+                return None;
+            };
             if *index != Value::Inst(c.iv) || !invariant(*ptr) {
                 return None;
             }
-            let Op::Store { ty, val, ptr: sp } = f.op(s) else { return None };
+            let Op::Store { ty, val, ptr: sp } = f.op(s) else {
+                return None;
+            };
             if *sp != Value::Inst(g) || !invariant(*val) || ty != elem_ty {
                 return None;
             }
-            let Op::Bin { op: BinOp::Add, .. } = f.op(a) else { return None };
+            let Op::Bin { op: BinOp::Add, .. } = f.op(a) else {
+                return None;
+            };
             Some((*ty, *ptr, *val))
         })();
 
@@ -195,12 +208,43 @@ fn idiom_one(f: &mut Function) -> bool {
             if non_term.len() != 5 {
                 return None;
             }
-            let (gs, ld, gd, st, a) = (non_term[0], non_term[1], non_term[2], non_term[3], non_term[4]);
-            let Op::Gep { elem_ty: et1, ptr: src, index: i1 } = f.op(gs) else { return None };
-            let Op::Load { ty: lt, ptr: lp } = f.op(ld) else { return None };
-            let Op::Gep { elem_ty: et2, ptr: dst, index: i2 } = f.op(gd) else { return None };
-            let Op::Store { ty: st_ty, val, ptr: sp } = f.op(st) else { return None };
-            let Op::Bin { op: BinOp::Add, .. } = f.op(a) else { return None };
+            let (gs, ld, gd, st, a) = (
+                non_term[0],
+                non_term[1],
+                non_term[2],
+                non_term[3],
+                non_term[4],
+            );
+            let Op::Gep {
+                elem_ty: et1,
+                ptr: src,
+                index: i1,
+            } = f.op(gs)
+            else {
+                return None;
+            };
+            let Op::Load { ty: lt, ptr: lp } = f.op(ld) else {
+                return None;
+            };
+            let Op::Gep {
+                elem_ty: et2,
+                ptr: dst,
+                index: i2,
+            } = f.op(gd)
+            else {
+                return None;
+            };
+            let Op::Store {
+                ty: st_ty,
+                val,
+                ptr: sp,
+            } = f.op(st)
+            else {
+                return None;
+            };
+            let Op::Bin { op: BinOp::Add, .. } = f.op(a) else {
+                return None;
+            };
             if *i1 != Value::Inst(c.iv) || *i2 != Value::Inst(c.iv) {
                 return None;
             }
@@ -225,7 +269,9 @@ fn idiom_one(f: &mut Function) -> bool {
             (None, Some((ty, src, dst))) => Some((ty, dst, None, Some(src))),
             _ => None,
         };
-        let Some((ty, dst_base, set_val, cpy_src)) = replacement else { continue };
+        let Some((ty, dst_base, set_val, cpy_src)) = replacement else {
+            continue;
+        };
 
         // build `len = select(bound > init, bound - init, 0)` in preheader,
         // offset the base pointers by init, and emit the intrinsic
@@ -235,11 +281,21 @@ fn idiom_one(f: &mut Function) -> bool {
         let bound_v = c.bound;
         let diff = f.insert_before_terminator(
             ph,
-            Op::Bin { op: BinOp::Sub, ty: ity, lhs: bound_v, rhs: init_v },
+            Op::Bin {
+                op: BinOp::Sub,
+                ty: ity,
+                lhs: bound_v,
+                rhs: init_v,
+            },
         );
         let pos_cmp = f.insert_before_terminator(
             ph,
-            Op::Icmp { pred: IntPred::Sgt, ty: ity, lhs: bound_v, rhs: init_v },
+            Op::Icmp {
+                pred: IntPred::Sgt,
+                ty: ity,
+                lhs: bound_v,
+                rhs: init_v,
+            },
         );
         let len = f.insert_before_terminator(
             ph,
@@ -254,7 +310,14 @@ fn idiom_one(f: &mut Function) -> bool {
             if c.init == 0 {
                 return base;
             }
-            let g = f.insert_before_terminator(ph, Op::Gep { elem_ty: ty, ptr: base, index: init_v });
+            let g = f.insert_before_terminator(
+                ph,
+                Op::Gep {
+                    elem_ty: ty,
+                    ptr: base,
+                    index: init_v,
+                },
+            );
             Value::Inst(g)
         };
         let dst = offset_ptr(f, dst_base);
@@ -262,14 +325,24 @@ fn idiom_one(f: &mut Function) -> bool {
             (Some(v), _) => {
                 f.insert_before_terminator(
                     ph,
-                    Op::MemSet { elem_ty: ty, dst, val: v, len: Value::Inst(len) },
+                    Op::MemSet {
+                        elem_ty: ty,
+                        dst,
+                        val: v,
+                        len: Value::Inst(len),
+                    },
                 );
             }
             (None, Some(srcb)) => {
                 let src = offset_ptr(f, srcb);
                 f.insert_before_terminator(
                     ph,
-                    Op::MemCpy { elem_ty: ty, dst, src, len: Value::Inst(len) },
+                    Op::MemCpy {
+                        elem_ty: ty,
+                        dst,
+                        src,
+                        len: Value::Inst(len),
+                    },
                 );
             }
             _ => unreachable!(),
@@ -318,7 +391,9 @@ fn canonicalize_ivs(f: &mut Function) -> bool {
     let forest = LoopForest::compute(f, &cfg, &dt);
     let mut changed = false;
     for l in forest.loops.iter().rev() {
-        let Some(c) = match_canonical(f, &cfg, l, true, true) else { continue };
+        let Some(c) = match_canonical(f, &cfg, l, true, true) else {
+            continue;
+        };
         // (a) `icmp ne iv, B` with step 1, init <= B  ->  `icmp slt iv, B`
         if let Some(bound) = c.bound_const {
             if c.pred == IntPred::Ne && c.step == 1 && c.init <= bound && c.cond_enters_body {
@@ -345,7 +420,15 @@ fn canonicalize_ivs(f: &mut Function) -> bool {
             if f.inst(id).is_none() {
                 continue;
             }
-            let Op::Bin { op: BinOp::Mul, ty, lhs, rhs } = *f.op(id) else { continue };
+            let Op::Bin {
+                op: BinOp::Mul,
+                ty,
+                lhs,
+                rhs,
+            } = *f.op(id)
+            else {
+                continue;
+            };
             if lhs != Value::Inst(c.iv) {
                 continue;
             }
@@ -356,11 +439,20 @@ fn canonicalize_ivs(f: &mut Function) -> bool {
                 0,
                 Op::Phi {
                     ty,
-                    incomings: vec![(c.preheader, Value::Const(Const::int(ty, c.init.wrapping_mul(k))))],
+                    incomings: vec![(
+                        c.preheader,
+                        Value::Const(Const::int(ty, c.init.wrapping_mul(k))),
+                    )],
                 },
             );
             // acc_next = acc + step*k, inserted right after the mul position
-            let pos = f.block(c.body).unwrap().insts.iter().position(|&i| i == id).unwrap();
+            let pos = f
+                .block(c.body)
+                .unwrap()
+                .insts
+                .iter()
+                .position(|&i| i == id)
+                .unwrap();
             let acc_next = f.insert_inst(
                 c.body,
                 pos,
@@ -417,7 +509,9 @@ fn forward_preheader_stores(m: &Module, f: &mut Function) -> bool {
     let forest = LoopForest::compute(f, &cfg, &dt);
     let mut changed = false;
     for l in &forest.loops {
-        let Some(ph) = l.preheader(f, &cfg) else { continue };
+        let Some(ph) = l.preheader(f, &cfg) else {
+            continue;
+        };
         // clobbers inside the loop
         let mut writes: Vec<Value> = Vec::new();
         let mut unknown = false;
@@ -426,10 +520,8 @@ fn forward_preheader_stores(m: &Module, f: &mut Function) -> bool {
                 match f.op(id) {
                     Op::Store { ptr, .. } | Op::MemSet { dst: ptr, .. } => writes.push(*ptr),
                     Op::MemCpy { dst, .. } => writes.push(*dst),
-                    Op::Call { callee, .. } => {
-                        if !call_is_readonly(m, *callee) {
-                            unknown = true;
-                        }
+                    Op::Call { callee, .. } if !call_is_readonly(m, *callee) => {
+                        unknown = true;
                     }
                     _ => {}
                 }
@@ -450,10 +542,8 @@ fn forward_preheader_stores(m: &Module, f: &mut Function) -> bool {
                     avail.retain(|p, _| !may_alias(f, *p, *dst));
                 }
                 Op::Load { .. } => {}
-                Op::Call { callee, .. } => {
-                    if !call_is_readonly(m, *callee) {
-                        avail.clear();
-                    }
+                Op::Call { callee, .. } if !call_is_readonly(m, *callee) => {
+                    avail.clear();
                 }
                 _ => {}
             }
@@ -466,7 +556,9 @@ fn forward_preheader_stores(m: &Module, f: &mut Function) -> bool {
                 if f.inst(id).is_none() {
                     continue;
                 }
-                let Op::Load { ptr, .. } = *f.op(id) else { continue };
+                let Op::Load { ptr, .. } = *f.op(id) else {
+                    continue;
+                };
                 let Some(&v) = avail.get(&ptr) else { continue };
                 if writes.iter().any(|w| may_alias(f, *w, ptr)) {
                     continue;
@@ -535,15 +627,25 @@ fn unswitch_one(f: &mut Function, size_limit: usize) -> bool {
     let dt = DomTree::compute(f, &cfg);
     let forest = LoopForest::compute(f, &cfg, &dt);
     'loops: for l in forest.loops.iter().rev() {
-        let Some(ph) = l.preheader(f, &cfg) else { continue };
-        let total: usize = l.blocks.iter().map(|&b| f.block(b).unwrap().insts.len()).sum();
+        let Some(ph) = l.preheader(f, &cfg) else {
+            continue;
+        };
+        let total: usize = l
+            .blocks
+            .iter()
+            .map(|&b| f.block(b).unwrap().insts.len())
+            .sum();
         if total > size_limit {
             continue;
         }
         // exits must be dedicated (all preds inside the loop)
         let exits = l.exit_blocks(f);
         for &e in &exits {
-            if cfg.preds.get(&e).map(|ps| ps.iter().any(|p| !l.blocks.contains(p))).unwrap_or(true)
+            if cfg
+                .preds
+                .get(&e)
+                .map(|ps| ps.iter().any(|p| !l.blocks.contains(p)))
+                .unwrap_or(true)
             {
                 continue 'loops;
             }
@@ -573,7 +675,12 @@ fn unswitch_one(f: &mut Function, size_limit: usize) -> bool {
         let mut cand: Option<(BlockId, InstId, Value)> = None;
         for &b in &l.blocks {
             let Some(t) = f.terminator(b) else { continue };
-            if let Op::CondBr { cond, then_bb, else_bb } = f.op(t) {
+            if let Op::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } = f.op(t)
+            {
                 if then_bb == else_bb || cond.is_const() {
                     continue;
                 }
@@ -592,7 +699,9 @@ fn unswitch_one(f: &mut Function, size_limit: usize) -> bool {
                 }
             }
         }
-        let Some((_, switch_term, cond)) = cand else { continue };
+        let Some((_, switch_term, cond)) = cand else {
+            continue;
+        };
 
         // clone the whole loop
         let blocks: Vec<BlockId> = {
@@ -608,7 +717,12 @@ fn unswitch_one(f: &mut Function, size_limit: usize) -> bool {
         crate::util::clone_blocks_into(&src, f, &blocks, &mut map);
 
         // specialize: original keeps the then side, clone keeps the else side
-        let Op::CondBr { then_bb, else_bb, .. } = f.op(switch_term).clone() else { unreachable!() };
+        let Op::CondBr {
+            then_bb, else_bb, ..
+        } = f.op(switch_term).clone()
+        else {
+            unreachable!()
+        };
         let switch_block = f.inst(switch_term).unwrap().block;
         f.inst_mut(switch_term).unwrap().op = Op::Br { target: then_bb };
         // the dropped edge's phi incomings must go with it
@@ -617,7 +731,9 @@ fn unswitch_one(f: &mut Function, size_limit: usize) -> bool {
         let cloned_block = map.blocks[&switch_block];
         let cloned_else = map.blocks.get(&else_bb).copied().unwrap_or(else_bb);
         let cloned_then = map.blocks.get(&then_bb).copied().unwrap_or(then_bb);
-        f.inst_mut(cloned_term).unwrap().op = Op::Br { target: cloned_else };
+        f.inst_mut(cloned_term).unwrap().op = Op::Br {
+            target: cloned_else,
+        };
         f.remove_phi_incoming(cloned_then, cloned_block);
 
         // the preheader now dispatches on the invariant condition
@@ -631,14 +747,19 @@ fn unswitch_one(f: &mut Function, size_limit: usize) -> bool {
         // exit blocks gain incoming edges from the cloned loop: extend phis
         for &e in &exits {
             for id in f.block(e).unwrap().insts.clone() {
-                let Op::Phi { incomings, .. } = f.op(id).clone() else { continue };
+                let Op::Phi { incomings, .. } = f.op(id).clone() else {
+                    continue;
+                };
                 let mut extra = Vec::new();
                 for (b, v) in &incomings {
                     if let Some(&nb) = map.blocks.get(b) {
                         extra.push((nb, map.map_value(*v)));
                     }
                 }
-                if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+                if let Op::Phi {
+                    incomings: slot, ..
+                } = &mut f.inst_mut(id).unwrap().op
+                {
                     slot.extend(extra);
                 }
             }
@@ -685,7 +806,9 @@ fn distribute_one(f: &mut Function) -> bool {
     let dt = DomTree::compute(f, &cfg);
     let forest = LoopForest::compute(f, &cfg, &dt);
     'loops: for l in forest.loops.iter().rev() {
-        let Some(c) = match_canonical(f, &cfg, l, false, false) else { continue };
+        let Some(c) = match_canonical(f, &cfg, l, false, false) else {
+            continue;
+        };
         if c.other_phis.len() < 2 {
             continue;
         }
@@ -694,8 +817,13 @@ fn distribute_one(f: &mut Function) -> bool {
         let binsts: Vec<InstId> = f.block(c.body).unwrap().insts.clone();
         let body_set: HashSet<InstId> = binsts.iter().copied().collect();
         let iv_next = {
-            let Op::Phi { incomings, .. } = f.op(c.iv) else { unreachable!() };
-            incomings.iter().find(|(b, _)| *b == c.body).and_then(|(_, v)| v.as_inst())
+            let Op::Phi { incomings, .. } = f.op(c.iv) else {
+                unreachable!()
+            };
+            incomings
+                .iter()
+                .find(|(b, _)| *b == c.body)
+                .and_then(|(_, v)| v.as_inst())
         };
         let closure = |start: Value, f: &Function| -> HashSet<InstId> {
             let mut out = HashSet::new();
@@ -779,28 +907,43 @@ fn distribute_one(f: &mut Function) -> bool {
         // loop1: drop the other slices (their only remaining uses are the
         // slice instructions themselves)
         for (p, _, _, slice) in &slices[1..] {
-            f.replace_all_uses(Value::Inst(*p), Value::Const(Const::Undef(f.op(*p).result_ty())));
+            f.replace_all_uses(
+                Value::Inst(*p),
+                Value::Const(Const::Undef(f.op(*p).result_ty())),
+            );
             f.remove_inst(*p);
             for &d in slice {
                 if f.inst(d).is_some() {
-                    f.replace_all_uses(Value::Inst(d), Value::Const(Const::Undef(f.op(d).result_ty())));
+                    f.replace_all_uses(
+                        Value::Inst(d),
+                        Value::Const(Const::Undef(f.op(d).result_ty())),
+                    );
                     f.remove_inst(d);
                 }
             }
         }
         // loop1 now exits to mid instead of the original exit
         let h1_term = f.terminator(c.header).unwrap();
-        f.inst_mut(h1_term).unwrap().op.map_blocks(|b| if b == c.exit { mid } else { b });
+        f.inst_mut(h1_term)
+            .unwrap()
+            .op
+            .map_blocks(|b| if b == c.exit { mid } else { b });
 
         // loop2 (the clone): drop the kept slice
         let (kp, _, _, kslice) = keep;
         let kp2 = map.values[kp].as_inst().unwrap();
-        f.replace_all_uses(Value::Inst(kp2), Value::Const(Const::Undef(f.op(kp2).result_ty())));
+        f.replace_all_uses(
+            Value::Inst(kp2),
+            Value::Const(Const::Undef(f.op(kp2).result_ty())),
+        );
         f.remove_inst(kp2);
         for &d in kslice {
             if let Some(Value::Inst(d2)) = map.values.get(&d).copied() {
                 if f.inst(d2).is_some() {
-                    f.replace_all_uses(Value::Inst(d2), Value::Const(Const::Undef(f.op(d2).result_ty())));
+                    f.replace_all_uses(
+                        Value::Inst(d2),
+                        Value::Const(Const::Undef(f.op(d2).result_ty())),
+                    );
                     f.remove_inst(d2);
                 }
             }
@@ -825,7 +968,9 @@ fn distribute_one(f: &mut Function) -> bool {
             s
         };
         for id in f.block(c.exit).unwrap().insts.clone() {
-            let Op::Phi { incomings, .. } = f.op(id).clone() else { continue };
+            let Op::Phi { incomings, .. } = f.op(id).clone() else {
+                continue;
+            };
             let new_inc: Vec<(BlockId, Value)> = incomings
                 .into_iter()
                 .map(|(b, v)| {
@@ -840,7 +985,10 @@ fn distribute_one(f: &mut Function) -> bool {
                     }
                 })
                 .collect();
-            if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+            if let Op::Phi {
+                incomings: slot, ..
+            } = &mut f.inst_mut(id).unwrap().op
+            {
                 *slot = new_inc;
             }
         }
@@ -936,7 +1084,11 @@ bb3:
 }
 "#,
             &["loop-idiom"],
-            &[vec![RtVal::Int(8)], vec![RtVal::Int(3)], vec![RtVal::Int(0)]],
+            &[
+                vec![RtVal::Int(8)],
+                vec![RtVal::Int(3)],
+                vec![RtVal::Int(0)],
+            ],
         );
         assert_eq!(count_ops(&m, "memset"), 1);
         assert_eq!(count_ops(&m, "store"), 0);
@@ -1002,7 +1154,13 @@ bb3:
         );
         let f = m.func(m.func_by_name("main").unwrap()).unwrap();
         let has_slt = f.inst_ids().iter().any(|&id| {
-            matches!(f.op(id), posetrl_ir::Op::Icmp { pred: posetrl_ir::IntPred::Slt, .. })
+            matches!(
+                f.op(id),
+                posetrl_ir::Op::Icmp {
+                    pred: posetrl_ir::IntPred::Slt,
+                    ..
+                }
+            )
         });
         assert!(has_slt, "ne test canonicalized to slt");
     }
@@ -1133,10 +1291,13 @@ bb3:
 }
 "#,
             &["lcssa", "loop-distribute"],
-            &[vec![RtVal::Int(5)], vec![RtVal::Int(0)], vec![RtVal::Int(1)]],
+            &[
+                vec![RtVal::Int(5)],
+                vec![RtVal::Int(0)],
+                vec![RtVal::Int(1)],
+            ],
         );
         // two loops: two headers with icmp+condbr
         assert!(count_ops(&m, "condbr") >= 2, "loop split into two");
     }
 }
-

@@ -41,7 +41,9 @@ fn rotate_one(f: &mut Function) -> bool {
     let dt = DomTree::compute(f, &cfg);
     let forest = LoopForest::compute(f, &cfg, &dt);
     'loops: for l in &forest.loops {
-        let Some(preheader) = l.preheader(f, &cfg) else { continue };
+        let Some(preheader) = l.preheader(f, &cfg) else {
+            continue;
+        };
         if l.latches.len() != 1 {
             continue;
         }
@@ -52,7 +54,14 @@ fn rotate_one(f: &mut Function) -> bool {
         }
         // header must end in condbr with one in-loop, one exit successor
         let hterm = f.terminator(header).unwrap();
-        let Op::CondBr { cond, then_bb, else_bb } = f.op(hterm).clone() else { continue };
+        let Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.op(hterm).clone()
+        else {
+            continue;
+        };
         let (body_in, exit) = if l.blocks.contains(&then_bb) && !l.blocks.contains(&else_bb) {
             (then_bb, else_bb)
         } else if l.blocks.contains(&else_bb) && !l.blocks.contains(&then_bb) {
@@ -93,7 +102,9 @@ fn rotate_one(f: &mut Function) -> bool {
         let mut init_of: HashMap<InstId, Value> = HashMap::new();
         let mut next_of: HashMap<InstId, Value> = HashMap::new();
         for &p in &phis {
-            let Op::Phi { incomings, .. } = f.op(p) else { unreachable!() };
+            let Op::Phi { incomings, .. } = f.op(p) else {
+                unreachable!()
+            };
             let mut init = None;
             let mut next = None;
             for (b, v) in incomings {
@@ -105,7 +116,9 @@ fn rotate_one(f: &mut Function) -> bool {
                     continue 'loops;
                 }
             }
-            let (Some(i), Some(n)) = (init, next) else { continue 'loops };
+            let (Some(i), Some(n)) = (init, next) else {
+                continue 'loops;
+            };
             init_of.insert(p, i);
             next_of.insert(p, n);
         }
@@ -156,17 +169,33 @@ fn rotate_one(f: &mut Function) -> bool {
         let (guard_cond, guard_map) = clone_cond(f, preheader, &init_of);
         let ph_term = f.terminator(preheader).unwrap();
         f.inst_mut(ph_term).unwrap().op = if cond_negated {
-            Op::CondBr { cond: guard_cond, then_bb: exit, else_bb: header }
+            Op::CondBr {
+                cond: guard_cond,
+                then_bb: exit,
+                else_bb: header,
+            }
         } else {
-            Op::CondBr { cond: guard_cond, then_bb: header, else_bb: exit }
+            Op::CondBr {
+                cond: guard_cond,
+                then_bb: header,
+                else_bb: exit,
+            }
         };
 
         // 2) bottom test in the latch, using next values
         let (latch_cond, latch_map) = clone_cond(f, latch, &next_of);
         f.inst_mut(lterm).unwrap().op = if cond_negated {
-            Op::CondBr { cond: latch_cond, then_bb: exit, else_bb: header }
+            Op::CondBr {
+                cond: latch_cond,
+                then_bb: exit,
+                else_bb: header,
+            }
         } else {
-            Op::CondBr { cond: latch_cond, then_bb: header, else_bb: exit }
+            Op::CondBr {
+                cond: latch_cond,
+                then_bb: header,
+                else_bb: exit,
+            }
         };
 
         // 3) header falls through into the body
@@ -175,30 +204,34 @@ fn rotate_one(f: &mut Function) -> bool {
         // 4) the exit now has preds {preheader, latch} instead of {header}:
         //    split exit phis accordingly
         for id in f.block(exit).unwrap().insts.clone() {
-            let Op::Phi { incomings, .. } = f.op(id).clone() else { continue };
+            let Op::Phi { incomings, .. } = f.op(id).clone() else {
+                continue;
+            };
             let mut new_inc = Vec::new();
             for (b, v) in incomings {
                 if b != header {
                     new_inc.push((b, v));
                     continue;
                 }
-                let map_through = |map: &HashMap<InstId, Value>, fallback: &HashMap<InstId, Value>| {
-                    match v {
+                let map_through =
+                    |map: &HashMap<InstId, Value>, fallback: &HashMap<InstId, Value>| match v {
                         Value::Inst(d) => fallback
                             .get(&d)
                             .copied()
                             .or_else(|| map.get(&d).copied())
                             .unwrap_or(v),
                         other => other,
-                    }
-                };
+                    };
                 // from the guard edge: header phis take their init values,
                 // cond insts their preheader clones
                 new_inc.push((preheader, map_through(&guard_map, &init_of)));
                 // from the latch edge: next values / latch clones
                 new_inc.push((latch, map_through(&latch_map, &next_of)));
             }
-            if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+            if let Op::Phi {
+                incomings: slot, ..
+            } = &mut f.inst_mut(id).unwrap().op
+            {
                 *slot = new_inc;
             }
         }
@@ -254,7 +287,10 @@ fn rotate_one(f: &mut Function) -> bool {
             let phi = f.insert_inst(
                 exit,
                 0,
-                Op::Phi { ty, incomings: vec![(preheader, from_guard), (latch, from_latch)] },
+                Op::Phi {
+                    ty,
+                    incomings: vec![(preheader, from_guard), (latch, from_latch)],
+                },
             );
             for u in users {
                 if u != phi {
@@ -309,7 +345,11 @@ bb3:
         let m = assert_preserves(
             WHILE_LOOP,
             &["loop-rotate"],
-            &[vec![RtVal::Int(10)], vec![RtVal::Int(0)], vec![RtVal::Int(1)]],
+            &[
+                vec![RtVal::Int(10)],
+                vec![RtVal::Int(0)],
+                vec![RtVal::Int(1)],
+            ],
         );
         assert!(is_rotated(&m), "loop is bottom-tested after rotation");
     }
@@ -317,7 +357,11 @@ bb3:
     #[test]
     fn zero_trip_guard_works() {
         // with arg0 = 0 the rotated loop's body must not execute
-        assert_preserves(WHILE_LOOP, &["loop-rotate"], &[vec![RtVal::Int(0)], vec![RtVal::Int(-5)]]);
+        assert_preserves(
+            WHILE_LOOP,
+            &["loop-rotate"],
+            &[vec![RtVal::Int(0)], vec![RtVal::Int(-5)]],
+        );
     }
 
     #[test]

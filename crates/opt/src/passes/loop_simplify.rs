@@ -37,7 +37,9 @@ fn funnel_edges(f: &mut Function, target: BlockId, subset: &[BlockId]) -> BlockI
     let nb = f.add_block();
     // fix phis in target first
     for id in f.block(target).unwrap().insts.clone() {
-        let Op::Phi { ty, incomings } = f.op(id).clone() else { continue };
+        let Op::Phi { ty, incomings } = f.op(id).clone() else {
+            continue;
+        };
         let (moved, kept): (Vec<_>, Vec<_>) =
             incomings.into_iter().partition(|(p, _)| subset.contains(p));
         if moved.is_empty() {
@@ -47,19 +49,32 @@ fn funnel_edges(f: &mut Function, target: BlockId, subset: &[BlockId]) -> BlockI
         let merged: Value = if vals.len() == 1 {
             *vals.iter().next().unwrap()
         } else {
-            let phi = f.insert_inst(nb, 0, Op::Phi { ty, incomings: moved.clone() });
+            let phi = f.insert_inst(
+                nb,
+                0,
+                Op::Phi {
+                    ty,
+                    incomings: moved.clone(),
+                },
+            );
             Value::Inst(phi)
         };
         let mut new_incomings = kept;
         new_incomings.push((nb, merged));
-        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+        if let Op::Phi {
+            incomings: slot, ..
+        } = &mut f.inst_mut(id).unwrap().op
+        {
             *slot = new_incomings;
         }
     }
     // retarget the edges
     for &p in subset {
         if let Some(t) = f.terminator(p) {
-            f.inst_mut(t).unwrap().op.map_blocks(|b| if b == target { nb } else { b });
+            f.inst_mut(t)
+                .unwrap()
+                .op
+                .map_blocks(|b| if b == target { nb } else { b });
         }
     }
     f.append_inst(nb, Op::Br { target });
@@ -80,7 +95,12 @@ fn simplify_loops(f: &mut Function) -> bool {
                 let outside: Vec<BlockId> = cfg
                     .preds
                     .get(&l.header)
-                    .map(|ps| ps.iter().copied().filter(|p| !l.blocks.contains(p)).collect())
+                    .map(|ps| {
+                        ps.iter()
+                            .copied()
+                            .filter(|p| !l.blocks.contains(p))
+                            .collect()
+                    })
                     .unwrap_or_default();
                 if !outside.is_empty() {
                     funnel_edges(f, l.header, &outside);
@@ -93,13 +113,23 @@ fn simplify_loops(f: &mut Function) -> bool {
                 let outside_preds: Vec<BlockId> = cfg
                     .preds
                     .get(&e)
-                    .map(|ps| ps.iter().copied().filter(|p| !l.blocks.contains(p)).collect())
+                    .map(|ps| {
+                        ps.iter()
+                            .copied()
+                            .filter(|p| !l.blocks.contains(p))
+                            .collect()
+                    })
                     .unwrap_or_default();
                 if !outside_preds.is_empty() {
                     let inside_preds: Vec<BlockId> = cfg
                         .preds
                         .get(&e)
-                        .map(|ps| ps.iter().copied().filter(|p| l.blocks.contains(p)).collect())
+                        .map(|ps| {
+                            ps.iter()
+                                .copied()
+                                .filter(|p| l.blocks.contains(p))
+                                .collect()
+                        })
                         .unwrap_or_default();
                     funnel_edges(f, e, &inside_preds);
                     did = true;
@@ -200,10 +230,19 @@ fn form_lcssa(f: &mut Function) -> bool {
                         let in_preds: Vec<BlockId> = cfg
                             .preds
                             .get(&e)
-                            .map(|ps| ps.iter().copied().filter(|p| l.blocks.contains(p)).collect())
+                            .map(|ps| {
+                                ps.iter()
+                                    .copied()
+                                    .filter(|p| l.blocks.contains(p))
+                                    .collect()
+                            })
                             .unwrap_or_default();
                         if in_preds.is_empty()
-                            || cfg.preds.get(&e).map(|ps| ps.len() != in_preds.len()).unwrap_or(true)
+                            || cfg
+                                .preds
+                                .get(&e)
+                                .map(|ps| ps.len() != in_preds.len())
+                                .unwrap_or(true)
                         {
                             continue; // exit not dedicated; skip
                         }
@@ -225,7 +264,9 @@ fn form_lcssa(f: &mut Function) -> bool {
                 // a phi uses its operand at the end of the incoming edge's
                 // source block, so dominance is checked there per-incoming
                 if matches!(f.op(u), Op::Phi { .. }) {
-                    let Op::Phi { incomings, .. } = f.op(u).clone() else { unreachable!() };
+                    let Op::Phi { incomings, .. } = f.op(u).clone() else {
+                        unreachable!()
+                    };
                     let mut new_incomings = incomings.clone();
                     let mut rewrote = false;
                     for (pb, v) in new_incomings.iter_mut() {
@@ -243,7 +284,10 @@ fn form_lcssa(f: &mut Function) -> bool {
                         }
                     }
                     if rewrote {
-                        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(u).unwrap().op {
+                        if let Op::Phi {
+                            incomings: slot, ..
+                        } = &mut f.inst_mut(u).unwrap().op
+                        {
                             *slot = new_incomings;
                         }
                         changed = true;
@@ -308,7 +352,10 @@ bb5:
         let dt = DomTree::compute(f, &cfg);
         let forest = LoopForest::compute(f, &cfg, &dt);
         assert_eq!(forest.loops.len(), 1);
-        assert!(forest.loops[0].preheader(f, &cfg).is_some(), "preheader created");
+        assert!(
+            forest.loops[0].preheader(f, &cfg).is_some(),
+            "preheader created"
+        );
     }
 
     #[test]
@@ -433,6 +480,10 @@ bb3:
             &["lcssa", "lcssa", "lcssa"],
             &[vec![RtVal::Int(3)]],
         );
-        assert_eq!(count_ops(&m1, "phi"), 2, "one loop phi + one lcssa phi, no duplicates");
+        assert_eq!(
+            count_ops(&m1, "phi"),
+            2,
+            "one loop phi + one lcssa phi, no duplicates"
+        );
     }
 }

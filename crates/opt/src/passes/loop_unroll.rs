@@ -92,7 +92,14 @@ pub(crate) fn match_canonical(
     }
     let term = *hinsts.last()?;
     let cond_id = hinsts[hinsts.len() - 2];
-    let Op::CondBr { cond, then_bb, else_bb } = f.op(term) else { return None };
+    let Op::CondBr {
+        cond,
+        then_bb,
+        else_bb,
+    } = f.op(term)
+    else {
+        return None;
+    };
     if *cond != Value::Inst(cond_id) {
         return None;
     }
@@ -109,10 +116,16 @@ pub(crate) fn match_canonical(
     }
     // the compare must be used only by the branch
     let uses = f.uses();
-    if uses.get(&cond_id).map(|u| u.iter().any(|&x| x != term)).unwrap_or(false) {
+    if uses
+        .get(&cond_id)
+        .map(|u| u.iter().any(|&x| x != term))
+        .unwrap_or(false)
+    {
         return None;
     }
-    let Op::Icmp { pred, lhs, rhs, .. } = f.op(cond_id) else { return None };
+    let Op::Icmp { pred, lhs, rhs, .. } = f.op(cond_id) else {
+        return None;
+    };
     let iv = lhs.as_inst()?;
     let bound = *rhs;
     // the bound must be loop-invariant
@@ -137,7 +150,9 @@ pub(crate) fn match_canonical(
     let mut iv_next = None;
     let mut other_phis = Vec::new();
     for &id in &hinsts[..hinsts.len() - 2] {
-        let Op::Phi { incomings, .. } = f.op(id) else { unreachable!() };
+        let Op::Phi { incomings, .. } = f.op(id) else {
+            unreachable!()
+        };
         let mut init = None;
         let mut next = None;
         for (b, v) in incomings {
@@ -160,7 +175,15 @@ pub(crate) fn match_canonical(
     let init = iv_init?;
     // iv_next must be `add iv, step-const` computed in the body
     let next_id = iv_next?.as_inst()?;
-    let Op::Bin { op: BinOp::Add, lhs, rhs, .. } = f.op(next_id) else { return None };
+    let Op::Bin {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+        ..
+    } = f.op(next_id)
+    else {
+        return None;
+    };
     if *lhs != Value::Inst(iv) {
         return None;
     }
@@ -216,8 +239,16 @@ struct UnrollLimits {
     total: u64,
 }
 
-const UNROLL_OZ: UnrollLimits = UnrollLimits { trip: 8, body: 12, total: 64 };
-const UNROLL_AGGRESSIVE: UnrollLimits = UnrollLimits { trip: 16, body: 24, total: 192 };
+const UNROLL_OZ: UnrollLimits = UnrollLimits {
+    trip: 8,
+    body: 12,
+    total: 64,
+};
+const UNROLL_AGGRESSIVE: UnrollLimits = UnrollLimits {
+    trip: 16,
+    body: 24,
+    total: 192,
+};
 
 /// The `loop-unroll` pass (full unrolling of small constant-trip loops).
 #[derive(Debug, Clone, Copy)]
@@ -247,7 +278,11 @@ impl Pass for LoopUnroll {
     }
 
     fn run(&self, module: &mut Module) -> bool {
-        let limits = if self.aggressive { UNROLL_AGGRESSIVE } else { UNROLL_OZ };
+        let limits = if self.aggressive {
+            UNROLL_AGGRESSIVE
+        } else {
+            UNROLL_OZ
+        };
         let mut changed = false;
         module.for_each_body(|_, f| {
             for _ in 0..4 {
@@ -266,12 +301,16 @@ fn unroll_one(f: &mut Function, limits: UnrollLimits) -> bool {
     let dt = DomTree::compute(f, &cfg);
     let forest = LoopForest::compute(f, &cfg, &dt);
     for l in forest.loops.iter().rev() {
-        let Some(c) = match_canonical(f, &cfg, l, true, true) else { continue };
+        let Some(c) = match_canonical(f, &cfg, l, true, true) else {
+            continue;
+        };
         let body_size = f.block(c.body).unwrap().insts.len();
         if body_size > limits.body {
             continue;
         }
-        let Some(trip) = c.trip_count(limits.trip) else { continue };
+        let Some(trip) = c.trip_count(limits.trip) else {
+            continue;
+        };
         if trip * body_size as u64 > limits.total {
             continue;
         }
@@ -286,7 +325,10 @@ fn fully_unroll(f: &mut Function, c: &CanonicalLoop, trip: u64) {
     let nb = f.add_block();
     // current values of the header phis (start with init values)
     let mut cur: HashMap<InstId, Value> = HashMap::new();
-    cur.insert(c.iv, Value::Const(posetrl_ir::Const::int(iv_ty(f, c), c.init)));
+    cur.insert(
+        c.iv,
+        Value::Const(posetrl_ir::Const::int(iv_ty(f, c), c.init)),
+    );
     for (p, init, _) in &c.other_phis {
         cur.insert(*p, *init);
     }
@@ -324,7 +366,9 @@ fn fully_unroll(f: &mut Function, c: &CanonicalLoop, trip: u64) {
             }
         };
         // iv next: find via the phi's latch incoming
-        let Op::Phi { incomings, .. } = f.op(c.iv).clone() else { unreachable!() };
+        let Op::Phi { incomings, .. } = f.op(c.iv).clone() else {
+            unreachable!()
+        };
         let (_, ivn) = incomings.iter().find(|(b, _)| *b == c.body).unwrap();
         next_cur.insert(c.iv, latch_value(*ivn));
         for (p, _, next) in &c.other_phis {
@@ -341,7 +385,9 @@ fn fully_unroll(f: &mut Function, c: &CanonicalLoop, trip: u64) {
     // the exit's phis were keyed by the header; now they come from nb with
     // final values
     for id in f.block(c.exit).unwrap().insts.clone() {
-        let Op::Phi { incomings, .. } = f.op(id).clone() else { continue };
+        let Op::Phi { incomings, .. } = f.op(id).clone() else {
+            continue;
+        };
         let new_inc: Vec<(BlockId, Value)> = incomings
             .into_iter()
             .map(|(b, v)| {
@@ -356,17 +402,22 @@ fn fully_unroll(f: &mut Function, c: &CanonicalLoop, trip: u64) {
                 }
             })
             .collect();
-        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(id).unwrap().op {
+        if let Op::Phi {
+            incomings: slot, ..
+        } = &mut f.inst_mut(id).unwrap().op
+        {
             *slot = new_inc;
         }
     }
     // replace outside uses of header phis with their final values
-    let phi_ids: Vec<InstId> =
-        std::iter::once(c.iv).chain(c.other_phis.iter().map(|(p, _, _)| *p)).collect();
+    let phi_ids: Vec<InstId> = std::iter::once(c.iv)
+        .chain(c.other_phis.iter().map(|(p, _, _)| *p))
+        .collect();
     for p in phi_ids {
-        let fin = cur.get(&p).copied().unwrap_or(Value::Const(posetrl_ir::Const::Undef(
-            f.op(p).result_ty(),
-        )));
+        let fin = cur
+            .get(&p)
+            .copied()
+            .unwrap_or(Value::Const(posetrl_ir::Const::Undef(f.op(p).result_ty())));
         f.replace_all_uses(Value::Inst(p), fin);
     }
     // delete the loop blocks
@@ -431,7 +482,9 @@ fn interleave_one(f: &mut Function, body_limit: usize) -> bool {
     for l in forest.loops.iter().rev() {
         // memory allowed (that is the point of vectorizing array loops);
         // calls are not
-        let Some(c) = match_canonical(f, &cfg, l, true, false) else { continue };
+        let Some(c) = match_canonical(f, &cfg, l, true, false) else {
+            continue;
+        };
         if c.step != 1 || !matches!(c.pred, IntPred::Slt | IntPred::Ne) || !c.cond_enters_body {
             continue;
         }
@@ -439,7 +492,9 @@ fn interleave_one(f: &mut Function, body_limit: usize) -> bool {
         if body_insts.len() > body_limit {
             continue;
         }
-        let Some(trip) = c.trip_count(1 << 20) else { continue };
+        let Some(trip) = c.trip_count(1 << 20) else {
+            continue;
+        };
         if trip <= VEC_WIDTH || trip % VEC_WIDTH != 0 {
             continue;
         }
@@ -456,7 +511,9 @@ fn interleave_one(f: &mut Function, body_limit: usize) -> bool {
 fn interleave(f: &mut Function, c: &CanonicalLoop, body_insts: &[InstId]) {
     // cur maps each header phi to its value after the previous copy
     let mut cur: HashMap<InstId, Value> = HashMap::new();
-    let Op::Phi { incomings, .. } = f.op(c.iv).clone() else { unreachable!() };
+    let Op::Phi { incomings, .. } = f.op(c.iv).clone() else {
+        unreachable!()
+    };
     let (_, iv_next0) = *incomings.iter().find(|(b, _)| *b == c.body).unwrap();
     cur.insert(c.iv, iv_next0);
     let mut next0: HashMap<InstId, Value> = HashMap::new();
@@ -485,12 +542,15 @@ fn interleave(f: &mut Function, c: &CanonicalLoop, body_insts: &[InstId]) {
             local.insert(id, Value::Inst(nid));
         }
         let mut next_cur: HashMap<InstId, Value> = HashMap::new();
-        let latch_value = |v: Value, local: &HashMap<InstId, Value>, cur: &HashMap<InstId, Value>| match v {
-            Value::Inst(d) => {
-                local.get(&d).copied().or_else(|| cur.get(&d).copied()).unwrap_or(v)
-            }
-            other => other,
-        };
+        let latch_value =
+            |v: Value, local: &HashMap<InstId, Value>, cur: &HashMap<InstId, Value>| match v {
+                Value::Inst(d) => local
+                    .get(&d)
+                    .copied()
+                    .or_else(|| cur.get(&d).copied())
+                    .unwrap_or(v),
+                other => other,
+            };
         next_cur.insert(c.iv, latch_value(iv_next0, &local, &cur));
         for (p, _, _) in &c.other_phis {
             next_cur.insert(*p, latch_value(next0[p], &local, &cur));
@@ -544,7 +604,10 @@ bb3:
             &[vec![RtVal::Int(3)], vec![RtVal::Int(-2)]],
         );
         let f = m.func(m.func_by_name("main").unwrap()).unwrap();
-        assert!(f.num_blocks() <= 3, "loop structure replaced by a straight line");
+        assert!(
+            f.num_blocks() <= 3,
+            "loop structure replaced by a straight line"
+        );
         assert_eq!(count_ops(&m, "phi"), 0);
         assert_eq!(count_ops(&m, "condbr"), 0);
     }
@@ -691,6 +754,10 @@ bb3:
             &["loop-vectorize"],
             &[],
         );
-        assert_eq!(count_ops(&m, "add"), 2, "trip 17 not divisible by 4: untouched");
+        assert_eq!(
+            count_ops(&m, "add"),
+            2,
+            "trip 17 not divisible by 4: untouched"
+        );
     }
 }

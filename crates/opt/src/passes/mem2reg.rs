@@ -54,7 +54,9 @@ impl Pass for Sroa {
 fn promotable_allocas(f: &Function) -> Vec<(InstId, Ty)> {
     let mut out = Vec::new();
     'next: for id in f.inst_ids() {
-        let Op::Alloca { ty, count } = *f.op(id) else { continue };
+        let Op::Alloca { ty, count } = *f.op(id) else {
+            continue;
+        };
         if count != 1 {
             continue;
         }
@@ -77,7 +79,11 @@ fn promotable_allocas(f: &Function) -> Vec<(InstId, Ty)> {
 }
 
 /// Computes dominance frontiers (Cooper's algorithm).
-fn dominance_frontiers(_f: &Function, cfg: &Cfg, dt: &DomTree) -> HashMap<BlockId, HashSet<BlockId>> {
+fn dominance_frontiers(
+    _f: &Function,
+    cfg: &Cfg,
+    dt: &DomTree,
+) -> HashMap<BlockId, HashSet<BlockId>> {
     let mut df: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
     for &b in &cfg.rpo {
         let preds: Vec<BlockId> = cfg.reachable_preds(b);
@@ -128,9 +134,20 @@ pub fn promote_allocas(f: &mut Function) -> bool {
             .collect();
         let mut placed: HashSet<BlockId> = HashSet::new();
         while let Some(b) = work.pop() {
-            for &frontier in df.get(&b).map(|s| s.iter().collect::<Vec<_>>()).unwrap_or_default() {
+            for &frontier in df
+                .get(&b)
+                .map(|s| s.iter().collect::<Vec<_>>())
+                .unwrap_or_default()
+            {
                 if placed.insert(frontier) {
-                    let phi = f.insert_inst(frontier, 0, Op::Phi { ty, incomings: Vec::new() });
+                    let phi = f.insert_inst(
+                        frontier,
+                        0,
+                        Op::Phi {
+                            ty,
+                            incomings: Vec::new(),
+                        },
+                    );
                     phi_for.insert((frontier, alloca), phi);
                     work.push(frontier);
                 }
@@ -170,17 +187,24 @@ pub fn promote_allocas(f: &mut Function) -> bool {
             match f.op(id).clone() {
                 Op::Phi { .. } => {
                     if let Some((&(_, alloca), _)) =
-                        phi_for.iter().find(|(&(pb, _), &phi)| pb == b && phi == id).map(|(k, v)| (k, v))
+                        phi_for.iter().find(|(&(pb, _), &phi)| pb == b && phi == id)
                     {
                         cur.insert(alloca, Value::Inst(id));
                     }
                 }
-                Op::Load { ptr: Value::Inst(a), .. } if alloca_set.contains_key(&a) => {
+                Op::Load {
+                    ptr: Value::Inst(a),
+                    ..
+                } if alloca_set.contains_key(&a) => {
                     let v = resolve(cur[&a], &load_repl);
                     load_repl.insert(id, v);
                     dead.push(id);
                 }
-                Op::Store { ptr: Value::Inst(a), val, .. } if alloca_set.contains_key(&a) => {
+                Op::Store {
+                    ptr: Value::Inst(a),
+                    val,
+                    ..
+                } if alloca_set.contains_key(&a) => {
                     cur.insert(a, resolve(val, &load_repl));
                     dead.push(id);
                 }
@@ -206,13 +230,16 @@ pub fn promote_allocas(f: &mut Function) -> bool {
                 .unwrap_or(Value::Const(Const::Undef(ty)));
             incomings.push((p, resolve(v, &load_repl)));
         }
-        if let Op::Phi { incomings: slot, .. } = &mut f.inst_mut(phi).unwrap().op {
+        if let Op::Phi {
+            incomings: slot, ..
+        } = &mut f.inst_mut(phi).unwrap().op
+        {
             *slot = incomings;
         }
     }
 
     // Apply load replacements and delete the memory operations + allocas.
-    for (&load, _) in &load_repl {
+    for &load in load_repl.keys() {
         let v = resolve(Value::Inst(load), &load_repl);
         f.replace_all_uses(Value::Inst(load), v);
     }
@@ -234,8 +261,10 @@ fn split_aggregates(f: &mut Function) -> bool {
         if f.inst(id).is_none() {
             continue; // removed while splitting an earlier alloca
         }
-        let Op::Alloca { ty, count } = *f.op(id) else { continue };
-        if count < 2 || count > 64 {
+        let Op::Alloca { ty, count } = *f.op(id) else {
+            continue;
+        };
+        if !(2..=64).contains(&count) {
             continue;
         }
         let addr = Value::Inst(id);
@@ -248,12 +277,14 @@ fn split_aggregates(f: &mut Function) -> bool {
                 continue;
             }
             match op {
-                Op::Gep { ptr, index, elem_ty } if *ptr == addr && *elem_ty == ty => {
-                    match index.const_int() {
-                        Some(i) if i >= 0 && (i as u32) < count => geps.push((user, i)),
-                        _ => continue 'next,
-                    }
-                }
+                Op::Gep {
+                    ptr,
+                    index,
+                    elem_ty,
+                } if *ptr == addr && *elem_ty == ty => match index.const_int() {
+                    Some(i) if i >= 0 && (i as u32) < count => geps.push((user, i)),
+                    _ => continue 'next,
+                },
                 Op::Load { ptr, ty: lty } if *ptr == addr && *lty == ty => {
                     // direct load = element 0; model as a gep of 0 by leaving
                     // the use in place and treating the alloca as element 0
@@ -274,7 +305,8 @@ fn split_aggregates(f: &mut Function) -> bool {
                 }
                 match op {
                     Op::Load { ptr, ty: lty } if *ptr == gaddr && *lty == ty => {}
-                    Op::Store { ptr, val, ty: sty } if *ptr == gaddr && *val != gaddr && *sty == ty => {}
+                    Op::Store { ptr, val, ty: sty }
+                        if *ptr == gaddr && *val != gaddr && *sty == ty => {}
                     _ => continue 'next,
                 }
             }

@@ -58,7 +58,9 @@ fn reassociate_one(f: &mut Function) -> bool {
         if f.inst(id).is_none() {
             continue;
         }
-        let Op::Bin { op, ty, .. } = *f.op(id) else { continue };
+        let Op::Bin { op, ty, .. } = *f.op(id) else {
+            continue;
+        };
         if !op.is_associative() || !op.is_commutative() {
             continue;
         }
@@ -66,7 +68,8 @@ fn reassociate_one(f: &mut Function) -> bool {
         let is_root = uses
             .get(&id)
             .map(|us| {
-                !us.iter().any(|&u| matches!(f.op(u), Op::Bin { op: uop, .. } if *uop == op))
+                !us.iter()
+                    .any(|&u| matches!(f.op(u), Op::Bin { op: uop, .. } if *uop == op))
             })
             .unwrap_or(true);
         if !is_root {
@@ -79,9 +82,11 @@ fn reassociate_one(f: &mut Function) -> bool {
         while let Some(v) = stack.pop() {
             let expandable = match v {
                 Value::Inst(i) => match f.op(i) {
-                    Op::Bin { op: iop, lhs, rhs, .. } if *iop == op => {
-                        let single_use =
-                            v == Value::Inst(id) || uses.get(&i).map(|u| u.len() == 1).unwrap_or(false);
+                    Op::Bin {
+                        op: iop, lhs, rhs, ..
+                    } if *iop == op => {
+                        let single_use = v == Value::Inst(id)
+                            || uses.get(&i).map(|u| u.len() == 1).unwrap_or(false);
                         if single_use {
                             stack.push(*lhs);
                             stack.push(*rhs);
@@ -151,11 +156,26 @@ fn reassociate_one(f: &mut Function) -> bool {
         }
         // Rebuild: ((v0 op v1) op v2) ... op const, in place of the root.
         let block = f.inst(id).unwrap().block;
-        let root_pos = f.block(block).unwrap().insts.iter().position(|&i| i == id).unwrap();
+        let root_pos = f
+            .block(block)
+            .unwrap()
+            .insts
+            .iter()
+            .position(|&i| i == id)
+            .unwrap();
         let mut cur = vars[0];
         let mut pos = root_pos;
         for v in &vars[1..] {
-            let nid = f.insert_inst(block, pos, Op::Bin { op, ty, lhs: cur, rhs: *v });
+            let nid = f.insert_inst(
+                block,
+                pos,
+                Op::Bin {
+                    op,
+                    ty,
+                    lhs: cur,
+                    rhs: *v,
+                },
+            );
             cur = Value::Inst(nid);
             pos += 1;
         }
@@ -163,7 +183,12 @@ fn reassociate_one(f: &mut Function) -> bool {
             let nid = f.insert_inst(
                 block,
                 pos,
-                Op::Bin { op, ty, lhs: cur, rhs: Value::Const(Const::int(ty, acc)) },
+                Op::Bin {
+                    op,
+                    ty,
+                    lhs: cur,
+                    rhs: Value::Const(Const::int(ty, acc)),
+                },
             );
             cur = Value::Inst(nid);
         }
@@ -182,7 +207,12 @@ fn is_canonical_chain(f: &Function, root: InstId, op: BinOp, expected: &[Value])
     }
     let mut cur = root;
     for k in (1..expected.len()).rev() {
-        let Op::Bin { op: cop, lhs, rhs, .. } = f.op(cur) else { return false };
+        let Op::Bin {
+            op: cop, lhs, rhs, ..
+        } = f.op(cur)
+        else {
+            return false;
+        };
         if *cop != op || *rhs != expected[k] {
             return false;
         }
@@ -236,7 +266,9 @@ fn tce_function(fid: posetrl_ir::FuncId, f: &mut Function) -> bool {
         let ret = insts[insts.len() - 1];
         let call = insts[insts.len() - 2];
         let Op::Ret { val } = f.op(ret) else { continue };
-        let Op::Call { callee, .. } = f.op(call) else { continue };
+        let Op::Call { callee, .. } = f.op(call) else {
+            continue;
+        };
         if *callee != fid {
             continue;
         }
@@ -265,7 +297,10 @@ fn tce_function(fid: posetrl_ir::FuncId, f: &mut Function) -> bool {
         let phi = f.insert_inst(
             old_entry,
             i,
-            Op::Phi { ty: *ty, incomings: vec![(new_entry, Value::Arg(i as u32))] },
+            Op::Phi {
+                ty: *ty,
+                incomings: vec![(new_entry, Value::Arg(i as u32))],
+            },
         );
         param_phis.push(phi);
     }
@@ -283,9 +318,14 @@ fn tce_function(fid: posetrl_ir::FuncId, f: &mut Function) -> bool {
     }
     // rewrite each tail-call site into a jump back to the loop header
     for (b, call, ret) in sites {
-        let Op::Call { args, .. } = f.op(call).clone() else { unreachable!() };
+        let Op::Call { args, .. } = f.op(call).clone() else {
+            unreachable!()
+        };
         for (i, phi) in param_phis.iter().enumerate() {
-            let incoming = args.get(i).copied().unwrap_or(Value::Const(Const::Undef(params[i])));
+            let incoming = args
+                .get(i)
+                .copied()
+                .unwrap_or(Value::Const(Const::Undef(params[i])));
             if let Op::Phi { incomings, .. } = &mut f.inst_mut(*phi).unwrap().op {
                 incomings.push((b, incoming));
             }
@@ -347,15 +387,28 @@ fn thread_one(f: &mut Function) -> bool {
             continue;
         }
         let (phi, term) = (insts[0], insts[1]);
-        let Op::Phi { incomings, .. } = f.op(phi).clone() else { continue };
-        let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() else { continue };
+        let Op::Phi { incomings, .. } = f.op(phi).clone() else {
+            continue;
+        };
+        let Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.op(term).clone()
+        else {
+            continue;
+        };
         if cond != Value::Inst(phi) || then_bb == else_bb || then_bb == b || else_bb == b {
             continue;
         }
         // the phi must have no users besides the branch: threading away an
         // incoming edge must not change a value observed elsewhere
         let uses = f.uses();
-        if uses.get(&phi).map(|u| u.iter().any(|&x| x != term)).unwrap_or(false) {
+        if uses
+            .get(&phi)
+            .map(|u| u.iter().any(|&x| x != term))
+            .unwrap_or(false)
+        {
             continue;
         }
         // thread predecessors that contribute constants
@@ -364,17 +417,26 @@ fn thread_one(f: &mut Function) -> bool {
             let target = if c != 0 { then_bb } else { else_bb };
             // the target must not have phis keyed by `b` conflicts with pred
             let preds_of_target = f.predecessors();
-            if preds_of_target.get(&target).map(|p| p.contains(pred)).unwrap_or(false) {
+            if preds_of_target
+                .get(&target)
+                .map(|p| p.contains(pred))
+                .unwrap_or(false)
+            {
                 continue; // would create a duplicate edge into a phi
             }
             // pred's terminator edge b -> target
-            let Some(pterm) = f.terminator(*pred) else { continue };
+            let Some(pterm) = f.terminator(*pred) else {
+                continue;
+            };
             // don't thread if pred reaches b on both condbr edges
             let n = f.op(pterm).successors().iter().filter(|&&s| s == b).count();
             if n != 1 {
                 continue;
             }
-            f.inst_mut(pterm).unwrap().op.map_blocks(|t| if t == b { target } else { t });
+            f.inst_mut(pterm)
+                .unwrap()
+                .op
+                .map_blocks(|t| if t == b { target } else { t });
             // extend target's phis: value that flowed through b's edge
             for &tid in &f.block(target).unwrap().insts.clone() {
                 if let Op::Phi { incomings: tin, .. } = &mut f.inst_mut(tid).unwrap().op {
@@ -427,8 +489,17 @@ fn propagate_correlations(f: &mut Function) -> bool {
     let dt = DomTree::compute(f, &cfg);
     let mut changed = false;
     for b in cfg.rpo.clone() {
-        let Some(term) = f.terminator(b) else { continue };
-        let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() else { continue };
+        let Some(term) = f.terminator(b) else {
+            continue;
+        };
+        let Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.op(term).clone()
+        else {
+            continue;
+        };
         if then_bb == else_bb {
             continue;
         }
@@ -439,7 +510,13 @@ fn propagate_correlations(f: &mut Function) -> bool {
         if single_pred(then_bb) && then_bb != b {
             facts.push((then_bb, cond, Value::bool(true)));
             if let Value::Inst(ci) = cond {
-                if let Op::Icmp { pred: IntPred::Eq, lhs, rhs, .. } = f.op(ci) {
+                if let Op::Icmp {
+                    pred: IntPred::Eq,
+                    lhs,
+                    rhs,
+                    ..
+                } = f.op(ci)
+                {
                     if rhs.is_const() {
                         facts.push((then_bb, *lhs, *rhs));
                     }
@@ -449,7 +526,13 @@ fn propagate_correlations(f: &mut Function) -> bool {
         if single_pred(else_bb) && else_bb != b {
             facts.push((else_bb, cond, Value::bool(false)));
             if let Value::Inst(ci) = cond {
-                if let Op::Icmp { pred: IntPred::Ne, lhs, rhs, .. } = f.op(ci) {
+                if let Op::Icmp {
+                    pred: IntPred::Ne,
+                    lhs,
+                    rhs,
+                    ..
+                } = f.op(ci)
+                {
                     if rhs.is_const() {
                         facts.push((else_bb, *lhs, *rhs));
                     }
@@ -515,8 +598,15 @@ fn speculate(f: &mut Function) -> bool {
     let mut changed = false;
     let preds = f.predecessors();
     for b in f.block_ids().collect::<Vec<_>>() {
-        let Some(term) = f.terminator(b) else { continue };
-        let Op::CondBr { then_bb, else_bb, .. } = f.op(term).clone() else { continue };
+        let Some(term) = f.terminator(b) else {
+            continue;
+        };
+        let Op::CondBr {
+            then_bb, else_bb, ..
+        } = f.op(term).clone()
+        else {
+            continue;
+        };
         for arm in [then_bb, else_bb] {
             if arm == b || preds.get(&arm).map(|p| p.len() != 1).unwrap_or(true) {
                 continue;
@@ -590,7 +680,13 @@ fn div_rem_pairs(f: &mut Function) -> bool {
     }
     let mut divs: HashMap<(Value, Value, Ty), InstId> = HashMap::new();
     for id in f.inst_ids() {
-        if let Op::Bin { op: BinOp::SDiv, ty, lhs, rhs } = f.op(id) {
+        if let Op::Bin {
+            op: BinOp::SDiv,
+            ty,
+            lhs,
+            rhs,
+        } = f.op(id)
+        {
             divs.entry((*lhs, *rhs, *ty)).or_insert(id);
         }
     }
@@ -599,20 +695,48 @@ fn div_rem_pairs(f: &mut Function) -> bool {
         if f.inst(id).is_none() {
             continue;
         }
-        let Op::Bin { op: BinOp::SRem, ty, lhs, rhs } = *f.op(id) else { continue };
-        let Some(&div) = divs.get(&(lhs, rhs, ty)) else { continue };
+        let Op::Bin {
+            op: BinOp::SRem,
+            ty,
+            lhs,
+            rhs,
+        } = *f.op(id)
+        else {
+            continue;
+        };
+        let Some(&div) = divs.get(&(lhs, rhs, ty)) else {
+            continue;
+        };
         if div == id {
             continue;
         }
         let (db, di) = pos[&div];
         let (rb, ri) = pos[&id];
-        let dominates = if db == rb { di < ri } else { dt.strictly_dominates(db, rb) };
+        let dominates = if db == rb {
+            di < ri
+        } else {
+            dt.strictly_dominates(db, rb)
+        };
         if !dominates {
             continue;
         }
         // rem = a - (a/b)*b ; insert mul then rewrite rem to sub
-        let mul = f.insert_inst(rb, ri, Op::Bin { op: BinOp::Mul, ty, lhs: Value::Inst(div), rhs });
-        f.inst_mut(id).unwrap().op = Op::Bin { op: BinOp::Sub, ty, lhs, rhs: Value::Inst(mul) };
+        let mul = f.insert_inst(
+            rb,
+            ri,
+            Op::Bin {
+                op: BinOp::Mul,
+                ty,
+                lhs: Value::Inst(div),
+                rhs,
+            },
+        );
+        f.inst_mut(id).unwrap().op = Op::Bin {
+            op: BinOp::Sub,
+            ty,
+            lhs,
+            rhs: Value::Inst(mul),
+        };
         changed = true;
     }
     changed
@@ -649,12 +773,21 @@ fn float_to_int(f: &mut Function) -> bool {
         if f.inst(id).is_none() {
             continue;
         }
-        let Op::Cast { kind: CastKind::FpToSi, to, val } = *f.op(id) else { continue };
+        let Op::Cast {
+            kind: CastKind::FpToSi,
+            to,
+            val,
+        } = *f.op(id)
+        else {
+            continue;
+        };
         if to != Ty::I32 {
             continue;
         }
         let Value::Inst(fop) = val else { continue };
-        let Op::Bin { op, lhs, rhs, .. } = *f.op(fop) else { continue };
+        let Op::Bin { op, lhs, rhs, .. } = *f.op(fop) else {
+            continue;
+        };
         let iop = match op {
             BinOp::FAdd => BinOp::Add,
             BinOp::FSub => BinOp::Sub,
@@ -663,7 +796,14 @@ fn float_to_int(f: &mut Function) -> bool {
         };
         let as_narrow_int = |v: Value, f: &Function| -> Option<Value> {
             let Value::Inst(c) = v else { return None };
-            let Op::Cast { kind: CastKind::SiToFp, val, .. } = *f.op(c) else { return None };
+            let Op::Cast {
+                kind: CastKind::SiToFp,
+                val,
+                ..
+            } = *f.op(c)
+            else {
+                return None;
+            };
             let ty = match val {
                 Value::Inst(i) => f.op(i).result_ty(),
                 Value::Arg(i) => f.params.get(i as usize).copied()?,
@@ -680,10 +820,18 @@ fn float_to_int(f: &mut Function) -> bool {
                 _ => None,
             }
         };
-        let (Some(a), Some(b)) = (as_narrow_int(lhs, f), as_narrow_int(rhs, f)) else { continue };
+        let (Some(a), Some(b)) = (as_narrow_int(lhs, f), as_narrow_int(rhs, f)) else {
+            continue;
+        };
         // operand widths must match the i32 result; widen i8 sources
         let block = f.inst(id).unwrap().block;
-        let posn = f.block(block).unwrap().insts.iter().position(|&i| i == id).unwrap();
+        let posn = f
+            .block(block)
+            .unwrap()
+            .insts
+            .iter()
+            .position(|&i| i == id)
+            .unwrap();
         let widen = |v: Value, f: &mut Function, posn: &mut usize| -> Value {
             let ty = match v {
                 Value::Inst(i) => f.op(i).result_ty(),
@@ -694,7 +842,15 @@ fn float_to_int(f: &mut Function) -> bool {
             if ty == Ty::I32 {
                 return v;
             }
-            let c = f.insert_inst(block, *posn, Op::Cast { kind: CastKind::SExt, to: Ty::I32, val: v });
+            let c = f.insert_inst(
+                block,
+                *posn,
+                Op::Cast {
+                    kind: CastKind::SExt,
+                    to: Ty::I32,
+                    val: v,
+                },
+            );
             *posn += 1;
             Value::Inst(c)
         };
@@ -716,7 +872,12 @@ fn float_to_int(f: &mut Function) -> bool {
         let mut p = posn;
         let wa = widen(a, f, &mut p);
         let wb = widen(b, f, &mut p);
-        f.inst_mut(id).unwrap().op = Op::Bin { op: iop, ty: Ty::I32, lhs: wa, rhs: wb };
+        f.inst_mut(id).unwrap().op = Op::Bin {
+            op: iop,
+            ty: Ty::I32,
+            lhs: wa,
+            rhs: wb,
+        };
         changed = true;
     }
     changed
@@ -774,9 +935,25 @@ fn sink_stores(f: &mut Function) -> bool {
                 _ => None,
             }
         };
-        let (Some(sa), Some(sb)) = (last_store(a, f), last_store(b, f)) else { continue };
-        let Op::Store { ty: ta, val: va, ptr: pa } = *f.op(sa) else { continue };
-        let Op::Store { ty: tb, val: vb, ptr: pb } = *f.op(sb) else { continue };
+        let (Some(sa), Some(sb)) = (last_store(a, f), last_store(b, f)) else {
+            continue;
+        };
+        let Op::Store {
+            ty: ta,
+            val: va,
+            ptr: pa,
+        } = *f.op(sa)
+        else {
+            continue;
+        };
+        let Op::Store {
+            ty: tb,
+            val: vb,
+            ptr: pb,
+        } = *f.op(sb)
+        else {
+            continue;
+        };
         if ta != tb || pa != pb {
             continue;
         }
@@ -789,7 +966,14 @@ fn sink_stores(f: &mut Function) -> bool {
             _ => continue,
         };
         let _ = head;
-        let phi = f.insert_inst(m, 0, Op::Phi { ty: ta, incomings: vec![(a, va), (b, vb)] });
+        let phi = f.insert_inst(
+            m,
+            0,
+            Op::Phi {
+                ty: ta,
+                incomings: vec![(a, va), (b, vb)],
+            },
+        );
         // insert the merged store after the phis of m
         let first_non_phi = f
             .block(m)
@@ -798,7 +982,15 @@ fn sink_stores(f: &mut Function) -> bool {
             .iter()
             .position(|&i| !matches!(f.op(i), Op::Phi { .. }))
             .unwrap_or(0);
-        f.insert_inst(m, first_non_phi, Op::Store { ty: ta, val: Value::Inst(phi), ptr: pa });
+        f.insert_inst(
+            m,
+            first_non_phi,
+            Op::Store {
+                ty: ta,
+                val: Value::Inst(phi),
+                ptr: pa,
+            },
+        );
         f.remove_inst(sa);
         f.remove_inst(sb);
         changed = true;
@@ -853,7 +1045,12 @@ fn memcpy_forward(m: &Module, f: &mut Function) -> bool {
                 continue;
             }
             match f.op(id).clone() {
-                Op::MemCpy { elem_ty, dst: _, src, len } => {
+                Op::MemCpy {
+                    elem_ty,
+                    dst: _,
+                    src,
+                    len,
+                } => {
                     // chain: if src is itself the dst of an active memcpy
                     // with the same length, read from the original source
                     if let Some((_, orig_src, olen, oty)) =
@@ -866,13 +1063,17 @@ fn memcpy_forward(m: &Module, f: &mut Function) -> bool {
                             }
                         }
                     }
-                    let Op::MemCpy { dst, src, len, elem_ty } = f.op(id).clone() else {
+                    let Op::MemCpy {
+                        dst,
+                        src,
+                        len,
+                        elem_ty,
+                    } = f.op(id).clone()
+                    else {
                         unreachable!()
                     };
                     // this copy clobbers dst
-                    active.retain(|(d, s, _, _)| {
-                        !may_alias(f, *d, dst) && !may_alias(f, *s, dst)
-                    });
+                    active.retain(|(d, s, _, _)| !may_alias(f, *d, dst) && !may_alias(f, *s, dst));
                     active.push((dst, src, len, elem_ty));
                 }
                 Op::Store { ptr, .. } | Op::MemSet { dst: ptr, .. } => {
@@ -893,7 +1094,12 @@ fn memcpy_forward(m: &Module, f: &mut Function) -> bool {
                             break;
                         }
                         if let Value::Inst(gi) = ptr {
-                            if let Op::Gep { ptr: base, index, elem_ty } = f.op(gi) {
+                            if let Op::Gep {
+                                ptr: base,
+                                index,
+                                elem_ty,
+                            } = f.op(gi)
+                            {
                                 if *base == *d && *elem_ty == ty {
                                     if let (Some(k), Some(n)) = (index.const_int(), len.const_int())
                                     {
@@ -910,7 +1116,11 @@ fn memcpy_forward(m: &Module, f: &mut Function) -> bool {
                                             let g = f.insert_inst(
                                                 blk,
                                                 posn,
-                                                Op::Gep { elem_ty: ty, ptr: *s, index: Value::i64(k) },
+                                                Op::Gep {
+                                                    elem_ty: ty,
+                                                    ptr: *s,
+                                                    index: Value::i64(k),
+                                                },
                                             );
                                             redirect = Some(Value::Inst(g));
                                             break;
@@ -927,10 +1137,8 @@ fn memcpy_forward(m: &Module, f: &mut Function) -> bool {
                         }
                     }
                 }
-                Op::Call { callee, .. } => {
-                    if !crate::util::call_is_readonly(m, callee) {
-                        active.clear();
-                    }
+                Op::Call { callee, .. } if !crate::util::call_is_readonly(m, callee) => {
+                    active.clear();
                 }
                 _ => {}
             }
@@ -1073,7 +1281,9 @@ bb2:
 }
 "#;
         let mut m = parse_module(text).unwrap();
-        crate::manager::PassManager::new().run_pass(&mut m, "tailcallelim").unwrap();
+        crate::manager::PassManager::new()
+            .run_pass(&mut m, "tailcallelim")
+            .unwrap();
         let out = Interpreter::new(&m).run("count", &[RtVal::Int(5000), RtVal::Int(0)]);
         assert_eq!(out.result, Ok(Some(RtVal::Int(5000 * 5001 / 2))));
     }
@@ -1185,7 +1395,11 @@ bb2:
 }
 "#,
             &["div-rem-pairs"],
-            &[vec![RtVal::Int(17), RtVal::Int(5)], vec![RtVal::Int(-17), RtVal::Int(5)], vec![RtVal::Int(17), RtVal::Int(0)]],
+            &[
+                vec![RtVal::Int(17), RtVal::Int(5)],
+                vec![RtVal::Int(-17), RtVal::Int(5)],
+                vec![RtVal::Int(17), RtVal::Int(0)],
+            ],
         );
         assert_eq!(count_ops(&m, "srem"), 0);
         assert_eq!(count_ops(&m, "sdiv"), 1);
@@ -1278,7 +1492,13 @@ bb0:
             "module \"m\"\nfn @f() -> void internal {\nbb0:\n  ret\n}\n",
         )
         .unwrap();
-        for p in ["lower-expect", "lower-constant-intrinsics", "alignment-from-assumptions", "ee-instrument", "barrier"] {
+        for p in [
+            "lower-expect",
+            "lower-constant-intrinsics",
+            "alignment-from-assumptions",
+            "ee-instrument",
+            "barrier",
+        ] {
             assert!(!pm.run_pass(&mut m, p).unwrap());
         }
     }

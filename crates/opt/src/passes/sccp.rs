@@ -278,7 +278,11 @@ fn sccp_function(m: &Module, f: &mut Function, arg_consts: &HashMap<u32, Const>)
             let op = f.op(id);
             if op.is_terminator() {
                 let succs: Vec<BlockId> = match op {
-                    Op::CondBr { cond, then_bb, else_bb } => match lattice_of(*cond, &value) {
+                    Op::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => match lattice_of(*cond, &value) {
                         Lattice::Const(c) => {
                             if c.as_int() == Some(1) {
                                 vec![*then_bb]
@@ -343,10 +347,21 @@ fn sccp_function(m: &Module, f: &mut Function, arg_consts: &HashMap<u32, Const>)
         }
     }
     for b in f.block_ids().collect::<Vec<_>>() {
-        let Some(term) = f.terminator(b) else { continue };
-        if let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() {
+        let Some(term) = f.terminator(b) else {
+            continue;
+        };
+        if let Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.op(term).clone()
+        {
             if let Some(c) = cond.const_int() {
-                let (taken, dropped) = if c != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                let (taken, dropped) = if c != 0 {
+                    (then_bb, else_bb)
+                } else {
+                    (else_bb, then_bb)
+                };
                 if taken != dropped {
                     f.inst_mut(term).unwrap().op = Op::Br { target: taken };
                     f.remove_phi_incoming(dropped, b);
@@ -363,7 +378,7 @@ fn sccp_function(m: &Module, f: &mut Function, arg_consts: &HashMap<u32, Const>)
 /// Folds an operation whose operands are all constants (scratch copy, not
 /// part of any function).
 fn fold_scratch(op: &Op) -> Option<Const> {
-    use posetrl_ir::interp::{eval_bin, eval_cast, RtVal};
+    use posetrl_ir::interp::{eval_bin, RtVal};
     let cv = |v: Value| -> Option<RtVal> {
         match v.as_const()? {
             Const::Int { val, .. } => Some(RtVal::Int(val)),
@@ -380,12 +395,12 @@ fn fold_scratch(op: &Op) -> Option<Const> {
                 _ => None,
             }
         }
-        Op::Icmp { pred, lhs, rhs, .. } => {
-            Some(Const::bool(pred.eval(lhs.as_const()?.as_int()?, rhs.as_const()?.as_int()?)))
-        }
-        Op::Fcmp { pred, lhs, rhs } => {
-            Some(Const::bool(pred.eval(lhs.as_const()?.as_float()?, rhs.as_const()?.as_float()?)))
-        }
+        Op::Icmp { pred, lhs, rhs, .. } => Some(Const::bool(
+            pred.eval(lhs.as_const()?.as_int()?, rhs.as_const()?.as_int()?),
+        )),
+        Op::Fcmp { pred, lhs, rhs } => Some(Const::bool(
+            pred.eval(lhs.as_const()?.as_float()?, rhs.as_const()?.as_float()?),
+        )),
         Op::Cast { kind, to, val } => {
             let src = val.as_const()?.ty();
             let r = posetrl_ir::interp::eval_cast_src(*kind, *to, src, cv(*val)?).ok()?;
@@ -395,7 +410,9 @@ fn fold_scratch(op: &Op) -> Option<Const> {
                 _ => None,
             }
         }
-        Op::Select { cond, tval, fval, .. } => {
+        Op::Select {
+            cond, tval, fval, ..
+        } => {
             let c = cond.as_const()?.as_int()?;
             (if c != 0 { tval } else { fval }).as_const()
         }

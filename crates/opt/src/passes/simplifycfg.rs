@@ -52,13 +52,24 @@ pub fn simplify_function(f: &mut Function) -> bool {
 fn fold_constant_branches(f: &mut Function) -> bool {
     let mut changed = false;
     for b in f.block_ids().collect::<Vec<_>>() {
-        let Some(term) = f.terminator(b) else { continue };
-        if let Op::CondBr { cond, then_bb, else_bb } = f.op(term).clone() {
+        let Some(term) = f.terminator(b) else {
+            continue;
+        };
+        if let Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.op(term).clone()
+        {
             if then_bb == else_bb {
                 f.inst_mut(term).unwrap().op = Op::Br { target: then_bb };
                 changed = true;
             } else if let Some(c) = cond.const_int() {
-                let (taken, dropped) = if c != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                let (taken, dropped) = if c != 0 {
+                    (then_bb, else_bb)
+                } else {
+                    (else_bb, then_bb)
+                };
                 f.inst_mut(term).unwrap().op = Op::Br { target: taken };
                 f.remove_phi_incoming(dropped, b);
                 changed = true;
@@ -76,8 +87,12 @@ fn merge_linear_blocks(f: &mut Function) -> bool {
         let preds = f.predecessors();
         let mut merged = false;
         for b in f.block_ids().collect::<Vec<_>>() {
-            let Some(term) = f.terminator(b) else { continue };
-            let Op::Br { target: s } = *f.op(term) else { continue };
+            let Some(term) = f.terminator(b) else {
+                continue;
+            };
+            let Op::Br { target: s } = *f.op(term) else {
+                continue;
+            };
             if s == b || s == f.entry {
                 continue;
             }
@@ -93,7 +108,9 @@ fn merge_linear_blocks(f: &mut Function) -> bool {
                         .iter()
                         .find(|(p, _)| *p == b)
                         .map(|(_, v)| *v)
-                        .unwrap_or(Value::Const(posetrl_ir::Const::Undef(f.op(*id).result_ty())));
+                        .unwrap_or(Value::Const(posetrl_ir::Const::Undef(
+                            f.op(*id).result_ty(),
+                        )));
                     f.replace_all_uses(Value::Inst(*id), v);
                     f.remove_inst(*id);
                 }
@@ -134,7 +151,9 @@ fn forward_empty_blocks(f: &mut Function) -> bool {
             if insts.len() != 1 {
                 continue;
             }
-            let Op::Br { target } = *f.op(insts[0]) else { continue };
+            let Op::Br { target } = *f.op(insts[0]) else {
+                continue;
+            };
             if target == b {
                 continue;
             }
@@ -173,7 +192,10 @@ fn forward_empty_blocks(f: &mut Function) -> bool {
             let target_insts: Vec<InstId> = f.block(target).unwrap().insts.clone();
             for p in &bs_preds {
                 let t = f.terminator(*p).unwrap();
-                f.inst_mut(t).unwrap().op.map_blocks(|x| if x == b { target } else { x });
+                f.inst_mut(t)
+                    .unwrap()
+                    .op
+                    .map_blocks(|x| if x == b { target } else { x });
                 for id in &target_insts {
                     if let Op::Phi { incomings, .. } = &mut f.inst_mut(*id).unwrap().op {
                         if let Some((_, v)) = incomings.iter().find(|(pb, _)| *pb == b).copied() {
@@ -217,7 +239,9 @@ fn if_convert_to_selects(f: &mut Function) -> bool {
         let (a, b) = (preds[0], preds[1]);
         // Identify the branch block c and the shape.
         let shape = diamond_or_triangle(f, &cfg, a, b, m);
-        let Some((c, cond, then_side, else_side)) = shape else { continue };
+        let Some((c, cond, then_side, else_side)) = shape else {
+            continue;
+        };
         // Collect the phis of m.
         let phi_ids: Vec<InstId> = f
             .block(m)
@@ -233,8 +257,11 @@ fn if_convert_to_selects(f: &mut Function) -> bool {
         // Replace each phi with a select inserted at the end of c.
         let mut rewrites = Vec::new();
         for id in &phi_ids {
-            let Op::Phi { ty, incomings } = f.op(*id).clone() else { unreachable!() };
-            let val_of = |side: BlockId| incomings.iter().find(|(p, _)| *p == side).map(|(_, v)| *v);
+            let Op::Phi { ty, incomings } = f.op(*id).clone() else {
+                unreachable!()
+            };
+            let val_of =
+                |side: BlockId| incomings.iter().find(|(p, _)| *p == side).map(|(_, v)| *v);
             let (Some(tv), Some(fv)) = (val_of(then_side), val_of(else_side)) else {
                 rewrites.clear();
                 break;
@@ -245,7 +272,15 @@ fn if_convert_to_selects(f: &mut Function) -> bool {
             continue;
         }
         for (id, ty, tv, fv) in rewrites {
-            let sel = f.insert_before_terminator(c, Op::Select { ty, cond, tval: tv, fval: fv });
+            let sel = f.insert_before_terminator(
+                c,
+                Op::Select {
+                    ty,
+                    cond,
+                    tval: tv,
+                    fval: fv,
+                },
+            );
             f.replace_all_uses(Value::Inst(id), Value::Inst(sel));
             f.remove_inst(id);
         }
@@ -281,7 +316,12 @@ fn diamond_or_triangle(
     if is_empty_fwd(a) && is_empty_fwd(b) {
         let (ca, cb) = (single_pred(a)?, single_pred(b)?);
         if ca == cb {
-            if let Op::CondBr { cond, then_bb, else_bb } = f.op(f.terminator(ca)?) {
+            if let Op::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } = f.op(f.terminator(ca)?)
+            {
                 if (*then_bb == a && *else_bb == b) || (*then_bb == b && *else_bb == a) {
                     let (t, e) = if *then_bb == a { (a, b) } else { (b, a) };
                     return Some((ca, *cond, t, e));
@@ -291,15 +331,18 @@ fn diamond_or_triangle(
     }
     // Triangle: one pred is the branch block itself, the other an empty fwd.
     for (side, other) in [(a, b), (b, a)] {
-        if is_empty_fwd(side) {
-            if single_pred(side)? == other {
-                if let Op::CondBr { cond, then_bb, else_bb } = f.op(f.terminator(other)?) {
-                    if *then_bb == side && *else_bb == m {
-                        return Some((other, *cond, side, other));
-                    }
-                    if *then_bb == m && *else_bb == side {
-                        return Some((other, *cond, other, side));
-                    }
+        if is_empty_fwd(side) && single_pred(side)? == other {
+            if let Op::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } = f.op(f.terminator(other)?)
+            {
+                if *then_bb == side && *else_bb == m {
+                    return Some((other, *cond, side, other));
+                }
+                if *then_bb == m && *else_bb == side {
+                    return Some((other, *cond, other, side));
                 }
             }
         }
@@ -309,7 +352,7 @@ fn diamond_or_triangle(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::testutil::{assert_preserves, count_ops};
     use posetrl_ir::interp::RtVal;
 

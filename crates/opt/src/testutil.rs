@@ -35,7 +35,11 @@ pub fn assert_preserves(text: &str, passes: &[&str], arg_sets: &[Vec<RtVal>]) ->
         );
     }
     let default_args = vec![Vec::new()];
-    let sets = if arg_sets.is_empty() { &default_args } else { arg_sets };
+    let sets = if arg_sets.is_empty() {
+        &default_args
+    } else {
+        arg_sets
+    };
     for args in sets {
         let before = observe(&m0, args);
         let after = observe(&m1, args);
@@ -55,7 +59,10 @@ pub fn count_ops(m: &Module, kind: &str) -> usize {
     m.func_ids()
         .map(|fid| {
             let f = m.func(fid).unwrap();
-            f.inst_ids().iter().filter(|&&id| f.op(id).kind_name() == kind).count()
+            f.inst_ids()
+                .iter()
+                .filter(|&&id| f.op(id).kind_name() == kind)
+                .count()
         })
         .sum()
 }

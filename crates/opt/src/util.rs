@@ -1,7 +1,7 @@
 //! Shared helpers used by many passes.
 
 use posetrl_ir::analysis::Cfg;
-use posetrl_ir::interp::{eval_bin, eval_cast, RtVal};
+use posetrl_ir::interp::{eval_bin, RtVal};
 use posetrl_ir::{BlockId, Const, FuncId, Function, GlobalId, InstId, Module, Op, Ty, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -169,7 +169,9 @@ pub fn fold_inst(f: &Function, id: InstId) -> Option<Const> {
             let r = posetrl_ir::interp::eval_cast_src(*kind, *to, c.ty(), v).ok()?;
             rt_const(r, *to)
         }
-        Op::Select { cond, tval, fval, .. } => {
+        Op::Select {
+            cond, tval, fval, ..
+        } => {
             let c = cond.as_const()?.as_int()?;
             let v = if c != 0 { tval } else { fval };
             v.as_const()

@@ -179,7 +179,12 @@ fn check_pipeline(text: &str, passes: &[&str], label: &str) {
         panic!("verifier after {label}: {e}\n{}", print_module(&m));
     }
     let after = observe(&m);
-    assert_eq!(before, after, "behaviour changed by {label}\n{}", print_module(&m));
+    assert_eq!(
+        before,
+        after,
+        "behaviour changed by {label}\n{}",
+        print_module(&m)
+    );
 }
 
 fn programs() -> Vec<(&'static str, &'static str)> {
@@ -216,7 +221,9 @@ fn o1_and_o2_preserve_semantics() {
 fn oz_reduces_size_on_matmul() {
     let m0 = parse_module(PROGRAM_MATMUL).unwrap();
     let mut m = m0.clone();
-    PassManager::new().run_pipeline(&mut m, &pipelines::oz()).unwrap();
+    PassManager::new()
+        .run_pipeline(&mut m, &pipelines::oz())
+        .unwrap();
     assert!(
         m.num_insts() < m0.num_insts(),
         "Oz shrinks the matmul module: {} -> {}",
@@ -253,10 +260,18 @@ fn every_single_pass_is_individually_safe() {
             let mut m = m0.clone();
             pm.run_pass(&mut m, pass).unwrap();
             if let Err(e) = verify_module(&m) {
-                panic!("verifier after -{pass} on {name}: {e}\n{}", print_module(&m));
+                panic!(
+                    "verifier after -{pass} on {name}: {e}\n{}",
+                    print_module(&m)
+                );
             }
             let after = observe(&m);
-            assert_eq!(before, after, "-{pass} changed behaviour of {name}\n{}", print_module(&m));
+            assert_eq!(
+                before,
+                after,
+                "-{pass} changed behaviour of {name}\n{}",
+                print_module(&m)
+            );
         }
     }
 }
@@ -292,7 +307,8 @@ fn random_pass_orderings_are_safe() {
             }
             let after = observe(&m);
             assert_eq!(
-                before, after,
+                before,
+                after,
                 "random order #{round} {order:?} changed {prog_name}\n{}",
                 print_module(&m)
             );

@@ -56,7 +56,10 @@ bb0:
     let mut m = m0.clone();
     PassManager::new().run_pass(&mut m, "memcpyopt").unwrap();
     let after = run_main(&m, &[]);
-    assert_eq!(before, after, "load must not be redirected to a differently-typed source");
+    assert_eq!(
+        before, after,
+        "load must not be redirected to a differently-typed source"
+    );
 }
 
 #[test]
@@ -83,7 +86,10 @@ bb0:
     let mut m = m0.clone();
     PassManager::new().run_pass(&mut m, "bdce").unwrap();
     let after = run_main(&m, &[RtVal::Int(-1)]);
-    assert_eq!(before, after, "bdce's known-bits agree with the interpreter");
+    assert_eq!(
+        before, after,
+        "bdce's known-bits agree with the interpreter"
+    );
 }
 
 #[test]

@@ -54,11 +54,12 @@ fn optimized_output_round_trips_through_text() {
     for level in ["O1", "O2", "O3", "Oz"] {
         let mut m = parse_module(PROGRAM).unwrap();
         let before = Interpreter::new(&m).run("main", &[]).observation();
-        pm.run_pipeline(&mut m, &pipelines::by_name(level).unwrap()).unwrap();
+        pm.run_pipeline(&mut m, &pipelines::by_name(level).unwrap())
+            .unwrap();
 
         let text = print_module(&m);
-        let reparsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("{level} output re-parses: {e}\n{text}"));
+        let reparsed =
+            parse_module(&text).unwrap_or_else(|e| panic!("{level} output re-parses: {e}\n{text}"));
         verify_module(&reparsed).unwrap_or_else(|e| panic!("{level}: {e}\n{text}"));
 
         // printing is canonical: a second round trip is a fixed point
@@ -66,7 +67,10 @@ fn optimized_output_round_trips_through_text() {
         assert_eq!(text, text2, "{level}: printing is stable");
 
         let after = Interpreter::new(&reparsed).run("main", &[]).observation();
-        assert_eq!(before, after, "{level}: behaviour survives the text round trip");
+        assert_eq!(
+            before, after,
+            "{level}: behaviour survives the text round trip"
+        );
     }
 }
 
@@ -85,7 +89,6 @@ fn every_single_pass_output_round_trips() {
 
 #[test]
 fn generated_workloads_round_trip() {
-    use posetrl_workloads_stub::*;
     // (generated programs are covered by the workloads crate itself; here we
     // only need one hand case that mixes f64, i8 and casts)
     let text = r#"

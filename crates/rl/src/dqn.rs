@@ -104,7 +104,15 @@ impl DqnAgent {
         let optimizer = Adam::new(&online, config.lr);
         let replay = ReplayBuffer::new(config.replay_capacity);
         let rng = StdRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A);
-        DqnAgent { config, online, target, optimizer, replay, rng, steps: 0 }
+        DqnAgent {
+            config,
+            online,
+            target,
+            optimizer,
+            replay,
+            rng,
+            steps: 0,
+        }
     }
 
     /// The agent's configuration.
@@ -161,7 +169,7 @@ impl DqnAgent {
         for _ in 0..n {
             loss += self.train_batch();
         }
-        if self.steps % self.config.target_sync_every == 0 {
+        if self.steps.is_multiple_of(self.config.target_sync_every) {
             self.sync_target();
         }
         Some(loss / n as f64)

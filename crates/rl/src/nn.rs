@@ -23,8 +23,16 @@ impl Dense {
     fn new(n_in: usize, n_out: usize, relu: bool, rng: &mut StdRng) -> Dense {
         // He initialization
         let scale = (2.0 / n_in as f64).sqrt();
-        let w = (0..n_in * n_out).map(|_| rng.gen_range(-1.0..1.0) * scale).collect();
-        Dense { w, b: vec![0.0; n_out], n_in, n_out, relu }
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-1.0..1.0) * scale)
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            relu,
+        }
     }
 
     fn forward(&self, x: &[f64], pre: &mut Vec<f64>, out: &mut Vec<f64>) {
@@ -159,19 +167,19 @@ impl Mlp {
                 }
             }
             let x = &cache.inputs[li];
-            for o in 0..layer.n_out {
-                grads.db[li][o] += delta[o];
+            for (o, &d) in delta.iter().enumerate().take(layer.n_out) {
+                grads.db[li][o] += d;
                 let row = &mut grads.dw[li][o * layer.n_in..(o + 1) * layer.n_in];
                 for (g, xi) in row.iter_mut().zip(x) {
-                    *g += delta[o] * xi;
+                    *g += d * xi;
                 }
             }
             if li > 0 {
                 let mut prev = vec![0.0; layer.n_in];
-                for o in 0..layer.n_out {
+                for (o, &d) in delta.iter().enumerate().take(layer.n_out) {
                     let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
                     for (p, wi) in prev.iter_mut().zip(row) {
-                        *p += delta[o] * wi;
+                        *p += d * wi;
                     }
                 }
                 delta = prev;
@@ -314,10 +322,18 @@ mod tests {
         // loss = 0.5 * sum (y - t)^2
         let loss_of = |mlp: &Mlp| -> f64 {
             let y = mlp.forward(&x);
-            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b) * (a - b)).sum()
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| 0.5 * (a - b) * (a - b))
+                .sum()
         };
         let cache = mlp.forward_cache(&x);
-        let dout: Vec<f64> = cache.output().iter().zip(&target).map(|(a, b)| a - b).collect();
+        let dout: Vec<f64> = cache
+            .output()
+            .iter()
+            .zip(&target)
+            .map(|(a, b)| a - b)
+            .collect();
         let grads = mlp.backward(&cache, &dout);
 
         let eps = 1e-6;
@@ -366,10 +382,13 @@ mod tests {
             })
             .collect();
         let loss_now = |mlp: &Mlp| -> f64 {
-            data.iter().map(|(x, t)| {
-                let y = mlp.forward(x)[0];
-                0.5 * (y - t) * (y - t)
-            }).sum::<f64>() / data.len() as f64
+            data.iter()
+                .map(|(x, t)| {
+                    let y = mlp.forward(x)[0];
+                    0.5 * (y - t) * (y - t)
+                })
+                .sum::<f64>()
+                / data.len() as f64
         };
         let initial = loss_now(&mlp);
         for _ in 0..300 {
@@ -383,7 +402,10 @@ mod tests {
             opt.step(&mut mlp, &grads);
         }
         let final_loss = loss_now(&mlp);
-        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.05,
+            "loss {initial} -> {final_loss}"
+        );
     }
 
     #[test]
@@ -411,8 +433,14 @@ mod tests {
     fn deterministic_init() {
         let a = Mlp::new(&[4, 4, 4], 9);
         let b = Mlp::new(&[4, 4, 4], 9);
-        assert_eq!(a.forward(&[1.0, 2.0, 3.0, 4.0]), b.forward(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(
+            a.forward(&[1.0, 2.0, 3.0, 4.0]),
+            b.forward(&[1.0, 2.0, 3.0, 4.0])
+        );
         let c = Mlp::new(&[4, 4, 4], 10);
-        assert_ne!(a.forward(&[1.0, 2.0, 3.0, 4.0]), c.forward(&[1.0, 2.0, 3.0, 4.0]));
+        assert_ne!(
+            a.forward(&[1.0, 2.0, 3.0, 4.0]),
+            c.forward(&[1.0, 2.0, 3.0, 4.0])
+        );
     }
 }

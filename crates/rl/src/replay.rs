@@ -35,7 +35,11 @@ impl ReplayBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ReplayBuffer {
         assert!(capacity > 0, "replay capacity must be positive");
-        ReplayBuffer { capacity, items: Vec::new(), next: 0 }
+        ReplayBuffer {
+            capacity,
+            items: Vec::new(),
+            next: 0,
+        }
     }
 
     /// Adds a transition, evicting the oldest when full.
@@ -60,7 +64,9 @@ impl ReplayBuffer {
 
     /// Uniformly samples `n` transitions (with replacement).
     pub fn sample<'a>(&'a self, rng: &mut StdRng, n: usize) -> Vec<&'a Transition> {
-        (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+        (0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
     }
 }
 
@@ -70,7 +76,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(r: f64) -> Transition {
-        Transition { state: vec![r], action: 0, reward: r, next_state: vec![r], done: false }
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![r],
+            done: false,
+        }
     }
 
     #[test]

@@ -1,10 +1,10 @@
 #[test]
 fn weights_round_trip() {
-    let mlp = posetrl_rl::Mlp::new(&[3,4,2], 5);
+    let mlp = posetrl_rl::Mlp::new(&[3, 4, 2], 5);
     let json = serde_json::to_string(&mlp).unwrap();
     let back: posetrl_rl::Mlp = serde_json::from_str(&json).unwrap();
-    for (a,b) in mlp.layers.iter().zip(&back.layers) {
-        for (x,y) in a.w.iter().zip(&b.w) {
+    for (a, b) in mlp.layers.iter().zip(&back.layers) {
+        for (x, y) in a.w.iter().zip(&b.w) {
             assert_eq!(x, y, "weight mismatch");
         }
     }

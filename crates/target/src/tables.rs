@@ -1,0 +1,352 @@
+//! Per-target cost tables shared by the size, MCA and runtime models.
+//!
+//! Every IR instruction is classified once, into an [`InstCost`] describing
+//! how instruction selection would lower it on the target: encoded bytes,
+//! micro-ops, result latency, and the pipeline resource it occupies. The
+//! numbers model the paper's two machines — a Skylake-class Xeon (x86-64)
+//! and a Cortex-A72 (AArch64) — at the granularity `llvm-mca`'s scheduling
+//! tables provide: relative magnitudes matter (division is an order of
+//! magnitude slower than addition; loads have multi-cycle latency; AArch64
+//! dispatches narrower), absolute calibration does not, because the paper's
+//! claims are all ratios against `-Oz` on the same machine.
+
+use crate::TargetArch;
+use posetrl_ir::{BinOp, CastKind, Const, Op, Value};
+
+/// The pipeline resource class an instruction occupies while executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resource {
+    /// Integer ALU ports.
+    Alu,
+    /// Load/store ports.
+    Mem,
+    /// Floating-point / SIMD ports.
+    Fp,
+    /// Branch port.
+    Branch,
+    /// The (single, non-pipelined) divide unit.
+    Div,
+}
+
+/// Static machine description for one target.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MachineDesc {
+    /// Instructions dispatched per cycle.
+    pub dispatch_width: u32,
+    /// Number of ports per resource class (Div always has one unit).
+    pub alu_ports: u32,
+    pub mem_ports: u32,
+    pub fp_ports: u32,
+    pub branch_ports: u32,
+    /// Cycles the divider stays busy per integer divide (non-pipelined).
+    pub int_div_occupancy: f64,
+    /// Cycles the divider stays busy per FP divide.
+    pub fp_div_occupancy: f64,
+    /// Fixed per-function code-size overhead (prologue/epilogue, alignment).
+    pub function_overhead_bytes: u64,
+    /// Fixed per-object overhead (headers, symbol table stubs).
+    pub object_overhead_bytes: u64,
+}
+
+pub(crate) fn machine(arch: TargetArch) -> MachineDesc {
+    match arch {
+        // Skylake-class: 4-wide, 4 ALU ports, 2 load/store, 2 FP pipes.
+        TargetArch::X86_64 => MachineDesc {
+            dispatch_width: 4,
+            alu_ports: 4,
+            mem_ports: 2,
+            fp_ports: 2,
+            branch_ports: 1,
+            int_div_occupancy: 21.0,
+            fp_div_occupancy: 13.0,
+            function_overhead_bytes: 9,
+            object_overhead_bytes: 64,
+        },
+        // Cortex-A72: 3-wide, 2 integer pipes, 1 load + 1 store, 2 FP pipes.
+        TargetArch::AArch64 => MachineDesc {
+            dispatch_width: 3,
+            alu_ports: 2,
+            mem_ports: 2,
+            fp_ports: 2,
+            branch_ports: 1,
+            int_div_occupancy: 18.0,
+            fp_div_occupancy: 17.0,
+            function_overhead_bytes: 16,
+            object_overhead_bytes: 64,
+        },
+    }
+}
+
+impl MachineDesc {
+    pub(crate) fn ports(&self, r: Resource) -> u32 {
+        match r {
+            Resource::Alu => self.alu_ports,
+            Resource::Mem => self.mem_ports,
+            Resource::Fp => self.fp_ports,
+            Resource::Branch => self.branch_ports,
+            Resource::Div => 1,
+        }
+    }
+}
+
+/// The lowering of one IR instruction on one target.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InstCost {
+    /// Encoded machine-code bytes.
+    pub bytes: u64,
+    /// Micro-ops dispatched.
+    pub uops: u32,
+    /// Cycles until the result is available.
+    pub latency: f64,
+    /// Pipeline resource occupied.
+    pub resource: Resource,
+}
+
+/// Extra bytes an x86-64 instruction pays to carry `v` as an immediate
+/// (imm8 / imm32 / a separate 10-byte `movabs`), 0 for register operands.
+fn x86_imm_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Const(Const::Int { val, .. }) => {
+            if i8::try_from(*val).is_ok() {
+                1
+            } else if i32::try_from(*val).is_ok() {
+                4
+            } else {
+                10
+            }
+        }
+        // FP constants live in .rodata; the instruction pays a 4-byte
+        // RIP-relative displacement and the pool entry is counted here too.
+        Value::Const(Const::Float(_)) => 4 + 8,
+        _ => 0,
+    }
+}
+
+/// Extra 4-byte `movz`/`movk` instructions AArch64 needs to materialize `v`
+/// (a 12-bit immediate is free inside the consuming instruction).
+fn a64_imm_insts(v: &Value) -> u32 {
+    match v {
+        Value::Const(Const::Int { val, .. }) => {
+            let magnitude = val.unsigned_abs();
+            if magnitude < 1 << 12 {
+                0
+            } else if magnitude < 1 << 16 {
+                1
+            } else if magnitude < 1 << 32 {
+                2
+            } else {
+                3
+            }
+        }
+        // `ldr` from the literal pool: one extra instruction + pool entry.
+        Value::Const(Const::Float(_)) => 1 + 2,
+        _ => 0,
+    }
+}
+
+fn x86_imm_total(ops: &[&Value]) -> u64 {
+    ops.iter().map(|v| x86_imm_bytes(v)).sum()
+}
+
+fn a64_imm_total(ops: &[&Value]) -> u32 {
+    ops.iter().map(|v| a64_imm_insts(v)).sum()
+}
+
+/// Classifies `op` on `arch`.
+///
+/// The byte model is the essence of the x86-vs-AArch64 difference the paper
+/// measures: x86-64 instructions take 1–15 bytes depending on operands and
+/// immediates, AArch64 instructions are always 4-byte units (possibly
+/// several per IR operation).
+pub(crate) fn inst_cost(op: &Op, arch: TargetArch) -> InstCost {
+    let desc = machine(arch);
+    match arch {
+        TargetArch::X86_64 => x86_cost(op, &desc),
+        TargetArch::AArch64 => a64_cost(op, &desc),
+    }
+}
+
+fn x86_cost(op: &Op, desc: &MachineDesc) -> InstCost {
+    let c = |bytes: u64, uops: u32, latency: f64, resource: Resource| InstCost {
+        bytes,
+        uops,
+        latency,
+        resource,
+    };
+    match op {
+        Op::Bin {
+            op: b, lhs, rhs, ..
+        } => {
+            let imm = x86_imm_total(&[lhs, rhs]);
+            match b {
+                BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor => {
+                    c(3 + imm, 1, 1.0, Resource::Alu)
+                }
+                BinOp::Mul => c(4 + imm, 1, 3.0, Resource::Alu),
+                // cqo + idiv; a constant divisor needs a mov into a register
+                BinOp::SDiv => c(7 + imm, 2, desc.int_div_occupancy, Resource::Div),
+                BinOp::SRem => c(7 + imm, 2, desc.int_div_occupancy + 3.0, Resource::Div),
+                BinOp::Shl | BinOp::AShr | BinOp::LShr => c(4 + imm, 1, 1.0, Resource::Alu),
+                BinOp::FAdd | BinOp::FSub => c(4 + imm, 1, 4.0, Resource::Fp),
+                BinOp::FMul => c(4 + imm, 1, 4.0, Resource::Fp),
+                BinOp::FDiv => c(4 + imm, 1, desc.fp_div_occupancy, Resource::Div),
+            }
+        }
+        Op::Icmp { lhs, rhs, .. } => c(3 + x86_imm_total(&[lhs, rhs]), 1, 1.0, Resource::Alu),
+        // ucomisd + setcc
+        Op::Fcmp { lhs, rhs, .. } => c(7 + x86_imm_total(&[lhs, rhs]), 2, 3.0, Resource::Fp),
+        // test + cmov
+        Op::Select { tval, fval, .. } => c(6 + x86_imm_total(&[tval, fval]), 2, 2.0, Resource::Alu),
+        Op::Cast { kind, val, .. } => {
+            let imm = x86_imm_total(&[val]);
+            match kind {
+                CastKind::Trunc => c(2 + imm, 1, 1.0, Resource::Alu),
+                CastKind::ZExt => c(3 + imm, 1, 1.0, Resource::Alu),
+                CastKind::SExt => c(4 + imm, 1, 1.0, Resource::Alu),
+                CastKind::SiToFp => c(5 + imm, 1, 5.0, Resource::Fp),
+                CastKind::FpToSi => c(5 + imm, 1, 6.0, Resource::Fp),
+            }
+        }
+        // folded into the frame: an lea materializing the slot address
+        Op::Alloca { .. } => c(4, 1, 1.0, Resource::Alu),
+        Op::Load { .. } => c(4, 1, 5.0, Resource::Mem),
+        Op::Store { val, .. } => c(4 + x86_imm_total(&[val]), 1, 1.0, Resource::Mem),
+        Op::Gep { index, .. } => c(4 + x86_imm_total(&[index]), 1, 1.0, Resource::Alu),
+        // call rel32 plus argument-marshalling moves
+        Op::Call { args, .. } => {
+            let marshal: u64 = args.iter().map(x86_imm_bytes).sum::<u64>() + 2 * args.len() as u64;
+            c(5 + marshal, 2 + args.len() as u32, 3.0, Resource::Branch)
+        }
+        // lowered to a register move per incoming edge, in the predecessors
+        Op::Phi { incomings, .. } => c(3 * incomings.len().max(1) as u64, 1, 1.0, Resource::Alu),
+        Op::MemCpy { len, .. } => c(10 + x86_imm_total(&[len]), 4, 20.0, Resource::Mem),
+        Op::MemSet { val, len, .. } => c(10 + x86_imm_total(&[val, len]), 4, 16.0, Resource::Mem),
+        Op::Br { .. } => c(2, 1, 1.0, Resource::Branch),
+        Op::CondBr { .. } => c(2, 1, 1.0, Resource::Branch),
+        Op::Ret { .. } => c(1, 1, 2.0, Resource::Branch),
+        Op::Unreachable => c(2, 1, 1.0, Resource::Branch),
+    }
+}
+
+fn a64_cost(op: &Op, desc: &MachineDesc) -> InstCost {
+    // AArch64: `insts` fixed-size 4-byte instructions, 1 uop each.
+    let c = |insts: u32, latency: f64, resource: Resource| InstCost {
+        bytes: 4 * insts as u64,
+        uops: insts,
+        latency,
+        resource,
+    };
+    match op {
+        Op::Bin {
+            op: b, lhs, rhs, ..
+        } => {
+            let imm = a64_imm_total(&[lhs, rhs]);
+            match b {
+                BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor => {
+                    c(1 + imm, 1.0, Resource::Alu)
+                }
+                BinOp::Mul => c(1 + imm, 3.0, Resource::Alu),
+                BinOp::SDiv => c(1 + imm, desc.int_div_occupancy, Resource::Div),
+                // sdiv + msub
+                BinOp::SRem => c(2 + imm, desc.int_div_occupancy + 3.0, Resource::Div),
+                BinOp::Shl | BinOp::AShr | BinOp::LShr => c(1 + imm, 1.0, Resource::Alu),
+                BinOp::FAdd | BinOp::FSub => c(1 + imm, 4.0, Resource::Fp),
+                BinOp::FMul => c(1 + imm, 4.0, Resource::Fp),
+                BinOp::FDiv => c(1 + imm, desc.fp_div_occupancy, Resource::Div),
+            }
+        }
+        // cmp + cset
+        Op::Icmp { lhs, rhs, .. } => c(2 + a64_imm_total(&[lhs, rhs]), 1.0, Resource::Alu),
+        // fcmp + cset
+        Op::Fcmp { lhs, rhs, .. } => c(2 + a64_imm_total(&[lhs, rhs]), 3.0, Resource::Fp),
+        Op::Select { tval, fval, .. } => c(1 + a64_imm_total(&[tval, fval]), 1.0, Resource::Alu),
+        Op::Cast { kind, val, .. } => {
+            let imm = a64_imm_total(&[val]);
+            match kind {
+                CastKind::Trunc | CastKind::ZExt | CastKind::SExt => c(1 + imm, 1.0, Resource::Alu),
+                CastKind::SiToFp => c(1 + imm, 8.0, Resource::Fp),
+                CastKind::FpToSi => c(1 + imm, 8.0, Resource::Fp),
+            }
+        }
+        Op::Alloca { .. } => c(1, 1.0, Resource::Alu),
+        Op::Load { .. } => c(1, 4.0, Resource::Mem),
+        Op::Store { val, .. } => c(1 + a64_imm_total(&[val]), 1.0, Resource::Mem),
+        Op::Gep { index, .. } => c(1 + a64_imm_total(&[index]), 1.0, Resource::Alu),
+        // bl plus argument-marshalling moves
+        Op::Call { args, .. } => {
+            let marshal: u32 = args.iter().map(a64_imm_insts).sum::<u32>() + args.len() as u32;
+            c(1 + marshal, 3.0, Resource::Branch)
+        }
+        Op::Phi { incomings, .. } => c(incomings.len().max(1) as u32, 1.0, Resource::Alu),
+        Op::MemCpy { len, .. } => c(3 + a64_imm_total(&[len]), 24.0, Resource::Mem),
+        Op::MemSet { val, len, .. } => c(3 + a64_imm_total(&[val, len]), 20.0, Resource::Mem),
+        Op::Br { .. } => c(1, 1.0, Resource::Branch),
+        Op::CondBr { .. } => c(1, 1.0, Resource::Branch),
+        Op::Ret { .. } => c(1, 2.0, Resource::Branch),
+        Op::Unreachable => c(1, 1.0, Resource::Branch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::Ty;
+
+    fn add(lhs: Value, rhs: Value) -> Op {
+        Op::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            lhs,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn aarch64_lowering_is_fixed_width() {
+        for op in [
+            add(Value::Arg(0), Value::Arg(1)),
+            add(Value::Arg(0), Value::i64(1 << 40)),
+            Op::Ret { val: None },
+            Op::Phi {
+                ty: Ty::I64,
+                incomings: vec![],
+            },
+            Op::Load {
+                ty: Ty::I64,
+                ptr: Value::Arg(0),
+            },
+        ] {
+            let c = inst_cost(&op, TargetArch::AArch64);
+            assert_eq!(c.bytes % 4, 0, "{op:?} is a whole number of 4-byte units");
+            assert_eq!(c.bytes, 4 * c.uops as u64, "{op:?} bytes match uops");
+        }
+    }
+
+    #[test]
+    fn x86_immediates_grow_with_magnitude() {
+        let small = inst_cost(&add(Value::Arg(0), Value::i64(7)), TargetArch::X86_64);
+        let medium = inst_cost(&add(Value::Arg(0), Value::i64(100_000)), TargetArch::X86_64);
+        let large = inst_cost(&add(Value::Arg(0), Value::i64(1 << 40)), TargetArch::X86_64);
+        assert!(small.bytes < medium.bytes);
+        assert!(medium.bytes < large.bytes);
+    }
+
+    #[test]
+    fn division_occupies_the_divider() {
+        for arch in TargetArch::ALL {
+            let div = Op::Bin {
+                op: BinOp::SDiv,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::Arg(1),
+            };
+            let c = inst_cost(&div, arch);
+            assert_eq!(c.resource, Resource::Div);
+            let addc = inst_cost(&add(Value::Arg(0), Value::Arg(1)), arch);
+            assert!(
+                c.latency > 10.0 * addc.latency,
+                "division is an order of magnitude slower"
+            );
+        }
+    }
+}

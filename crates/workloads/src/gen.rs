@@ -22,9 +22,24 @@ struct Knobs {
 
 fn knobs(size: SizeClass) -> Knobs {
     match size {
-        SizeClass::Small => Knobs { helpers: 3, stmts_per_fn: 10, max_loop_depth: 1, arrays: 2 },
-        SizeClass::Medium => Knobs { helpers: 7, stmts_per_fn: 16, max_loop_depth: 2, arrays: 3 },
-        SizeClass::Large => Knobs { helpers: 14, stmts_per_fn: 22, max_loop_depth: 2, arrays: 5 },
+        SizeClass::Small => Knobs {
+            helpers: 3,
+            stmts_per_fn: 10,
+            max_loop_depth: 1,
+            arrays: 2,
+        },
+        SizeClass::Medium => Knobs {
+            helpers: 7,
+            stmts_per_fn: 16,
+            max_loop_depth: 2,
+            arrays: 3,
+        },
+        SizeClass::Large => Knobs {
+            helpers: 14,
+            stmts_per_fn: 22,
+            max_loop_depth: 2,
+            arrays: 5,
+        },
     }
 }
 
@@ -59,15 +74,17 @@ pub(crate) fn generate_module(spec: &ProgramSpec) -> Module {
     let mut arrays = Vec::new();
     for a in 0..k.arrays {
         let len: u32 = *[8u32, 16, 32, 64].get(rng.gen_range(0..4)).unwrap();
-        let init: Vec<Const> =
-            (0..len).map(|i| Const::int(Ty::I64, rng.gen_range(-50..50) + i as i64)).collect();
+        let init: Vec<Const> = (0..len)
+            .map(|i| Const::int(Ty::I64, rng.gen_range(-50..50) + i as i64))
+            .collect();
         let gid = mb.add_global(format!("data{a}"), Ty::I64, len, init, true);
         arrays.push((gid, len, true));
     }
     let fp_array = if matches!(spec.kind, ProgramKind::NumericKernel | ProgramKind::Mixed) {
         let len = 16u32;
-        let init: Vec<Const> =
-            (0..len).map(|i| Const::Float(i as f64 * 0.75 + 1.0)).collect();
+        let init: Vec<Const> = (0..len)
+            .map(|i| Const::Float(i as f64 * 0.75 + 1.0))
+            .collect();
         Some((mb.add_global("fdata", Ty::F64, len, init, true), len))
     } else {
         None
@@ -83,15 +100,30 @@ pub(crate) fn generate_module(spec: &ProgramSpec) -> Module {
         mb.add_global("never_used", Ty::I64, 32, vec![], true);
     }
 
-    let mut g = Gen { rng, kind: spec.kind, print, arrays, fp_array, helpers: Vec::new() };
+    let mut g = Gen {
+        rng,
+        kind: spec.kind,
+        print,
+        arrays,
+        fp_array,
+        helpers: Vec::new(),
+    };
 
     // recursion helpers first; marked heavy so generated code never calls
     // them with unbounded arguments (main calls them with small constants)
     if matches!(spec.kind, ProgramKind::Recursive | ProgramKind::Mixed) {
         let id = g.gen_recursive_fn(&mut mb, "rec_tail", true);
-        g.helpers.push(Helper { id, n_params: 2, heavy: true });
+        g.helpers.push(Helper {
+            id,
+            n_params: 2,
+            heavy: true,
+        });
         let id = g.gen_recursive_fn(&mut mb, "rec_tree", false);
-        g.helpers.push(Helper { id, n_params: 1, heavy: true });
+        g.helpers.push(Helper {
+            id,
+            n_params: 1,
+            heavy: true,
+        });
     }
 
     // the first half of the helpers are leaf-ish (callable from others);
@@ -118,7 +150,11 @@ pub(crate) fn generate_module(spec: &ProgramSpec) -> Module {
             let v = fb.add(Ty::I64, Value::Arg(0), Value::Arg(2));
             fb.ret(Some(v));
         }
-        g.helpers.push(Helper { id: lazy, n_params: 3, heavy: false });
+        g.helpers.push(Helper {
+            id: lazy,
+            n_params: 3,
+            heavy: false,
+        });
     }
 
     g.gen_main(&mut mb, &k);
@@ -178,10 +214,23 @@ impl Gen {
         let a = self.rvalue(fb, locals, depth - 1);
         let b = self.rvalue(fb, locals, depth - 1);
         let ops: &[BinOp] = match self.kind {
-            ProgramKind::BitManip => {
-                &[BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Shl, BinOp::LShr, BinOp::AShr, BinOp::Add]
-            }
-            _ => &[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor],
+            ProgramKind::BitManip => &[
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Shl,
+                BinOp::LShr,
+                BinOp::AShr,
+                BinOp::Add,
+            ],
+            _ => &[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+            ],
         };
         let op = ops[self.rng.gen_range(0..ops.len())];
         match op {
@@ -200,16 +249,30 @@ impl Gen {
         let b = self.load_local(fb, locals);
         let masked = fb.bin(BinOp::And, Ty::I64, b, Value::i64(7));
         let divisor = fb.add(Ty::I64, masked, Value::i64(1));
-        let op = if self.rng.gen_bool(0.5) { BinOp::SDiv } else { BinOp::SRem };
+        let op = if self.rng.gen_bool(0.5) {
+            BinOp::SDiv
+        } else {
+            BinOp::SRem
+        };
         fb.bin(op, Ty::I64, a, divisor)
     }
 
     /// A boolean condition over the locals.
     fn condition(&mut self, fb: &mut FunctionBuilder<'_>, locals: &[Value]) -> Value {
         let a = self.rvalue(fb, locals, 1);
-        let b = if self.rng.gen_bool(0.5) { self.load_local(fb, locals) } else { self.int_const() };
-        let preds =
-            [IntPred::Eq, IntPred::Ne, IntPred::Slt, IntPred::Sle, IntPred::Sgt, IntPred::Sge];
+        let b = if self.rng.gen_bool(0.5) {
+            self.load_local(fb, locals)
+        } else {
+            self.int_const()
+        };
+        let preds = [
+            IntPred::Eq,
+            IntPred::Ne,
+            IntPred::Slt,
+            IntPred::Sle,
+            IntPred::Sgt,
+            IntPred::Sge,
+        ];
         fb.icmp(preds[self.rng.gen_range(0..preds.len())], Ty::I64, a, b)
     }
 
@@ -503,7 +566,14 @@ impl Gen {
         let locals = self.make_locals(&mut fb, n_params, n_params + extra);
         let n_stmts = self.rng.gen_range(k.stmts_per_fn / 2..=k.stmts_per_fn);
         // leaf helpers must not call anyone (keeps call chains shallow)
-        self.stmts(&mut fb, &locals, n_stmts, 0, k.max_loop_depth, !callable_by_others);
+        self.stmts(
+            &mut fb,
+            &locals,
+            n_stmts,
+            0,
+            k.max_loop_depth,
+            !callable_by_others,
+        );
         // redundant-expression epilogue: classic CSE/GVN bait
         let a = fb.load(Ty::I64, locals[0]);
         let b = fb.load(Ty::I64, locals[locals.len() - 1]);
@@ -515,7 +585,11 @@ impl Gen {
         let noise = fb.add(Ty::I64, r, Value::i64(0));
         let noise2 = fb.mul(Ty::I64, noise, Value::i64(1));
         fb.ret(Some(noise2));
-        Helper { id, n_params, heavy: !callable_by_others }
+        Helper {
+            id,
+            n_params,
+            heavy: !callable_by_others,
+        }
     }
 
     fn gen_recursive_fn(&mut self, mb: &mut ModuleBuilder, name: &str, tail: bool) -> FuncId {

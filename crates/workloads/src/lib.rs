@@ -125,7 +125,10 @@ mod tests {
                     "{kind:?}/{size:?} failed: {:?}",
                     out.result
                 );
-                assert!(out.profile.total_steps > 50, "{kind:?}/{size:?} does real work");
+                assert!(
+                    out.profile.total_steps > 50,
+                    "{kind:?}/{size:?} does real work"
+                );
             }
         }
     }
@@ -178,6 +181,9 @@ mod tests {
                 }
             }
         }
-        assert!(allocas >= 3, "O0-style code keeps locals in memory ({allocas} allocas)");
+        assert!(
+            allocas >= 3,
+            "O0-style code keeps locals in memory ({allocas} allocas)"
+        );
     }
 }

@@ -59,10 +59,19 @@ fn name_seed(name: &str) -> u64 {
 }
 
 fn bench(name: &str, suite: Suite, kind: ProgramKind, size: SizeClass) -> Benchmark {
-    let spec =
-        ProgramSpec { name: name.to_string(), kind, size, seed: name_seed(name) };
+    let spec = ProgramSpec {
+        name: name.to_string(),
+        kind,
+        size,
+        seed: name_seed(name),
+    };
     let module = generate(&spec);
-    Benchmark { name: name.to_string(), suite, spec, module }
+    Benchmark {
+        name: name.to_string(),
+        suite,
+        spec,
+        module,
+    }
 }
 
 /// The 130-program training corpus.
@@ -80,9 +89,19 @@ pub fn training_suite() -> Vec<Benchmark> {
             _ => SizeClass::Small,
         };
         let name = format!("train_{i:03}");
-        let spec = ProgramSpec { name: name.clone(), kind, size, seed: 0xC0FFEE + i * 7919 };
+        let spec = ProgramSpec {
+            name: name.clone(),
+            kind,
+            size,
+            seed: 0xC0FFEE + i * 7919,
+        };
         let module = generate(&spec);
-        out.push(Benchmark { name, suite: Suite::Training, spec, module });
+        out.push(Benchmark {
+            name,
+            suite: Suite::Training,
+            spec,
+            module,
+        });
     }
     out
 }
@@ -105,7 +124,10 @@ pub fn mibench() -> Vec<Benchmark> {
         ("crc32", BitManip, Small),
         ("fft", NumericKernel, Medium),
     ];
-    specs.iter().map(|(n, k, s)| bench(n, Suite::MiBench, *k, *s)).collect()
+    specs
+        .iter()
+        .map(|(n, k, s)| bench(n, Suite::MiBench, *k, *s))
+        .collect()
 }
 
 /// SPEC CPU 2006 stand-ins (the benchmarks of Fig. 5b/5d).
@@ -128,7 +150,10 @@ pub fn spec2006() -> Vec<Benchmark> {
         ("473.astar", BranchyInteger, Medium),
         ("483.xalancbmk", CallHeavy, Large),
     ];
-    specs.iter().map(|(n, k, s)| bench(n, Suite::Spec2006, *k, *s)).collect()
+    specs
+        .iter()
+        .map(|(n, k, s)| bench(n, Suite::Spec2006, *k, *s))
+        .collect()
 }
 
 /// SPEC CPU 2017 stand-ins (the benchmarks of Fig. 5a/5c).
@@ -150,7 +175,10 @@ pub fn spec2017() -> Vec<Benchmark> {
         ("541.leela", Recursive, Medium),
         ("557.xz", Streaming, Medium),
     ];
-    specs.iter().map(|(n, k, s)| bench(n, Suite::Spec2017, *k, *s)).collect()
+    specs
+        .iter()
+        .map(|(n, k, s)| bench(n, Suite::Spec2017, *k, *s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,7 +215,10 @@ mod tests {
             verify_module(&b.module).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let out = Interpreter::with_config(
                 &b.module,
-                InterpConfig { fuel: 20_000_000, max_depth: 512 },
+                InterpConfig {
+                    fuel: 20_000_000,
+                    max_depth: 512,
+                },
             )
             .run("main", &[]);
             assert!(out.result.is_ok(), "{} failed: {:?}", b.name, out.result);

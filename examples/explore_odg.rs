@@ -11,11 +11,15 @@ use posetrl_odg::walks::{derive_subsequences, ODG_SUBSEQUENCES};
 
 fn main() {
     let g = OzDependenceGraph::from_oz();
-    println!("ODG over LLVM 10's -Oz: {} nodes, {} edges", g.nodes().len(), g.edges().len());
+    println!(
+        "ODG over LLVM 10's -Oz: {} nodes, {} edges",
+        g.nodes().len(),
+        g.edges().len()
+    );
 
     println!("\nnode degrees (top 10):");
     let mut degrees: Vec<(&str, usize)> = g.degrees().into_iter().collect();
-    degrees.sort_by(|a, b| b.1.cmp(&a.1));
+    degrees.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
     for (n, d) in degrees.iter().take(10) {
         println!("  {n:<26} {d}");
     }
@@ -26,14 +30,19 @@ fn main() {
     }
 
     let walks = derive_subsequences(&g, 8, 16);
-    println!("\nderived {} walks between critical nodes; first five:", walks.len());
+    println!(
+        "\nderived {} walks between critical nodes; first five:",
+        walks.len()
+    );
     for w in walks.iter().take(5) {
         println!("  {}", w.join(" -> "));
     }
 
     let derived: std::collections::BTreeSet<Vec<&str>> = walks.into_iter().collect();
-    let verbatim =
-        ODG_SUBSEQUENCES.iter().filter(|s| derived.contains(&s.to_vec())).count();
+    let verbatim = ODG_SUBSEQUENCES
+        .iter()
+        .filter(|s| derived.contains(**s))
+        .count();
     println!(
         "\n{} of the paper's 34 Table III sub-sequences appear verbatim among the derived walks",
         verbatim

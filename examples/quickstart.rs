@@ -27,7 +27,8 @@ fn main() {
     // 2) the standard compiler baseline: the -Oz pipeline
     let pm = PassManager::new();
     let mut oz = sample.module.clone();
-    pm.run_pipeline(&mut oz, &pipelines::oz()).expect("Oz pipeline");
+    pm.run_pipeline(&mut oz, &pipelines::oz())
+        .expect("Oz pipeline");
     println!(
         "-Oz: {} instructions, {} bytes (x86-64 object)",
         oz.num_insts(),

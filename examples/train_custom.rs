@@ -13,7 +13,7 @@ use posetrl::env::EnvConfig;
 use posetrl::trainer::{train, TrainedModel, TrainerConfig};
 use posetrl_ir::parser::parse_module;
 use posetrl_target::{size::object_size, TargetArch};
-use posetrl_workloads::{generate, Benchmark, ProgramKind, ProgramSpec, SizeClass, Suite};
+use posetrl_workloads::{Benchmark, ProgramKind, ProgramSpec, SizeClass, Suite};
 
 /// A hand-written module, exactly as you might feed from your own frontend.
 const MY_PROGRAM: &str = r#"
@@ -82,8 +82,18 @@ fn main() {
         "my-space",
         vec![
             vec!["mem2reg".into(), "instcombine".into(), "simplifycfg".into()],
-            vec!["loop-simplify".into(), "lcssa".into(), "loop-rotate".into(), "licm".into()],
-            vec!["loop-simplify".into(), "lcssa".into(), "indvars".into(), "loop-unroll".into()],
+            vec![
+                "loop-simplify".into(),
+                "lcssa".into(),
+                "loop-rotate".into(),
+                "licm".into(),
+            ],
+            vec![
+                "loop-simplify".into(),
+                "lcssa".into(),
+                "indvars".into(),
+                "loop-unroll".into(),
+            ],
             vec!["gvn".into(), "sccp".into(), "adce".into()],
             vec!["inline".into(), "globaldce".into(), "deadargelim".into()],
             vec!["dse".into(), "memcpyopt".into(), "instsimplify".into()],
@@ -93,11 +103,20 @@ fn main() {
     // 3) bias the reward toward size (alpha) twice as hard as the paper
     let config = TrainerConfig {
         total_steps: 1_500,
-        env: EnvConfig { alpha: 20.0, beta: 5.0, episode_len: 8, ..EnvConfig::default() },
+        env: EnvConfig {
+            alpha: 20.0,
+            beta: 5.0,
+            episode_len: 8,
+            ..EnvConfig::default()
+        },
         ..TrainerConfig::default()
     };
 
-    println!("training on {} programs with {} custom actions...", corpus.len(), actions.len());
+    println!(
+        "training on {} programs with {} custom actions...",
+        corpus.len(),
+        actions.len()
+    );
     let model = train(&config, actions, &corpus);
     println!("final mean episode reward: {:+.3}", model.final_mean_reward);
 
@@ -111,5 +130,8 @@ fn main() {
     let (optimized, seq) = restored.optimize(my_module);
     let after = object_size(&optimized, TargetArch::X86_64).total;
     println!("\nhand_written: {before} B -> {after} B  (actions {seq:?})");
-    println!("optimized IR:\n{}", posetrl_ir::printer::print_module(&optimized));
+    println!(
+        "optimized IR:\n{}",
+        posetrl_ir::printer::print_module(&optimized)
+    );
 }

@@ -51,8 +51,7 @@ fn episode_rewards_telescope_to_total_improvement() {
         total_reward += r.reward;
         last_size = r.size as f64;
     }
-    let final_cycles =
-        posetrl_target::mca::analyze(env.module(), cfg.arch).flat_cycles;
+    let final_cycles = posetrl_target::mca::analyze(env.module(), cfg.arch).flat_cycles;
     let expected = cfg.alpha * (base_size - last_size) / base_size
         + cfg.beta * (base_cycles - final_cycles) / base_cycles;
     assert!(
@@ -78,22 +77,26 @@ fn manual_space_in_order_approximates_oz() {
     let mut oz_set = posetrl_opt::pipelines::oz();
     oz_set.sort_unstable();
     oz_set.dedup();
-    assert_eq!(concat_set, oz_set, "manual groups cover exactly the Oz pass set");
+    assert_eq!(
+        concat_set, oz_set,
+        "manual groups cover exactly the Oz pass set"
+    );
 
     let programs = training_suite();
     let pm = posetrl_opt::manager::PassManager::new();
     for b in programs.iter().take(6) {
         let mut via_actions = b.module.clone();
         for i in 0..manual.len() {
-            pm.run_pipeline(&mut via_actions, &manual.passes(i)).unwrap();
+            pm.run_pipeline(&mut via_actions, &manual.passes(i))
+                .unwrap();
         }
         let mut via_oz = b.module.clone();
-        pm.run_pipeline(&mut via_oz, &posetrl_opt::pipelines::oz()).unwrap();
+        pm.run_pipeline(&mut via_oz, &posetrl_opt::pipelines::oz())
+            .unwrap();
 
         let size_a =
             posetrl_target::size::object_size(&via_actions, TargetArch::X86_64).total as f64;
-        let size_b =
-            posetrl_target::size::object_size(&via_oz, TargetArch::X86_64).total as f64;
+        let size_b = posetrl_target::size::object_size(&via_oz, TargetArch::X86_64).total as f64;
         assert!(
             size_a <= size_b * 1.10,
             "{}: in-order manual episode within 10% of Oz ({size_a} vs {size_b})",

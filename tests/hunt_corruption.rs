@@ -12,7 +12,12 @@ fn hunt_corruption() {
     let programs = posetrl_workloads::training_suite();
     let pm = PassManager::new();
     let mut h = 0xABCDEFu64;
-    let mut next = move |n: usize| { h ^= h<<13; h ^= h>>7; h ^= h<<17; (h % n as u64) as usize };
+    let mut next = move |n: usize| {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        (h % n as u64) as usize
+    };
     for space in [ActionSpace::manual(), ActionSpace::odg()] {
         for b in programs.iter().step_by(3) {
             let mut m = b.module.clone();
@@ -23,7 +28,11 @@ fn hunt_corruption() {
                     applied.push((a, pass));
                     pm.run_pass(&mut m, pass).unwrap();
                     if let Err(e) = verify_module(&m) {
-                        panic!("{} [{}] corrupted after step {step} {applied:?}: {e}", b.name, space.kind().name());
+                        panic!(
+                            "{} [{}] corrupted after step {step} {applied:?}: {e}",
+                            b.name,
+                            space.kind().name()
+                        );
                     }
                 }
             }

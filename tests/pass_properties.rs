@@ -15,9 +15,15 @@ use posetrl_workloads::{generate, ProgramKind, ProgramSpec, SizeClass};
 use proptest::prelude::*;
 
 fn observe(m: &posetrl_ir::Module) -> Observation {
-    Interpreter::with_config(m, InterpConfig { fuel: 20_000_000, max_depth: 512 })
-        .run("main", &[])
-        .observation()
+    Interpreter::with_config(
+        m,
+        InterpConfig {
+            fuel: 20_000_000,
+            max_depth: 512,
+        },
+    )
+    .run("main", &[])
+    .observation()
 }
 
 fn kind_from(i: u8) -> ProgramKind {

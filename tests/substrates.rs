@@ -24,9 +24,15 @@ fn programs() -> Vec<posetrl_ir::Module> {
 }
 
 fn observe(m: &posetrl_ir::Module) -> posetrl_ir::interp::Observation {
-    Interpreter::with_config(m, InterpConfig { fuel: 20_000_000, max_depth: 512 })
-        .run("main", &[])
-        .observation()
+    Interpreter::with_config(
+        m,
+        InterpConfig {
+            fuel: 20_000_000,
+            max_depth: 512,
+        },
+    )
+    .run("main", &[])
+    .observation()
 }
 
 #[test]
@@ -36,9 +42,15 @@ fn every_pipeline_preserves_semantics_on_every_kind() {
         let before = observe(&m0);
         for level in ["O1", "O2", "O3", "Os", "Oz"] {
             let mut m = m0.clone();
-            pm.run_pipeline(&mut m, &pipelines::by_name(level).unwrap()).unwrap();
+            pm.run_pipeline(&mut m, &pipelines::by_name(level).unwrap())
+                .unwrap();
             verify_module(&m).unwrap_or_else(|e| panic!("{level} on {}: {e}", m0.name));
-            assert_eq!(before, observe(&m), "{level} changed behaviour of {}", m0.name);
+            assert_eq!(
+                before,
+                observe(&m),
+                "{level} changed behaviour of {}",
+                m0.name
+            );
         }
     }
 }
@@ -58,16 +70,28 @@ fn oz_is_smaller_or_equal_and_o3_not_slower_on_average() {
         o3_sizes += object_size(&o3, TargetArch::X86_64).total as i64;
         oz_sizes += object_size(&oz, TargetArch::X86_64).total as i64;
         let run = |m: &posetrl_ir::Module| {
-            let out = Interpreter::with_config(m, InterpConfig { fuel: 20_000_000, max_depth: 512 })
-                .run("main", &[]);
+            let out = Interpreter::with_config(
+                m,
+                InterpConfig {
+                    fuel: 20_000_000,
+                    max_depth: 512,
+                },
+            )
+            .run("main", &[]);
             posetrl_target::runtime::dynamic_cycles(m, &out.profile, TargetArch::X86_64)
         };
         o3_cycles += run(&o3);
         oz_cycles += run(&oz);
     }
     // Fig. 1's shape in aggregate: Oz no larger than O3; O3 no slower than Oz
-    assert!(oz_sizes <= o3_sizes, "Oz total {oz_sizes} vs O3 total {o3_sizes}");
-    assert!(o3_cycles <= oz_cycles * 1.02, "O3 {o3_cycles:.0} vs Oz {oz_cycles:.0}");
+    assert!(
+        oz_sizes <= o3_sizes,
+        "Oz total {oz_sizes} vs O3 total {o3_sizes}"
+    );
+    assert!(
+        o3_cycles <= oz_cycles * 1.02,
+        "O3 {o3_cycles:.0} vs Oz {oz_cycles:.0}"
+    );
 }
 
 #[test]
@@ -110,7 +134,15 @@ fn embeddings_separate_optimization_levels() {
         let mut oz = m0.clone();
         pm.run_pipeline(&mut oz, &pipelines::oz()).unwrap();
         let v1 = e.embed_module(&oz);
-        let dist: f64 = v0.iter().zip(&v1).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
-        assert!(dist > 1e-3, "O0 and Oz states are distinguishable (dist {dist})");
+        let dist: f64 = v0
+            .iter()
+            .zip(&v1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            dist > 1e-3,
+            "O0 and Oz states are distinguishable (dist {dist})"
+        );
     }
 }

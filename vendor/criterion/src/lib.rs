@@ -1,0 +1,145 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness: `bench_function` + `Bencher::iter` with
+//! a short warm-up and an adaptive measured phase, reporting mean
+//! ns/iteration to stdout. No statistics, plots, or CLI filtering — the
+//! workspace's benches only need a stable way to run a closure hot and
+//! print a number.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Bench-suite driver handed to each registered bench function.
+pub struct Criterion {
+    /// Target duration of the measured phase per benchmark.
+    measurement_time: Duration,
+    /// Duration of the warm-up phase per benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            measured: None,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((iters, total)) => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("bench: {id:<40} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench: {id:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Accepted for compatibility; there is no CLI to configure from.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+}
+
+/// Timing loop for a single benchmark.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `routine` hot and records `(iterations, total_time)`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: also estimates a single-iteration cost
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let target = (self.measurement_time.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            hint::black_box(routine());
+        }
+        self.measured = Some((target as u64, start.elapsed()));
+    }
+}
+
+/// Re-export of the standard black box for code written against
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declares a bench group: a function that runs each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.warm_up_time = Duration::from_millis(2);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

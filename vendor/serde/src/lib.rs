@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors a minimal clean-room implementation of the small
+//! serde surface it actually uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums (no `#[serde(...)]` attributes, no
+//! generics), driven through `serde_json`.
+//!
+//! Instead of serde's visitor architecture, values round-trip through a
+//! single JSON-shaped [`Content`] tree. Derived impls map types with the
+//! same externally-tagged layout real serde uses, so the JSON produced is
+//! byte-compatible for the shapes this workspace serializes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered string-keyed map (the JSON object model).
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Looks up a map entry; missing fields read as `Null` (which makes
+    /// `Option` fields lenient and everything else a type error).
+    pub fn field(&self, name: &str) -> &Content {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The elements of a sequence.
+    pub fn seq_items(&self) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, payload)`.
+    pub fn variant_parts(&self) -> Result<(&str, Option<&Content>), DeError> {
+        match self {
+            Content::Str(s) => Ok((s, None)),
+            Content::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::unexpected("enum variant", other)),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error (also returned by `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    fn unexpected(wanted: &str, got: &Content) -> DeError {
+        DeError::custom(format!("expected {wanted}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be converted into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Owned-deserialization alias kept for source compatibility.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Scalar impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) if *v <= i64::MAX as u64 => *v as i64,
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() < 2e18 => *v as i64,
+                    other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 2e19 => *v as u64,
+                    other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.seq_items()?.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c.seq_items()?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected a tuple of {}, found a sequence of {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A:0 ; 1);
+impl_tuple!(A:0, B:1 ; 2);
+impl_tuple!(A:0, B:1, C:2 ; 3);
+impl_tuple!(A:0, B:1, C:2, D:3 ; 4);
+
+/// Map keys must render as JSON strings.
+pub trait SerializeKey {
+    fn to_key(&self) -> String;
+}
+
+/// Map keys must parse back from JSON strings.
+pub trait DeserializeKey: Sized {
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for str {
+    fn to_key(&self) -> String {
+        self.to_owned()
+    }
+}
+
+impl<T: SerializeKey + ?Sized> SerializeKey for &T {
+    fn to_key(&self) -> String {
+        (**self).to_key()
+    }
+}
+
+impl DeserializeKey for String {
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+        impl DeserializeKey for $t {
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::custom(format!("bad {} key `{key}`", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: SerializeKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::unexpected("map", other)),
+        }
+    }
+}
+
+impl<K: SerializeKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // sort for a deterministic byte stream; HashMap iteration order is
+        // seeded per-instance
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: DeserializeKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::unexpected("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(i32::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&7u64.to_content()).unwrap(), 7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn numbers_cross_convert_exactly() {
+        // integers written by the printer as bare digits must read back as
+        // floats, and integral floats as integers
+        assert_eq!(f64::from_content(&Content::I64(3)).unwrap(), 3.0);
+        assert_eq!(i64::from_content(&Content::F64(3.0)).unwrap(), 3);
+        assert!(i64::from_content(&Content::F64(3.5)).is_err());
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        let v = vec![(String::from("a"), 1u32), (String::from("b"), 2)];
+        let back = Vec::<(String, u32)>::from_content(&v.to_content()).unwrap();
+        assert_eq!(v, back);
+
+        let o: Option<i64> = None;
+        assert_eq!(o.to_content(), Content::Null);
+        assert_eq!(Option::<i64>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_fields_read_as_null() {
+        let m = Content::Map(vec![(String::from("x"), Content::I64(1))]);
+        assert_eq!(m.field("x"), &Content::I64(1));
+        assert_eq!(m.field("y"), &Content::Null);
+        assert_eq!(Option::<u8>::from_content(m.field("y")).unwrap(), None);
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! for the shapes this workspace uses: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, and struct variants), with serde's
+//! default externally-tagged representation. `#[serde(...)]` attributes
+//! are not supported and generic parameters are rejected with a compile
+//! error.
+//!
+//! The implementation parses the raw `TokenStream` by hand (the real
+//! `syn`/`quote` stack is unavailable offline) and emits impls by string
+//! formatting; field *names* and variant arities are all that codegen
+//! needs, so the parser deliberately ignores types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive: generated code parses"),
+        Err(msg) => format!("::std::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips `#[...]` / `#![...]` attribute groups (doc comments included).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                if p.as_char() == '!' {
+                    self.pos += 1;
+                }
+            }
+            self.pos += 1; // the [...] group
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!(
+                "serde_derive: expected identifier, found {other:?}"
+            )),
+        }
+    }
+
+    /// Advances past everything up to (not including) the next `,` that is
+    /// outside angle brackets (generic arguments are not token groups, so
+    /// the comma in `HashMap<K, V>` must not end the field).
+    fn skip_to_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => break,
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+
+    let kw = c.ident()?;
+    let name = c.ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("serde_derive: malformed struct body: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde_derive: malformed enum body: {other:?}")),
+        },
+        other => return Err(format!("serde_derive: cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        fields.push(c.ident()?);
+        c.skip_to_comma();
+        c.next(); // the comma itself (or end)
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                count += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream())?);
+                c.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                c.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        c.skip_to_comma(); // covers explicit `= discr` too
+        c.next();
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn str_lit(s: &str) -> String {
+    format!("{s:?}")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({}), ::serde::Serialize::to_content(&self.{f}))",
+                        str_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_content(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    let tag = str_lit(vn);
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{ty}::{vn} => ::serde::Content::Str(::std::string::String::from({tag})),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{ty}::{vn}(__f0) => ::serde::Content::Map(::std::vec![(\
+               ::std::string::String::from({tag}), ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({}) => ::serde::Content::Map(::std::vec![(\
+                   ::std::string::String::from({tag}), \
+                   ::serde::Content::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({}), ::serde::Serialize::to_content({f}))",
+                        str_lit(f)
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                   ::std::string::String::from({tag}), \
+                   ::serde::Content::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(__c.field({}))?",
+                        str_lit(f)
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __c.seq_items()?; \
+                 if __items.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected {n} fields for {name}, found {{}}\", __items.len()))); \
+                 }} \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| de_variant_arm(name, v)).collect();
+            format!(
+                "let (__tag, __payload) = __c.variant_parts()?; \
+                 match __tag {{ {} __other => ::std::result::Result::Err(\
+                   ::serde::DeError::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))), }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+             {body} \
+           }} \
+         }}"
+    )
+}
+
+fn de_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    let tag = str_lit(vn);
+    let need_payload = format!(
+        "__payload.ok_or_else(|| ::serde::DeError::custom(\
+           ::std::format!(\"variant {{}} expects a payload\", {tag})))?"
+    );
+    match &v.kind {
+        VariantKind::Unit => format!("{tag} => ::std::result::Result::Ok({ty}::{vn}),"),
+        VariantKind::Tuple(1) => format!(
+            "{tag} => {{ let __p = {need_payload}; \
+               ::std::result::Result::Ok({ty}::{vn}(::serde::Deserialize::from_content(__p)?)) }},"
+        ),
+        VariantKind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{tag} => {{ let __p = {need_payload}; let __items = __p.seq_items()?; \
+                   if __items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"variant {{}} expects {n} fields\", {tag}))); \
+                   }} \
+                   ::std::result::Result::Ok({ty}::{vn}({})) }},",
+                inits.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(__p.field({}))?",
+                        str_lit(f)
+                    )
+                })
+                .collect();
+            format!(
+                "{tag} => {{ let __p = {need_payload}; \
+                   ::std::result::Result::Ok({ty}::{vn} {{ {} }}) }},",
+                inits.join(", ")
+            )
+        }
+    }
+}
