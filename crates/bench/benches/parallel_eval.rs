@@ -1,0 +1,59 @@
+//! Serial vs parallel+cached validation sweeps (PR 2 acceptance bench).
+//!
+//! `eval_serial_uncached` is the pre-engine path: every criterion iteration
+//! re-runs the full `-Oz` baseline and greedy rollout per benchmark.
+//! `eval_parallel_cached_2w` / `_8w` share one `EvalCache` across all
+//! iterations — after the first (cold) iteration every sweep is served from
+//! memoized step/measure/embed entries, which is exactly what repeated
+//! per-epoch validation looks like during training. The numbers are
+//! bit-identical across all three (tests/parallel_determinism.rs); only the
+//! wall clock differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use posetrl::actions::ActionSet;
+use posetrl::engine::{train_parallel, EngineConfig};
+use posetrl::eval::{evaluate_suite, evaluate_suite_parallel, ParallelEval};
+use posetrl::trainer::TrainedModel;
+use posetrl::EvalCache;
+use posetrl_target::TargetArch;
+use posetrl_workloads::{mibench, training_suite, Benchmark};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sweep_fixture() -> (TrainedModel, Vec<Benchmark>) {
+    let (model, _) = train_parallel(
+        &EngineConfig::quick(),
+        ActionSet::odg(),
+        &training_suite(),
+        &[],
+    );
+    let benches: Vec<Benchmark> = mibench().into_iter().take(6).collect();
+    (model, benches)
+}
+
+fn bench_validation_sweeps(c: &mut Criterion) {
+    let (model, benches) = sweep_fixture();
+    let arch = TargetArch::X86_64;
+
+    c.bench_function("eval_serial_uncached", |b| {
+        b.iter(|| {
+            let (results, _) = evaluate_suite(&model, &benches, arch, false);
+            black_box(results.len())
+        })
+    });
+
+    for workers in [2usize, 8] {
+        let cache = EvalCache::shared();
+        let opts = ParallelEval::with_cache(workers, Arc::clone(&cache));
+        c.bench_function(&format!("eval_parallel_cached_{workers}w"), |b| {
+            b.iter(|| {
+                let (results, _) = evaluate_suite_parallel(&model, &benches, arch, false, &opts);
+                black_box(results.len())
+            })
+        });
+        eprintln!("[parallel_eval] {workers}w {}", cache.stats().render());
+    }
+}
+
+criterion_group!(benches, bench_validation_sweeps);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //!   table5      % execution-time improvement vs Oz (Table V)
 //!   fig5        per-benchmark runtime & size series (Fig. 5)
 //!   table6      predicted sub-sequences (Table VI)
+//!   enginestats parallel episode engine: sweep timings + cache hit rate
 //!   ablate-reward | ablate-ddqn | ablate-actions | ablate-embed
 //!   all         everything above
 //! ```
@@ -47,7 +48,8 @@ fn main() {
                 println!(
                     "experiments: table1 table2 table3 odgstats fig1 table4 table5 fig5 table6"
                 );
-                println!("             ablate-reward ablate-ddqn ablate-actions ablate-embed all");
+                println!("             enginestats ablate-reward ablate-ddqn ablate-actions");
+                println!("             ablate-embed all");
                 return;
             }
             other => wanted.push(other.to_string()),
@@ -56,7 +58,7 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "table2",
@@ -67,6 +69,7 @@ fn main() {
         "table5",
         "fig5",
         "table6",
+        "enginestats",
         "ablate-reward",
         "ablate-ddqn",
         "ablate-actions",
@@ -98,6 +101,14 @@ fn main() {
     if want("fig1") {
         let f = experiments::fig1(scale);
         emit("fig1", &f.render(), &serde_json::to_value(&f).unwrap());
+    }
+    if want("enginestats") {
+        let s = experiments::engine_stats(scale);
+        emit(
+            "enginestats",
+            &s.render(),
+            &serde_json::to_value(&s).unwrap(),
+        );
     }
 
     // trained experiments share one context

@@ -1,0 +1,396 @@
+//! The content-addressed evaluation cache.
+//!
+//! RL training over phase orderings revisits identical `(module, action)`
+//! states constantly: every episode restarts from the same benchmark
+//! modules, ε-greedy exploration replays common prefixes, and the greedy
+//! validation sweep re-walks states training already measured. This cache
+//! memoizes the three expensive evaluations behind a structural
+//! [`ModuleHash`] (printer-equality identity, see `posetrl_ir::hash`):
+//!
+//! - **step memos** — `(pre-state hash, action signature)` → the post-pass
+//!   module (plus its hash), skipping the whole pass pipeline on a hit,
+//! - **measurements** — `(hash, arch)` → object size and MCA cycles /
+//!   throughput,
+//! - **embeddings** — `(hash, encoding)` → the IR2Vec-style state vector.
+//!
+//! All three memoized functions are deterministic in the module's canonical
+//! printed form, so a hit returns bit-identical data to recomputation —
+//! the determinism contract `tests/parallel_determinism.rs` locks down.
+//!
+//! The cache is shared across worker threads (`parking_lot`-style mutex
+//! around a FIFO-evicting map) and keeps hit/miss/eviction counters per
+//! class, surfaced through the trainer's episode log.
+
+use parking_lot::Mutex;
+use posetrl_ir::{Module, ModuleHash};
+use posetrl_target::TargetArch;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a cache entry memoizes (also indexes the per-class counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheClass {
+    /// Post-pass module state for a `(state, action)` pair.
+    Step,
+    /// Object size + MCA cycle measurements.
+    Measure,
+    /// Program embedding (the RL state vector).
+    Embed,
+}
+
+impl CacheClass {
+    fn index(self) -> usize {
+        match self {
+            CacheClass::Step => 0,
+            CacheClass::Measure => 1,
+            CacheClass::Embed => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheClass::Step => "step",
+            CacheClass::Measure => "measure",
+            CacheClass::Embed => "embed",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Step { pre: ModuleHash, action: u64 },
+    Measure { h: ModuleHash, arch: TargetArch },
+    Embed { h: ModuleHash, encoding: u8 },
+}
+
+impl Key {
+    fn class(&self) -> CacheClass {
+        match self {
+            Key::Step { .. } => CacheClass::Step,
+            Key::Measure { .. } => CacheClass::Measure,
+            Key::Embed { .. } => CacheClass::Embed,
+        }
+    }
+}
+
+/// A memoized environment step: the module after applying one action.
+#[derive(Debug)]
+pub struct StepMemo {
+    /// The post-pass module state.
+    pub module: Module,
+    /// Structural hash of `module` (saves rehashing on a hit).
+    pub post: ModuleHash,
+}
+
+/// Memoized static measurements of one module state on one target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureMemo {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Flat (loop-unweighted) MCA cycles.
+    pub flat_cycles: f64,
+    /// MCA throughput estimate.
+    pub throughput: f64,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Step(Arc<StepMemo>),
+    Measure(MeasureMemo),
+    Embed(Arc<Vec<f64>>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    fifo: VecDeque<Key>,
+}
+
+/// Point-in-time counter snapshot (per class and total).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Step-memo hits.
+    pub step_hits: u64,
+    /// Step-memo misses.
+    pub step_misses: u64,
+    /// Measurement hits.
+    pub measure_hits: u64,
+    /// Measurement misses.
+    pub measure_misses: u64,
+    /// Embedding hits.
+    pub embed_hits: u64,
+    /// Embedding misses.
+    pub embed_misses: u64,
+    /// Entries evicted (FIFO) since creation.
+    pub evictions: u64,
+    /// Live entries at snapshot time.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total hits across classes.
+    pub fn total_hits(&self) -> u64 {
+        self.step_hits + self.measure_hits + self.embed_hits
+    }
+
+    /// Total misses across classes.
+    pub fn total_misses(&self) -> u64 {
+        self.step_misses + self.measure_misses + self.embed_misses
+    }
+
+    /// Overall hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.total_hits();
+        let total = h + self.total_misses();
+        if total == 0 {
+            0.0
+        } else {
+            h as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "cache: {:.1}% hit ({} hits / {} lookups; step {}/{}, measure {}/{}, embed {}/{}; {} entries, {} evicted)",
+            100.0 * self.hit_rate(),
+            self.total_hits(),
+            self.total_hits() + self.total_misses(),
+            self.step_hits,
+            self.step_hits + self.step_misses,
+            self.measure_hits,
+            self.measure_hits + self.measure_misses,
+            self.embed_hits,
+            self.embed_hits + self.embed_misses,
+            self.entries,
+            self.evictions,
+        )
+    }
+}
+
+/// The shared evaluation cache.
+#[derive(Debug)]
+pub struct EvalCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: [AtomicU64; 3],
+    misses: [AtomicU64; 3],
+    evictions: AtomicU64,
+}
+
+impl EvalCache {
+    /// Default capacity: enough for the training suite's reachable-state
+    /// working set at test scale without unbounded memory growth.
+    pub const DEFAULT_CAPACITY: usize = 1 << 14;
+
+    /// Creates a cache bounded to `capacity` entries (FIFO eviction).
+    pub fn with_capacity(capacity: usize) -> EvalCache {
+        EvalCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            hits: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            misses: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache with [`EvalCache::DEFAULT_CAPACITY`], wrapped for
+    /// sharing across the engine's workers.
+    pub fn shared() -> Arc<EvalCache> {
+        Arc::new(EvalCache::with_capacity(Self::DEFAULT_CAPACITY))
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn record(&self, class: CacheClass, hit: bool) {
+        let ctr = if hit { &self.hits } else { &self.misses };
+        ctr[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, key: &Key) -> Option<Entry> {
+        let inner = self.inner.lock();
+        let found = inner.map.get(key).map(|e| match e {
+            Entry::Step(m) => Entry::Step(Arc::clone(m)),
+            Entry::Measure(m) => Entry::Measure(*m),
+            Entry::Embed(v) => Entry::Embed(Arc::clone(v)),
+        });
+        drop(inner);
+        self.record(key.class(), found.is_some());
+        found
+    }
+
+    fn put(&self, key: Key, entry: Entry) {
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            return; // first write wins; concurrent workers computed the same value
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.fifo.pop_front() {
+                Some(old) => {
+                    inner.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        inner.fifo.push_back(key.clone());
+        inner.map.insert(key, entry);
+    }
+
+    /// Looks up the memoized result of applying `action` to the state
+    /// hashed `pre`.
+    pub fn get_step(&self, pre: ModuleHash, action: u64) -> Option<Arc<StepMemo>> {
+        match self.get(&Key::Step { pre, action }) {
+            Some(Entry::Step(m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Memoizes a step result.
+    pub fn put_step(&self, pre: ModuleHash, action: u64, memo: StepMemo) {
+        self.put(Key::Step { pre, action }, Entry::Step(Arc::new(memo)));
+    }
+
+    /// Looks up memoized size/MCA measurements.
+    pub fn get_measure(&self, h: ModuleHash, arch: TargetArch) -> Option<MeasureMemo> {
+        match self.get(&Key::Measure { h, arch }) {
+            Some(Entry::Measure(m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Memoizes size/MCA measurements.
+    pub fn put_measure(&self, h: ModuleHash, arch: TargetArch, memo: MeasureMemo) {
+        self.put(Key::Measure { h, arch }, Entry::Measure(memo));
+    }
+
+    /// Looks up a memoized state embedding.
+    pub fn get_embed(&self, h: ModuleHash, encoding: u8) -> Option<Arc<Vec<f64>>> {
+        match self.get(&Key::Embed { h, encoding }) {
+            Some(Entry::Embed(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Memoizes a state embedding.
+    pub fn put_embed(&self, h: ModuleHash, encoding: u8, v: Vec<f64>) {
+        self.put(Key::Embed { h, encoding }, Entry::Embed(Arc::new(v)));
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        CacheStats {
+            step_hits: load(&self.hits[CacheClass::Step.index()]),
+            step_misses: load(&self.misses[CacheClass::Step.index()]),
+            measure_hits: load(&self.hits[CacheClass::Measure.index()]),
+            measure_misses: load(&self.misses[CacheClass::Measure.index()]),
+            embed_hits: load(&self.hits[CacheClass::Embed.index()]),
+            embed_misses: load(&self.misses[CacheClass::Embed.index()]),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::module_hash;
+    use posetrl_workloads::{generate, ProgramKind, ProgramSpec, SizeClass};
+
+    fn hash_of(seed: u64) -> (ModuleHash, Module) {
+        let m = generate(&ProgramSpec {
+            name: format!("cache{seed}"),
+            kind: ProgramKind::BranchyInteger,
+            size: SizeClass::Small,
+            seed,
+        });
+        (module_hash(&m), m)
+    }
+
+    #[test]
+    fn measure_round_trip_and_counters() {
+        let cache = EvalCache::with_capacity(16);
+        let (h, _) = hash_of(1);
+        assert!(cache.get_measure(h, TargetArch::X86_64).is_none());
+        cache.put_measure(
+            h,
+            TargetArch::X86_64,
+            MeasureMemo {
+                size: 100,
+                flat_cycles: 42.0,
+                throughput: 1.5,
+            },
+        );
+        let m = cache.get_measure(h, TargetArch::X86_64).unwrap();
+        assert_eq!(m.size, 100);
+        // per-arch keying
+        assert!(cache.get_measure(h, TargetArch::AArch64).is_none());
+        let s = cache.stats();
+        assert_eq!(s.measure_hits, 1);
+        assert_eq!(s.measure_misses, 2);
+        assert!(s.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn step_memo_round_trip() {
+        let cache = EvalCache::with_capacity(16);
+        let (pre, module) = hash_of(2);
+        let post = pre; // identity action for the test
+        cache.put_step(
+            pre,
+            7,
+            StepMemo {
+                module: module.clone(),
+                post,
+            },
+        );
+        let memo = cache.get_step(pre, 7).unwrap();
+        assert_eq!(memo.post, post);
+        assert_eq!(memo.module.num_insts(), module.num_insts());
+        assert!(cache.get_step(pre, 8).is_none(), "action participates");
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded_and_counted() {
+        let cache = EvalCache::with_capacity(4);
+        for i in 0..10u64 {
+            let (h, _) = hash_of(i);
+            cache.put_embed(h, 0, vec![i as f64]);
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.evictions, 6);
+        // oldest entries are gone, newest survive
+        let (h9, _) = hash_of(9);
+        assert!(cache.get_embed(h9, 0).is_some());
+        let (h0, _) = hash_of(0);
+        assert!(cache.get_embed(h0, 0).is_none());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = EvalCache::shared();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let (h, _) = hash_of(t * 50 + i);
+                        cache.put_embed(h, 0, vec![1.0]);
+                        assert!(cache.get_embed(h, 0).is_some());
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.total_hits(), 200);
+    }
+}

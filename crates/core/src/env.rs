@@ -26,11 +26,13 @@
 //! over meaningfully.
 
 use crate::actions::ActionSet;
+use crate::cache::{EvalCache, MeasureMemo, StepMemo};
 use posetrl_embed::{EmbedConfig, Embedder};
-use posetrl_ir::{Module, Op};
+use posetrl_ir::{module_hash, Module, ModuleHash, Op};
 use posetrl_opt::manager::PassManager;
 use posetrl_target::{mca, size::object_size, TargetArch};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How states are represented (ablation knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,9 +90,17 @@ pub struct StepResult {
 pub struct PhaseEnv {
     config: EnvConfig,
     actions: ActionSet,
+    /// Content signature per action (hash of its pass names) — the cache
+    /// key component identifying *what* an action does, independent of the
+    /// action set it came from.
+    action_sigs: Vec<u64>,
     pm: PassManager,
     embedder: Embedder,
     module: Option<Module>,
+    /// Shared memoization cache; `None` runs every evaluation from scratch.
+    cache: Option<Arc<EvalCache>>,
+    /// Structural hash of the current module (tracked only when caching).
+    cur_hash: Option<ModuleHash>,
     base_size: f64,
     base_cycles: f64,
     last_size: f64,
@@ -102,12 +112,27 @@ pub struct PhaseEnv {
 impl PhaseEnv {
     /// Creates an environment with the given configuration and action set.
     pub fn new(config: EnvConfig, actions: ActionSet) -> PhaseEnv {
+        let action_sigs = actions
+            .sequences
+            .iter()
+            .map(|passes| {
+                let mut joined = String::new();
+                for p in passes {
+                    joined.push_str(p);
+                    joined.push('\x1f');
+                }
+                posetrl_embed::fnv1a(&joined)
+            })
+            .collect();
         PhaseEnv {
             config,
             actions,
+            action_sigs,
             pm: PassManager::new(),
             embedder: Embedder::new(EmbedConfig::default()),
             module: None,
+            cache: None,
+            cur_hash: None,
             base_size: 0.0,
             base_cycles: 0.0,
             last_size: 0.0,
@@ -115,6 +140,19 @@ impl PhaseEnv {
             steps_taken: 0,
             applied: Vec::new(),
         }
+    }
+
+    /// Creates an environment that memoizes evaluations in `cache`.
+    pub fn with_cache(config: EnvConfig, actions: ActionSet, cache: Arc<EvalCache>) -> PhaseEnv {
+        let mut env = PhaseEnv::new(config, actions);
+        env.cache = Some(cache);
+        env
+    }
+
+    /// Attaches (or detaches, with `None`) a shared evaluation cache.
+    /// Takes effect from the next [`PhaseEnv::reset`].
+    pub fn set_cache(&mut self, cache: Option<Arc<EvalCache>>) {
+        self.cache = cache;
     }
 
     /// The configured action set.
@@ -141,18 +179,54 @@ impl PhaseEnv {
         self.module.as_ref().expect("environment not reset")
     }
 
+    /// Measures `m` (hashed `h`), memoized when a cache is attached.
+    fn measure(&self, h: Option<ModuleHash>, m: &Module) -> MeasureMemo {
+        if let (Some(cache), Some(h)) = (&self.cache, h) {
+            if let Some(memo) = cache.get_measure(h, self.config.arch) {
+                return memo;
+            }
+        }
+        let report = mca::analyze(m, self.config.arch);
+        let memo = MeasureMemo {
+            size: object_size(m, self.config.arch).total,
+            flat_cycles: report.flat_cycles,
+            throughput: report.throughput,
+        };
+        if let (Some(cache), Some(h)) = (&self.cache, h) {
+            cache.put_measure(h, self.config.arch, memo);
+        }
+        memo
+    }
+
+    /// Encodes `m` (hashed `h`) into a state, memoized when caching.
+    fn encode_memo(&self, h: Option<ModuleHash>, m: &Module) -> Vec<f64> {
+        let enc = self.config.encoding as u8;
+        if let (Some(cache), Some(h)) = (&self.cache, h) {
+            if let Some(v) = cache.get_embed(h, enc) {
+                return (*v).clone();
+            }
+        }
+        let v = self.encode(m);
+        if let (Some(cache), Some(h)) = (&self.cache, h) {
+            cache.put_embed(h, enc, v.clone());
+        }
+        v
+    }
+
     /// Starts an episode on `module` (the unoptimized input). Returns the
     /// initial state.
     pub fn reset(&mut self, module: Module) -> Vec<f64> {
-        let size = object_size(&module, self.config.arch).total as f64;
-        let cycles = mca::analyze(&module, self.config.arch).flat_cycles;
+        self.cur_hash = self.cache.as_ref().map(|_| module_hash(&module));
+        let meas = self.measure(self.cur_hash, &module);
+        let size = meas.size as f64;
+        let cycles = meas.flat_cycles;
         self.base_size = size.max(1.0);
         self.base_cycles = cycles.max(1.0);
         self.last_size = size;
         self.last_cycles = cycles;
         self.steps_taken = 0;
         self.applied.clear();
-        let state = self.encode(&module);
+        let state = self.encode_memo(self.cur_hash, &module);
         self.module = Some(module);
         state
     }
@@ -160,20 +234,47 @@ impl PhaseEnv {
     /// Applies action `a` (one pass sub-sequence) and returns the reward
     /// per Eqns 1–3.
     ///
+    /// With a cache attached, the `(state, action)` pair is first looked up
+    /// as a step memo — a hit replaces the pass-pipeline run, and the
+    /// post-state measurements/embedding are themselves memoized by the
+    /// post-state's structural hash. All memoized functions are
+    /// deterministic, so cached and uncached runs produce identical
+    /// rewards, states and modules.
+    ///
     /// # Panics
     ///
     /// Panics if the environment was not reset or `a` is out of range.
     pub fn step(&mut self, a: usize) -> StepResult {
-        let module = self.module.as_mut().expect("environment not reset");
-        let passes = self.actions.sequences[a].clone();
-        let refs: Vec<&str> = passes.iter().map(|s| s.as_str()).collect();
-        self.pm
-            .run_pipeline(module, &refs)
-            .expect("action passes are registered");
+        assert!(self.module.is_some(), "environment not reset");
+        if let Some(cache) = self.cache.clone() {
+            let pre = self.cur_hash.expect("hash tracked while caching");
+            let sig = self.action_sigs[a];
+            let post = if let Some(memo) = cache.get_step(pre, sig) {
+                *self.module.as_mut().unwrap() = memo.module.clone();
+                memo.post
+            } else {
+                self.run_action(a);
+                let module = self.module.as_ref().unwrap();
+                let post = module_hash(module);
+                cache.put_step(
+                    pre,
+                    sig,
+                    StepMemo {
+                        module: module.clone(),
+                        post,
+                    },
+                );
+                post
+            };
+            self.cur_hash = Some(post);
+        } else {
+            self.run_action(a);
+        }
 
-        let size = object_size(module, self.config.arch).total as f64;
-        let report = mca::analyze(module, self.config.arch);
-        let cycles = report.flat_cycles;
+        let module = self.module.as_ref().unwrap();
+        let meas = self.measure(self.cur_hash, module);
+        let size = meas.size as f64;
+        let cycles = meas.flat_cycles;
 
         let r_size = (self.last_size - size) / self.base_size;
         // cycle-reduction fraction: the throughput term on the size term's
@@ -186,14 +287,23 @@ impl PhaseEnv {
         self.steps_taken += 1;
         self.applied.push(a);
 
-        let state = self.encode(self.module.as_ref().unwrap());
+        let state = self.encode_memo(self.cur_hash, self.module.as_ref().unwrap());
         StepResult {
             state,
             reward,
             done: self.steps_taken >= self.config.episode_len,
-            size: size as u64,
-            throughput: report.throughput,
+            size: meas.size,
+            throughput: meas.throughput,
         }
+    }
+
+    /// Runs action `a`'s pass sub-sequence on the current module in place.
+    fn run_action(&mut self, a: usize) {
+        let passes = self.actions.sequences[a].clone();
+        let refs: Vec<&str> = passes.iter().map(|s| s.as_str()).collect();
+        self.pm
+            .run_pipeline(self.module.as_mut().expect("environment not reset"), &refs)
+            .expect("action passes are registered");
     }
 
     /// Encodes a module into the RL state per the configured encoding.

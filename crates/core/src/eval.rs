@@ -7,8 +7,11 @@
 //! - **object size** (the paper's Table IV metric, negative = regression),
 //! - **estimated runtime** from the dynamic cost model (Table V / Fig. 5).
 
+use crate::cache::{EvalCache, StepMemo};
 use crate::trainer::TrainedModel;
+use parking_lot::Mutex;
 use posetrl_ir::interp::{InterpConfig, Interpreter};
+use posetrl_ir::module_hash;
 use posetrl_opt::manager::PassManager;
 use posetrl_opt::pipelines;
 use posetrl_target::runtime::dynamic_cycles;
@@ -16,6 +19,7 @@ use posetrl_target::size::object_size;
 use posetrl_target::TargetArch;
 use posetrl_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-benchmark comparison of the model's sequence against `-Oz`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,46 +95,210 @@ pub fn evaluate_suite(
     arch: TargetArch,
     measure_runtime: bool,
 ) -> (Vec<BenchmarkResult>, SuiteStats) {
-    let pm = PassManager::new();
-    let mut results = Vec::new();
-    for b in benchmarks {
-        // -Oz baseline
-        let mut oz_module = b.module.clone();
-        pm.run_pipeline(&mut oz_module, &pipelines::oz())
-            .expect("Oz pipeline runs");
-        let oz_size = object_size(&oz_module, arch).total;
+    evaluate_suite_parallel(
+        model,
+        benchmarks,
+        arch,
+        measure_runtime,
+        &ParallelEval::serial(),
+    )
+}
 
-        // model-predicted sequence
-        let (model_module, sequence) = model.optimize(b.module.clone());
-        let model_size = object_size(&model_module, arch).total;
+/// Parallelism/caching options for [`evaluate_suite_parallel`].
+#[derive(Debug, Clone, Default)]
+pub struct ParallelEval {
+    /// Worker threads (0 = one per available core, 1 = no spawning).
+    pub workers: usize,
+    /// Shared evaluation cache; greedy rollouts and the `-Oz` baseline are
+    /// memoized in it, so repeated sweeps get cheaper.
+    pub cache: Option<Arc<EvalCache>>,
+}
 
-        let size_reduction_pct = 100.0 * (oz_size as f64 - model_size as f64) / oz_size as f64;
-
-        let (oz_cycles, model_cycles, runtime_improvement_pct) = if measure_runtime {
-            let ozc = measure_cycles(&oz_module, arch);
-            let mc = measure_cycles(&model_module, arch);
-            let imp = if ozc > 0.0 {
-                100.0 * (ozc - mc) / ozc
-            } else {
-                0.0
-            };
-            (ozc, mc, imp)
-        } else {
-            (0.0, 0.0, 0.0)
-        };
-
-        results.push(BenchmarkResult {
-            name: b.name.clone(),
-            suite: b.suite.name().to_string(),
-            oz_size,
-            model_size,
-            size_reduction_pct,
-            oz_cycles,
-            model_cycles,
-            runtime_improvement_pct,
-            sequence,
-        });
+impl ParallelEval {
+    /// The plain serial configuration (`evaluate_suite`'s behaviour).
+    pub fn serial() -> ParallelEval {
+        ParallelEval {
+            workers: 1,
+            cache: None,
+        }
     }
+
+    /// `workers` threads sharing `cache`.
+    pub fn with_cache(workers: usize, cache: Arc<EvalCache>) -> ParallelEval {
+        ParallelEval {
+            workers,
+            cache: Some(cache),
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Cache signature of "apply the whole `-Oz` pipeline" (memoized like any
+/// other action: a pass sub-sequence applied to a hashed state).
+fn oz_sig() -> u64 {
+    let mut joined = String::new();
+    for p in pipelines::oz() {
+        joined.push_str(p);
+        joined.push('\x1f');
+    }
+    posetrl_embed::fnv1a(&joined)
+}
+
+/// Evaluates one benchmark: `-Oz` baseline vs the model's greedy sequence.
+fn evaluate_one(
+    model: &TrainedModel,
+    b: &Benchmark,
+    arch: TargetArch,
+    measure_runtime: bool,
+    pm: &PassManager,
+    oz_signature: u64,
+    cache: Option<&Arc<EvalCache>>,
+) -> BenchmarkResult {
+    // -Oz baseline, memoized as a step when a cache is attached
+    let oz_module = match cache {
+        Some(cache) => {
+            let pre = module_hash(&b.module);
+            match cache.get_step(pre, oz_signature) {
+                Some(memo) => memo.module.clone(),
+                None => {
+                    let mut m = b.module.clone();
+                    pm.run_pipeline(&mut m, &pipelines::oz())
+                        .expect("Oz pipeline runs");
+                    let post = module_hash(&m);
+                    cache.put_step(
+                        pre,
+                        oz_signature,
+                        StepMemo {
+                            module: m.clone(),
+                            post,
+                        },
+                    );
+                    m
+                }
+            }
+        }
+        None => {
+            let mut m = b.module.clone();
+            pm.run_pipeline(&mut m, &pipelines::oz())
+                .expect("Oz pipeline runs");
+            m
+        }
+    };
+    let oz_size = object_size(&oz_module, arch).total;
+
+    // model-predicted sequence
+    let (model_module, sequence) = model.optimize_cached(b.module.clone(), cache.cloned());
+    let model_size = object_size(&model_module, arch).total;
+
+    let size_reduction_pct = 100.0 * (oz_size as f64 - model_size as f64) / oz_size as f64;
+
+    let (oz_cycles, model_cycles, runtime_improvement_pct) = if measure_runtime {
+        let ozc = measure_cycles(&oz_module, arch);
+        let mc = measure_cycles(&model_module, arch);
+        let imp = if ozc > 0.0 {
+            100.0 * (ozc - mc) / ozc
+        } else {
+            0.0
+        };
+        (ozc, mc, imp)
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+
+    BenchmarkResult {
+        name: b.name.clone(),
+        suite: b.suite.name().to_string(),
+        oz_size,
+        model_size,
+        size_reduction_pct,
+        oz_cycles,
+        model_cycles,
+        runtime_improvement_pct,
+        sequence,
+    }
+}
+
+/// Evaluates a trained model over `benchmarks`, fanning the per-benchmark
+/// work out across `opts.workers` threads.
+///
+/// Results are ordered by benchmark index regardless of scheduling, and the
+/// numbers are bit-identical to the serial, uncached sweep — benchmarks are
+/// independent and every memoized evaluation is deterministic.
+pub fn evaluate_suite_parallel(
+    model: &TrainedModel,
+    benchmarks: &[Benchmark],
+    arch: TargetArch,
+    measure_runtime: bool,
+    opts: &ParallelEval,
+) -> (Vec<BenchmarkResult>, SuiteStats) {
+    let workers = opts.resolved_workers();
+    let oz_signature = oz_sig();
+    let results: Vec<BenchmarkResult> = if workers <= 1 || benchmarks.len() <= 1 {
+        let pm = PassManager::new();
+        benchmarks
+            .iter()
+            .map(|b| {
+                evaluate_one(
+                    model,
+                    b,
+                    arch,
+                    measure_runtime,
+                    &pm,
+                    oz_signature,
+                    opts.cache.as_ref(),
+                )
+            })
+            .collect()
+    } else {
+        let next: Mutex<usize> = Mutex::new(0);
+        let slots: Mutex<Vec<Option<BenchmarkResult>>> = Mutex::new(
+            std::iter::repeat_with(|| None)
+                .take(benchmarks.len())
+                .collect(),
+        );
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(benchmarks.len()) {
+                s.spawn(|| {
+                    let pm = PassManager::new();
+                    loop {
+                        let i = {
+                            let mut n = next.lock();
+                            let i = *n;
+                            *n += 1;
+                            i
+                        };
+                        if i >= benchmarks.len() {
+                            break;
+                        }
+                        let r = evaluate_one(
+                            model,
+                            &benchmarks[i],
+                            arch,
+                            measure_runtime,
+                            &pm,
+                            oz_signature,
+                            opts.cache.as_ref(),
+                        );
+                        slots.lock()[i] = Some(r);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every benchmark evaluated"))
+            .collect()
+    };
     let stats = aggregate(&results, arch);
     (results, stats)
 }

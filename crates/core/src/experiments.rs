@@ -719,9 +719,156 @@ pub fn ablate_embed(ctx: &ExperimentContext) -> Ablation {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Episode engine statistics (PR 2: parallel engine + evaluation cache)
+// ---------------------------------------------------------------------------
+
+/// Timings and cache behaviour of the parallel episode engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Worker threads the engine resolved to.
+    pub workers: usize,
+    /// Training rounds run.
+    pub rounds: usize,
+    /// Episodes completed.
+    pub episodes: usize,
+    /// Mean reward of the last 50 episodes.
+    pub final_mean_reward: f64,
+    /// Training cache hit rate, percent.
+    pub train_hit_rate_pct: f64,
+    /// Serial, uncached validation sweep, milliseconds.
+    pub serial_sweep_ms: f64,
+    /// First parallel+cached sweep (cold cache), milliseconds.
+    pub cold_sweep_ms: f64,
+    /// Second parallel+cached sweep (warm cache), milliseconds.
+    pub warm_sweep_ms: f64,
+    /// `serial_sweep_ms / warm_sweep_ms` — what repeated sweeps gain.
+    pub warm_speedup: f64,
+    /// Evaluation cache hit rate after both sweeps, percent.
+    pub eval_hit_rate_pct: f64,
+    /// Rendered evaluation cache counter line.
+    pub eval_cache_line: String,
+}
+
+/// Trains with the parallel engine and measures serial vs parallel+cached
+/// validation sweeps.
+///
+/// The benchmark sweep runs three times: once serial and uncached (the
+/// pre-engine path), once parallel with a cold shared cache, and once more
+/// with the now-warm cache — the configuration repeated validation actually
+/// runs in. All three produce bit-identical numbers (see
+/// `tests/parallel_determinism.rs`); only the wall clock differs.
+pub fn engine_stats(scale: Scale) -> EngineStats {
+    use crate::engine::{train_parallel, EngineConfig};
+    use crate::eval::{evaluate_suite_parallel, ParallelEval};
+    use std::time::Instant;
+
+    let trainer = scale.trainer();
+    let config = EngineConfig {
+        trainer,
+        validate_every: 4,
+        ..EngineConfig::default()
+    };
+    let training = training_suite();
+    let cap = scale.benchmark_cap().min(8);
+    let benches: Vec<Benchmark> = mibench().into_iter().take(cap).collect();
+
+    let (model, report) = train_parallel(&config, ActionSet::odg(), &training, &benches);
+    let train_stats = report.cache.expect("engine defaults to caching");
+
+    let arch = TargetArch::X86_64;
+    let t0 = Instant::now();
+    let (serial_results, _) = evaluate_suite(&model, &benches, arch, false);
+    let serial_sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let cache = crate::cache::EvalCache::shared();
+    let opts = ParallelEval::with_cache(0, std::sync::Arc::clone(&cache));
+    let t1 = Instant::now();
+    let (cold_results, _) = evaluate_suite_parallel(&model, &benches, arch, false, &opts);
+    let cold_sweep_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let t2 = Instant::now();
+    let (warm_results, _) = evaluate_suite_parallel(&model, &benches, arch, false, &opts);
+    let warm_sweep_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    for (s, w) in serial_results
+        .iter()
+        .zip(cold_results.iter().zip(&warm_results))
+    {
+        assert_eq!(
+            s.model_size, w.0.model_size,
+            "sweeps must agree ({})",
+            s.name
+        );
+        assert_eq!(
+            s.model_size, w.1.model_size,
+            "sweeps must agree ({})",
+            s.name
+        );
+    }
+
+    let eval_stats = cache.stats();
+    EngineStats {
+        workers: report.workers,
+        rounds: report.rounds.len(),
+        episodes: report.episode_rewards.len(),
+        final_mean_reward: model.final_mean_reward,
+        train_hit_rate_pct: 100.0 * train_stats.hit_rate(),
+        serial_sweep_ms,
+        cold_sweep_ms,
+        warm_sweep_ms,
+        warm_speedup: serial_sweep_ms / warm_sweep_ms.max(1e-9),
+        eval_hit_rate_pct: 100.0 * eval_stats.hit_rate(),
+        eval_cache_line: eval_stats.render(),
+    }
+}
+
+impl EngineStats {
+    /// Renders the statistics as text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Episode engine: {} workers, {} rounds, {} episodes, final mean reward {:+.3}",
+            self.workers, self.rounds, self.episodes, self.final_mean_reward
+        );
+        let _ = writeln!(
+            s,
+            "training cache hit rate: {:.1}%",
+            self.train_hit_rate_pct
+        );
+        let _ = writeln!(
+            s,
+            "validation sweep: serial {:.1} ms, parallel cold {:.1} ms, parallel warm {:.1} ms ({:.1}x)",
+            self.serial_sweep_ms, self.cold_sweep_ms, self.warm_sweep_ms, self.warm_speedup
+        );
+        let _ = writeln!(s, "{}", self.eval_cache_line);
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_stats_reports_cache_activity() {
+        let s = engine_stats(Scale::Quick);
+        assert!(s.episodes > 0 && s.rounds > 0);
+        assert!(
+            s.train_hit_rate_pct > 0.0,
+            "training must revisit cached states"
+        );
+        assert!(
+            s.eval_hit_rate_pct > 0.0,
+            "the warm sweep must hit the cache"
+        );
+        assert!(
+            s.warm_sweep_ms <= s.serial_sweep_ms * 1.5,
+            "warm sweep regressed"
+        );
+        let r = s.render();
+        assert!(r.contains("cache hit rate"));
+    }
 
     #[test]
     fn odg_stats_match_paper() {

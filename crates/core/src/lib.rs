@@ -37,12 +37,16 @@
 //! ```
 
 pub mod actions;
+pub mod cache;
+pub mod engine;
 pub mod env;
 pub mod eval;
 pub mod experiments;
 pub mod trainer;
 
 pub use actions::ActionSet;
+pub use cache::{CacheStats, EvalCache};
+pub use engine::{train_parallel, EngineConfig, EngineReport};
 pub use env::{EnvConfig, PhaseEnv, StepResult};
-pub use eval::{evaluate_suite, BenchmarkResult, SuiteStats};
+pub use eval::{evaluate_suite, evaluate_suite_parallel, BenchmarkResult, SuiteStats};
 pub use trainer::{train, TrainedModel, TrainerConfig};

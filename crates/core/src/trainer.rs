@@ -145,7 +145,20 @@ impl TrainedModel {
     /// Applies the greedy policy to `module`, returning the optimized
     /// module and the applied action indices.
     pub fn optimize(&self, module: posetrl_ir::Module) -> (posetrl_ir::Module, Vec<usize>) {
-        let mut env = PhaseEnv::new(self.env.clone(), self.actions.clone());
+        self.optimize_cached(module, None)
+    }
+
+    /// Like [`TrainedModel::optimize`], but memoizing every evaluation in
+    /// `cache` (bit-identical results; see `posetrl::cache`).
+    pub fn optimize_cached(
+        &self,
+        module: posetrl_ir::Module,
+        cache: Option<std::sync::Arc<crate::cache::EvalCache>>,
+    ) -> (posetrl_ir::Module, Vec<usize>) {
+        let mut env = match cache {
+            Some(c) => PhaseEnv::with_cache(self.env.clone(), self.actions.clone(), c),
+            None => PhaseEnv::new(self.env.clone(), self.actions.clone()),
+        };
         let mut state = env.reset(module);
         loop {
             let a = self.agent.act_greedy(&state);

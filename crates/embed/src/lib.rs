@@ -261,12 +261,13 @@ impl Embedder {
             axpy(&mut v, 1.0, &self.vocab.vector(&format!("decl.{}", f.name)));
             return v;
         }
-        // deterministic accumulation order (float addition is not
-        // associative, and map iteration order is not stable)
+        // Accumulate in block-order traversal (the printer's order), not by
+        // raw InstId: float addition is not associative, and arena numbering
+        // differs between modules that print identically, so this is what
+        // makes the embedding a pure function of the printed form (which the
+        // evaluation cache's bit-identical contract relies on).
         let embeddings = self.embed_function_insts(f);
-        let mut ids: Vec<InstId> = embeddings.keys().copied().collect();
-        ids.sort();
-        for id in ids {
+        for id in f.inst_ids() {
             axpy(&mut v, 1.0, &embeddings[&id]);
         }
         v

@@ -25,8 +25,11 @@ impl Cfg {
             succs.insert(b, f.successors(b));
             preds.entry(b).or_default();
         }
-        for (&b, ss) in &succs {
-            for &s in ss {
+        // Build predecessor lists in block order, not map order: pred-list
+        // order reaches the printed form (phi incomings follow it), so it
+        // must be a deterministic function of the module.
+        for b in f.block_ids() {
+            for &s in &succs[&b] {
                 preds.entry(s).or_default().push(b);
             }
         }

@@ -1,0 +1,152 @@
+//! Structural module hashing.
+//!
+//! [`module_hash`] digests the canonical textual form of a module (the
+//! exact byte stream [`crate::printer::print_module`] produces) into a
+//! 128-bit [`ModuleHash`]. Because the printer renumbers values and blocks
+//! canonically, the hash is a *structural* identity:
+//!
+//! - stable across [`Clone`] and across processes (no addresses, no
+//!   randomized state),
+//! - equal **iff** the printed forms are equal (up to the ~2⁻¹²⁸ collision
+//!   probability of the double-FNV digest),
+//! - sensitive to every instruction, operand, CFG edge, attribute, linkage
+//!   and global-variable change the printer can express.
+//!
+//! The evaluation cache in `posetrl` keys memoized embeddings, size/MCA
+//! measurements and post-pass module states by this hash, so its
+//! printer-equality contract is what makes cached and uncached runs
+//! bit-identical (see DESIGN.md).
+
+use crate::module::Module;
+use crate::printer::write_module;
+use std::fmt::{self, Write};
+
+/// A 128-bit structural digest of a module's canonical printed form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleHash(pub u128);
+
+impl fmt::Display for ModuleHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+// A second, independent 64-bit stream: different offset basis (digits of π)
+// and a different odd multiplier, so a collision must defeat both.
+const ALT_OFFSET: u64 = 0x2437_53a4_7a8e_a36b;
+const ALT_PRIME: u64 = 0x0000_0100_0000_0a07;
+
+/// A `fmt::Write` sink that folds every byte into two FNV-1a streams.
+struct HashSink {
+    a: u64,
+    b: u64,
+}
+
+impl Write for HashSink {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for byte in s.bytes() {
+            self.a = (self.a ^ byte as u64).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ byte as u64).wrapping_mul(ALT_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Computes the structural hash of `m` without materializing the printed
+/// string.
+pub fn module_hash(m: &Module) -> ModuleHash {
+    let mut sink = HashSink {
+        a: FNV_OFFSET,
+        b: ALT_OFFSET,
+    };
+    write_module(&mut sink, m).expect("hash sink cannot fail");
+    ModuleHash(((sink.a as u128) << 64) | sink.b as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::module::Linkage;
+    use crate::printer::print_module;
+    use crate::types::Ty;
+    use crate::value::{Const, Value};
+
+    fn sample_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.add_global("tbl", Ty::I64, 4, vec![Const::int(Ty::I64, 7)], true);
+        let f = mb.begin_function("f", vec![Ty::I64], Ty::I64);
+        {
+            let mut fb = mb.func_builder(f);
+            let x = fb.add(Ty::I64, Value::Arg(0), Value::i64(1));
+            let y = fb.mul(Ty::I64, x, Value::i64(3));
+            fb.ret(Some(y));
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn stable_across_clone() {
+        let m = sample_module();
+        assert_eq!(module_hash(&m), module_hash(&m.clone()));
+    }
+
+    #[test]
+    fn matches_printed_form() {
+        // the digest is a pure function of the printed bytes
+        let m = sample_module();
+        let h1 = module_hash(&m);
+        let text = print_module(&m);
+        let mut sink = HashSink {
+            a: FNV_OFFSET,
+            b: ALT_OFFSET,
+        };
+        sink.write_str(&text).unwrap();
+        assert_eq!(h1, ModuleHash(((sink.a as u128) << 64) | sink.b as u128));
+    }
+
+    #[test]
+    fn sensitive_to_instruction_change() {
+        let m0 = sample_module();
+        let mut m1 = m0.clone();
+        let fid = m1.func_by_name("f").unwrap();
+        let f = m1.func_mut(fid).unwrap();
+        let entry = f.entry;
+        let first = f.block(entry).unwrap().insts[0];
+        f.replace_uses_in(first, Value::i64(1), Value::i64(2));
+        assert_ne!(module_hash(&m0), module_hash(&m1));
+    }
+
+    #[test]
+    fn sensitive_to_cfg_and_global_changes() {
+        let m0 = sample_module();
+
+        // adding an (empty-printable) block changes the CFG shape — but an
+        // empty block prints a label, so the hash must move
+        let mut m1 = m0.clone();
+        let fid = m1.func_by_name("f").unwrap();
+        m1.func_mut(fid).unwrap().add_block();
+        assert_ne!(module_hash(&m0), module_hash(&m1));
+
+        // global initializer change
+        let mut m2 = m0.clone();
+        let gid = m2.global_by_name("tbl").unwrap();
+        m2.global_mut(gid).unwrap().init[0] = Const::int(Ty::I64, 8);
+        assert_ne!(module_hash(&m0), module_hash(&m2));
+
+        // linkage change
+        let mut m3 = m0.clone();
+        let fid = m3.func_by_name("f").unwrap();
+        m3.func_mut(fid).unwrap().linkage = Linkage::External;
+        assert_ne!(module_hash(&m0), module_hash(&m3));
+    }
+
+    #[test]
+    fn module_name_participates() {
+        let mut m1 = sample_module();
+        m1.name = "other".into();
+        assert_ne!(module_hash(&sample_module()), module_hash(&m1));
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod hash;
 pub mod inst;
 pub mod interp;
 pub mod module;
@@ -42,6 +43,7 @@ pub mod types;
 pub mod value;
 pub mod verifier;
 
+pub use hash::{module_hash, ModuleHash};
 pub use inst::{BinOp, CastKind, FloatPred, Inst, InstId, IntPred, Op};
 pub use module::{Block, BlockId, FnAttrs, FuncId, Function, Global, GlobalId, Linkage, Module};
 pub use types::Ty;

@@ -14,13 +14,23 @@ use std::fmt::Write;
 /// Prints a whole module.
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "module \"{}\"", m.name);
+    write_module(&mut out, m).expect("writing to a String cannot fail");
+    out
+}
+
+/// Streams the canonical textual form of `m` into any [`Write`] sink.
+///
+/// This is the same byte stream [`print_module`] returns; callers that only
+/// need a digest of the text (e.g. [`crate::hash::module_hash`]) can pass a
+/// hashing sink and avoid materializing the string.
+pub fn write_module<W: Write>(out: &mut W, m: &Module) -> std::fmt::Result {
+    writeln!(out, "module \"{}\"", m.name)?;
     for gid in m.global_ids() {
         let g = m.global(gid).unwrap();
         let mutability = if g.mutable { "mutable" } else { "const" };
         let linkage = linkage_str(g.linkage);
         let init: Vec<String> = g.init.iter().map(print_const).collect();
-        let _ = writeln!(
+        writeln!(
             out,
             "global @{} : {} x {} {} {} = [{}]",
             g.name,
@@ -29,25 +39,25 @@ pub fn print_module(m: &Module) -> String {
             mutability,
             linkage,
             init.join(", ")
-        );
+        )?;
     }
     for fid in m.func_ids() {
         let f = m.func(fid).unwrap();
-        out.push('\n');
+        out.write_char('\n')?;
         if f.is_decl {
             let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
-            let _ = writeln!(
+            writeln!(
                 out,
                 "declare @{}({}) -> {}",
                 f.name,
                 params.join(", "),
                 f.ret
-            );
+            )?;
         } else {
-            out.push_str(&print_function(m, f));
+            write_function(out, m, f)?;
         }
     }
-    out
+    Ok(())
 }
 
 fn linkage_str(l: Linkage) -> &'static str {
@@ -80,8 +90,14 @@ fn attrs_str(f: &Function) -> String {
 /// Prints one function body with sequentially renumbered values.
 pub fn print_function(m: &Module, f: &Function) -> String {
     let mut out = String::new();
+    write_function(&mut out, m, f).expect("writing to a String cannot fail");
+    out
+}
+
+/// Streams one function body (see [`write_module`]).
+pub fn write_function<W: Write>(out: &mut W, m: &Module, f: &Function) -> std::fmt::Result {
     let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
-    let _ = writeln!(
+    writeln!(
         out,
         "fn @{}({}) -> {} {}{} {{",
         f.name,
@@ -89,7 +105,7 @@ pub fn print_function(m: &Module, f: &Function) -> String {
         f.ret,
         linkage_str(f.linkage),
         attrs_str(f)
-    );
+    )?;
 
     // sequential numbering of value-producing instructions, in block order
     let mut numbering: HashMap<InstId, usize> = HashMap::new();
@@ -118,13 +134,12 @@ pub fn print_function(m: &Module, f: &Function) -> String {
     blocks.sort_by_key(|b| if *b == f.entry { 0 } else { b.index() + 1 });
 
     for b in blocks {
-        let _ = writeln!(out, "{}:", block_names[&b]);
+        writeln!(out, "{}:", block_names[&b])?;
         for &id in &f.block(b).unwrap().insts {
-            let _ = writeln!(out, "  {}", print_inst(m, f, id, &numbering, &block_names));
+            writeln!(out, "  {}", print_inst(m, f, id, &numbering, &block_names))?;
         }
     }
-    out.push_str("}\n");
-    out
+    out.write_str("}\n")
 }
 
 fn print_const(c: &Const) -> String {

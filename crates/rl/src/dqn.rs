@@ -48,6 +48,24 @@ pub struct DqnConfig {
     pub seed: u64,
 }
 
+impl DqnConfig {
+    /// The exploration rate after `step` environment steps (ε annealed
+    /// linearly from `eps_start` to `eps_end` over `eps_decay_steps`).
+    ///
+    /// Exposed so the parallel episode engine can reproduce the agent's
+    /// schedule for steps planned ahead of time: the engine assigns each
+    /// episode a fixed global step range before fanning out, so exploration
+    /// is identical no matter which worker runs the episode.
+    pub fn epsilon_at(&self, step: u64) -> f64 {
+        if step >= self.eps_decay_steps {
+            self.eps_end
+        } else {
+            let frac = step as f64 / self.eps_decay_steps as f64;
+            self.eps_start + (self.eps_end - self.eps_start) * frac
+        }
+    }
+}
+
 impl Default for DqnConfig {
     fn default() -> Self {
         DqnConfig {
@@ -127,13 +145,7 @@ impl DqnAgent {
 
     /// Current exploration rate.
     pub fn epsilon(&self) -> f64 {
-        let c = &self.config;
-        if self.steps >= c.eps_decay_steps {
-            c.eps_end
-        } else {
-            let frac = self.steps as f64 / c.eps_decay_steps as f64;
-            c.eps_start + (c.eps_end - c.eps_start) * frac
-        }
+        self.config.epsilon_at(self.steps)
     }
 
     /// Q-values of `state` under the online network.
@@ -155,6 +167,28 @@ impl DqnAgent {
     /// Greedy action (inference; does not advance the schedule).
     pub fn act_greedy(&self, state: &[f64]) -> usize {
         argmax(&self.q_values(state))
+    }
+
+    /// A frozen, shareable snapshot of the current online policy.
+    ///
+    /// The snapshot owns a copy of the network, is `Send + Sync`, and acts
+    /// purely by value — rollout workers can score states against it while
+    /// the coordinator keeps training the live agent.
+    pub fn policy(&self) -> Policy {
+        Policy {
+            net: self.online.clone(),
+            n_actions: self.config.n_actions,
+        }
+    }
+
+    /// Advances the environment-step counter without selecting an action.
+    ///
+    /// The parallel episode engine selects actions on worker threads from a
+    /// frozen [`Policy`]; the coordinator calls this once per replayed
+    /// transition so the ε schedule and target-sync cadence stay aligned
+    /// with the serial path.
+    pub fn advance_steps(&mut self, n: u64) {
+        self.steps += n;
     }
 
     /// Stores a transition and trains one mini-batch when ready. Returns
@@ -251,6 +285,30 @@ impl DqnAgent {
         // fresh Adam state and an empty buffer
         agent.optimizer = Adam::new(&agent.online, agent.config.lr);
         Ok(agent)
+    }
+}
+
+/// A frozen policy snapshot: the online network at one instant.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    net: Mlp,
+    n_actions: usize,
+}
+
+impl Policy {
+    /// Number of discrete actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Q-values of `state`.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.net.forward(state)
+    }
+
+    /// The greedy action (first index on ties, like the agent).
+    pub fn act_greedy(&self, state: &[f64]) -> usize {
+        argmax(&self.q_values(state))
     }
 }
 

@@ -27,6 +27,6 @@ pub mod dqn;
 pub mod nn;
 pub mod replay;
 
-pub use dqn::{DqnAgent, DqnConfig};
+pub use dqn::{DqnAgent, DqnConfig, Policy};
 pub use nn::{Adam, Mlp};
 pub use replay::{ReplayBuffer, Transition};

@@ -2,28 +2,63 @@
 //! training corpus with the verifier run after *every single pass*. This is
 //! the test that catches passes leaving dangling references or broken phis
 //! behind (it found a real bug in loop-unswitch during development).
+//!
+//! The walk length is `POSETRL_HUNT_STEPS` actions per program (default 8);
+//! nightly CI raises it for a deeper hunt. The RNG is an explicit xorshift64
+//! state so the stream is reproducible and auditable, and the test asserts
+//! the walk actually covered more than half of each action space — a biased
+//! or stuck generator would otherwise silently hollow the hunt out.
 
 use posetrl_ir::verifier::verify_module;
 use posetrl_odg::ActionSpace;
 use posetrl_opt::manager::PassManager;
+use std::collections::HashSet;
+
+/// Explicit xorshift64 state (Marsaglia's triplet 13/7/17).
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: seed.max(1), // xorshift has a fixed point at 0
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn hunt_steps() -> usize {
+    std::env::var("POSETRL_HUNT_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
 
 #[test]
 fn hunt_corruption() {
     let programs = posetrl_workloads::training_suite();
     let pm = PassManager::new();
-    let mut h = 0xABCDEFu64;
-    let mut next = move |n: usize| {
-        h ^= h << 13;
-        h ^= h >> 7;
-        h ^= h << 17;
-        (h % n as u64) as usize
-    };
+    let steps_per_program = hunt_steps();
+    let mut rng = XorShift64::new(0xABCDEF);
     for space in [ActionSpace::manual(), ActionSpace::odg()] {
+        let mut drawn: HashSet<usize> = HashSet::new();
         for b in programs.iter().step_by(3) {
             let mut m = b.module.clone();
             let mut applied: Vec<(usize, &str)> = Vec::new();
-            for step in 0..8 {
-                let a = next(space.len());
+            for step in 0..steps_per_program {
+                let a = rng.next_below(space.len());
+                drawn.insert(a);
                 for pass in space.subsequence(a) {
                     applied.push((a, pass));
                     pm.run_pass(&mut m, pass).unwrap();
@@ -37,5 +72,35 @@ fn hunt_corruption() {
                 }
             }
         }
+        assert!(
+            drawn.len() * 2 > space.len(),
+            "[{}] walk covered only {}/{} actions — RNG is biased or stuck",
+            space.kind().name(),
+            drawn.len(),
+            space.len()
+        );
+    }
+}
+
+#[test]
+fn xorshift_state_advances_and_covers() {
+    // The regression this guards: an RNG captured by value in a closure (or
+    // otherwise copied) would re-emit the same "random" action forever.
+    let mut rng = XorShift64::new(42);
+    let first = rng.next_u64();
+    assert_ne!(first, rng.next_u64(), "state must advance between draws");
+
+    let mut seen = HashSet::new();
+    let mut rng = XorShift64::new(7);
+    for _ in 0..400 {
+        seen.insert(rng.next_below(34));
+    }
+    assert_eq!(seen.len(), 34, "400 draws must cover all 34 actions");
+
+    // same seed ⇒ same stream (reproducible hunts)
+    let mut a = XorShift64::new(9);
+    let mut b = XorShift64::new(9);
+    for _ in 0..64 {
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

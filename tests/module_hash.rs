@@ -1,0 +1,126 @@
+//! Structural-hash contract on the real training corpus.
+//!
+//! `module_hash` hashes the canonically printed form of a module, so the
+//! evaluation cache's correctness rests on one invariant: **hash equality
+//! holds exactly when printer output equality holds**. These tests check
+//! that equivalence over the full 130-program training suite — as
+//! generated, after cloning, and after running pass pipelines — rather
+//! than on hand-picked toy modules.
+
+use posetrl_ir::printer::print_module;
+use posetrl_ir::{module_hash, ModuleHash};
+use posetrl_opt::pipelines;
+use posetrl_opt::PassManager;
+use posetrl_workloads::training_suite;
+use std::collections::HashMap;
+
+/// Asserts hash equality ⇔ printed-form equality across `modules`.
+///
+/// Both directions are checked exhaustively: every pair of equal hashes
+/// must print identically (no collisions), and every pair of equal
+/// printed forms must hash identically (no spurious splits).
+fn assert_hash_matches_printer(printed: &[(String, ModuleHash, String)]) {
+    let mut by_hash: HashMap<ModuleHash, &str> = HashMap::new();
+    let mut by_text: HashMap<&str, ModuleHash> = HashMap::new();
+    for (name, h, text) in printed {
+        match by_hash.get(h) {
+            Some(prev) => assert_eq!(
+                *prev, text,
+                "{name}: hash {h} collides with a differently-printed module"
+            ),
+            None => {
+                by_hash.insert(*h, text);
+            }
+        }
+        match by_text.get(text.as_str()) {
+            Some(prev) => assert_eq!(
+                prev, h,
+                "{name}: identical printed form produced two different hashes"
+            ),
+            None => {
+                by_text.insert(text, *h);
+            }
+        }
+    }
+}
+
+fn corpus() -> Vec<(String, ModuleHash, String)> {
+    training_suite()
+        .iter()
+        .map(|b| {
+            (
+                b.name.clone(),
+                module_hash(&b.module),
+                print_module(&b.module),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn hash_equality_iff_printer_equality_on_training_suite() {
+    let printed = corpus();
+    assert_eq!(printed.len(), 130, "full training suite");
+    assert_hash_matches_printer(&printed);
+    // Program names are part of the print, so the 130 generated programs
+    // must all be pairwise distinct — a collapsed corpus would let the
+    // cache alias unrelated benchmarks.
+    let distinct: std::collections::HashSet<ModuleHash> =
+        printed.iter().map(|(_, h, _)| *h).collect();
+    assert_eq!(distinct.len(), printed.len());
+}
+
+#[test]
+fn hash_is_stable_across_clone_on_training_suite() {
+    for b in training_suite() {
+        let h = module_hash(&b.module);
+        assert_eq!(h, module_hash(&b.module.clone()), "{}", b.name);
+    }
+}
+
+#[test]
+fn hash_tracks_printer_through_pass_pipelines() {
+    let pm = PassManager::new();
+    // A spread of distinct sub-pipelines keeps the check cheap while still
+    // producing genuinely transformed modules (including no-op runs, which
+    // must keep the original hash).
+    let pipelines: [&[&str]; 3] = [
+        &["simplifycfg", "sroa", "early-cse"],
+        &["instcombine", "gvn", "adce"],
+        &["mem2reg", "bdce", "globaldce"],
+    ];
+    let mut printed = Vec::new();
+    for (i, b) in training_suite().iter().enumerate().step_by(7) {
+        let mut m = b.module.clone();
+        let pre = module_hash(&m);
+        let changed = pm
+            .run_pipeline(&mut m, pipelines[i % pipelines.len()])
+            .expect("known passes");
+        let post = module_hash(&m);
+        if !changed {
+            assert_eq!(pre, post, "{}: unchanged module must keep its hash", b.name);
+        }
+        assert_eq!(
+            post,
+            module_hash(&m),
+            "{}: hashing must be deterministic",
+            b.name
+        );
+        printed.push((b.name.clone(), post, print_module(&m)));
+    }
+    assert!(printed.len() >= 18);
+    assert_hash_matches_printer(&printed);
+}
+
+#[test]
+fn hash_tracks_printer_through_full_oz() {
+    let pm = PassManager::new();
+    let mut printed = Vec::new();
+    for b in training_suite().iter().step_by(13) {
+        let mut m = b.module.clone();
+        pm.run_pipeline(&mut m, &pipelines::oz()).expect("oz runs");
+        printed.push((b.name.clone(), module_hash(&m), print_module(&m)));
+    }
+    assert_eq!(printed.len(), 10);
+    assert_hash_matches_printer(&printed);
+}

@@ -30,9 +30,19 @@ fn kind_from(i: u8) -> ProgramKind {
     ProgramKind::ALL[i as usize % ProgramKind::ALL.len()]
 }
 
+/// Cases per property: 24 by default, raised via `POSETRL_PROPTEST_CASES`
+/// on the nightly CI profile (the vendored proptest stand-in does not read
+/// environment variables itself).
+fn proptest_cases() -> u32 {
+    std::env::var("POSETRL_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 24,
+        cases: proptest_cases(),
         max_shrink_iters: 64,
         ..ProptestConfig::default()
     })]
@@ -101,6 +111,52 @@ proptest! {
         }
         let after = observe(&m);
         prop_assert_eq!(before, after, "{} actions {:?} changed behaviour", space.kind().name(), applied);
+    }
+
+    /// Composition: any *pair* of action sub-sequences applied back-to-back
+    /// preserves interpreter observations — and so does the reversed pair.
+    /// Single-action properties can miss bugs where one pass leaves a state
+    /// that is verifier-clean but miscompiled by a follow-up pass; episodes
+    /// are exactly such chains, so pairs are the minimal composition unit
+    /// worth pinning separately.
+    #[test]
+    fn pass_pair_composition_preserves_semantics(
+        seed in 0u64..5_000,
+        kind_idx in 0u8..8,
+        use_odg in any::<bool>(),
+        first in 0usize..1_000,
+        second in 0usize..1_000,
+    ) {
+        let spec = ProgramSpec {
+            name: "prop".into(),
+            kind: kind_from(kind_idx),
+            size: SizeClass::Small,
+            seed: seed.wrapping_add(131),
+        };
+        let m0 = generate(&spec);
+        let before = observe(&m0);
+
+        let space = if use_odg { ActionSpace::odg() } else { ActionSpace::manual() };
+        let a = first % space.len();
+        let b = second % space.len();
+        let pm = PassManager::new();
+        for order in [[a, b], [b, a]] {
+            let mut m = m0.clone();
+            for &idx in &order {
+                pm.run_pipeline(&mut m, space.subsequence(idx)).unwrap();
+                if let Err(e) = verify_module(&m) {
+                    panic!("verifier failed in {} pair {order:?} at {idx}: {e}", space.kind().name());
+                }
+            }
+            let after = observe(&m);
+            prop_assert_eq!(
+                &before,
+                &after,
+                "{} pair {:?} changed behaviour",
+                space.kind().name(),
+                order
+            );
+        }
     }
 
     /// Object size and MCA throughput are well-defined at every point the
