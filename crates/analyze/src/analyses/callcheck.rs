@@ -1,0 +1,197 @@
+//! Module-level symbol and call-boundary consistency checks.
+//!
+//! Catches interprocedural breakage that per-function verification cannot
+//! see from one side alone: duplicate symbol names, calls to removed
+//! functions, and call sites whose arity or types disagree with the callee
+//! signature (a classic inliner/argpromotion bug class).
+
+use crate::diag::{codes, Diagnostic};
+use posetrl_ir::verifier::value_ty;
+use posetrl_ir::{Module, Op, SourceLoc, Value};
+use std::collections::HashMap;
+
+/// Checks symbol uniqueness and every call site of the module.
+pub fn check(m: &Module, out: &mut Vec<Diagnostic>) {
+    // -- duplicate symbols ---------------------------------------------------
+    let mut seen: HashMap<&str, &'static str> = HashMap::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        if let Some(prev) = seen.insert(&f.name, "function") {
+            out.push(Diagnostic::error(
+                codes::DUP_SYMBOL,
+                SourceLoc::module(),
+                format!("symbol '@{}' defined as both {prev} and function", f.name),
+            ));
+        }
+    }
+    for gid in m.global_ids() {
+        let g = m.global(gid).unwrap();
+        if let Some(prev) = seen.insert(&g.name, "global") {
+            out.push(Diagnostic::error(
+                codes::DUP_SYMBOL,
+                SourceLoc::module(),
+                format!("symbol '@{}' defined as both {prev} and global", g.name),
+            ));
+        }
+    }
+
+    // -- call boundaries -----------------------------------------------------
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        if f.is_decl {
+            continue;
+        }
+        for id in f.inst_ids() {
+            let Op::Call {
+                callee,
+                args,
+                ret_ty,
+            } = f.op(id)
+            else {
+                continue;
+            };
+            let loc = || SourceLoc::of_inst(f, id);
+            let Some(target) = m.func(*callee) else {
+                out.push(Diagnostic::error(
+                    codes::CALL_TYPE,
+                    loc(),
+                    format!("call to removed function #{}", callee.index()),
+                ));
+                continue;
+            };
+            if args.len() != target.params.len() {
+                out.push(Diagnostic::error(
+                    codes::CALL_TYPE,
+                    loc(),
+                    format!(
+                        "call to '@{}' passes {} arguments, signature takes {}",
+                        target.name,
+                        args.len(),
+                        target.params.len()
+                    ),
+                ));
+                continue;
+            }
+            if *ret_ty != target.ret {
+                out.push(Diagnostic::error(
+                    codes::CALL_TYPE,
+                    loc(),
+                    format!(
+                        "call to '@{}' expects return type {:?}, signature returns {:?}",
+                        target.name, ret_ty, target.ret
+                    ),
+                ));
+            }
+            for (i, (&arg, &want)) in args.iter().zip(&target.params).enumerate() {
+                // skip operands the SSA checker reports as dangling
+                if matches!(arg, Value::Inst(d) if f.inst(d).is_none()) {
+                    continue;
+                }
+                let got = value_ty(m, f, arg);
+                if got != want {
+                    out.push(Diagnostic::error(
+                        codes::CALL_TYPE,
+                        loc(),
+                        format!(
+                            "argument {i} of call to '@{}' has type {got:?}, signature wants {want:?}",
+                            target.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::{Function, Ty};
+
+    fn callee_decl() -> Function {
+        Function::new_decl("ext", vec![Ty::I64, Ty::F64], Ty::I64)
+    }
+
+    #[test]
+    fn well_typed_call_is_clean() {
+        let mut m = Module::new("m");
+        let c = m.add_function(callee_decl());
+        let mut f = Function::new("main", vec![], Ty::I64);
+        let e = f.entry;
+        let r = f.append_inst(
+            e,
+            Op::Call {
+                callee: c,
+                args: vec![Value::i64(1), Value::f64(2.0)],
+                ret_ty: Ty::I64,
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(r)),
+            },
+        );
+        m.add_function(f);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn detects_arity_arg_and_ret_mismatch() {
+        let mut m = Module::new("m");
+        let c = m.add_function(callee_decl());
+        let mut f = Function::new("main", vec![], Ty::I64);
+        let e = f.entry;
+        // wrong arity
+        f.append_inst(
+            e,
+            Op::Call {
+                callee: c,
+                args: vec![Value::i64(1)],
+                ret_ty: Ty::I64,
+            },
+        );
+        // wrong arg type (f64 slot gets an i64)
+        f.append_inst(
+            e,
+            Op::Call {
+                callee: c,
+                args: vec![Value::i64(1), Value::i64(2)],
+                ret_ty: Ty::I64,
+            },
+        );
+        // wrong return type
+        f.append_inst(
+            e,
+            Op::Call {
+                callee: c,
+                args: vec![Value::i64(1), Value::f64(2.0)],
+                ret_ty: Ty::F64,
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::i64(0)),
+            },
+        );
+        m.add_function(f);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|d| d.code == codes::CALL_TYPE));
+    }
+
+    #[test]
+    fn detects_duplicate_symbols() {
+        let mut m = Module::new("m");
+        m.add_function(Function::new_decl("x", vec![], Ty::Void));
+        m.add_function(Function::new_decl("x", vec![], Ty::Void));
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::DUP_SYMBOL);
+    }
+}

@@ -1,0 +1,417 @@
+//! Constant-memory access checks.
+//!
+//! Resolves pointer chains of the form `base (+ const gep)*` where the base
+//! is a global or an alloca, and reports accesses that are provably out of
+//! bounds, stores to immutable globals, and loads from stack slots no store
+//! can have initialized. Anything the resolver cannot prove is silently
+//! accepted — this lint must stay clean on correct code.
+
+use crate::diag::{codes, Diagnostic};
+use posetrl_ir::analysis::cfg::Cfg;
+use posetrl_ir::{Function, GlobalId, InstId, Module, Op, SourceLoc, Value};
+use std::collections::HashSet;
+
+/// Base object of a resolved pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Base {
+    Global(GlobalId),
+    Alloca(InstId),
+}
+
+/// Follows `v` through constant-index geps to a base object, returning the
+/// accumulated element offset. `None` means "cannot prove anything".
+fn resolve(f: &Function, v: Value, depth: u32) -> Option<(Base, i64)> {
+    if depth == 0 {
+        return None;
+    }
+    match v {
+        Value::Global(g) => Some((Base::Global(g), 0)),
+        Value::Inst(id) => match &f.inst(id)?.op {
+            Op::Alloca { .. } => Some((Base::Alloca(id), 0)),
+            Op::Gep { ptr, index, .. } => {
+                let off = index.const_int()?;
+                let (base, acc) = resolve(f, *ptr, depth - 1)?;
+                Some((base, acc.checked_add(off)?))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Element count of a resolved base, if it still exists.
+fn base_len(m: &Module, f: &Function, base: Base) -> Option<i64> {
+    match base {
+        Base::Global(g) => Some(m.global(g)?.count as i64),
+        Base::Alloca(id) => match f.inst(id)?.op {
+            Op::Alloca { count, .. } => Some(count as i64),
+            _ => None,
+        },
+    }
+}
+
+/// How the pointers derived from one alloca (via geps) are used: whether
+/// any escapes analysis (stored as a value, passed to a call, returned,
+/// merged through a phi/select, or read via memcpy), how many writes target
+/// the slot, and which loads read it.
+struct AllocaUses {
+    escapes: bool,
+    store_count: usize,
+    loads: Vec<InstId>,
+}
+
+fn alloca_uses(f: &Function, root: InstId, reachable_insts: &[InstId]) -> AllocaUses {
+    let mut derived: HashSet<InstId> = HashSet::new();
+    derived.insert(root);
+    // geps form chains, so a few sweeps reach a fixpoint quickly
+    loop {
+        let mut grew = false;
+        for &id in reachable_insts {
+            if let Op::Gep {
+                ptr: Value::Inst(p),
+                ..
+            } = f.op(id)
+            {
+                if derived.contains(p) && derived.insert(id) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let is_derived = |v: &Value| matches!(v, Value::Inst(id) if derived.contains(id));
+    let mut escapes = false;
+    let mut store_count = 0;
+    let mut loads = Vec::new();
+    for &id in reachable_insts {
+        let op = f.op(id);
+        match op {
+            Op::Load { ptr, .. } if is_derived(ptr) => loads.push(id),
+            Op::Store { val, ptr, .. } if is_derived(ptr) => {
+                if is_derived(val) {
+                    escapes = true;
+                }
+                store_count += 1;
+            }
+            Op::MemSet { dst, .. } if is_derived(dst) => store_count += 1,
+            Op::MemCpy { dst, src, .. } => {
+                if is_derived(dst) {
+                    store_count += 1;
+                }
+                if is_derived(src) {
+                    // reading uninitialized memory through memcpy is
+                    // possible but not worth a separate lint; treat the
+                    // slot as escaped instead of guessing
+                    escapes = true;
+                }
+            }
+            Op::Gep { ptr, .. } if is_derived(ptr) => {}
+            _ => {
+                if op.operands().iter().any(&is_derived) {
+                    escapes = true;
+                }
+            }
+        }
+    }
+    AllocaUses {
+        escapes,
+        store_count,
+        loads,
+    }
+}
+
+/// Checks all provable constant-offset memory accesses of `f`.
+pub fn check(m: &Module, f: &Function, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let mut reachable_insts: Vec<InstId> = Vec::new();
+    for &b in &cfg.rpo {
+        reachable_insts.extend(f.block(b).expect("reachable block exists").insts.iter());
+    }
+
+    // -- bounds and mutability of direct accesses ---------------------------
+    for &id in &reachable_insts {
+        let op = f.op(id);
+        let (ptr, is_store) = match op {
+            Op::Load { ptr, .. } => (*ptr, false),
+            Op::Store { ptr, .. } => (*ptr, true),
+            _ => continue,
+        };
+        let Some((base, off)) = resolve(f, ptr, 32) else {
+            continue;
+        };
+        let loc = || SourceLoc::of_inst(f, id);
+        if let Some(len) = base_len(m, f, base) {
+            if off < 0 || off >= len {
+                out.push(Diagnostic::error(
+                    codes::CONST_OOB,
+                    loc(),
+                    format!(
+                        "{} at constant offset {off} is outside the {len}-element allocation",
+                        if is_store { "store" } else { "load" }
+                    ),
+                ));
+                continue;
+            }
+        }
+        if is_store {
+            if let Base::Global(g) = base {
+                if let Some(global) = m.global(g) {
+                    if !global.mutable {
+                        out.push(Diagnostic::error(
+                            codes::CONST_WRITE,
+                            loc(),
+                            format!("store to immutable global '@{}'", global.name),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // -- uninitialized stack loads ------------------------------------------
+    for &id in &reachable_insts {
+        if !matches!(f.op(id), Op::Alloca { .. }) {
+            continue;
+        }
+        let uses = alloca_uses(f, id, &reachable_insts);
+        if uses.escapes || uses.store_count > 0 {
+            continue;
+        }
+        for &load in &uses.loads {
+            out.push(Diagnostic::warning(
+                codes::UNINIT_LOAD,
+                SourceLoc::of_inst(f, load),
+                format!("load from stack slot {id} which is never stored to"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::{Const, Global, Linkage, Ty};
+
+    fn module_with_const_global(count: u32) -> (Module, GlobalId) {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global {
+            name: "tbl".into(),
+            ty: Ty::I64,
+            count,
+            init: vec![Const::int(Ty::I64, 7)],
+            mutable: false,
+            linkage: Linkage::Internal,
+        });
+        (m, g)
+    }
+
+    #[test]
+    fn oob_const_load_from_global() {
+        let (mut m, g) = module_with_const_global(3);
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry;
+        let p = f.append_inst(
+            e,
+            Op::Gep {
+                elem_ty: Ty::I64,
+                ptr: Value::Global(g),
+                index: Value::i64(5),
+            },
+        );
+        let l = f.append_inst(
+            e,
+            Op::Load {
+                ty: Ty::I64,
+                ptr: Value::Inst(p),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(l)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&m, &f, &cfg, &mut out);
+        m.add_function(f);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::CONST_OOB);
+    }
+
+    #[test]
+    fn store_to_immutable_global() {
+        let (m, g) = module_with_const_global(3);
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry;
+        f.append_inst(
+            e,
+            Op::Store {
+                ty: Ty::I64,
+                val: Value::i64(1),
+                ptr: Value::Global(g),
+            },
+        );
+        f.append_inst(e, Op::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&m, &f, &cfg, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::CONST_WRITE);
+    }
+
+    #[test]
+    fn uninit_stack_load_warns_and_initialized_is_clean() {
+        let m = Module::new("m");
+        // uninitialized
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry;
+        let a = f.append_inst(
+            e,
+            Op::Alloca {
+                ty: Ty::I64,
+                count: 1,
+            },
+        );
+        let l = f.append_inst(
+            e,
+            Op::Load {
+                ty: Ty::I64,
+                ptr: Value::Inst(a),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(l)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&m, &f, &cfg, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::UNINIT_LOAD);
+
+        // same shape but with a store: clean
+        let mut g = Function::new("g", vec![], Ty::I64);
+        let e = g.entry;
+        let a = g.append_inst(
+            e,
+            Op::Alloca {
+                ty: Ty::I64,
+                count: 1,
+            },
+        );
+        g.append_inst(
+            e,
+            Op::Store {
+                ty: Ty::I64,
+                val: Value::i64(9),
+                ptr: Value::Inst(a),
+            },
+        );
+        let l = g.append_inst(
+            e,
+            Op::Load {
+                ty: Ty::I64,
+                ptr: Value::Inst(a),
+            },
+        );
+        g.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(l)),
+            },
+        );
+        let cfg = Cfg::compute(&g);
+        let mut out = Vec::new();
+        check(&m, &g, &cfg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn escaping_alloca_is_not_linted() {
+        let mut m = Module::new("m");
+        let callee = m.add_function(Function::new_decl("sink", vec![Ty::Ptr], Ty::Void));
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry;
+        let a = f.append_inst(
+            e,
+            Op::Alloca {
+                ty: Ty::I64,
+                count: 1,
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Call {
+                callee,
+                args: vec![Value::Inst(a)],
+                ret_ty: Ty::Void,
+            },
+        );
+        let l = f.append_inst(
+            e,
+            Op::Load {
+                ty: Ty::I64,
+                ptr: Value::Inst(a),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(l)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&m, &f, &cfg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn oob_store_into_alloca_via_gep_chain() {
+        let m = Module::new("m");
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry;
+        let a = f.append_inst(
+            e,
+            Op::Alloca {
+                ty: Ty::I64,
+                count: 4,
+            },
+        );
+        let p1 = f.append_inst(
+            e,
+            Op::Gep {
+                elem_ty: Ty::I64,
+                ptr: Value::Inst(a),
+                index: Value::i64(3),
+            },
+        );
+        let p2 = f.append_inst(
+            e,
+            Op::Gep {
+                elem_ty: Ty::I64,
+                ptr: Value::Inst(p1),
+                index: Value::i64(2),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Store {
+                ty: Ty::I64,
+                val: Value::i64(0),
+                ptr: Value::Inst(p2),
+            },
+        );
+        f.append_inst(e, Op::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&m, &f, &cfg, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::CONST_OOB);
+        assert!(out[0].message.contains("offset 5"), "{out:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Unreachable-block and dead-instruction lints.
+//!
+//! Both are [`crate::diag::Severity::Note`]s by design: frontend-style
+//! input is deliberately redundant, and optimization passes legitimately
+//! leave unreachable blocks behind for a later simplifycfg to collect.
+//! The notes exist so `mini-analyze` can quantify leftover optimization
+//! opportunity, not to fail a build.
+
+use crate::diag::{codes, Diagnostic};
+use posetrl_ir::analysis::cfg::Cfg;
+use posetrl_ir::{Function, InstId, SourceLoc, Value};
+use std::collections::HashSet;
+
+/// Reports unreachable blocks and transitively-unused pure instructions.
+pub fn check(f: &Function, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let reachable = cfg.reachable();
+    for b in f.block_ids() {
+        if !reachable.contains(&b) {
+            out.push(Diagnostic::note(
+                codes::UNREACHABLE_BLOCK,
+                SourceLoc::in_func(&f.name).at_block(b),
+                "block is unreachable from the entry",
+            ));
+        }
+    }
+
+    // liveness: roots are side-effecting or control instructions of
+    // reachable blocks; everything a root transitively reads is live
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut worklist: Vec<InstId> = Vec::new();
+    let mut reachable_insts: Vec<InstId> = Vec::new();
+    for &b in &cfg.rpo {
+        for &id in &f.block(b).expect("reachable block exists").insts {
+            reachable_insts.push(id);
+            let op = f.op(id);
+            if (!op.is_pure() || op.is_terminator()) && live.insert(id) {
+                worklist.push(id);
+            }
+        }
+    }
+    while let Some(id) = worklist.pop() {
+        for v in f.op(id).operands() {
+            if let Value::Inst(def) = v {
+                if f.inst(def).is_some() && live.insert(def) {
+                    worklist.push(def);
+                }
+            }
+        }
+    }
+
+    for id in reachable_insts {
+        if !live.contains(&id) {
+            out.push(Diagnostic::note(
+                codes::DEAD_INST,
+                SourceLoc::of_inst(f, id),
+                format!("pure instruction {id} has no observable use"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::{BinOp, Op, Ty};
+
+    #[test]
+    fn flags_dead_chain_and_unreachable_block() {
+        let mut f = Function::new("d", vec![Ty::I64], Ty::I64);
+        let e = f.entry;
+        // dead chain: a -> b, nothing uses b
+        let a = f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::Mul,
+                ty: Ty::I64,
+                lhs: Value::Inst(a),
+                rhs: Value::i64(2),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Arg(0)),
+            },
+        );
+        // orphan block
+        let orphan = f.add_block();
+        f.append_inst(orphan, Op::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        let codes_found: Vec<&str> = out.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes_found
+                .iter()
+                .filter(|&&c| c == codes::DEAD_INST)
+                .count(),
+            2,
+            "{out:?}"
+        );
+        assert_eq!(
+            codes_found
+                .iter()
+                .filter(|&&c| c == codes::UNREACHABLE_BLOCK)
+                .count(),
+            1,
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn live_code_is_clean() {
+        let mut f = Function::new("l", vec![Ty::I64], Ty::I64);
+        let e = f.entry;
+        let a = f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(a)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Dominance-aware SSA use-before-def checking via must-reach definitions.
+//!
+//! A forward *must* dataflow computes, for each block, the set of
+//! instruction results guaranteed to have executed on **every** path from
+//! the entry. An operand use is valid when its definition is in that set
+//! (or earlier in the same block); phi incomings are checked against the
+//! corresponding predecessor's exit state instead. This subsumes the
+//! classic dominance criterion: the verifier checks `def dominates use`
+//! with a dominator tree, while the dataflow formulation also localizes
+//! *which* path misses the definition and stays correct for unreachable
+//! code (which it skips entirely).
+
+use crate::dataflow::{solve, BitSet, DataflowAnalysis, Direction, MustBits};
+use crate::diag::{codes, Diagnostic};
+use posetrl_ir::analysis::cfg::Cfg;
+use posetrl_ir::analysis::dom::DomTree;
+use posetrl_ir::{BlockId, Function, Op, SourceLoc, Value};
+use std::collections::HashSet;
+
+struct ReachingDefs {
+    universe: usize,
+}
+
+impl DataflowAnalysis for ReachingDefs {
+    type Domain = MustBits;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _f: &Function) -> MustBits {
+        MustBits::Known(BitSet::empty(self.universe))
+    }
+
+    fn bottom(&self, _f: &Function) -> MustBits {
+        MustBits::All
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, state: &mut MustBits) {
+        for &id in &f.block(b).expect("reachable block exists").insts {
+            state.insert(id.index());
+        }
+    }
+}
+
+/// Checks SSA definedness of every operand in reachable code.
+pub fn check(f: &Function, cfg: &Cfg, _dt: &DomTree, out: &mut Vec<Diagnostic>) {
+    let universe = super::inst_universe(f);
+    let analysis = ReachingDefs { universe };
+    let fx = solve(f, cfg, &analysis);
+    let reachable: HashSet<_> = cfg.reachable();
+
+    for &b in &cfg.rpo {
+        let mut state = fx.input[&b].clone();
+        let insts = &f.block(b).expect("reachable block exists").insts;
+        for (i, &id) in insts.iter().enumerate() {
+            let op = f.op(id);
+            if let Op::Phi { incomings, .. } = op {
+                for (pred, v) in incomings {
+                    let Value::Inst(def) = v else { continue };
+                    if !reachable.contains(pred) {
+                        continue;
+                    }
+                    let ok = match fx.output.get(pred) {
+                        Some(s) => f.inst(*def).is_some() && s.contains(def.index()),
+                        None => false,
+                    };
+                    if !ok {
+                        out.push(Diagnostic::error(
+                            codes::USE_BEFORE_DEF,
+                            SourceLoc::in_func(&f.name).at_block(b).at_inst(id, i),
+                            format!("phi incoming {def} from {pred} is not defined on that edge"),
+                        ));
+                    }
+                }
+            } else {
+                for v in op.operands() {
+                    let Value::Inst(def) = v else { continue };
+                    if f.inst(def).is_none() || !state.contains(def.index()) {
+                        out.push(Diagnostic::error(
+                            codes::USE_BEFORE_DEF,
+                            SourceLoc::in_func(&f.name).at_block(b).at_inst(id, i),
+                            format!("operand {def} is not defined on every path to this use"),
+                        ));
+                    }
+                }
+            }
+            state.insert(id.index());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::{BinOp, Ty, Value};
+
+    #[test]
+    fn straight_line_code_is_clean() {
+        let mut f = Function::new("ok", vec![Ty::I64], Ty::I64);
+        let e = f.entry;
+        let a = f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(a)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let mut out = Vec::new();
+        check(&f, &cfg, &dt, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn detects_use_defined_on_one_path_only() {
+        // entry -> {left, right} -> merge; def lives only in `left`, the
+        // use in `merge` sees it on one of two paths.
+        let mut f = Function::new("bad", vec![], Ty::I64);
+        let e = f.entry;
+        let left = f.add_block();
+        let right = f.add_block();
+        let merge = f.add_block();
+        f.append_inst(
+            e,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: left,
+                else_bb: right,
+            },
+        );
+        let def = f.append_inst(
+            left,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
+        );
+        f.append_inst(left, Op::Br { target: merge });
+        f.append_inst(right, Op::Br { target: merge });
+        f.append_inst(
+            merge,
+            Op::Ret {
+                val: Some(Value::Inst(def)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let mut out = Vec::new();
+        check(&f, &cfg, &dt, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::USE_BEFORE_DEF);
+    }
+
+    #[test]
+    fn phi_merge_of_path_local_defs_is_clean() {
+        let mut f = Function::new("phi_ok", vec![], Ty::I64);
+        let e = f.entry;
+        let left = f.add_block();
+        let right = f.add_block();
+        let merge = f.add_block();
+        f.append_inst(
+            e,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: left,
+                else_bb: right,
+            },
+        );
+        let a = f.append_inst(
+            left,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
+        );
+        f.append_inst(left, Op::Br { target: merge });
+        let b = f.append_inst(
+            right,
+            Op::Bin {
+                op: BinOp::Mul,
+                ty: Ty::I64,
+                lhs: Value::i64(3),
+                rhs: Value::i64(4),
+            },
+        );
+        f.append_inst(right, Op::Br { target: merge });
+        let phi = f.append_inst(
+            merge,
+            Op::Phi {
+                ty: Ty::I64,
+                incomings: vec![(left, Value::Inst(a)), (right, Value::Inst(b))],
+            },
+        );
+        f.append_inst(
+            merge,
+            Op::Ret {
+                val: Some(Value::Inst(phi)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let mut out = Vec::new();
+        check(&f, &cfg, &dt, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn detects_phi_incoming_from_wrong_edge() {
+        // phi pulls `b` (defined in right) along the edge from left
+        let mut f = Function::new("phi_bad", vec![], Ty::I64);
+        let e = f.entry;
+        let left = f.add_block();
+        let right = f.add_block();
+        let merge = f.add_block();
+        f.append_inst(
+            e,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: left,
+                else_bb: right,
+            },
+        );
+        f.append_inst(left, Op::Br { target: merge });
+        let b = f.append_inst(
+            right,
+            Op::Bin {
+                op: BinOp::Mul,
+                ty: Ty::I64,
+                lhs: Value::i64(3),
+                rhs: Value::i64(4),
+            },
+        );
+        f.append_inst(right, Op::Br { target: merge });
+        let phi = f.append_inst(
+            merge,
+            Op::Phi {
+                ty: Ty::I64,
+                incomings: vec![(left, Value::Inst(b)), (right, Value::Inst(b))],
+            },
+        );
+        f.append_inst(
+            merge,
+            Op::Ret {
+                val: Some(Value::Inst(phi)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let mut out = Vec::new();
+        check(&f, &cfg, &dt, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("phi incoming"), "{out:?}");
+    }
+}

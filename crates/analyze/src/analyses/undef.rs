@@ -1,0 +1,250 @@
+//! Undef/poison propagation: a forward *may* dataflow tainting values that
+//! can be `undef`, with lints where a tainted value reaches a point that
+//! makes its indeterminacy observable (control flow, trapping arithmetic,
+//! memory addressing).
+//!
+//! Loads and calls are treated as producing defined values — without
+//! points-to information, tainting through memory would cascade into
+//! noise. The separate `uninit-load` lint covers the provable stack cases.
+
+use crate::dataflow::{solve, BitSet, DataflowAnalysis, Direction, MayBits};
+use crate::diag::{codes, Diagnostic};
+use posetrl_ir::analysis::cfg::Cfg;
+use posetrl_ir::{BlockId, Function, Op, SourceLoc, Value};
+
+fn value_tainted(state: &MayBits, v: Value) -> bool {
+    match v {
+        Value::Const(c) => c.is_undef(),
+        Value::Inst(id) => state.0.contains(id.index()),
+        _ => false,
+    }
+}
+
+/// Whether `op`'s result is tainted when any of its operands is.
+fn propagates(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Bin { .. }
+            | Op::Icmp { .. }
+            | Op::Fcmp { .. }
+            | Op::Select { .. }
+            | Op::Cast { .. }
+            | Op::Gep { .. }
+            | Op::Phi { .. }
+    )
+}
+
+struct MayUndef {
+    universe: usize,
+}
+
+impl DataflowAnalysis for MayUndef {
+    type Domain = MayBits;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _f: &Function) -> MayBits {
+        MayBits(BitSet::empty(self.universe))
+    }
+
+    fn bottom(&self, _f: &Function) -> MayBits {
+        MayBits(BitSet::empty(self.universe))
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, state: &mut MayBits) {
+        for &id in &f.block(b).expect("reachable block exists").insts {
+            let op = f.op(id);
+            if propagates(op) && op.operands().iter().any(|&v| value_tainted(state, v)) {
+                state.0.insert(id.index());
+            }
+        }
+    }
+}
+
+/// Lints uses of possibly-undef values where they become observable.
+pub fn check(f: &Function, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let analysis = MayUndef {
+        universe: super::inst_universe(f),
+    };
+    let fx = solve(f, cfg, &analysis);
+
+    for &b in &cfg.rpo {
+        let mut state = fx.input[&b].clone();
+        let insts = &f.block(b).expect("reachable block exists").insts;
+        for (i, &id) in insts.iter().enumerate() {
+            let op = f.op(id);
+            let loc = || SourceLoc::in_func(&f.name).at_block(b).at_inst(id, i);
+            let tainted = |v: Value| value_tainted(&state, v);
+            match op {
+                Op::CondBr { cond, .. } if tainted(*cond) => {
+                    out.push(Diagnostic::warning(
+                        codes::UNDEF_CONTROL,
+                        loc(),
+                        "branch condition may be undef",
+                    ));
+                }
+                Op::Bin { op: bin, rhs, .. } if bin.can_trap() && tainted(*rhs) => {
+                    out.push(Diagnostic::warning(
+                        codes::UNDEF_TRAP,
+                        loc(),
+                        format!("divisor of {} may be undef", bin.mnemonic()),
+                    ));
+                }
+                Op::Load { ptr, .. } if tainted(*ptr) => {
+                    out.push(Diagnostic::warning(
+                        codes::UNDEF_ADDR,
+                        loc(),
+                        "load address may be undef",
+                    ));
+                }
+                Op::Store { ptr, .. } if tainted(*ptr) => {
+                    out.push(Diagnostic::warning(
+                        codes::UNDEF_ADDR,
+                        loc(),
+                        "store address may be undef",
+                    ));
+                }
+                Op::MemCpy { dst, src, len, .. }
+                    if tainted(*dst) || tainted(*src) || tainted(*len) =>
+                {
+                    out.push(Diagnostic::warning(
+                        codes::UNDEF_ADDR,
+                        loc(),
+                        "memcpy address or length may be undef",
+                    ));
+                }
+                Op::MemSet { dst, len, .. } if tainted(*dst) || tainted(*len) => {
+                    out.push(Diagnostic::warning(
+                        codes::UNDEF_ADDR,
+                        loc(),
+                        "memset address or length may be undef",
+                    ));
+                }
+                _ => {}
+            }
+            if propagates(op) && op.operands().iter().any(|&v| value_tainted(&state, v)) {
+                state.0.insert(id.index());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::{BinOp, Const, Ty};
+
+    fn undef_i64() -> Value {
+        Value::Const(Const::Undef(Ty::I64))
+    }
+
+    #[test]
+    fn branch_on_undef_derived_value_warns() {
+        let mut f = Function::new("u", vec![], Ty::Void);
+        let e = f.entry;
+        let t = f.add_block();
+        let z = f.add_block();
+        let x = f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                lhs: undef_i64(),
+                rhs: Value::i64(1),
+            },
+        );
+        let c = f.append_inst(
+            e,
+            Op::Icmp {
+                pred: posetrl_ir::IntPred::Slt,
+                ty: Ty::I64,
+                lhs: Value::Inst(x),
+                rhs: Value::i64(10),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::CondBr {
+                cond: Value::Inst(c),
+                then_bb: t,
+                else_bb: z,
+            },
+        );
+        f.append_inst(t, Op::Ret { val: None });
+        f.append_inst(z, Op::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::UNDEF_CONTROL);
+    }
+
+    #[test]
+    fn division_by_possible_undef_warns() {
+        let mut f = Function::new("d", vec![Ty::I64], Ty::I64);
+        let e = f.entry;
+        let q = f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::SDiv,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: undef_i64(),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(q)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, codes::UNDEF_TRAP);
+    }
+
+    #[test]
+    fn defined_code_is_clean() {
+        let mut f = Function::new("c", vec![Ty::I64], Ty::I64);
+        let e = f.entry;
+        let a = f.append_inst(
+            e,
+            Op::Bin {
+                op: BinOp::Mul,
+                ty: Ty::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(3),
+            },
+        );
+        f.append_inst(
+            e,
+            Op::Ret {
+                val: Some(Value::Inst(a)),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn returning_undef_is_not_linted() {
+        // undef only becomes a defect when it reaches control or memory
+        let mut f = Function::new("r", vec![], Ty::I64);
+        f.append_inst(
+            f.entry,
+            Op::Ret {
+                val: Some(undef_i64()),
+            },
+        );
+        let cfg = Cfg::compute(&f);
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! `mini-analyze`: run the lint suite over textual IR files and the
+//! generated workload corpora.
+//!
+//! ```text
+//! mini-analyze [FILES...] [--corpus] [--suites] [--deny warnings|errors]
+//!              [--level verify|full] [--json] [-q]
+//! ```
+//!
+//! - `FILES` are `.pir` modules in the workspace textual format.
+//! - `--corpus` additionally checks every program of the training suite.
+//! - `--suites` additionally checks MiBench, SPEC 2006 and SPEC 2017.
+//! - `--deny warnings` (default `errors`) exits nonzero when any finding
+//!   at or above the threshold is reported; notes never fail the run.
+//! - `--json` prints one JSON object per module instead of text lines.
+//! - `--level` is accepted for symmetry with the engine flags; both
+//!   levels run the same static suite here (differential execution needs
+//!   a pass pipeline, which file linting does not have).
+
+use posetrl_analyze::{run_all, Diagnostic, SanitizeLevel, Severity};
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::verifier::verify_module;
+use posetrl_ir::Module;
+use posetrl_workloads::suites::{mibench, spec2006, spec2017, training_suite};
+use std::process::ExitCode;
+
+struct Options {
+    files: Vec<String>,
+    corpus: bool,
+    suites: bool,
+    deny: Severity,
+    json: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mini-analyze [FILES...] [--corpus] [--suites] \
+         [--deny warnings|errors] [--level verify|full] [--json] [-q]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        files: Vec::new(),
+        corpus: false,
+        suites: false,
+        deny: Severity::Error,
+        json: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => opts.corpus = true,
+            "--suites" => opts.suites = true,
+            "--json" => opts.json = true,
+            "-q" | "--quiet" => opts.quiet = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => opts.deny = Severity::Warning,
+                Some("errors") => opts.deny = Severity::Error,
+                _ => usage(),
+            },
+            "--level" => {
+                let Some(level) = args.next().and_then(|s| SanitizeLevel::parse(&s)) else {
+                    usage();
+                };
+                if level == SanitizeLevel::Off {
+                    eprintln!("mini-analyze: --level off disables nothing here; ignoring");
+                }
+            }
+            "-h" | "--help" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => opts.files.push(arg),
+        }
+    }
+    if opts.files.is_empty() && !opts.corpus && !opts.suites {
+        usage();
+    }
+    opts
+}
+
+/// Lints one module; returns the diagnostics at or above the deny level.
+fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
+    let diags = match verify_module(m) {
+        Ok(()) => run_all(m),
+        Err(e) => {
+            // surface verifier failures through the same reporting path
+            vec![Diagnostic::error(
+                posetrl_analyze::codes::VERIFY,
+                e.loc.clone(),
+                e.message.clone(),
+            )]
+        }
+    };
+    if opts.json {
+        let payload = serde_json::json!({
+            "module": name,
+            "diagnostics": &diags,
+        });
+        println!("{payload}");
+    } else if !opts.quiet {
+        for d in &diags {
+            println!("{name}: {d}");
+        }
+    }
+    diags
+        .into_iter()
+        .filter(|d| d.severity >= opts.deny)
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut failures = 0usize;
+    let mut modules = 0usize;
+
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mini-analyze: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let m = match parse_module(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("mini-analyze: parse error in {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        modules += 1;
+        failures += lint(path, &m, &opts).len();
+    }
+
+    let mut benches = Vec::new();
+    if opts.corpus {
+        benches.extend(training_suite());
+    }
+    if opts.suites {
+        benches.extend(mibench());
+        benches.extend(spec2006());
+        benches.extend(spec2017());
+    }
+    for b in &benches {
+        modules += 1;
+        failures += lint(&b.name, &b.module, &opts).len();
+    }
+
+    if !opts.quiet {
+        eprintln!(
+            "mini-analyze: {modules} modules, {failures} findings at or above the deny level"
+        );
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

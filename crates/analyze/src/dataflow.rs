@@ -1,0 +1,450 @@
+//! Generic worklist fixpoint dataflow engine.
+//!
+//! Analyses describe a join-semilattice domain and a per-block transfer
+//! function; the engine iterates blocks of the reachable CFG to a fixpoint.
+//! Both directions are supported:
+//!
+//! - **Forward**: a block's input is the join of its predecessors' outputs;
+//!   the transfer maps input (block entry) to output (block exit).
+//! - **Backward**: a block's input is the join of its successors' outputs;
+//!   the transfer maps input (block exit) to output (block entry).
+//!
+//! # Lattice contract
+//!
+//! [`JoinSemiLattice::join`] must be the least upper bound of a partial
+//! order of finite height: idempotent (`x ⊔ x = x`), commutative,
+//! associative, and monotone under repeated application (every join either
+//! leaves the state unchanged or moves it strictly up a finite chain).
+//! Transfer functions must be monotone in that order. Under those two
+//! conditions the worklist terminates at the unique least fixpoint,
+//! independent of visit order — the engine visits in reverse post-order
+//! (forward) or post-order (backward) only to converge in fewer sweeps.
+
+use posetrl_ir::analysis::cfg::Cfg;
+use posetrl_ir::{BlockId, Function};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A join-semilattice: the domain of a dataflow analysis.
+pub trait JoinSemiLattice: Clone {
+    /// In-place least upper bound; returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Direction of propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Along control flow (entry towards exits).
+    Forward,
+    /// Against control flow (exits towards entry).
+    Backward,
+}
+
+/// A dataflow analysis over one function.
+pub trait DataflowAnalysis {
+    /// The lattice the analysis computes over.
+    type Domain: JoinSemiLattice;
+
+    /// Direction of propagation.
+    fn direction(&self) -> Direction;
+
+    /// State at the boundary: the entry block's input for forward analyses,
+    /// every exit block's input for backward analyses.
+    fn boundary(&self, f: &Function) -> Self::Domain;
+
+    /// The initial (bottom, "no information") state of every other block.
+    fn bottom(&self, f: &Function) -> Self::Domain;
+
+    /// Applies the whole-block transfer function to `state` in place.
+    fn transfer(&self, f: &Function, b: BlockId, state: &mut Self::Domain);
+}
+
+/// The fixpoint solution: per-block states before and after the transfer.
+///
+/// `input` is the joined neighbor state the block's transfer consumed
+/// (block entry for forward analyses, block exit for backward ones);
+/// `output` is the transferred state. Only reachable blocks have entries.
+#[derive(Debug, Clone)]
+pub struct Fixpoint<D> {
+    /// State at the transfer's input side of each reachable block.
+    pub input: HashMap<BlockId, D>,
+    /// State at the transfer's output side of each reachable block.
+    pub output: HashMap<BlockId, D>,
+}
+
+/// Runs `analysis` over `f` to a fixpoint.
+pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Fixpoint<A::Domain> {
+    let order: Vec<BlockId> = match analysis.direction() {
+        Direction::Forward => cfg.rpo.clone(),
+        Direction::Backward => cfg.rpo.iter().rev().copied().collect(),
+    };
+    let reachable: HashSet<BlockId> = order.iter().copied().collect();
+
+    // neighbors feeding a block's input, and the blocks its output feeds
+    let feeds_from = |b: BlockId| -> Vec<BlockId> {
+        let ns = match analysis.direction() {
+            Direction::Forward => cfg.preds.get(&b),
+            Direction::Backward => cfg.succs.get(&b),
+        };
+        ns.map(|v| {
+            v.iter()
+                .copied()
+                .filter(|n| reachable.contains(n))
+                .collect()
+        })
+        .unwrap_or_default()
+    };
+    let feeds_into = |b: BlockId| -> Vec<BlockId> {
+        let ns = match analysis.direction() {
+            Direction::Forward => cfg.succs.get(&b),
+            Direction::Backward => cfg.preds.get(&b),
+        };
+        ns.map(|v| {
+            v.iter()
+                .copied()
+                .filter(|n| reachable.contains(n))
+                .collect()
+        })
+        .unwrap_or_default()
+    };
+
+    let mut input: HashMap<BlockId, A::Domain> = HashMap::new();
+    let mut output: HashMap<BlockId, A::Domain> = HashMap::new();
+    for &b in &order {
+        let is_boundary = match analysis.direction() {
+            Direction::Forward => b == cfg.entry,
+            Direction::Backward => feeds_from(b).is_empty(),
+        };
+        let state = if is_boundary {
+            analysis.boundary(f)
+        } else {
+            analysis.bottom(f)
+        };
+        input.insert(b, state);
+    }
+
+    let mut queue: VecDeque<BlockId> = order.iter().copied().collect();
+    let mut queued: HashSet<BlockId> = queue.iter().copied().collect();
+    while let Some(b) = queue.pop_front() {
+        queued.remove(&b);
+        let mut state = input[&b].clone();
+        analysis.transfer(f, b, &mut state);
+        let changed = match output.get_mut(&b) {
+            Some(prev) => prev.join(&state),
+            None => {
+                output.insert(b, state);
+                true
+            }
+        };
+        if changed {
+            for n in feeds_into(b) {
+                if input.get_mut(&n).unwrap().join(&output[&b]) && queued.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+
+    Fixpoint { input, output }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-set domains
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity bit set, the workhorse domain for per-instruction facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn empty(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full universe `0..len`.
+    pub fn full(len: usize) -> BitSet {
+        let mut s = BitSet::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets bit `i`; returns `true` if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        let had = self.words[w] & m != 0;
+        self.words[w] |= m;
+        !had
+    }
+
+    /// Tests bit `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// In-place union; returns `true` if `self` grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// In-place intersection; returns `true` if `self` shrank.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Iterates over set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// A *may* (union-join) bit-set domain: bottom is the empty set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MayBits(pub BitSet);
+
+impl JoinSemiLattice for MayBits {
+    fn join(&mut self, other: &Self) -> bool {
+        self.0.union_with(&other.0)
+    }
+}
+
+/// A *must* (intersection-join) bit-set domain.
+///
+/// The join order is reversed relative to set inclusion: bottom ("no paths
+/// seen yet") is [`MustBits::All`], the identity of intersection, so facts
+/// only survive if they hold on **every** incoming path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MustBits {
+    /// The universal set: the state of a block no path has reached yet.
+    All,
+    /// An explicit fact set.
+    Known(BitSet),
+}
+
+impl MustBits {
+    /// Tests membership (`All` contains everything).
+    pub fn contains(&self, i: usize) -> bool {
+        match self {
+            MustBits::All => true,
+            MustBits::Known(s) => s.contains(i),
+        }
+    }
+
+    /// Sets bit `i` (no-op on `All`).
+    pub fn insert(&mut self, i: usize) {
+        if let MustBits::Known(s) = self {
+            s.insert(i);
+        }
+    }
+}
+
+impl JoinSemiLattice for MustBits {
+    fn join(&mut self, other: &Self) -> bool {
+        match (&mut *self, other) {
+            (_, MustBits::All) => false,
+            (MustBits::All, MustBits::Known(o)) => {
+                *self = MustBits::Known(o.clone());
+                true
+            }
+            (MustBits::Known(s), MustBits::Known(o)) => s.intersect_with(o),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::{Op, Ty, Value};
+
+    /// entry -> {a, b} -> merge; a loop edge merge -> a.
+    fn diamond_with_loop() -> (Function, BlockId, BlockId, BlockId) {
+        let mut f = Function::new("d", vec![], Ty::Void);
+        let entry = f.entry;
+        let a = f.add_block();
+        let b = f.add_block();
+        let merge = f.add_block();
+        f.append_inst(
+            entry,
+            Op::CondBr {
+                cond: Value::bool(true),
+                then_bb: a,
+                else_bb: b,
+            },
+        );
+        f.append_inst(
+            a,
+            Op::CondBr {
+                cond: Value::bool(false),
+                then_bb: merge,
+                else_bb: a,
+            },
+        );
+        f.append_inst(b, Op::Br { target: merge });
+        f.append_inst(merge, Op::Ret { val: None });
+        (f, a, b, merge)
+    }
+
+    /// Forward reachability-count analysis: each block's input is the union
+    /// of block ids on some path to it.
+    struct ReachingBlocks;
+
+    impl DataflowAnalysis for ReachingBlocks {
+        type Domain = MayBits;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self, f: &Function) -> MayBits {
+            MayBits(BitSet::empty(f.num_blocks() + 4))
+        }
+        fn bottom(&self, f: &Function) -> MayBits {
+            MayBits(BitSet::empty(f.num_blocks() + 4))
+        }
+        fn transfer(&self, _f: &Function, b: BlockId, state: &mut MayBits) {
+            state.0.insert(b.index());
+        }
+    }
+
+    #[test]
+    fn forward_may_analysis_reaches_fixpoint() {
+        let (f, a, b, merge) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let fx = solve(&f, &cfg, &ReachingBlocks);
+        // merge's input has seen entry, a and b
+        let at_merge = &fx.input[&merge].0;
+        assert!(at_merge.contains(f.entry.index()));
+        assert!(at_merge.contains(a.index()));
+        assert!(at_merge.contains(b.index()));
+        // a's input includes itself via the self-loop
+        assert!(fx.input[&a].0.contains(a.index()));
+        assert!(!fx.input[&b].0.contains(a.index()));
+    }
+
+    /// Must-analysis: blocks that appear on *every* path from the entry.
+    struct DominatingBlocks;
+
+    impl DataflowAnalysis for DominatingBlocks {
+        type Domain = MustBits;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self, f: &Function) -> MustBits {
+            MustBits::Known(BitSet::empty(f.num_blocks() + 4))
+        }
+        fn bottom(&self, _f: &Function) -> MustBits {
+            MustBits::All
+        }
+        fn transfer(&self, _f: &Function, b: BlockId, state: &mut MustBits) {
+            state.insert(b.index());
+        }
+    }
+
+    #[test]
+    fn forward_must_analysis_matches_dominators() {
+        let (f, a, _b, merge) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let fx = solve(&f, &cfg, &DominatingBlocks);
+        let at_merge = &fx.input[&merge];
+        assert!(at_merge.contains(f.entry.index()), "entry dominates merge");
+        assert!(!at_merge.contains(a.index()), "a does not dominate merge");
+    }
+
+    /// Backward analysis: blocks from which `merge` is inevitable.
+    struct BlocksSeenGoingBack;
+
+    impl DataflowAnalysis for BlocksSeenGoingBack {
+        type Domain = MayBits;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn boundary(&self, f: &Function) -> MayBits {
+            MayBits(BitSet::empty(f.num_blocks() + 4))
+        }
+        fn bottom(&self, f: &Function) -> MayBits {
+            MayBits(BitSet::empty(f.num_blocks() + 4))
+        }
+        fn transfer(&self, _f: &Function, b: BlockId, state: &mut MayBits) {
+            state.0.insert(b.index());
+        }
+    }
+
+    #[test]
+    fn backward_analysis_propagates_against_edges() {
+        let (f, a, b, merge) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let fx = solve(&f, &cfg, &BlocksSeenGoingBack);
+        // the entry's input (its exit state, looking backward) sees all
+        // blocks on paths to any exit
+        let at_entry = &fx.input[&f.entry].0;
+        assert!(at_entry.contains(a.index()));
+        assert!(at_entry.contains(b.index()));
+        assert!(at_entry.contains(merge.index()));
+        // merge is an exit: its input is the boundary (empty)
+        assert!(fx.input[&merge].0.is_empty());
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::empty(130);
+        assert!(a.insert(0));
+        assert!(a.insert(129));
+        assert!(!a.insert(129));
+        assert!(a.contains(129) && !a.contains(64));
+        let mut b = BitSet::empty(130);
+        b.insert(64);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let full = BitSet::full(130);
+        let mut c = full.clone();
+        assert!(!c.intersect_with(&full));
+        assert!(c.intersect_with(&a));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn must_bits_join_is_intersection_with_all_identity() {
+        let mut x = MustBits::All;
+        let mut k = BitSet::empty(8);
+        k.insert(1);
+        k.insert(2);
+        assert!(x.join(&MustBits::Known(k.clone())));
+        let mut only2 = BitSet::empty(8);
+        only2.insert(2);
+        assert!(x.join(&MustBits::Known(only2)));
+        assert!(!x.contains(1));
+        assert!(x.contains(2));
+        assert!(!x.join(&MustBits::All));
+    }
+}

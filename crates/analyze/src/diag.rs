@@ -1,0 +1,142 @@
+//! Diagnostic types shared by all lint analyses and the sanitizer.
+
+use posetrl_ir::SourceLoc;
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a diagnostic is. Ordered: `Note < Warning < Error`.
+///
+/// The severity policy keeps a frontend-style corpus clean under
+/// `--deny warnings`:
+///
+/// - [`Severity::Error`]: the module violates IR rules or is semantically
+///   broken (use-before-def, constant OOB access, call type mismatch, ...).
+///   Well-formed input never produces these; a pass that introduces one has
+///   miscompiled.
+/// - [`Severity::Warning`]: suspicious and very likely a latent trap
+///   (branching on undef, loading from provably uninitialized stack memory).
+/// - [`Severity::Note`]: optimization opportunities — dead instructions,
+///   unreachable blocks. Deliberately redundant frontend output and
+///   pass-created unreachable blocks both land here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// An optimization opportunity, not a defect.
+    Note,
+    /// Suspicious: very likely a latent bug or trap.
+    Warning,
+    /// An IR-rule or semantic violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding from an analysis, tied to a structured [`SourceLoc`].
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `use-before-def`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Where in the module the finding points.
+    pub loc: SourceLoc,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an [`Severity::Error`] diagnostic.
+    pub fn error(code: &'static str, loc: SourceLoc, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a [`Severity::Warning`] diagnostic.
+    pub fn warning(code: &'static str, loc: SourceLoc, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a [`Severity::Note`] diagnostic.
+    pub fn note(code: &'static str, loc: SourceLoc, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Note,
+            loc,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] in {}: {}",
+            self.severity, self.code, self.loc, self.message
+        )
+    }
+}
+
+/// Diagnostic codes emitted by the built-in analyses.
+pub mod codes {
+    /// The structural verifier rejected the module.
+    pub const VERIFY: &str = "verify";
+    /// An SSA value is used on a path where its definition cannot have run.
+    pub const USE_BEFORE_DEF: &str = "use-before-def";
+    /// A conditional branch condition may be undef.
+    pub const UNDEF_CONTROL: &str = "undef-control";
+    /// A possibly-undef operand feeds a trapping operation (div/rem).
+    pub const UNDEF_TRAP: &str = "undef-trap";
+    /// A possibly-undef value is used as a memory address or length.
+    pub const UNDEF_ADDR: &str = "undef-addr";
+    /// A memory access at a constant offset is out of bounds.
+    pub const CONST_OOB: &str = "const-oob";
+    /// A store targets an immutable global.
+    pub const CONST_WRITE: &str = "const-write";
+    /// A load reads stack memory no store can have initialized.
+    pub const UNINIT_LOAD: &str = "uninit-load";
+    /// A block is unreachable from the entry.
+    pub const UNREACHABLE_BLOCK: &str = "unreachable-block";
+    /// A pure instruction has no (transitive) observable use.
+    pub const DEAD_INST: &str = "dead-inst";
+    /// A call site disagrees with the callee signature.
+    pub const CALL_TYPE: &str = "call-type";
+    /// Two module symbols share a name.
+    pub const DUP_SYMBOL: &str = "dup-symbol";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_code_and_loc() {
+        let d = Diagnostic::error(codes::USE_BEFORE_DEF, SourceLoc::in_func("f"), "bad things");
+        let s = d.to_string();
+        assert!(s.contains("error[use-before-def]"), "{s}");
+        assert!(s.contains("function 'f'"), "{s}");
+        assert!(s.contains("bad things"), "{s}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Dataflow-based IR sanitizer for the POSET-RL reproduction.
+//!
+//! POSET-RL's phase-ordering agent applies long, learned sequences of
+//! optimization passes; the paper implicitly trusts every pass. This crate
+//! removes that trust boundary with three layers:
+//!
+//! - a generic worklist fixpoint **dataflow engine** ([`dataflow`]) over
+//!   the IR's CFG, parameterized by a join-semilattice domain and a
+//!   direction;
+//! - a **lint suite** ([`analyses`]) built on it: dominance-aware SSA
+//!   use-before-def, undef/poison propagation, constant-memory bounds and
+//!   mutability checks, uninitialized-stack-load detection,
+//!   unreachable/dead-code notes and call-boundary type consistency;
+//! - a **pass-pipeline sanitizer** ([`sanitizer`]) that re-runs the suite
+//!   after every applied pass, differentially executes the pre/post
+//!   modules in the reference interpreter and, on an observation mismatch,
+//!   emits a delta-reduced minimal reproducer as a JSON artifact.
+//!
+//! The `mini-analyze` binary exposes the suite over `.pir` files and the
+//! generated workload corpora for CI.
+
+pub mod analyses;
+pub mod dataflow;
+pub mod diag;
+pub mod sanitizer;
+
+pub use analyses::run_all;
+pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
+pub use diag::{codes, Diagnostic, Severity};
+pub use sanitizer::{
+    expect_verified, MiscompileReport, SanitizeLevel, Sanitizer, SanitizerStats, TransformVerdict,
+};

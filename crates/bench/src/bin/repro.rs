@@ -1,7 +1,7 @@
 //! The reproduction harness.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] <experiment>...
+//! repro [--scale quick|standard|paper] [--sanitize off|verify|full] <experiment>...
 //!
 //! experiments:
 //!   table1      the Oz pass sequence (Table I)
@@ -19,14 +19,20 @@
 //! ```
 //!
 //! Text output goes to stdout; machine-readable copies land in `results/`.
+//!
+//! `--sanitize` selects the pass-pipeline sanitizer level for the
+//! `enginestats` experiment (`verify` re-checks the IR after every applied
+//! pass; `full` additionally diff-executes and delta-reduces miscompiles).
 
 use posetrl::experiments::{self, ExperimentContext, Scale};
+use posetrl_analyze::SanitizeLevel;
 use posetrl_bench::write_artifact;
 use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Standard;
+    let mut sanitize = SanitizeLevel::Off;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -43,8 +49,17 @@ fn main() {
                     }
                 };
             }
+            "--sanitize" => {
+                let v = it.next().unwrap_or_default();
+                sanitize = SanitizeLevel::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown sanitize level '{v}' (off|verify|full)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--scale quick|standard|paper] <experiment>...");
+                println!(
+                    "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|full] <experiment>..."
+                );
                 println!(
                     "experiments: table1 table2 table3 odgstats fig1 table4 table5 fig5 table6"
                 );
@@ -103,7 +118,7 @@ fn main() {
         emit("fig1", &f.render(), &serde_json::to_value(&f).unwrap());
     }
     if want("enginestats") {
-        let s = experiments::engine_stats(scale);
+        let s = experiments::engine_stats(scale, sanitize);
         emit(
             "enginestats",
             &s.render(),

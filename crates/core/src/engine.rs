@@ -36,6 +36,7 @@ use crate::cache::{CacheStats, EvalCache};
 use crate::env::PhaseEnv;
 use crate::trainer::{TrainedModel, TrainerConfig};
 use parking_lot::Mutex;
+use posetrl_analyze::{SanitizeLevel, Sanitizer, SanitizerStats};
 use posetrl_opt::manager::PassManager;
 use posetrl_opt::pipelines;
 use posetrl_rl::dqn::{DqnAgent, DqnConfig, Policy};
@@ -118,6 +119,10 @@ pub struct RoundLog {
     pub epsilon: f64,
     /// Cache counters after this round (None when caching is off).
     pub cache: Option<CacheStats>,
+    /// Sanitizer counters after this round (None when sanitizing is off).
+    /// Cumulative across workers — every env reports into one shared
+    /// [`Sanitizer`], so the sums are worker-count independent.
+    pub sanitizer: Option<SanitizerStats>,
 }
 
 /// One validation sweep's aggregate (size-vs-Oz of the frozen policy).
@@ -146,6 +151,8 @@ pub struct EngineReport {
     pub validations: Vec<ValidationLog>,
     /// Final cache counters (None when caching was off).
     pub cache: Option<CacheStats>,
+    /// Final sanitizer counters (None when sanitizing was off).
+    pub sanitizer: Option<SanitizerStats>,
 }
 
 /// Deterministic per-episode RNG (splitmix64 stream).
@@ -216,15 +223,20 @@ struct RoundCtx<'a> {
     actions: &'a ActionSet,
     policy: &'a Policy,
     cache: Option<&'a Arc<EvalCache>>,
+    sanitizer: Option<&'a Arc<Sanitizer>>,
 }
 
 impl RoundCtx<'_> {
     fn make_env(&self) -> PhaseEnv {
         let env_cfg = self.config.trainer.env.clone();
-        match self.cache {
+        let mut env = match self.cache {
             Some(c) => PhaseEnv::with_cache(env_cfg, self.actions.clone(), Arc::clone(c)),
             None => PhaseEnv::new(env_cfg, self.actions.clone()),
-        }
+        };
+        // replace the env's private sanitizer with the run-wide shared one
+        // so counters from every worker land in one stats block
+        env.set_sanitizer(self.sanitizer.map(Arc::clone));
+        env
     }
 
     fn run(&self, env: &mut PhaseEnv, job: Job) -> (usize, JobResult) {
@@ -351,6 +363,8 @@ pub fn train_parallel(
     let cache = config
         .cache
         .then(|| Arc::new(EvalCache::with_capacity(config.cache_capacity)));
+    let sanitizer = (tcfg.env.sanitize != SanitizeLevel::Off)
+        .then(|| Arc::new(Sanitizer::new(tcfg.env.sanitize)));
     let workers = config.resolved_workers();
 
     let mut agent_cfg = tcfg.agent.clone();
@@ -365,7 +379,15 @@ pub fn train_parallel(
             .iter()
             .map(|b| {
                 let mut m = b.module.clone();
-                pm.run_pipeline(&mut m, &pipelines::oz()).expect("Oz runs");
+                match &sanitizer {
+                    Some(san) => {
+                        pm.run_pipeline_sanitized(&mut m, &pipelines::oz(), san)
+                            .expect("Oz pipeline sanitizes clean");
+                    }
+                    None => {
+                        pm.run_pipeline(&mut m, &pipelines::oz()).expect("Oz runs");
+                    }
+                }
                 object_size(&m, tcfg.env.arch).total
             })
             .collect()
@@ -421,6 +443,7 @@ pub fn train_parallel(
             actions: &actions,
             policy: &policy,
             cache: cache.as_ref(),
+            sanitizer: sanitizer.as_ref(),
         };
         let results = run_round(&ctx, jobs, workers);
 
@@ -470,13 +493,17 @@ pub fn train_parallel(
             mean_reward: round_reward / n_episodes.max(1) as f64,
             epsilon: agent.epsilon(),
             cache: cache.as_ref().map(|c| c.stats()),
+            sanitizer: sanitizer.as_ref().map(|s| s.stats()),
         };
         if tcfg.log_every > 0 && steps / tcfg.log_every > last_logged_chunk {
             last_logged_chunk = steps / tcfg.log_every;
-            let cache_line = log
+            let mut cache_line = log
                 .cache
                 .map(|s| format!("; {}", s.render()))
                 .unwrap_or_default();
+            if let Some(s) = &log.sanitizer {
+                cache_line.push_str(&format!("; sanitizer {}", s.render()));
+            }
             eprintln!(
                 "[engine:{}@{}] round {round} step {steps}/{} eps={:.3} episodes={} workers={workers}{cache_line}",
                 actions.name, tcfg.env.arch, tcfg.total_steps, log.epsilon, log.episodes,
@@ -498,6 +525,7 @@ pub fn train_parallel(
         rounds,
         validations,
         cache: cache.as_ref().map(|c| c.stats()),
+        sanitizer: sanitizer.as_ref().map(|s| s.stats()),
     };
     (
         TrainedModel {
@@ -568,5 +596,22 @@ mod tests {
         );
         let seq = model.predict_sequence(programs[3].module.clone());
         assert_eq!(seq.len(), cfg.trainer.env.episode_len);
+    }
+
+    #[test]
+    fn sanitized_engine_run_reports_clean_counters() {
+        let programs = training_suite();
+        let mut cfg = EngineConfig {
+            workers: 2,
+            ..EngineConfig::quick()
+        };
+        cfg.trainer.env.sanitize = SanitizeLevel::Verify;
+        let (_, report) = train_parallel(&cfg, ActionSet::odg(), &programs, &[]);
+        let stats = report.sanitizer.expect("sanitizer enabled");
+        assert!(stats.checks > 0, "passes were checked: {stats:?}");
+        assert_eq!(stats.verify_failures, 0, "no pass broke the verifier");
+        assert_eq!(stats.miscompiles, 0);
+        let per_round = report.rounds.last().unwrap().sanitizer.unwrap();
+        assert_eq!(per_round, stats, "final round log carries final stats");
     }
 }

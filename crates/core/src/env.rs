@@ -27,9 +27,10 @@
 
 use crate::actions::ActionSet;
 use crate::cache::{EvalCache, MeasureMemo, StepMemo};
+use posetrl_analyze::{SanitizeLevel, Sanitizer};
 use posetrl_embed::{EmbedConfig, Embedder};
 use posetrl_ir::{module_hash, Module, ModuleHash, Op};
-use posetrl_opt::manager::PassManager;
+use posetrl_opt::manager::{PassManager, PipelineError};
 use posetrl_target::{mca, size::object_size, TargetArch};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -56,6 +57,13 @@ pub struct EnvConfig {
     pub arch: TargetArch,
     /// State representation.
     pub encoding: StateEncoding,
+    /// Pass-pipeline sanitization applied to every action (see
+    /// `posetrl_analyze::Sanitizer`). `Off` is the historical unchecked
+    /// behaviour; `Verify` re-verifies and lints after each applied pass;
+    /// `Full` additionally diff-executes pre/post modules and delta-reduces
+    /// miscompile repros. A fatal finding panics the episode — the RL loop
+    /// must never learn from corrupted rewards.
+    pub sanitize: SanitizeLevel,
 }
 
 impl Default for EnvConfig {
@@ -66,6 +74,7 @@ impl Default for EnvConfig {
             episode_len: 15,
             arch: TargetArch::X86_64,
             encoding: StateEncoding::Ir2Vec,
+            sanitize: SanitizeLevel::Off,
         }
     }
 }
@@ -99,6 +108,10 @@ pub struct PhaseEnv {
     module: Option<Module>,
     /// Shared memoization cache; `None` runs every evaluation from scratch.
     cache: Option<Arc<EvalCache>>,
+    /// Pass-pipeline sanitizer; `None` when `config.sanitize` is `Off` and
+    /// no shared sanitizer was attached. Shared across envs (engine
+    /// workers) so its counters aggregate.
+    sanitizer: Option<Arc<Sanitizer>>,
     /// Structural hash of the current module (tracked only when caching).
     cur_hash: Option<ModuleHash>,
     base_size: f64,
@@ -124,6 +137,8 @@ impl PhaseEnv {
                 posetrl_embed::fnv1a(&joined)
             })
             .collect();
+        let sanitizer = (config.sanitize != SanitizeLevel::Off)
+            .then(|| Arc::new(Sanitizer::new(config.sanitize)));
         PhaseEnv {
             config,
             actions,
@@ -132,6 +147,7 @@ impl PhaseEnv {
             embedder: Embedder::new(EmbedConfig::default()),
             module: None,
             cache: None,
+            sanitizer,
             cur_hash: None,
             base_size: 0.0,
             base_cycles: 0.0,
@@ -153,6 +169,19 @@ impl PhaseEnv {
     /// Takes effect from the next [`PhaseEnv::reset`].
     pub fn set_cache(&mut self, cache: Option<Arc<EvalCache>>) {
         self.cache = cache;
+    }
+
+    /// Attaches (or detaches, with `None`) a shared sanitizer, replacing
+    /// the one built from `config.sanitize`. Sharing one sanitizer across
+    /// environments aggregates its counters (the engine does this so every
+    /// worker reports into the same [`posetrl_analyze::SanitizerStats`]).
+    pub fn set_sanitizer(&mut self, sanitizer: Option<Arc<Sanitizer>>) {
+        self.sanitizer = sanitizer;
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitizer.as_ref()
     }
 
     /// The configured action set.
@@ -298,12 +327,34 @@ impl PhaseEnv {
     }
 
     /// Runs action `a`'s pass sub-sequence on the current module in place.
+    ///
+    /// With a sanitizer attached, every applied pass is re-checked (and at
+    /// `Full`, diff-executed) before its output is accepted; a fatal
+    /// verdict panics with the rendered diagnosis and, for miscompiles,
+    /// the delta-reduced JSON repro on stderr. Cache hits skip this — the
+    /// memoized module was sanitized when it was first computed.
     fn run_action(&mut self, a: usize) {
         let passes = self.actions.sequences[a].clone();
         let refs: Vec<&str> = passes.iter().map(|s| s.as_str()).collect();
-        self.pm
-            .run_pipeline(self.module.as_mut().expect("environment not reset"), &refs)
-            .expect("action passes are registered");
+        let sanitizer = self.sanitizer.clone();
+        let module = self.module.as_mut().expect("environment not reset");
+        match sanitizer {
+            Some(san) if san.enabled() => {
+                if let Err(e) = self.pm.run_pipeline_sanitized(module, &refs, &san) {
+                    if let PipelineError::Sanitizer { verdict, .. } = &e {
+                        if let Some(mc) = &verdict.miscompile {
+                            eprintln!("--- miscompile artifact (JSON) ---\n{}", mc.to_json());
+                        }
+                    }
+                    panic!("sanitizer rejected action {a} ({refs:?}):\n{e}");
+                }
+            }
+            _ => {
+                self.pm
+                    .run_pipeline(module, &refs)
+                    .expect("action passes are registered");
+            }
+        }
     }
 
     /// Encodes a module into the RL state per the configured encoding.
@@ -427,6 +478,24 @@ mod tests {
         let v = env.encode(&m);
         assert_eq!(v.len(), env.state_dim());
         assert!(v.iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn sanitized_episode_runs_clean_and_counts() {
+        let cfg = EnvConfig {
+            sanitize: SanitizeLevel::Full,
+            episode_len: 4,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseEnv::new(cfg, ActionSet::odg());
+        env.reset(program(5));
+        for a in [8, 23, 5, 0] {
+            env.step(a);
+        }
+        let stats = env.sanitizer().expect("sanitizer attached").stats();
+        assert!(stats.checks > 0, "passes were checked: {stats:?}");
+        assert_eq!(stats.verify_failures, 0);
+        assert_eq!(stats.miscompiles, 0);
     }
 
     #[test]

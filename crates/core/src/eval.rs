@@ -10,6 +10,7 @@
 use crate::cache::{EvalCache, StepMemo};
 use crate::trainer::TrainedModel;
 use parking_lot::Mutex;
+use posetrl_analyze::Sanitizer;
 use posetrl_ir::interp::{InterpConfig, Interpreter};
 use posetrl_ir::module_hash;
 use posetrl_opt::manager::PassManager;
@@ -112,6 +113,10 @@ pub struct ParallelEval {
     /// Shared evaluation cache; greedy rollouts and the `-Oz` baseline are
     /// memoized in it, so repeated sweeps get cheaper.
     pub cache: Option<Arc<EvalCache>>,
+    /// Shared pass-pipeline sanitizer: every `-Oz` baseline compile and
+    /// greedy rollout is checked through it, and its counters aggregate
+    /// across workers. `None` evaluates unchecked.
+    pub sanitizer: Option<Arc<Sanitizer>>,
 }
 
 impl ParallelEval {
@@ -119,7 +124,7 @@ impl ParallelEval {
     pub fn serial() -> ParallelEval {
         ParallelEval {
             workers: 1,
-            cache: None,
+            ..ParallelEval::default()
         }
     }
 
@@ -128,7 +133,14 @@ impl ParallelEval {
         ParallelEval {
             workers,
             cache: Some(cache),
+            ..ParallelEval::default()
         }
+    }
+
+    /// Attaches a shared sanitizer (builder style).
+    pub fn with_sanitizer(mut self, sanitizer: Arc<Sanitizer>) -> ParallelEval {
+        self.sanitizer = Some(sanitizer);
+        self
     }
 
     fn resolved_workers(&self) -> usize {
@@ -153,6 +165,20 @@ fn oz_sig() -> u64 {
     posetrl_embed::fnv1a(&joined)
 }
 
+/// Applies the `-Oz` pipeline, sanitized when a sanitizer is attached.
+fn run_oz(pm: &PassManager, m: &mut posetrl_ir::Module, san: Option<&Arc<Sanitizer>>) {
+    match san {
+        Some(san) if san.enabled() => {
+            pm.run_pipeline_sanitized(m, &pipelines::oz(), san)
+                .expect("Oz pipeline sanitizes clean");
+        }
+        _ => {
+            pm.run_pipeline(m, &pipelines::oz())
+                .expect("Oz pipeline runs");
+        }
+    }
+}
+
 /// Evaluates one benchmark: `-Oz` baseline vs the model's greedy sequence.
 fn evaluate_one(
     model: &TrainedModel,
@@ -161,8 +187,10 @@ fn evaluate_one(
     measure_runtime: bool,
     pm: &PassManager,
     oz_signature: u64,
-    cache: Option<&Arc<EvalCache>>,
+    opts: &ParallelEval,
 ) -> BenchmarkResult {
+    let cache = opts.cache.as_ref();
+    let san = opts.sanitizer.as_ref();
     // -Oz baseline, memoized as a step when a cache is attached
     let oz_module = match cache {
         Some(cache) => {
@@ -171,8 +199,7 @@ fn evaluate_one(
                 Some(memo) => memo.module.clone(),
                 None => {
                     let mut m = b.module.clone();
-                    pm.run_pipeline(&mut m, &pipelines::oz())
-                        .expect("Oz pipeline runs");
+                    run_oz(pm, &mut m, san);
                     let post = module_hash(&m);
                     cache.put_step(
                         pre,
@@ -188,15 +215,15 @@ fn evaluate_one(
         }
         None => {
             let mut m = b.module.clone();
-            pm.run_pipeline(&mut m, &pipelines::oz())
-                .expect("Oz pipeline runs");
+            run_oz(pm, &mut m, san);
             m
         }
     };
     let oz_size = object_size(&oz_module, arch).total;
 
     // model-predicted sequence
-    let (model_module, sequence) = model.optimize_cached(b.module.clone(), cache.cloned());
+    let (model_module, sequence) =
+        model.optimize_with(b.module.clone(), cache.cloned(), san.cloned());
     let model_size = object_size(&model_module, arch).total;
 
     let size_reduction_pct = 100.0 * (oz_size as f64 - model_size as f64) / oz_size as f64;
@@ -246,17 +273,7 @@ pub fn evaluate_suite_parallel(
         let pm = PassManager::new();
         benchmarks
             .iter()
-            .map(|b| {
-                evaluate_one(
-                    model,
-                    b,
-                    arch,
-                    measure_runtime,
-                    &pm,
-                    oz_signature,
-                    opts.cache.as_ref(),
-                )
-            })
+            .map(|b| evaluate_one(model, b, arch, measure_runtime, &pm, oz_signature, opts))
             .collect()
     } else {
         let next: Mutex<usize> = Mutex::new(0);
@@ -286,7 +303,7 @@ pub fn evaluate_suite_parallel(
                             measure_runtime,
                             &pm,
                             oz_signature,
-                            opts.cache.as_ref(),
+                            opts,
                         );
                         slots.lock()[i] = Some(r);
                     }
@@ -361,6 +378,27 @@ mod tests {
         let (results, _) = evaluate_suite(&model, &benches, TargetArch::X86_64, true);
         assert!(results[0].oz_cycles > 0.0);
         assert!(results[0].model_cycles > 0.0);
+    }
+
+    #[test]
+    fn sanitized_sweep_matches_unchecked_sweep() {
+        use posetrl_analyze::SanitizeLevel;
+        let programs = training_suite();
+        let model = train(&TrainerConfig::quick(), ActionSet::odg(), &programs);
+        let benches: Vec<_> = mibench().into_iter().take(2).collect();
+        let (plain, _) = evaluate_suite(&model, &benches, TargetArch::X86_64, false);
+        let san = Arc::new(Sanitizer::new(SanitizeLevel::Verify));
+        let opts = ParallelEval::serial().with_sanitizer(Arc::clone(&san));
+        let (checked, _) =
+            evaluate_suite_parallel(&model, &benches, TargetArch::X86_64, false, &opts);
+        for (p, c) in plain.iter().zip(&checked) {
+            assert_eq!(p.oz_size, c.oz_size, "{}", p.name);
+            assert_eq!(p.model_size, c.model_size, "{}", p.name);
+        }
+        let stats = san.stats();
+        assert!(stats.checks > 0, "sweep was checked: {stats:?}");
+        assert_eq!(stats.verify_failures, 0);
+        assert_eq!(stats.miscompiles, 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::actions::ActionSet;
 use crate::env::EnvConfig;
 use crate::eval::{self, evaluate_suite, BenchmarkResult, SuiteStats};
 use crate::trainer::{train, TrainedModel, TrainerConfig};
+use posetrl_analyze::{SanitizeLevel, SanitizerStats};
 use posetrl_odg::graph::OzDependenceGraph;
 use posetrl_opt::manager::PassManager;
 use posetrl_opt::pipelines;
@@ -748,6 +749,10 @@ pub struct EngineStats {
     pub eval_hit_rate_pct: f64,
     /// Rendered evaluation cache counter line.
     pub eval_cache_line: String,
+    /// Sanitize level the run used (`off`, `verify` or `full`).
+    pub sanitize: String,
+    /// Training sanitizer counters (None when sanitizing was off).
+    pub sanitizer: Option<SanitizerStats>,
 }
 
 /// Trains with the parallel engine and measures serial vs parallel+cached
@@ -758,12 +763,13 @@ pub struct EngineStats {
 /// with the now-warm cache — the configuration repeated validation actually
 /// runs in. All three produce bit-identical numbers (see
 /// `tests/parallel_determinism.rs`); only the wall clock differs.
-pub fn engine_stats(scale: Scale) -> EngineStats {
+pub fn engine_stats(scale: Scale, sanitize: SanitizeLevel) -> EngineStats {
     use crate::engine::{train_parallel, EngineConfig};
     use crate::eval::{evaluate_suite_parallel, ParallelEval};
     use std::time::Instant;
 
-    let trainer = scale.trainer();
+    let mut trainer = scale.trainer();
+    trainer.env.sanitize = sanitize;
     let config = EngineConfig {
         trainer,
         validate_every: 4,
@@ -819,6 +825,8 @@ pub fn engine_stats(scale: Scale) -> EngineStats {
         warm_speedup: serial_sweep_ms / warm_sweep_ms.max(1e-9),
         eval_hit_rate_pct: 100.0 * eval_stats.hit_rate(),
         eval_cache_line: eval_stats.render(),
+        sanitize: sanitize.name().to_string(),
+        sanitizer: report.sanitizer,
     }
 }
 
@@ -842,6 +850,14 @@ impl EngineStats {
             self.serial_sweep_ms, self.cold_sweep_ms, self.warm_sweep_ms, self.warm_speedup
         );
         let _ = writeln!(s, "{}", self.eval_cache_line);
+        match &self.sanitizer {
+            Some(st) => {
+                let _ = writeln!(s, "sanitizer ({}): {}", self.sanitize, st.render());
+            }
+            None => {
+                let _ = writeln!(s, "sanitizer: off");
+            }
+        }
         s
     }
 }
@@ -852,8 +868,12 @@ mod tests {
 
     #[test]
     fn engine_stats_reports_cache_activity() {
-        let s = engine_stats(Scale::Quick);
+        let s = engine_stats(Scale::Quick, SanitizeLevel::Verify);
         assert!(s.episodes > 0 && s.rounds > 0);
+        let san = s.sanitizer.expect("sanitizer was on");
+        assert!(san.checks > 0, "training was checked: {san:?}");
+        assert_eq!(san.miscompiles, 0);
+        assert_eq!(san.verify_failures, 0);
         assert!(
             s.train_hit_rate_pct > 0.0,
             "training must revisit cached states"

@@ -155,10 +155,25 @@ impl TrainedModel {
         module: posetrl_ir::Module,
         cache: Option<std::sync::Arc<crate::cache::EvalCache>>,
     ) -> (posetrl_ir::Module, Vec<usize>) {
+        self.optimize_with(module, cache, None)
+    }
+
+    /// Like [`TrainedModel::optimize_cached`], additionally attaching a
+    /// shared pass-pipeline sanitizer to the rollout environment (`None`
+    /// keeps whatever `self.env.sanitize` configures).
+    pub fn optimize_with(
+        &self,
+        module: posetrl_ir::Module,
+        cache: Option<std::sync::Arc<crate::cache::EvalCache>>,
+        sanitizer: Option<std::sync::Arc<posetrl_analyze::Sanitizer>>,
+    ) -> (posetrl_ir::Module, Vec<usize>) {
         let mut env = match cache {
             Some(c) => PhaseEnv::with_cache(self.env.clone(), self.actions.clone(), c),
             None => PhaseEnv::new(self.env.clone(), self.actions.clone()),
         };
+        if sanitizer.is_some() {
+            env.set_sanitizer(sanitizer);
+        }
         let mut state = env.reset(module);
         loop {
             let a = self.agent.act_greedy(&state);
@@ -282,6 +297,6 @@ mod tests {
             m1.num_insts() <= n0,
             "episodes should not bloat a module here"
         );
-        posetrl_ir::verifier::verify_module(&m1).expect("optimized module verifies");
+        posetrl_analyze::expect_verified(&m1, "optimized module after greedy rollout");
     }
 }

@@ -48,3 +48,4 @@ pub use inst::{BinOp, CastKind, FloatPred, Inst, InstId, IntPred, Op};
 pub use module::{Block, BlockId, FnAttrs, FuncId, Function, Global, GlobalId, Linkage, Module};
 pub use types::Ty;
 pub use value::{Const, Value};
+pub use verifier::{SourceLoc, VerifyError};

@@ -6,32 +6,126 @@ use crate::inst::{InstId, Op};
 use crate::module::{BlockId, FuncId, Function, Module};
 use crate::types::Ty;
 use crate::value::Value;
+use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Structured location of a problem within a module.
+///
+/// Every field is optional so the same type describes module-level issues
+/// (no function), function-level issues (no block) and instruction-level
+/// issues (function + block + index). Both the verifier and the
+/// `posetrl-analyze` lint suite report locations through this type so
+/// diagnostics print uniformly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SourceLoc {
+    /// Function the problem was found in, if any.
+    pub func: Option<String>,
+    /// Block within the function.
+    pub block: Option<BlockId>,
+    /// Index of the instruction within its block.
+    pub inst_index: Option<usize>,
+    /// Arena id of the instruction.
+    pub inst: Option<InstId>,
+}
+
+impl SourceLoc {
+    /// A module-level location (no function).
+    pub fn module() -> SourceLoc {
+        SourceLoc::default()
+    }
+
+    /// A function-level location.
+    pub fn in_func(name: impl Into<String>) -> SourceLoc {
+        SourceLoc {
+            func: Some(name.into()),
+            ..SourceLoc::default()
+        }
+    }
+
+    /// Narrows the location to a block.
+    pub fn at_block(mut self, b: BlockId) -> SourceLoc {
+        self.block = Some(b);
+        self
+    }
+
+    /// Narrows the location to an instruction at `index` within its block.
+    pub fn at_inst(mut self, id: InstId, index: usize) -> SourceLoc {
+        self.inst = Some(id);
+        self.inst_index = Some(index);
+        self
+    }
+
+    /// Locates instruction `id` within `f` (resolving block and index),
+    /// falling back to a function-level location if it was removed.
+    pub fn of_inst(f: &Function, id: InstId) -> SourceLoc {
+        let loc = SourceLoc::in_func(&f.name);
+        let Some(inst) = f.inst(id) else { return loc };
+        let b = inst.block;
+        let index = f
+            .block(b)
+            .and_then(|blk| blk.insts.iter().position(|&i| i == id));
+        SourceLoc {
+            block: Some(b),
+            inst_index: index,
+            inst: Some(id),
+            ..loc
+        }
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            None => f.write_str("module"),
+            Some(name) => {
+                write!(f, "function '{name}'")?;
+                if let Some(b) = self.block {
+                    write!(f, " at {b}")?;
+                    if let Some(i) = self.inst_index {
+                        write!(f, "[{i}]")?;
+                    }
+                }
+                if let Some(id) = self.inst {
+                    write!(f, " ({id})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
 
 /// A verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
-    /// Function in which the problem was found, if any.
-    pub func: Option<String>,
+    /// Where the problem was found.
+    pub loc: SourceLoc,
     /// Human-readable description.
     pub message: String,
 }
 
+impl VerifyError {
+    /// The function name the error points into, if any.
+    pub fn func(&self) -> Option<&str> {
+        self.loc.func.as_deref()
+    }
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.func {
-            Some(name) => write!(f, "in function '{name}': {}", self.message),
-            None => f.write_str(&self.message),
+        if self.loc == SourceLoc::module() {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "in {}: {}", self.loc, self.message)
         }
     }
 }
 
 impl std::error::Error for VerifyError {}
 
-fn err(func: Option<&str>, message: impl Into<String>) -> VerifyError {
+fn err(loc: SourceLoc, message: impl Into<String>) -> VerifyError {
     VerifyError {
-        func: func.map(str::to_owned),
+        loc,
         message: message.into(),
     }
 }
@@ -48,7 +142,10 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     for fid in m.func_ids() {
         let f = m.func(fid).unwrap();
         if !names.insert(f.name.clone()) {
-            return Err(err(None, format!("duplicate function name '{}'", f.name)));
+            return Err(err(
+                SourceLoc::module(),
+                format!("duplicate function name '{}'", f.name),
+            ));
         }
         if !f.is_decl {
             verify_function(m, fid)?;
@@ -64,32 +161,38 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
 /// See [`verify_module`].
 pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
     let f = m.func(fid).expect("verify of removed function");
-    let name = Some(f.name.as_str());
+    let floc = || SourceLoc::in_func(&f.name);
 
     if f.block(f.entry).is_none() {
-        return Err(err(name, "entry block was removed"));
+        return Err(err(floc(), "entry block was removed"));
     }
 
     // Structural block checks.
     for b in f.block_ids() {
         let block = f.block(b).unwrap();
         if block.insts.is_empty() {
-            return Err(err(name, format!("{b} is empty (needs a terminator)")));
+            return Err(err(
+                floc().at_block(b),
+                format!("{b} is empty (needs a terminator)"),
+            ));
         }
         for (i, &id) in block.insts.iter().enumerate() {
-            let inst = f
-                .inst(id)
-                .ok_or_else(|| err(name, format!("{b} references removed instruction {id}")))?;
+            let inst = f.inst(id).ok_or_else(|| {
+                err(
+                    floc().at_block(b),
+                    format!("{b} references removed instruction {id}"),
+                )
+            })?;
             if inst.block != b {
                 return Err(err(
-                    name,
+                    floc().at_block(b).at_inst(id, i),
                     format!("{id} back-reference points to {} not {b}", inst.block),
                 ));
             }
             let is_last = i + 1 == block.insts.len();
             if inst.op.is_terminator() != is_last {
                 return Err(err(
-                    name,
+                    floc().at_block(b).at_inst(id, i),
                     format!(
                         "{b}: terminator placement error at {id} ({})",
                         inst.op.kind_name()
@@ -102,7 +205,10 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                     .iter()
                     .all(|&p| matches!(f.op(p), Op::Phi { .. }));
                 if !all_phis_before {
-                    return Err(err(name, format!("{b}: phi {id} not at block top")));
+                    return Err(err(
+                        floc().at_block(b).at_inst(id, i),
+                        format!("{b}: phi {id} not at block top"),
+                    ));
                 }
             }
         }
@@ -114,14 +220,20 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
     // The entry block must have no predecessors (as in LLVM); the
     // interpreter's phi handling and loop transforms rely on this.
     if cfg.preds.get(&f.entry).is_some_and(|p| !p.is_empty()) {
-        return Err(err(name, "entry block has predecessors"));
+        return Err(err(
+            floc().at_block(f.entry),
+            "entry block has predecessors",
+        ));
     }
 
     // Terminator targets and phi consistency.
     for b in f.block_ids() {
         for s in f.successors(b) {
             if f.block(s).is_none() {
-                return Err(err(name, format!("{b} branches to removed block {s}")));
+                return Err(err(
+                    floc().at_block(b),
+                    format!("{b} branches to removed block {s}"),
+                ));
             }
         }
     }
@@ -131,16 +243,17 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
             .copied()
             .filter(|p| reachable.contains(p))
             .collect();
-        for &id in &f.block(b).unwrap().insts {
+        for (i, &id) in f.block(b).unwrap().insts.iter().enumerate() {
             if let Op::Phi { incomings, .. } = f.op(id) {
+                let iloc = || floc().at_block(b).at_inst(id, i);
                 let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
                 if inc.len() != incomings.len() {
-                    return Err(err(name, format!("{id}: duplicate phi incoming blocks")));
+                    return Err(err(iloc(), format!("{id}: duplicate phi incoming blocks")));
                 }
                 for p in &inc {
                     if !preds.contains(p) && reachable.contains(p) {
                         return Err(err(
-                            name,
+                            iloc(),
                             format!("{id}: phi incoming {p} is not a predecessor of {b}"),
                         ));
                     }
@@ -148,7 +261,7 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                 for p in &preds {
                     if !inc.contains(p) {
                         return Err(err(
-                            name,
+                            iloc(),
                             format!("{id}: phi missing incoming for predecessor {p}"),
                         ));
                     }
@@ -160,32 +273,33 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
     // Operand existence, argument indices, global/function references, types.
     for id in f.inst_ids() {
         let op = f.op(id);
+        let iloc = || SourceLoc::of_inst(f, id);
         for v in op.operands() {
             match v {
                 Value::Inst(d) => {
                     if f.inst(d).is_none() {
-                        return Err(err(name, format!("{id} uses removed instruction {d}")));
+                        return Err(err(iloc(), format!("{id} uses removed instruction {d}")));
                     }
                 }
                 Value::Arg(i) => {
                     if i as usize >= f.params.len() {
-                        return Err(err(name, format!("{id} uses out-of-range argument {i}")));
+                        return Err(err(iloc(), format!("{id} uses out-of-range argument {i}")));
                     }
                 }
                 Value::Global(g) => {
                     if m.global(g).is_none() {
-                        return Err(err(name, format!("{id} references removed global")));
+                        return Err(err(iloc(), format!("{id} references removed global")));
                     }
                 }
                 Value::Func(fr) => {
                     if m.func(fr).is_none() {
-                        return Err(err(name, format!("{id} references removed function")));
+                        return Err(err(iloc(), format!("{id} references removed function")));
                     }
                 }
                 Value::Const(_) => {}
             }
         }
-        verify_types(m, f, id, name)?;
+        verify_types(m, f, id)?;
     }
 
     // SSA dominance: every use of an instruction result must be dominated by
@@ -202,6 +316,7 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
     };
     for &b in &cfg.rpo {
         for (use_idx, &id) in f.block(b).unwrap().insts.iter().enumerate() {
+            let iloc = || SourceLoc::in_func(&f.name).at_block(b).at_inst(id, use_idx);
             match f.op(id) {
                 Op::Phi { incomings, .. } => {
                     for (pred, v) in incomings {
@@ -212,7 +327,7 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                             let (db, _) = pos[d];
                             if !dt.dominates(db, *pred) {
                                 return Err(err(
-                                    name,
+                                    iloc(),
                                     format!(
                                         "{id}: phi incoming {d} does not dominate edge from {pred}"
                                     ),
@@ -232,7 +347,7 @@ pub fn verify_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                             };
                             if !ok {
                                 return Err(err(
-                                    name,
+                                    iloc(),
                                     format!("{id}: use of {d} not dominated by its definition"),
                                 ));
                             }
@@ -257,18 +372,13 @@ pub fn value_ty(_m: &Module, f: &Function, v: Value) -> Ty {
     }
 }
 
-fn verify_types(
-    m: &Module,
-    f: &Function,
-    id: InstId,
-    name: Option<&str>,
-) -> Result<(), VerifyError> {
+fn verify_types(m: &Module, f: &Function, id: InstId) -> Result<(), VerifyError> {
     let vt = |v: Value| value_ty(m, f, v);
     let want = |cond: bool, msg: String| -> Result<(), VerifyError> {
         if cond {
             Ok(())
         } else {
-            Err(err(name, msg))
+            Err(err(SourceLoc::of_inst(f, id), msg))
         }
     };
     match f.op(id) {
@@ -340,9 +450,12 @@ fn verify_types(
             args,
             ret_ty,
         } => {
-            let callee_f = m
-                .func(*callee)
-                .ok_or_else(|| err(name, format!("{id}: call to removed function")))?;
+            let callee_f = m.func(*callee).ok_or_else(|| {
+                err(
+                    SourceLoc::of_inst(f, id),
+                    format!("{id}: call to removed function"),
+                )
+            })?;
             want(
                 callee_f.ret == *ret_ty,
                 format!("{id}: call return type {} != {}", ret_ty, callee_f.ret),
@@ -395,7 +508,10 @@ fn verify_types(
             (Some(v), ty) if ty != Ty::Void => {
                 want(vt(*v) == ty, format!("{id}: return type mismatch"))
             }
-            _ => Err(err(name, format!("{id}: return/void mismatch"))),
+            _ => Err(err(
+                SourceLoc::of_inst(f, id),
+                format!("{id}: return/void mismatch"),
+            )),
         },
         Op::Br { .. } | Op::Unreachable => Ok(()),
     }

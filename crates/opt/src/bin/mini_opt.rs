@@ -1,18 +1,26 @@
 //! `mini-opt`: the workspace's answer to LLVM's `opt` tool.
 //!
 //! ```text
-//! mini-opt [-passes | -O0|-O1|-O2|-O3|-Os|-Oz | -<pass>...] [--stats] [file.ir]
+//! mini-opt [-passes | -O0|-O1|-O2|-O3|-Os|-Oz | -<pass>...]
+//!          [--sanitize[=off|verify|full]] [--stats] [file.ir]
 //! ```
 //!
 //! Reads textual IR from the file (or stdin), applies the requested passes
 //! or pipeline in order, and prints the optimized module. `-passes` lists
 //! every registered pass. `--stats` prints instruction/block counts before
 //! and after instead of the module text.
+//!
+//! Every run is sanitized: after each pass that changes the module the
+//! verifier and lint suite re-run, attributing any breakage to the pass
+//! that caused it. `--sanitize=full` additionally executes the module
+//! before and after each pass and compares observable behaviour, dumping
+//! a delta-reduced JSON repro on a mismatch; `--sanitize=off` restores
+//! the old unchecked behaviour.
 
+use posetrl_analyze::{expect_verified, SanitizeLevel, Sanitizer};
 use posetrl_ir::parser::parse_module;
 use posetrl_ir::printer::print_module;
-use posetrl_ir::verifier::verify_module;
-use posetrl_opt::manager::PassManager;
+use posetrl_opt::manager::{PassManager, PipelineError};
 use posetrl_opt::pipelines;
 use std::io::Read;
 
@@ -30,9 +38,17 @@ fn main() {
     let mut passes: Vec<String> = Vec::new();
     let mut file: Option<String> = None;
     let mut stats = false;
+    let mut level = SanitizeLevel::Verify;
     for a in args {
         if a == "--stats" {
             stats = true;
+        } else if a == "--sanitize" {
+            level = SanitizeLevel::Full;
+        } else if let Some(l) = a.strip_prefix("--sanitize=") {
+            level = SanitizeLevel::parse(l).unwrap_or_else(|| {
+                eprintln!("mini-opt: unknown sanitize level '{l}' (off|verify|full)");
+                std::process::exit(1);
+            });
         } else if let Some(p) = pipelines::by_name(&a) {
             passes.extend(p.iter().map(|s| s.to_string()));
         } else if let Some(name) = a.strip_prefix('-') {
@@ -63,22 +79,32 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Err(e) = verify_module(&module) {
+    if let Err(e) = posetrl_ir::verifier::verify_module(&module) {
         eprintln!("mini-opt: input does not verify: {e}");
         std::process::exit(1);
     }
 
     let before_insts = module.num_insts();
-    for p in &passes {
-        if let Err(e) = pm.run_pass(&mut module, p) {
+    let san = Sanitizer::new(level);
+    match pm.run_pipeline_sanitized(&mut module, &passes, &san) {
+        Ok(_) => {}
+        Err(PipelineError::UnknownPass(e)) => {
             eprintln!("mini-opt: {e} (see `mini-opt -passes`)");
             std::process::exit(2);
         }
+        Err(PipelineError::Sanitizer { pass, verdict }) => {
+            eprintln!("mini-opt: INTERNAL ERROR — pass '{pass}' miscompiled the module");
+            eprintln!("{}", verdict.render());
+            if let Some(mc) = &verdict.miscompile {
+                eprintln!("--- miscompile artifact (JSON) ---");
+                eprintln!("{}", mc.to_json());
+            }
+            std::process::exit(3);
+        }
     }
-    if let Err(e) = verify_module(&module) {
-        eprintln!("mini-opt: INTERNAL ERROR — output does not verify: {e}");
-        std::process::exit(3);
-    }
+    // with --sanitize=off the per-pass checks are skipped; keep the
+    // historical end-of-run guarantee either way
+    expect_verified(&module, "mini-opt output");
 
     if stats {
         println!("instructions: {before_insts} -> {}", module.num_insts());

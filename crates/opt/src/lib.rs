@@ -45,7 +45,7 @@ pub mod util;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use manager::{PassManager, UnknownPassError};
+pub use manager::{PassManager, PassRecord, PipelineError, SanitizedRun, UnknownPassError};
 
 use posetrl_ir::Module;
 

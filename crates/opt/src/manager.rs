@@ -2,7 +2,8 @@
 
 use crate::passes;
 use crate::Pass;
-use posetrl_ir::Module;
+use posetrl_analyze::{Diagnostic, Sanitizer, TransformVerdict};
+use posetrl_ir::{module_hash, Module};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -20,6 +21,58 @@ impl fmt::Display for UnknownPassError {
 }
 
 impl std::error::Error for UnknownPassError {}
+
+/// Why a sanitized pipeline stopped.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A pipeline entry named an unregistered pass.
+    UnknownPass(UnknownPassError),
+    /// A pass failed sanitization (verifier break, newly introduced
+    /// error-severity lint, or an observation mismatch).
+    Sanitizer {
+        /// The offending pass.
+        pass: String,
+        /// The full verdict, including any delta-reduced miscompile repro.
+        verdict: Box<TransformVerdict>,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnknownPass(e) => e.fmt(f),
+            PipelineError::Sanitizer { verdict, .. } => f.write_str(&verdict.render()),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<UnknownPassError> for PipelineError {
+    fn from(e: UnknownPassError) -> PipelineError {
+        PipelineError::UnknownPass(e)
+    }
+}
+
+/// Per-pass attribution from a sanitized pipeline run.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Pass name as given in the pipeline.
+    pub pass: String,
+    /// Whether the pass changed the module (by hash, not self-report).
+    pub changed: bool,
+    /// Non-fatal diagnostics the pass newly introduced.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// The result of a sanitized pipeline run that completed.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizedRun {
+    /// Whether any pass changed the module.
+    pub changed: bool,
+    /// One record per pipeline entry, in execution order.
+    pub records: Vec<PassRecord>,
+}
 
 /// Applies passes and pipelines by name, mirroring LLVM's `opt` tool.
 ///
@@ -107,6 +160,76 @@ impl PassManager {
         let names: Vec<&str> = flags.split_whitespace().collect();
         self.run_pipeline(module, &names)
     }
+
+    /// Runs a pipeline under a [`Sanitizer`]: after every pass that
+    /// actually changed the module (compared by hash, so a pass cannot
+    /// mis-report), the sanitizer re-verifies, re-lints and — at level
+    /// `full` — differentially executes the module. The returned records
+    /// attribute every newly introduced diagnostic to the pass that caused
+    /// it.
+    ///
+    /// With a disabled sanitizer this degrades to [`run_pipeline`] plus
+    /// per-pass change attribution.
+    ///
+    /// # Errors
+    ///
+    /// - [`PipelineError::UnknownPass`] on the first unknown name;
+    /// - [`PipelineError::Sanitizer`] when a pass breaks verification,
+    ///   introduces an error-severity finding, or changes observable
+    ///   behaviour. The module is left in its post-failure state so
+    ///   callers can dump it.
+    ///
+    /// [`run_pipeline`]: PassManager::run_pipeline
+    pub fn run_pipeline_sanitized<S: AsRef<str>>(
+        &self,
+        module: &mut Module,
+        names: &[S],
+        san: &Sanitizer,
+    ) -> Result<SanitizedRun, PipelineError> {
+        let mut run = SanitizedRun::default();
+        if !san.enabled() {
+            for name in names {
+                let changed = self.run_pass(module, name.as_ref())?;
+                run.changed |= changed;
+                run.records.push(PassRecord {
+                    pass: name.as_ref().to_string(),
+                    changed,
+                    diagnostics: Vec::new(),
+                });
+            }
+            return Ok(run);
+        }
+        for name in names {
+            let name = name.as_ref();
+            let pre = module.clone();
+            let pre_hash = module_hash(&pre);
+            self.run_pass(module, name)?;
+            let changed = module_hash(module) != pre_hash;
+            run.changed |= changed;
+            let diagnostics = if changed {
+                let reapply = |input: &Module| -> Option<Module> {
+                    let mut out = input.clone();
+                    self.run_pass(&mut out, name).ok().map(|_| out)
+                };
+                let verdict = san.check_transform(name, &pre, module, Some(&reapply));
+                if verdict.is_fatal() {
+                    return Err(PipelineError::Sanitizer {
+                        pass: name.to_string(),
+                        verdict: Box::new(verdict),
+                    });
+                }
+                verdict.diagnostics
+            } else {
+                Vec::new()
+            };
+            run.records.push(PassRecord {
+                pass: name.to_string(),
+                changed,
+                diagnostics,
+            });
+        }
+        Ok(run)
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +308,74 @@ mod tests {
         let mut m = Module::new("m");
         let e = pm.run_pass(&mut m, "-frobnicate").unwrap_err();
         assert_eq!(e.name, "-frobnicate");
+    }
+
+    #[test]
+    fn sanitized_pipeline_attributes_changes_per_pass() {
+        use posetrl_analyze::{SanitizeLevel, Sanitizer};
+        let pm = PassManager::new();
+        let mut m = parse_module(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 7:i64, %p
+  %v = load i64, %p
+  ret %v
+}
+"#,
+        )
+        .unwrap();
+        let san = Sanitizer::new(SanitizeLevel::Full);
+        let run = pm
+            .run_pipeline_sanitized(&mut m, &["mem2reg", "barrier", "adce"], &san)
+            .expect("clean pipeline sanitizes");
+        assert!(run.changed);
+        assert_eq!(run.records.len(), 3);
+        assert!(run.records[0].changed, "mem2reg rewrites the allocas");
+        assert!(!run.records[1].changed, "barrier is a no-op");
+        let st = san.stats();
+        assert!(st.checks >= 1);
+        assert_eq!(st.miscompiles, 0);
+    }
+
+    #[test]
+    fn sanitized_pipeline_with_off_sanitizer_matches_plain_run() {
+        use posetrl_analyze::{SanitizeLevel, Sanitizer};
+        let pm = PassManager::new();
+        let text = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 7:i64, %p
+  %v = load i64, %p
+  ret %v
+}
+"#;
+        let mut a = parse_module(text).unwrap();
+        let mut b = parse_module(text).unwrap();
+        let san = Sanitizer::new(SanitizeLevel::Off);
+        pm.run_pipeline_sanitized(&mut a, &["mem2reg", "instcombine"], &san)
+            .unwrap();
+        pm.run_pipeline(&mut b, &["mem2reg", "instcombine"])
+            .unwrap();
+        use posetrl_ir::printer::print_module;
+        assert_eq!(print_module(&a), print_module(&b));
+        assert_eq!(san.stats().checks, 0);
+    }
+
+    #[test]
+    fn sanitized_pipeline_reports_unknown_pass() {
+        use posetrl_analyze::{SanitizeLevel, Sanitizer};
+        let pm = PassManager::new();
+        let mut m = Module::new("m");
+        let san = Sanitizer::new(SanitizeLevel::Verify);
+        let err = pm
+            .run_pipeline_sanitized(&mut m, &["-frobnicate"], &san)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownPass(_)), "{err}");
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Test helpers: semantic-equivalence checking for passes.
 
+use posetrl_analyze::expect_verified;
 use posetrl_ir::interp::{Interpreter, Observation, RtVal};
 use posetrl_ir::parser::parse_module;
 use posetrl_ir::printer::print_module;
-use posetrl_ir::verifier::verify_module;
 use posetrl_ir::Module;
 
 /// Runs the module's `main` (or first defined function) on `args` and
@@ -23,17 +23,18 @@ pub fn observe(m: &Module, args: &[RtVal]) -> Observation {
 /// Returns the optimized module for additional structural assertions.
 pub fn assert_preserves(text: &str, passes: &[&str], arg_sets: &[Vec<RtVal>]) -> Module {
     let m0 = parse_module(text).expect("test module parses");
-    verify_module(&m0).expect("test module verifies");
+    expect_verified(&m0, "test module before passes");
     let mut m1 = m0.clone();
     let pm = crate::manager::PassManager::new();
     pm.run_pipeline(&mut m1, passes).expect("passes exist");
-    if let Err(e) = verify_module(&m1) {
-        panic!(
-            "verifier failed after {passes:?}: {e}\n--- before ---\n{}\n--- after ---\n{}",
+    expect_verified(
+        &m1,
+        &format!(
+            "after {passes:?}\n--- before ---\n{}\n--- after ---\n{}",
             print_module(&m0),
             print_module(&m1)
-        );
-    }
+        ),
+    );
     let default_args = vec![Vec::new()];
     let sets = if arg_sets.is_empty() {
         &default_args

@@ -559,7 +559,7 @@ bb0:
             let entry = f.entry;
             split_block(f, entry, 1);
         }
-        posetrl_ir::verifier::verify_module(&m).expect("verifies after split");
+        posetrl_analyze::expect_verified(&m, "after split_block");
         let f = m.func(fid).unwrap();
         assert_eq!(f.num_blocks(), 2);
         assert_eq!(f.block(f.entry).unwrap().insts.len(), 2); // add + br

@@ -1,0 +1,24 @@
+; Naive recursive Fibonacci — exercises call-boundary type checking and
+; branchy control flow. Lint-clean by design.
+module "fib"
+
+fn @fib(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 %arg0, 2:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret %arg0
+bb2:
+  %n1 = sub i64 %arg0, 1:i64
+  %n2 = sub i64 %arg0, 2:i64
+  %f1 = call @fib(%n1) -> i64
+  %f2 = call @fib(%n2) -> i64
+  %s = add i64 %f1, %f2
+  ret %s
+}
+
+fn @main() -> i64 internal {
+bb0:
+  %r = call @fib(10:i64) -> i64
+  ret %r
+}

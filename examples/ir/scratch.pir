@@ -1,0 +1,29 @@
+; Stack scratch space: stores before every load so the uninitialized-load
+; lint stays silent; the stored running maximum is re-read after the loop.
+module "scratch"
+
+fn @main() -> i64 internal {
+bb0:
+  %best = alloca i64 x 1
+  store i64 0:i64, %best
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb3: %i2]
+  %c = icmp slt i64 %i, 8:i64
+  condbr %c, bb2, bb4
+bb2:
+  %sq = mul i64 %i, %i
+  %m = srem i64 %sq, 5:i64
+  %cur = load i64, %best
+  %gt = icmp sgt i64 %m, %cur
+  condbr %gt, bb5, bb3
+bb5:
+  store i64 %m, %best
+  br bb3
+bb3:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb4:
+  %r = load i64, %best
+  ret %r
+}

@@ -1,0 +1,12 @@
+; Call arity disagrees with the callee signature; structurally broken, so
+; only the verifier finding is reported.
+; expect: verify
+module "bad_call"
+
+declare @g(i64) -> i64
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = call @g() -> i64
+  ret %0
+}

@@ -1,0 +1,10 @@
+; A well-formed module: verifies and produces no findings at any severity.
+; expect:
+module "clean"
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = add i64 2:i64, 3:i64
+  %1 = mul i64 %0, %0
+  ret %1
+}

@@ -1,0 +1,11 @@
+; Constant-index gep past the end of a 4-element global.
+; expect: const-oob
+module "const_oob"
+global @tbl : i64 x 4 const internal = [1:i64, 2:i64, 3:i64, 4:i64]
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = gep i64, @tbl, 6:i64
+  %1 = load i64, %0
+  ret %1
+}

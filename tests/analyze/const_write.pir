@@ -1,0 +1,11 @@
+; Storing through a pointer into a non-mutable global.
+; expect: const-write
+module "const_write"
+global @k : i64 x 1 const internal = [7:i64]
+
+fn @main() -> i64 internal {
+bb0:
+  store i64 9:i64, @k
+  %0 = load i64, @k
+  ret %0
+}

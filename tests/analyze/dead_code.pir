@@ -1,0 +1,11 @@
+; A pure unused instruction plus a block no path reaches.
+; expect: dead-inst, unreachable-block
+module "dead_code"
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = add i64 1:i64, 2:i64
+  ret 3:i64
+bb1:
+  ret 4:i64
+}

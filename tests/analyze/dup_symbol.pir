@@ -1,0 +1,11 @@
+; A global and a function sharing one name: the verifier only checks
+; function-vs-function clashes, so the cross-namespace collision is the
+; lint suite's to catch.
+; expect: dup-symbol
+module "dup_symbol"
+global @main : i64 x 1 const internal = [0:i64]
+
+fn @main() -> i64 internal {
+bb0:
+  ret 0:i64
+}

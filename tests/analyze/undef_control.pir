@@ -1,0 +1,12 @@
+; Branching on undef: the undef-propagation analysis must flag the condbr.
+; expect: undef-control
+module "undef_control"
+
+fn @main() -> i64 internal {
+bb0:
+  condbr undef:i1, bb1, bb2
+bb1:
+  ret 1:i64
+bb2:
+  ret 2:i64
+}

@@ -1,0 +1,10 @@
+; Dividing by a value derived from undef: the division may trap.
+; expect: undef-trap
+module "undef_trap"
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = add i64 undef:i64, 0:i64
+  %1 = sdiv i64 10:i64, %0
+  ret %1
+}

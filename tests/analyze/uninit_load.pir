@@ -1,0 +1,10 @@
+; Loading from an alloca that is never stored to and never escapes.
+; expect: uninit-load
+module "uninit_load"
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = alloca i64 x 2
+  %1 = load i64, %0
+  ret %1
+}

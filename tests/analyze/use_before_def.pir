@@ -1,0 +1,16 @@
+; The value is defined on one branch only but used after the merge. The
+; structural verifier's dominance check rejects this outright, so the
+; report is the single verify finding (the dataflow use-before-def lint
+; covers modules that reach the analyses through `run_all` directly).
+; expect: verify
+module "use_before_def"
+
+fn @main(i1) -> i64 internal {
+bb0:
+  condbr %arg0, bb1, bb2
+bb1:
+  %0 = add i64 1:i64, 2:i64
+  br bb2
+bb2:
+  ret %0
+}
