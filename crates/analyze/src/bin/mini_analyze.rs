@@ -1,9 +1,10 @@
 //! `mini-analyze`: run the lint suite over textual IR files and the
-//! generated workload corpora.
+//! generated workload corpora, or symbolically validate a transform pair.
 //!
 //! ```text
 //! mini-analyze [FILES...] [--corpus] [--suites] [--deny warnings|errors]
-//!              [--level verify|full] [--json] [-q]
+//!              [--level verify|validate|full] [--json] [-q]
+//! mini-analyze --validate SRC.pir TGT.pir [--json] [-q]
 //! ```
 //!
 //! - `FILES` are `.pir` modules in the workspace textual format.
@@ -12,11 +13,24 @@
 //! - `--deny warnings` (default `errors`) exits nonzero when any finding
 //!   at or above the threshold is reported; notes never fail the run.
 //! - `--json` prints one JSON object per module instead of text lines.
-//! - `--level` is accepted for symmetry with the engine flags; both
+//! - `--level` is accepted for symmetry with the engine flags; all
 //!   levels run the same static suite here (differential execution needs
 //!   a pass pipeline, which file linting does not have).
+//! - `--validate SRC TGT` runs the symbolic translation validator on the
+//!   pair: `SRC` is the pre-transform module and `TGT` the post-transform
+//!   module. Each function in `TGT` gets a `proved`, `refuted` (with an
+//!   interpreter-confirmed counterexample) or `inconclusive` verdict.
+//!   Budgets come from the `POSETRL_VALIDATE_*` environment knobs.
+//!
+//! Exit codes (shared with `mini_opt`, see
+//! [`posetrl_analyze::exit_codes`]): 0 clean (in `--validate` mode:
+//! no refutations — `inconclusive` is not a finding), 1 findings
+//! (denied diagnostics or refuted functions), 2 usage or I/O error.
 
-use posetrl_analyze::{run_all, Diagnostic, SanitizeLevel, Severity};
+use posetrl_analyze::{
+    exit_codes, run_all, validate_transform, Diagnostic, SanitizeLevel, Severity, ValidateConfig,
+    Verdict,
+};
 use posetrl_ir::parser::parse_module;
 use posetrl_ir::verifier::verify_module;
 use posetrl_ir::Module;
@@ -25,6 +39,7 @@ use std::process::ExitCode;
 
 struct Options {
     files: Vec<String>,
+    validate_pair: Option<(String, String)>,
     corpus: bool,
     suites: bool,
     deny: Severity,
@@ -35,14 +50,16 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: mini-analyze [FILES...] [--corpus] [--suites] \
-         [--deny warnings|errors] [--level verify|full] [--json] [-q]"
+         [--deny warnings|errors] [--level verify|validate|full] [--json] [-q]\n\
+         \x20      mini-analyze --validate SRC.pir TGT.pir [--json] [-q]"
     );
-    std::process::exit(2);
+    std::process::exit(exit_codes::USAGE);
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         files: Vec::new(),
+        validate_pair: None,
         corpus: false,
         suites: false,
         deny: Severity::Error,
@@ -61,6 +78,12 @@ fn parse_args() -> Options {
                 Some("errors") => opts.deny = Severity::Error,
                 _ => usage(),
             },
+            "--validate" => {
+                let (Some(src), Some(tgt)) = (args.next(), args.next()) else {
+                    usage();
+                };
+                opts.validate_pair = Some((src, tgt));
+            }
             "--level" => {
                 let Some(level) = args.next().and_then(|s| SanitizeLevel::parse(&s)) else {
                     usage();
@@ -74,7 +97,7 @@ fn parse_args() -> Options {
             _ => opts.files.push(arg),
         }
     }
-    if opts.files.is_empty() && !opts.corpus && !opts.suites {
+    if opts.files.is_empty() && !opts.corpus && !opts.suites && opts.validate_pair.is_none() {
         usage();
     }
     opts
@@ -110,26 +133,109 @@ fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
         .collect()
 }
 
+fn load(path: &str) -> Module {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("mini-analyze: cannot read {path}: {e}");
+        std::process::exit(exit_codes::USAGE);
+    });
+    parse_module(&text).unwrap_or_else(|e| {
+        eprintln!("mini-analyze: parse error in {path}: {e}");
+        std::process::exit(exit_codes::USAGE);
+    })
+}
+
+/// `--validate SRC TGT`: symbolic refinement check of a transform pair.
+fn run_validate(src_path: &str, tgt_path: &str, opts: &Options) -> ExitCode {
+    let src = load(src_path);
+    let tgt = load(tgt_path);
+    let cfg = ValidateConfig::from_env();
+    let mv = validate_transform(&src, &tgt, &cfg);
+
+    if opts.json {
+        let funcs: Vec<serde_json::Value> = mv
+            .funcs
+            .iter()
+            .map(|fv| {
+                let (verdict, detail) = match &fv.verdict {
+                    Verdict::Proved => ("proved", serde_json::Value::Null),
+                    Verdict::Refuted(cex) => (
+                        "refuted",
+                        serde_json::json!({
+                            "entry": cex.entry,
+                            "args": cex.args.iter().map(|a| format!("{a:?}")).collect::<Vec<_>>(),
+                            "src_obs": cex.src_obs,
+                            "tgt_obs": cex.tgt_obs,
+                        }),
+                    ),
+                    Verdict::Inconclusive(why) => {
+                        ("inconclusive", serde_json::Value::String(why.clone()))
+                    }
+                };
+                serde_json::json!({ "function": fv.name, "verdict": verdict, "detail": detail })
+            })
+            .collect();
+        let payload = serde_json::json!({
+            "src": src_path,
+            "tgt": tgt_path,
+            "proved": mv.proved(),
+            "refuted": mv.refuted(),
+            "inconclusive": mv.inconclusive(),
+            "functions": funcs,
+        });
+        println!("{payload}");
+    } else {
+        for fv in &mv.funcs {
+            match &fv.verdict {
+                Verdict::Proved => {
+                    if !opts.quiet {
+                        println!("{}: proved", fv.name);
+                    }
+                }
+                Verdict::Refuted(cex) => {
+                    println!("{}: REFUTED", fv.name);
+                    println!("  entry: {} args: {:?}", cex.entry, cex.args);
+                    println!("  source observed:    {}", cex.src_obs);
+                    println!("  optimized observed: {}", cex.tgt_obs);
+                }
+                Verdict::Inconclusive(why) => {
+                    if !opts.quiet {
+                        println!("{}: inconclusive ({why})", fv.name);
+                    }
+                }
+            }
+        }
+    }
+    if !opts.quiet {
+        eprintln!(
+            "mini-analyze: validate {src_path} -> {tgt_path}: {} proved, {} refuted, {} inconclusive",
+            mv.proved(),
+            mv.refuted(),
+            mv.inconclusive()
+        );
+    }
+    if mv.refuted() > 0 {
+        ExitCode::from(exit_codes::FINDINGS as u8)
+    } else {
+        ExitCode::from(exit_codes::CLEAN as u8)
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+
+    if let Some((src, tgt)) = opts.validate_pair.clone() {
+        if !opts.files.is_empty() || opts.corpus || opts.suites {
+            eprintln!("mini-analyze: --validate cannot be combined with lint inputs");
+            return ExitCode::from(exit_codes::USAGE as u8);
+        }
+        return run_validate(&src, &tgt, &opts);
+    }
+
     let mut failures = 0usize;
     let mut modules = 0usize;
 
     for path in &opts.files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("mini-analyze: cannot read {path}: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let m = match parse_module(&text) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("mini-analyze: parse error in {path}: {e}");
-                return ExitCode::from(2);
-            }
-        };
+        let m = load(path);
         modules += 1;
         failures += lint(path, &m, &opts).len();
     }
@@ -154,8 +260,8 @@ fn main() -> ExitCode {
         );
     }
     if failures > 0 {
-        ExitCode::FAILURE
+        ExitCode::from(exit_codes::FINDINGS as u8)
     } else {
-        ExitCode::SUCCESS
+        ExitCode::from(exit_codes::CLEAN as u8)
     }
 }

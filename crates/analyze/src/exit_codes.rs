@@ -1,0 +1,19 @@
+//! Shared CLI exit-code scheme.
+//!
+//! Every analysis-facing binary (`mini-analyze`, `mini_opt`) uses the
+//! same three-value contract so CI can distinguish "clean" from
+//! "findings" from "operator error":
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | clean — no findings at the requested severity/level |
+//! | 1    | findings — denied diagnostics, miscompiles, or refutations |
+//! | 2    | usage or I/O error — bad flags, unreadable/unparsable input |
+
+/// No findings.
+pub const CLEAN: i32 = 0;
+/// Findings at or above the requested severity (lint denials,
+/// sanitizer miscompiles, validation refutations).
+pub const FINDINGS: i32 = 1;
+/// Usage, parse, or I/O error — the run itself could not be completed.
+pub const USAGE: i32 = 2;

@@ -14,7 +14,12 @@
 //! - a **pass-pipeline sanitizer** ([`sanitizer`]) that re-runs the suite
 //!   after every applied pass, differentially executes the pre/post
 //!   modules in the reference interpreter and, on an observation mismatch,
-//!   emits a delta-reduced minimal reproducer as a JSON artifact.
+//!   emits a delta-reduced minimal reproducer as a JSON artifact;
+//! - a **symbolic translation validator** ([`validate`]) that statically
+//!   proves individual pass applications correct for *all* inputs
+//!   (Alive2-style refinement: term language → symbolic execution →
+//!   bit-blasting → CDCL SAT, with interpreter-confirmed
+//!   counterexamples), wired in as the `validate` sanitizer level.
 //!
 //! The `mini-analyze` binary exposes the suite over `.pir` files and the
 //! generated workload corpora for CI.
@@ -22,7 +27,9 @@
 pub mod analyses;
 pub mod dataflow;
 pub mod diag;
+pub mod exit_codes;
 pub mod sanitizer;
+pub mod validate;
 
 pub use analyses::run_all;
 pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
@@ -30,3 +37,4 @@ pub use diag::{codes, Diagnostic, Severity};
 pub use sanitizer::{
     expect_verified, MiscompileReport, SanitizeLevel, Sanitizer, SanitizerStats, TransformVerdict,
 };
+pub use validate::{validate_transform, ModuleValidation, ValidateConfig, Verdict};

@@ -9,26 +9,39 @@
 //! 1. **verify** — structural/SSA verification plus the lint suite after
 //!    every applied pass, reporting only *newly introduced* findings so
 //!    pre-existing corpus quirks never count against a pass.
-//! 2. **full** — additionally differentially executes the module before and
-//!    after the pass in the reference interpreter on seeded inputs and
-//!    compares [`Observation`]s (return value + external-call trace).
-//! 3. On a mismatch, a delta-reduction loop shrinks the pre-pass module to
+//! 2. **validate** — additionally attempts a *static proof* that the
+//!    transform is a refinement for **all** inputs, via the symbolic
+//!    translation validator ([`crate::validate`]). A confirmed refutation
+//!    becomes a miscompile report immediately; `Inconclusive` functions
+//!    escalate to the differential layer below.
+//! 3. **full** — differentially executes the module before and after the
+//!    pass in the reference interpreter on seeded inputs and compares
+//!    [`Observation`]s (return value + external-call trace).
+//! 4. On a mismatch, a delta-reduction loop shrinks the pre-pass module to
 //!    a minimal reproducer (re-applying the pass through a caller-supplied
 //!    closure after each removal) and packages it as a JSON artifact.
 //!
 //! The differential layer honours the IR's UB contract: when the *pre*
 //! module already traps or runs out of fuel, passes are free to refine the
 //! erroneous execution, so no comparison is made.
+//!
+//! Reduction and differential execution are budgeted: the delta reducer
+//! stops at [`MAX_REDUCTION_ATTEMPTS`] predicate runs *or* a wall-clock
+//! deadline (`POSETRL_SANITIZE_REDUCE_MS`, default 30 000 ms), emitting
+//! whatever repro it has at that point; the interpreter fuel of every
+//! differential run is `POSETRL_SANITIZE_DIFF_FUEL` (default 2 000 000).
 
 use crate::analyses::{run_all, sort_report};
 use crate::diag::{codes, Diagnostic, Severity};
-use posetrl_ir::interp::{Interpreter, Observation, RtVal};
+use crate::validate::{validate_transform, ValidateConfig};
+use posetrl_ir::interp::{InterpConfig, Interpreter, Observation, RtVal};
 use posetrl_ir::printer::print_module;
 use posetrl_ir::verifier::verify_module;
 use posetrl_ir::{Module, Ty};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Re-applies the pass under scrutiny to a (reduced) module; `None` when
 /// the pass fails on the candidate, which aborts that reduction step.
@@ -42,6 +55,9 @@ pub enum SanitizeLevel {
     Off,
     /// Verifier + lint suite after every applied pass.
     Verify,
+    /// `Verify` plus symbolic translation validation; inconclusive
+    /// functions fall back to differential execution.
+    Validate,
     /// `Verify` plus differential execution and delta-reduced repros.
     Full,
 }
@@ -52,6 +68,7 @@ impl SanitizeLevel {
         match s {
             "off" | "none" => Some(SanitizeLevel::Off),
             "verify" => Some(SanitizeLevel::Verify),
+            "validate" => Some(SanitizeLevel::Validate),
             "full" => Some(SanitizeLevel::Full),
             _ => None,
         }
@@ -62,6 +79,7 @@ impl SanitizeLevel {
         match self {
             SanitizeLevel::Off => "off",
             SanitizeLevel::Verify => "verify",
+            SanitizeLevel::Validate => "validate",
             SanitizeLevel::Full => "full",
         }
     }
@@ -82,14 +100,28 @@ pub struct SanitizerStats {
     pub diff_execs: u64,
     /// Observation mismatches (miscompiles) detected.
     pub miscompiles: u64,
+    /// Functions statically proved correct by the translation validator.
+    pub validate_proved: u64,
+    /// Functions refuted with an interpreter-confirmed counterexample.
+    pub validate_refuted: u64,
+    /// Functions the validator could not decide (escalated to the
+    /// dynamic fallback).
+    pub validate_inconclusive: u64,
 }
 
 impl SanitizerStats {
     /// One-line human-readable rendering for logs.
     pub fn render(&self) -> String {
         format!(
-            "checks={} verify_failures={} new_diags={} diff_execs={} miscompiles={}",
-            self.checks, self.verify_failures, self.diagnostics, self.diff_execs, self.miscompiles
+            "checks={} verify_failures={} new_diags={} diff_execs={} miscompiles={} validate={}p/{}r/{}i",
+            self.checks,
+            self.verify_failures,
+            self.diagnostics,
+            self.diff_execs,
+            self.miscompiles,
+            self.validate_proved,
+            self.validate_refuted,
+            self.validate_inconclusive
         )
     }
 
@@ -101,6 +133,9 @@ impl SanitizerStats {
         self.diagnostics += other.diagnostics;
         self.diff_execs += other.diff_execs;
         self.miscompiles += other.miscompiles;
+        self.validate_proved += other.validate_proved;
+        self.validate_refuted += other.validate_refuted;
+        self.validate_inconclusive += other.validate_inconclusive;
     }
 }
 
@@ -187,19 +222,25 @@ const MAX_REDUCTION_ATTEMPTS: usize = 200;
 #[derive(Debug, Default)]
 pub struct Sanitizer {
     level: SanitizeLevel,
+    validate_cfg: ValidateConfig,
     checks: AtomicU64,
     module_checks: AtomicU64,
     verify_failures: AtomicU64,
     diagnostics: AtomicU64,
     diff_execs: AtomicU64,
     miscompiles: AtomicU64,
+    validate_proved: AtomicU64,
+    validate_refuted: AtomicU64,
+    validate_inconclusive: AtomicU64,
 }
 
 impl Sanitizer {
-    /// Creates a sanitizer operating at `level`.
+    /// Creates a sanitizer operating at `level`, with validation budgets
+    /// read from the environment.
     pub fn new(level: SanitizeLevel) -> Sanitizer {
         Sanitizer {
             level,
+            validate_cfg: ValidateConfig::from_env(),
             ..Sanitizer::default()
         }
     }
@@ -223,6 +264,9 @@ impl Sanitizer {
             diagnostics: self.diagnostics.load(Ordering::Relaxed),
             diff_execs: self.diff_execs.load(Ordering::Relaxed),
             miscompiles: self.miscompiles.load(Ordering::Relaxed),
+            validate_proved: self.validate_proved.load(Ordering::Relaxed),
+            validate_refuted: self.validate_refuted.load(Ordering::Relaxed),
+            validate_inconclusive: self.validate_inconclusive.load(Ordering::Relaxed),
         }
     }
 
@@ -281,8 +325,44 @@ impl Sanitizer {
         sort_report(&mut fresh);
         verdict.diagnostics = fresh;
 
-        // -- layer 2: differential execution --------------------------------
-        if self.level == SanitizeLevel::Full {
+        // -- layer 2: symbolic translation validation -----------------------
+        // static proof first; a confirmed refutation short-circuits, a
+        // fully proved module skips differential execution entirely, and
+        // anything inconclusive escalates to the dynamic fallback below
+        let mut run_diff = self.level == SanitizeLevel::Full;
+        if self.level == SanitizeLevel::Validate {
+            let mv = validate_transform(pre, post, &self.validate_cfg);
+            self.validate_proved
+                .fetch_add(mv.proved() as u64, Ordering::Relaxed);
+            self.validate_refuted
+                .fetch_add(mv.refuted() as u64, Ordering::Relaxed);
+            self.validate_inconclusive
+                .fetch_add(mv.inconclusive() as u64, Ordering::Relaxed);
+            if let Some((_, cex)) = mv.first_refutation() {
+                self.miscompiles.fetch_add(1, Ordering::Relaxed);
+                let baseline = run_entry(pre, &cex.entry, &cex.args);
+                let repro = match reapply {
+                    Some(re) if baseline.result.is_ok() => {
+                        reduce(pre, &cex.entry, &cex.args, &baseline, re)
+                    }
+                    _ => pre.clone(),
+                };
+                verdict.miscompile = Some(MiscompileReport {
+                    pass: pass.to_string(),
+                    entry: cex.entry.clone(),
+                    args: cex.args.iter().map(render_rtval).collect(),
+                    before: cex.src_obs.clone(),
+                    after: cex.tgt_obs.clone(),
+                    repro_insts: repro.num_insts(),
+                    repro: print_module(&repro),
+                });
+                return verdict;
+            }
+            run_diff = !mv.all_proved();
+        }
+
+        // -- layer 3: differential execution --------------------------------
+        if run_diff {
             if let Some((entry, args)) = diff_entry(pre) {
                 self.diff_execs.fetch_add(1, Ordering::Relaxed);
                 let before = run_entry(pre, &entry, &args);
@@ -352,7 +432,7 @@ fn diag_key(d: &Diagnostic) -> String {
 /// execution: `main` when defined, otherwise the first function body.
 /// Returns `None` when no suitable entry exists or a parameter is a
 /// pointer (no meaningful seed exists without an allocation protocol).
-fn diff_entry(m: &Module) -> Option<(String, Vec<RtVal>)> {
+pub(crate) fn diff_entry(m: &Module) -> Option<(String, Vec<RtVal>)> {
     let fid = m
         .func_by_name("main")
         .filter(|&id| !m.func(id).unwrap().is_decl)
@@ -371,8 +451,33 @@ fn diff_entry(m: &Module) -> Option<(String, Vec<RtVal>)> {
     Some((f.name.clone(), args))
 }
 
+/// Interpreter fuel for differential runs; env-tunable so a pathological
+/// workload cannot stall the engine (`POSETRL_SANITIZE_DIFF_FUEL`).
+fn diff_fuel() -> u64 {
+    std::env::var("POSETRL_SANITIZE_DIFF_FUEL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+/// Wall-clock deadline for one delta-reduction loop
+/// (`POSETRL_SANITIZE_REDUCE_MS`, default 30 000 ms).
+fn reduce_deadline() -> Duration {
+    let ms = std::env::var("POSETRL_SANITIZE_REDUCE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000u64);
+    Duration::from_millis(ms)
+}
+
 fn run_entry(m: &Module, entry: &str, args: &[RtVal]) -> Observation {
-    Interpreter::new(m).run(entry, args).observation()
+    let config = InterpConfig {
+        fuel: diff_fuel(),
+        ..InterpConfig::default()
+    };
+    Interpreter::with_config(m, config)
+        .run(entry, args)
+        .observation()
 }
 
 fn render_rtval(v: &RtVal) -> String {
@@ -418,7 +523,9 @@ fn still_reproduces(
 
 /// Greedy delta reduction: repeatedly tries to drop functions, globals and
 /// individual unused pure instructions while the candidate keeps
-/// reproducing, bounded by [`MAX_REDUCTION_ATTEMPTS`] predicate runs.
+/// reproducing, bounded by [`MAX_REDUCTION_ATTEMPTS`] predicate runs *and*
+/// a wall-clock deadline. When either budget runs out the current (still
+/// reproducing, possibly unreduced) module is emitted as-is.
 fn reduce(
     pre: &Module,
     entry: &str,
@@ -428,12 +535,13 @@ fn reduce(
 ) -> Module {
     let mut current = pre.clone();
     let mut budget = MAX_REDUCTION_ATTEMPTS;
+    let deadline = Instant::now() + reduce_deadline();
     loop {
         let mut progressed = false;
 
         // drop whole functions (except the entry)
         for fid in current.func_ids().collect::<Vec<_>>() {
-            if budget == 0 {
+            if budget == 0 || Instant::now() >= deadline {
                 return current;
             }
             if current.func(fid).map(|f| f.name == entry).unwrap_or(true) {
@@ -450,7 +558,7 @@ fn reduce(
 
         // drop globals
         for gid in current.global_ids().collect::<Vec<_>>() {
-            if budget == 0 {
+            if budget == 0 || Instant::now() >= deadline {
                 return current;
             }
             let mut candidate = current.clone();
@@ -480,7 +588,7 @@ fn reduce(
                 })
                 .collect();
             for id in removable {
-                if budget == 0 {
+                if budget == 0 || Instant::now() >= deadline {
                     return current;
                 }
                 let mut candidate = current.clone();
@@ -701,10 +809,46 @@ mod tests {
             diagnostics: 4,
             diff_execs: 5,
             miscompiles: 6,
+            validate_proved: 7,
+            validate_refuted: 8,
+            validate_inconclusive: 9,
         };
         a.merge(&a.clone());
         assert_eq!(a.checks, 2);
         assert_eq!(a.miscompiles, 12);
+        assert_eq!(a.validate_proved, 14);
+        assert_eq!(a.validate_inconclusive, 18);
         assert!(a.render().contains("miscompiles=12"));
+        assert!(a.render().contains("validate=14p/16r/18i"));
+    }
+
+    #[test]
+    fn validate_level_proves_identity_without_executing() {
+        let san = Sanitizer::new(SanitizeLevel::Validate);
+        let m = good_module();
+        let v = san.check_transform("noop", &m, &m.clone(), None);
+        assert!(!v.is_fatal(), "{}", v.render());
+        let st = san.stats();
+        assert_eq!(st.validate_proved, 1);
+        assert_eq!(st.validate_refuted, 0);
+        assert_eq!(st.validate_inconclusive, 0);
+        // the static proof makes differential execution unnecessary
+        assert_eq!(st.diff_execs, 0);
+    }
+
+    #[test]
+    fn validate_level_refutes_observable_change() {
+        let san = Sanitizer::new(SanitizeLevel::Validate);
+        let m = good_module();
+        let bad = miscompiled_module();
+        let v = san.check_transform("evil", &m, &bad, None);
+        assert!(v.is_fatal());
+        let mc = v.miscompile.expect("refutation becomes a miscompile");
+        assert_eq!(mc.entry, "main");
+        assert!(mc.before.contains("Int(5)"), "{}", mc.before);
+        assert!(mc.after.contains("Int(41)"), "{}", mc.after);
+        let st = san.stats();
+        assert_eq!(st.validate_refuted, 1);
+        assert_eq!(st.miscompiles, 1);
     }
 }

@@ -1,0 +1,786 @@
+//! Alpha/structural canonicalization of function bodies — the
+//! validator's second fast path.
+//!
+//! [`canonical_body`] renders a function into a canonical text such
+//! that **equal texts imply identical observable behaviour** (over an
+//! identical global table). Every normalization applied is exact —
+//! semantics-preserving in *both* directions, including undef and trap
+//! behaviour — so the fast path can prove a transform without touching
+//! the symbolic engine, no matter how loopy the function is:
+//!
+//! - **Reachability**: blocks are emitted in DFS preorder from the
+//!   entry over *folded* edges; unreachable code vanishes.
+//! - **Const-branch folding**: a `condbr` whose condition folds to a
+//!   concrete constant becomes an edge (undef conditions are left
+//!   alone — they trap).
+//! - **Chain merging**: a block whose unique reachable predecessor
+//!   jumps only to it is spliced into that predecessor, erasing
+//!   `br`/label noise (what `simplifycfg` leaves behind).
+//! - **Phi folding**: incomings from unreachable predecessors are
+//!   pruned; a complete phi with exactly one surviving incoming is an
+//!   alias for that value. Incomplete phis (a reachable predecessor
+//!   edge missing) are kept verbatim — they carry a trap.
+//! - **Pure-expression folding**: never-trapping, effect-free
+//!   operations (`Bin` except `sdiv`/`srem`, `icmp`, `fcmp`, casts)
+//!   are inlined into their use sites as expression trees, hash-like
+//!   via string memoization. This makes the form invariant under dead
+//!   pure code, instruction reordering and cross-block code motion of
+//!   non-trapping operations (`dce`, `licm` hoists, scheduling).
+//! - **Constant folding** through the reference interpreter's own
+//!   `eval_bin`/`eval_cast_src`/`IntPred::eval` — the canonical form
+//!   cannot diverge from executable semantics — plus the
+//!   identity-element simplifications that stay exact under undef
+//!   (`x+0`, `x<<0`, `x*1`, `x&-1`, casts to the operand's own type).
+//!   Absorbing-element rules (`x*0 → 0`, `x&0 → 0`, `x^x → 0`) are
+//!   deliberately **not** applied: they are wrong when `x` is undef.
+//! - **Commutative operand sorting** for commutative binops and
+//!   `eq`/`ne` comparisons.
+//!
+//! Anchored operations — everything that can trap, touch memory, call,
+//! or merge control flow (`sdiv`/`srem`, `select`, `gep`, loads,
+//! stores, calls, allocas, phis) — keep their program order within a
+//! block. Dead *allocas* and dead *complete* phis are dropped (neither
+//! can trap nor be observed); every other anchored instruction stays.
+//!
+//! Returns `None` for irregular bodies (a reachable instruction using
+//! an unreachable one, expression blow-up past the size cap); the
+//! symbolic route handles those.
+
+use posetrl_ir::inst::{BinOp, CastKind, InstId, IntPred, Op};
+use posetrl_ir::interp::{eval_bin, eval_cast_src, RtVal};
+use posetrl_ir::module::{BlockId, Function, Module};
+use posetrl_ir::value::{Const, Value};
+use posetrl_ir::Ty;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Hard cap on one rendered expression, guarding against exponential
+/// duplication chains (`x1 = a+a; x2 = x1+x1; …`).
+const MAX_EXPR_LEN: usize = 8192;
+
+/// True for operations folded into expression trees: effect-free and
+/// incapable of trapping for *any* operand values, undef included.
+fn is_pure(op: &Op) -> bool {
+    match op {
+        Op::Bin { op, .. } => !matches!(op, BinOp::SDiv | BinOp::SRem),
+        Op::Icmp { .. } | Op::Fcmp { .. } | Op::Cast { .. } => true,
+        _ => false,
+    }
+}
+
+/// The static type of `v` in `f` (for cast-identity and zext folding).
+fn value_ty(f: &Function, v: Value) -> Ty {
+    match v {
+        Value::Inst(id) => f.op(id).result_ty(),
+        Value::Arg(i) => f.params.get(i as usize).copied().unwrap_or(Ty::I64),
+        Value::Const(c) => c.ty(),
+        Value::Global(_) | Value::Func(_) => Ty::Ptr,
+    }
+}
+
+fn rt_of_const(c: Const) -> Option<RtVal> {
+    match c {
+        Const::Int { val, .. } => Some(RtVal::Int(val)),
+        Const::Float(x) => Some(RtVal::Float(x)),
+        Const::Undef(_) => Some(RtVal::Undef),
+        Const::Null => None,
+    }
+}
+
+fn render_rt(v: &RtVal, ty: Ty) -> Option<String> {
+    match v {
+        RtVal::Int(x) => Some(format!("i{ty}.{x}")),
+        RtVal::Float(x) => Some(format!("f.{:#x}", x.to_bits())),
+        RtVal::Undef => Some(format!("undef.{ty}")),
+        RtVal::Ptr(_) => None,
+    }
+}
+
+struct Canon<'a> {
+    m: &'a Module,
+    f: &'a Function,
+    /// blocks reachable over folded edges
+    reachable: HashSet<BlockId>,
+    /// folded successor lists per reachable block
+    succs: HashMap<BlockId, Vec<BlockId>>,
+    /// reachable predecessors per reachable block (folded edges)
+    preds: HashMap<BlockId, Vec<BlockId>>,
+    /// complete single-incoming phis → their value
+    alias: HashMap<InstId, Value>,
+    /// memoized constant folds (`None` = not a constant)
+    consts: HashMap<InstId, Option<RtVal>>,
+    /// memoized expression renders for pure instructions
+    exprs: HashMap<InstId, Option<String>>,
+    /// anchored instruction → emission number
+    anchors: HashMap<InstId, usize>,
+    /// block → chain index (phi predecessor tags, branch targets)
+    chain_of: HashMap<BlockId, usize>,
+}
+
+/// Canonical text of `f`'s body, or `None` if the body is irregular.
+/// Equal texts (with equal signatures, over an identical global table)
+/// mean observably identical behaviour.
+pub fn canonical_body(m: &Module, f: &Function) -> Option<String> {
+    let mut c = Canon {
+        m,
+        f,
+        reachable: HashSet::new(),
+        succs: HashMap::new(),
+        preds: HashMap::new(),
+        alias: HashMap::new(),
+        consts: HashMap::new(),
+        exprs: HashMap::new(),
+        anchors: HashMap::new(),
+        chain_of: HashMap::new(),
+    };
+    c.fixpoint();
+    c.render()
+}
+
+impl<'a> Canon<'a> {
+    /// Iterates reachability / branch folding / phi aliasing to a fixed
+    /// point (each round only ever shrinks the edge set, so it
+    /// terminates in at most `|blocks|` rounds).
+    fn fixpoint(&mut self) {
+        loop {
+            // fold terminators under the current alias map
+            self.consts.clear();
+            let mut succs: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+            for b in self.f.block_ids() {
+                let term = match self.f.terminator(b) {
+                    Some(t) => self.f.op(t),
+                    None => continue,
+                };
+                let s = match term {
+                    Op::Br { target } => vec![*target],
+                    Op::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => match self.fold_const(*cond, 0) {
+                        Some(RtVal::Int(v)) => vec![if v != 0 { *then_bb } else { *else_bb }],
+                        // undef conditions trap: keep the fork verbatim
+                        _ => vec![*then_bb, *else_bb],
+                    },
+                    _ => Vec::new(),
+                };
+                succs.insert(b, s);
+            }
+            // reachability over the folded edges
+            let mut reach = HashSet::new();
+            let mut stack = vec![self.f.entry];
+            while let Some(b) = stack.pop() {
+                if !reach.insert(b) {
+                    continue;
+                }
+                for s in succs.get(&b).into_iter().flatten() {
+                    if !reach.contains(s) {
+                        stack.push(*s);
+                    }
+                }
+            }
+            let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+            for &b in &reach {
+                for s in succs.get(&b).into_iter().flatten() {
+                    let e = preds.entry(*s).or_default();
+                    if !e.contains(&b) {
+                        e.push(b);
+                    }
+                }
+            }
+            // re-derive phi aliases: complete phis with one live incoming
+            let mut alias: HashMap<InstId, Value> = HashMap::new();
+            for &b in &reach {
+                let Some(block) = self.f.block(b) else {
+                    continue;
+                };
+                let live_preds: HashSet<BlockId> =
+                    preds.get(&b).into_iter().flatten().copied().collect();
+                for &id in &block.insts {
+                    if let Op::Phi { incomings, .. } = self.f.op(id) {
+                        let live: Vec<_> = incomings
+                            .iter()
+                            .filter(|(p, _)| live_preds.contains(p))
+                            .collect();
+                        let complete = live_preds
+                            .iter()
+                            .all(|p| incomings.iter().any(|(q, _)| q == p));
+                        if complete && live.len() == 1 {
+                            alias.insert(id, live[0].1);
+                        }
+                    }
+                }
+            }
+            let fixed = reach == self.reachable && alias == self.alias;
+            self.reachable = reach;
+            self.succs = succs;
+            self.preds = preds;
+            self.alias = alias;
+            if fixed {
+                break;
+            }
+        }
+        self.consts.clear();
+    }
+
+    /// Constant-folds `v` through pure instructions and phi aliases,
+    /// delegating the arithmetic to the reference interpreter.
+    fn fold_const(&mut self, v: Value, depth: usize) -> Option<RtVal> {
+        if depth > 256 {
+            return None; // alias cycles in degenerate (unreachable) CFGs
+        }
+        match v {
+            Value::Const(c) => rt_of_const(c),
+            Value::Inst(id) => {
+                if let Some(&a) = self.alias.get(&id) {
+                    return self.fold_const(a, depth + 1);
+                }
+                if let Some(cached) = self.consts.get(&id) {
+                    return *cached;
+                }
+                let r = self.fold_inst(id, depth);
+                self.consts.insert(id, r);
+                r
+            }
+            _ => None,
+        }
+    }
+
+    fn fold_inst(&mut self, id: InstId, depth: usize) -> Option<RtVal> {
+        let op = self.f.op(id).clone();
+        if !is_pure(&op) {
+            return None;
+        }
+        match op {
+            Op::Bin { op, ty, lhs, rhs } => {
+                let (a, b) = (
+                    self.fold_const(lhs, depth + 1)?,
+                    self.fold_const(rhs, depth + 1)?,
+                );
+                eval_bin(op, ty, a, b).ok()
+            }
+            Op::Icmp { pred, lhs, rhs, .. } => {
+                let (a, b) = (
+                    self.fold_const(lhs, depth + 1)?,
+                    self.fold_const(rhs, depth + 1)?,
+                );
+                match (a, b) {
+                    (RtVal::Undef, _) | (_, RtVal::Undef) => Some(RtVal::Undef),
+                    (RtVal::Int(x), RtVal::Int(y)) => Some(RtVal::Int(pred.eval(x, y) as i64)),
+                    _ => None,
+                }
+            }
+            Op::Cast { kind, to, val } => {
+                let v = self.fold_const(val, depth + 1)?;
+                let src = value_ty(self.f, val);
+                eval_cast_src(kind, to, src, v).ok()
+            }
+            Op::Fcmp { pred, lhs, rhs } => {
+                let (a, b) = (
+                    self.fold_const(lhs, depth + 1)?,
+                    self.fold_const(rhs, depth + 1)?,
+                );
+                match (a, b) {
+                    (RtVal::Undef, _) | (_, RtVal::Undef) => Some(RtVal::Undef),
+                    (RtVal::Float(x), RtVal::Float(y)) => Some(RtVal::Int(pred.eval(x, y) as i64)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders `v` as a canonical expression. `None` = irregular.
+    fn expr(&mut self, v: Value, depth: usize) -> Option<String> {
+        if depth > 256 {
+            return None;
+        }
+        match v {
+            Value::Arg(i) => Some(format!("a{i}")),
+            Value::Const(c) => match rt_of_const(c) {
+                Some(rt) => render_rt(&rt, c.ty()),
+                None => Some("null".into()),
+            },
+            Value::Global(g) => Some(format!("g{}", g.0)),
+            Value::Func(fid) => Some(format!("@{}", self.m.func(fid)?.name)),
+            Value::Inst(id) => {
+                if let Some(&a) = self.alias.get(&id) {
+                    return self.expr(a, depth + 1);
+                }
+                if let Some(&k) = self.anchors.get(&id) {
+                    return Some(format!("A{k}"));
+                }
+                if let Some(cached) = self.exprs.get(&id) {
+                    return cached.clone();
+                }
+                // constant fold first: exact interpreter semantics
+                let ty = self.f.op(id).result_ty();
+                let rendered = if let Some(rt) = self.fold_const(v, depth) {
+                    render_rt(&rt, ty)
+                } else {
+                    self.render_pure(id, depth)
+                };
+                let rendered = rendered.filter(|s| s.len() <= MAX_EXPR_LEN);
+                self.exprs.insert(id, rendered.clone());
+                rendered
+            }
+        }
+    }
+
+    fn render_pure(&mut self, id: InstId, depth: usize) -> Option<String> {
+        let op = self.f.op(id).clone();
+        if !is_pure(&op) {
+            return None; // anchored instruction without an anchor number
+        }
+        match op {
+            Op::Bin { op, ty, lhs, rhs } => {
+                let mut a = self.expr(lhs, depth + 1)?;
+                let mut b = self.expr(rhs, depth + 1)?;
+                if op.is_commutative() && b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                // integer identity elements — exact even when the
+                // operand is undef (float `x+0.0` is NOT an identity:
+                // `-0.0 + 0.0 == 0.0`)
+                if !op.is_float() {
+                    let zero = format!("i{ty}.0");
+                    let one = format!("i{ty}.1");
+                    let ones = format!("i{ty}.{}", ty.wrap(-1));
+                    match op {
+                        BinOp::Add | BinOp::Or | BinOp::Xor if a == zero => return Some(b),
+                        BinOp::Add | BinOp::Or | BinOp::Xor if b == zero => return Some(a),
+                        BinOp::Sub | BinOp::Shl | BinOp::AShr | BinOp::LShr if b == zero => {
+                            return Some(a)
+                        }
+                        BinOp::Mul if a == one => return Some(b),
+                        BinOp::Mul if b == one => return Some(a),
+                        BinOp::And if a == ones => return Some(b),
+                        BinOp::And if b == ones => return Some(a),
+                        _ => {}
+                    }
+                }
+                Some(format!("{}.{ty}({a},{b})", bin_name(op)))
+            }
+            Op::Icmp { pred, ty, lhs, rhs } => {
+                let mut a = self.expr(lhs, depth + 1)?;
+                let mut b = self.expr(rhs, depth + 1)?;
+                if matches!(pred, IntPred::Eq | IntPred::Ne) && b < a {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                Some(format!("icmp.{pred:?}.{ty}({a},{b})"))
+            }
+            Op::Fcmp { pred, lhs, rhs } => {
+                let a = self.expr(lhs, depth + 1)?;
+                let b = self.expr(rhs, depth + 1)?;
+                Some(format!("fcmp.{pred:?}({a},{b})"))
+            }
+            Op::Cast { kind, to, val } => {
+                let src = value_ty(self.f, val);
+                let e = self.expr(val, depth + 1)?;
+                // casting to the operand's own type is the identity
+                // (sext/trunc/zext keep the stored sign-extended value)
+                if src == to && !matches!(kind, CastKind::SiToFp | CastKind::FpToSi) {
+                    return Some(e);
+                }
+                Some(format!("{}.{src}->{to}({e})", cast_name(kind)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Emission: chains in DFS order, anchored instructions numbered in
+    /// emission order, then every anchored op and terminator rendered.
+    fn render(&mut self) -> Option<String> {
+        // chain leaders: entry, plus every reachable block that is not
+        // the unique jump-only continuation of its unique predecessor
+        let mut leader: Vec<BlockId> = Vec::new();
+        for &b in &self.reachable {
+            if b == self.f.entry {
+                leader.push(b);
+                continue;
+            }
+            let ps = self.preds.get(&b).map(|v| v.as_slice()).unwrap_or(&[]);
+            let merged =
+                ps.len() == 1 && self.succs.get(&ps[0]).map(|s| s.as_slice()) == Some(&[b][..]);
+            if !merged {
+                leader.push(b);
+            }
+        }
+        let leaders: HashSet<BlockId> = leader.iter().copied().collect();
+
+        // chain membership: follow unique-jump successors from leaders
+        let mut chain_blocks: Vec<Vec<BlockId>> = Vec::new();
+        let mut chain_index: HashMap<BlockId, usize> = HashMap::new();
+        for &l in &leaders {
+            let mut blocks = vec![l];
+            let mut cur = l;
+            loop {
+                let next = match self.succs.get(&cur).map(|s| s.as_slice()) {
+                    Some([n]) if !leaders.contains(n) => *n,
+                    _ => break,
+                };
+                blocks.push(next);
+                cur = next;
+            }
+            chain_blocks.push(blocks);
+            chain_index.insert(l, chain_blocks.len() - 1);
+        }
+        // DFS preorder over chains from the entry chain
+        let mut order: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut stack = vec![chain_index[&self.f.entry]];
+        while let Some(ci) = stack.pop() {
+            if !seen.insert(ci) {
+                continue;
+            }
+            order.push(ci);
+            let tail = *chain_blocks[ci].last().unwrap();
+            for s in self
+                .succs
+                .get(&tail)
+                .into_iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+            {
+                let si = chain_index[&s];
+                if !seen.contains(&si) {
+                    stack.push(si);
+                }
+            }
+        }
+        // canonical chain numbering and anchor numbering (emission order)
+        self.chain_of.clear();
+        for (pos, &ci) in order.iter().enumerate() {
+            for &b in &chain_blocks[ci] {
+                self.chain_of.insert(b, pos);
+            }
+        }
+        let live = self.live_anchors(&order, &chain_blocks)?;
+        self.anchors.clear();
+        self.exprs.clear();
+        let mut n = 0usize;
+        for &ci in &order {
+            for &b in &chain_blocks[ci] {
+                for &id in &self.f.block(b)?.insts {
+                    if live.contains(&id) && self.f.op(id).result_ty() != Ty::Void {
+                        self.anchors.insert(id, n);
+                        n += 1;
+                    }
+                }
+            }
+        }
+
+        // emit
+        let mut out = String::new();
+        for (pos, &ci) in order.iter().enumerate() {
+            writeln!(out, "L{pos}:").ok()?;
+            for &b in &chain_blocks[ci] {
+                let insts = self.f.block(b)?.insts.clone();
+                for &id in &insts {
+                    if !live.contains(&id) {
+                        continue;
+                    }
+                    let line = self.render_anchor(id, b)?;
+                    match self.anchors.get(&id) {
+                        Some(k) => writeln!(out, "  A{k} = {line}").ok()?,
+                        None => writeln!(out, "  {line}").ok()?,
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The anchored instructions that must be emitted: everything
+    /// effectful or possibly-trapping, plus the phis and allocas
+    /// transitively referenced by those. Dead allocas and dead
+    /// *complete* phis vanish; incomplete phis always stay (they trap
+    /// when entered along the missing edge).
+    fn live_anchors(
+        &mut self,
+        order: &[usize],
+        chain_blocks: &[Vec<BlockId>],
+    ) -> Option<HashSet<InstId>> {
+        let mut live: HashSet<InstId> = HashSet::new();
+        let mut work: Vec<Value> = Vec::new();
+        for &ci in order {
+            for &b in &chain_blocks[ci] {
+                let live_preds: HashSet<BlockId> =
+                    self.preds.get(&b).into_iter().flatten().copied().collect();
+                let is_tail = chain_blocks[ci].last() == Some(&b);
+                for &id in &self.f.block(b)?.insts {
+                    let op = self.f.op(id);
+                    if is_pure(op) || self.alias.contains_key(&id) {
+                        continue;
+                    }
+                    let keep = match op {
+                        // a complete phi or an alloca is unobservable
+                        // until referenced
+                        Op::Alloca { .. } => false,
+                        Op::Phi { incomings, .. } => !live_preds
+                            .iter()
+                            .all(|p| incomings.iter().any(|(q, _)| q == p)),
+                        // a terminator folded away by branch folding is
+                        // replaced by the chain structure itself
+                        Op::Br { .. } | Op::CondBr { .. } => is_tail,
+                        _ => true,
+                    };
+                    if keep && live.insert(id) {
+                        work.extend(self.anchor_deps(id, b));
+                    }
+                }
+            }
+        }
+        // transitive phi/alloca liveness through pure expressions
+        let mut guard = 0usize;
+        while let Some(v) = work.pop() {
+            guard += 1;
+            if guard > 1_000_000 {
+                return None;
+            }
+            if let Value::Inst(id) = v {
+                if let Some(&a) = self.alias.get(&id) {
+                    work.push(a);
+                    continue;
+                }
+                let op = self.f.op(id);
+                if is_pure(op) {
+                    work.extend(op.operands());
+                } else if live.insert(id) {
+                    work.extend(self.anchor_deps(id, self.f.inst(id)?.block));
+                }
+            }
+        }
+        Some(live)
+    }
+
+    /// The values an anchored instruction's rendering will reference
+    /// (phi incomings restricted to live predecessor edges).
+    fn anchor_deps(&self, id: InstId, b: BlockId) -> Vec<Value> {
+        match self.f.op(id) {
+            Op::Phi { incomings, .. } => {
+                let live_preds: HashSet<BlockId> =
+                    self.preds.get(&b).into_iter().flatten().copied().collect();
+                incomings
+                    .iter()
+                    .filter(|(p, _)| live_preds.contains(p))
+                    .map(|(_, v)| *v)
+                    .collect()
+            }
+            Op::CondBr { cond, .. } => vec![*cond],
+            Op::Br { .. } => Vec::new(),
+            op => op.operands(),
+        }
+    }
+
+    fn render_anchor(&mut self, id: InstId, b: BlockId) -> Option<String> {
+        let op = self.f.op(id).clone();
+        Some(match op {
+            Op::Bin { op, ty, lhs, rhs } => {
+                // sdiv/srem (the only anchored binops)
+                let a = self.expr(lhs, 0)?;
+                let c = self.expr(rhs, 0)?;
+                format!("{}.{ty}({a},{c})", bin_name(op))
+            }
+            Op::Select {
+                ty,
+                cond,
+                tval,
+                fval,
+            } => format!(
+                "select.{ty}({},{},{})",
+                self.expr(cond, 0)?,
+                self.expr(tval, 0)?,
+                self.expr(fval, 0)?
+            ),
+            Op::Alloca { ty, count } => format!("alloca.{ty}x{count}"),
+            Op::Load { ty, ptr } => format!("load.{ty}({})", self.expr(ptr, 0)?),
+            Op::Store { ty, val, ptr } => {
+                format!("store.{ty}({},{})", self.expr(val, 0)?, self.expr(ptr, 0)?)
+            }
+            Op::Gep {
+                elem_ty,
+                ptr,
+                index,
+            } => format!(
+                "gep.{elem_ty}({},{})",
+                self.expr(ptr, 0)?,
+                self.expr(index, 0)?
+            ),
+            Op::Call {
+                callee,
+                args,
+                ret_ty,
+            } => {
+                let name = &self.m.func(callee)?.name;
+                let mut rendered = Vec::with_capacity(args.len());
+                for a in args {
+                    rendered.push(self.expr(a, 0)?);
+                }
+                format!("call.{ret_ty}@{name}({})", rendered.join(","))
+            }
+            Op::Phi { ty, incomings } => {
+                let live_preds: HashSet<BlockId> =
+                    self.preds.get(&b).into_iter().flatten().copied().collect();
+                let complete = live_preds
+                    .iter()
+                    .all(|p| incomings.iter().any(|(q, _)| q == p));
+                let mut arms = Vec::new();
+                for (p, v) in &incomings {
+                    if live_preds.contains(p) {
+                        let tag = self.chain_of[p];
+                        arms.push(format!("L{}:{}", tag, self.expr(*v, 0)?));
+                    }
+                }
+                arms.sort();
+                format!(
+                    "phi.{ty}[{}]{}",
+                    arms.join(","),
+                    if complete { "" } else { "!incomplete" }
+                )
+            }
+            Op::MemCpy {
+                elem_ty,
+                dst,
+                src,
+                len,
+            } => format!(
+                "memcpy.{elem_ty}({},{},{})",
+                self.expr(dst, 0)?,
+                self.expr(src, 0)?,
+                self.expr(len, 0)?
+            ),
+            Op::MemSet {
+                elem_ty,
+                dst,
+                val,
+                len,
+            } => format!(
+                "memset.{elem_ty}({},{},{})",
+                self.expr(dst, 0)?,
+                self.expr(val, 0)?,
+                self.expr(len, 0)?
+            ),
+            Op::Br { target } => format!("br L{}", self.chain_of[&target]),
+            Op::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => match self.succs.get(&b).map(|s| s.as_slice()) {
+                Some([only]) => format!("br L{}", self.chain_of[only]),
+                _ => format!(
+                    "condbr({},L{},L{})",
+                    self.expr(cond, 0)?,
+                    self.chain_of[&then_bb],
+                    self.chain_of[&else_bb]
+                ),
+            },
+            Op::Ret { val } => match val {
+                Some(v) => format!("ret {}", self.expr(v, 0)?),
+                None => "ret".into(),
+            },
+            Op::Unreachable => "unreachable".into(),
+            Op::Icmp { .. } | Op::Fcmp { .. } | Op::Cast { .. } => return None,
+        })
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::SDiv => "sdiv",
+        BinOp::SRem => "srem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::AShr => "ashr",
+        BinOp::LShr => "lshr",
+        BinOp::FAdd => "fadd",
+        BinOp::FSub => "fsub",
+        BinOp::FMul => "fmul",
+        BinOp::FDiv => "fdiv",
+    }
+}
+
+fn cast_name(kind: CastKind) -> &'static str {
+    match kind {
+        CastKind::Trunc => "trunc",
+        CastKind::ZExt => "zext",
+        CastKind::SExt => "sext",
+        CastKind::SiToFp => "sitofp",
+        CastKind::FpToSi => "fptosi",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::parser::parse_module;
+
+    fn canon_of(text: &str) -> String {
+        let m = parse_module(text).unwrap();
+        let fid = m.func_ids().next().unwrap();
+        canonical_body(&m, m.func(fid).unwrap()).expect("canonicalizes")
+    }
+
+    #[test]
+    fn dead_pure_code_and_ordering_are_invisible() {
+        let a = canon_of(
+            "module \"a\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %d = mul i64 %arg0, %arg0\n  %x = add i64 %arg0, 1:i64\n  ret %x\n}\n",
+        );
+        let b = canon_of(
+            "module \"b\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %x = add i64 1:i64, %arg0\n  ret %x\n}\n",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn const_branches_fold_and_chains_merge() {
+        let a = canon_of(
+            "module \"a\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %c = icmp slt i64 1:i64, 2:i64\n  condbr %c, bb1, bb2\nbb1:\n  %r = add i64 %arg0, 7:i64\n  ret %r\nbb2:\n  ret 0:i64\n}\n",
+        );
+        let b = canon_of(
+            "module \"b\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %r = add i64 %arg0, 7:i64\n  ret %r\n}\n",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn licm_style_code_motion_is_invisible() {
+        let hoisted = canon_of(
+            "module \"a\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %t = add i64 %arg0, 5:i64\n  br bb1\nbb1:\n  %i = phi i64 [bb0: 0:i64], [bb2: %i2]\n  %s = phi i64 [bb0: 0:i64], [bb2: %s2]\n  %c = icmp slt i64 %i, %arg0\n  condbr %c, bb2, bb3\nbb2:\n  %s2 = add i64 %s, %t\n  %i2 = add i64 %i, 1:i64\n  br bb1\nbb3:\n  ret %s\n}\n",
+        );
+        let inloop = canon_of(
+            "module \"b\"\nfn @f(i64) -> i64 internal {\nbb0:\n  br bb1\nbb1:\n  %i = phi i64 [bb0: 0:i64], [bb2: %i2]\n  %s = phi i64 [bb0: 0:i64], [bb2: %s2]\n  %c = icmp slt i64 %i, %arg0\n  condbr %c, bb2, bb3\nbb2:\n  %t = add i64 %arg0, 5:i64\n  %s2 = add i64 %s, %t\n  %i2 = add i64 %i, 1:i64\n  br bb1\nbb3:\n  ret %s\n}\n",
+        );
+        assert_eq!(hoisted, inloop);
+    }
+
+    #[test]
+    fn trapping_ops_stay_anchored() {
+        // hoisting an sdiv past a guard must NOT canonicalize equal
+        let guarded = canon_of(
+            "module \"a\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %c = icmp ne i64 %arg0, 0:i64\n  condbr %c, bb1, bb2\nbb1:\n  %q = sdiv i64 100:i64, %arg0\n  ret %q\nbb2:\n  ret 0:i64\n}\n",
+        );
+        let hoisted = canon_of(
+            "module \"b\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %q = sdiv i64 100:i64, %arg0\n  %c = icmp ne i64 %arg0, 0:i64\n  condbr %c, bb1, bb2\nbb1:\n  ret %q\nbb2:\n  ret 0:i64\n}\n",
+        );
+        assert_ne!(guarded, hoisted);
+    }
+
+    #[test]
+    fn absorbing_rules_are_not_applied() {
+        // mul x, 0 must NOT canonicalize to 0 (x may be undef)
+        let muled = canon_of(
+            "module \"a\"\nfn @f(i64) -> i64 internal {\nbb0:\n  %u = add i64 undef:i64, undef:i64\n  %z = mul i64 %u, 0:i64\n  ret %z\n}\n",
+        );
+        let zero = canon_of("module \"b\"\nfn @f(i64) -> i64 internal {\nbb0:\n  ret 0:i64\n}\n");
+        assert_ne!(muled, zero);
+    }
+}

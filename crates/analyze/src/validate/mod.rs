@@ -1,0 +1,103 @@
+//! Symbolic translation validation (Alive2-style refinement checking).
+//!
+//! Given a *(source, optimized)* module pair, the validator proves — for
+//! **all** inputs, not just the ones the diff-executor happens to run —
+//! that every defined behaviour of the optimized code is a defined
+//! behaviour of the source, including undef and trap refinement:
+//!
+//! 1. [`term`] — a hash-consed bitvector/bool term language whose
+//!    constant folding is delegated to the reference interpreter's own
+//!    `eval_bin`/`eval_cast_src`, so the term algebra cannot diverge
+//!    from the executable semantics.
+//! 2. [`exec`] — a symbolic executor that turns SSA into a term DAG
+//!    with path conditions, carrying a *(value, undef)* pair per scalar
+//!    and a deferred-UB condition per path; loops are unrolled up to a
+//!    configurable bound with an explicit `Inconclusive` beyond it.
+//! 3. [`bitblast`] — Tseitin lowering of the refinement obligation to
+//!    CNF (ripple-carry adders, barrel shifters, signed comparators;
+//!    `sdiv`/`srem` and floats stay uninterpreted).
+//! 4. [`sat`] — a clean-room CDCL core (two-watched literals, 1-UIP
+//!    learning, VSIDS, restarts) with a conflict budget.
+//! 5. [`refine`] — the driver: builds the violation formula, discharges
+//!    it, and replays every satisfying model through the reference
+//!    interpreter; only an interpreter-confirmed counterexample yields
+//!    `Refuted`, everything unprovable-but-unconfirmed stays
+//!    `Inconclusive` (and escalates to the dynamic diff-execution
+//!    fallback in the sanitizer).
+//!
+//! The escalation ladder is: structural equality → symbolic proof →
+//! SAT counterexample + interpreter replay → dynamic diff-execution.
+//! See DESIGN.md §10 for the refinement relation and per-opcode
+//! undef/trap rules.
+
+pub mod bitblast;
+pub mod canon;
+pub mod exec;
+pub mod refine;
+pub mod sat;
+pub mod term;
+
+pub use refine::{validate_transform, Counterexample, FuncVerdict, ModuleValidation, Verdict};
+
+/// Budgets for one validation problem. All knobs are env-tunable via
+/// `POSETRL_VALIDATE_*`; the defaults are sized for the generated
+/// workload corpus (concrete trip counts ≤ 24, arrays ≤ 64 cells).
+#[derive(Debug, Clone)]
+pub struct ValidateConfig {
+    /// Maximum number of path forks across one function execution.
+    pub max_paths: usize,
+    /// Maximum visits of a single block per path (the unrolling bound k).
+    pub max_block_visits: u32,
+    /// Maximum symbolically executed instructions per function pair.
+    pub max_steps: u64,
+    /// Maximum call-inlining depth.
+    pub max_call_depth: usize,
+    /// Maximum allocation size (in cells) a *symbolic* index may touch.
+    pub max_mem_cells: usize,
+    /// Maximum source×target path pairs in the mismatch obligation.
+    pub max_path_pairs: usize,
+    /// CNF clause budget for the bit-blaster.
+    pub max_clauses: usize,
+    /// Conflict budget for the SAT core.
+    pub max_conflicts: u64,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> Self {
+        ValidateConfig {
+            max_paths: 64,
+            max_block_visits: 640,
+            max_steps: 100_000,
+            max_call_depth: 12,
+            max_mem_cells: 96,
+            max_path_pairs: 512,
+            max_clauses: 120_000,
+            max_conflicts: 8_000,
+        }
+    }
+}
+
+impl ValidateConfig {
+    /// Reads the budgets from the environment (`POSETRL_VALIDATE_PATHS`,
+    /// `_UNROLL`, `_STEPS`, `_DEPTH`, `_CELLS`, `_PAIRS`, `_CLAUSES`,
+    /// `_CONFLICTS`), falling back to the defaults.
+    pub fn from_env() -> Self {
+        fn get<T: std::str::FromStr>(key: &str, dflt: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
+        }
+        let d = ValidateConfig::default();
+        ValidateConfig {
+            max_paths: get("POSETRL_VALIDATE_PATHS", d.max_paths),
+            max_block_visits: get("POSETRL_VALIDATE_UNROLL", d.max_block_visits),
+            max_steps: get("POSETRL_VALIDATE_STEPS", d.max_steps),
+            max_call_depth: get("POSETRL_VALIDATE_DEPTH", d.max_call_depth),
+            max_mem_cells: get("POSETRL_VALIDATE_CELLS", d.max_mem_cells),
+            max_path_pairs: get("POSETRL_VALIDATE_PAIRS", d.max_path_pairs),
+            max_clauses: get("POSETRL_VALIDATE_CLAUSES", d.max_clauses),
+            max_conflicts: get("POSETRL_VALIDATE_CONFLICTS", d.max_conflicts),
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! A small clean-room CDCL SAT solver.
+//!
+//! Conflict-driven clause learning with two-watched-literal propagation,
+//! first-UIP learning, activity-based decisions (VSIDS-style with a lazy
+//! max-heap), phase saving and geometric restarts. A conflict budget
+//! bounds worst-case work: exceeding it yields [`SatResult::Unknown`],
+//! which the refinement driver maps to an `Inconclusive` verdict — never
+//! to a wrong one.
+//!
+//! Literal convention at the API boundary: a literal is a non-zero `i32`;
+//! `v` means variable `v` is true, `-v` means it is false (DIMACS style,
+//! variables start at 1).
+
+/// A DIMACS-style literal.
+pub type Lit = i32;
+
+/// A CNF problem: `n_vars` variables (1-based) and a clause list.
+#[derive(Debug, Default, Clone)]
+pub struct Cnf {
+    /// Highest variable index in use.
+    pub n_vars: usize,
+    /// Clauses; an empty clause makes the problem trivially unsat.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> Lit {
+        self.n_vars += 1;
+        self.n_vars as Lit
+    }
+
+    /// Adds one clause.
+    pub fn add(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+}
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatResult {
+    /// Satisfiable; `model[v-1]` is the value of variable `v`.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before an answer was found.
+    Unknown,
+}
+
+// internal literal encoding: var index * 2 + sign (0 = positive)
+type ILit = u32;
+
+fn ilit(l: Lit) -> ILit {
+    let v = l.unsigned_abs() - 1;
+    v * 2 + (l < 0) as u32
+}
+
+fn neg(l: ILit) -> ILit {
+    l ^ 1
+}
+
+fn var(l: ILit) -> usize {
+    (l >> 1) as usize
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Assign {
+    Unset,
+    True,
+    False,
+}
+
+struct Solver {
+    clauses: Vec<Vec<ILit>>,
+    watches: Vec<Vec<usize>>, // per ILit: clause indices watching it
+    assign: Vec<Assign>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<ILit>,
+    trail_lim: Vec<usize>,
+    queue_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    heap: Vec<(f64, u32)>, // lazy max-heap of (activity, var)
+    phase: Vec<bool>,
+    conflicts: u64,
+}
+
+impl Solver {
+    fn new(n_vars: usize) -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); n_vars * 2],
+            assign: vec![Assign::Unset; n_vars],
+            level: vec![0; n_vars],
+            reason: vec![None; n_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            queue_head: 0,
+            activity: vec![0.0; n_vars],
+            act_inc: 1.0,
+            heap: (0..n_vars as u32).map(|v| (0.0, v)).collect(),
+            phase: vec![false; n_vars],
+            conflicts: 0,
+        }
+    }
+
+    fn value(&self, l: ILit) -> Assign {
+        match self.assign[var(l)] {
+            Assign::Unset => Assign::Unset,
+            Assign::True => {
+                if l & 1 == 0 {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+            Assign::False => {
+                if l & 1 == 0 {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: ILit, reason: Option<usize>) -> bool {
+        match self.value(l) {
+            Assign::True => true,
+            Assign::False => false,
+            Assign::Unset => {
+                let v = var(l);
+                self.assign[v] = if l & 1 == 0 {
+                    Assign::True
+                } else {
+                    Assign::False
+                };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.phase[v] = l & 1 == 0;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.queue_head < self.trail.len() {
+            let l = self.trail[self.queue_head];
+            self.queue_head += 1;
+            let falsified = neg(l);
+            let mut ws = std::mem::take(&mut self.watches[falsified as usize]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                // ensure the falsified literal is at slot 1
+                if self.clauses[ci][0] == falsified {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == Assign::True {
+                    i += 1;
+                    continue;
+                }
+                // look for a new watch
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != Assign::False {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[new_watch as usize].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // clause is unit or conflicting
+                if !self.enqueue(first, Some(ci)) {
+                    self.watches[falsified as usize] = ws;
+                    self.queue_head = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[falsified as usize] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.act_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+        self.heap_push(v);
+    }
+
+    fn heap_push(&mut self, v: usize) {
+        self.heap.push((self.activity[v], v as u32));
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.heap[p].0 < self.heap[i].0 {
+                self.heap.swap(p, i);
+                i = p;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<usize> {
+        while !self.heap.is_empty() {
+            let (act, v) = self.heap[0];
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            self.heap.pop();
+            // sift down
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut m = i;
+                if l < self.heap.len() && self.heap[l].0 > self.heap[m].0 {
+                    m = l;
+                }
+                if r < self.heap.len() && self.heap[r].0 > self.heap[m].0 {
+                    m = r;
+                }
+                if m == i {
+                    break;
+                }
+                self.heap.swap(i, m);
+                i = m;
+            }
+            let v = v as usize;
+            // stale entries (outdated activity or already assigned) are skipped
+            if self.assign[v] == Assign::Unset && act >= self.activity[v] {
+                return Some(v);
+            }
+            if self.assign[v] == Assign::Unset && act < self.activity[v] {
+                // outdated snapshot: reinsert with the fresh activity
+                self.heap_push(v);
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backjump level).
+    fn analyze(&mut self, confl: usize) -> (Vec<ILit>, u32) {
+        let mut learned: Vec<ILit> = vec![0]; // slot 0 = the asserting literal
+        let mut seen = vec![false; self.assign.len()];
+        let mut counter = 0usize;
+        let mut cursor = self.trail.len();
+        let mut confl = Some(confl);
+        let mut asserting: ILit = 0;
+
+        loop {
+            let clause = confl.expect("conflict clause chain stays grounded");
+            let start = if self.clauses[clause][0] == asserting && counter > 0 {
+                1
+            } else {
+                0
+            };
+            for k in start..self.clauses[clause].len() {
+                let q = self.clauses[clause][k];
+                let v = var(q);
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // walk the trail backwards to the next marked literal
+            loop {
+                cursor -= 1;
+                let l = self.trail[cursor];
+                if seen[var(l)] {
+                    asserting = l;
+                    break;
+                }
+            }
+            seen[var(asserting)] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[var(asserting)];
+        }
+        learned[0] = neg(asserting);
+
+        let backjump = learned[1..]
+            .iter()
+            .map(|&l| self.level[var(l)])
+            .max()
+            .unwrap_or(0);
+        // watch a literal of the backjump level in slot 1
+        if learned.len() > 1 {
+            let mut mi = 1;
+            for k in 2..learned.len() {
+                if self.level[var(learned[k])] > self.level[var(learned[mi])] {
+                    mi = k;
+                }
+            }
+            learned.swap(1, mi);
+        }
+        (learned, backjump)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.decision_level() > lvl {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = var(l);
+                self.assign[v] = Assign::Unset;
+                self.reason[v] = None;
+                self.heap_push(v);
+            }
+        }
+        self.queue_head = self.trail.len();
+    }
+
+    fn attach(&mut self, ci: usize) {
+        let c = &self.clauses[ci];
+        debug_assert!(c.len() >= 2);
+        self.watches[c[0] as usize].push(ci);
+        self.watches[c[1] as usize].push(ci);
+    }
+
+    fn solve(&mut self, max_conflicts: u64) -> SatResult {
+        let mut restart_limit = 100u64;
+        let mut since_restart = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                if self.conflicts > max_conflicts {
+                    return SatResult::Unknown;
+                }
+                let (learned, backjump) = self.analyze(confl);
+                self.cancel_until(backjump);
+                self.act_inc *= 1.0 / 0.95;
+                if learned.len() == 1 {
+                    let ok = self.enqueue(learned[0], None);
+                    debug_assert!(ok);
+                } else {
+                    let ci = self.clauses.len();
+                    self.clauses.push(learned);
+                    self.attach(ci);
+                    let l0 = self.clauses[ci][0];
+                    let ok = self.enqueue(l0, Some(ci));
+                    debug_assert!(ok);
+                }
+            } else {
+                if since_restart >= restart_limit {
+                    since_restart = 0;
+                    restart_limit += restart_limit / 2;
+                    self.cancel_until(0);
+                }
+                match self.heap_pop() {
+                    None => {
+                        // complete assignment (unassigned vars default false)
+                        let model = self.assign.iter().map(|a| *a == Assign::True).collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let lit = (v as u32) * 2 + (!self.phase[v]) as u32;
+                        let ok = self.enqueue(lit, None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solves `cnf`, spending at most `max_conflicts` conflicts.
+pub fn solve(cnf: &Cnf, max_conflicts: u64) -> SatResult {
+    let mut s = Solver::new(cnf.n_vars.max(1));
+    for clause in &cnf.clauses {
+        let mut c: Vec<ILit> = clause.iter().map(|&l| ilit(l)).collect();
+        c.sort_unstable();
+        c.dedup();
+        // tautology (contains l and ¬l)?
+        if c.windows(2).any(|w| w[0] == neg(w[1]) || neg(w[0]) == w[1]) {
+            continue;
+        }
+        match c.len() {
+            0 => return SatResult::Unsat,
+            1 => {
+                if !s.enqueue(c[0], None) {
+                    return SatResult::Unsat;
+                }
+            }
+            _ => {
+                let ci = s.clauses.len();
+                s.clauses.push(c);
+                s.attach(ci);
+            }
+        }
+    }
+    if s.propagate().is_some() {
+        return SatResult::Unsat;
+    }
+    s.solve(max_conflicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_model(cnf: &Cnf, model: &[bool]) {
+        for c in &cnf.clauses {
+            assert!(
+                c.iter()
+                    .any(|&l| model[l.unsigned_abs() as usize - 1] == (l > 0)),
+                "model violates clause {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut cnf = Cnf::default();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add(vec![a, b]);
+        cnf.add(vec![-a]);
+        match solve(&cnf, 1_000) {
+            SatResult::Sat(m) => {
+                check_model(&cnf, &m);
+                assert!(m[b as usize - 1]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        cnf.add(vec![-b]);
+        assert_eq!(solve(&cnf, 1_000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::default();
+        cnf.new_var();
+        cnf.add(vec![]);
+        assert_eq!(solve(&cnf, 1_000), SatResult::Unsat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p(i,j): pigeon i sits in hole j — classic small UNSAT instance
+        // that requires real conflict analysis
+        let mut cnf = Cnf::default();
+        let mut p = [[0i32; 2]; 3];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = cnf.new_var();
+            }
+        }
+        for row in &p {
+            cnf.add(vec![row[0], row[1]]);
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    cnf.add(vec![-p[i][j], -p[k][j]]);
+                }
+            }
+        }
+        assert_eq!(solve(&cnf, 100_000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_instances_agree_with_brute_force() {
+        // deterministic xorshift-generated instances, 12 vars each
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let n = 12usize;
+            let m = 48usize;
+            let mut cnf = Cnf::default();
+            for _ in 0..n {
+                cnf.new_var();
+            }
+            for _ in 0..m {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (rnd() % n as u64) as i32 + 1;
+                    cl.push(if rnd() % 2 == 0 { v } else { -v });
+                }
+                cnf.add(cl);
+            }
+            // brute force ground truth
+            let mut sat = false;
+            'outer: for bits in 0u32..(1 << n) {
+                for c in &cnf.clauses {
+                    if !c
+                        .iter()
+                        .any(|&l| ((bits >> (l.unsigned_abs() - 1)) & 1 == 1) == (l > 0))
+                    {
+                        continue 'outer;
+                    }
+                }
+                sat = true;
+                break;
+            }
+            match solve(&cnf, 1_000_000) {
+                SatResult::Sat(model) => {
+                    assert!(sat, "solver found a model for an unsat instance");
+                    check_model(&cnf, &model);
+                }
+                SatResult::Unsat => assert!(!sat, "solver refuted a sat instance"),
+                SatResult::Unknown => panic!("budget must suffice for 12 vars"),
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn conflict_budget_yields_unknown() {
+        // a hard pigeonhole instance with a budget of 1 conflict
+        let mut cnf = Cnf::default();
+        let n = 6;
+        let h = 5;
+        let mut p = vec![vec![0i32; h]; n];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = cnf.new_var();
+            }
+        }
+        for row in &p {
+            cnf.add(row.clone());
+        }
+        for j in 0..h {
+            for i in 0..n {
+                for k in (i + 1)..n {
+                    cnf.add(vec![-p[i][j], -p[k][j]]);
+                }
+            }
+        }
+        assert_eq!(solve(&cnf, 1), SatResult::Unknown);
+    }
+}

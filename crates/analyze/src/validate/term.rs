@@ -1,0 +1,506 @@
+//! Hash-consed term language for the translation validator.
+//!
+//! Terms are bitvector/bool expressions over symbolic inputs (function
+//! arguments and the initial contents of mutable globals). The store
+//! normalizes aggressively at construction time — constant folding reuses
+//! the reference interpreter's own `eval_bin`/`eval_cast_src`, so the term
+//! algebra cannot silently diverge from the executable semantics —
+//! and hash-conses every node, which gives structural equality in O(1)
+//! (`TermId` equality) and congruence for uninterpreted operators for
+//! free.
+//!
+//! Widths are 1, 8, 32 and 64 bits, matching `Ty::{I1,I8,I32,I64}`.
+//! Floats and integer division are *uninterpreted*: they become
+//! [`Term::Opaque`] nodes that are only equal to structurally identical
+//! applications (hash-consing congruence). This keeps the SAT encoding
+//! small; any counterexample that leans on an uninterpreted node is
+//! filtered by interpreter replay before it can become a `Refuted`
+//! verdict.
+
+use posetrl_ir::inst::{BinOp, CastKind, IntPred};
+use posetrl_ir::interp::{eval_bin, eval_cast_src, RtVal};
+use posetrl_ir::Ty;
+use std::collections::HashMap;
+
+/// Index of a hash-consed term inside a [`TermStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// A node of the term DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A symbolic input (argument, initial global cell, or havoc).
+    Sym { id: u32, width: u8 },
+    /// An integer constant, stored wrapped to its width.
+    Const { width: u8, val: i64 },
+    /// An integer binary operation (`SDiv`/`SRem` stay uninterpreted in
+    /// the SAT encoding but fold like the interpreter when constant).
+    Bin {
+        op: BinOp,
+        width: u8,
+        lhs: TermId,
+        rhs: TermId,
+    },
+    /// Integer comparison; result width is 1.
+    Icmp {
+        pred: IntPred,
+        lhs: TermId,
+        rhs: TermId,
+    },
+    /// If-then-else over same-width operands; `cond` has width 1.
+    Ite {
+        cond: TermId,
+        then_v: TermId,
+        else_v: TermId,
+    },
+    /// Integer resize (`Trunc`/`ZExt`/`SExt` only; fp casts are opaque).
+    Cast { kind: CastKind, to: u8, val: TermId },
+    /// An uninterpreted function application (float ops, fp casts).
+    /// Congruence comes from hash-consing: identical applications share
+    /// one node, distinct ones get independent SAT variables.
+    Opaque {
+        tag: &'static str,
+        aux: u64,
+        width: u8,
+        args: Vec<TermId>,
+    },
+}
+
+/// Where a symbolic variable comes from, for counterexample extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymOrigin {
+    /// The `index`-th parameter of the validated function pair.
+    Arg { index: usize, ty: Ty },
+    /// Initial contents of cell `index` of a mutable global.
+    GlobalCell {
+        global: String,
+        index: usize,
+        ty: Ty,
+    },
+    /// A don't-care value (e.g. the payload of an undef); never replayed.
+    Havoc,
+}
+
+/// The hash-consing arena. All terms of one validation problem (both the
+/// source and the target function) live in a single store so that shared
+/// structure collapses to shared `TermId`s.
+#[derive(Debug, Default)]
+pub struct TermStore {
+    terms: Vec<Term>,
+    dedup: HashMap<Term, TermId>,
+    origins: Vec<SymOrigin>,
+}
+
+/// Maps a bit width back to the IR type of that width.
+pub fn ty_of_width(w: u8) -> Ty {
+    match w {
+        1 => Ty::I1,
+        8 => Ty::I8,
+        32 => Ty::I32,
+        _ => Ty::I64,
+    }
+}
+
+/// Wraps `val` to the two's-complement range of `w` bits.
+pub fn wrap_w(w: u8, val: i64) -> i64 {
+    ty_of_width(w).wrap(val)
+}
+
+impl TermStore {
+    /// Creates an empty store.
+    pub fn new() -> TermStore {
+        TermStore::default()
+    }
+
+    /// The node behind `t`.
+    pub fn term(&self, t: TermId) -> &Term {
+        &self.terms[t.0 as usize]
+    }
+
+    /// Number of interned terms (used for budget checks).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Result width of `t` in bits.
+    pub fn width(&self, t: TermId) -> u8 {
+        match self.term(t) {
+            Term::Sym { width, .. }
+            | Term::Const { width, .. }
+            | Term::Bin { width, .. }
+            | Term::Opaque { width, .. } => *width,
+            Term::Icmp { .. } => 1,
+            Term::Ite { then_v, .. } => self.width(*then_v),
+            Term::Cast { to, .. } => *to,
+        }
+    }
+
+    /// The constant value of `t`, if it is a constant.
+    pub fn as_const(&self, t: TermId) -> Option<i64> {
+        match self.term(t) {
+            Term::Const { val, .. } => Some(*val),
+            _ => None,
+        }
+    }
+
+    /// `true` when `t` is the constant `val` (compared wrapped).
+    fn is_const(&self, t: TermId, val: i64) -> bool {
+        match self.term(t) {
+            Term::Const { width, val: v } => *v == wrap_w(*width, val),
+            _ => false,
+        }
+    }
+
+    /// The origin of a symbolic variable id.
+    pub fn origin(&self, sym_id: u32) -> &SymOrigin {
+        &self.origins[sym_id as usize]
+    }
+
+    fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.dedup.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.dedup.insert(t, id);
+        id
+    }
+
+    /// A fresh symbolic variable of `width` bits with the given origin.
+    pub fn sym(&mut self, width: u8, origin: SymOrigin) -> TermId {
+        let id = self.origins.len() as u32;
+        self.origins.push(origin);
+        self.intern(Term::Sym { id, width })
+    }
+
+    /// The constant `val` at `width` bits (wrapped).
+    pub fn constant(&mut self, width: u8, val: i64) -> TermId {
+        let val = wrap_w(width, val);
+        self.intern(Term::Const { width, val })
+    }
+
+    /// The boolean constant `true` (width-1 one).
+    pub fn tru(&mut self) -> TermId {
+        self.constant(1, 1)
+    }
+
+    /// The boolean constant `false` (width-1 zero).
+    pub fn fls(&mut self) -> TermId {
+        self.constant(1, 0)
+    }
+
+    /// `true` when `a` and `b` are boolean complements (`b == xor a, 1`
+    /// or vice versa). Catches the ubiquitous `cond ∧ ¬cond` dead path
+    /// pairings without needing the SAT solver.
+    fn complements(&self, a: TermId, b: TermId) -> bool {
+        let is_not_of = |x: TermId, y: TermId| match self.term(y) {
+            Term::Bin {
+                op: BinOp::Xor,
+                width: 1,
+                lhs,
+                rhs,
+            } => (*lhs == x && self.is_const(*rhs, 1)) || (*rhs == x && self.is_const(*lhs, 1)),
+            _ => false,
+        };
+        is_not_of(a, b) || is_not_of(b, a)
+    }
+
+    /// An integer binary operation, normalized.
+    pub fn bin(&mut self, op: BinOp, width: u8, lhs: TermId, rhs: TermId) -> TermId {
+        debug_assert!(!op.is_float(), "float ops are opaque, not Bin terms");
+        // constant folding through the interpreter's own evaluator
+        if let (Some(a), Some(b)) = (self.as_const(lhs), self.as_const(rhs)) {
+            let ty = ty_of_width(width);
+            if let Ok(RtVal::Int(v)) = eval_bin(op, ty, RtVal::Int(a), RtVal::Int(b)) {
+                return self.constant(width, v);
+            }
+            // division by zero: keep the term; the executor tracks the
+            // trap condition separately
+        }
+        // algebraic identities (value-preserving under the wrapped
+        // semantics for every width)
+        let lhs_zero = self.is_const(lhs, 0);
+        let rhs_zero = self.is_const(rhs, 0);
+        let rhs_one = self.is_const(rhs, 1);
+        let lhs_one = self.is_const(lhs, 1);
+        let ones = wrap_w(width, -1);
+        match op {
+            BinOp::Add => {
+                if lhs_zero {
+                    return rhs;
+                }
+                if rhs_zero {
+                    return lhs;
+                }
+            }
+            BinOp::Sub => {
+                if rhs_zero {
+                    return lhs;
+                }
+                if lhs == rhs {
+                    return self.constant(width, 0);
+                }
+            }
+            BinOp::Mul => {
+                if lhs_zero || rhs_zero {
+                    return self.constant(width, 0);
+                }
+                if lhs_one {
+                    return rhs;
+                }
+                if rhs_one {
+                    return lhs;
+                }
+            }
+            BinOp::And => {
+                if lhs_zero || rhs_zero {
+                    return self.constant(width, 0);
+                }
+                if self.is_const(lhs, ones) {
+                    return rhs;
+                }
+                if self.is_const(rhs, ones) {
+                    return lhs;
+                }
+                if lhs == rhs {
+                    return lhs;
+                }
+                if width == 1 && self.complements(lhs, rhs) {
+                    return self.fls();
+                }
+            }
+            BinOp::Or => {
+                if lhs_zero {
+                    return rhs;
+                }
+                if rhs_zero {
+                    return lhs;
+                }
+                if self.is_const(lhs, ones) || self.is_const(rhs, ones) {
+                    return self.constant(width, ones);
+                }
+                if lhs == rhs {
+                    return lhs;
+                }
+                if width == 1 && self.complements(lhs, rhs) {
+                    return self.tru();
+                }
+            }
+            BinOp::Xor => {
+                if lhs_zero {
+                    return rhs;
+                }
+                if rhs_zero {
+                    return lhs;
+                }
+                if lhs == rhs {
+                    return self.constant(width, 0);
+                }
+            }
+            BinOp::Shl | BinOp::LShr | BinOp::AShr if (rhs_zero || lhs_zero) => {
+                return lhs;
+            }
+            BinOp::SDiv | BinOp::SRem => {
+                // no identities: x/1 == x holds but is rare enough that
+                // we keep the node (the trap condition lives elsewhere)
+            }
+            _ => {}
+        }
+        // canonical operand order for commutative operators
+        let (lhs, rhs) = if op.is_commutative() && rhs < lhs {
+            (rhs, lhs)
+        } else {
+            (lhs, rhs)
+        };
+        self.intern(Term::Bin {
+            op,
+            width,
+            lhs,
+            rhs,
+        })
+    }
+
+    /// An integer comparison, normalized; result has width 1.
+    pub fn icmp(&mut self, pred: IntPred, lhs: TermId, rhs: TermId) -> TermId {
+        if let (Some(a), Some(b)) = (self.as_const(lhs), self.as_const(rhs)) {
+            // constants are stored sign-extended, exactly like `RtVal`
+            return self.constant(1, pred.eval(a, b) as i64);
+        }
+        if lhs == rhs {
+            use IntPred::*;
+            let refl = matches!(pred, Eq | Sle | Sge);
+            return self.constant(1, refl as i64);
+        }
+        // canonical operand order for the symmetric predicates
+        let (pred, lhs, rhs) = if matches!(pred, IntPred::Eq | IntPred::Ne) && rhs < lhs {
+            (pred, rhs, lhs)
+        } else {
+            (pred, lhs, rhs)
+        };
+        self.intern(Term::Icmp { pred, lhs, rhs })
+    }
+
+    /// If-then-else, normalized.
+    pub fn ite(&mut self, cond: TermId, then_v: TermId, else_v: TermId) -> TermId {
+        if let Some(c) = self.as_const(cond) {
+            return if c != 0 { then_v } else { else_v };
+        }
+        if then_v == else_v {
+            return then_v;
+        }
+        // ite c, 1, 0  ==  c   /   ite c, 0, 1  ==  ¬c   (width 1)
+        if self.width(then_v) == 1 {
+            if self.is_const(then_v, 1) && self.is_const(else_v, 0) {
+                return cond;
+            }
+            if self.is_const(then_v, 0) && self.is_const(else_v, 1) {
+                return self.not(cond);
+            }
+        }
+        self.intern(Term::Ite {
+            cond,
+            then_v,
+            else_v,
+        })
+    }
+
+    /// An integer resize cast, normalized.
+    pub fn cast(&mut self, kind: CastKind, to: u8, val: TermId) -> TermId {
+        debug_assert!(matches!(
+            kind,
+            CastKind::Trunc | CastKind::ZExt | CastKind::SExt
+        ));
+        let from = self.width(val);
+        if let Some(v) = self.as_const(val) {
+            let (to_ty, from_ty) = (ty_of_width(to), ty_of_width(from));
+            if let Ok(RtVal::Int(r)) = eval_cast_src(kind, to_ty, from_ty, RtVal::Int(v)) {
+                return self.constant(to, r);
+            }
+        }
+        if from == to {
+            return val;
+        }
+        self.intern(Term::Cast { kind, to, val })
+    }
+
+    /// An uninterpreted application.
+    pub fn opaque(&mut self, tag: &'static str, aux: u64, width: u8, args: Vec<TermId>) -> TermId {
+        self.intern(Term::Opaque {
+            tag,
+            aux,
+            width,
+            args,
+        })
+    }
+
+    // -- boolean convenience (all width 1) -------------------------------
+
+    /// Logical negation.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        let one = self.constant(1, 1);
+        self.bin(BinOp::Xor, 1, a, one)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::And, 1, a, b)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Or, 1, a, b)
+    }
+
+    /// Equality as a width-1 term.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.icmp(IntPred::Eq, a, b)
+    }
+
+    /// Disequality as a width-1 term.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        self.icmp(IntPred::Ne, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold_through_the_interpreter() {
+        let mut s = TermStore::new();
+        let a = s.constant(64, 7);
+        let b = s.constant(64, 5);
+        let sum = s.bin(BinOp::Add, 64, a, b);
+        assert_eq!(s.as_const(sum), Some(12));
+        let shifted = s.bin(BinOp::Shl, 8, a, b);
+        assert_eq!(s.as_const(shifted), Some(wrap_w(8, 7 << 5)));
+    }
+
+    #[test]
+    fn division_by_zero_does_not_fold() {
+        let mut s = TermStore::new();
+        let a = s.constant(64, 7);
+        let z = s.constant(64, 0);
+        let d = s.bin(BinOp::SDiv, 64, a, z);
+        assert_eq!(s.as_const(d), None);
+    }
+
+    #[test]
+    fn hash_consing_gives_structural_equality() {
+        let mut s = TermStore::new();
+        let x = s.sym(64, SymOrigin::Havoc);
+        let one = s.constant(64, 1);
+        let a = s.bin(BinOp::Add, 64, x, one);
+        let b = s.bin(BinOp::Add, 64, one, x); // commutative canonical order
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let mut s = TermStore::new();
+        let x = s.sym(64, SymOrigin::Havoc);
+        let zero = s.constant(64, 0);
+        assert_eq!(s.bin(BinOp::Add, 64, x, zero), x);
+        assert_eq!(s.bin(BinOp::Sub, 64, x, x), zero);
+        assert_eq!(s.bin(BinOp::Xor, 64, x, x), zero);
+        let c = s.sym(1, SymOrigin::Havoc);
+        let nc = s.not(c);
+        let conj = s.and(c, nc);
+        assert_eq!(s.as_const(conj), Some(0));
+        let disj = s.or(nc, c);
+        assert_eq!(s.as_const(disj), Some(1));
+    }
+
+    #[test]
+    fn ite_and_icmp_normalize() {
+        let mut s = TermStore::new();
+        let x = s.sym(64, SymOrigin::Havoc);
+        let y = s.sym(64, SymOrigin::Havoc);
+        let refl = s.eq(x, x);
+        assert_eq!(s.as_const(refl), Some(1));
+        let c = s.icmp(IntPred::Slt, x, y);
+        let one = s.constant(1, 1);
+        let zero = s.constant(1, 0);
+        assert_eq!(s.ite(c, one, zero), c);
+        let t = s.ite(c, x, x);
+        assert_eq!(t, x);
+    }
+
+    #[test]
+    fn sign_semantics_match_rtval() {
+        // constants are sign-extended at their width: 255 at i8 is -1,
+        // exactly the i64 bit pattern the interpreter carries around
+        let mut s = TermStore::new();
+        let m1 = s.constant(8, 255);
+        assert_eq!(s.as_const(m1), Some(-1));
+        let one = s.constant(8, 1);
+        let c = s.icmp(IntPred::Slt, m1, one);
+        assert_eq!(s.as_const(c), Some(1));
+    }
+}

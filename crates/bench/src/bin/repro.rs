@@ -1,7 +1,7 @@
 //! The reproduction harness.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] [--sanitize off|verify|full] <experiment>...
+//! repro [--scale quick|standard|paper] [--sanitize off|verify|validate|full] <experiment>...
 //!
 //! experiments:
 //!   table1      the Oz pass sequence (Table I)
@@ -22,7 +22,9 @@
 //!
 //! `--sanitize` selects the pass-pipeline sanitizer level for the
 //! `enginestats` experiment (`verify` re-checks the IR after every applied
-//! pass; `full` additionally diff-executes and delta-reduces miscompiles).
+//! pass; `validate` additionally attempts a static refinement proof of
+//! each pass application, diff-executing only the inconclusive remainder;
+//! `full` diff-executes everything and delta-reduces miscompiles).
 
 use posetrl::experiments::{self, ExperimentContext, Scale};
 use posetrl_analyze::SanitizeLevel;
@@ -52,13 +54,13 @@ fn main() {
             "--sanitize" => {
                 let v = it.next().unwrap_or_default();
                 sanitize = SanitizeLevel::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown sanitize level '{v}' (off|verify|full)");
+                    eprintln!("unknown sanitize level '{v}' (off|verify|validate|full)");
                     std::process::exit(2);
                 });
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|full] <experiment>..."
+                    "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|validate|full] <experiment>..."
                 );
                 println!(
                     "experiments: table1 table2 table3 odgstats fig1 table4 table5 fig5 table6"

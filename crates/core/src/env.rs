@@ -60,9 +60,12 @@ pub struct EnvConfig {
     /// Pass-pipeline sanitization applied to every action (see
     /// `posetrl_analyze::Sanitizer`). `Off` is the historical unchecked
     /// behaviour; `Verify` re-verifies and lints after each applied pass;
-    /// `Full` additionally diff-executes pre/post modules and delta-reduces
-    /// miscompile repros. A fatal finding panics the episode — the RL loop
-    /// must never learn from corrupted rewards.
+    /// `Validate` additionally runs the symbolic translation validator on
+    /// each pass application, falling back to differential execution only
+    /// when the static proof is inconclusive; `Full` diff-executes pre/post
+    /// modules for every pass and delta-reduces miscompile repros. A fatal
+    /// finding panics the episode — the RL loop must never learn from
+    /// corrupted rewards.
     pub sanitize: SanitizeLevel,
 }
 

@@ -245,6 +245,42 @@ impl CastKind {
 }
 
 /// The operation performed by an instruction.
+///
+/// # Undef and trap semantics
+///
+/// These rules are what the reference interpreter executes and what the
+/// symbolic translation validator (`posetrl-analyze::validate`) proves
+/// refinement against — an optimization may replace undef with any value
+/// and may remove traps, but must never introduce either. Per opcode:
+///
+/// - `Bin`: `sdiv`/`srem` **trap** on a zero or undef divisor or an
+///   undef dividend; every other binop propagates undef (any undef
+///   operand makes the result undef) and never traps. Integer
+///   arithmetic wraps (two's complement, no overflow UB).
+/// - `Icmp`: an undef operand makes the `i1` result undef; operands of
+///   differing widths compare as sign-extended `i64`s. Pointers compare
+///   by a stable per-object ordinal, never trap.
+/// - `Fcmp`: undef propagates to the result; never traps.
+/// - `Select`: an undef `cond` **traps**; otherwise the chosen operand's
+///   (value, undef) pair is passed through unchanged.
+/// - `Cast`: undef flows through every cast kind; never traps
+///   (`fptosi` saturates at the `i64` bounds).
+/// - `Alloca`: fresh cells are **undef** until stored; never traps.
+/// - `Load`/`Store`: out-of-bounds or type-mismatched access **traps**,
+///   as does a store through a read-only (immutable global) pointer;
+///   loading an undef cell yields undef.
+/// - `Gep`: an undef base pointer or undef index **traps**; offsets are
+///   not bounds-checked until dereferenced.
+/// - `Call`: refines like its callee; external calls are observable
+///   trace events (undef arguments are recorded as undef).
+/// - `Phi`: a missing incoming edge **traps** (verifier-rejected, but
+///   dynamically a type error); otherwise passes the chosen pair.
+/// - `MemCpy`/`MemSet`: negative or out-of-bounds ranges **trap**;
+///   copying undef cells preserves their undef-ness.
+/// - `CondBr`: branching on an undef condition **traps** (this is where
+///   deferred undef becomes UB).
+/// - `Ret`: returning undef is defined and observable as undef.
+/// - `Unreachable`: executing it **traps** (immediate UB).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Op {
     /// Binary arithmetic: `lhs op rhs`, both of type `ty`, result `ty`.

@@ -162,6 +162,61 @@ pub struct Observation {
     pub trace: Vec<TraceEvent>,
 }
 
+impl Observation {
+    /// Refinement check: is observing `self` (the *optimized* run) an
+    /// acceptable behaviour given `src` (the *source* run)?
+    ///
+    /// Rules, per the translation-validation refinement relation:
+    /// - a source trap permits anything (undefined behaviour refines to
+    ///   every behaviour); resource-limit stops (`OutOfFuel`,
+    ///   `StackOverflow`) are treated the same way because nothing can
+    ///   be concluded past them;
+    /// - where the source is defined, a target trap is a violation —
+    ///   except target resource-limit stops, which are inconclusive and
+    ///   therefore treated as refining (no *confirmed* violation);
+    /// - a source `Undef` value (return or trace argument) permits any
+    ///   target value (undef widening); a target `Undef` where the
+    ///   source is concrete is a violation;
+    /// - concrete values and the external-call trace (callee names,
+    ///   argument lists) must match exactly otherwise.
+    pub fn refines(&self, src: &Observation) -> bool {
+        match &src.result {
+            Err(_) => true,
+            Ok(sv) => match &self.result {
+                Err(ExecError::OutOfFuel) | Err(ExecError::StackOverflow) => true,
+                Err(_) => false,
+                Ok(tv) => {
+                    let ret_ok = match (sv, tv) {
+                        (None, None) => true,
+                        (Some(s), Some(t)) => arg_refines(s, t),
+                        _ => false,
+                    };
+                    ret_ok
+                        && self.trace.len() == src.trace.len()
+                        && self.trace.iter().zip(&src.trace).all(|(t, s)| {
+                            t.callee == s.callee
+                                && t.args.len() == s.args.len()
+                                && t.args
+                                    .iter()
+                                    .zip(&s.args)
+                                    .all(|(ta, sa)| arg_refines(sa, ta))
+                        })
+                }
+            },
+        }
+    }
+}
+
+/// Value-level refinement: does the target argument `t` refine the
+/// source argument `s`?
+fn arg_refines(s: &TraceArg, t: &TraceArg) -> bool {
+    match (s, t) {
+        (TraceArg::Undef, _) => true,
+        (_, TraceArg::Undef) => false,
+        (a, b) => a == b,
+    }
+}
+
 /// Per-instruction dynamic execution counts.
 #[derive(Debug, Clone, Default)]
 pub struct ExecProfile {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mini-opt [-passes | -O0|-O1|-O2|-O3|-Os|-Oz | -<pass>...]
-//!          [--sanitize[=off|verify|full]] [--stats] [file.ir]
+//!          [--sanitize[=off|verify|validate|full]] [--stats] [file.ir]
 //! ```
 //!
 //! Reads textual IR from the file (or stdin), applies the requested passes
@@ -12,12 +12,18 @@
 //!
 //! Every run is sanitized: after each pass that changes the module the
 //! verifier and lint suite re-run, attributing any breakage to the pass
-//! that caused it. `--sanitize=full` additionally executes the module
-//! before and after each pass and compares observable behaviour, dumping
-//! a delta-reduced JSON repro on a mismatch; `--sanitize=off` restores
-//! the old unchecked behaviour.
+//! that caused it. `--sanitize=validate` additionally attempts a static
+//! refinement proof of every pass application (symbolic translation
+//! validation), falling back to differential execution when inconclusive;
+//! `--sanitize=full` executes the module before and after each pass and
+//! compares observable behaviour, dumping a delta-reduced JSON repro on a
+//! mismatch; `--sanitize=off` restores the old unchecked behaviour.
+//!
+//! Exit codes (shared with `mini-analyze`, see
+//! `posetrl_analyze::exit_codes`): 0 clean, 1 findings (a pass was caught
+//! breaking the module), 2 usage or I/O error.
 
-use posetrl_analyze::{expect_verified, SanitizeLevel, Sanitizer};
+use posetrl_analyze::{exit_codes, expect_verified, SanitizeLevel, Sanitizer};
 use posetrl_ir::parser::parse_module;
 use posetrl_ir::printer::print_module;
 use posetrl_opt::manager::{PassManager, PipelineError};
@@ -46,8 +52,8 @@ fn main() {
             level = SanitizeLevel::Full;
         } else if let Some(l) = a.strip_prefix("--sanitize=") {
             level = SanitizeLevel::parse(l).unwrap_or_else(|| {
-                eprintln!("mini-opt: unknown sanitize level '{l}' (off|verify|full)");
-                std::process::exit(1);
+                eprintln!("mini-opt: unknown sanitize level '{l}' (off|verify|validate|full)");
+                std::process::exit(exit_codes::USAGE);
             });
         } else if let Some(p) = pipelines::by_name(&a) {
             passes.extend(p.iter().map(|s| s.to_string()));
@@ -61,7 +67,7 @@ fn main() {
     let text = match file {
         Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("mini-opt: cannot read {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_codes::USAGE);
         }),
         None => {
             let mut buf = String::new();
@@ -76,12 +82,12 @@ fn main() {
         Ok(m) => m,
         Err(e) => {
             eprintln!("mini-opt: parse error: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_codes::USAGE);
         }
     };
     if let Err(e) = posetrl_ir::verifier::verify_module(&module) {
         eprintln!("mini-opt: input does not verify: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_codes::USAGE);
     }
 
     let before_insts = module.num_insts();
@@ -90,7 +96,7 @@ fn main() {
         Ok(_) => {}
         Err(PipelineError::UnknownPass(e)) => {
             eprintln!("mini-opt: {e} (see `mini-opt -passes`)");
-            std::process::exit(2);
+            std::process::exit(exit_codes::USAGE);
         }
         Err(PipelineError::Sanitizer { pass, verdict }) => {
             eprintln!("mini-opt: INTERNAL ERROR — pass '{pass}' miscompiled the module");
@@ -99,7 +105,7 @@ fn main() {
                 eprintln!("--- miscompile artifact (JSON) ---");
                 eprintln!("{}", mc.to_json());
             }
-            std::process::exit(3);
+            std::process::exit(exit_codes::FINDINGS);
         }
     }
     // with --sanitize=off the per-pass checks are skipped; keep the

@@ -1,0 +1,22 @@
+; Constant-global folding source: sums a 4-element const table with a
+; counted loop. The pair's target folds the whole sum to a constant.
+module "global_sum_fold"
+global @table : i64 x 4 const internal = [10:i64, 20:i64, 30:i64, 40:i64]
+
+fn @f() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, 4:i64
+  condbr %c, bb2, bb3
+bb2:
+  %p = gep i64, @table, %i
+  %v = load i64, %p
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}

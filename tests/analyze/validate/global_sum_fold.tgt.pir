@@ -1,0 +1,10 @@
+; Constant-global folding target: the loop replaced by the folded sum.
+; The table is const, so every load is a known value.
+; expect: proved
+module "global_sum_fold"
+global @table : i64 x 4 const internal = [10:i64, 20:i64, 30:i64, 40:i64]
+
+fn @f() -> i64 internal {
+bb0:
+  ret 100:i64
+}

@@ -1,0 +1,11 @@
+; GVN source: the same `add` computed twice. The pair's target reuses
+; the first computation.
+module "gvn_cse"
+
+fn @f(i64, i64) -> i64 internal {
+bb0:
+  %x = add i64 %arg0, %arg1
+  %y = add i64 %arg0, %arg1
+  %z = mul i64 %x, %y
+  ret %z
+}

@@ -1,0 +1,10 @@
+; GVN target: the redundant `add` eliminated.
+; expect: proved
+module "gvn_cse"
+
+fn @f(i64, i64) -> i64 internal {
+bb0:
+  %x = add i64 %arg0, %arg1
+  %z = mul i64 %x, %x
+  ret %z
+}

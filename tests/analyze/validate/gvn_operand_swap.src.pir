@@ -1,0 +1,9 @@
+; Bogus-GVN source: a subtraction. The pair's target swaps its
+; operands as if `sub` were commutative.
+module "gvn_operand_swap"
+
+fn @f(i64, i64) -> i64 internal {
+bb0:
+  %d = sub i64 %arg0, %arg1
+  ret %d
+}

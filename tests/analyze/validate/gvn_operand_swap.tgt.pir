@@ -1,0 +1,10 @@
+; Bogus-GVN target: `%arg1 - %arg0` is not `%arg0 - %arg1`; any pair
+; of distinct arguments is a counterexample.
+; expect: refuted
+module "gvn_operand_swap"
+
+fn @f(i64, i64) -> i64 internal {
+bb0:
+  %d = sub i64 %arg1, %arg0
+  ret %d
+}

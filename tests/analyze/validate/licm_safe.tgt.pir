@@ -1,0 +1,21 @@
+; LICM target: the invariant `add` hoisted to the preheader. The add
+; cannot trap, so hoisting it past zero-trip execution is sound.
+; expect: proved
+module "licm_safe"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %t = add i64 %arg0, 5:i64
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, 4:i64
+  condbr %c, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %t
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}

@@ -1,0 +1,15 @@
+; Trap-hoisting source: the `sdiv` only executes under the nonzero
+; guard, so @f is total. The pair's target hoists the division above
+; the guard, introducing a division-by-zero trap for %arg0 == 0.
+module "licm_trap_hoist"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %c = icmp ne i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %q = sdiv i64 100:i64, %arg0
+  ret %q
+bb2:
+  ret 0:i64
+}

@@ -1,0 +1,17 @@
+; Trap-hoisting target: the `sdiv` speculated above its guard. This is
+; the classic unsound hoist — the optimized function traps on
+; %arg0 == 0 where the source returned 0. The validator must produce a
+; concrete, interpreter-confirmed counterexample.
+; expect: refuted
+module "licm_trap_hoist"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %q = sdiv i64 100:i64, %arg0
+  %c = icmp ne i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  ret %q
+bb2:
+  ret 0:i64
+}

@@ -1,0 +1,12 @@
+; Store-forwarding source: a value round-trips through a stack slot.
+; The pair's target forwards the stored value to the load.
+module "mem2reg_forward"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %slot = alloca i64 x 1
+  store i64 %arg0, %slot
+  %v = load i64, %slot
+  %r = add i64 %v, 9:i64
+  ret %r
+}

@@ -1,0 +1,9 @@
+; Store-forwarding target: the stack slot promoted away entirely.
+; expect: proved
+module "mem2reg_forward"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %r = add i64 %arg0, 9:i64
+  ret %r
+}

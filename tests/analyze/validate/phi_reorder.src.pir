@@ -1,0 +1,18 @@
+; Phi-reordering source: a diamond merging two arms through a phi.
+; The pair's target lists the incoming edges in the opposite order.
+module "phi_reorder"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %a = add i64 %arg0, 1:i64
+  br bb3
+bb2:
+  %b = sub i64 %arg0, 1:i64
+  br bb3
+bb3:
+  %p = phi i64 [bb1: %a], [bb2: %b]
+  ret %p
+}

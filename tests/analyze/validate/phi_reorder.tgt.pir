@@ -1,0 +1,20 @@
+; Phi-reordering target: same diamond, incoming list reversed. Phi
+; semantics select by predecessor edge, so order is immaterial — but
+; the printed text differs, forcing the symbolic route.
+; expect: proved
+module "phi_reorder"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %a = add i64 %arg0, 1:i64
+  br bb3
+bb2:
+  %b = sub i64 %arg0, 1:i64
+  br bb3
+bb3:
+  %p = phi i64 [bb2: %b], [bb1: %a]
+  ret %p
+}

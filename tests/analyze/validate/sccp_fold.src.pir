@@ -1,0 +1,14 @@
+; SCCP source: a branch whose condition is a compile-time constant —
+; the false arm is dead. The pair's target folds the branch away.
+module "sccp_fold"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 1:i64, 2:i64
+  condbr %c, bb1, bb2
+bb1:
+  %r = add i64 %arg0, 7:i64
+  ret %r
+bb2:
+  ret 0:i64
+}

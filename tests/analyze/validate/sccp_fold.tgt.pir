@@ -1,0 +1,9 @@
+; SCCP target: the constant branch and the dead arm removed.
+; expect: proved
+module "sccp_fold"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %r = add i64 %arg0, 7:i64
+  ret %r
+}

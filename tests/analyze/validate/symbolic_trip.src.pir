@@ -1,0 +1,22 @@
+; Symbolic-trip-count source: a while-loop whose bound is %arg0, so
+; bounded unrolling can never exhaust the input space. The pair's
+; target is the rotated (do-while) form — correct, but the CFG is
+; genuinely restructured, so no structural normalization can equate
+; them and the symbolic route runs out of unrolling budget.
+module "symbolic_trip"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, %arg0
+  condbr %c, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %arg0
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}

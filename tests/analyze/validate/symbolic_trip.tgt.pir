@@ -1,0 +1,22 @@
+; Symbolic-trip-count target: the rotated do-while form with a guard.
+; The validator must refuse to guess: beyond the unrolling bound it
+; reports inconclusive and the sanitizer escalates to differential
+; execution instead.
+; expect: inconclusive
+module "symbolic_trip"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %c0 = icmp slt i64 0:i64, %arg0
+  condbr %c0, bb1, bb2
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb1: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb1: %s2]
+  %s2 = add i64 %s, %arg0
+  %i2 = add i64 %i, 1:i64
+  %c = icmp slt i64 %i2, %arg0
+  condbr %c, bb1, bb2
+bb2:
+  %sx = phi i64 [bb0: 0:i64], [bb1: %s2]
+  ret %sx
+}

@@ -1,0 +1,8 @@
+; Undef-narrowing source: @f returns the concrete 42. The pair's
+; target replaces it with undef — refinement run backwards.
+module "undef_narrow"
+
+fn @f() -> i64 internal {
+bb0:
+  ret 42:i64
+}

@@ -1,0 +1,10 @@
+; Undef-narrowing target: a defined value degraded to undef. This is
+; the unsound direction — undef does not refine 42.
+; expect: refuted
+module "undef_narrow"
+
+fn @f() -> i64 internal {
+bb0:
+  %u = add i64 undef:i64, 0:i64
+  ret %u
+}

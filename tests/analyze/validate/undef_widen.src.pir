@@ -1,0 +1,9 @@
+; Undef-widening source: @f returns undef (an `add` of undef). A pass
+; may replace undef with any concrete value.
+module "undef_widen"
+
+fn @f() -> i64 internal {
+bb0:
+  %u = add i64 undef:i64, 0:i64
+  ret %u
+}

@@ -1,0 +1,9 @@
+; Undef-widening target: undef refined to the concrete 42. Sound —
+; every concrete value is a legal refinement of undef.
+; expect: proved
+module "undef_widen"
+
+fn @f() -> i64 internal {
+bb0:
+  ret 42:i64
+}

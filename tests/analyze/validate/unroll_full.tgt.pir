@@ -1,0 +1,14 @@
+; Loop-unrolling target: the loop replaced by four explicit adds. The
+; control-flow shapes share nothing textually; only the symbolic route
+; can prove this pair.
+; expect: proved
+module "unroll_full"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %t1 = add i64 0:i64, %arg0
+  %t2 = add i64 %t1, %arg0
+  %t3 = add i64 %t2, %arg0
+  %t4 = add i64 %t3, %arg0
+  ret %t4
+}

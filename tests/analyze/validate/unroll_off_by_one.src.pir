@@ -1,0 +1,19 @@
+; Off-by-one unrolling source: the same 4-trip accumulator loop.
+; The pair's target unrolls one iteration too many.
+module "unroll_off_by_one"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, 4:i64
+  condbr %c, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %arg0
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}

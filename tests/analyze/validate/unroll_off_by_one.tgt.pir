@@ -1,0 +1,15 @@
+; Off-by-one unrolling target: five adds instead of four — returns
+; 5*%arg0 where the source returns 4*%arg0. Any nonzero argument is a
+; counterexample; the validator must find and confirm one.
+; expect: refuted
+module "unroll_off_by_one"
+
+fn @f(i64) -> i64 internal {
+bb0:
+  %t1 = add i64 0:i64, %arg0
+  %t2 = add i64 %t1, %arg0
+  %t3 = add i64 %t2, %arg0
+  %t4 = add i64 %t3, %arg0
+  %t5 = add i64 %t4, %arg0
+  ret %t5
+}

@@ -1,0 +1,104 @@
+//! Golden corpus for the symbolic translation validator.
+//!
+//! Every case under `tests/analyze/validate/` is a `<name>.src.pir` /
+//! `<name>.tgt.pir` pair: the module before and after a (claimed)
+//! semantics-preserving transform. The target file carries an
+//! `; expect: proved|refuted|inconclusive` header naming the verdict
+//! the validator must reach for the pair. The corpus pins down the
+//! refinement edge cases prose cannot: trap hoisting out of guards,
+//! undef widening vs. narrowing, phi reordering, off-by-one unrolls
+//! and symbolic trip counts that must stay inconclusive rather than
+//! guessed.
+
+use posetrl_analyze::{validate_transform, ValidateConfig, Verdict};
+use posetrl_ir::parser::parse_module;
+use std::path::{Path, PathBuf};
+
+/// Reads the `; expect:` header of a target file.
+fn expected_verdict(text: &str) -> String {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("; expect:") {
+            let v = rest.trim().to_string();
+            assert!(
+                matches!(v.as_str(), "proved" | "refuted" | "inconclusive"),
+                "unknown expected verdict '{v}'"
+            );
+            return v;
+        }
+    }
+    panic!("target file is missing its '; expect:' header");
+}
+
+/// Collapses a module validation to the corpus verdict word: any
+/// refutation dominates, then any inconclusive, else proved.
+fn overall(mv: &posetrl_analyze::ModuleValidation) -> &'static str {
+    if mv.refuted() > 0 {
+        "refuted"
+    } else if mv.inconclusive() > 0 {
+        "inconclusive"
+    } else {
+        "proved"
+    }
+}
+
+#[test]
+fn validate_golden_pairs_match_their_expected_verdicts() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/analyze/validate");
+    let mut pairs: Vec<(String, PathBuf, PathBuf)> = std::fs::read_dir(&dir)
+        .expect("tests/analyze/validate exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().ends_with(".src.pir"))
+        .map(|src| {
+            let stem = src
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .trim_end_matches(".src.pir")
+                .to_string();
+            let tgt = dir.join(format!("{stem}.tgt.pir"));
+            assert!(tgt.exists(), "{stem}: missing .tgt.pir half of the pair");
+            (stem, src, tgt)
+        })
+        .collect();
+    pairs.sort();
+    assert!(pairs.len() >= 10, "corpus has at least 10 pairs");
+
+    let cfg = ValidateConfig::default();
+    for (name, src_path, tgt_path) in pairs {
+        let src_text = std::fs::read_to_string(&src_path).unwrap();
+        let tgt_text = std::fs::read_to_string(&tgt_path).unwrap();
+        let expected = expected_verdict(&tgt_text);
+        let src = parse_module(&src_text).unwrap_or_else(|e| panic!("{name}.src parses: {e}"));
+        let tgt = parse_module(&tgt_text).unwrap_or_else(|e| panic!("{name}.tgt parses: {e}"));
+
+        let mv = validate_transform(&src, &tgt, &cfg);
+        let got = overall(&mv);
+        assert_eq!(
+            got,
+            expected,
+            "{name}: verdict diverges from header; per-function: {:?}",
+            mv.funcs
+                .iter()
+                .map(|fv| (
+                    fv.name.as_str(),
+                    match &fv.verdict {
+                        Verdict::Proved => "proved".to_string(),
+                        Verdict::Refuted(_) => "refuted".to_string(),
+                        Verdict::Inconclusive(why) => format!("inconclusive: {why}"),
+                    }
+                ))
+                .collect::<Vec<_>>()
+        );
+
+        // every refutation ships an interpreter-confirmed counterexample
+        if expected == "refuted" {
+            let (fname, cex) = mv.first_refutation().unwrap();
+            assert!(!cex.entry.is_empty(), "{name}/{fname}: empty entry");
+            assert_ne!(
+                cex.src_obs, cex.tgt_obs,
+                "{name}/{fname}: counterexample observations must differ"
+            );
+        }
+    }
+}
