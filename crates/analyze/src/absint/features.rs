@@ -1,0 +1,368 @@
+//! AutoPhase-style static feature vector derived from the absint facts.
+//!
+//! [`module_features`] condenses the interprocedural analysis result into a
+//! fixed-width vector of `FEATURE_DIM` floats, suitable for appending to the
+//! RL state (behind `EnvConfig::static_features`). Every entry is a fraction,
+//! a normalized average, or a squashed count (`x / (x + K)`), so all values
+//! lie in `[0, 1]` and the vector is scale-stable across module sizes.
+//!
+//! The layout is frozen (tests pin it); append new features at the end and
+//! bump `FEATURE_DIM` rather than reordering.
+//!
+//! | idx | meaning |
+//! |-----|---------|
+//! | 0   | squash(defined functions, 8) |
+//! | 1   | squash(reachable value-producing insts, 64) |
+//! | 2   | frac of int facts that are singletons |
+//! | 3   | frac of int facts with a strict (non-top, non-singleton) range |
+//! | 4   | frac of int facts that are ⊤ intervals |
+//! | 5   | frac of int facts proven non-negative |
+//! | 6   | average known bits / 64 over int facts |
+//! | 7   | frac of int facts with ≥1 known trailing zero bit |
+//! | 8   | average log₂(signed range width) / 64 over int facts |
+//! | 9   | frac of i1 facts proven constant |
+//! | 10  | frac of pointer facts proven non-null |
+//! | 11  | frac of pointer facts proven null |
+//! | 12  | frac of pointer facts with a known base object |
+//! | 13  | average alignment trailing zeros / 8 over pointer facts |
+//! | 14  | frac of condbr conditions proven constant (dead-branch rate) |
+//! | 15  | squash(provable division traps, 4) |
+//! | 16  | squash(provable null dereferences, 4) |
+//! | 17  | squash(provable out-of-bounds accesses, 4) |
+//! | 18  | frac of functions with a non-⊤ int return fact |
+//! | 19  | frac of functions with a singleton return fact |
+//! | 20  | frac of summary arguments with a non-⊤ fact |
+//! | 21  | frac of blocks unreachable from their function entry |
+//! | 22  | frac of value-producing insts with ⊥ (dead) facts |
+//! | 23  | squash(average reachable blocks per function, 16) |
+//! | 24  | frac of load/store pointers with a known base object |
+//! | 25  | frac of icmp results decided statically |
+//! | 26  | frac of select conditions decided statically |
+//! | 27  | average log₂(unsigned range width) / 64 over int facts |
+//! | 28  | frac of int facts with a non-⊤ unsigned range |
+//! | 29  | squash(call sites, 16) |
+//! | 30  | frac of call results with a non-⊤ fact |
+//! | 31  | frac of functions analyzed with ⊤ argument summaries (roots) |
+
+use super::domain::{AbsVal, Nullness, PtrBase};
+use super::{analyze_module, ModuleAbsint};
+use posetrl_ir::{Module, Op, Ty};
+
+/// Width of the static feature vector.
+pub const FEATURE_DIM: usize = 32;
+
+/// `x / (x + k)`: maps a count into `[0, 1)` monotonically.
+fn squash(x: f64, k: f64) -> f64 {
+    x / (x + k)
+}
+
+/// `num / den`, or 0 for an empty denominator.
+fn frac(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// log₂ of an interval width, normalized to `[0, 1]` by the 64-bit maximum.
+fn width_log2(lo: i64, hi: i64) -> f64 {
+    let w = (hi as i128 - lo as i128 + 1) as u128;
+    (128 - w.leading_zeros()) as f64 / 64.0
+}
+
+/// Computes the feature vector from a precomputed analysis.
+pub fn features_with(m: &Module, mi: &ModuleAbsint) -> [f64; FEATURE_DIM] {
+    let mut out = [0.0; FEATURE_DIM];
+
+    let mut n_funcs = 0.0;
+    let mut n_insts = 0.0;
+    let mut n_int = 0.0;
+    let (mut int_singleton, mut int_strict, mut int_top, mut int_nonneg) = (0.0, 0.0, 0.0, 0.0);
+    let (mut known_bits_sum, mut int_tz, mut swidth_sum, mut uwidth_sum) = (0.0, 0.0, 0.0, 0.0);
+    let mut int_utight = 0.0;
+    let (mut n_bool, mut bool_const) = (0.0, 0.0);
+    let mut n_ptr = 0.0;
+    let (mut ptr_nonnull, mut ptr_null, mut ptr_based, mut align_sum) = (0.0, 0.0, 0.0, 0.0);
+    let (mut n_condbr, mut condbr_decided) = (0.0, 0.0);
+    let (mut div_traps, mut null_derefs, mut oob) = (0.0, 0.0, 0.0);
+    let (mut ret_nontop, mut ret_singleton) = (0.0, 0.0);
+    let (mut n_args, mut args_nontop) = (0.0, 0.0);
+    let (mut n_blocks, mut n_reachable_blocks) = (0.0, 0.0);
+    let mut dead_facts = 0.0;
+    let (mut n_mem, mut mem_based) = (0.0, 0.0);
+    let (mut n_icmp, mut icmp_decided) = (0.0, 0.0);
+    let (mut n_select, mut select_decided) = (0.0, 0.0);
+    let (mut n_calls, mut call_nontop) = (0.0, 0.0);
+    let mut root_funcs = 0.0;
+
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        if f.is_decl {
+            continue;
+        }
+        n_funcs += 1.0;
+        let Some(facts) = mi.facts(fid) else { continue };
+        n_blocks += f.block_ids().count() as f64;
+        n_reachable_blocks += facts.reachable.len() as f64;
+
+        if let Some(s) = mi.summary(fid) {
+            n_args += s.args.len() as f64;
+            args_nontop += s
+                .args
+                .iter()
+                .filter(|a| {
+                    !matches!(a, AbsVal::Top) && a.as_int().map(|i| !i.is_top()).unwrap_or(true)
+                })
+                .count() as f64;
+            if s.args.iter().all(|a| matches!(a, AbsVal::Top))
+                || s.args
+                    .iter()
+                    .all(|a| a.as_int().map(|i| i.is_top()).unwrap_or(false))
+            {
+                root_funcs += 1.0;
+            }
+            if let Some(r) = s.ret.as_int() {
+                if !r.is_top() {
+                    ret_nontop += 1.0;
+                }
+                if r.as_singleton().is_some() {
+                    ret_singleton += 1.0;
+                }
+            }
+        }
+
+        for &b in &facts.reachable {
+            let Some(block) = f.block(b) else { continue };
+            for &id in &block.insts {
+                let op = f.op(id);
+                match op {
+                    Op::CondBr { cond, .. } => {
+                        n_condbr += 1.0;
+                        if cond
+                            .as_inst()
+                            .map(|i| facts.value(i).singleton().is_some())
+                            .unwrap_or(cond.const_int().is_some())
+                        {
+                            condbr_decided += 1.0;
+                        }
+                    }
+                    Op::Bin { op: bin, rhs, .. } if bin.can_trap() => {
+                        let zero = match rhs.as_inst() {
+                            Some(i) => facts.value(i).singleton() == Some(0),
+                            None => rhs.const_int() == Some(0),
+                        };
+                        if zero {
+                            div_traps += 1.0;
+                        }
+                    }
+                    _ => {}
+                }
+                if let Op::Load { ptr, .. } | Op::Store { ptr, .. } = op {
+                    n_mem += 1.0;
+                    if let Some(pf) = ptr.as_inst().and_then(|i| facts.value(i).as_ptr().copied()) {
+                        if pf.base != PtrBase::Unknown {
+                            mem_based += 1.0;
+                        }
+                        if pf.null == Nullness::Null {
+                            null_derefs += 1.0;
+                        }
+                    }
+                }
+                if op.result_ty() == Ty::Void {
+                    continue;
+                }
+                n_insts += 1.0;
+                let v = facts.value(id);
+                match &v {
+                    AbsVal::Bottom => dead_facts += 1.0,
+                    AbsVal::Int(i) => {
+                        n_int += 1.0;
+                        if i.ty == Ty::I1 {
+                            n_bool += 1.0;
+                            if i.as_singleton().is_some() {
+                                bool_const += 1.0;
+                            }
+                        }
+                        if i.as_singleton().is_some() {
+                            int_singleton += 1.0;
+                        } else if i.is_top() {
+                            int_top += 1.0;
+                        } else {
+                            int_strict += 1.0;
+                        }
+                        if i.non_negative() {
+                            int_nonneg += 1.0;
+                        }
+                        known_bits_sum += i.bits.count_known() as f64 / 64.0;
+                        if i.bits.trailing_zeros() > 0 {
+                            int_tz += 1.0;
+                        }
+                        swidth_sum += width_log2(i.lo, i.hi);
+                        uwidth_sum += width_log2(i.ulo as i64, i.uhi.min(i64::MAX as u64) as i64);
+                        let (tlo, thi) = super::domain::ty_signed_range(i.ty);
+                        if !(i.ulo == 0
+                            && i.uhi == super::domain::ty_unsigned_max(i.ty)
+                            && i.lo == tlo
+                            && i.hi == thi)
+                        {
+                            int_utight += 1.0;
+                        }
+                    }
+                    AbsVal::Ptr(p) => {
+                        n_ptr += 1.0;
+                        match p.null {
+                            Nullness::NonNull => ptr_nonnull += 1.0,
+                            Nullness::Null => ptr_null += 1.0,
+                            Nullness::Maybe => {}
+                        }
+                        if p.base != PtrBase::Unknown {
+                            ptr_based += 1.0;
+                        }
+                        align_sum += p.align_tz.min(8) as f64 / 8.0;
+                    }
+                    AbsVal::Float | AbsVal::Top => {}
+                }
+                match op {
+                    Op::Icmp { .. } => {
+                        n_icmp += 1.0;
+                        if v.singleton().is_some() {
+                            icmp_decided += 1.0;
+                        }
+                    }
+                    Op::Select { cond, .. } => {
+                        n_select += 1.0;
+                        let decided = match cond.as_inst() {
+                            Some(i) => facts.value(i).singleton().is_some(),
+                            None => cond.const_int().is_some(),
+                        };
+                        if decided {
+                            select_decided += 1.0;
+                        }
+                    }
+                    Op::Call { .. } => {
+                        n_calls += 1.0;
+                        if !matches!(v, AbsVal::Top)
+                            && v.as_int().map(|i| !i.is_top()).unwrap_or(true)
+                        {
+                            call_nontop += 1.0;
+                        }
+                    }
+                    Op::Load { ptr, .. } | Op::Store { ptr, .. } => {
+                        // OOB: base known and offsets entirely outside it
+                        if let Some(pf) =
+                            ptr.as_inst().and_then(|i| facts.value(i).as_ptr().copied())
+                        {
+                            let count = match pf.base {
+                                PtrBase::Global(g) => {
+                                    m.global(posetrl_ir::GlobalId(g)).map(|g| g.count as i64)
+                                }
+                                PtrBase::Alloca(a) => {
+                                    match f.inst(posetrl_ir::InstId(a)).map(|i| &i.op) {
+                                        Some(Op::Alloca { count, .. }) => Some(*count as i64),
+                                        _ => None,
+                                    }
+                                }
+                                PtrBase::Unknown => None,
+                            };
+                            if let Some(c) = count {
+                                if pf.off_hi < 0 || pf.off_lo >= c {
+                                    oob += 1.0;
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    out[0] = squash(n_funcs, 8.0);
+    out[1] = squash(n_insts, 64.0);
+    out[2] = frac(int_singleton, n_int);
+    out[3] = frac(int_strict, n_int);
+    out[4] = frac(int_top, n_int);
+    out[5] = frac(int_nonneg, n_int);
+    out[6] = frac(known_bits_sum, n_int);
+    out[7] = frac(int_tz, n_int);
+    out[8] = frac(swidth_sum, n_int);
+    out[9] = frac(bool_const, n_bool);
+    out[10] = frac(ptr_nonnull, n_ptr);
+    out[11] = frac(ptr_null, n_ptr);
+    out[12] = frac(ptr_based, n_ptr);
+    out[13] = frac(align_sum, n_ptr);
+    out[14] = frac(condbr_decided, n_condbr);
+    out[15] = squash(div_traps, 4.0);
+    out[16] = squash(null_derefs, 4.0);
+    out[17] = squash(oob, 4.0);
+    out[18] = frac(ret_nontop, n_funcs);
+    out[19] = frac(ret_singleton, n_funcs);
+    out[20] = frac(args_nontop, n_args);
+    out[21] = frac(n_blocks - n_reachable_blocks, n_blocks);
+    out[22] = frac(dead_facts, n_insts);
+    out[23] = squash(frac(n_reachable_blocks, n_funcs), 16.0);
+    out[24] = frac(mem_based, n_mem);
+    out[25] = frac(icmp_decided, n_icmp);
+    out[26] = frac(select_decided, n_select);
+    out[27] = frac(uwidth_sum, n_int);
+    out[28] = frac(int_utight, n_int);
+    out[29] = squash(n_calls, 16.0);
+    out[30] = frac(call_nontop, n_calls);
+    out[31] = frac(root_funcs, n_funcs);
+    out
+}
+
+/// Runs the analysis and computes the feature vector in one call.
+pub fn module_features(m: &Module) -> [f64; FEATURE_DIM] {
+    features_with(m, &analyze_module(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_ir::parser::parse_module;
+
+    const SAMPLE: &str = r#"
+module "t"
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = add i64 2:i64, 3:i64
+  %1 = mul i64 %0, 4:i64
+  %2 = icmp slt i64 %1, 100:i64
+  condbr %2, bb1, bb2
+bb1:
+  ret %1
+bb2:
+  ret 0:i64
+}
+"#;
+
+    #[test]
+    fn features_are_deterministic_and_bounded() {
+        let m = parse_module(SAMPLE).unwrap();
+        let a = module_features(&m);
+        let b = module_features(&m);
+        assert_eq!(a, b, "bit-identical across runs");
+        for (i, v) in a.iter().enumerate() {
+            assert!(*v >= 0.0 && *v <= 1.0, "feature {i} out of range: {v}");
+            assert!(v.is_finite(), "feature {i} not finite");
+        }
+    }
+
+    #[test]
+    fn constant_heavy_module_scores_high_on_singletons() {
+        let m = parse_module(SAMPLE).unwrap();
+        let f = module_features(&m);
+        assert!(f[2] > 0.5, "most values fold to singletons: {}", f[2]);
+        assert!(f[14] > 0.0, "the condbr is decided: {}", f[14]);
+    }
+
+    #[test]
+    fn empty_module_is_all_zeros_except_counts() {
+        let m = parse_module("module \"empty\"\n").unwrap();
+        let f = module_features(&m);
+        assert!(f.iter().all(|v| *v == 0.0), "{f:?}");
+    }
+}

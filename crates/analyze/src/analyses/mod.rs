@@ -41,6 +41,7 @@ pub fn run_all(m: &Module) -> Vec<Diagnostic> {
         constmem::check(m, f, &cfg, &mut out);
         deadcode::check(f, &cfg, &mut out);
     }
+    crate::absint::check(m, &mut out);
     sort_report(&mut out);
     out
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! mini-analyze [FILES...] [--corpus] [--suites] [--deny warnings|errors]
-//!              [--level verify|validate|full] [--json] [-q]
+//!              [--level verify|validate|full] [--absint] [--json] [-q]
 //! mini-analyze --validate SRC.pir TGT.pir [--json] [-q]
 //! ```
 //!
@@ -12,6 +12,11 @@
 //! - `--suites` additionally checks MiBench, SPEC 2006 and SPEC 2017.
 //! - `--deny warnings` (default `errors`) exits nonzero when any finding
 //!   at or above the threshold is reported; notes never fail the run.
+//! - `--absint` switches to abstract-interpretation mode: per-value facts
+//!   (known bits, signed/unsigned intervals, pointer nullness/alignment,
+//!   argument/return summaries) are dumped in a stable textual format and
+//!   only the absint lints (`range-trap`, `null-deref`, `dead-branch`)
+//!   contribute findings. Exit codes are unchanged.
 //! - `--json` prints one JSON object per module instead of text lines.
 //! - `--level` is accepted for symmetry with the engine flags; all
 //!   levels run the same static suite here (differential execution needs
@@ -42,6 +47,7 @@ struct Options {
     validate_pair: Option<(String, String)>,
     corpus: bool,
     suites: bool,
+    absint: bool,
     deny: Severity,
     json: bool,
     quiet: bool,
@@ -50,7 +56,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: mini-analyze [FILES...] [--corpus] [--suites] \
-         [--deny warnings|errors] [--level verify|validate|full] [--json] [-q]\n\
+         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--json] [-q]\n\
          \x20      mini-analyze --validate SRC.pir TGT.pir [--json] [-q]"
     );
     std::process::exit(exit_codes::USAGE);
@@ -62,6 +68,7 @@ fn parse_args() -> Options {
         validate_pair: None,
         corpus: false,
         suites: false,
+        absint: false,
         deny: Severity::Error,
         json: false,
         quiet: false,
@@ -71,6 +78,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--corpus" => opts.corpus = true,
             "--suites" => opts.suites = true,
+            "--absint" => opts.absint = true,
             "--json" => opts.json = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--deny" => match args.next().as_deref() {
@@ -85,9 +93,11 @@ fn parse_args() -> Options {
                 opts.validate_pair = Some((src, tgt));
             }
             "--level" => {
-                let Some(level) = args.next().and_then(|s| SanitizeLevel::parse(&s)) else {
-                    usage();
-                };
+                let Some(raw) = args.next() else { usage() };
+                let level = SanitizeLevel::parse(&raw).unwrap_or_else(|e| {
+                    eprintln!("mini-analyze: {e}");
+                    std::process::exit(exit_codes::USAGE);
+                });
                 if level == SanitizeLevel::Off {
                     eprintln!("mini-analyze: --level off disables nothing here; ignoring");
                 }
@@ -105,7 +115,16 @@ fn parse_args() -> Options {
 
 /// Lints one module; returns the diagnostics at or above the deny level.
 fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
+    let mut dump = None;
     let diags = match verify_module(m) {
+        Ok(()) if opts.absint => {
+            let mi = posetrl_analyze::absint::analyze_module(m);
+            dump = Some(posetrl_analyze::absint::render(m, &mi));
+            let mut out = Vec::new();
+            posetrl_analyze::absint::lint_with(m, &mi, &mut out);
+            posetrl_analyze::analyses::sort_report(&mut out);
+            out
+        }
         Ok(()) => run_all(m),
         Err(e) => {
             // surface verifier failures through the same reporting path
@@ -119,10 +138,14 @@ fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
     if opts.json {
         let payload = serde_json::json!({
             "module": name,
+            "facts": dump,
             "diagnostics": &diags,
         });
         println!("{payload}");
     } else if !opts.quiet {
+        if let Some(dump) = &dump {
+            print!("{dump}");
+        }
         for d in &diags {
             println!("{name}: {d}");
         }
@@ -148,7 +171,10 @@ fn load(path: &str) -> Module {
 fn run_validate(src_path: &str, tgt_path: &str, opts: &Options) -> ExitCode {
     let src = load(src_path);
     let tgt = load(tgt_path);
-    let cfg = ValidateConfig::from_env();
+    let cfg = ValidateConfig::try_from_env().unwrap_or_else(|e| {
+        eprintln!("mini-analyze: {e}");
+        std::process::exit(exit_codes::USAGE);
+    });
     let mv = validate_transform(&src, &tgt, &cfg);
 
     if opts.json {

@@ -119,6 +119,13 @@ pub mod codes {
     pub const CALL_TYPE: &str = "call-type";
     /// Two module symbols share a name.
     pub const DUP_SYMBOL: &str = "dup-symbol";
+    /// A trapping operation (div-by-zero, out-of-bounds access) is provable
+    /// from value ranges on a reachable path.
+    pub const RANGE_TRAP: &str = "range-trap";
+    /// A memory operation dereferences a provably null pointer.
+    pub const NULL_DEREF: &str = "null-deref";
+    /// A conditional branch condition is provably constant.
+    pub const DEAD_BRANCH: &str = "dead-branch";
 }
 
 #[cfg(test)]

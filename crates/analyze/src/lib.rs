@@ -24,6 +24,7 @@
 //! The `mini-analyze` binary exposes the suite over `.pir` files and the
 //! generated workload corpora for CI.
 
+pub mod absint;
 pub mod analyses;
 pub mod dataflow;
 pub mod diag;
@@ -31,10 +32,12 @@ pub mod exit_codes;
 pub mod sanitizer;
 pub mod validate;
 
+pub use absint::{analyze_module, FnSummary, FuncFacts, ModuleAbsint};
 pub use analyses::run_all;
 pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
 pub use diag::{codes, Diagnostic, Severity};
 pub use sanitizer::{
-    expect_verified, MiscompileReport, SanitizeLevel, Sanitizer, SanitizerStats, TransformVerdict,
+    check_sanitize_env, expect_verified, MiscompileReport, ParseLevelError, SanitizeLevel,
+    Sanitizer, SanitizerStats, TransformVerdict,
 };
-pub use validate::{validate_transform, ModuleValidation, ValidateConfig, Verdict};
+pub use validate::{validate_transform, EnvParseError, ModuleValidation, ValidateConfig, Verdict};

@@ -33,7 +33,7 @@
 
 use crate::analyses::{run_all, sort_report};
 use crate::diag::{codes, Diagnostic, Severity};
-use crate::validate::{validate_transform, ValidateConfig};
+use crate::validate::{validate_transform, EnvParseError, ValidateConfig};
 use posetrl_ir::interp::{InterpConfig, Interpreter, Observation, RtVal};
 use posetrl_ir::printer::print_module;
 use posetrl_ir::verifier::verify_module;
@@ -62,15 +62,31 @@ pub enum SanitizeLevel {
     Full,
 }
 
+/// A sanitize level name [`SanitizeLevel::parse`] rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(pub String);
+
+impl std::fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown sanitize level '{}': expected off, verify, validate or full",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
 impl SanitizeLevel {
     /// Parses a CLI-style level name.
-    pub fn parse(s: &str) -> Option<SanitizeLevel> {
+    pub fn parse(s: &str) -> Result<SanitizeLevel, ParseLevelError> {
         match s {
-            "off" | "none" => Some(SanitizeLevel::Off),
-            "verify" => Some(SanitizeLevel::Verify),
-            "validate" => Some(SanitizeLevel::Validate),
-            "full" => Some(SanitizeLevel::Full),
-            _ => None,
+            "off" | "none" => Ok(SanitizeLevel::Off),
+            "verify" => Ok(SanitizeLevel::Verify),
+            "validate" => Ok(SanitizeLevel::Validate),
+            "full" => Ok(SanitizeLevel::Full),
+            _ => Err(ParseLevelError(s.to_string())),
         }
     }
 
@@ -451,22 +467,53 @@ pub(crate) fn diff_entry(m: &Module) -> Option<(String, Vec<RtVal>)> {
     Some((f.name.clone(), args))
 }
 
+/// Environment knob for the differential-run interpreter fuel.
+pub const DIFF_FUEL_KEY: &str = "POSETRL_SANITIZE_DIFF_FUEL";
+/// Default differential-run interpreter fuel.
+pub const DEFAULT_DIFF_FUEL: u64 = 2_000_000;
+/// Environment knob for the delta-reduction wall-clock deadline (ms).
+pub const REDUCE_MS_KEY: &str = "POSETRL_SANITIZE_REDUCE_MS";
+/// Default delta-reduction deadline in milliseconds.
+pub const DEFAULT_REDUCE_MS: u64 = 30_000;
+
+/// Parses a `POSETRL_SANITIZE_DIFF_FUEL` value (`None` = unset = default).
+/// Pure over `raw` so unit tests never race on the process environment.
+pub fn parse_diff_fuel(raw: Option<&str>) -> Result<u64, EnvParseError> {
+    crate::validate::parse_env_budget(DIFF_FUEL_KEY, raw, DEFAULT_DIFF_FUEL)
+}
+
+/// Parses a `POSETRL_SANITIZE_REDUCE_MS` value (`None` = unset = default).
+pub fn parse_reduce_ms(raw: Option<&str>) -> Result<u64, EnvParseError> {
+    crate::validate::parse_env_budget(REDUCE_MS_KEY, raw, DEFAULT_REDUCE_MS)
+}
+
+/// Validates every `POSETRL_SANITIZE_*` knob currently set in the
+/// environment. CLIs call this up front so a typo exits with a usage
+/// error instead of being silently ignored mid-run.
+pub fn check_sanitize_env() -> Result<(), EnvParseError> {
+    parse_diff_fuel(std::env::var(DIFF_FUEL_KEY).ok().as_deref())?;
+    parse_reduce_ms(std::env::var(REDUCE_MS_KEY).ok().as_deref())?;
+    Ok(())
+}
+
 /// Interpreter fuel for differential runs; env-tunable so a pathological
 /// workload cannot stall the engine (`POSETRL_SANITIZE_DIFF_FUEL`).
+/// Malformed values are reported on stderr (this path cannot propagate
+/// the error) and replaced by the default.
 fn diff_fuel() -> u64 {
-    std::env::var("POSETRL_SANITIZE_DIFF_FUEL")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000)
+    parse_diff_fuel(std::env::var(DIFF_FUEL_KEY).ok().as_deref()).unwrap_or_else(|e| {
+        eprintln!("posetrl-analyze: {e}; using the default fuel");
+        DEFAULT_DIFF_FUEL
+    })
 }
 
 /// Wall-clock deadline for one delta-reduction loop
 /// (`POSETRL_SANITIZE_REDUCE_MS`, default 30 000 ms).
 fn reduce_deadline() -> Duration {
-    let ms = std::env::var("POSETRL_SANITIZE_REDUCE_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30_000u64);
+    let ms = parse_reduce_ms(std::env::var(REDUCE_MS_KEY).ok().as_deref()).unwrap_or_else(|e| {
+        eprintln!("posetrl-analyze: {e}; using the default deadline");
+        DEFAULT_REDUCE_MS
+    });
     Duration::from_millis(ms)
 }
 
@@ -648,6 +695,36 @@ mod tests {
         );
         m.add_function(f);
         m
+    }
+
+    #[test]
+    fn level_parse_round_trips_and_rejects_garbage() {
+        for level in [
+            SanitizeLevel::Off,
+            SanitizeLevel::Verify,
+            SanitizeLevel::Validate,
+            SanitizeLevel::Full,
+        ] {
+            assert_eq!(SanitizeLevel::parse(level.name()), Ok(level));
+        }
+        assert_eq!(SanitizeLevel::parse("none"), Ok(SanitizeLevel::Off));
+        let e = SanitizeLevel::parse("fuzz").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("fuzz") && msg.contains("validate"), "{msg}");
+    }
+
+    #[test]
+    fn budget_parsers_default_when_unset_and_reject_malformed() {
+        assert_eq!(parse_diff_fuel(None), Ok(DEFAULT_DIFF_FUEL));
+        assert_eq!(parse_diff_fuel(Some("512")), Ok(512));
+        let e = parse_diff_fuel(Some("a lot")).unwrap_err();
+        assert_eq!(e.key, DIFF_FUEL_KEY);
+        assert_eq!(e.value, "a lot");
+
+        assert_eq!(parse_reduce_ms(None), Ok(DEFAULT_REDUCE_MS));
+        assert_eq!(parse_reduce_ms(Some(" 250 ")), Ok(250));
+        assert!(parse_reduce_ms(Some("-1")).is_err());
+        assert!(parse_reduce_ms(Some("")).is_err());
     }
 
     #[test]

@@ -77,27 +77,146 @@ impl Default for ValidateConfig {
     }
 }
 
+/// A `POSETRL_*` environment knob whose value failed to parse.
+///
+/// An unset knob means "use the default"; a *malformed* knob is a user
+/// error and must never be silently ignored — the CLIs turn this into a
+/// usage-level exit, the engine hot paths report it on stderr and fall
+/// back to the default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// The environment variable that was set.
+    pub key: &'static str,
+    /// The value that failed to parse.
+    pub value: String,
+}
+
+impl std::fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}='{}': expected an unsigned integer",
+            self.key, self.value
+        )
+    }
+}
+
+impl std::error::Error for EnvParseError {}
+
+/// Parses one budget knob: `None` (unset) yields the default, anything
+/// set must parse. Pure over `raw` so unit tests never race on the
+/// process environment.
+pub fn parse_env_budget<T: std::str::FromStr>(
+    key: &'static str,
+    raw: Option<&str>,
+    dflt: T,
+) -> Result<T, EnvParseError> {
+    match raw {
+        None => Ok(dflt),
+        Some(s) => s.trim().parse().map_err(|_| EnvParseError {
+            key,
+            value: s.to_string(),
+        }),
+    }
+}
+
 impl ValidateConfig {
-    /// Reads the budgets from the environment (`POSETRL_VALIDATE_PATHS`,
+    /// Reads the budgets through `lookup` (`POSETRL_VALIDATE_PATHS`,
     /// `_UNROLL`, `_STEPS`, `_DEPTH`, `_CELLS`, `_PAIRS`, `_CLAUSES`,
-    /// `_CONFLICTS`), falling back to the defaults.
-    pub fn from_env() -> Self {
-        fn get<T: std::str::FromStr>(key: &str, dflt: T) -> T {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(dflt)
-        }
+    /// `_CONFLICTS`). Unset knobs fall back to the defaults; malformed
+    /// knobs are a structured error.
+    pub fn from_vars(lookup: impl Fn(&str) -> Option<String>) -> Result<Self, EnvParseError> {
         let d = ValidateConfig::default();
-        ValidateConfig {
-            max_paths: get("POSETRL_VALIDATE_PATHS", d.max_paths),
-            max_block_visits: get("POSETRL_VALIDATE_UNROLL", d.max_block_visits),
-            max_steps: get("POSETRL_VALIDATE_STEPS", d.max_steps),
-            max_call_depth: get("POSETRL_VALIDATE_DEPTH", d.max_call_depth),
-            max_mem_cells: get("POSETRL_VALIDATE_CELLS", d.max_mem_cells),
-            max_path_pairs: get("POSETRL_VALIDATE_PAIRS", d.max_path_pairs),
-            max_clauses: get("POSETRL_VALIDATE_CLAUSES", d.max_clauses),
-            max_conflicts: get("POSETRL_VALIDATE_CONFLICTS", d.max_conflicts),
+        macro_rules! get {
+            ($key:literal, $dflt:expr) => {
+                parse_env_budget($key, lookup($key).as_deref(), $dflt)?
+            };
         }
+        Ok(ValidateConfig {
+            max_paths: get!("POSETRL_VALIDATE_PATHS", d.max_paths),
+            max_block_visits: get!("POSETRL_VALIDATE_UNROLL", d.max_block_visits),
+            max_steps: get!("POSETRL_VALIDATE_STEPS", d.max_steps),
+            max_call_depth: get!("POSETRL_VALIDATE_DEPTH", d.max_call_depth),
+            max_mem_cells: get!("POSETRL_VALIDATE_CELLS", d.max_mem_cells),
+            max_path_pairs: get!("POSETRL_VALIDATE_PAIRS", d.max_path_pairs),
+            max_clauses: get!("POSETRL_VALIDATE_CLAUSES", d.max_clauses),
+            max_conflicts: get!("POSETRL_VALIDATE_CONFLICTS", d.max_conflicts),
+        })
+    }
+
+    /// [`ValidateConfig::from_vars`] over the process environment.
+    pub fn try_from_env() -> Result<Self, EnvParseError> {
+        Self::from_vars(|k| std::env::var(k).ok())
+    }
+
+    /// Like [`ValidateConfig::try_from_env`], but for callers that cannot
+    /// propagate the error (the engine hot paths): malformed knobs are
+    /// reported on stderr and the defaults are used instead. CLIs should
+    /// prefer `try_from_env` and exit with a usage error.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| {
+            eprintln!("posetrl-analyze: {e}; using the default budgets");
+            ValidateConfig::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod env_tests {
+    use super::*;
+
+    #[test]
+    fn unset_knobs_yield_the_defaults() {
+        let cfg = ValidateConfig::from_vars(|_| None).unwrap();
+        let d = ValidateConfig::default();
+        assert_eq!(cfg.max_paths, d.max_paths);
+        assert_eq!(cfg.max_block_visits, d.max_block_visits);
+        assert_eq!(cfg.max_steps, d.max_steps);
+        assert_eq!(cfg.max_conflicts, d.max_conflicts);
+    }
+
+    #[test]
+    fn well_formed_knobs_override_their_field_only() {
+        let cfg =
+            ValidateConfig::from_vars(|k| (k == "POSETRL_VALIDATE_PATHS").then(|| "7".to_string()))
+                .unwrap();
+        assert_eq!(cfg.max_paths, 7);
+        assert_eq!(cfg.max_steps, ValidateConfig::default().max_steps);
+    }
+
+    #[test]
+    fn malformed_knob_is_a_structured_error() {
+        let e = ValidateConfig::from_vars(|k| {
+            (k == "POSETRL_VALIDATE_STEPS").then(|| "lots".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(e.key, "POSETRL_VALIDATE_STEPS");
+        assert_eq!(e.value, "lots");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("POSETRL_VALIDATE_STEPS") && msg.contains("lots"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn negative_and_empty_budgets_are_rejected() {
+        assert!(ValidateConfig::from_vars(|k| {
+            (k == "POSETRL_VALIDATE_CELLS").then(|| "-3".to_string())
+        })
+        .is_err());
+        assert!(ValidateConfig::from_vars(|k| {
+            (k == "POSETRL_VALIDATE_PAIRS").then(String::new)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn surrounding_whitespace_is_tolerated() {
+        let cfg = ValidateConfig::from_vars(|k| {
+            (k == "POSETRL_VALIDATE_UNROLL").then(|| " 12 ".to_string())
+        })
+        .unwrap();
+        assert_eq!(cfg.max_block_visits, 12);
     }
 }

@@ -53,8 +53,8 @@ fn main() {
             }
             "--sanitize" => {
                 let v = it.next().unwrap_or_default();
-                sanitize = SanitizeLevel::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown sanitize level '{v}' (off|verify|validate|full)");
+                sanitize = SanitizeLevel::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 });
             }
@@ -63,7 +63,7 @@ fn main() {
                     "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|validate|full] <experiment>..."
                 );
                 println!(
-                    "experiments: table1 table2 table3 odgstats fig1 table4 table5 fig5 table6"
+                    "experiments: table1 table2 table3 odgstats absintstats fig1 table4 table5 fig5 table6"
                 );
                 println!("             enginestats ablate-reward ablate-ddqn ablate-actions");
                 println!("             ablate-embed all");
@@ -75,12 +75,13 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
         "table1",
         "table2",
         "table3",
         "odgstats",
+        "absintstats",
         "fig1",
         "table4",
         "table5",
@@ -114,6 +115,14 @@ fn main() {
     if want("odgstats") {
         let s = experiments::odg_stats();
         emit("odgstats", &s.render(), &serde_json::to_value(&s).unwrap());
+    }
+    if want("absintstats") {
+        let s = experiments::absint_stats();
+        emit(
+            "absintstats",
+            &s.render(),
+            &serde_json::to_value(&s).unwrap(),
+        );
     }
     if want("fig1") {
         let f = experiments::fig1(scale);

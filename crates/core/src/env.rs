@@ -67,6 +67,13 @@ pub struct EnvConfig {
     /// finding panics the episode — the RL loop must never learn from
     /// corrupted rewards.
     pub sanitize: SanitizeLevel,
+    /// Appends the AutoPhase-style static feature vector
+    /// (`posetrl_analyze::absint::features`, `FEATURE_DIM` extra dims) to
+    /// every state. The features are a pure function of the module, so the
+    /// extended state stays memoizable: with a cache attached it is stored
+    /// under the same structural `module_hash` with a distinct encoding
+    /// tag, keeping parallel training bit-deterministic.
+    pub static_features: bool,
 }
 
 impl Default for EnvConfig {
@@ -78,6 +85,7 @@ impl Default for EnvConfig {
             arch: TargetArch::X86_64,
             encoding: StateEncoding::Ir2Vec,
             sanitize: SanitizeLevel::Off,
+            static_features: false,
         }
     }
 }
@@ -232,7 +240,9 @@ impl PhaseEnv {
 
     /// Encodes `m` (hashed `h`) into a state, memoized when caching.
     fn encode_memo(&self, h: Option<ModuleHash>, m: &Module) -> Vec<f64> {
-        let enc = self.config.encoding as u8;
+        // the high bit distinguishes feature-extended embeddings from plain
+        // ones under the same module hash
+        let enc = self.config.encoding as u8 | if self.config.static_features { 0x80 } else { 0 };
         if let (Some(cache), Some(h)) = (&self.cache, h) {
             if let Some(v) = cache.get_embed(h, enc) {
                 return (*v).clone();
@@ -362,15 +372,24 @@ impl PhaseEnv {
 
     /// Encodes a module into the RL state per the configured encoding.
     pub fn encode(&self, m: &Module) -> Vec<f64> {
-        match self.config.encoding {
+        let mut v = match self.config.encoding {
             StateEncoding::Ir2Vec => self.embedder.embed_module(m),
             StateEncoding::Histogram => histogram_state(m, self.embedder.dim()),
+        };
+        if self.config.static_features {
+            v.extend_from_slice(&posetrl_analyze::absint::features::module_features(m));
         }
+        v
     }
 
     /// State dimensionality.
     pub fn state_dim(&self) -> usize {
-        self.embedder.dim()
+        let extra = if self.config.static_features {
+            posetrl_analyze::absint::features::FEATURE_DIM
+        } else {
+            0
+        };
+        self.embedder.dim() + extra
     }
 }
 
@@ -481,6 +500,40 @@ mod tests {
         let v = env.encode(&m);
         assert_eq!(v.len(), env.state_dim());
         assert!(v.iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn static_features_extend_the_state() {
+        use crate::cache::EvalCache;
+        let cfg = EnvConfig {
+            static_features: true,
+            episode_len: 2,
+            ..EnvConfig::default()
+        };
+        let base = PhaseEnv::new(EnvConfig::default(), ActionSet::manual());
+        let mut env = PhaseEnv::new(cfg.clone(), ActionSet::manual());
+        assert_eq!(
+            env.state_dim(),
+            base.state_dim() + posetrl_analyze::absint::features::FEATURE_DIM
+        );
+        let s0 = env.reset(program(4));
+        assert_eq!(s0.len(), env.state_dim());
+        // the appended tail is the module's feature vector
+        let feats = posetrl_analyze::absint::features::module_features(env.module());
+        assert_eq!(&s0[base.state_dim()..], &feats[..]);
+
+        // cached and uncached encodings agree bit-for-bit, and the
+        // feature-extended embedding does not collide with the plain one
+        let mut cached = PhaseEnv::with_cache(
+            cfg,
+            ActionSet::manual(),
+            std::sync::Arc::new(EvalCache::with_capacity(256)),
+        );
+        let c0 = cached.reset(program(4));
+        assert_eq!(s0, c0);
+        let r_plain = PhaseEnv::new(EnvConfig::default(), ActionSet::manual()).reset(program(4));
+        assert_eq!(r_plain.len() + feats.len(), c0.len());
+        assert_eq!(&c0[..r_plain.len()], &r_plain[..]);
     }
 
     #[test]

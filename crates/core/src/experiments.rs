@@ -539,6 +539,94 @@ impl OdgStats {
 }
 
 // ---------------------------------------------------------------------------
+// Abstract-interpretation statistics (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// Corpus-wide statistics of the interprocedural abstract interpreter:
+/// lint counts, `rangeopt` fire rate and the static feature vector's
+/// per-dimension means over the training suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbsintStats {
+    /// Modules analyzed.
+    pub modules: usize,
+    /// Diagnostics per lint code over the whole corpus.
+    pub lint_counts: Vec<(String, usize)>,
+    /// Modules where `rangeopt` changed at least one instruction.
+    pub rangeopt_changed: usize,
+    /// Static feature dimensionality ([`posetrl_analyze::absint::features::FEATURE_DIM`]).
+    pub feature_dim: usize,
+    /// Per-dimension mean of the feature vector over the corpus.
+    pub feature_means: Vec<f64>,
+}
+
+/// Computes [`AbsintStats`] over the training suite.
+pub fn absint_stats() -> AbsintStats {
+    use posetrl_analyze::absint;
+    let pm = PassManager::new();
+    let suite = training_suite();
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut sums = vec![0.0f64; absint::features::FEATURE_DIM];
+    let mut changed = 0usize;
+    for b in &suite {
+        let mut diags = Vec::new();
+        absint::check(&b.module, &mut diags);
+        for d in &diags {
+            *counts.entry(d.code.to_string()).or_default() += 1;
+        }
+        for (s, x) in sums
+            .iter_mut()
+            .zip(absint::features::module_features(&b.module))
+        {
+            *s += x;
+        }
+        let mut m = b.module.clone();
+        if pm
+            .run_pass(&mut m, "rangeopt")
+            .expect("rangeopt is registered")
+        {
+            changed += 1;
+        }
+    }
+    let n = suite.len().max(1) as f64;
+    AbsintStats {
+        modules: suite.len(),
+        lint_counts: counts.into_iter().collect(),
+        rangeopt_changed: changed,
+        feature_dim: absint::features::FEATURE_DIM,
+        feature_means: sums.into_iter().map(|s| s / n).collect(),
+    }
+}
+
+impl AbsintStats {
+    /// Renders the statistics as text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "absint: {} modules, rangeopt changed {} ({:.1}%)",
+            self.modules,
+            self.rangeopt_changed,
+            100.0 * self.rangeopt_changed as f64 / self.modules.max(1) as f64
+        );
+        for (code, n) in &self.lint_counts {
+            let _ = writeln!(s, "  {code}: {n}");
+        }
+        let means: Vec<String> = self
+            .feature_means
+            .iter()
+            .map(|x| format!("{x:.3}"))
+            .collect();
+        let _ = writeln!(
+            s,
+            "feature means ({}d): [{}]",
+            self.feature_dim,
+            means.join(", ")
+        );
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ablations (DESIGN.md §5)
 // ---------------------------------------------------------------------------
 

@@ -51,8 +51,8 @@ fn main() {
         } else if a == "--sanitize" {
             level = SanitizeLevel::Full;
         } else if let Some(l) = a.strip_prefix("--sanitize=") {
-            level = SanitizeLevel::parse(l).unwrap_or_else(|| {
-                eprintln!("mini-opt: unknown sanitize level '{l}' (off|verify|validate|full)");
+            level = SanitizeLevel::parse(l).unwrap_or_else(|e| {
+                eprintln!("mini-opt: {e}");
                 std::process::exit(exit_codes::USAGE);
             });
         } else if let Some(p) = pipelines::by_name(&a) {
@@ -87,6 +87,17 @@ fn main() {
     };
     if let Err(e) = posetrl_ir::verifier::verify_module(&module) {
         eprintln!("mini-opt: input does not verify: {e}");
+        std::process::exit(exit_codes::USAGE);
+    }
+
+    // fail fast on malformed POSETRL_* knobs instead of silently
+    // sanitizing with the defaults
+    if let Err(e) = posetrl_analyze::check_sanitize_env() {
+        eprintln!("mini-opt: {e}");
+        std::process::exit(exit_codes::USAGE);
+    }
+    if let Err(e) = posetrl_analyze::ValidateConfig::try_from_env() {
+        eprintln!("mini-opt: {e}");
         std::process::exit(exit_codes::USAGE);
     }
 

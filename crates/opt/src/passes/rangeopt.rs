@@ -1,0 +1,345 @@
+//! `-rangeopt`: range-guided simplification driven by the interprocedural
+//! abstract interpreter (`posetrl_analyze::absint`).
+//!
+//! The pass analyzes the whole module once (known-bits + intervals +
+//! nullness, with argument/return summaries across the call graph) and then
+//! performs only rewrites the facts prove:
+//!
+//! - **constant materialization** — a pure integer instruction whose fact is
+//!   a singleton has its uses replaced by the constant;
+//! - **branch folding** — a `condbr` whose condition is proven constant
+//!   becomes an unconditional `br` (dropping the dead edge's phi incomings);
+//! - **select folding** — a `select` with a proven condition forwards the
+//!   live arm to its uses;
+//! - **mask elision** — `and x, m` forwards `x` when every bit cleared by
+//!   `m` is already a known zero of `x`;
+//! - **sign-extension narrowing** — `sext` of a proven non-negative value
+//!   becomes `zext` (identical results, cheaper lowering and friendlier to
+//!   later narrowing).
+//!
+//! Facts derived from argument summaries specialize internal functions to
+//! their observed call sites, exactly like `ipsccp`; the `validate`
+//! sanitizer level discharges each application (per-function refutations on
+//! internal helpers escalate to module-entry replay).
+
+use crate::util::{dce_sweep, remove_unreachable_blocks, simplify_trivial_phis};
+use crate::Pass;
+use posetrl_analyze::absint::{analyze_module, domain::AbsVal, FuncFacts};
+use posetrl_ir::{Const, Function, Module, Op, Ty, Value};
+use std::collections::HashSet;
+
+/// The `rangeopt` pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangeOpt;
+
+impl Pass for RangeOpt {
+    fn name(&self) -> &'static str {
+        "rangeopt"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mi = analyze_module(module);
+        let snapshot = module.clone();
+        let mut changed = false;
+        module.for_each_body(|fid, f| {
+            let Some(facts) = mi.facts(fid) else { return };
+            let mut local = rewrite_function(f, facts);
+            if local {
+                local |= simplify_trivial_phis(f);
+                local |= remove_unreachable_blocks(f);
+                dce_sweep(&snapshot, f);
+            }
+            changed |= local;
+        });
+        changed
+    }
+}
+
+/// The fact of `v` in `f`, as computed by the module analysis.
+fn fact_of(facts: &FuncFacts, v: Value) -> AbsVal {
+    match v {
+        Value::Inst(id) => facts.value(id),
+        Value::Const(c) => AbsVal::of_const(c),
+        _ => AbsVal::Top,
+    }
+}
+
+fn rewrite_function(f: &mut Function, facts: &FuncFacts) -> bool {
+    let mut changed = false;
+    let reachable: Vec<_> = facts.reachable.clone();
+    let reachable_set: HashSet<_> = reachable.iter().copied().collect();
+
+    for &b in &reachable {
+        let Some(block) = f.block(b) else { continue };
+        for id in block.insts.clone() {
+            let op = f.op(id).clone();
+            match &op {
+                // constant materialization: pure integer singleton
+                Op::Bin { .. }
+                | Op::Icmp { .. }
+                | Op::Select { .. }
+                | Op::Cast { .. }
+                | Op::Phi { .. }
+                | Op::Call { .. } => {
+                    let ty = op.result_ty();
+                    if matches!(ty, Ty::I1 | Ty::I8 | Ty::I32 | Ty::I64) {
+                        if let Some(v) = facts.value(id).singleton() {
+                            if has_uses(f, id) {
+                                f.replace_all_uses(
+                                    Value::Inst(id),
+                                    Value::Const(Const::int(ty, v)),
+                                );
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                    // select folding: proven condition, non-singleton arms
+                    if let Op::Select {
+                        cond, tval, fval, ..
+                    } = &op
+                    {
+                        if let Some(c) = fact_of(facts, *cond).singleton() {
+                            let arm = if c != 0 { *tval } else { *fval };
+                            if has_uses(f, id) {
+                                f.replace_all_uses(Value::Inst(id), arm);
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                    // mask elision: and x, m == x when m keeps every
+                    // possibly-set bit of x
+                    if let Op::Bin {
+                        op: posetrl_ir::BinOp::And,
+                        lhs,
+                        rhs,
+                        ..
+                    } = &op
+                    {
+                        for (x, m) in [(*lhs, *rhs), (*rhs, *lhs)] {
+                            let (Some(xf), Some(mf)) = (
+                                fact_of(facts, x).as_int().copied(),
+                                fact_of(facts, m).as_int().copied(),
+                            ) else {
+                                continue;
+                            };
+                            // bits not known-one in the mask must be known
+                            // zeros of x
+                            if (!mf.bits.ones & !xf.bits.zeros) == 0 && has_uses(f, id) {
+                                f.replace_all_uses(Value::Inst(id), x);
+                                changed = true;
+                                break;
+                            }
+                        }
+                    }
+                    // sext of a proven non-negative value is a zext
+                    if let Op::Cast {
+                        kind: posetrl_ir::CastKind::SExt,
+                        val,
+                        ..
+                    } = &op
+                    {
+                        let nonneg = fact_of(facts, *val)
+                            .as_int()
+                            .map(|i| i.non_negative())
+                            .unwrap_or(false);
+                        if nonneg {
+                            if let Op::Cast { kind, .. } = &mut f.inst_mut(id).unwrap().op {
+                                *kind = posetrl_ir::CastKind::ZExt;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // branch folding on proven (non-literal) conditions; literal constants
+    // are simplifycfg's job but folding them here too is harmless
+    for &b in &reachable {
+        let Some(term) = f.terminator(b) else {
+            continue;
+        };
+        let Op::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.op(term).clone()
+        else {
+            continue;
+        };
+        if then_bb == else_bb {
+            continue;
+        }
+        let Some(c) = fact_of(facts, cond).singleton() else {
+            continue;
+        };
+        let (taken, dropped) = if c != 0 {
+            (then_bb, else_bb)
+        } else {
+            (else_bb, then_bb)
+        };
+        if !reachable_set.contains(&taken) {
+            continue;
+        }
+        f.inst_mut(term).unwrap().op = Op::Br { target: taken };
+        f.remove_phi_incoming(dropped, b);
+        changed = true;
+    }
+    changed
+}
+
+/// `true` when any instruction in `f` uses `id`.
+fn has_uses(f: &Function, id: posetrl_ir::InstId) -> bool {
+    let needle = Value::Inst(id);
+    f.inst_ids()
+        .into_iter()
+        .any(|i| f.op(i).operands().contains(&needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+
+    #[test]
+    fn folds_range_proven_comparison_and_branch() {
+        // %r = srem x, 4 is in [-3, 3], so %r < 100 is provably true
+        let m = assert_preserves(
+            r#"
+module "t"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = srem i64 %arg0, 4:i64
+  %1 = icmp slt i64 %0, 100:i64
+  condbr %1, bb1, bb2
+bb1:
+  ret %0
+bb2:
+  ret 0:i64
+}
+"#,
+            &["rangeopt"],
+            &[
+                vec![RtVal::Int(7)],
+                vec![RtVal::Int(-9)],
+                vec![RtVal::Int(0)],
+            ],
+        );
+        assert_eq!(count_ops(&m, "condbr"), 0, "branch folded");
+        assert_eq!(count_ops(&m, "icmp"), 0, "decided compare swept");
+    }
+
+    #[test]
+    fn materializes_singletons_through_calls() {
+        let m = assert_preserves(
+            r#"
+module "t"
+
+fn @five() -> i64 internal {
+bb0:
+  ret 5:i64
+}
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = call @five() -> i64
+  %1 = add i64 %0, 1:i64
+  ret %1
+}
+"#,
+            &["rangeopt"],
+            &[],
+        );
+        assert_eq!(count_ops(&m, "add"), 0, "call result folded into uses");
+    }
+
+    #[test]
+    fn elides_redundant_mask() {
+        // srem x, 8 then (via select on sign) a value in [0,7]: and with 7
+        // keeps every possibly-set bit
+        let m = assert_preserves(
+            r#"
+module "t"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 7:i64
+  %1 = and i64 %0, 15:i64
+  ret %1
+}
+"#,
+            &["rangeopt"],
+            &[vec![RtVal::Int(13)], vec![RtVal::Int(-2)]],
+        );
+        assert_eq!(count_ops(&m, "and"), 1, "outer mask elided: {m:?}");
+    }
+
+    #[test]
+    fn narrows_sign_extension_of_nonnegative() {
+        let m = assert_preserves(
+            r#"
+module "t"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 127:i64
+  %1 = trunc %0 to i8
+  %2 = sext %1 to i64
+  ret %2
+}
+"#,
+            &["rangeopt"],
+            &[vec![RtVal::Int(100)], vec![RtVal::Int(-1)]],
+        );
+        assert_eq!(count_ops(&m, "sext"), 0, "sext narrowed to zext");
+        assert_eq!(count_ops(&m, "zext"), 1);
+    }
+
+    #[test]
+    fn folds_select_with_proven_condition() {
+        let m = assert_preserves(
+            r#"
+module "t"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = srem i64 %arg0, 4:i64
+  %1 = icmp slt i64 %0, 50:i64
+  %2 = select i64 %1, %arg0, 0:i64
+  ret %2
+}
+"#,
+            &["rangeopt"],
+            &[vec![RtVal::Int(3)], vec![RtVal::Int(-11)]],
+        );
+        assert_eq!(count_ops(&m, "select"), 0, "select folded: {m:?}");
+    }
+
+    #[test]
+    fn leaves_undecidable_code_alone() {
+        let text = r#"
+module "t"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = icmp slt i64 %arg0, 10:i64
+  condbr %0, bb1, bb2
+bb1:
+  ret 1:i64
+bb2:
+  ret 2:i64
+}
+"#;
+        let m = assert_preserves(
+            text,
+            &["rangeopt"],
+            &[vec![RtVal::Int(3)], vec![RtVal::Int(30)]],
+        );
+        assert_eq!(count_ops(&m, "condbr"), 1, "nothing provable, no change");
+    }
+}

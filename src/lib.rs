@@ -1,6 +1,8 @@
 //! Umbrella crate re-exporting the POSET-RL workspace for the examples and
 //! integration tests that live at the repository root.
 
+pub mod test_support;
+
 pub use posetrl;
 pub use posetrl_embed as embed;
 pub use posetrl_ir as ir;

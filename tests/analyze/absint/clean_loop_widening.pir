@@ -1,0 +1,20 @@
+; expect:
+; False-positive guard: the loop counter widens to top but nothing in
+; the body is provably wrong, so the file stays clean.
+module "clean_loop_widening"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %c = icmp slt i64 %i, %arg0
+  condbr %c, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}

@@ -1,0 +1,23 @@
+; expect:
+; False-positive guard: the divisor is in [1, 8] (never zero), the gep
+; offset is in [0, 7] (in bounds for 8 elements) and the branch is
+; genuinely undecidable.
+module "clean_ranges"
+
+global @tbl : i64 x 8 const internal = [0:i64, 1:i64, 2:i64, 3:i64, 4:i64, 5:i64, 6:i64, 7:i64]
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 7:i64
+  %1 = add i64 %0, 1:i64
+  %2 = srem i64 %arg0, %1
+  %3 = gep i64, @tbl, %0
+  %4 = load i64, %3
+  %5 = add i64 %2, %4
+  %6 = icmp slt i64 %5, 20:i64
+  condbr %6, bb1, bb2
+bb1:
+  ret %5
+bb2:
+  ret 0:i64
+}

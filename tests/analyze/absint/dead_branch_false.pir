@@ -1,0 +1,15 @@
+; expect: dead-branch
+; A masked value is in [0, 15], so `> 100` is provably false and the
+; then edge can never run.
+module "dead_branch_false"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 15:i64
+  %1 = icmp sgt i64 %0, 100:i64
+  condbr %1, bb1, bb2
+bb1:
+  ret 1:i64
+bb2:
+  ret %0
+}

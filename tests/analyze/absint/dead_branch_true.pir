@@ -1,0 +1,15 @@
+; expect: dead-branch
+; A masked value is in [0, 7], so `< 8` is provably true and the else
+; edge can never run.
+module "dead_branch_true"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 7:i64
+  %1 = icmp slt i64 %0, 8:i64
+  condbr %1, bb1, bb2
+bb1:
+  ret %0
+bb2:
+  ret 0:i64
+}

@@ -1,0 +1,9 @@
+; expect: null-deref
+; Loading through a literal null pointer.
+module "null_load"
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = load i64, null
+  ret %0
+}

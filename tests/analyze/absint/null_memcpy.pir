@@ -1,0 +1,12 @@
+; expect: null-deref
+; memcpy with a provably null destination (the source is a real buffer).
+module "null_memcpy"
+
+global @src : i64 x 4 internal = [1:i64, 2:i64, 3:i64, 4:i64]
+
+fn @main() -> i64 internal {
+bb0:
+  %0 = gep i64, @src, 0:i64
+  memcpy i64 null, %0, 2:i64
+  ret 0:i64
+}

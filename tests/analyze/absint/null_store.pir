@@ -1,0 +1,18 @@
+; expect: null-deref
+; The phi merges two null incomings: the store target is provably null
+; whichever path ran.
+module "null_store"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %p = phi ptr [bb1: null], [bb2: null]
+  store i64 7:i64, %p
+  ret 0:i64
+}

@@ -1,0 +1,16 @@
+; expect: range-trap
+; The masked index is in [0, 3]; adding 4 puts every possible offset
+; outside the 4-element allocation. The index is not a constant chain,
+; so this is absint's finding, not const-oob's.
+module "oob_load"
+
+global @tbl : i64 x 4 const internal = [1:i64, 2:i64, 3:i64, 4:i64]
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 3:i64
+  %1 = add i64 %0, 4:i64
+  %2 = gep i64, @tbl, %1
+  %3 = load i64, %2
+  ret %3
+}

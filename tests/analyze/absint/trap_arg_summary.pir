@@ -1,0 +1,16 @@
+; expect: range-trap
+; The internal helper is only ever called with divisor 0; the round-two
+; argument summaries specialize it to its call sites and prove the trap.
+module "trap_arg_summary"
+
+fn @div(i64, i64) -> i64 internal {
+bb0:
+  %0 = sdiv i64 %arg0, %arg1
+  ret %0
+}
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = call @div(%arg0, 0:i64) -> i64
+  ret %0
+}

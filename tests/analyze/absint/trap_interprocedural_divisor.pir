@@ -1,0 +1,16 @@
+; expect: range-trap
+; The callee's return summary (exactly 0) flows through the call graph
+; into the caller's divisor.
+module "trap_interprocedural_divisor"
+
+fn @zero() -> i64 internal {
+bb0:
+  ret 0:i64
+}
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = call @zero() -> i64
+  %1 = sdiv i64 %arg0, %0
+  ret %1
+}

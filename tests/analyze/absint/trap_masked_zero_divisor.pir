@@ -1,0 +1,10 @@
+; expect: range-trap
+; `and x, 0` has every bit known zero: the srem divisor is exactly 0.
+module "trap_masked_zero_divisor"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = and i64 %arg0, 0:i64
+  %1 = srem i64 %arg0, %0
+  ret %1
+}

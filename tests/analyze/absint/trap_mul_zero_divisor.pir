@@ -1,0 +1,11 @@
+; expect: range-trap
+; Multiplying by zero collapses the interval to the singleton 0, so the
+; sdiv divisor is provably zero for every input.
+module "trap_mul_zero_divisor"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %0 = mul i64 %arg0, 0:i64
+  %1 = sdiv i64 %arg0, %0
+  ret %1
+}

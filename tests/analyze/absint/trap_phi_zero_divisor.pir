@@ -1,0 +1,18 @@
+; expect: range-trap
+; Both phi incomings are 0; the join keeps the singleton across the
+; control-flow merge.
+module "trap_phi_zero_divisor"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %p = phi i64 [bb1: 0:i64], [bb2: 0:i64]
+  %r = srem i64 %arg0, %p
+  ret %r
+}

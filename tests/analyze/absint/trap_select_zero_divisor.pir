@@ -1,0 +1,12 @@
+; expect: range-trap
+; The select condition is unknown but both arms are 0, so the joined
+; fact is still the singleton 0.
+module "trap_select_zero_divisor"
+
+fn @main(i64) -> i64 internal {
+bb0:
+  %c = icmp slt i64 %arg0, 10:i64
+  %s = select i64 %c, 0:i64, 0:i64
+  %r = sdiv i64 %arg0, %s
+  ret %r
+}

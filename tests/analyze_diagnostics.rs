@@ -22,6 +22,7 @@ use posetrl_ir::interp::Interpreter;
 use posetrl_ir::parser::parse_module;
 use posetrl_ir::Module;
 use posetrl_opt::manager::PassManager;
+use posetrl_suite::test_support::{corpus_files, expected_codes};
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -29,30 +30,10 @@ use std::path::Path;
 // 1. golden corpus
 // ---------------------------------------------------------------------------
 
-/// Reads the `; expect:` header of a corpus file (empty set = clean).
-fn expected_codes(text: &str) -> BTreeSet<String> {
-    for line in text.lines() {
-        if let Some(rest) = line.strip_prefix("; expect:") {
-            return rest
-                .split(',')
-                .map(|c| c.trim().to_string())
-                .filter(|c| !c.is_empty())
-                .collect();
-        }
-    }
-    panic!("corpus file is missing its '; expect:' header");
-}
-
 #[test]
 fn golden_corpus_produces_exactly_the_expected_codes() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/analyze");
-    let mut files: Vec<_> = std::fs::read_dir(&dir)
-        .expect("tests/analyze exists")
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "pir"))
-        .collect();
-    files.sort();
+    let files = corpus_files(&dir, ".pir");
     assert!(files.len() >= 10, "corpus has at least 10 modules");
 
     let san = Sanitizer::new(SanitizeLevel::Verify);

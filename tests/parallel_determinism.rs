@@ -32,13 +32,16 @@ fn engine_cfg(workers: usize, cache: bool) -> EngineConfig {
 
 /// One full quick training run; returns everything identity-relevant.
 fn run(workers: usize, cache: bool, programs: &[Benchmark]) -> (Vec<u64>, String, Vec<Vec<usize>>) {
+    run_with(engine_cfg(workers, cache), workers, programs)
+}
+
+fn run_with(
+    cfg: EngineConfig,
+    workers: usize,
+    programs: &[Benchmark],
+) -> (Vec<u64>, String, Vec<Vec<usize>>) {
     let valset = &programs[..3];
-    let (model, report) = train_parallel(
-        &engine_cfg(workers, cache),
-        ActionSet::odg(),
-        programs,
-        valset,
-    );
+    let (model, report) = train_parallel(&cfg, ActionSet::odg(), programs, valset);
     assert_eq!(report.workers, workers.max(1));
     let greedy: Vec<Vec<usize>> = programs
         .iter()
@@ -78,6 +81,48 @@ fn training_is_bit_identical_with_cache_disabled() {
     assert_eq!(rewards_on, rewards_off, "the cache must be invisible");
     assert_eq!(weights_on, weights_off);
     assert_eq!(greedy_on, greedy_off);
+}
+
+#[test]
+fn training_with_static_features_is_bit_identical() {
+    // the absint feature vector rides along in the state: it must not cost
+    // any determinism, for any worker count, with the cache on or off
+    let programs = training_suite();
+    let run_sf = |workers: usize, cache: bool| {
+        let mut cfg = engine_cfg(workers, cache);
+        cfg.trainer.env.static_features = true;
+        run_with(cfg, workers, &programs)
+    };
+    let (rewards1, weights1, greedy1) = run_sf(1, true);
+    assert!(!rewards1.is_empty());
+    for (workers, cache) in [(2, true), (8, true), (1, false), (2, false), (8, false)] {
+        let (rewards, weights, greedy) = run_sf(workers, cache);
+        assert_eq!(
+            rewards1, rewards,
+            "episode rewards diverged (workers={workers}, cache={cache})"
+        );
+        assert_eq!(
+            weights1, weights,
+            "weights diverged (workers={workers}, cache={cache})"
+        );
+        assert_eq!(
+            greedy1, greedy,
+            "greedy pipeline diverged (workers={workers}, cache={cache})"
+        );
+    }
+    // feature-extended states really are wider than plain ones
+    let plain = posetrl::env::PhaseEnv::new(posetrl::env::EnvConfig::default(), ActionSet::odg());
+    let extended = posetrl::env::PhaseEnv::new(
+        posetrl::env::EnvConfig {
+            static_features: true,
+            ..posetrl::env::EnvConfig::default()
+        },
+        ActionSet::odg(),
+    );
+    assert_eq!(
+        extended.state_dim(),
+        plain.state_dim() + posetrl_analyze::absint::features::FEATURE_DIM
+    );
 }
 
 #[test]

@@ -12,22 +12,8 @@
 
 use posetrl_analyze::{validate_transform, ValidateConfig, Verdict};
 use posetrl_ir::parser::parse_module;
+use posetrl_suite::test_support::{corpus_files, expected_verdict};
 use std::path::{Path, PathBuf};
-
-/// Reads the `; expect:` header of a target file.
-fn expected_verdict(text: &str) -> String {
-    for line in text.lines() {
-        if let Some(rest) = line.strip_prefix("; expect:") {
-            let v = rest.trim().to_string();
-            assert!(
-                matches!(v.as_str(), "proved" | "refuted" | "inconclusive"),
-                "unknown expected verdict '{v}'"
-            );
-            return v;
-        }
-    }
-    panic!("target file is missing its '; expect:' header");
-}
 
 /// Collapses a module validation to the corpus verdict word: any
 /// refutation dominates, then any inconclusive, else proved.
@@ -44,11 +30,8 @@ fn overall(mv: &posetrl_analyze::ModuleValidation) -> &'static str {
 #[test]
 fn validate_golden_pairs_match_their_expected_verdicts() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/analyze/validate");
-    let mut pairs: Vec<(String, PathBuf, PathBuf)> = std::fs::read_dir(&dir)
-        .expect("tests/analyze/validate exists")
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.to_string_lossy().ends_with(".src.pir"))
+    let mut pairs: Vec<(String, PathBuf, PathBuf)> = corpus_files(&dir, ".src.pir")
+        .into_iter()
         .map(|src| {
             let stem = src
                 .file_name()
