@@ -14,6 +14,7 @@
 //!   fig5        per-benchmark runtime & size series (Fig. 5)
 //!   table6      predicted sub-sequences (Table VI)
 //!   enginestats parallel episode engine: sweep timings + cache hit rate
+//!   servestats  posetrl-serve load bench: 1/8/64 clients, p50/p99, hit rates
 //!   ablate-reward | ablate-ddqn | ablate-actions | ablate-embed
 //!   all         everything above
 //! ```
@@ -65,7 +66,9 @@ fn main() {
                 println!(
                     "experiments: table1 table2 table3 odgstats absintstats fig1 table4 table5 fig5 table6"
                 );
-                println!("             enginestats ablate-reward ablate-ddqn ablate-actions");
+                println!(
+                    "             enginestats servestats ablate-reward ablate-ddqn ablate-actions"
+                );
                 println!("             ablate-embed all");
                 return;
             }
@@ -75,7 +78,7 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "all",
         "table1",
         "table2",
@@ -88,6 +91,7 @@ fn main() {
         "fig5",
         "table6",
         "enginestats",
+        "servestats",
         "ablate-reward",
         "ablate-ddqn",
         "ablate-actions",
@@ -135,6 +139,15 @@ fn main() {
             &s.render(),
             &serde_json::to_value(&s).unwrap(),
         );
+    }
+    if want("servestats") {
+        match posetrl_serve::servestats() {
+            Ok((text, json)) => emit("servestats", &text, &json),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     // trained experiments share one context

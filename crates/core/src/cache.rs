@@ -17,9 +17,13 @@
 //! printed form, so a hit returns bit-identical data to recomputation —
 //! the determinism contract `tests/parallel_determinism.rs` locks down.
 //!
-//! The cache is shared across worker threads (`parking_lot`-style mutex
-//! around a FIFO-evicting map) and keeps hit/miss/eviction counters per
-//! class, surfaced through the trainer's episode log.
+//! The cache is shared across worker threads and internally **sharded** by
+//! the module hash: each shard owns a `parking_lot`-style mutex around a
+//! FIFO-evicting map plus its own hit/miss/eviction counters, so
+//! `posetrl-serve` can route whole requests to the shard that owns their
+//! module and report shard balance. [`EvalCache::with_capacity`] keeps the
+//! original single-shard behaviour (one global FIFO); [`EvalCache::sharded`]
+//! splits the capacity across a fixed shard count.
 
 use parking_lot::Mutex;
 use posetrl_ir::{Module, ModuleHash};
@@ -74,6 +78,16 @@ impl Key {
             Key::Embed { .. } => CacheClass::Embed,
         }
     }
+
+    /// The module hash a key routes on: every key derived from the same
+    /// module state lands in the same shard.
+    fn route(&self) -> ModuleHash {
+        match self {
+            Key::Step { pre, .. } => *pre,
+            Key::Measure { h, .. } => *h,
+            Key::Embed { h, .. } => *h,
+        }
+    }
 }
 
 /// A memoized environment step: the module after applying one action.
@@ -109,6 +123,45 @@ struct Inner {
     fifo: VecDeque<Key>,
 }
 
+/// One shard: its own map, FIFO queue, and counters.
+#[derive(Debug)]
+struct Shard {
+    inner: Mutex<Inner>,
+    hits: [AtomicU64; 3],
+    misses: [AtomicU64; 3],
+    evictions: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            inner: Mutex::new(Inner::default()),
+            hits: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            misses: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, class: CacheClass, hit: bool) {
+        let ctr = if hit { &self.hits } else { &self.misses };
+        ctr[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        CacheStats {
+            step_hits: load(&self.hits[CacheClass::Step.index()]),
+            step_misses: load(&self.misses[CacheClass::Step.index()]),
+            measure_hits: load(&self.hits[CacheClass::Measure.index()]),
+            measure_misses: load(&self.misses[CacheClass::Measure.index()]),
+            embed_hits: load(&self.hits[CacheClass::Embed.index()]),
+            embed_misses: load(&self.misses[CacheClass::Embed.index()]),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().map.len() as u64,
+        }
+    }
+}
+
 /// Point-in-time counter snapshot (per class and total).
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -141,6 +194,11 @@ impl CacheStats {
         self.step_misses + self.measure_misses + self.embed_misses
     }
 
+    /// Total lookups (hits + misses) across classes.
+    pub fn total_lookups(&self) -> u64 {
+        self.total_hits() + self.total_misses()
+    }
+
     /// Overall hit rate in `[0, 1]` (0 when no lookups happened).
     pub fn hit_rate(&self) -> f64 {
         let h = self.total_hits();
@@ -149,6 +207,20 @@ impl CacheStats {
             0.0
         } else {
             h as f64 / total as f64
+        }
+    }
+
+    /// Componentwise sum of two snapshots.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            step_hits: self.step_hits + other.step_hits,
+            step_misses: self.step_misses + other.step_misses,
+            measure_hits: self.measure_hits + other.measure_hits,
+            measure_misses: self.measure_misses + other.measure_misses,
+            embed_hits: self.embed_hits + other.embed_hits,
+            embed_misses: self.embed_misses + other.embed_misses,
+            evictions: self.evictions + other.evictions,
+            entries: self.entries + other.entries,
         }
     }
 
@@ -174,11 +246,8 @@ impl CacheStats {
 /// The shared evaluation cache.
 #[derive(Debug)]
 pub struct EvalCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
-    hits: [AtomicU64; 3],
-    misses: [AtomicU64; 3],
-    evictions: AtomicU64,
+    shards: Box<[Shard]>,
+    shard_capacity: usize,
 }
 
 impl EvalCache {
@@ -186,14 +255,22 @@ impl EvalCache {
     /// working set at test scale without unbounded memory growth.
     pub const DEFAULT_CAPACITY: usize = 1 << 14;
 
-    /// Creates a cache bounded to `capacity` entries (FIFO eviction).
+    /// Creates a single-shard cache bounded to `capacity` entries (FIFO
+    /// eviction over one global queue — the original PR-2 behaviour).
     pub fn with_capacity(capacity: usize) -> EvalCache {
+        EvalCache::sharded(capacity, 1)
+    }
+
+    /// Creates a cache with `shards` independent shards splitting
+    /// `total_capacity` entries between them (each shard FIFO-evicts its
+    /// own slice). Keys route by [`EvalCache::shard_of`] on their module
+    /// hash, so all entries derived from one module state share a shard.
+    pub fn sharded(total_capacity: usize, shards: usize) -> EvalCache {
+        let n = shards.max(1);
+        let per_shard = total_capacity.div_ceil(n).max(1);
         EvalCache {
-            inner: Mutex::new(Inner::default()),
-            capacity: capacity.max(1),
-            hits: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-            misses: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-            evictions: AtomicU64::new(0),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            shard_capacity: per_shard,
         }
     }
 
@@ -203,38 +280,51 @@ impl EvalCache {
         Arc::new(EvalCache::with_capacity(Self::DEFAULT_CAPACITY))
     }
 
-    /// Maximum number of entries.
+    /// Maximum number of entries across all shards.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.shard_capacity * self.shards.len()
     }
 
-    fn record(&self, class: CacheClass, hit: bool) {
-        let ctr = if hit { &self.hits } else { &self.misses };
-        ctr[class.index()].fetch_add(1, Ordering::Relaxed);
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a module hash routes to. `posetrl-serve` uses the
+    /// same function to pin whole requests to the worker owning their
+    /// module's shard.
+    pub fn shard_of(&self, h: ModuleHash) -> usize {
+        shard_index(h, self.shards.len())
+    }
+
+    fn shard_for(&self, key: &Key) -> &Shard {
+        &self.shards[shard_index(key.route(), self.shards.len())]
     }
 
     fn get(&self, key: &Key) -> Option<Entry> {
-        let inner = self.inner.lock();
+        let shard = self.shard_for(key);
+        let inner = shard.inner.lock();
         let found = inner.map.get(key).map(|e| match e {
             Entry::Step(m) => Entry::Step(Arc::clone(m)),
             Entry::Measure(m) => Entry::Measure(*m),
             Entry::Embed(v) => Entry::Embed(Arc::clone(v)),
         });
         drop(inner);
-        self.record(key.class(), found.is_some());
+        shard.record(key.class(), found.is_some());
         found
     }
 
     fn put(&self, key: Key, entry: Entry) {
-        let mut inner = self.inner.lock();
+        let shard = self.shard_for(&key);
+        let mut inner = shard.inner.lock();
         if inner.map.contains_key(&key) {
             return; // first write wins; concurrent workers computed the same value
         }
-        while inner.map.len() >= self.capacity {
+        while inner.map.len() >= self.shard_capacity {
             match inner.fifo.pop_front() {
                 Some(old) => {
                     inner.map.remove(&old);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
             }
@@ -283,20 +373,35 @@ impl EvalCache {
         self.put(Key::Embed { h, encoding }, Entry::Embed(Arc::new(v)));
     }
 
-    /// Snapshot of the counters.
-    pub fn stats(&self) -> CacheStats {
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        CacheStats {
-            step_hits: load(&self.hits[CacheClass::Step.index()]),
-            step_misses: load(&self.misses[CacheClass::Step.index()]),
-            measure_hits: load(&self.hits[CacheClass::Measure.index()]),
-            measure_misses: load(&self.misses[CacheClass::Measure.index()]),
-            embed_hits: load(&self.hits[CacheClass::Embed.index()]),
-            embed_misses: load(&self.misses[CacheClass::Embed.index()]),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().map.len() as u64,
-        }
+    /// Per-shard counter snapshots, in shard-index order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(Shard::stats).collect()
     }
+
+    /// Snapshot of the counters, aggregated over every shard.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .map(Shard::stats)
+            .fold(CacheStats::default(), |acc, s| acc.merge(&s))
+    }
+}
+
+/// Maps a module hash to a shard index in `[0, shards)`.
+///
+/// The structural hash is already well-mixed, but its low bits alone feed
+/// the modulo, so fold the halves together and run a SplitMix64 finalizer
+/// to spread any residual structure.
+fn shard_index(h: ModuleHash, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let folded = (h.0 as u64) ^ ((h.0 >> 64) as u64);
+    let mut z = folded.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
 }
 
 #[cfg(test)]
@@ -392,5 +497,83 @@ mod tests {
         });
         let s = cache.stats();
         assert_eq!(s.total_hits(), 200);
+    }
+
+    #[test]
+    fn sharded_routing_is_stable_and_total() {
+        let cache = EvalCache::sharded(64, 4);
+        assert_eq!(cache.num_shards(), 4);
+        assert_eq!(cache.capacity(), 64);
+        let mut seen = [false; 4];
+        for i in 0..40u64 {
+            let (h, _) = hash_of(i);
+            let s = cache.shard_of(h);
+            assert!(s < 4);
+            assert_eq!(s, cache.shard_of(h), "routing must be deterministic");
+            seen[s] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&b| b).count() >= 2,
+            "40 distinct modules should spread over more than one shard"
+        );
+    }
+
+    #[test]
+    fn shard_counters_split_and_aggregate() {
+        let cache = EvalCache::sharded(64, 4);
+        let mut per_shard_puts = vec![0u64; 4];
+        for i in 0..24u64 {
+            let (h, _) = hash_of(i);
+            per_shard_puts[cache.shard_of(h)] += 1;
+            cache.put_embed(h, 0, vec![i as f64]);
+            assert!(cache.get_embed(h, 0).is_some());
+            assert!(cache.get_embed(h, 1).is_none());
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 4);
+        for (s, puts) in shards.iter().zip(&per_shard_puts) {
+            assert_eq!(s.embed_hits, *puts, "hits stay in the owning shard");
+            assert_eq!(s.embed_misses, *puts);
+            assert_eq!(s.entries, *puts);
+        }
+        let total = cache.stats();
+        assert_eq!(total.embed_hits, 24);
+        assert_eq!(total.embed_misses, 24);
+        assert_eq!(total.entries, 24);
+        // aggregate equals the componentwise shard sum
+        let summed = shards
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s));
+        assert_eq!(summed.total_lookups(), total.total_lookups());
+    }
+
+    #[test]
+    fn sharded_eviction_is_per_shard() {
+        // 4 shards x 2 entries each: overflowing one shard must not evict
+        // entries owned by another.
+        let cache = EvalCache::sharded(8, 4);
+        let mut by_shard: Vec<Vec<ModuleHash>> = vec![Vec::new(); 4];
+        let mut i = 0u64;
+        // collect 4 hashes for one shard and 1 for another
+        while by_shard.iter().all(|v| v.len() < 4) {
+            let (h, _) = hash_of(i);
+            by_shard[cache.shard_of(h)].push(h);
+            i += 1;
+        }
+        let full = by_shard.iter().position(|v| v.len() == 4).unwrap();
+        let other = (0..4).find(|&s| s != full && !by_shard[s].is_empty());
+        for h in &by_shard[full] {
+            cache.put_embed(*h, 0, vec![0.0]);
+        }
+        let stats = cache.shard_stats();
+        assert_eq!(stats[full].entries, 2, "shard capacity is 8/4 = 2");
+        assert_eq!(stats[full].evictions, 2);
+        if let Some(o) = other {
+            cache.put_embed(by_shard[o][0], 0, vec![0.0]);
+            assert!(
+                cache.get_embed(by_shard[o][0], 0).is_some(),
+                "other shards are unaffected by a full sibling"
+            );
+        }
     }
 }

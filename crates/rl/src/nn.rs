@@ -137,6 +137,29 @@ impl Mlp {
         cur
     }
 
+    /// Batched forward pass: one call for `xs.len()` inputs.
+    ///
+    /// Walks the batch layer-major (all rows of layer 0, then layer 1, …)
+    /// so concurrent in-flight states share each layer's weight matrix
+    /// traversal, but keeps the *exact* per-row accumulation order of
+    /// [`Mlp::forward`] — `acc = b[o]; acc += w[o][i] * x[i]` in index
+    /// order. Each output is therefore bit-identical to a solo
+    /// `forward(&xs[i])` regardless of batch size or composition, which is
+    /// what lets `posetrl-serve` batch inference across requests without
+    /// breaking the PR-2 determinism contract.
+    pub fn forward_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut cur: Vec<Vec<f64>> = xs.to_vec();
+        let mut pre = Vec::new();
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            for x in cur.iter_mut() {
+                layer.forward(x, &mut pre, &mut out);
+                std::mem::swap(x, &mut out);
+            }
+        }
+        cur
+    }
+
     /// Forward pass retaining the per-layer pre-activations and outputs
     /// needed for backprop.
     pub fn forward_cache(&self, x: &[f64]) -> ForwardCache {
@@ -312,6 +335,25 @@ mod tests {
         assert_eq!(y.len(), 3);
         assert_eq!(mlp.input_dim(), 4);
         assert_eq!(mlp.output_dim(), 3);
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_solo_forward() {
+        let mlp = Mlp::new(&[6, 16, 8, 4], 3);
+        let xs: Vec<Vec<f64>> = (0..13)
+            .map(|i| (0..6).map(|j| ((i * 7 + j * 3) as f64).sin()).collect())
+            .collect();
+        let batched = mlp.forward_batch(&xs);
+        assert_eq!(batched.len(), xs.len());
+        for (x, y) in xs.iter().zip(&batched) {
+            let solo = mlp.forward(x);
+            assert_eq!(&solo, y, "batch output must be bitwise equal");
+        }
+        // batch composition must not matter: a sub-batch gives the same rows
+        let sub = mlp.forward_batch(&xs[3..5]);
+        assert_eq!(sub[0], batched[3]);
+        assert_eq!(sub[1], batched[4]);
+        assert!(mlp.forward_batch(&[]).is_empty());
     }
 
     #[test]

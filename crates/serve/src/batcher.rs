@@ -1,0 +1,226 @@
+//! Batched policy inference across concurrent in-flight requests.
+//!
+//! Worker threads hand their current state vector to [`Batcher::act_greedy`]
+//! and block; a dedicated inference thread drains *all* pending states at
+//! once and runs one batched network sweep (`Policy::act_greedy_batch`,
+//! one weight-matrix traversal for N states). Because the batched forward
+//! keeps the exact per-row accumulation order of the solo forward, every
+//! decision is bit-identical to an unbatched `act_greedy` call — batch
+//! composition and timing cannot change any response, which is how the
+//! PR-2 determinism contract survives request-level concurrency.
+
+use posetrl_rl::dqn::Policy;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+#[derive(Default)]
+struct Queue {
+    pending: Vec<(u64, Vec<f64>)>,
+    // ticket -> (chosen action, size of the batch it rode in)
+    done: HashMap<u64, (usize, u64)>,
+    next_ticket: u64,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Wakes the inference thread when work arrives (or on shutdown).
+    work: Condvar,
+    /// Wakes waiting workers when a batch completes.
+    ready: Condvar,
+    shutdown: AtomicBool,
+    batches: AtomicU64,
+    states: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// Point-in-time batching counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Batched network sweeps run.
+    pub batches: u64,
+    /// States inferred in total.
+    pub states: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+}
+
+impl BatchStats {
+    /// Mean states per sweep (0 when idle).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.states as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The shared inference front: N workers in, one batched sweep out.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the inference thread over a frozen policy snapshot.
+    pub fn new(policy: Policy) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            work: Condvar::new(),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batches: AtomicU64::new(0),
+            states: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        });
+        let inner = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("posetrl-serve-infer".into())
+            .spawn(move || inference_loop(&inner, &policy))
+            .expect("spawn inference thread");
+        Batcher {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Picks the greedy action for `state`, blocking until the inference
+    /// thread has swept a batch containing it.
+    pub fn act_greedy(&self, state: Vec<f64>) -> usize {
+        let ticket = {
+            let mut q = self.shared.queue.lock().expect("batcher lock");
+            let t = q.next_ticket;
+            q.next_ticket += 1;
+            q.pending.push((t, state));
+            self.shared.work.notify_one();
+            t
+        };
+        let mut q = self.shared.queue.lock().expect("batcher lock");
+        loop {
+            if let Some((action, _batch)) = q.done.remove(&ticket) {
+                return action;
+            }
+            q = self.shared.ready.wait(q).expect("batcher wait");
+        }
+    }
+
+    /// Like [`Batcher::act_greedy`], also reporting the size of the batch
+    /// the decision rode in (response metadata).
+    pub fn act_greedy_sized(&self, state: Vec<f64>) -> (usize, u64) {
+        let ticket = {
+            let mut q = self.shared.queue.lock().expect("batcher lock");
+            let t = q.next_ticket;
+            q.next_ticket += 1;
+            q.pending.push((t, state));
+            self.shared.work.notify_one();
+            t
+        };
+        let mut q = self.shared.queue.lock().expect("batcher lock");
+        loop {
+            if let Some(hit) = q.done.remove(&ticket) {
+                return hit;
+            }
+            q = self.shared.ready.wait(q).expect("batcher wait");
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            states: self.shared.states.load(Ordering::Relaxed),
+            max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn inference_loop(shared: &Shared, policy: &Policy) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("batcher lock");
+            while q.pending.is_empty() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.work.wait(q).expect("batcher wait");
+            }
+            std::mem::take(&mut q.pending)
+        };
+        let n = batch.len() as u64;
+        let states: Vec<Vec<f64>> = batch.iter().map(|(_, s)| s.clone()).collect();
+        let actions = policy.act_greedy_batch(&states);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.states.fetch_add(n, Ordering::Relaxed);
+        shared.max_batch.fetch_max(n, Ordering::Relaxed);
+        let mut q = shared.queue.lock().expect("batcher lock");
+        for ((ticket, _), action) in batch.into_iter().zip(actions) {
+            q.done.insert(ticket, (action, n));
+        }
+        drop(q);
+        shared.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posetrl_rl::dqn::{DqnAgent, DqnConfig};
+
+    fn tiny_policy() -> Policy {
+        let cfg = DqnConfig {
+            state_dim: 4,
+            n_actions: 3,
+            ..DqnConfig::default()
+        };
+        DqnAgent::new(cfg).policy()
+    }
+
+    #[test]
+    fn batched_decisions_match_solo_policy() {
+        let policy = tiny_policy();
+        let batcher = Batcher::new(policy.clone());
+        let states: Vec<Vec<f64>> = (0..16)
+            .map(|i| (0..4).map(|j| ((i * 5 + j) as f64).cos()).collect())
+            .collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = states
+                .iter()
+                .map(|st| {
+                    let b = &batcher;
+                    let st = st.clone();
+                    s.spawn(move || b.act_greedy(st))
+                })
+                .collect();
+            for (h, st) in handles.into_iter().zip(&states) {
+                assert_eq!(h.join().unwrap(), policy.act_greedy(st));
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.states, 16);
+        assert!(stats.batches >= 1 && stats.batches <= 16);
+        assert!(stats.max_batch >= 1);
+        assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn drop_shuts_the_thread_down() {
+        let batcher = Batcher::new(tiny_policy());
+        assert_eq!(batcher.act_greedy(vec![0.0; 4]), {
+            let p = tiny_policy();
+            p.act_greedy(&[0.0; 4])
+        });
+        drop(batcher); // must not hang
+    }
+}

@@ -1,0 +1,571 @@
+//! The long-running optimization server.
+//!
+//! Architecture (DESIGN.md §12):
+//!
+//! - **Sharded cache + worker pool.** One [`EvalCache`] with as many
+//!   shards as workers; a request's module routes to worker
+//!   `cache.shard_of(module_hash)`, so each worker's step memos,
+//!   measurements, and embeddings land in "its" shard and shard balance
+//!   is observable per request stream.
+//! - **Batched inference.** Workers block in the shared [`Batcher`] at
+//!   every decision point; concurrent requests ride one network sweep.
+//!   Batched decisions are bit-identical to solo ones, so responses are
+//!   bit-identical for any worker count, batch timing, or queue order.
+//! - **Admission control.** Each worker has a bounded queue; a full queue
+//!   answers `overloaded` immediately instead of building unbounded
+//!   backlog. Budgets (module bytes, episode steps) are deterministic
+//!   request properties, never wall-clock, so a given request stream
+//!   always produces the same accepted/rejected partition.
+//! - **Content-addressed response store.** Results are memoized by
+//!   `(module_hash, arch, steps)`; a repeated module is a pure store hit
+//!   that touches neither the worker pool nor the network.
+
+use crate::batcher::{BatchStats, Batcher};
+use crate::config::ServeConfig;
+use crate::protocol::{parse_request, ErrorKind, OkResponse, Response};
+use posetrl::cache::MeasureMemo;
+use posetrl::env::PhaseEnv;
+use posetrl::{CacheStats, EvalCache, TrainedModel};
+use posetrl_analyze::Sanitizer;
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::printer::print_module;
+use posetrl_ir::{module_hash, Module, ModuleHash};
+use posetrl_target::{mca, size::object_size, TargetArch};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type StoreKey = (ModuleHash, TargetArch, u64);
+
+#[derive(Clone)]
+struct StoredResult {
+    module: Arc<String>,
+    actions: Arc<Vec<u64>>,
+    size_before: u64,
+    size_after: u64,
+    cycles_before: f64,
+    cycles_after: f64,
+    shard: u64,
+}
+
+#[derive(Default)]
+struct Store {
+    map: HashMap<StoreKey, StoredResult>,
+    fifo: VecDeque<StoreKey>,
+}
+
+struct Job {
+    id: String,
+    module: Module,
+    hash: ModuleHash,
+    arch: TargetArch,
+    steps: u64,
+    shard: usize,
+    reply: SyncSender<Response>,
+    start: Instant,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    model: Arc<TrainedModel>,
+    cache: Arc<EvalCache>,
+    sanitizer: Option<Arc<Sanitizer>>,
+    batcher: Batcher,
+    store: Mutex<Store>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    overloads: AtomicU64,
+}
+
+/// Aggregate server counters, for `servestats` and the load generator.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests submitted (including rejected ones).
+    pub requests: u64,
+    /// Success responses produced.
+    pub ok: u64,
+    /// Error responses produced (any kind).
+    pub errors: u64,
+    /// Subset of `errors` rejected by admission control.
+    pub overloads: u64,
+    /// Content-addressed response-store hits.
+    pub store_hits: u64,
+    /// Response-store misses (full rollouts).
+    pub store_misses: u64,
+    /// Aggregate eval-cache counters.
+    pub cache: CacheStats,
+    /// Per-shard eval-cache counters, in shard order.
+    pub shards: Vec<CacheStats>,
+    /// Inference batching counters.
+    pub batch: BatchStats,
+}
+
+impl ServerStats {
+    /// Response-store hit rate in `[0, 1]` (0 when idle).
+    pub fn store_hit_rate(&self) -> f64 {
+        let total = self.store_hits + self.store_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A response that may still be in flight.
+pub struct Pending {
+    rx: Receiver<Response>,
+}
+
+impl Pending {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Response::err(None, ErrorKind::Internal, "worker disconnected"))
+    }
+}
+
+/// The server: worker pool + batcher + caches behind a line-oriented API.
+pub struct Server {
+    inner: Arc<Inner>,
+    queues: Vec<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds a server over a trained model. `sanitizer`, when given, is
+    /// attached to every rollout (its panics become `rollout-failed`
+    /// responses rather than crashing the worker).
+    pub fn new(
+        model: Arc<TrainedModel>,
+        cfg: ServeConfig,
+        sanitizer: Option<Arc<Sanitizer>>,
+    ) -> Server {
+        let cfg = cfg.normalized();
+        let cache = Arc::new(EvalCache::sharded(cfg.cache_capacity, cfg.workers));
+        let batcher = Batcher::new(model.agent.policy());
+        let inner = Arc::new(Inner {
+            cfg: cfg.clone(),
+            model,
+            cache,
+            sanitizer,
+            batcher,
+            store: Mutex::new(Store::default()),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            overloads: AtomicU64::new(0),
+        });
+        let mut queues = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let (tx, rx) = sync_channel::<Job>(cfg.queue_depth);
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("posetrl-serve-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let reply = job.reply.clone();
+                        let resp = process(&inner, job);
+                        // receiver may have given up; dropping the response is fine
+                        let _ = reply.try_send(resp);
+                    }
+                })
+                .expect("spawn worker thread");
+            queues.push(tx);
+            workers.push(handle);
+        }
+        Server {
+            inner,
+            queues,
+            workers,
+        }
+    }
+
+    /// Admission-control configuration in effect.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// Submits one raw request line; never blocks on the worker pool.
+    ///
+    /// Parse, budget, and admission failures resolve the returned
+    /// [`Pending`] immediately with a structured error response.
+    pub fn submit(&self, line: &str) -> Pending {
+        let (tx, rx) = sync_channel::<Response>(1);
+        let resp = self.admit(line, &tx);
+        if let Some(resp) = resp {
+            self.note(&resp);
+            let _ = tx.try_send(resp);
+        }
+        Pending { rx }
+    }
+
+    /// Submits and waits — the one-shot convenience path.
+    pub fn handle(&self, line: &str) -> Response {
+        self.submit(line).wait()
+    }
+
+    /// Runs the request through parse → budgets → store → admission.
+    /// Returns `Some(response)` when it resolved synchronously, `None`
+    /// when a worker now owns the reply channel.
+    fn admit(&self, line: &str, reply: &SyncSender<Response>) -> Option<Response> {
+        let inner = &self.inner;
+        inner.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let req = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                return Some(Response::Err(crate::protocol::ErrResponse {
+                    id: None,
+                    error: e,
+                }))
+            }
+        };
+        if req.module.len() > inner.cfg.max_module_bytes {
+            return Some(Response::err(
+                Some(req.id),
+                ErrorKind::ModuleTooLarge,
+                format!(
+                    "module is {} bytes; budget is {} (POSETRL_SERVE_MAX_MODULE_BYTES)",
+                    req.module.len(),
+                    inner.cfg.max_module_bytes
+                ),
+            ));
+        }
+        let module = match parse_module(&req.module) {
+            Ok(m) => m,
+            Err(e) => {
+                return Some(Response::err(
+                    Some(req.id),
+                    ErrorKind::BadModule,
+                    format!("module does not parse: {e:?}"),
+                ))
+            }
+        };
+        if let Err(e) = posetrl_ir::verifier::verify_module(&module) {
+            return Some(Response::err(
+                Some(req.id),
+                ErrorKind::BadModule,
+                format!("module does not verify: {e}"),
+            ));
+        }
+        let steps = req
+            .max_steps
+            .unwrap_or(inner.cfg.max_steps)
+            .clamp(1, inner.cfg.max_steps);
+        let hash = module_hash(&module);
+        let shard = inner.cache.shard_of(hash);
+        // content-addressed store: a repeat is a pure hit
+        if let Some(hit) = inner
+            .store
+            .lock()
+            .expect("store lock")
+            .map
+            .get(&(hash, req.arch, steps))
+        {
+            let hit = hit.clone();
+            inner.store_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Response::Ok(OkResponse {
+                id: req.id,
+                module: (*hit.module).clone(),
+                actions: (*hit.actions).clone(),
+                size_before: hit.size_before,
+                size_after: hit.size_after,
+                cycles_before: hit.cycles_before,
+                cycles_after: hit.cycles_after,
+                wall_us: start.elapsed().as_micros() as u64,
+                cached: true,
+                shard: hit.shard,
+                batch: 0,
+            }));
+        }
+        inner.store_misses.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            id: req.id,
+            module,
+            hash,
+            arch: req.arch,
+            steps,
+            shard,
+            reply: reply.clone(),
+            start,
+        };
+        match self.queues[shard % self.queues.len()].try_send(job) {
+            Ok(()) => None,
+            Err(TrySendError::Full(job)) => {
+                self.inner.overloads.fetch_add(1, Ordering::Relaxed);
+                Some(Response::err(
+                    Some(job.id),
+                    ErrorKind::Overloaded,
+                    format!(
+                        "worker {} queue is full ({} deep; POSETRL_SERVE_QUEUE)",
+                        job.shard, self.inner.cfg.queue_depth
+                    ),
+                ))
+            }
+            Err(TrySendError::Disconnected(job)) => Some(Response::err(
+                Some(job.id),
+                ErrorKind::Internal,
+                "worker pool is shut down",
+            )),
+        }
+    }
+
+    fn note(&self, resp: &Response) {
+        if resp.is_ok() {
+            self.inner.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot across the pool.
+    pub fn stats(&self) -> ServerStats {
+        let i = &self.inner;
+        ServerStats {
+            requests: i.requests.load(Ordering::Relaxed),
+            ok: i.ok.load(Ordering::Relaxed),
+            errors: i.errors.load(Ordering::Relaxed),
+            overloads: i.overloads.load(Ordering::Relaxed),
+            store_hits: i.store_hits.load(Ordering::Relaxed),
+            store_misses: i.store_misses.load(Ordering::Relaxed),
+            cache: i.cache.stats(),
+            shards: i.cache.shard_stats(),
+            batch: i.batcher.stats(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queues.clear(); // close the channels so workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Measures `m` through the shared cache (bit-identical to the env's own
+/// measurement path and memoized under the same key).
+fn measured(cache: &EvalCache, m: &Module, arch: TargetArch) -> MeasureMemo {
+    let h = module_hash(m);
+    if let Some(memo) = cache.get_measure(h, arch) {
+        return memo;
+    }
+    let report = mca::analyze(m, arch);
+    let memo = MeasureMemo {
+        size: object_size(m, arch).total,
+        flat_cycles: report.flat_cycles,
+        throughput: report.throughput,
+    };
+    cache.put_measure(h, arch, memo);
+    memo
+}
+
+struct RolloutOut {
+    module_text: String,
+    actions: Vec<u64>,
+    before: MeasureMemo,
+    after: MeasureMemo,
+    max_batch: u64,
+}
+
+fn rollout(inner: &Inner, job: &Job) -> RolloutOut {
+    let mut env_cfg = inner.model.env.clone();
+    env_cfg.arch = job.arch;
+    env_cfg.episode_len = job.steps as usize;
+    let before = measured(&inner.cache, &job.module, job.arch);
+    let mut env = PhaseEnv::with_cache(
+        env_cfg,
+        inner.model.actions.clone(),
+        Arc::clone(&inner.cache),
+    );
+    if inner.sanitizer.is_some() {
+        env.set_sanitizer(inner.sanitizer.clone());
+    }
+    let mut state = env.reset(job.module.clone());
+    let mut max_batch = 0u64;
+    loop {
+        let (a, batch) = inner.batcher.act_greedy_sized(state.clone());
+        max_batch = max_batch.max(batch);
+        let r = env.step(a);
+        state = r.state;
+        if r.done {
+            break;
+        }
+    }
+    let after = measured(&inner.cache, env.module(), job.arch);
+    RolloutOut {
+        module_text: print_module(env.module()),
+        actions: env.applied_actions().iter().map(|&a| a as u64).collect(),
+        before,
+        after,
+        max_batch,
+    }
+}
+
+fn process(inner: &Arc<Inner>, job: Job) -> Response {
+    let out = catch_unwind(AssertUnwindSafe(|| rollout(inner, &job)));
+    match out {
+        Ok(out) => {
+            let stored = StoredResult {
+                module: Arc::new(out.module_text),
+                actions: Arc::new(out.actions),
+                size_before: out.before.size,
+                size_after: out.after.size,
+                cycles_before: out.before.flat_cycles,
+                cycles_after: out.after.flat_cycles,
+                shard: job.shard as u64,
+            };
+            {
+                let mut store = inner.store.lock().expect("store lock");
+                let key = (job.hash, job.arch, job.steps);
+                if !store.map.contains_key(&key) {
+                    while store.map.len() >= inner.cfg.store_capacity {
+                        match store.fifo.pop_front() {
+                            Some(old) => {
+                                store.map.remove(&old);
+                            }
+                            None => break,
+                        }
+                    }
+                    store.fifo.push_back(key);
+                    store.map.insert(key, stored.clone());
+                }
+            }
+            inner.ok.fetch_add(1, Ordering::Relaxed);
+            Response::Ok(OkResponse {
+                id: job.id,
+                module: (*stored.module).clone(),
+                actions: (*stored.actions).clone(),
+                size_before: stored.size_before,
+                size_after: stored.size_after,
+                cycles_before: stored.cycles_before,
+                cycles_after: stored.cycles_after,
+                wall_us: job.start.elapsed().as_micros() as u64,
+                cached: false,
+                shard: stored.shard,
+                batch: out.max_batch,
+            })
+        }
+        Err(panic) => {
+            inner.errors.fetch_add(1, Ordering::Relaxed);
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("rollout panicked");
+            Response::err(
+                Some(job.id),
+                ErrorKind::RolloutFailed,
+                format!("rollout aborted: {msg}"),
+            )
+        }
+    }
+}
+
+/// Outcome of one stdio session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdioSummary {
+    /// Request lines consumed.
+    pub requests: u64,
+    /// Success responses written.
+    pub ok: u64,
+    /// Error responses written.
+    pub errors: u64,
+}
+
+/// Drives the server from a line-oriented transport: one request per
+/// input line, one response per output line, **in request order**. Up to
+/// `workers × queue_depth` requests are kept in flight, so concurrent
+/// batching still happens behind the ordered output.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport itself; protocol problems are
+/// in-band error responses.
+pub fn run_stdio(
+    server: &Server,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<StdioSummary> {
+    let window = server.inner.cfg.workers * server.inner.cfg.queue_depth;
+    let mut in_flight: VecDeque<Pending> = VecDeque::new();
+    let mut summary = StdioSummary::default();
+    let drain_one = |q: &mut VecDeque<Pending>,
+                     out: &mut dyn Write,
+                     s: &mut StdioSummary|
+     -> std::io::Result<()> {
+        if let Some(p) = q.pop_front() {
+            let resp = p.wait();
+            if resp.is_ok() {
+                s.ok += 1;
+            } else {
+                s.errors += 1;
+            }
+            out.write_all(resp.to_json().as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
+        }
+        Ok(())
+    };
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        if in_flight.len() >= window.max(1) {
+            drain_one(&mut in_flight, &mut output, &mut summary)?;
+        }
+        in_flight.push_back(server.submit(&line));
+    }
+    while !in_flight.is_empty() {
+        drain_one(&mut in_flight, &mut output, &mut summary)?;
+    }
+    Ok(summary)
+}
+
+/// Serves JSONL sessions over a Unix domain socket, one thread per
+/// connection. `max_conns` bounds how many connections to accept before
+/// returning (`None` = forever), which keeps the function testable.
+///
+/// # Errors
+///
+/// Propagates bind/accept errors.
+#[cfg(unix)]
+pub fn run_unix_socket(
+    server: &Server,
+    path: &std::path::Path,
+    max_conns: Option<usize>,
+) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for (accepted, stream) in listener.incoming().enumerate() {
+            let stream = stream?;
+            scope.spawn(move || {
+                let reader = std::io::BufReader::new(&stream);
+                let _ = run_stdio(server, reader, &stream);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            });
+            if max_conns.is_some_and(|n| accepted + 1 >= n) {
+                break;
+            }
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,186 @@
+//! Property tests for the wire protocol: round-trips through serde for
+//! arbitrary values, and a malformed-input corpus that must produce
+//! structured errors — never a panic (PR-5's fail-fast convention).
+
+use posetrl_serve::protocol::{
+    parse_request, parse_response, ErrResponse, ErrorKind, OkResponse, ProtocolError, Request,
+    Response,
+};
+use posetrl_target::TargetArch;
+use proptest::prelude::*;
+
+/// Strings exercising escapes, unicode, and JSON-ish noise.
+fn string_from(seed: u64, len: usize) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', '_', '-', ' ', '"', '\\', '\n', '\t', '{', '}', '[', ']', ':', ',', 'é',
+        '→', '\u{1}',
+    ];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ALPHABET[(state % ALPHABET.len() as u64) as usize]
+        })
+        .collect()
+}
+
+/// Finite, exactly-representable floats (NaN/Inf are not representable in
+/// JSON and the vendored writer emits them as null).
+fn finite_f64(bits: u64) -> f64 {
+    let v = (bits % 1_000_000_007) as f64 / 128.0;
+    if bits & 1 == 0 {
+        v
+    } else {
+        -v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn request_round_trips(
+        id_seed in any::<u64>(),
+        id_len in 0usize..24,
+        mod_seed in any::<u64>(),
+        mod_len in 0usize..200,
+        arch_flip in any::<bool>(),
+        has_steps in any::<bool>(),
+        steps in any::<u64>(),
+    ) {
+        let req = Request {
+            id: string_from(id_seed, id_len),
+            module: string_from(mod_seed, mod_len),
+            arch: if arch_flip { TargetArch::AArch64 } else { TargetArch::X86_64 },
+            max_steps: has_steps.then_some(steps),
+        };
+        let line = req.to_json();
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = parse_request(&line).expect("own serialization must parse");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn ok_response_round_trips(
+        id_seed in any::<u64>(),
+        mod_seed in any::<u64>(),
+        mod_len in 0usize..200,
+        actions in prop::collection::vec(0u64..64, 0..20),
+        size_a in any::<u64>(),
+        size_b in any::<u64>(),
+        cyc_a in any::<u64>(),
+        cyc_b in any::<u64>(),
+        wall in any::<u64>(),
+        cached in any::<bool>(),
+        shard in 0u64..64,
+        batch in 0u64..128,
+    ) {
+        let resp = Response::Ok(OkResponse {
+            id: string_from(id_seed, 8),
+            module: string_from(mod_seed, mod_len),
+            actions,
+            size_before: size_a,
+            size_after: size_b,
+            cycles_before: finite_f64(cyc_a),
+            cycles_after: finite_f64(cyc_b),
+            wall_us: wall,
+            cached,
+            shard,
+            batch,
+        });
+        let line = resp.to_json();
+        prop_assert!(!line.contains('\n'));
+        let back = parse_response(&line).expect("own serialization must parse");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn err_response_round_trips(
+        has_id in any::<bool>(),
+        id_seed in any::<u64>(),
+        kind_idx in 0usize..9,
+        msg_seed in any::<u64>(),
+        msg_len in 0usize..120,
+    ) {
+        let resp = Response::Err(ErrResponse {
+            id: has_id.then(|| string_from(id_seed, 10)),
+            error: ProtocolError::new(
+                ErrorKind::ALL[kind_idx],
+                string_from(msg_seed, msg_len),
+            ),
+        });
+        let back = parse_response(&resp.to_json()).expect("own serialization must parse");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(
+        seed in any::<u64>(),
+        len in 0usize..300,
+        truncate_at in 0usize..300,
+    ) {
+        // arbitrary noise, plus truncated valid requests
+        let noise = string_from(seed, len);
+        let _ = parse_request(&noise);
+        let _ = parse_response(&noise);
+        let valid = Request {
+            id: "t".into(),
+            module: string_from(seed, 64),
+            arch: TargetArch::X86_64,
+            max_steps: Some(seed % 32),
+        }
+        .to_json();
+        let cut: String = valid.chars().take(truncate_at).collect();
+        if cut.len() < valid.len() {
+            prop_assert!(parse_request(&cut).is_err(), "truncated JSON must be an error");
+        }
+        let _ = parse_response(&cut);
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_structured_errors() {
+    // (input, expected kind) — the fixed malformed-input corpus from the
+    // issue: truncated JSON, oversized module (server-side test), unknown
+    // fields, plus type and duplicate-key attacks.
+    let corpus: &[(&str, ErrorKind)] = &[
+        ("", ErrorKind::Parse),
+        ("{", ErrorKind::Parse),
+        (r#"{"id":"a","module":"m""#, ErrorKind::Parse),
+        (r#"{"id":"a","module":"m"} trailing"#, ErrorKind::Parse),
+        ("null", ErrorKind::BadValue),
+        ("42", ErrorKind::BadValue),
+        (r#""just a string""#, ErrorKind::BadValue),
+        (
+            r#"{"id":"a","module":"m","surprise":true}"#,
+            ErrorKind::UnknownField,
+        ),
+        (
+            r#"{"id":"a","module":"m","MODULE":"m"}"#,
+            ErrorKind::UnknownField,
+        ),
+        (r#"{"module":"m"}"#, ErrorKind::MissingField),
+        (r#"{"id":"a"}"#, ErrorKind::MissingField),
+        ("{}", ErrorKind::MissingField),
+        (r#"{"id":null,"module":"m"}"#, ErrorKind::BadValue),
+        (r#"{"id":"a","module":["m"]}"#, ErrorKind::BadValue),
+        (r#"{"id":"a","module":"m","arch":86}"#, ErrorKind::BadValue),
+        (
+            r#"{"id":"a","module":"m","arch":"riscv"}"#,
+            ErrorKind::BadValue,
+        ),
+        (
+            r#"{"id":"a","module":"m","max_steps":"ten"}"#,
+            ErrorKind::BadValue,
+        ),
+        (r#"{"id":"a","module":"m","module":"n"}"#, ErrorKind::Parse),
+    ];
+    for (line, kind) in corpus {
+        let err = std::panic::catch_unwind(|| parse_request(line))
+            .expect("parser must never panic")
+            .expect_err("malformed input must be rejected");
+        assert_eq!(err.kind, *kind, "input {line:?} produced {err}");
+    }
+}

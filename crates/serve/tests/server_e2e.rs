@@ -1,0 +1,248 @@
+//! End-to-end server tests over a tiny trained policy: bit-identical
+//! responses for any worker count, pure store hits on repeats, in-order
+//! stdio sessions, and every admission-control rejection path.
+
+use posetrl::{train, ActionSet, TrainedModel, TrainerConfig};
+use posetrl_ir::printer::print_module;
+use posetrl_serve::protocol::{ErrorKind, Request, Response};
+use posetrl_serve::server::{run_stdio, Server};
+use posetrl_serve::ServeConfig;
+use posetrl_target::TargetArch;
+use posetrl_workloads::{generate, Benchmark, ProgramKind, ProgramSpec, SizeClass, Suite};
+use std::sync::{Arc, OnceLock};
+
+fn bench(name: &str, kind: ProgramKind, seed: u64) -> Benchmark {
+    let spec = ProgramSpec {
+        name: name.to_string(),
+        kind,
+        size: SizeClass::Small,
+        seed,
+    };
+    Benchmark {
+        name: name.to_string(),
+        suite: Suite::Training,
+        module: generate(&spec),
+        spec,
+    }
+}
+
+/// One tiny policy shared by every test in this file (training even a
+/// toy agent costs seconds; caching it keeps the suite fast).
+fn model() -> Arc<TrainedModel> {
+    static MODEL: OnceLock<Arc<TrainedModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let mut cfg = TrainerConfig::quick();
+        cfg.total_steps = 60;
+        cfg.env.episode_len = 3;
+        cfg.agent.hidden = vec![16];
+        cfg.agent.eps_decay_steps = 40;
+        cfg.agent.learn_start = 12;
+        cfg.agent.batch_size = 8;
+        cfg.max_programs = Some(2);
+        let suite = vec![
+            bench("e2e_a", ProgramKind::NumericKernel, 11),
+            bench("e2e_b", ProgramKind::BitManip, 12),
+        ];
+        Arc::new(train(&cfg, ActionSet::odg(), &suite))
+    }))
+}
+
+/// Module texts used as request payloads (distinct from training inputs).
+fn corpus() -> Vec<String> {
+    [
+        (ProgramKind::BranchyInteger, 21),
+        (ProgramKind::Streaming, 22),
+        (ProgramKind::CallHeavy, 23),
+    ]
+    .into_iter()
+    .map(|(kind, seed)| print_module(&bench("req", kind, seed).module))
+    .collect()
+}
+
+fn cfg(workers: usize, queue_depth: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_depth,
+        max_steps: 3,
+        ..ServeConfig::default()
+    }
+}
+
+fn request(id: &str, module: &str, max_steps: Option<u64>) -> String {
+    Request {
+        id: id.to_string(),
+        module: module.to_string(),
+        arch: TargetArch::X86_64,
+        max_steps,
+    }
+    .to_json()
+}
+
+fn ok(resp: Response) -> posetrl_serve::protocol::OkResponse {
+    match resp {
+        Response::Ok(ok) => ok,
+        Response::Err(e) => panic!("expected ok response, got {:?}: {}", e.id, e.error),
+    }
+}
+
+#[test]
+fn responses_are_bit_identical_for_any_worker_count() {
+    let model = model();
+    let corpus = corpus();
+    let lines: Vec<String> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, m)| request(&format!("det-{i}"), m, None))
+        .collect();
+    type Fingerprint = (String, String, Vec<u64>, u64, u64);
+    let mut baseline: Option<Vec<Fingerprint>> = None;
+    for workers in [1usize, 2, 8] {
+        let server = Server::new(Arc::clone(&model), cfg(workers, 8), None);
+        // submit the whole stream first so multi-worker runs actually batch
+        let pending: Vec<_> = lines.iter().map(|l| server.submit(l)).collect();
+        let got: Vec<_> = pending
+            .into_iter()
+            .map(|p| {
+                let r = ok(p.wait());
+                (r.id, r.module, r.actions, r.size_before, r.size_after)
+            })
+            .collect();
+        match &baseline {
+            None => baseline = Some(got),
+            Some(expect) => assert_eq!(
+                expect, &got,
+                "worker count {workers} changed a response — the bit-identical \
+                 contract is broken"
+            ),
+        }
+    }
+}
+
+#[test]
+fn repeats_are_pure_store_hits() {
+    let server = Server::new(model(), cfg(2, 8), None);
+    let module = &corpus()[0];
+    let first = ok(server.handle(&request("r1", module, None)));
+    assert!(!first.cached, "first sight must be a full rollout");
+    let second = ok(server.handle(&request("r2", module, None)));
+    assert!(second.cached, "repeat must come from the response store");
+    assert_eq!(first.module, second.module);
+    assert_eq!(first.actions, second.actions);
+    assert_eq!(first.size_after, second.size_after);
+    let stats = server.stats();
+    assert_eq!(stats.store_hits, 1);
+    assert_eq!(stats.store_misses, 1);
+    assert!((stats.store_hit_rate() - 0.5).abs() < 1e-9);
+    // a different step budget is a different store key
+    let third = ok(server.handle(&request("r3", module, Some(1))));
+    assert!(!third.cached);
+}
+
+#[test]
+fn stdio_session_answers_in_request_order() {
+    let server = Server::new(model(), cfg(2, 4), None);
+    let corpus = corpus();
+    let mut input = String::new();
+    for (i, m) in corpus.iter().enumerate() {
+        input.push_str(&request(&format!("s-{i}"), m, None));
+        input.push('\n');
+    }
+    input.push('\n'); // blank lines are skipped, not answered
+    input.push_str("not json at all\n");
+    let mut out = Vec::new();
+    let summary = run_stdio(&server, input.as_bytes(), &mut out).unwrap();
+    assert_eq!(summary.requests, corpus.len() as u64 + 1);
+    assert_eq!(summary.ok, corpus.len() as u64);
+    assert_eq!(summary.errors, 1);
+    let lines: Vec<Response> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| posetrl_serve::protocol::parse_response(l).expect("server output must parse"))
+        .collect();
+    assert_eq!(lines.len(), corpus.len() + 1);
+    for (i, resp) in lines[..corpus.len()].iter().enumerate() {
+        let r = match resp {
+            Response::Ok(r) => r,
+            Response::Err(e) => panic!("line {i}: {}", e.error),
+        };
+        assert_eq!(r.id, format!("s-{i}"), "responses must keep request order");
+    }
+    match &lines[corpus.len()] {
+        Response::Err(e) => assert_eq!(e.error.kind, ErrorKind::Parse),
+        Response::Ok(_) => panic!("malformed line must get an error response"),
+    }
+}
+
+#[test]
+fn admission_rejections_are_structured() {
+    let mut small = cfg(1, 4);
+    small.max_module_bytes = 64;
+    let server = Server::new(model(), small, None);
+
+    // over the byte budget
+    let resp = server.handle(&request("big", &"x".repeat(65), None));
+    match resp {
+        Response::Err(e) => {
+            assert_eq!(e.id.as_deref(), Some("big"));
+            assert_eq!(e.error.kind, ErrorKind::ModuleTooLarge);
+        }
+        Response::Ok(_) => panic!("oversized module must be rejected"),
+    }
+
+    // within budget but not IR
+    let resp = server.handle(&request("junk", "this is not ir", None));
+    match resp {
+        Response::Err(e) => assert_eq!(e.error.kind, ErrorKind::BadModule),
+        Response::Ok(_) => panic!("unparseable module must be rejected"),
+    }
+
+    // malformed request line: no id to echo
+    let resp = server.handle("{\"oops\"");
+    match resp {
+        Response::Err(e) => {
+            assert_eq!(e.id, None);
+            assert_eq!(e.error.kind, ErrorKind::Parse);
+        }
+        Response::Ok(_) => panic!("malformed line must be rejected"),
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.errors, 3);
+    assert_eq!(stats.ok, 0);
+}
+
+#[test]
+fn full_queue_answers_overloaded_without_blocking() {
+    let model = model();
+    let server = Server::new(Arc::clone(&model), cfg(1, 1), None);
+    let module = &corpus()[1];
+    // distinct step budgets are distinct store keys, so none of these can
+    // resolve as a store hit; with one worker and a depth-1 queue the
+    // burst must overflow admission control
+    let pending: Vec<_> = (0u64..24)
+        .map(|i| server.submit(&request(&format!("burst-{i}"), module, Some(1 + i % 3))))
+        .collect();
+    let responses: Vec<_> = pending.into_iter().map(|p| p.wait()).collect();
+    let overloaded = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Err(e) if e.error.kind == ErrorKind::Overloaded))
+        .count();
+    let okay = responses.iter().filter(|r| r.is_ok()).count();
+    assert!(okay >= 1, "the admitted requests must still succeed");
+    assert!(
+        overloaded >= 1,
+        "a 24-request burst against a depth-1 queue must trip admission control"
+    );
+    for r in &responses {
+        if let Response::Err(e) = r {
+            assert_eq!(
+                e.error.kind,
+                ErrorKind::Overloaded,
+                "only admission control may reject this stream: {}",
+                e.error
+            );
+        }
+    }
+    assert_eq!(server.stats().overloads, overloaded as u64);
+    assert_eq!(okay + overloaded, responses.len());
+}
