@@ -38,7 +38,7 @@ use posetrl_ir::{BlockId, FuncId, Function, InstId, Module, Op, SourceLoc, Ty, V
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Per-function argument/return summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FnSummary {
     /// Abstract value of each parameter (exported form).
     pub args: Vec<AbsVal>,
@@ -47,7 +47,7 @@ pub struct FnSummary {
 }
 
 /// Final per-instruction facts of one analyzed function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncFacts {
     /// One fact per instruction arena slot; ⊥ for void results, removed
     /// slots and unreachable code.
@@ -67,7 +67,7 @@ impl FuncFacts {
 }
 
 /// The module-wide analysis result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModuleAbsint {
     /// Summaries keyed by function arena index (deterministic order).
     pub summaries: BTreeMap<u32, FnSummary>,
@@ -396,6 +396,22 @@ const SCC_ITER_LIMIT: usize = 24;
 
 /// Runs the interprocedural analysis over `m`.
 pub fn analyze_module(m: &Module) -> ModuleAbsint {
+    analyze_module_with(m, None)
+}
+
+/// [`analyze_module`], optionally memoizing per-function analyses through
+/// an [`IncrementalAnalysisManager`].
+///
+/// The driver schedule (two sharpening rounds, bottom-up SCC fixpoints,
+/// widening at `SCC_ITER_LIMIT`) is identical with and without a manager;
+/// only the `analyze_function` leaf calls are content-addressed. Each
+/// leaf is a pure function of `(function fingerprint, argument
+/// summaries, direct-callee return summaries)` — exactly the memo key —
+/// so results are bit-identical either way.
+pub fn analyze_module_with(
+    m: &Module,
+    mgr: Option<&crate::incremental::IncrementalAnalysisManager>,
+) -> ModuleAbsint {
     // call graph + address-taken set
     let mut callees: HashMap<u32, Vec<u32>> = HashMap::new();
     let mut address_taken: HashSet<u32> = HashSet::new();
@@ -434,6 +450,48 @@ pub fn analyze_module(m: &Module) -> ModuleAbsint {
         |f: &Function| -> Vec<AbsVal> { f.params.iter().map(|&t| AbsVal::top_of(t)).collect() };
 
     let sccs = call_graph_sccs(m, &callees);
+
+    // arena fingerprints feed the memo keys; computed once per driver run
+    let fps: BTreeMap<u32, u128> = if mgr.is_some() {
+        m.func_ids()
+            .map(|fid| {
+                (
+                    fid.0,
+                    posetrl_ir::function_fingerprint(m, m.func(fid).unwrap()),
+                )
+            })
+            .collect()
+    } else {
+        BTreeMap::new()
+    };
+    let run_one = |f: &Function,
+                   i: u32,
+                   args: &[AbsVal],
+                   summaries: &BTreeMap<u32, FnSummary>|
+     -> (FuncFacts, AbsVal) {
+        let Some(mgr) = mgr else {
+            return analyze_function(f, args, summaries);
+        };
+        use std::fmt::Write as _;
+        let mut cal = String::new();
+        for c in callees.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+            match summaries.get(c) {
+                Some(s) => {
+                    let _ = write!(cal, "{c}:{:?};", s.ret);
+                }
+                None => {
+                    let _ = write!(cal, "{c}:N;");
+                }
+            }
+        }
+        let key = (
+            fps[&i],
+            posetrl_ir::digest_str(&format!("{args:?}")),
+            posetrl_ir::digest_str(&cal),
+        );
+        let out = mgr.absint_memo(&f.name, key, || analyze_function(f, args, summaries));
+        (out.0.clone(), out.1)
+    };
 
     // argument summaries for the current round; round 1 is all-⊤
     let mut args: BTreeMap<u32, Vec<AbsVal>> = BTreeMap::new();
@@ -485,7 +543,7 @@ pub fn analyze_module(m: &Module) -> ModuleAbsint {
                 let mut changed = false;
                 for &i in &members {
                     let f = m.func(FuncId(i)).unwrap();
-                    let (facts, ret) = analyze_function(f, &args[&i], &summaries);
+                    let (facts, ret) = run_one(f, i, &args[&i], &summaries);
                     funcs.insert(i, facts);
                     let s = summaries.get_mut(&i).unwrap();
                     changed |= s.ret.join(&ret);
@@ -498,7 +556,7 @@ pub fn analyze_module(m: &Module) -> ModuleAbsint {
                     for &i in &members {
                         let f = m.func(FuncId(i)).unwrap();
                         summaries.get_mut(&i).unwrap().ret = AbsVal::top_of(f.ret);
-                        let (facts, _) = analyze_function(f, &args[&i], &summaries);
+                        let (facts, _) = run_one(f, i, &args[&i], &summaries);
                         funcs.insert(i, facts);
                     }
                     break;
@@ -708,7 +766,18 @@ pub fn lint_with(m: &Module, mi: &ModuleAbsint, out: &mut Vec<Diagnostic>) {
 
 /// Runs the analysis and the lints over `m` in one call.
 pub fn check(m: &Module, out: &mut Vec<Diagnostic>) {
-    let mi = analyze_module(m);
+    check_with(m, None, out);
+}
+
+/// [`check`], optionally routed through an incremental manager: the
+/// analysis memoizes per-function, the (linear-time) lint pass then runs
+/// over the assembled facts as usual.
+pub fn check_with(
+    m: &Module,
+    mgr: Option<&crate::incremental::IncrementalAnalysisManager>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mi = analyze_module_with(m, mgr);
     lint_with(m, &mi, out);
 }
 

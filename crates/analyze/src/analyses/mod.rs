@@ -27,21 +27,56 @@ pub(crate) fn inst_universe(f: &Function) -> usize {
 
 /// Runs every analysis over `m` and returns the combined, ordered report.
 pub fn run_all(m: &Module) -> Vec<Diagnostic> {
+    run_all_with(m, None)
+}
+
+/// One function's local lint bundle (the per-function fixpoint lints, in
+/// the order [`run_all`] has always emitted them).
+fn function_lints(m: &Module, f: &Function) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    ssa_def::check(f, &cfg, &dt, &mut out);
+    undef::check(f, &cfg, &mut out);
+    constmem::check(m, f, &cfg, &mut out);
+    deadcode::check(f, &cfg, &mut out);
+    out
+}
+
+/// [`run_all`], optionally memoizing the per-function lint bundles and
+/// absint analyses through an [`IncrementalAnalysisManager`].
+///
+/// The pre-sort emission order is byte-for-byte the non-incremental one
+/// (callcheck, then each function's bundle in `func_ids` order, then the
+/// absint lints), and [`sort_report`] is stable, so the final report is
+/// identical with and without a manager. Bundles are keyed by
+/// `(function fingerprint, globals fingerprint)` — `constmem` reads
+/// globals by arena id, and lint locations carry arena ids, so the
+/// arena-sensitive fingerprint (not the print hash) is the sound key.
+///
+/// [`IncrementalAnalysisManager`]: crate::incremental::IncrementalAnalysisManager
+pub fn run_all_with(
+    m: &Module,
+    mgr: Option<&crate::incremental::IncrementalAnalysisManager>,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     callcheck::check(m, &mut out);
+    let globals_fp = mgr.map(|_| posetrl_ir::globals_fingerprint(m));
     for fid in m.func_ids() {
         let f = m.func(fid).unwrap();
         if f.is_decl {
             continue;
         }
-        let cfg = Cfg::compute(f);
-        let dt = DomTree::compute(f, &cfg);
-        ssa_def::check(f, &cfg, &dt, &mut out);
-        undef::check(f, &cfg, &mut out);
-        constmem::check(m, f, &cfg, &mut out);
-        deadcode::check(f, &cfg, &mut out);
+        match (mgr, globals_fp) {
+            (Some(mgr), Some(gfp)) => {
+                let key = (posetrl_ir::function_fingerprint(m, f), gfp);
+                let bundle = mgr.lint_memo(key, || function_lints(m, f));
+                out.extend(bundle.iter().cloned());
+            }
+            _ => out.append(&mut function_lints(m, f)),
+        }
     }
-    crate::absint::check(m, &mut out);
+    crate::absint::check_with(m, mgr, &mut out);
     sort_report(&mut out);
     out
 }

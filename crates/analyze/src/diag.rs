@@ -39,7 +39,7 @@ impl fmt::Display for Severity {
 }
 
 /// One finding from an analysis, tied to a structured [`SourceLoc`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Diagnostic {
     /// Stable machine-readable code, e.g. `use-before-def`.
     pub code: &'static str,

@@ -1,0 +1,423 @@
+//! The incremental analysis manager: per-function, content-addressed
+//! memoization of the expensive analyses.
+//!
+//! A pass step typically touches one or two functions, yet every analysis
+//! used to restart from scratch on the whole module. The
+//! [`IncrementalAnalysisManager`] keys each per-function result by a
+//! digest of everything that result can read, so an untouched function is
+//! a guaranteed memo hit and a touched function (plus exactly the callers
+//! whose view of it changed) recomputes:
+//!
+//! - **Embeddings** — keyed by the function's arena fingerprint
+//!   ([`posetrl_ir::function_fingerprint`]) + the embedder-config digest.
+//!   The fingerprint (not the print-chunk hash) is required because the
+//!   embedder accumulates in raw arena order.
+//! - **Lint bundles** (`ssa-def`/`undef`/`constmem`/`deadcode` per
+//!   function) — keyed by `(function fingerprint, globals fingerprint)`;
+//!   `constmem` reads globals by arena id.
+//! - **Absint function analyses** — keyed by `(function fingerprint,
+//!   argument-summary digest, callee-summary digest)`. The
+//!   intraprocedural transfer reads *only* the return summaries of the
+//!   function's direct callees, so this key is exact: the SCC driver
+//!   replays its usual bottom-up schedule and every `analyze_function`
+//!   call whose inputs are unchanged is a hit. Invalidation therefore
+//!   propagates content-wise — a changed function recomputes, and its
+//!   callers recompute only if its *summary* actually moved (a subset of
+//!   the SCC-dependents set, never more).
+//! - **Validate obligations** — per-function-pair verdicts keyed by the
+//!   pair's transitive call-closure digests (symbolic execution inlines
+//!   callees) + globals fingerprints + config digest. Only `Proved` and
+//!   `Inconclusive` verdicts are cached; a `Refuted` verdict carries a
+//!   counterexample and is always re-derived.
+//!
+//! **Determinism contract:** every memoized computation is a pure
+//! function of its key, so a hit returns bit-identical results to a
+//! recompute — same embeddings, same findings, same summaries — for any
+//! worker count and any interleaving. Tables are first-write-wins with
+//! FIFO eviction, mirroring the `EvalCache` discipline.
+//!
+//! The manager is enabled by default; `POSETRL_INCREMENTAL=0` (or
+//! `false`/`off`) disables it process-wide. Tests drive the explicit
+//! constructors instead of the environment so they stay parallel-safe.
+
+use crate::absint::domain::AbsVal;
+use crate::absint::FuncFacts;
+use crate::diag::Diagnostic;
+use crate::validate::Verdict;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-table entry bound.
+const DEFAULT_TABLE_CAPACITY: usize = 1 << 14;
+
+/// Key of one memoized per-function embedding.
+pub type EmbedKey = (u128, u128);
+/// Key of one memoized per-function lint bundle.
+pub type LintKey = (u128, u128);
+/// Key of one memoized absint function analysis.
+pub type AbsintKey = (u128, u128, u128);
+/// Key of one memoized validate obligation.
+pub type ValidateKey = (u128, u128, u128);
+
+/// A cacheable validate verdict (no counterexample payload).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedVerdict {
+    /// The pair was proved.
+    Proved,
+    /// The pair was inconclusive, with the reason.
+    Inconclusive(String),
+}
+
+impl CachedVerdict {
+    /// Converts back into the validate [`Verdict`].
+    pub fn to_verdict(&self) -> Verdict {
+        match self {
+            CachedVerdict::Proved => Verdict::Proved,
+            CachedVerdict::Inconclusive(why) => Verdict::Inconclusive(why.clone()),
+        }
+    }
+
+    /// What to cache for `v`, if anything.
+    pub fn of(v: &Verdict) -> Option<CachedVerdict> {
+        match v {
+            Verdict::Proved => Some(CachedVerdict::Proved),
+            Verdict::Inconclusive(why) => Some(CachedVerdict::Inconclusive(why.clone())),
+            Verdict::Refuted(_) => None,
+        }
+    }
+}
+
+/// A bounded first-write-wins map with FIFO eviction.
+struct MemoTable<K, V> {
+    map: HashMap<K, V>,
+    fifo: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
+    fn new(capacity: usize) -> MemoTable<K, V> {
+        MemoTable {
+            map: HashMap::new(),
+            fifo: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.map.get(k).cloned()
+    }
+
+    fn put(&mut self, k: K, v: V) {
+        if self.map.contains_key(&k) {
+            return; // first write wins: identical by purity, keep the original
+        }
+        while self.map.len() >= self.capacity {
+            match self.fifo.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.fifo.push_back(k.clone());
+        self.map.insert(k, v);
+    }
+}
+
+/// Hit/miss counters of one memo class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to recompute.
+    pub misses: u64,
+}
+
+impl ClassStats {
+    /// Hit rate in [0, 1]; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A snapshot of every class's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Per-function embedding memo.
+    pub embed: ClassStats,
+    /// Per-function lint-bundle memo.
+    pub lint: ClassStats,
+    /// Absint function-analysis memo.
+    pub absint: ClassStats,
+    /// Validate obligation memo.
+    pub validate: ClassStats,
+}
+
+impl IncrementalStats {
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "incremental: embed {}/{} absint {}/{} lint {}/{} validate {}/{} (hits/misses)",
+            self.embed.hits,
+            self.embed.misses,
+            self.absint.hits,
+            self.absint.misses,
+            self.lint.hits,
+            self.lint.misses,
+            self.validate.hits,
+            self.validate.misses,
+        )
+    }
+}
+
+/// The shared, thread-safe memo store. See the module docs for keying
+/// and the determinism contract.
+pub struct IncrementalAnalysisManager {
+    embed: Mutex<MemoTable<EmbedKey, Arc<Vec<f64>>>>,
+    lint: Mutex<MemoTable<LintKey, Arc<Vec<Diagnostic>>>>,
+    absint: Mutex<MemoTable<AbsintKey, Arc<(FuncFacts, AbsVal)>>>,
+    validate: Mutex<MemoTable<ValidateKey, CachedVerdict>>,
+    embed_hits: AtomicU64,
+    embed_misses: AtomicU64,
+    lint_hits: AtomicU64,
+    lint_misses: AtomicU64,
+    absint_hits: AtomicU64,
+    absint_misses: AtomicU64,
+    validate_hits: AtomicU64,
+    validate_misses: AtomicU64,
+    // Recompute log: function names whose absint analysis actually
+    // re-ran, in recompute order. Tests drain this to assert exactly
+    // which summaries a change invalidated.
+    recomputed: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for IncrementalAnalysisManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalAnalysisManager")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for IncrementalAnalysisManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalAnalysisManager {
+    /// A manager with the default per-table capacity.
+    pub fn new() -> IncrementalAnalysisManager {
+        Self::with_capacity(DEFAULT_TABLE_CAPACITY)
+    }
+
+    /// A manager bounding every table at `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> IncrementalAnalysisManager {
+        IncrementalAnalysisManager {
+            embed: Mutex::new(MemoTable::new(capacity)),
+            lint: Mutex::new(MemoTable::new(capacity)),
+            absint: Mutex::new(MemoTable::new(capacity)),
+            validate: Mutex::new(MemoTable::new(capacity)),
+            embed_hits: AtomicU64::new(0),
+            embed_misses: AtomicU64::new(0),
+            lint_hits: AtomicU64::new(0),
+            lint_misses: AtomicU64::new(0),
+            absint_hits: AtomicU64::new(0),
+            absint_misses: AtomicU64::new(0),
+            validate_hits: AtomicU64::new(0),
+            validate_misses: AtomicU64::new(0),
+            recomputed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether `POSETRL_INCREMENTAL` leaves incremental analysis on
+    /// (absent, or anything but `0`/`false`/`off`).
+    pub fn enabled_from_env() -> bool {
+        match std::env::var("POSETRL_INCREMENTAL") {
+            Ok(v) => {
+                let v = v.trim().to_ascii_lowercase();
+                !(v == "0" || v == "false" || v == "off")
+            }
+            Err(_) => true,
+        }
+    }
+
+    /// A fresh shared manager when the environment leaves incremental
+    /// analysis on.
+    pub fn from_env() -> Option<Arc<IncrementalAnalysisManager>> {
+        Self::enabled_from_env().then(|| Arc::new(Self::new()))
+    }
+
+    /// Per-function embedding memo: returns the cached vector for `key`
+    /// or computes, stores and returns it.
+    pub fn embed_memo(&self, key: EmbedKey, compute: impl FnOnce() -> Vec<f64>) -> Arc<Vec<f64>> {
+        if let Some(v) = self.embed.lock().unwrap().get(&key) {
+            self.embed_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.embed_misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(compute());
+        self.embed.lock().unwrap().put(key, Arc::clone(&v));
+        v
+    }
+
+    /// Per-function lint-bundle memo.
+    pub fn lint_memo(
+        &self,
+        key: LintKey,
+        compute: impl FnOnce() -> Vec<Diagnostic>,
+    ) -> Arc<Vec<Diagnostic>> {
+        if let Some(v) = self.lint.lock().unwrap().get(&key) {
+            self.lint_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.lint_misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(compute());
+        self.lint.lock().unwrap().put(key, Arc::clone(&v));
+        v
+    }
+
+    /// Absint function-analysis memo. `name` feeds the recompute log on
+    /// a miss.
+    pub fn absint_memo(
+        &self,
+        name: &str,
+        key: AbsintKey,
+        compute: impl FnOnce() -> (FuncFacts, AbsVal),
+    ) -> Arc<(FuncFacts, AbsVal)> {
+        if let Some(v) = self.absint.lock().unwrap().get(&key) {
+            self.absint_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.absint_misses.fetch_add(1, Ordering::Relaxed);
+        self.recomputed.lock().unwrap().push(name.to_string());
+        let v = Arc::new(compute());
+        self.absint.lock().unwrap().put(key, Arc::clone(&v));
+        v
+    }
+
+    /// Validate obligation memo: a cached `Proved`/`Inconclusive`
+    /// verdict, or `None` on a miss (the caller computes and reports
+    /// back via [`IncrementalAnalysisManager::record_validate`]).
+    pub fn validate_memo(&self, key: &ValidateKey) -> Option<CachedVerdict> {
+        let hit = self.validate.lock().unwrap().get(key);
+        match &hit {
+            Some(_) => self.validate_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.validate_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores a freshly computed validate verdict (refutations are never
+    /// cached).
+    pub fn record_validate(&self, key: ValidateKey, verdict: &Verdict) {
+        if let Some(cv) = CachedVerdict::of(verdict) {
+            self.validate.lock().unwrap().put(key, cv);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            embed: ClassStats {
+                hits: self.embed_hits.load(Ordering::Relaxed),
+                misses: self.embed_misses.load(Ordering::Relaxed),
+            },
+            lint: ClassStats {
+                hits: self.lint_hits.load(Ordering::Relaxed),
+                misses: self.lint_misses.load(Ordering::Relaxed),
+            },
+            absint: ClassStats {
+                hits: self.absint_hits.load(Ordering::Relaxed),
+                misses: self.absint_misses.load(Ordering::Relaxed),
+            },
+            validate: ClassStats {
+                hits: self.validate_hits.load(Ordering::Relaxed),
+                misses: self.validate_misses.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Total absint analyses actually recomputed so far (the invalidation
+    /// counter hook).
+    pub fn absint_recomputes(&self) -> u64 {
+        self.absint_misses.load(Ordering::Relaxed)
+    }
+
+    /// Drains the absint recompute log: every function name whose
+    /// analysis re-ran since the last drain, in recompute order
+    /// (duplicates preserved — the SCC fixpoint legitimately revisits).
+    pub fn drain_recomputed(&self) -> Vec<String> {
+        std::mem::take(&mut *self.recomputed.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embed_memo_hits_and_first_write_wins() {
+        let mgr = IncrementalAnalysisManager::new();
+        let a = mgr.embed_memo((1, 2), || vec![1.0, 2.0]);
+        let b = mgr.embed_memo((1, 2), || panic!("must not recompute"));
+        assert_eq!(a, b);
+        let st = mgr.stats();
+        assert_eq!((st.embed.hits, st.embed.misses), (1, 1));
+        assert!(st.embed.hit_rate() > 0.49 && st.embed.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_table() {
+        let mgr = IncrementalAnalysisManager::with_capacity(2);
+        mgr.embed_memo((1, 0), Vec::new);
+        mgr.embed_memo((2, 0), Vec::new);
+        mgr.embed_memo((3, 0), Vec::new); // evicts (1, 0)
+        mgr.embed_memo((1, 0), Vec::new); // recomputes
+        let st = mgr.stats();
+        assert_eq!(st.embed.misses, 4);
+        assert_eq!(st.embed.hits, 0);
+    }
+
+    #[test]
+    fn recompute_log_drains() {
+        let mgr = IncrementalAnalysisManager::new();
+        let facts = FuncFacts {
+            values: Vec::new(),
+            reachable: Vec::new(),
+        };
+        mgr.absint_memo("f", (1, 1, 1), || (facts.clone(), AbsVal::Top));
+        mgr.absint_memo("f", (1, 1, 1), || (facts.clone(), AbsVal::Top));
+        mgr.absint_memo("g", (2, 1, 1), || (facts.clone(), AbsVal::Top));
+        assert_eq!(mgr.drain_recomputed(), vec!["f", "g"]);
+        assert!(mgr.drain_recomputed().is_empty());
+        assert_eq!(mgr.absint_recomputes(), 2);
+    }
+
+    #[test]
+    fn validate_memo_skips_refutations() {
+        let mgr = IncrementalAnalysisManager::new();
+        assert!(mgr.validate_memo(&(1, 2, 3)).is_none());
+        mgr.record_validate((1, 2, 3), &Verdict::Proved);
+        assert_eq!(mgr.validate_memo(&(1, 2, 3)), Some(CachedVerdict::Proved));
+        assert_eq!(
+            CachedVerdict::of(&Verdict::Proved),
+            Some(CachedVerdict::Proved)
+        );
+    }
+
+    #[test]
+    fn env_gate_defaults_on() {
+        // Do not mutate the process environment here (tests run in
+        // parallel); just pin the unset-variable default.
+        if std::env::var("POSETRL_INCREMENTAL").is_err() {
+            assert!(IncrementalAnalysisManager::enabled_from_env());
+        }
+    }
+}

@@ -29,15 +29,20 @@ pub mod analyses;
 pub mod dataflow;
 pub mod diag;
 pub mod exit_codes;
+pub mod incremental;
 pub mod sanitizer;
 pub mod validate;
 
-pub use absint::{analyze_module, FnSummary, FuncFacts, ModuleAbsint};
-pub use analyses::run_all;
+pub use absint::{analyze_module, analyze_module_with, FnSummary, FuncFacts, ModuleAbsint};
+pub use analyses::{run_all, run_all_with};
 pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
 pub use diag::{codes, Diagnostic, Severity};
+pub use incremental::{CachedVerdict, ClassStats, IncrementalAnalysisManager, IncrementalStats};
 pub use sanitizer::{
     check_sanitize_env, expect_verified, MiscompileReport, ParseLevelError, SanitizeLevel,
     Sanitizer, SanitizerStats, TransformVerdict,
 };
-pub use validate::{validate_transform, EnvParseError, ModuleValidation, ValidateConfig, Verdict};
+pub use validate::{
+    validate_transform, validate_transform_with, EnvParseError, ModuleValidation, ValidateConfig,
+    Verdict,
+};

@@ -31,9 +31,10 @@
 //! whatever repro it has at that point; the interpreter fuel of every
 //! differential run is `POSETRL_SANITIZE_DIFF_FUEL` (default 2 000 000).
 
-use crate::analyses::{run_all, sort_report};
+use crate::analyses::{run_all_with, sort_report};
 use crate::diag::{codes, Diagnostic, Severity};
-use crate::validate::{validate_transform, EnvParseError, ValidateConfig};
+use crate::incremental::IncrementalAnalysisManager;
+use crate::validate::{validate_transform_with, EnvParseError, ValidateConfig};
 use posetrl_ir::interp::{InterpConfig, Interpreter, Observation, RtVal};
 use posetrl_ir::printer::print_module;
 use posetrl_ir::verifier::verify_module;
@@ -248,6 +249,10 @@ pub struct Sanitizer {
     validate_proved: AtomicU64,
     validate_refuted: AtomicU64,
     validate_inconclusive: AtomicU64,
+    // Optional per-function memo store: set once at wiring time, shared
+    // with the evaluation cache / environments so every lint + validate
+    // pass reuses untouched-function results (bit-identical contract).
+    incremental: std::sync::Mutex<Option<std::sync::Arc<IncrementalAnalysisManager>>>,
 }
 
 impl Sanitizer {
@@ -269,6 +274,17 @@ impl Sanitizer {
     /// `true` unless the level is [`SanitizeLevel::Off`].
     pub fn enabled(&self) -> bool {
         self.level != SanitizeLevel::Off
+    }
+
+    /// Attaches (or detaches) the incremental analysis manager every
+    /// subsequent lint / validate pass memoizes through.
+    pub fn set_incremental(&self, mgr: Option<std::sync::Arc<IncrementalAnalysisManager>>) {
+        *self.incremental.lock().unwrap() = mgr;
+    }
+
+    /// The attached incremental manager, if any.
+    pub fn incremental(&self) -> Option<std::sync::Arc<IncrementalAnalysisManager>> {
+        self.incremental.lock().unwrap().clone()
     }
 
     /// Snapshot of the cumulative counters.
@@ -293,7 +309,7 @@ impl Sanitizer {
             return Vec::new();
         }
         self.module_checks.fetch_add(1, Ordering::Relaxed);
-        let diags = lint_module(m);
+        let diags = lint_module(m, self.incremental().as_deref());
         let noisy = diags
             .iter()
             .filter(|d| d.severity >= Severity::Warning)
@@ -325,10 +341,14 @@ impl Sanitizer {
             return verdict;
         }
         self.checks.fetch_add(1, Ordering::Relaxed);
+        let mgr = self.incremental();
 
         // -- layer 1: verifier + lints, differenced against `pre` -----------
-        let pre_keys: HashSet<String> = lint_module(pre).iter().map(diag_key).collect();
-        let post_diags = lint_module(post);
+        let pre_keys: HashSet<String> = lint_module(pre, mgr.as_deref())
+            .iter()
+            .map(diag_key)
+            .collect();
+        let post_diags = lint_module(post, mgr.as_deref());
         let mut fresh: Vec<Diagnostic> = post_diags
             .into_iter()
             .filter(|d| d.severity >= Severity::Warning && !pre_keys.contains(&diag_key(d)))
@@ -347,7 +367,7 @@ impl Sanitizer {
         // anything inconclusive escalates to the dynamic fallback below
         let mut run_diff = self.level == SanitizeLevel::Full;
         if self.level == SanitizeLevel::Validate {
-            let mv = validate_transform(pre, post, &self.validate_cfg);
+            let mv = validate_transform_with(pre, post, &self.validate_cfg, mgr.as_deref());
             self.validate_proved
                 .fetch_add(mv.proved() as u64, Ordering::Relaxed);
             self.validate_refuted
@@ -418,9 +438,9 @@ pub fn expect_verified(m: &Module, context: &str) {
 }
 
 /// Verifier + lint suite as one diagnostic list.
-fn lint_module(m: &Module) -> Vec<Diagnostic> {
+fn lint_module(m: &Module, mgr: Option<&IncrementalAnalysisManager>) -> Vec<Diagnostic> {
     match verify_module(m) {
-        Ok(()) => run_all(m),
+        Ok(()) => run_all_with(m, mgr),
         // a structurally broken module makes the dataflow analyses
         // meaningless; report only the verifier finding
         Err(e) => vec![Diagnostic {

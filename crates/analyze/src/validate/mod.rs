@@ -37,7 +37,10 @@ pub mod refine;
 pub mod sat;
 pub mod term;
 
-pub use refine::{validate_transform, Counterexample, FuncVerdict, ModuleValidation, Verdict};
+pub use refine::{
+    validate_transform, validate_transform_with, Counterexample, FuncVerdict, ModuleValidation,
+    Verdict,
+};
 
 /// Budgets for one validation problem. All knobs are env-tunable via
 /// `POSETRL_VALIDATE_*`; the defaults are sized for the generated

@@ -116,14 +116,104 @@ impl ModuleValidation {
 /// name). Deleted source-only functions are ignored — removing an
 /// unused definition cannot add behaviours.
 pub fn validate_transform(src: &Module, tgt: &Module, cfg: &ValidateConfig) -> ModuleValidation {
+    validate_transform_with(src, tgt, cfg, None)
+}
+
+/// Digest of everything one function-pair obligation can read on one
+/// side: the transitive direct-call closure's fingerprints plus the
+/// global table. Symbolic execution inlines callees and the interpreter
+/// replay runs them, so the closure (not just the pair) is the sound
+/// memo unit. If the closure takes any function address, fall back to
+/// folding in the whole module hash — an indirect target could be
+/// anything.
+fn closure_digest(m: &Module, root: FuncId) -> u128 {
+    use posetrl_ir::{Op, Value};
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut stack = vec![root.0];
+    let mut has_fn_ptr = false;
+    while let Some(i) = stack.pop() {
+        if !seen.insert(i) {
+            continue;
+        }
+        let Some(f) = m.func(FuncId(i)) else { continue };
+        for id in f.inst_ids() {
+            let op = f.op(id);
+            if let Op::Call { callee, .. } = op {
+                stack.push(callee.0);
+            }
+            for v in op.operands() {
+                if matches!(v, Value::Func(_)) {
+                    has_fn_ptr = true;
+                }
+            }
+        }
+    }
+    let mut s = String::new();
+    for i in &seen {
+        let fp = m
+            .func(FuncId(*i))
+            .map(|f| posetrl_ir::function_fingerprint(m, f))
+            .unwrap_or(0);
+        let _ = write!(s, "{i}:{fp:032x};");
+    }
+    let _ = write!(s, "|g{:032x}", posetrl_ir::globals_fingerprint(m));
+    if has_fn_ptr {
+        let _ = write!(s, "|m{}", posetrl_ir::module_hash(m));
+    }
+    posetrl_ir::digest_str(&s)
+}
+
+/// [`validate_transform`], optionally memoizing per-pair obligations
+/// through an [`IncrementalAnalysisManager`]. Only pre-escalation
+/// `Proved`/`Inconclusive` verdicts are cached — they are pure functions
+/// of the closure digests — so cached and fresh runs produce identical
+/// `ModuleValidation`s.
+///
+/// [`IncrementalAnalysisManager`]: crate::incremental::IncrementalAnalysisManager
+pub fn validate_transform_with(
+    src: &Module,
+    tgt: &Module,
+    cfg: &ValidateConfig,
+    mgr: Option<&crate::incremental::IncrementalAnalysisManager>,
+) -> ModuleValidation {
     let trace = std::env::var("POSETRL_VALIDATE_TRACE").is_ok();
     let globals_identical = globals_identical(src, tgt);
     let global_issue = global_issue(src, tgt);
+    let cfg_digest = mgr.map(|_| posetrl_ir::digest_str(&format!("{cfg:?}")));
     let mut out = ModuleValidation::default();
     for tid in tgt.func_ids() {
         let started = std::time::Instant::now();
         let tf = tgt.func(tid).expect("function exists");
         let name = tf.name.clone();
+        let memo_key = match (mgr, src.func_by_name(&name)) {
+            (Some(_), Some(sid)) => Some((
+                cfg_digest.unwrap(),
+                closure_digest(src, sid),
+                closure_digest(tgt, tid),
+            )),
+            _ => None,
+        };
+        if let (Some(mgr), Some(key)) = (mgr, &memo_key) {
+            if let Some(cv) = mgr.validate_memo(key) {
+                let verdict = cv.to_verdict();
+                if trace {
+                    eprintln!(
+                        "[validate] @{name} [{}] {} (memo) in {:?}",
+                        tgt.name,
+                        match &verdict {
+                            Verdict::Proved => "proved".to_string(),
+                            Verdict::Refuted(_) => "refuted".to_string(),
+                            Verdict::Inconclusive(why) => format!("inconclusive: {why}"),
+                        },
+                        started.elapsed()
+                    );
+                }
+                out.funcs.push(FuncVerdict { name, verdict });
+                continue;
+            }
+        }
         let verdict = 'v: {
             let Some(sid) = src.func_by_name(&name) else {
                 break 'v Verdict::Inconclusive("function introduced by the pass".into());
@@ -159,6 +249,12 @@ pub fn validate_transform(src: &Module, tgt: &Module, cfg: &ValidateConfig) -> M
             }
             validate_pair(src, tgt, sid, tid, cfg)
         };
+        // Cache the pre-escalation verdict: `Proved`/`Inconclusive` are
+        // pure functions of the closure digests (escalation only fires
+        // on `Refuted`, which is never cached).
+        if let (Some(mgr), Some(key)) = (mgr, memo_key) {
+            mgr.record_validate(key, &verdict);
+        }
         // Per-function refutation is only the final word for functions
         // whose standalone behaviour must be preserved: externally
         // visible ones and the module's differential entry. An internal

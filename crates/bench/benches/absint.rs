@@ -4,7 +4,7 @@
 //! `EnvConfig::static_features` is on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use posetrl_analyze::absint;
+use posetrl_analyze::{absint, IncrementalAnalysisManager};
 use posetrl_bench::bench_module;
 use std::hint::black_box;
 
@@ -13,6 +13,22 @@ fn bench_analyze_module(c: &mut Criterion) {
     c.bench_function("absint_analyze_module", |b| {
         b.iter(|| black_box(absint::analyze_module(black_box(&m))))
     });
+}
+
+/// Incremental-vs-full: the same module analysis through a warmed
+/// [`IncrementalAnalysisManager`], so every `analyze_function` leaf is a
+/// per-function memo hit. Compare against `absint_analyze_module` (the
+/// from-scratch path) — the results are bit-identical.
+fn bench_analyze_module_incremental(c: &mut Criterion) {
+    let m = bench_module(5);
+    let mgr = IncrementalAnalysisManager::new();
+    let full = absint::analyze_module(&m);
+    let warm = absint::analyze_module_with(&m, Some(&mgr));
+    assert_eq!(full, warm, "incremental analysis must be bit-identical");
+    c.bench_function("absint_analyze_module_incremental_warm", |b| {
+        b.iter(|| black_box(absint::analyze_module_with(black_box(&m), Some(&mgr))))
+    });
+    eprintln!("[absint] {}", mgr.stats().render());
 }
 
 fn bench_features(c: &mut Criterion) {
@@ -34,5 +50,11 @@ fn bench_lints(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analyze_module, bench_features, bench_lints);
+criterion_group!(
+    benches,
+    bench_analyze_module,
+    bench_analyze_module_incremental,
+    bench_features,
+    bench_lints
+);
 criterion_main!(benches);

@@ -12,9 +12,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use posetrl::actions::ActionSet;
 use posetrl::engine::{train_parallel, EngineConfig};
+use posetrl::env::{EnvConfig, PhaseEnv};
 use posetrl::eval::{evaluate_suite, evaluate_suite_parallel, ParallelEval};
 use posetrl::trainer::TrainedModel;
 use posetrl::EvalCache;
+use posetrl_analyze::IncrementalAnalysisManager;
 use posetrl_target::TargetArch;
 use posetrl_workloads::{mibench, training_suite, Benchmark};
 use std::hint::black_box;
@@ -55,5 +57,50 @@ fn bench_validation_sweeps(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_validation_sweeps);
+/// Incremental-vs-full on the warm episode path: a fixed 15-step episode
+/// replayed with and without a (persistent, hence warm after the first
+/// iteration) per-function [`IncrementalAnalysisManager`]. With the
+/// manager attached, each step re-embeds and re-analyzes only the
+/// functions the step's passes touched; without it, every step restarts
+/// from scratch. No `EvalCache` is attached, so the comparison isolates
+/// the per-function memoization (a step memo would hide the analysis
+/// work entirely). States are bit-identical either way
+/// (tests/incremental_equivalence.rs).
+fn bench_incremental_episode(c: &mut Criterion) {
+    let module = mibench()
+        .into_iter()
+        .next()
+        .expect("mibench is non-empty")
+        .module;
+    let actions = ActionSet::odg();
+    let seq: [usize; 15] = [8, 23, 30, 13, 5, 19, 0, 33, 21, 10, 2, 27, 17, 6, 31];
+    let cfg = EnvConfig {
+        static_features: true,
+        ..EnvConfig::default()
+    };
+    for incremental in [false, true] {
+        let label = if incremental {
+            "episode_15step_incremental_warm"
+        } else {
+            "episode_15step_full"
+        };
+        let mut env = PhaseEnv::new(cfg.clone(), actions.clone());
+        let mgr = incremental.then(|| Arc::new(IncrementalAnalysisManager::new()));
+        env.set_incremental(mgr.clone());
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let mut state = env.reset(module.clone());
+                for &a in &seq {
+                    state = env.step(a).state;
+                }
+                black_box(state.len())
+            })
+        });
+        if let Some(mgr) = &mgr {
+            eprintln!("[parallel_eval] {}", mgr.stats().render());
+        }
+    }
+}
+
+criterion_group!(benches, bench_validation_sweeps, bench_incremental_episode);
 criterion_main!(benches);

@@ -248,6 +248,10 @@ impl CacheStats {
 pub struct EvalCache {
     shards: Box<[Shard]>,
     shard_capacity: usize,
+    /// Optional per-function incremental analysis manager. Environments
+    /// adopting this cache also adopt the manager, so every worker sharing
+    /// the cache shares one set of per-function memo tables.
+    incremental: Option<Arc<posetrl_analyze::IncrementalAnalysisManager>>,
 }
 
 impl EvalCache {
@@ -271,7 +275,25 @@ impl EvalCache {
         EvalCache {
             shards: (0..n).map(|_| Shard::new()).collect(),
             shard_capacity: per_shard,
+            incremental: None,
         }
+    }
+
+    /// Attaches a per-function [`IncrementalAnalysisManager`] shared by
+    /// every environment that adopts this cache (builder style).
+    ///
+    /// [`IncrementalAnalysisManager`]: posetrl_analyze::IncrementalAnalysisManager
+    pub fn with_incremental(
+        mut self,
+        mgr: Option<Arc<posetrl_analyze::IncrementalAnalysisManager>>,
+    ) -> EvalCache {
+        self.incremental = mgr;
+        self
+    }
+
+    /// The attached incremental analysis manager, if any.
+    pub fn incremental(&self) -> Option<&Arc<posetrl_analyze::IncrementalAnalysisManager>> {
+        self.incremental.as_ref()
     }
 
     /// Creates a cache with [`EvalCache::DEFAULT_CAPACITY`], wrapped for

@@ -36,7 +36,7 @@ use crate::cache::{CacheStats, EvalCache};
 use crate::env::PhaseEnv;
 use crate::trainer::{TrainedModel, TrainerConfig};
 use parking_lot::Mutex;
-use posetrl_analyze::{SanitizeLevel, Sanitizer, SanitizerStats};
+use posetrl_analyze::{IncrementalAnalysisManager, SanitizeLevel, Sanitizer, SanitizerStats};
 use posetrl_opt::manager::PassManager;
 use posetrl_opt::pipelines;
 use posetrl_rl::dqn::{DqnAgent, DqnConfig, Policy};
@@ -62,11 +62,22 @@ pub struct EngineConfig {
     pub cache: bool,
     /// Cache capacity in entries (FIFO eviction past this).
     pub cache_capacity: usize,
+    /// Share one per-function [`IncrementalAnalysisManager`] across every
+    /// worker: embeddings, lint bundles, absint summaries and validate
+    /// obligations memoize by function content, so a step that touches one
+    /// function re-analyzes only that function. Results are bit-identical
+    /// either way. Defaults from `POSETRL_INCREMENTAL` (on unless set to
+    /// `0`/`false`/`off`).
+    pub incremental: bool,
     /// Run a greedy validation sweep every N rounds (0 = never).
     pub validate_every: usize,
     /// Seed for the per-episode rollout RNGs (independent of the agent's
     /// weight-init/replay seed so ablations can vary them separately).
     pub seed: u64,
+}
+
+fn default_incremental() -> bool {
+    IncrementalAnalysisManager::enabled_from_env()
 }
 
 impl Default for EngineConfig {
@@ -77,6 +88,7 @@ impl Default for EngineConfig {
             episodes_per_round: 8,
             cache: true,
             cache_capacity: EvalCache::DEFAULT_CAPACITY,
+            incremental: default_incremental(),
             validate_every: 0,
             seed: 0x0D15_EA5E,
         }
@@ -224,6 +236,7 @@ struct RoundCtx<'a> {
     policy: &'a Policy,
     cache: Option<&'a Arc<EvalCache>>,
     sanitizer: Option<&'a Arc<Sanitizer>>,
+    incremental: Option<&'a Arc<IncrementalAnalysisManager>>,
 }
 
 impl RoundCtx<'_> {
@@ -233,8 +246,11 @@ impl RoundCtx<'_> {
             Some(c) => PhaseEnv::with_cache(env_cfg, self.actions.clone(), Arc::clone(c)),
             None => PhaseEnv::new(env_cfg, self.actions.clone()),
         };
-        // replace the env's private sanitizer with the run-wide shared one
-        // so counters from every worker land in one stats block
+        // replace the env's private incremental manager with the run-wide
+        // shared one (or clear it when `config.incremental` is off), then
+        // do the same for the sanitizer so its counters and memo tables
+        // are shared by every worker
+        env.set_incremental(self.incremental.map(Arc::clone));
         env.set_sanitizer(self.sanitizer.map(Arc::clone));
         env
     }
@@ -360,9 +376,14 @@ pub fn train_parallel(
     };
     assert!(!used.is_empty(), "training needs at least one program");
 
-    let cache = config
-        .cache
-        .then(|| Arc::new(EvalCache::with_capacity(config.cache_capacity)));
+    let incremental = config
+        .incremental
+        .then(|| Arc::new(IncrementalAnalysisManager::new()));
+    let cache = config.cache.then(|| {
+        Arc::new(
+            EvalCache::with_capacity(config.cache_capacity).with_incremental(incremental.clone()),
+        )
+    });
     let sanitizer = (tcfg.env.sanitize != SanitizeLevel::Off)
         .then(|| Arc::new(Sanitizer::new(tcfg.env.sanitize)));
     let workers = config.resolved_workers();
@@ -444,6 +465,7 @@ pub fn train_parallel(
             policy: &policy,
             cache: cache.as_ref(),
             sanitizer: sanitizer.as_ref(),
+            incremental: incremental.as_ref(),
         };
         let results = run_round(&ctx, jobs, workers);
 

@@ -27,9 +27,9 @@
 
 use crate::actions::ActionSet;
 use crate::cache::{EvalCache, MeasureMemo, StepMemo};
-use posetrl_analyze::{SanitizeLevel, Sanitizer};
+use posetrl_analyze::{IncrementalAnalysisManager, SanitizeLevel, Sanitizer};
 use posetrl_embed::{EmbedConfig, Embedder};
-use posetrl_ir::{module_hash, Module, ModuleHash, Op};
+use posetrl_ir::{function_fingerprint, module_hash, Module, ModuleHash, Op};
 use posetrl_opt::manager::{PassManager, PipelineError};
 use posetrl_target::{mca, size::object_size, TargetArch};
 use serde::{Deserialize, Serialize};
@@ -123,6 +123,17 @@ pub struct PhaseEnv {
     /// no shared sanitizer was attached. Shared across envs (engine
     /// workers) so its counters aggregate.
     sanitizer: Option<Arc<Sanitizer>>,
+    /// Per-function incremental analysis manager: memoizes embeddings,
+    /// lint bundles, absint summaries and validate obligations by
+    /// function-content keys, so a step that touches one function
+    /// re-analyzes only that function (plus the callers whose view of it
+    /// changed). Adopted from the attached cache when it carries one,
+    /// otherwise built fresh per env unless `POSETRL_INCREMENTAL=0`.
+    /// Bit-identical to from-scratch analysis by construction.
+    incr: Option<Arc<IncrementalAnalysisManager>>,
+    /// Digest of the embedder configuration: the second component of
+    /// per-function embedding memo keys.
+    embed_cfg_digest: u128,
     /// Structural hash of the current module (tracked only when caching).
     cur_hash: Option<ModuleHash>,
     base_size: f64,
@@ -150,15 +161,23 @@ impl PhaseEnv {
             .collect();
         let sanitizer = (config.sanitize != SanitizeLevel::Off)
             .then(|| Arc::new(Sanitizer::new(config.sanitize)));
+        let embedder = Embedder::new(EmbedConfig::default());
+        let embed_cfg_digest = posetrl_ir::digest_str(&format!("{:?}", embedder.config()));
+        let incr = IncrementalAnalysisManager::from_env();
+        if let (Some(san), Some(mgr)) = (&sanitizer, &incr) {
+            san.set_incremental(Some(Arc::clone(mgr)));
+        }
         PhaseEnv {
             config,
             actions,
             action_sigs,
             pm: PassManager::new(),
-            embedder: Embedder::new(EmbedConfig::default()),
+            embedder,
             module: None,
             cache: None,
             sanitizer,
+            incr,
+            embed_cfg_digest,
             cur_hash: None,
             base_size: 0.0,
             base_cycles: 0.0,
@@ -169,17 +188,39 @@ impl PhaseEnv {
         }
     }
 
-    /// Creates an environment that memoizes evaluations in `cache`.
+    /// Creates an environment that memoizes evaluations in `cache`
+    /// (adopting the cache's incremental manager, if it carries one).
     pub fn with_cache(config: EnvConfig, actions: ActionSet, cache: Arc<EvalCache>) -> PhaseEnv {
         let mut env = PhaseEnv::new(config, actions);
-        env.cache = Some(cache);
+        env.set_cache(Some(cache));
         env
     }
 
     /// Attaches (or detaches, with `None`) a shared evaluation cache.
-    /// Takes effect from the next [`PhaseEnv::reset`].
+    /// Takes effect from the next [`PhaseEnv::reset`]. A cache carrying an
+    /// [`IncrementalAnalysisManager`] makes this env adopt it, so every
+    /// worker sharing the cache shares one set of per-function memo
+    /// tables.
     pub fn set_cache(&mut self, cache: Option<Arc<EvalCache>>) {
+        if let Some(mgr) = cache.as_ref().and_then(|c| c.incremental()) {
+            self.set_incremental(Some(Arc::clone(mgr)));
+        }
         self.cache = cache;
+    }
+
+    /// Attaches (or detaches, with `None`) an incremental analysis
+    /// manager, rewiring the sanitizer to share it. Tests use this to pin
+    /// incremental mode on or off regardless of `POSETRL_INCREMENTAL`.
+    pub fn set_incremental(&mut self, mgr: Option<Arc<IncrementalAnalysisManager>>) {
+        if let Some(san) = &self.sanitizer {
+            san.set_incremental(mgr.clone());
+        }
+        self.incr = mgr;
+    }
+
+    /// The attached incremental analysis manager, if any.
+    pub fn incremental(&self) -> Option<&Arc<IncrementalAnalysisManager>> {
+        self.incr.as_ref()
     }
 
     /// Attaches (or detaches, with `None`) a shared sanitizer, replacing
@@ -187,6 +228,9 @@ impl PhaseEnv {
     /// environments aggregates its counters (the engine does this so every
     /// worker reports into the same [`posetrl_analyze::SanitizerStats`]).
     pub fn set_sanitizer(&mut self, sanitizer: Option<Arc<Sanitizer>>) {
+        if let (Some(san), Some(mgr)) = (&sanitizer, &self.incr) {
+            san.set_incremental(Some(Arc::clone(mgr)));
+        }
         self.sanitizer = sanitizer;
     }
 
@@ -371,13 +415,30 @@ impl PhaseEnv {
     }
 
     /// Encodes a module into the RL state per the configured encoding.
+    ///
+    /// With an incremental manager attached, per-function embeddings and
+    /// absint summaries are memoized by function content, so an episode
+    /// step embeds each untouched function exactly once. The memoized
+    /// helpers replicate the from-scratch float-op order exactly, so the
+    /// state is bit-identical either way.
     pub fn encode(&self, m: &Module) -> Vec<f64> {
-        let mut v = match self.config.encoding {
-            StateEncoding::Ir2Vec => self.embedder.embed_module(m),
-            StateEncoding::Histogram => histogram_state(m, self.embedder.dim()),
+        let mut v = match (self.config.encoding, &self.incr) {
+            (StateEncoding::Ir2Vec, Some(mgr)) => self.embedder.embed_module_with(m, |e, f| {
+                let key = (function_fingerprint(m, f), self.embed_cfg_digest);
+                mgr.embed_memo(key, || e.embed_function(f))
+            }),
+            (StateEncoding::Ir2Vec, None) => self.embedder.embed_module(m),
+            (StateEncoding::Histogram, _) => histogram_state(m, self.embedder.dim()),
         };
         if self.config.static_features {
-            v.extend_from_slice(&posetrl_analyze::absint::features::module_features(m));
+            let feats = match &self.incr {
+                Some(mgr) => posetrl_analyze::absint::features::features_with(
+                    m,
+                    &posetrl_analyze::analyze_module_with(m, Some(mgr)),
+                ),
+                None => posetrl_analyze::absint::features::module_features(m),
+            };
+            v.extend_from_slice(&feats);
         }
         v
     }

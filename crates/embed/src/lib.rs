@@ -173,6 +173,11 @@ impl Embedder {
         self.config.dim
     }
 
+    /// The full configuration (consumers digest it into memo keys).
+    pub fn config(&self) -> &EmbedConfig {
+        &self.config
+    }
+
     fn operand_token(v: Value) -> &'static str {
         match v {
             Value::Inst(_) => "operand.inst",
@@ -277,10 +282,31 @@ impl Embedder {
     /// plus global-variable entities, under a fixed scale (so, like IR2Vec's
     /// raw sums, the vector's magnitude tracks program size).
     pub fn embed_module(&self, m: &Module) -> Vec<f64> {
+        self.embed_module_with(m, |e, f| std::sync::Arc::new(e.embed_function(f)))
+    }
+
+    /// [`embed_module`] with the per-function vectors supplied by
+    /// `provider` — the hook the incremental analysis manager uses to
+    /// memoize untouched functions.
+    ///
+    /// The float-operation order (function accumulation in `func_ids`
+    /// order, then globals, scale, log-compression) is exactly
+    /// [`embed_module`]'s, so as long as `provider` returns the same
+    /// vectors [`Embedder::embed_function`] would, the module vector is
+    /// bit-identical. Providers must key any memo by the function's
+    /// *arena fingerprint* (`posetrl_ir::function_fingerprint`):
+    /// accumulation inside `embed_function` walks raw arena order, so
+    /// two functions that merely print alike may embed differently.
+    ///
+    /// [`embed_module`]: Embedder::embed_module
+    pub fn embed_module_with<P>(&self, m: &Module, mut provider: P) -> Vec<f64>
+    where
+        P: FnMut(&Embedder, &Function) -> std::sync::Arc<Vec<f64>>,
+    {
         let mut v = vec![0.0; self.config.dim];
         for fid in m.func_ids() {
             let f = m.func(fid).unwrap();
-            axpy(&mut v, 1.0, &self.embed_function(f));
+            axpy(&mut v, 1.0, &provider(self, f));
         }
         for gid in m.global_ids() {
             let g = m.global(gid).unwrap();

@@ -43,7 +43,10 @@ pub mod types;
 pub mod value;
 pub mod verifier;
 
-pub use hash::{module_hash, ModuleHash};
+pub use hash::{
+    digest_str, fold_module_hash, function_fingerprint, function_hash, function_hashes,
+    globals_fingerprint, module_hash, module_header_hash, FunctionHash, ModuleHash,
+};
 pub use inst::{BinOp, CastKind, FloatPred, Inst, InstId, IntPred, Op};
 pub use module::{Block, BlockId, FnAttrs, FuncId, Function, Global, GlobalId, Linkage, Module};
 pub use types::Ty;

@@ -24,6 +24,21 @@ pub fn print_module(m: &Module) -> String {
 /// need a digest of the text (e.g. [`crate::hash::module_hash`]) can pass a
 /// hashing sink and avoid materializing the string.
 pub fn write_module<W: Write>(out: &mut W, m: &Module) -> std::fmt::Result {
+    write_module_header(out, m)?;
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        write_function_entry(out, m, f)?;
+    }
+    Ok(())
+}
+
+/// Streams the module-level prefix of the canonical form: the `module`
+/// line plus every global.
+///
+/// Concatenating this with one [`write_function_entry`] per function in
+/// `func_ids` order reproduces [`write_module`] byte for byte — the
+/// decomposition [`crate::hash::module_hash`] folds over.
+pub fn write_module_header<W: Write>(out: &mut W, m: &Module) -> std::fmt::Result {
     writeln!(out, "module \"{}\"", m.name)?;
     for gid in m.global_ids() {
         let g = m.global(gid).unwrap();
@@ -41,23 +56,26 @@ pub fn write_module<W: Write>(out: &mut W, m: &Module) -> std::fmt::Result {
             init.join(", ")
         )?;
     }
-    for fid in m.func_ids() {
-        let f = m.func(fid).unwrap();
-        out.write_char('\n')?;
-        if f.is_decl {
-            let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
-            writeln!(
-                out,
-                "declare @{}({}) -> {}",
-                f.name,
-                params.join(", "),
-                f.ret
-            )?;
-        } else {
-            write_function(out, m, f)?;
-        }
-    }
     Ok(())
+}
+
+/// Streams one function's chunk of the canonical module form: the leading
+/// blank line plus the declare line or the printed body (see
+/// [`write_module_header`]).
+pub fn write_function_entry<W: Write>(out: &mut W, m: &Module, f: &Function) -> std::fmt::Result {
+    out.write_char('\n')?;
+    if f.is_decl {
+        let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
+        writeln!(
+            out,
+            "declare @{}({}) -> {}",
+            f.name,
+            params.join(", "),
+            f.ret
+        )
+    } else {
+        write_function(out, m, f)
+    }
 }
 
 fn linkage_str(l: Linkage) -> &'static str {

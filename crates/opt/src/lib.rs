@@ -45,7 +45,9 @@ pub mod util;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use manager::{PassManager, PassRecord, PipelineError, SanitizedRun, UnknownPassError};
+pub use manager::{
+    FuncChangeSet, PassManager, PassRecord, PipelineError, SanitizedRun, UnknownPassError,
+};
 
 use posetrl_ir::Module;
 

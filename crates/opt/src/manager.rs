@@ -3,9 +3,84 @@
 use crate::passes;
 use crate::Pass;
 use posetrl_analyze::{Diagnostic, Sanitizer, TransformVerdict};
-use posetrl_ir::{module_hash, Module};
+use posetrl_ir::{function_hashes, module_header_hash, Module};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// The per-function change set one pass application produced, computed by
+/// diffing the name-keyed [`function_hashes`] tables of the pre- and
+/// post-pass modules (duplicate names fold their digests together, so a
+/// malformed module still diffs deterministically).
+///
+/// `module_hash` is a fold over exactly these per-function digests plus
+/// the header digest, so an empty change set is equivalent to "the module
+/// hash did not move".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncChangeSet {
+    /// Functions present on both sides whose chunk digest moved.
+    pub changed: Vec<String>,
+    /// Functions only the post-pass module has.
+    pub added: Vec<String>,
+    /// Functions only the pre-pass module has.
+    pub removed: Vec<String>,
+    /// Whether the module-level header (module line + globals) moved.
+    pub header_changed: bool,
+}
+
+impl FuncChangeSet {
+    /// True when nothing changed at all.
+    pub fn is_empty(&self) -> bool {
+        !self.header_changed
+            && self.changed.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+    }
+
+    /// Every function name the change set touches (changed + added +
+    /// removed), in sorted order.
+    pub fn touched(&self) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .changed
+            .iter()
+            .chain(&self.added)
+            .chain(&self.removed)
+            .cloned()
+            .collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    /// Diffs two modules into a change set.
+    pub fn diff(pre: &Module, post: &Module) -> FuncChangeSet {
+        fn table(m: &Module) -> BTreeMap<String, Vec<u128>> {
+            let mut t: BTreeMap<String, Vec<u128>> = BTreeMap::new();
+            for (name, h) in function_hashes(m) {
+                t.entry(name).or_default().push(h.0);
+            }
+            t
+        }
+        let pre_t = table(pre);
+        let post_t = table(post);
+        let mut cs = FuncChangeSet {
+            header_changed: module_header_hash(pre) != module_header_hash(post),
+            ..FuncChangeSet::default()
+        };
+        for (name, digests) in &pre_t {
+            match post_t.get(name) {
+                None => cs.removed.push(name.clone()),
+                Some(post_digests) if post_digests != digests => cs.changed.push(name.clone()),
+                Some(_) => {}
+            }
+        }
+        for name in post_t.keys() {
+            if !pre_t.contains_key(name) {
+                cs.added.push(name.clone());
+            }
+        }
+        cs
+    }
+}
 
 /// Error returned when a pipeline names a pass that is not registered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +136,10 @@ pub struct PassRecord {
     pub pass: String,
     /// Whether the pass changed the module (by hash, not self-report).
     pub changed: bool,
+    /// Which functions (and whether the header) the pass touched. Empty
+    /// iff `changed` is false. Populated only on sanitized runs — the
+    /// unsanitized fast path does not hash at all.
+    pub changes: FuncChangeSet,
     /// Non-fatal diagnostics the pass newly introduced.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -194,6 +273,7 @@ impl PassManager {
                 run.records.push(PassRecord {
                     pass: name.as_ref().to_string(),
                     changed,
+                    changes: FuncChangeSet::default(),
                     diagnostics: Vec::new(),
                 });
             }
@@ -202,9 +282,9 @@ impl PassManager {
         for name in names {
             let name = name.as_ref();
             let pre = module.clone();
-            let pre_hash = module_hash(&pre);
             self.run_pass(module, name)?;
-            let changed = module_hash(module) != pre_hash;
+            let changes = FuncChangeSet::diff(&pre, module);
+            let changed = !changes.is_empty();
             run.changed |= changed;
             let diagnostics = if changed {
                 let reapply = |input: &Module| -> Option<Module> {
@@ -225,10 +305,29 @@ impl PassManager {
             run.records.push(PassRecord {
                 pass: name.to_string(),
                 changed,
+                changes,
                 diagnostics,
             });
         }
         Ok(run)
+    }
+
+    /// Runs a single pass and reports the per-function change set
+    /// alongside the hash-derived changed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPassError`] if the name is not registered.
+    pub fn run_pass_tracked(
+        &self,
+        module: &mut Module,
+        name: &str,
+    ) -> Result<(bool, FuncChangeSet), UnknownPassError> {
+        let pre = module.clone();
+        self.run_pass(module, name)?;
+        let changes = FuncChangeSet::diff(&pre, module);
+        let changed = !changes.is_empty();
+        Ok((changed, changes))
     }
 }
 

@@ -150,8 +150,33 @@ impl Server {
         cfg: ServeConfig,
         sanitizer: Option<Arc<Sanitizer>>,
     ) -> Server {
+        // Attach a shared per-function incremental analysis manager to the
+        // sharded cache (unless POSETRL_INCREMENTAL=0): every worker env
+        // that adopts the cache then memoizes embeddings, lints, absint
+        // summaries and validate obligations by function content.
+        // Results are bit-identical either way.
+        Server::with_incremental(
+            model,
+            cfg,
+            sanitizer,
+            posetrl_analyze::IncrementalAnalysisManager::from_env(),
+        )
+    }
+
+    /// [`Server::new`] with an explicit incremental analysis manager
+    /// (`None` pins incremental mode off regardless of
+    /// `POSETRL_INCREMENTAL`). Tests use this to compare modes without
+    /// mutating the process environment.
+    pub fn with_incremental(
+        model: Arc<TrainedModel>,
+        cfg: ServeConfig,
+        sanitizer: Option<Arc<Sanitizer>>,
+        incremental: Option<Arc<posetrl_analyze::IncrementalAnalysisManager>>,
+    ) -> Server {
         let cfg = cfg.normalized();
-        let cache = Arc::new(EvalCache::sharded(cfg.cache_capacity, cfg.workers));
+        let cache = Arc::new(
+            EvalCache::sharded(cfg.cache_capacity, cfg.workers).with_incremental(incremental),
+        );
         let batcher = Batcher::new(model.agent.policy());
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),

@@ -97,23 +97,30 @@ fn responses_are_bit_identical_for_any_worker_count() {
     type Fingerprint = (String, String, Vec<u64>, u64, u64);
     let mut baseline: Option<Vec<Fingerprint>> = None;
     for workers in [1usize, 2, 8] {
-        let server = Server::new(Arc::clone(&model), cfg(workers, 8), None);
-        // submit the whole stream first so multi-worker runs actually batch
-        let pending: Vec<_> = lines.iter().map(|l| server.submit(l)).collect();
-        let got: Vec<_> = pending
-            .into_iter()
-            .map(|p| {
-                let r = ok(p.wait());
-                (r.id, r.module, r.actions, r.size_before, r.size_after)
-            })
-            .collect();
-        match &baseline {
-            None => baseline = Some(got),
-            Some(expect) => assert_eq!(
-                expect, &got,
-                "worker count {workers} changed a response — the bit-identical \
-                 contract is broken"
-            ),
+        // incremental per-function analysis must be exactly as invisible
+        // as the worker count
+        for incremental in [false, true] {
+            let mgr = incremental
+                .then(posetrl_analyze::IncrementalAnalysisManager::new)
+                .map(Arc::new);
+            let server = Server::with_incremental(Arc::clone(&model), cfg(workers, 8), None, mgr);
+            // submit the whole stream first so multi-worker runs actually batch
+            let pending: Vec<_> = lines.iter().map(|l| server.submit(l)).collect();
+            let got: Vec<_> = pending
+                .into_iter()
+                .map(|p| {
+                    let r = ok(p.wait());
+                    (r.id, r.module, r.actions, r.size_before, r.size_after)
+                })
+                .collect();
+            match &baseline {
+                None => baseline = Some(got),
+                Some(expect) => assert_eq!(
+                    expect, &got,
+                    "workers={workers} incremental={incremental} changed a response — \
+                     the bit-identical contract is broken"
+                ),
+            }
         }
     }
 }

@@ -1,0 +1,501 @@
+//! The incremental-analysis equivalence contract (PR 7).
+//!
+//! `IncrementalAnalysisManager` memoizes per-function embeddings, lint
+//! bundles, absint summaries and validate obligations by content keys.
+//! The contract is **bit-identity**: for any module reachable by any
+//! pass pipeline, the incremental path must return exactly the results
+//! of the from-scratch path — same embedding bits, same findings, same
+//! summaries, same verdicts. These tests drive random pipelines over the
+//! checked-in `.pir` corpora (examples/ir + the analyze/validate golden
+//! files) and check the equivalence after every single step, with one
+//! manager persisting across the whole pipeline so hits really happen.
+//!
+//! The second half pins *invalidation propagation* on hand-built call
+//! graphs: a local edit recomputes exactly the edited function, an edit
+//! that moves a return summary additionally recomputes the callers whose
+//! view changed (transitively), and nothing else — observed through the
+//! manager's recompute log.
+//!
+//! `POSETRL_INCREMENTAL_SWEEP=1` (nightly CI) additionally sweeps the
+//! training corpus through fixed 15-action episodes, counts bit
+//! mismatches (hard gate: zero) and archives warm-path timings to
+//! `results/incremental_sweep.json` (hard gate: incremental at least 2x
+//! faster than from-scratch on the warm episode encode path).
+
+use posetrl_analyze::{
+    absint, run_all, run_all_with, validate_transform, validate_transform_with,
+    IncrementalAnalysisManager, ValidateConfig,
+};
+use posetrl_embed::Embedder;
+use posetrl_ir::parser::parse_module;
+use posetrl_ir::{digest_str, function_fingerprint, function_hashes, module_header_hash, Module};
+use posetrl_odg::ActionSpace;
+use posetrl_opt::manager::PassManager;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Every checked-in `.pir` module: examples plus the golden corpora.
+fn corpus() -> Vec<(String, Module)> {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dirs = [
+        format!("{root}/examples/ir"),
+        format!("{root}/tests/analyze"),
+        format!("{root}/tests/analyze/absint"),
+    ];
+    let mut out = Vec::new();
+    for dir in dirs {
+        let mut paths: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("read {dir}: {e}"))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "pir"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let text = std::fs::read_to_string(&p).unwrap();
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            match parse_module(&text) {
+                Ok(m) => out.push((name, m)),
+                Err(_) => continue, // a golden file may pin a parse error
+            }
+        }
+    }
+    assert!(out.len() >= 20, "corpus unexpectedly small: {}", out.len());
+    out
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Embeds through the manager exactly the way `PhaseEnv::encode` does.
+fn embed_incremental(
+    embedder: &Embedder,
+    cfg_digest: u128,
+    m: &Module,
+    mgr: &IncrementalAnalysisManager,
+) -> Vec<f64> {
+    embedder.embed_module_with(m, |e, f| {
+        mgr.embed_memo((function_fingerprint(m, f), cfg_digest), || {
+            e.embed_function(f)
+        })
+    })
+}
+
+/// Asserts the three analysis products are bit-identical incremental vs
+/// from-scratch on `m`.
+fn assert_equivalent(
+    ctx: &str,
+    m: &Module,
+    mgr: &IncrementalAnalysisManager,
+    embedder: &Embedder,
+    cfg_digest: u128,
+) {
+    let full_embed = embedder.embed_module(m);
+    let inc_embed = embed_incremental(embedder, cfg_digest, m, mgr);
+    assert_eq!(
+        bits(&full_embed),
+        bits(&inc_embed),
+        "{ctx}: embedding bits diverged"
+    );
+    let full_lints = run_all(m);
+    let inc_lints = run_all_with(m, Some(mgr));
+    assert_eq!(full_lints, inc_lints, "{ctx}: lint report diverged");
+    let full_abs = absint::analyze_module(m);
+    let inc_abs = absint::analyze_module_with(m, Some(mgr));
+    assert_eq!(full_abs, inc_abs, "{ctx}: absint summaries diverged");
+}
+
+/// Cases per property (see tests/pass_properties.rs).
+fn proptest_cases() -> u32 {
+    std::env::var("POSETRL_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: proptest_cases(),
+        max_shrink_iters: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random pass pipelines over the `.pir` corpora: after every step the
+    /// incremental results must be bit-identical to from-scratch, with one
+    /// manager persisting across the pipeline. The per-pass change sets
+    /// must also agree with a direct function-hash diff.
+    #[test]
+    fn incremental_matches_from_scratch_at_every_step(
+        file_idx in 0usize..1_000,
+        pass_picks in prop::collection::vec(0usize..1_000, 1..8),
+    ) {
+        let corpus = corpus();
+        let (name, m0) = &corpus[file_idx % corpus.len()];
+        let mgr = IncrementalAnalysisManager::new();
+        let embedder = Embedder::default();
+        let cfg_digest = digest_str(&format!("{:?}", embedder.config()));
+        assert_equivalent(&format!("{name} (initial)"), m0, &mgr, &embedder, cfg_digest);
+
+        let pm = PassManager::new();
+        let names = pm.pass_names();
+        let mut m = m0.clone();
+        for (step, pick) in pass_picks.iter().enumerate() {
+            let pass = names[pick % names.len()];
+            let pre_header = module_header_hash(&m);
+            let pre_hashes = function_hashes(&m);
+            let (_, changes) = pm.run_pass_tracked(&mut m, pass).unwrap();
+
+            // the emitted change set matches a direct per-function diff
+            let pre_names: BTreeSet<&str> =
+                pre_hashes.iter().map(|(n, _)| n.as_str()).collect();
+            let post_hashes = function_hashes(&m);
+            let post_names: BTreeSet<&str> =
+                post_hashes.iter().map(|(n, _)| n.as_str()).collect();
+            let added: BTreeSet<&str> =
+                changes.added.iter().map(String::as_str).collect();
+            let removed: BTreeSet<&str> =
+                changes.removed.iter().map(String::as_str).collect();
+            prop_assert_eq!(
+                added,
+                post_names.difference(&pre_names).copied().collect::<BTreeSet<_>>(),
+                "{} after {}: added set", name, pass
+            );
+            prop_assert_eq!(
+                removed,
+                pre_names.difference(&post_names).copied().collect::<BTreeSet<_>>(),
+                "{} after {}: removed set", name, pass
+            );
+            prop_assert_eq!(
+                changes.header_changed,
+                pre_header != module_header_hash(&m),
+                "{} after {}: header flag", name, pass
+            );
+            fn chunk_multiset(
+                hs: &[(String, posetrl_ir::FunctionHash)],
+            ) -> BTreeMap<&str, Vec<u128>> {
+                let mut by_name: BTreeMap<&str, Vec<u128>> = BTreeMap::new();
+                for (n, h) in hs.iter().map(|(n, h)| (n.as_str(), h.0)) {
+                    by_name.entry(n).or_default().push(h);
+                }
+                by_name
+            }
+            let pre_chunks = chunk_multiset(&pre_hashes);
+            let post_chunks = chunk_multiset(&post_hashes);
+            for n in pre_names.intersection(&post_names) {
+                let moved = pre_chunks[n] != post_chunks[n];
+                prop_assert_eq!(
+                    changes.changed.iter().any(|c| c == n),
+                    moved,
+                    "{} after {}: change set must list @{} iff its chunk hash moved",
+                    name, pass, n
+                );
+            }
+
+            assert_equivalent(
+                &format!("{name} after step {step} ({pass})"),
+                &m,
+                &mgr,
+                &embedder,
+                cfg_digest,
+            );
+        }
+    }
+}
+
+/// A replay of identical analyses through a warm manager is pure hits:
+/// the absint recompute log stays empty on the second run.
+#[test]
+fn warm_replay_recomputes_nothing() {
+    for (name, m) in corpus().iter().take(8) {
+        let mgr = IncrementalAnalysisManager::new();
+        let _ = absint::analyze_module_with(m, Some(&mgr));
+        assert!(
+            !mgr.drain_recomputed().is_empty(),
+            "{name}: cold run must analyze something"
+        );
+        let _ = absint::analyze_module_with(m, Some(&mgr));
+        assert_eq!(
+            mgr.drain_recomputed(),
+            Vec::<String>::new(),
+            "{name}: warm replay must be all memo hits"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invalidation propagation on hand-built call graphs.
+// ---------------------------------------------------------------------
+
+/// Distinct function names whose absint analysis re-ran for `text`,
+/// against a manager warmed on `base`.
+fn recomputed_after_edit(base: &str, text: &str) -> BTreeSet<String> {
+    let m0 = parse_module(base).expect("base fixture parses");
+    let mgr = IncrementalAnalysisManager::new();
+    let cold = absint::analyze_module_with(&m0, Some(&mgr));
+    mgr.drain_recomputed();
+    let m1 = parse_module(text).expect("edited fixture parses");
+    let inc = absint::analyze_module_with(&m1, Some(&mgr));
+    assert_eq!(
+        inc,
+        absint::analyze_module(&m1),
+        "incremental re-analysis diverged from scratch"
+    );
+    if base == text {
+        assert_eq!(cold, inc);
+    }
+    mgr.drain_recomputed().into_iter().collect()
+}
+
+const CHAIN: &str = "module \"chain\"\n\n\
+fn @leaf() -> i64 internal {\nbb0:\n  ret 1:i64\n}\n\n\
+fn @mid() -> i64 internal {\nbb0:\n  %x = call @leaf() -> i64\n  ret %x\n}\n\n\
+fn @main() -> i64 internal {\nbb0:\n  %y = call @mid() -> i64\n  ret %y\n}\n";
+
+#[test]
+fn direct_call_chain_summary_change_propagates_to_callers() {
+    // moving @leaf's return summary invalidates the whole caller chain
+    let edited = CHAIN.replace("ret 1:i64", "ret 2:i64");
+    let recomputed = recomputed_after_edit(CHAIN, &edited);
+    let expect: BTreeSet<String> = ["leaf", "mid", "main"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    assert_eq!(recomputed, expect, "summary change recomputes the chain");
+}
+
+#[test]
+fn direct_call_chain_local_edit_recomputes_only_the_edited_function() {
+    // a body edit that keeps @leaf's return summary at [1,1] must leave
+    // @mid and @main as pure hits — invalidation is content-wise, not
+    // "every transitive caller"
+    let edited = CHAIN.replace(
+        "fn @leaf() -> i64 internal {\nbb0:\n  ret 1:i64\n}",
+        "fn @leaf() -> i64 internal {\nbb0:\n  %d = add i64 3:i64, 4:i64\n  ret 1:i64\n}",
+    );
+    assert_ne!(edited, CHAIN, "fixture edit must apply");
+    let recomputed = recomputed_after_edit(CHAIN, &edited);
+    let expect: BTreeSet<String> = ["leaf"].into_iter().map(String::from).collect();
+    assert_eq!(
+        recomputed, expect,
+        "a local edit with an unchanged summary stays local"
+    );
+}
+
+const SCC: &str = "module \"scc\"\n\n\
+fn @even(i64) -> i64 internal {\nbb0:\n  %c = icmp eq i64 %arg0, 0:i64\n  condbr %c, bb1, bb2\nbb1:\n  ret 1:i64\nbb2:\n  %n = sub i64 %arg0, 1:i64\n  %r = call @odd(%n) -> i64\n  ret %r\n}\n\n\
+fn @odd(i64) -> i64 internal {\nbb0:\n  %c = icmp eq i64 %arg0, 0:i64\n  condbr %c, bb1, bb2\nbb1:\n  ret 0:i64\nbb2:\n  %n = sub i64 %arg0, 1:i64\n  %r = call @even(%n) -> i64\n  ret %r\n}\n\n\
+fn @aloof() -> i64 internal {\nbb0:\n  ret 7:i64\n}\n\n\
+fn @main() -> i64 internal {\nbb0:\n  %r = call @even(10:i64) -> i64\n  ret %r\n}\n";
+
+#[test]
+fn scc_cycle_edit_reanalyzes_the_cycle_but_not_bystanders() {
+    // change @odd's base case: the SCC fixpoint re-runs @odd (fingerprint
+    // moved) and @even (its callee's summary moved), and @main sees the
+    // new summary; @aloof is untouched by construction
+    let edited = SCC.replace("ret 0:i64", "ret 2:i64");
+    let recomputed = recomputed_after_edit(SCC, &edited);
+    assert!(recomputed.contains("odd"), "edited SCC member re-runs");
+    assert!(
+        recomputed.contains("even"),
+        "SCC sibling re-runs once the cycle's summaries move"
+    );
+    assert!(
+        !recomputed.contains("aloof"),
+        "a function outside the SCC and its caller set must stay memoized: {recomputed:?}"
+    );
+}
+
+const ADDR: &str = "module \"addr\"\n\n\
+fn @cb(i64) -> i64 internal {\nbb0:\n  %r = add i64 %arg0, 5:i64\n  ret %r\n}\n\n\
+fn @main() -> i64 internal {\nbb0:\n  %s = alloca i64 x 1\n  store ptr &@cb, %s\n  ret 3:i64\n}\n";
+
+#[test]
+fn address_taken_root_is_isolated_from_unrelated_edits() {
+    // @cb is address-taken (analyzed as a root with top arguments) and
+    // never directly called: editing @main's unrelated body must not
+    // invalidate it, and editing @cb must not invalidate @main (no
+    // direct-call edge carries its summary)
+    let main_edit = ADDR.replace("ret 3:i64", "ret 4:i64");
+    let recomputed = recomputed_after_edit(ADDR, &main_edit);
+    let expect: BTreeSet<String> = ["main"].into_iter().map(String::from).collect();
+    assert_eq!(recomputed, expect, "address-taken root stays memoized");
+
+    let cb_edit = ADDR.replace("5:i64", "6:i64");
+    let recomputed = recomputed_after_edit(ADDR, &cb_edit);
+    let expect: BTreeSet<String> = ["cb"].into_iter().map(String::from).collect();
+    assert_eq!(
+        recomputed, expect,
+        "an address-taken root's edit invalidates only itself"
+    );
+}
+
+/// Validate obligations: memoized verdicts are bit-identical to fresh
+/// ones, both on the cold run (misses) and the warm rerun (hits).
+#[test]
+fn validate_verdicts_match_with_memoization() {
+    let pm = PassManager::new();
+    let cfg = ValidateConfig::default();
+    for (name, m0) in corpus().iter().take(6) {
+        for pass in ["instcombine", "simplifycfg"] {
+            let mut post = m0.clone();
+            pm.run_pass(&mut post, pass).unwrap();
+            let full = validate_transform(m0, &post, &cfg);
+            let mgr = IncrementalAnalysisManager::new();
+            let cold = validate_transform_with(m0, &post, &cfg, Some(&mgr));
+            let warm = validate_transform_with(m0, &post, &cfg, Some(&mgr));
+            assert_eq!(
+                format!("{full:?}"),
+                format!("{cold:?}"),
+                "{name}/{pass}: cold memoized validation diverged"
+            );
+            assert_eq!(
+                format!("{cold:?}"),
+                format!("{warm:?}"),
+                "{name}/{pass}: warm memoized validation diverged"
+            );
+            let stats = mgr.stats();
+            assert!(
+                stats.validate.misses > 0,
+                "{name}/{pass}: the cold run must populate the table"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Nightly sweep (opt-in): bit-identity + warm-path speedup, archived.
+// ---------------------------------------------------------------------
+
+#[test]
+fn incremental_sweep_archives_mismatches_and_speedup() {
+    if std::env::var("POSETRL_INCREMENTAL_SWEEP").is_err() {
+        return; // nightly CI sets the variable; the default run skips
+    }
+    let step: usize = std::env::var("POSETRL_INCREMENTAL_SWEEP_STEP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let pm = PassManager::new();
+    let space = ActionSpace::odg();
+    let embedder = Embedder::default();
+    let cfg_digest = digest_str(&format!("{:?}", embedder.config()));
+    // the determinism suite's fixed 15-action episode
+    let episode: [usize; 15] = [8, 23, 30, 13, 5, 19, 0, 33, 21, 10, 2, 27, 17, 6, 31];
+
+    let mut modules = 0usize;
+    let mut states = 0usize;
+    let mut mismatches = 0usize;
+    let mut mismatch_names: Vec<String> = Vec::new();
+    let mut full_ns = 0u128;
+    let mut inc_ns = 0u128;
+    let mut agg_stats = posetrl_analyze::IncrementalStats::default();
+
+    for b in posetrl_workloads::training_suite().iter().step_by(step) {
+        modules += 1;
+        // materialize the episode's 16 module states
+        let mut m = b.module.clone();
+        let mut trajectory = vec![m.clone()];
+        for &a in &episode {
+            for pass in space.subsequence(a % space.len()) {
+                pm.run_pass(&mut m, pass).unwrap();
+            }
+            trajectory.push(m.clone());
+        }
+        states += trajectory.len();
+
+        // from-scratch pass over the whole trajectory (the warm-path
+        // baseline: each state re-encoded and re-analyzed in full)
+        let t0 = std::time::Instant::now();
+        let full: Vec<_> = trajectory
+            .iter()
+            .map(|m| {
+                (
+                    embedder.embed_module(m),
+                    run_all(m),
+                    absint::analyze_module(m),
+                )
+            })
+            .collect();
+        full_ns += t0.elapsed().as_nanos();
+
+        // incremental: prime the manager on the trajectory once (cold),
+        // then time the warm pass — this is what episode N+1 on the same
+        // module costs, i.e. the parallel_eval warm path
+        let mgr = IncrementalAnalysisManager::new();
+        for m in &trajectory {
+            let _ = embed_incremental(&embedder, cfg_digest, m, &mgr);
+            let _ = run_all_with(m, Some(&mgr));
+            let _ = absint::analyze_module_with(m, Some(&mgr));
+        }
+        let t1 = std::time::Instant::now();
+        let inc: Vec<_> = trajectory
+            .iter()
+            .map(|m| {
+                (
+                    embed_incremental(&embedder, cfg_digest, m, &mgr),
+                    run_all_with(m, Some(&mgr)),
+                    absint::analyze_module_with(m, Some(&mgr)),
+                )
+            })
+            .collect();
+        inc_ns += t1.elapsed().as_nanos();
+
+        for (i, ((fe, fl, fa), (ie, il, ia))) in full.iter().zip(&inc).enumerate() {
+            if bits(fe) != bits(ie) || fl != il || fa != ia {
+                mismatches += 1;
+                mismatch_names.push(format!("{} state {i}", b.name));
+            }
+        }
+        let s = mgr.stats();
+        agg_stats.embed.hits += s.embed.hits;
+        agg_stats.embed.misses += s.embed.misses;
+        agg_stats.lint.hits += s.lint.hits;
+        agg_stats.lint.misses += s.lint.misses;
+        agg_stats.absint.hits += s.absint.hits;
+        agg_stats.absint.misses += s.absint.misses;
+    }
+
+    let speedup = full_ns as f64 / inc_ns.max(1) as f64;
+    let class_json = |c: posetrl_analyze::ClassStats| {
+        serde_json::json!({
+            "hits": c.hits,
+            "misses": c.misses,
+        })
+    };
+    let memo = serde_json::json!({
+        "embed": class_json(agg_stats.embed),
+        "lint": class_json(agg_stats.lint),
+        "absint": class_json(agg_stats.absint),
+    });
+    let payload = serde_json::json!({
+        "modules": modules,
+        "states": states,
+        "mismatches": mismatches,
+        "mismatch_names": mismatch_names,
+        "full_ns": full_ns as u64,
+        "incremental_warm_ns": inc_ns as u64,
+        "speedup": speedup,
+        "memo": memo,
+    });
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write(
+        "results/incremental_sweep.json",
+        serde_json::to_string_pretty(&payload).unwrap(),
+    )
+    .unwrap();
+    eprintln!(
+        "[incremental-sweep] {modules} modules / {states} states: \
+         {mismatches} mismatches, warm speedup {speedup:.2}x ({})",
+        agg_stats.render()
+    );
+
+    assert_eq!(
+        mismatches, 0,
+        "incremental results diverged from scratch: {mismatch_names:?}"
+    );
+    assert!(
+        speedup >= 2.0,
+        "warm incremental path must be at least 2x faster than from-scratch \
+         (measured {speedup:.2}x)"
+    );
+}

@@ -7,8 +7,11 @@
 //! generated, after cloning, and after running pass pipelines — rather
 //! than on hand-picked toy modules.
 
+use posetrl_ir::parser::parse_module;
 use posetrl_ir::printer::print_module;
-use posetrl_ir::{module_hash, ModuleHash};
+use posetrl_ir::{
+    fold_module_hash, function_hashes, module_hash, module_header_hash, FunctionHash, ModuleHash,
+};
 use posetrl_opt::pipelines;
 use posetrl_opt::PassManager;
 use posetrl_workloads::training_suite;
@@ -110,6 +113,85 @@ fn hash_tracks_printer_through_pass_pipelines() {
     }
     assert!(printed.len() >= 18);
     assert_hash_matches_printer(&printed);
+}
+
+/// The PR-7 fold contract on the whole corpus: `module_hash` must equal
+/// the fold of the header digest and every per-function chunk digest, in
+/// function order, so change-set tracking can reuse unchanged chunks.
+#[test]
+fn module_hash_is_fold_of_function_hashes_on_training_suite() {
+    for b in training_suite() {
+        let header = module_header_hash(&b.module);
+        let funcs = function_hashes(&b.module);
+        assert_eq!(
+            funcs.len(),
+            b.module.func_ids().count(),
+            "{}: every function gets a chunk hash",
+            b.name
+        );
+        let folded = fold_module_hash(header, funcs.iter().map(|(_, h)| h.0));
+        assert_eq!(
+            module_hash(&b.module),
+            folded,
+            "{}: module hash is the fold of its function hashes",
+            b.name
+        );
+    }
+}
+
+/// Editing one function must leave every *other* function's hash (and the
+/// header digest) untouched — the property incremental invalidation rests
+/// on — while moving both the edited function's hash and the module hash.
+#[test]
+fn function_hashes_ignore_unrelated_edits_and_track_local_ones() {
+    let base = "module \"m\"\n\nfn @stable(i64) -> i64 internal {\nbb0:\n  %x = add i64 %arg0, 1:i64\n  ret %x\n}\n\nfn @edited() -> i64 internal {\nbb0:\n  ret 1:i64\n}\n";
+    let edited = base.replace("ret 1:i64", "ret 2:i64");
+    let m0 = parse_module(base).expect("base parses");
+    let m1 = parse_module(&edited).expect("edited variant parses");
+    assert_eq!(module_header_hash(&m0), module_header_hash(&m1));
+    let h0: HashMap<String, FunctionHash> = function_hashes(&m0).into_iter().collect();
+    let h1: HashMap<String, FunctionHash> = function_hashes(&m1).into_iter().collect();
+    assert_eq!(
+        h0["stable"], h1["stable"],
+        "an edit elsewhere must not move an untouched function's hash"
+    );
+    assert_ne!(
+        h0["edited"], h1["edited"],
+        "a local mutation must move the edited function's hash"
+    );
+    assert_ne!(module_hash(&m0), module_hash(&m1));
+}
+
+/// Pass pipelines report per-function chunk hashes consistently with the
+/// printer: a function whose printed body is unchanged keeps its hash.
+#[test]
+fn function_hashes_track_printed_chunks_through_passes() {
+    let pm = PassManager::new();
+    for b in training_suite().iter().step_by(17) {
+        let mut m = b.module.clone();
+        let pre: HashMap<String, FunctionHash> = function_hashes(&m).into_iter().collect();
+        pm.run_pipeline(&mut m, &["instcombine", "simplifycfg"])
+            .expect("known passes");
+        for (name, post_hash) in function_hashes(&m) {
+            if let Some(pre_hash) = pre.get(&name) {
+                let pre_f = b
+                    .module
+                    .func(b.module.func_by_name(&name).unwrap())
+                    .unwrap();
+                let post_f = m.func(m.func_by_name(&name).unwrap()).unwrap();
+                let mut pre_text = String::new();
+                let mut post_text = String::new();
+                posetrl_ir::printer::write_function_entry(&mut pre_text, &b.module, pre_f).unwrap();
+                posetrl_ir::printer::write_function_entry(&mut post_text, &m, post_f).unwrap();
+                assert_eq!(
+                    *pre_hash == post_hash,
+                    pre_text == post_text,
+                    "{}/{name}: chunk-hash equality must match chunk-print equality",
+                    b.name
+                );
+            }
+        }
+    }
 }
 
 #[test]

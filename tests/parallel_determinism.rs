@@ -126,6 +126,44 @@ fn training_with_static_features_is_bit_identical() {
 }
 
 #[test]
+fn training_is_bit_identical_with_incremental_on_and_off_across_workers() {
+    // PR-7 contract: the per-function incremental analysis manager must be
+    // invisible — same rewards, same final weights, same greedy pipelines —
+    // for workers ∈ {1, 2, 8} with incremental on or off. Static features
+    // are enabled so the absint memo (not just the embed memo) is on the
+    // state path.
+    let programs = training_suite();
+    let run_inc = |workers: usize, incremental: bool| {
+        let mut cfg = engine_cfg(workers, true);
+        cfg.incremental = incremental;
+        cfg.trainer.env.static_features = true;
+        run_with(cfg, workers, &programs)
+    };
+    let (rewards1, weights1, greedy1) = run_inc(1, false);
+    assert!(!rewards1.is_empty());
+    for workers in [1usize, 2, 8] {
+        for incremental in [false, true] {
+            if workers == 1 && !incremental {
+                continue; // the baseline itself
+            }
+            let (rewards, weights, greedy) = run_inc(workers, incremental);
+            assert_eq!(
+                rewards1, rewards,
+                "episode rewards diverged (workers={workers}, incremental={incremental})"
+            );
+            assert_eq!(
+                weights1, weights,
+                "weights diverged (workers={workers}, incremental={incremental})"
+            );
+            assert_eq!(
+                greedy1, greedy,
+                "greedy pipeline diverged (workers={workers}, incremental={incremental})"
+            );
+        }
+    }
+}
+
+#[test]
 fn evaluation_numbers_are_identical_cached_parallel_vs_serial() {
     let programs = training_suite();
     let (model, _) = train_parallel(
