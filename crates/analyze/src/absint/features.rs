@@ -43,13 +43,25 @@
 //! | 29  | squash(call sites, 16) |
 //! | 30  | frac of call results with a non-⊤ fact |
 //! | 31  | frac of functions analyzed with ⊤ argument summaries (roots) |
+//! | 32  | squash(average points-to set size over pointer values, 2) |
+//! | 33  | frac of pointer values with a ⊤ points-to set |
+//! | 34  | frac of pointer values with a singleton points-to set |
+//! | 35  | squash(average mod-summary size per function, 4) |
+//! | 36  | squash(average ref-summary size per function, 4) |
+//! | 37  | frac of functions with a ⊤ mod or ref summary |
+//! | 38  | squash(average may-defs per load (memdep fan-in), 2) |
+//! | 39  | squash(average max store→load chain depth per function, 4) |
+//!
+//! Dims 32–39 come from the interprocedural alias/memdep analysis
+//! ([`crate::alias`]); ⊤ sets count as the configured points-to cap.
 
 use super::domain::{AbsVal, Nullness, PtrBase};
 use super::{analyze_module, ModuleAbsint};
+use crate::alias::ModuleAlias;
 use posetrl_ir::{Module, Op, Ty};
 
 /// Width of the static feature vector.
-pub const FEATURE_DIM: usize = 32;
+pub const FEATURE_DIM: usize = 40;
 
 /// `x / (x + k)`: maps a count into `[0, 1)` monotonically.
 fn squash(x: f64, k: f64) -> f64 {
@@ -71,8 +83,16 @@ fn width_log2(lo: i64, hi: i64) -> f64 {
     (128 - w.leading_zeros()) as f64 / 64.0
 }
 
-/// Computes the feature vector from a precomputed analysis.
+/// Computes the feature vector from a precomputed absint analysis,
+/// running the alias analysis internally (bit-identical to
+/// [`features_with_alias`] on the same module).
 pub fn features_with(m: &Module, mi: &ModuleAbsint) -> [f64; FEATURE_DIM] {
+    features_with_alias(m, mi, &crate::alias::analyze_module(m))
+}
+
+/// Computes the feature vector from precomputed absint *and* alias
+/// analyses.
+pub fn features_with_alias(m: &Module, mi: &ModuleAbsint, ma: &ModuleAlias) -> [f64; FEATURE_DIM] {
     let mut out = [0.0; FEATURE_DIM];
 
     let mut n_funcs = 0.0;
@@ -310,6 +330,58 @@ pub fn features_with(m: &Module, mi: &ModuleAbsint) -> [f64; FEATURE_DIM] {
     out[29] = squash(n_calls, 16.0);
     out[30] = frac(call_nontop, n_calls);
     out[31] = frac(root_funcs, n_funcs);
+
+    // dims 32–39: alias/memdep shape
+    let cap = ma.cap.max(1);
+    let (mut n_ptr_vals, mut pts_size_sum, mut pts_top, mut pts_singleton) = (0.0, 0.0, 0.0, 0.0);
+    let (mut mod_size_sum, mut ref_size_sum, mut modref_top) = (0.0, 0.0, 0.0);
+    let (mut n_loads, mut dep_sum) = (0.0, 0.0);
+    let mut chain_sum = 0.0;
+    let mut n_alias_funcs = 0.0;
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        if f.is_decl {
+            continue;
+        }
+        n_alias_funcs += 1.0;
+        if let Some(facts) = ma.facts(fid) {
+            for id in f.inst_ids() {
+                if f.op(id).result_ty() != Ty::Ptr {
+                    continue;
+                }
+                let p = facts.pts_of(id);
+                n_ptr_vals += 1.0;
+                pts_size_sum += p.size_for(cap) as f64;
+                if p.top {
+                    pts_top += 1.0;
+                } else if p.objs.len() == 1 {
+                    pts_singleton += 1.0;
+                }
+            }
+        }
+        if let Some(s) = ma.summary(fid) {
+            mod_size_sum += s.mods.size_for(cap) as f64;
+            ref_size_sum += s.refs.size_for(cap) as f64;
+            if s.mods.top || s.refs.top {
+                modref_top += 1.0;
+            }
+        }
+        if let Some(md) = ma.memdep(fid) {
+            for deps in md.load_deps.values() {
+                n_loads += 1.0;
+                dep_sum += deps.len() as f64;
+            }
+            chain_sum += md.max_chain as f64;
+        }
+    }
+    out[32] = squash(frac(pts_size_sum, n_ptr_vals), 2.0);
+    out[33] = frac(pts_top, n_ptr_vals);
+    out[34] = frac(pts_singleton, n_ptr_vals);
+    out[35] = squash(frac(mod_size_sum, n_alias_funcs), 4.0);
+    out[36] = squash(frac(ref_size_sum, n_alias_funcs), 4.0);
+    out[37] = frac(modref_top, n_alias_funcs);
+    out[38] = squash(frac(dep_sum, n_loads), 2.0);
+    out[39] = squash(frac(chain_sum, n_alias_funcs), 4.0);
     out
 }
 
@@ -364,5 +436,30 @@ bb2:
         let m = parse_module("module \"empty\"\n").unwrap();
         let f = module_features(&m);
         assert!(f.iter().all(|v| *v == 0.0), "{f:?}");
+    }
+
+    const MEM_SAMPLE: &str = r#"
+module "mem"
+
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 1
+  store i64 1:i64, %a
+  %v = load i64, %a
+  ret %v
+}
+"#;
+
+    #[test]
+    fn alias_dims_populate_and_agree_with_precomputed() {
+        let m = parse_module(MEM_SAMPLE).unwrap();
+        let f = module_features(&m);
+        assert!(f[34] > 0.9, "every pointer is a singleton slot: {}", f[34]);
+        assert_eq!(f[33], 0.0, "no ⊤ pointers: {}", f[33]);
+        assert!(f[38] > 0.0, "the load has one feeding def: {}", f[38]);
+        assert!(f[39] > 0.0, "chain depth 1: {}", f[39]);
+        let mi = analyze_module(&m);
+        let ma = crate::alias::analyze_module(&m);
+        assert_eq!(f, features_with_alias(&m, &mi, &ma), "paths bit-identical");
     }
 }

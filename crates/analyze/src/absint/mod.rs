@@ -332,7 +332,7 @@ fn analyze_function(
 
 /// Iterative Tarjan SCC over the call graph; returns SCCs bottom-up
 /// (every SCC precedes its callers).
-fn call_graph_sccs(m: &Module, callees: &HashMap<u32, Vec<u32>>) -> Vec<Vec<u32>> {
+pub(crate) fn call_graph_sccs(m: &Module, callees: &HashMap<u32, Vec<u32>>) -> Vec<Vec<u32>> {
     let nodes: Vec<u32> = m.func_ids().map(|f| f.0).collect();
     let mut index: HashMap<u32, u32> = HashMap::new();
     let mut low: HashMap<u32, u32> = HashMap::new();

@@ -17,6 +17,11 @@
 //!   argument/return summaries) are dumped in a stable textual format and
 //!   only the absint lints (`range-trap`, `null-deref`, `dead-branch`)
 //!   contribute findings. Exit codes are unchanged.
+//! - `--alias` switches to points-to mode: per-value points-to sets,
+//!   per-function mod/ref/escape summaries and the MemorySSA-style
+//!   load-dependence chains are dumped, and only the alias lints
+//!   (`store-dead`, `alias-uaf`, `uninit-load`, `const-write`) contribute
+//!   findings. Solver budgets come from the `POSETRL_ALIAS_*` knobs.
 //! - `--json` prints one JSON object per module instead of text lines.
 //! - `--level` is accepted for symmetry with the engine flags; all
 //!   levels run the same static suite here (differential execution needs
@@ -33,8 +38,8 @@
 //! (denied diagnostics or refuted functions), 2 usage or I/O error.
 
 use posetrl_analyze::{
-    exit_codes, run_all, validate_transform, Diagnostic, SanitizeLevel, Severity, ValidateConfig,
-    Verdict,
+    exit_codes, run_all, validate_transform, AliasConfig, Diagnostic, SanitizeLevel, Severity,
+    ValidateConfig, Verdict,
 };
 use posetrl_ir::parser::parse_module;
 use posetrl_ir::verifier::verify_module;
@@ -48,6 +53,7 @@ struct Options {
     corpus: bool,
     suites: bool,
     absint: bool,
+    alias: bool,
     deny: Severity,
     json: bool,
     quiet: bool,
@@ -56,7 +62,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: mini-analyze [FILES...] [--corpus] [--suites] \
-         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--json] [-q]\n\
+         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--alias] [--json] [-q]\n\
          \x20      mini-analyze --validate SRC.pir TGT.pir [--json] [-q]"
     );
     std::process::exit(exit_codes::USAGE);
@@ -69,6 +75,7 @@ fn parse_args() -> Options {
         corpus: false,
         suites: false,
         absint: false,
+        alias: false,
         deny: Severity::Error,
         json: false,
         quiet: false,
@@ -79,6 +86,7 @@ fn parse_args() -> Options {
             "--corpus" => opts.corpus = true,
             "--suites" => opts.suites = true,
             "--absint" => opts.absint = true,
+            "--alias" => opts.alias = true,
             "--json" => opts.json = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--deny" => match args.next().as_deref() {
@@ -117,6 +125,19 @@ fn parse_args() -> Options {
 fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
     let mut dump = None;
     let diags = match verify_module(m) {
+        Ok(()) if opts.alias => {
+            // budgets are env-tunable; a malformed knob is a usage error
+            let cfg = AliasConfig::try_from_env().unwrap_or_else(|e| {
+                eprintln!("mini-analyze: {e}");
+                std::process::exit(exit_codes::USAGE);
+            });
+            let ma = posetrl_analyze::alias::analyze_module_cfg(m, &cfg, None);
+            dump = Some(posetrl_analyze::alias::render(m, &ma));
+            let mut out = Vec::new();
+            posetrl_analyze::alias::lint_with(m, &ma, &mut out);
+            posetrl_analyze::analyses::sort_report(&mut out);
+            out
+        }
         Ok(()) if opts.absint => {
             let mi = posetrl_analyze::absint::analyze_module(m);
             dump = Some(posetrl_analyze::absint::render(m, &mi));

@@ -126,6 +126,11 @@ pub mod codes {
     pub const NULL_DEREF: &str = "null-deref";
     /// A conditional branch condition is provably constant.
     pub const DEAD_BRANCH: &str = "dead-branch";
+    /// A store to a frame-private slot no reachable instruction may read.
+    pub const STORE_DEAD: &str = "store-dead";
+    /// A stack address outlives its frame (returned or stored to memory
+    /// that survives the call).
+    pub const ALIAS_UAF: &str = "alias-uaf";
 }
 
 #[cfg(test)]

@@ -57,6 +57,12 @@ pub type EmbedKey = (u128, u128);
 pub type LintKey = (u128, u128);
 /// Key of one memoized absint function analysis.
 pub type AbsintKey = (u128, u128, u128);
+/// Key of one memoized alias/memdep function analysis: `(function
+/// fingerprint, fid+config digest, callee-summary digest)`. The function
+/// arena index is folded in because the points-to objects
+/// ([`crate::alias::MemObj::Alloca`]) carry it — two content-identical
+/// functions at different ids must not share a memo entry.
+pub type AliasKey = (u128, u128, u128);
 /// Key of one memoized validate obligation.
 pub type ValidateKey = (u128, u128, u128);
 
@@ -155,6 +161,8 @@ pub struct IncrementalStats {
     pub lint: ClassStats,
     /// Absint function-analysis memo.
     pub absint: ClassStats,
+    /// Alias/memdep function-analysis memo.
+    pub alias: ClassStats,
     /// Validate obligation memo.
     pub validate: ClassStats,
 }
@@ -163,11 +171,13 @@ impl IncrementalStats {
     /// One-line human-readable rendering.
     pub fn render(&self) -> String {
         format!(
-            "incremental: embed {}/{} absint {}/{} lint {}/{} validate {}/{} (hits/misses)",
+            "incremental: embed {}/{} absint {}/{} alias {}/{} lint {}/{} validate {}/{} (hits/misses)",
             self.embed.hits,
             self.embed.misses,
             self.absint.hits,
             self.absint.misses,
+            self.alias.hits,
+            self.alias.misses,
             self.lint.hits,
             self.lint.misses,
             self.validate.hits,
@@ -182,6 +192,7 @@ pub struct IncrementalAnalysisManager {
     embed: Mutex<MemoTable<EmbedKey, Arc<Vec<f64>>>>,
     lint: Mutex<MemoTable<LintKey, Arc<Vec<Diagnostic>>>>,
     absint: Mutex<MemoTable<AbsintKey, Arc<(FuncFacts, AbsVal)>>>,
+    alias: Mutex<MemoTable<AliasKey, Arc<crate::alias::AliasFnResult>>>,
     validate: Mutex<MemoTable<ValidateKey, CachedVerdict>>,
     embed_hits: AtomicU64,
     embed_misses: AtomicU64,
@@ -189,12 +200,17 @@ pub struct IncrementalAnalysisManager {
     lint_misses: AtomicU64,
     absint_hits: AtomicU64,
     absint_misses: AtomicU64,
+    alias_hits: AtomicU64,
+    alias_misses: AtomicU64,
     validate_hits: AtomicU64,
     validate_misses: AtomicU64,
     // Recompute log: function names whose absint analysis actually
     // re-ran, in recompute order. Tests drain this to assert exactly
     // which summaries a change invalidated.
     recomputed: Mutex<Vec<String>>,
+    // Same log for the alias/memdep class (kept separate so tests can
+    // assert on each analysis's invalidation independently).
+    alias_recomputed: Mutex<Vec<String>>,
 }
 
 impl std::fmt::Debug for IncrementalAnalysisManager {
@@ -223,6 +239,7 @@ impl IncrementalAnalysisManager {
             embed: Mutex::new(MemoTable::new(capacity)),
             lint: Mutex::new(MemoTable::new(capacity)),
             absint: Mutex::new(MemoTable::new(capacity)),
+            alias: Mutex::new(MemoTable::new(capacity)),
             validate: Mutex::new(MemoTable::new(capacity)),
             embed_hits: AtomicU64::new(0),
             embed_misses: AtomicU64::new(0),
@@ -230,9 +247,12 @@ impl IncrementalAnalysisManager {
             lint_misses: AtomicU64::new(0),
             absint_hits: AtomicU64::new(0),
             absint_misses: AtomicU64::new(0),
+            alias_hits: AtomicU64::new(0),
+            alias_misses: AtomicU64::new(0),
             validate_hits: AtomicU64::new(0),
             validate_misses: AtomicU64::new(0),
             recomputed: Mutex::new(Vec::new()),
+            alias_recomputed: Mutex::new(Vec::new()),
         }
     }
 
@@ -302,6 +322,25 @@ impl IncrementalAnalysisManager {
         v
     }
 
+    /// Alias/memdep function-analysis memo. `name` feeds the alias
+    /// recompute log on a miss.
+    pub fn alias_memo(
+        &self,
+        name: &str,
+        key: AliasKey,
+        compute: impl FnOnce() -> crate::alias::AliasFnResult,
+    ) -> Arc<crate::alias::AliasFnResult> {
+        if let Some(v) = self.alias.lock().unwrap().get(&key) {
+            self.alias_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.alias_misses.fetch_add(1, Ordering::Relaxed);
+        self.alias_recomputed.lock().unwrap().push(name.to_string());
+        let v = Arc::new(compute());
+        self.alias.lock().unwrap().put(key, Arc::clone(&v));
+        v
+    }
+
     /// Validate obligation memo: a cached `Proved`/`Inconclusive`
     /// verdict, or `None` on a miss (the caller computes and reports
     /// back via [`IncrementalAnalysisManager::record_validate`]).
@@ -337,6 +376,10 @@ impl IncrementalAnalysisManager {
                 hits: self.absint_hits.load(Ordering::Relaxed),
                 misses: self.absint_misses.load(Ordering::Relaxed),
             },
+            alias: ClassStats {
+                hits: self.alias_hits.load(Ordering::Relaxed),
+                misses: self.alias_misses.load(Ordering::Relaxed),
+            },
             validate: ClassStats {
                 hits: self.validate_hits.load(Ordering::Relaxed),
                 misses: self.validate_misses.load(Ordering::Relaxed),
@@ -355,6 +398,17 @@ impl IncrementalAnalysisManager {
     /// (duplicates preserved — the SCC fixpoint legitimately revisits).
     pub fn drain_recomputed(&self) -> Vec<String> {
         std::mem::take(&mut *self.recomputed.lock().unwrap())
+    }
+
+    /// Total alias analyses actually recomputed so far.
+    pub fn alias_recomputes(&self) -> u64 {
+        self.alias_misses.load(Ordering::Relaxed)
+    }
+
+    /// Drains the alias recompute log (same semantics as
+    /// [`IncrementalAnalysisManager::drain_recomputed`]).
+    pub fn drain_alias_recomputed(&self) -> Vec<String> {
+        std::mem::take(&mut *self.alias_recomputed.lock().unwrap())
     }
 }
 

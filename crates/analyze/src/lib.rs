@@ -25,6 +25,7 @@
 //! generated workload corpora for CI.
 
 pub mod absint;
+pub mod alias;
 pub mod analyses;
 pub mod dataflow;
 pub mod diag;
@@ -34,6 +35,10 @@ pub mod sanitizer;
 pub mod validate;
 
 pub use absint::{analyze_module, analyze_module_with, FnSummary, FuncFacts, ModuleAbsint};
+pub use alias::{
+    memdep::MemDep, AliasConfig, AliasFnResult, FnAliasSummary, FuncAlias, MemObj, ModuleAlias,
+    PtsSet,
+};
 pub use analyses::{run_all, run_all_with};
 pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
 pub use diag::{codes, Diagnostic, Severity};

@@ -64,7 +64,7 @@ fn main() {
                     "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|validate|full] <experiment>..."
                 );
                 println!(
-                    "experiments: table1 table2 table3 odgstats absintstats fig1 table4 table5 fig5 table6"
+                    "experiments: table1 table2 table3 odgstats absintstats aliasstats fig1 table4 table5 fig5 table6"
                 );
                 println!(
                     "             enginestats servestats ablate-reward ablate-ddqn ablate-actions"
@@ -78,13 +78,14 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "all",
         "table1",
         "table2",
         "table3",
         "odgstats",
         "absintstats",
+        "aliasstats",
         "fig1",
         "table4",
         "table5",
@@ -124,6 +125,14 @@ fn main() {
         let s = experiments::absint_stats();
         emit(
             "absintstats",
+            &s.render(),
+            &serde_json::to_value(&s).unwrap(),
+        );
+    }
+    if want("aliasstats") {
+        let s = experiments::alias_stats();
+        emit(
+            "aliasstats",
             &s.render(),
             &serde_json::to_value(&s).unwrap(),
         );

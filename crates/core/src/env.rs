@@ -432,9 +432,10 @@ impl PhaseEnv {
         };
         if self.config.static_features {
             let feats = match &self.incr {
-                Some(mgr) => posetrl_analyze::absint::features::features_with(
+                Some(mgr) => posetrl_analyze::absint::features::features_with_alias(
                     m,
                     &posetrl_analyze::analyze_module_with(m, Some(mgr)),
+                    &posetrl_analyze::alias::analyze_module_with(m, Some(mgr)),
                 ),
                 None => posetrl_analyze::absint::features::module_features(m),
             };

@@ -1,9 +1,11 @@
-//! Dead-code elimination family: `-adce`, `-bdce`, `-dse`.
+//! Dead-code elimination family: `-adce`, `-bdce`.
+//!
+//! (`-dse` lives in [`crate::passes::dse`] — it is alias-analysis-backed.)
 
-use crate::util::{is_removable, may_alias, pointer_root, simplify_trivial_phis, PtrRoot};
+use crate::util::{is_removable, simplify_trivial_phis};
 use crate::Pass;
 use posetrl_ir::{BinOp, Const, Function, InstId, Module, Op, Ty, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// `-adce`: aggressive dead-code elimination.
 ///
@@ -229,121 +231,6 @@ fn bit_simplify(f: &mut Function) -> bool {
     changed
 }
 
-/// `-dse`: dead-store elimination.
-///
-/// Removes (a) stores overwritten by a later store to the same address in
-/// the same block with no intervening reader, and (b) all stores to
-/// non-escaping allocas that are never loaded.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Dse;
-
-impl Pass for Dse {
-    fn name(&self) -> &'static str {
-        "dse"
-    }
-
-    fn run(&self, module: &mut Module) -> bool {
-        let snapshot = module.clone();
-        let mut changed = false;
-        module.for_each_body(|_, f| {
-            changed |= dse_block_local(&snapshot, f);
-            changed |= dse_dead_slots(f);
-        });
-        changed
-    }
-}
-
-fn dse_block_local(m: &Module, f: &mut Function) -> bool {
-    let mut dead: Vec<InstId> = Vec::new();
-    for b in f.block_ids().collect::<Vec<_>>() {
-        // pending[ptr value] = earlier store awaiting a decision
-        let mut pending: HashMap<Value, InstId> = HashMap::new();
-        for &id in &f.block(b).unwrap().insts.clone() {
-            match f.op(id) {
-                Op::Store { ptr, .. } => {
-                    if let Some(&prev) = pending.get(ptr) {
-                        // same pointer value overwritten with no reader between
-                        dead.push(prev);
-                    }
-                    // a store to P clobbers knowledge about aliasing pointers
-                    pending.retain(|p, _| !may_alias(f, *p, *ptr));
-                    pending.insert(*ptr, id);
-                }
-                Op::Load { ptr, .. } => {
-                    pending.retain(|p, _| !may_alias(f, *p, *ptr));
-                }
-                Op::MemCpy { src, dst, .. } => {
-                    pending.retain(|p, _| !may_alias(f, *p, *src) && !may_alias(f, *p, *dst));
-                }
-                Op::MemSet { dst, .. } => {
-                    pending.retain(|p, _| !may_alias(f, *p, *dst));
-                }
-                Op::Call { callee, .. }
-                    if (!crate::util::call_is_readonly(m, *callee)
-                        || !crate::util::call_is_pure(m, *callee)) =>
-                {
-                    // the callee may read any memory we can't prove local
-                    pending.retain(|p, _| {
-                            matches!(pointer_root(f, *p).0, PtrRoot::Alloca(a) if !crate::util::alloca_escapes(f, a))
-                        });
-                }
-                _ => {}
-            }
-        }
-    }
-    if dead.is_empty() {
-        return false;
-    }
-    dead.sort();
-    dead.dedup();
-    for id in dead {
-        f.remove_inst(id);
-    }
-    true
-}
-
-fn dse_dead_slots(f: &mut Function) -> bool {
-    // allocas that never escape and are never loaded from (directly or via
-    // geps/memcpy): their stores are unobservable
-    let mut candidates: Vec<InstId> = Vec::new();
-    'next: for id in f.inst_ids() {
-        if !matches!(f.op(id), Op::Alloca { .. }) {
-            continue;
-        }
-        if crate::util::alloca_escapes(f, id) {
-            continue;
-        }
-        for user in f.inst_ids() {
-            match f.op(user) {
-                Op::Load { ptr, .. } if pointer_root(f, *ptr).0 == PtrRoot::Alloca(id) => {
-                    continue 'next;
-                }
-                Op::MemCpy { src, .. } if pointer_root(f, *src).0 == PtrRoot::Alloca(id) => {
-                    continue 'next;
-                }
-                _ => {}
-            }
-        }
-        candidates.push(id);
-    }
-    let mut changed = false;
-    for alloca in candidates {
-        for user in f.inst_ids() {
-            let remove = match f.op(user) {
-                Op::Store { ptr, .. } => pointer_root(f, *ptr).0 == PtrRoot::Alloca(alloca),
-                Op::MemSet { dst, .. } => pointer_root(f, *dst).0 == PtrRoot::Alloca(alloca),
-                Op::MemCpy { dst, .. } => pointer_root(f, *dst).0 == PtrRoot::Alloca(alloca),
-                _ => false,
-            };
-            if remove {
-                f.remove_inst(user);
-                changed = true;
-            }
-        }
-    }
-    changed
-}
-
 #[cfg(test)]
 mod tests {
     use crate::testutil::{assert_preserves, count_ops};
@@ -441,94 +328,5 @@ bb0:
             &[vec![RtVal::Int(13)], vec![RtVal::Int(-13)]],
         );
         assert_eq!(count_ops(&m, "srem"), 0);
-    }
-
-    #[test]
-    fn dse_removes_overwritten_store() {
-        let m = assert_preserves(
-            r#"
-module "m"
-global @g : i64 x 1 mutable internal = []
-fn @main() -> i64 internal {
-bb0:
-  store i64 1:i64, @g
-  store i64 2:i64, @g
-  %v = load i64, @g
-  ret %v
-}
-"#,
-            &["dse"],
-            &[],
-        );
-        assert_eq!(count_ops(&m, "store"), 1);
-    }
-
-    #[test]
-    fn dse_keeps_store_with_intervening_load() {
-        let m = assert_preserves(
-            r#"
-module "m"
-global @g : i64 x 1 mutable internal = []
-fn @main() -> i64 internal {
-bb0:
-  store i64 1:i64, @g
-  %v = load i64, @g
-  store i64 2:i64, @g
-  %w = load i64, @g
-  %r = add i64 %v, %w
-  ret %r
-}
-"#,
-            &["dse"],
-            &[],
-        );
-        assert_eq!(count_ops(&m, "store"), 2);
-    }
-
-    #[test]
-    fn dse_removes_stores_to_never_loaded_slot() {
-        let m = assert_preserves(
-            r#"
-module "m"
-fn @main(i64) -> i64 internal {
-bb0:
-  %p = alloca i64 x 4
-  %q = gep i64, %p, 1:i64
-  store i64 %arg0, %q
-  memset i64 %p, 0:i64, 4:i64
-  ret %arg0
-}
-"#,
-            &["dse"],
-            &[vec![RtVal::Int(3)]],
-        );
-        assert_eq!(count_ops(&m, "store"), 0);
-        assert_eq!(count_ops(&m, "memset"), 0);
-    }
-
-    #[test]
-    fn dse_respects_aliasing_unknown_pointers() {
-        let m = assert_preserves(
-            r#"
-module "m"
-declare @get(ptr) -> void
-fn @main(i64) -> i64 internal {
-bb0:
-  %p = alloca i64 x 1
-  store i64 1:i64, %p
-  call @get(%p) -> void
-  store i64 2:i64, %p
-  %v = load i64, %p
-  ret %v
-}
-"#,
-            &["dse"],
-            &[],
-        );
-        assert_eq!(
-            count_ops(&m, "store"),
-            2,
-            "call may observe the first store"
-        );
     }
 }

@@ -9,8 +9,9 @@
 
 use crate::util::{call_is_pure, may_alias};
 use crate::Pass;
+use posetrl_analyze::ModuleAlias;
 use posetrl_ir::analysis::{Cfg, DomTree};
-use posetrl_ir::{Function, InstId, Module, Op, Ty, Value};
+use posetrl_ir::{FuncId, Function, InstId, Module, Op, Ty, Value};
 use std::collections::HashMap;
 
 /// Expression identity for value numbering.
@@ -78,18 +79,32 @@ impl Pass for EarlyCse {
     fn run(&self, module: &mut Module) -> bool {
         let snapshot = module.clone();
         let memory = self.memory;
+        // the memssa variant sharpens invalidation with points-to facts
+        let ma = memory.then(|| posetrl_analyze::alias::analyze_module(&snapshot));
         let mut changed = false;
-        module.for_each_body(|_, f| {
-            changed |= cse_function(&snapshot, f, memory);
+        module.for_each_body(|fid, f| {
+            changed |= cse_function(&snapshot, f, memory, ma.as_ref().map(|a| (a, fid)));
         });
         changed
     }
 }
 
-pub(crate) fn cse_function(m: &Module, f: &mut Function, memory: bool) -> bool {
+pub(crate) fn cse_function(
+    m: &Module,
+    f: &mut Function,
+    memory: bool,
+    alias: Option<(&ModuleAlias, FuncId)>,
+) -> bool {
     let cfg = Cfg::compute(f);
     let dt = DomTree::compute(f, &cfg);
     let mut changed = false;
+
+    // Invalidation is the conjunction of the syntactic pointer-root walk and
+    // (when available) the points-to disambiguator: either no-alias proof
+    // keeps an availability entry alive.
+    let write_clobbers = |f: &Function, p: Value, w: Value| -> bool {
+        may_alias(f, p, w) && alias.is_none_or(|(ma, fid)| ma.may_alias(fid, f, p, w))
+    };
 
     // Preorder DFS over the dominator tree, carrying the scoped table.
     let mut stack: Vec<(posetrl_ir::BlockId, HashMap<ExprKey, Value>)> =
@@ -115,14 +130,23 @@ pub(crate) fn cse_function(m: &Module, f: &mut Function, memory: bool) -> bool {
                         avail_loads.insert((ptr, ty), Value::Inst(id));
                     }
                     Op::Store { ty, val, ptr } => {
-                        avail_loads.retain(|(p, _), _| !may_alias(f, *p, ptr));
+                        avail_loads.retain(|(p, _), _| !write_clobbers(f, *p, ptr));
                         avail_loads.insert((ptr, ty), val);
                     }
                     Op::MemCpy { dst, .. } | Op::MemSet { dst, .. } => {
-                        avail_loads.retain(|(p, _), _| !may_alias(f, *p, dst));
+                        avail_loads.retain(|(p, _), _| !write_clobbers(f, *p, dst));
                     }
                     Op::Call { callee, .. } if !crate::util::call_is_readonly(m, callee) => {
-                        avail_loads.clear();
+                        // keep cells the callee's substituted mod set cannot
+                        // touch; reads do not invalidate availability
+                        match alias.and_then(|(ma, fid)| {
+                            ma.call_mods(fid, f, id).map(|mods| (ma, fid, mods))
+                        }) {
+                            Some((ma, fid, mods)) => avail_loads.retain(|(p, _), _| {
+                                !ma.sets_may_alias(fid, &ma.value_pts(fid, f, *p), &mods)
+                            }),
+                            None => avail_loads.clear(),
+                        }
                     }
                     _ => {}
                 }
@@ -275,6 +299,37 @@ bb0:
             1,
             "call may have clobbered the global"
         );
+    }
+
+    #[test]
+    fn memssa_forwards_across_summarized_call() {
+        // @bump writes only @h; its mod summary proves it cannot clobber @g,
+        // so the store of @g still forwards into the load across the call
+        let m = assert_preserves(
+            r#"
+module "m"
+global @g : i64 x 1 mutable internal = []
+global @h : i64 x 1 mutable internal = [5:i64]
+fn @bump() -> void internal {
+bb0:
+  %v = load i64, @h
+  %n = add i64 %v, 1:i64
+  store i64 %n, @h
+  ret
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  store i64 %arg0, @g
+  call @bump() -> void
+  %v = load i64, @g
+  ret %v
+}
+"#,
+            &["early-cse-memssa"],
+            &[vec![RtVal::Int(7)]],
+        );
+        // only @bump's own load remains; @main's load of @g was forwarded
+        assert_eq!(count_ops(&m, "load"), 1);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::util::{call_is_readonly, may_alias};
 use crate::Pass;
+use posetrl_analyze::ModuleAlias;
 use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
-use posetrl_ir::{Function, InstId, Module, Op, Value};
+use posetrl_ir::{FuncId, Function, InstId, Module, Op, Value};
 use std::collections::HashSet;
 
 /// `-licm`: hoists loop-invariant pure instructions (and provably-executed
@@ -18,15 +19,16 @@ impl Pass for Licm {
 
     fn run(&self, module: &mut Module) -> bool {
         let snapshot = module.clone();
+        let ma = posetrl_analyze::alias::analyze_module(&snapshot);
         let mut changed = false;
-        module.for_each_body(|_, f| {
-            changed |= hoist_invariants(&snapshot, f);
+        module.for_each_body(|fid, f| {
+            changed |= hoist_invariants(&snapshot, fid, f, &ma);
         });
         changed
     }
 }
 
-fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
+fn hoist_invariants(m: &Module, fid: FuncId, f: &mut Function, ma: &ModuleAlias) -> bool {
     let mut changed = false;
     for _ in 0..4 {
         let cfg = Cfg::compute(f);
@@ -40,6 +42,7 @@ fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
             };
             // does the loop write memory or call anything non-readonly?
             let mut loop_writes: Vec<Value> = Vec::new(); // written pointers
+            let mut loop_calls: Vec<InstId> = Vec::new(); // non-readonly calls
             let mut has_unknown_write = false;
             for &b in &l.blocks {
                 for &id in &f.block(b).unwrap().insts {
@@ -50,11 +53,26 @@ fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
                         Op::MemCpy { dst, .. } => loop_writes.push(*dst),
                         Op::Call { callee, .. } if !call_is_readonly(m, *callee) => {
                             has_unknown_write = true;
+                            loop_calls.push(id);
                         }
                         _ => {}
                     }
                 }
             }
+
+            // may any in-loop write clobber a load through `ptr`? Checked via
+            // the points-to sets, so callee writes are covered by their
+            // substituted mod summaries rather than a blanket bail-out.
+            let alias_clobbered = |f: &Function, ptr: Value| -> bool {
+                let pts = ma.value_pts(fid, f, ptr);
+                loop_writes
+                    .iter()
+                    .any(|&w| ma.sets_may_alias(fid, &pts, &ma.value_pts(fid, f, w)))
+                    || loop_calls.iter().any(|&c| match ma.call_mods(fid, f, c) {
+                        Some(mods) => ma.sets_may_alias(fid, &pts, &mods),
+                        None => true,
+                    })
+            };
 
             let mut invariant: HashSet<InstId> = HashSet::new();
             let value_invariant = |v: Value, inv: &HashSet<InstId>, f: &Function| -> bool {
@@ -79,11 +97,14 @@ fn hoist_invariants(m: &Module, f: &mut Function) -> bool {
                             Op::Phi { .. } | Op::Alloca { .. } => false,
                             Op::Load { ptr, .. } => {
                                 // loads must be guaranteed to execute (header
-                                // only) and not clobbered anywhere in the loop
+                                // only) and not clobbered anywhere in the
+                                // loop: either the syntactic argument or the
+                                // points-to one suffices
                                 b == l.header
-                                    && !has_unknown_write
                                     && value_invariant(*ptr, &invariant, f)
-                                    && loop_writes.iter().all(|w| !may_alias(f, *w, *ptr))
+                                    && ((!has_unknown_write
+                                        && loop_writes.iter().all(|w| !may_alias(f, *w, *ptr)))
+                                        || !alias_clobbered(f, *ptr))
                             }
                             other => other.is_pure(),
                         };
@@ -347,6 +368,59 @@ bb3:
             .map(|&i| f.op(i).kind_name())
             .collect();
         assert!(!entry_ops.contains(&"load"), "clobbered load must stay put");
+    }
+
+    #[test]
+    fn hoists_load_past_disjoint_summarized_call() {
+        // @tick writes only @cnt; the interprocedural mod summary proves the
+        // header load of @k is never clobbered, so it hoists even though the
+        // loop contains a memory-writing call
+        let m = assert_preserves(
+            r#"
+module "m"
+global @k : i64 x 1 mutable internal = [4:i64]
+global @cnt : i64 x 1 mutable internal = [0:i64]
+fn @tick() -> void internal {
+bb0:
+  %v = load i64, @cnt
+  %n = add i64 %v, 1:i64
+  store i64 %n, @cnt
+  ret
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %v = load i64, @k
+  %cc = icmp slt i64 %i, %arg0
+  condbr %cc, bb2, bb3
+bb2:
+  call @tick() -> void
+  %s2 = add i64 %s, %v
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["licm"],
+            &[vec![RtVal::Int(5)], vec![RtVal::Int(0)]],
+        );
+        let fid = m.func_by_name("main").unwrap();
+        let f = m.func(fid).unwrap();
+        let entry_ops: Vec<&str> = f
+            .block(f.entry)
+            .unwrap()
+            .insts
+            .iter()
+            .map(|&i| f.op(i).kind_name())
+            .collect();
+        assert!(
+            entry_ops.contains(&"load"),
+            "load hoisted past the summarized call: {entry_ops:?}"
+        );
     }
 
     #[test]

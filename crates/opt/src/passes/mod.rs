@@ -4,6 +4,7 @@
 //! every pass, which the [`crate::manager::PassManager`] indexes by name.
 
 pub mod dce;
+pub mod dse;
 pub mod early_cse;
 pub mod gvn;
 pub mod inline;
@@ -36,7 +37,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass + Send + Sync>> {
         // dead code
         Box::new(dce::Adce),
         Box::new(dce::Bdce),
-        Box::new(dce::Dse),
+        Box::new(dse::Dse),
         // subexpression elimination
         Box::new(early_cse::EarlyCse::basic()),
         Box::new(early_cse::EarlyCse::memssa()),

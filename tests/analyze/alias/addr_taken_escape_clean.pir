@@ -1,0 +1,18 @@
+; expect:
+; False-positive guard: @work's address escapes to unknown code, so its
+; exported mod/ref summary saturates to top — which must not invent
+; findings in @work itself or in @main.
+module "addr_taken_escape_clean"
+global @n : i64 x 1 mutable internal = [0:i64]
+declare @register(ptr) -> void
+fn @work() -> void internal {
+bb0:
+  store i64 1:i64, @n
+  ret
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  call @register(&@work) -> void
+  %v = load i64, @n
+  ret %v
+}

@@ -1,0 +1,13 @@
+; expect: const-write
+; Both select arms are immutable globals, so every object the stored-to
+; pointer can refer to is read-only.
+module "const_write_select"
+global @a : i64 x 1 const internal = [1:i64]
+global @b : i64 x 1 const internal = [2:i64]
+fn @main(i64) -> void internal {
+bb0:
+  %c = icmp sgt i64 %arg0, 0:i64
+  %p = select ptr %c, @a, @b
+  store i64 9:i64, %p
+  ret
+}

@@ -1,0 +1,18 @@
+; expect: store-dead
+; Cross-block proof: the store to %p is dead because no block reachable
+; from bb0 may read it; the store to %q stays (read in bb1).
+module "dead_store_branchy"
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  %q = alloca i64 x 1
+  store i64 7:i64, %p
+  store i64 %arg0, %q
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %v = load i64, %q
+  ret %v
+bb2:
+  ret 0:i64
+}

@@ -1,0 +1,13 @@
+; expect: store-dead
+; Two separate unread cells of the same private slot: both stores are
+; proven dead independently (distinct constant offsets).
+module "dead_store_double"
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 2
+  store i64 1:i64, %p
+  %q = gep i64, %p, 1:i64
+  store i64 2:i64, %q
+  %v = add i64 %arg0, 1:i64
+  ret %v
+}

@@ -1,0 +1,10 @@
+; expect: store-dead
+; The slot is frame-private, the store is in bounds, and nothing on any
+; path reads it back.
+module "dead_store_simple"
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 %arg0, %p
+  ret %arg0
+}

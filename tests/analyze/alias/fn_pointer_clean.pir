@@ -1,0 +1,16 @@
+; expect:
+; False-positive guard: function addresses are first-class tracked
+; objects; storing and reloading one through a mutable global is benign.
+module "fn_pointer_clean"
+global @cb : ptr x 1 mutable internal = []
+fn @callee(i64) -> i64 internal {
+bb0:
+  %r = add i64 %arg0, 1:i64
+  ret %r
+}
+fn @main() -> ptr internal {
+bb0:
+  store ptr &@callee, @cb
+  %f = load ptr, @cb
+  ret %f
+}

@@ -1,0 +1,17 @@
+; expect:
+; False-positive guard: the callee initializes the slot through its
+; argument, so the caller's load is neither uninitialized nor is the
+; callee's store dead (the target is caller memory).
+module "modref_clean"
+fn @init(ptr) -> void internal {
+bb0:
+  store i64 7:i64, %arg0
+  ret
+}
+fn @main() -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  call @init(%p) -> void
+  %v = load i64, %p
+  ret %v
+}

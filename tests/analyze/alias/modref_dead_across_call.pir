@@ -1,0 +1,18 @@
+; expect: store-dead
+; The call's ref summary covers only @g, so it cannot observe the
+; private slot: the store stays dead across the call. A summary-free
+; analysis would have to assume the call reads everything.
+module "modref_dead_across_call"
+global @g : i64 x 1 mutable internal = [3:i64]
+fn @geta() -> i64 internal {
+bb0:
+  %v = load i64, @g
+  ret %v
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 %arg0, %p
+  %v = call @geta() -> i64
+  ret %v
+}

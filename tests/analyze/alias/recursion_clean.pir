@@ -1,0 +1,24 @@
+; expect:
+; False-positive guard: the recursive ref summary still names the
+; argument object, so the caller's store has a may-reader and survives.
+module "recursion_clean"
+fn @sum(ptr, i64) -> i64 internal {
+bb0:
+  %c = icmp sgt i64 %arg1, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  %v = load i64, %arg0
+  %n = sub i64 %arg1, 1:i64
+  %r = call @sum(%arg0, %n) -> i64
+  %s = add i64 %v, %r
+  ret %s
+bb2:
+  ret 0:i64
+}
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  store i64 %arg0, %p
+  %t = call @sum(%p, 3:i64) -> i64
+  ret %t
+}

@@ -1,0 +1,10 @@
+; expect: alias-uaf
+; Publishing a stack address through caller memory (a pointer argument):
+; the symbolic Arg object marks the target as outliving the frame.
+module "uaf_arg_stash"
+fn @stash(ptr) -> void internal {
+bb0:
+  %p = alloca i64 x 1
+  store ptr %p, %arg0
+  ret
+}

@@ -1,0 +1,11 @@
+; expect: alias-uaf
+; Publishing a stack address through a global cell: the global outlives
+; the frame, so any later dereference is a use-after-free.
+module "uaf_global_stash"
+global @slot : ptr x 1 mutable internal = []
+fn @stash() -> void internal {
+bb0:
+  %p = alloca i64 x 1
+  store ptr %p, @slot
+  ret
+}

@@ -1,0 +1,14 @@
+; expect: alias-uaf
+; Returning the address of an own stack slot: the pointer dangles the
+; moment the frame is popped. The points-to summary carries the alloca
+; object through the `ret` export.
+module "uaf_ret_local"
+fn @leak() -> ptr internal {
+bb0:
+  %p = alloca i64 x 1
+  ret %p
+}
+fn @main() -> i64 internal {
+bb0:
+  ret 0:i64
+}

@@ -1,0 +1,19 @@
+; expect: uninit-load
+; The loaded pointer is a phi over two never-written private slots; the
+; syntactic lint cannot see through the merge, the points-to one can.
+module "uninit_phi"
+fn @main(i64) -> i64 internal {
+bb0:
+  %p = alloca i64 x 1
+  %q = alloca i64 x 1
+  %c = icmp sgt i64 %arg0, 0:i64
+  condbr %c, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  %r = phi ptr [bb1: %p], [bb2: %q]
+  %v = load i64, %r
+  ret %v
+}

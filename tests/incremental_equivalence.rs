@@ -1,7 +1,8 @@
 //! The incremental-analysis equivalence contract (PR 7).
 //!
 //! `IncrementalAnalysisManager` memoizes per-function embeddings, lint
-//! bundles, absint summaries and validate obligations by content keys.
+//! bundles, absint summaries, alias/memdep results (PR 8) and validate
+//! obligations by content keys.
 //! The contract is **bit-identity**: for any module reachable by any
 //! pass pipeline, the incremental path must return exactly the results
 //! of the from-scratch path — same embedding bits, same findings, same
@@ -23,7 +24,7 @@
 //! faster than from-scratch on the warm episode encode path).
 
 use posetrl_analyze::{
-    absint, run_all, run_all_with, validate_transform, validate_transform_with,
+    absint, alias, run_all, run_all_with, validate_transform, validate_transform_with,
     IncrementalAnalysisManager, ValidateConfig,
 };
 use posetrl_embed::Embedder;
@@ -103,6 +104,12 @@ fn assert_equivalent(
     let full_abs = absint::analyze_module(m);
     let inc_abs = absint::analyze_module_with(m, Some(mgr));
     assert_eq!(full_abs, inc_abs, "{ctx}: absint summaries diverged");
+    let full_alias = alias::analyze_module(m);
+    let inc_alias = alias::analyze_module_with(m, Some(mgr));
+    assert_eq!(
+        full_alias, inc_alias,
+        "{ctx}: alias summaries / points-to facts / memdep diverged"
+    );
 }
 
 /// Cases per property (see tests/pass_properties.rs).
@@ -219,6 +226,17 @@ fn warm_replay_recomputes_nothing() {
             Vec::<String>::new(),
             "{name}: warm replay must be all memo hits"
         );
+        let _ = alias::analyze_module_with(m, Some(&mgr));
+        assert!(
+            !mgr.drain_alias_recomputed().is_empty(),
+            "{name}: cold alias run must analyze something"
+        );
+        let _ = alias::analyze_module_with(m, Some(&mgr));
+        assert_eq!(
+            mgr.drain_alias_recomputed(),
+            Vec::<String>::new(),
+            "{name}: warm alias replay must be all memo hits"
+        );
     }
 }
 
@@ -329,6 +347,74 @@ fn address_taken_root_is_isolated_from_unrelated_edits() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Alias-memo invalidation (PR 8): the points-to leaves are keyed by
+// fingerprint + config + callee-summary digest, so an edit that moves a
+// callee's mod/ref summary re-solves its callers while a summary-
+// preserving body edit stays local — same contract as absint above.
+// ---------------------------------------------------------------------
+
+/// Distinct function names whose alias analysis re-ran for `text`,
+/// against a manager warmed on `base`.
+fn alias_recomputed_after_edit(base: &str, text: &str) -> BTreeSet<String> {
+    let m0 = parse_module(base).expect("base fixture parses");
+    let mgr = IncrementalAnalysisManager::new();
+    let cold = alias::analyze_module_with(&m0, Some(&mgr));
+    mgr.drain_alias_recomputed();
+    let m1 = parse_module(text).expect("edited fixture parses");
+    let inc = alias::analyze_module_with(&m1, Some(&mgr));
+    assert_eq!(
+        inc,
+        alias::analyze_module(&m1),
+        "incremental alias re-analysis diverged from scratch"
+    );
+    if base == text {
+        assert_eq!(cold, inc);
+    }
+    mgr.drain_alias_recomputed().into_iter().collect()
+}
+
+const ACHAIN: &str = "module \"achain\"\n\n\
+global @g : i64 x 1 mutable internal = []\n\n\
+fn @sink(ptr) -> void internal {\nbb0:\n  store i64 1:i64, %arg0\n  ret\n}\n\n\
+fn @mid(ptr) -> void internal {\nbb0:\n  call @sink(%arg0) -> void\n  ret\n}\n\n\
+fn @main() -> i64 internal {\nbb0:\n  call @mid(@g) -> void\n  %v = load i64, @g\n  ret %v\n}\n";
+
+#[test]
+fn alias_mod_summary_change_propagates_to_callers() {
+    // retargeting @sink's store from its argument to @g moves its mod
+    // summary from the parameterized arg object to the global, which must
+    // re-solve the whole caller chain through the callee-summary digests
+    let edited = ACHAIN.replace("store i64 1:i64, %arg0", "store i64 1:i64, @g");
+    assert_ne!(edited, ACHAIN, "fixture edit must apply");
+    let recomputed = alias_recomputed_after_edit(ACHAIN, &edited);
+    let expect: BTreeSet<String> = ["sink", "mid", "main"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    assert_eq!(
+        recomputed, expect,
+        "mod-summary change recomputes the chain"
+    );
+}
+
+#[test]
+fn alias_local_edit_with_stable_summary_stays_local() {
+    // a pure integer edit inside @sink moves its fingerprint but not its
+    // points-to summary: the callers' memo keys are unchanged
+    let edited = ACHAIN.replace(
+        "bb0:\n  store i64 1:i64, %arg0",
+        "bb0:\n  %d = add i64 3:i64, 4:i64\n  store i64 1:i64, %arg0",
+    );
+    assert_ne!(edited, ACHAIN, "fixture edit must apply");
+    let recomputed = alias_recomputed_after_edit(ACHAIN, &edited);
+    let expect: BTreeSet<String> = ["sink"].into_iter().map(String::from).collect();
+    assert_eq!(
+        recomputed, expect,
+        "a summary-preserving edit must not invalidate callers"
+    );
+}
+
 /// Validate obligations: memoized verdicts are bit-identical to fresh
 /// ones, both on the cold run (misses) and the warm rerun (hits).
 #[test]
@@ -413,6 +499,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
                     embedder.embed_module(m),
                     run_all(m),
                     absint::analyze_module(m),
+                    alias::analyze_module(m),
                 )
             })
             .collect();
@@ -426,6 +513,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
             let _ = embed_incremental(&embedder, cfg_digest, m, &mgr);
             let _ = run_all_with(m, Some(&mgr));
             let _ = absint::analyze_module_with(m, Some(&mgr));
+            let _ = alias::analyze_module_with(m, Some(&mgr));
         }
         let t1 = std::time::Instant::now();
         let inc: Vec<_> = trajectory
@@ -435,13 +523,14 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
                     embed_incremental(&embedder, cfg_digest, m, &mgr),
                     run_all_with(m, Some(&mgr)),
                     absint::analyze_module_with(m, Some(&mgr)),
+                    alias::analyze_module_with(m, Some(&mgr)),
                 )
             })
             .collect();
         inc_ns += t1.elapsed().as_nanos();
 
-        for (i, ((fe, fl, fa), (ie, il, ia))) in full.iter().zip(&inc).enumerate() {
-            if bits(fe) != bits(ie) || fl != il || fa != ia {
+        for (i, ((fe, fl, fa, fal), (ie, il, ia, ial))) in full.iter().zip(&inc).enumerate() {
+            if bits(fe) != bits(ie) || fl != il || fa != ia || fal != ial {
                 mismatches += 1;
                 mismatch_names.push(format!("{} state {i}", b.name));
             }
@@ -453,6 +542,8 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
         agg_stats.lint.misses += s.lint.misses;
         agg_stats.absint.hits += s.absint.hits;
         agg_stats.absint.misses += s.absint.misses;
+        agg_stats.alias.hits += s.alias.hits;
+        agg_stats.alias.misses += s.alias.misses;
     }
 
     let speedup = full_ns as f64 / inc_ns.max(1) as f64;
@@ -466,6 +557,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
         "embed": class_json(agg_stats.embed),
         "lint": class_json(agg_stats.lint),
         "absint": class_json(agg_stats.absint),
+        "alias": class_json(agg_stats.alias),
     });
     let payload = serde_json::json!({
         "modules": modules,

@@ -85,8 +85,16 @@ fn training_is_bit_identical_with_cache_disabled() {
 
 #[test]
 fn training_with_static_features_is_bit_identical() {
-    // the absint feature vector rides along in the state: it must not cost
-    // any determinism, for any worker count, with the cache on or off
+    // the absint + alias feature vector (40 dims since PR 8) rides along in
+    // the state: it must not cost any determinism, for any worker count,
+    // with the cache on or off. The ODG walks these runs train over include
+    // the alias-backed `dse` pass, so points-to-driven rewrites are on the
+    // training path too.
+    let space = ActionSet::odg();
+    assert!(
+        (0..space.len()).any(|i| space.passes(i).contains(&"dse")),
+        "the ODG action space must expose the dse pass"
+    );
     let programs = training_suite();
     let run_sf = |workers: usize, cache: bool| {
         let mut cfg = engine_cfg(workers, cache);
@@ -127,11 +135,12 @@ fn training_with_static_features_is_bit_identical() {
 
 #[test]
 fn training_is_bit_identical_with_incremental_on_and_off_across_workers() {
-    // PR-7 contract: the per-function incremental analysis manager must be
-    // invisible — same rewards, same final weights, same greedy pipelines —
-    // for workers ∈ {1, 2, 8} with incremental on or off. Static features
-    // are enabled so the absint memo (not just the embed memo) is on the
-    // state path.
+    // PR-7 contract, extended over the PR-8 memo classes: the per-function
+    // incremental analysis manager must be invisible — same rewards, same
+    // final weights, same greedy pipelines — for workers ∈ {1, 2, 8} with
+    // incremental on or off. Static features are enabled so the absint AND
+    // alias/memdep memos (not just the embed memo) are on the state path,
+    // and the episodes apply `dse` through the ODG walks.
     let programs = training_suite();
     let run_inc = |workers: usize, incremental: bool| {
         let mut cfg = engine_cfg(workers, true);

@@ -195,6 +195,43 @@ proptest! {
         }
     }
 
+    /// `dse` (alias-backed store elimination and store-to-load forwarding)
+    /// composed with every other registered pass, in both orders, preserves
+    /// interpreter observables. dse leans on interprocedural points-to
+    /// summaries and MemorySSA-style reachability, so the risky partners are
+    /// passes that inline, split blocks, or rewrite pointer arithmetic
+    /// underneath those facts — this pins all of them.
+    #[test]
+    fn dse_pairs_with_every_pass_preserve_semantics(
+        seed in 0u64..5_000,
+        kind_idx in 0u8..8,
+        other_pick in 0usize..1_000,
+    ) {
+        let spec = ProgramSpec {
+            name: "prop".into(),
+            kind: kind_from(kind_idx),
+            size: SizeClass::Small,
+            seed: seed.wrapping_add(409),
+        };
+        let m0 = generate(&spec);
+        let before = observe(&m0);
+
+        let pm = PassManager::new();
+        let names = pm.pass_names();
+        let other = names[other_pick % names.len()];
+        for order in [["dse", other], [other, "dse"]] {
+            let mut m = m0.clone();
+            for pass in order {
+                pm.run_pass(&mut m, pass).unwrap();
+                if let Err(e) = verify_module(&m) {
+                    panic!("verifier failed in dse pair {order:?} at {pass}: {e}");
+                }
+            }
+            let after = observe(&m);
+            prop_assert_eq!(&before, &after, "dse pair {:?} changed behaviour", order);
+        }
+    }
+
     /// Object size and MCA throughput are well-defined at every point the
     /// agent can reach.
     #[test]
