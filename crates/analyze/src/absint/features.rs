@@ -51,17 +51,28 @@
 //! | 37  | frac of functions with a ⊤ mod or ref summary |
 //! | 38  | squash(average may-defs per load (memdep fan-in), 2) |
 //! | 39  | squash(average max store→load chain depth per function, 4) |
+//! | 40  | squash(natural loops, 4) |
+//! | 41  | frac of loops at nesting depth ≥ 2 |
+//! | 42  | frac of loops with an exact symbolic trip count |
+//! | 43  | frac of loops with any known trip bound (exact or bounded) |
+//! | 44  | average min(log₂(trip + 1) / 20, 1) over trip-known loops |
+//! | 45  | average hot-block ratio (static profile) over functions |
+//! | 46  | frac of blocks inside some natural loop |
+//! | 47  | squash(average recognized recurrences per loop, 4) |
 //!
 //! Dims 32–39 come from the interprocedural alias/memdep analysis
 //! ([`crate::alias`]); ⊤ sets count as the configured points-to cap.
+//! Dims 40–47 come from the scalar-evolution and static-profile
+//! analyses ([`crate::scev`], [`crate::profile`]).
 
 use super::domain::{AbsVal, Nullness, PtrBase};
 use super::{analyze_module, ModuleAbsint};
 use crate::alias::ModuleAlias;
+use crate::scev::{ModuleScev, ScevConfig};
 use posetrl_ir::{Module, Op, Ty};
 
 /// Width of the static feature vector.
-pub const FEATURE_DIM: usize = 40;
+pub const FEATURE_DIM: usize = 48;
 
 /// `x / (x + k)`: maps a count into `[0, 1)` monotonically.
 fn squash(x: f64, k: f64) -> f64 {
@@ -91,8 +102,22 @@ pub fn features_with(m: &Module, mi: &ModuleAbsint) -> [f64; FEATURE_DIM] {
 }
 
 /// Computes the feature vector from precomputed absint *and* alias
-/// analyses.
+/// analyses, running the SCEV + profile analysis internally from the
+/// shared absint facts (bit-identical to [`features_full`] on the
+/// same inputs).
 pub fn features_with_alias(m: &Module, mi: &ModuleAbsint, ma: &ModuleAlias) -> [f64; FEATURE_DIM] {
+    let sc = crate::scev::analyze_module_cfg_absint(m, mi, &ScevConfig::from_env(), None);
+    features_full(m, mi, ma, &sc)
+}
+
+/// Computes the feature vector from precomputed absint, alias, and
+/// SCEV/profile analyses.
+pub fn features_full(
+    m: &Module,
+    mi: &ModuleAbsint,
+    ma: &ModuleAlias,
+    sc: &ModuleScev,
+) -> [f64; FEATURE_DIM] {
     let mut out = [0.0; FEATURE_DIM];
 
     let mut n_funcs = 0.0;
@@ -382,6 +407,47 @@ pub fn features_with_alias(m: &Module, mi: &ModuleAbsint, ma: &ModuleAlias) -> [
     out[37] = frac(modref_top, n_alias_funcs);
     out[38] = squash(frac(dep_sum, n_loads), 2.0);
     out[39] = squash(frac(chain_sum, n_alias_funcs), 4.0);
+
+    // dims 40–47: loop/trip/frequency shape from the SCEV + profile analyses
+    let (mut n_loops, mut deep_loops, mut exact_loops, mut known_loops) = (0.0, 0.0, 0.0, 0.0);
+    let (mut trip_log_sum, mut rec_sum) = (0.0, 0.0);
+    let (mut hot_sum, mut n_prof_funcs) = (0.0, 0.0);
+    let (mut n_all_blocks, mut loop_blocks) = (0.0, 0.0);
+    for fid in m.func_ids() {
+        let f = m.func(fid).unwrap();
+        if f.is_decl {
+            continue;
+        }
+        n_all_blocks += f.block_ids().count() as f64;
+        let Some(fr) = sc.func(fid) else { continue };
+        n_prof_funcs += 1.0;
+        hot_sum += fr.profile.hot_ratio;
+        let mut in_loop: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for l in &fr.loops {
+            n_loops += 1.0;
+            if l.depth >= 2 {
+                deep_loops += 1.0;
+            }
+            if l.trip.exact().is_some() {
+                exact_loops += 1.0;
+            }
+            if let Some(t) = l.trip.known_max() {
+                known_loops += 1.0;
+                trip_log_sum += (((t as f64) + 1.0).log2() / 20.0).min(1.0);
+            }
+            rec_sum += l.recs.len() as f64;
+            in_loop.extend(l.blocks.iter().copied());
+        }
+        loop_blocks += in_loop.len() as f64;
+    }
+    out[40] = squash(n_loops, 4.0);
+    out[41] = frac(deep_loops, n_loops);
+    out[42] = frac(exact_loops, n_loops);
+    out[43] = frac(known_loops, n_loops);
+    out[44] = frac(trip_log_sum, known_loops);
+    out[45] = frac(hot_sum, n_prof_funcs);
+    out[46] = frac(loop_blocks, n_all_blocks);
+    out[47] = squash(frac(rec_sum, n_loops), 4.0);
     out
 }
 
@@ -461,5 +527,47 @@ bb0:
         let mi = analyze_module(&m);
         let ma = crate::alias::analyze_module(&m);
         assert_eq!(f, features_with_alias(&m, &mi, &ma), "paths bit-identical");
+    }
+
+    const LOOP_SAMPLE: &str = r#"
+module "loops"
+
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb1: %n]
+  %n = add i64 %i, 1:i64
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb1, bb2
+bb2:
+  ret %i
+}
+"#;
+
+    #[test]
+    fn scev_dims_populate_and_agree_with_precomputed() {
+        let m = parse_module(LOOP_SAMPLE).unwrap();
+        let f = module_features(&m);
+        assert!(f[40] > 0.0, "one loop: {}", f[40]);
+        assert_eq!(f[41], 0.0, "no nested loops: {}", f[41]);
+        assert_eq!(f[42], 1.0, "the trip count is exact: {}", f[42]);
+        assert_eq!(f[43], 1.0, "the trip count is known: {}", f[43]);
+        assert!(f[44] > 0.0 && f[44] < 1.0, "trip magnitude: {}", f[44]);
+        assert!(f[46] > 0.0, "some blocks sit in loops: {}", f[46]);
+        assert!(f[47] > 0.0, "recurrences recognized: {}", f[47]);
+        let mi = analyze_module(&m);
+        let ma = crate::alias::analyze_module(&m);
+        let sc = crate::scev::analyze_module_cfg_absint(
+            &m,
+            &mi,
+            &crate::scev::ScevConfig::default(),
+            None,
+        );
+        assert_eq!(f, features_full(&m, &mi, &ma, &sc), "paths bit-identical");
+        assert!(
+            module_features(&parse_module(SAMPLE).unwrap())[40] == 0.0,
+            "loop-free module has zero loop mass"
+        );
     }
 }

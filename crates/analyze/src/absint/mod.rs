@@ -400,7 +400,7 @@ pub fn analyze_module(m: &Module) -> ModuleAbsint {
 }
 
 /// [`analyze_module`], optionally memoizing per-function analyses through
-/// an [`IncrementalAnalysisManager`].
+/// an [`IncrementalAnalysisManager`](crate::incremental::IncrementalAnalysisManager).
 ///
 /// The driver schedule (two sharpening rounds, bottom-up SCC fixpoints,
 /// widening at `SCC_ITER_LIMIT`) is identical with and without a manager;

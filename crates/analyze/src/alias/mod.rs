@@ -19,11 +19,11 @@
 //! object set with an explicit ⊤; the `POSETRL_ALIAS_PTS` budget
 //! saturates oversized sets to ⊤ and `POSETRL_ALIAS_ITERS` caps the
 //! per-function constraint iterations (both via the structured
-//! [`EnvParseError`](crate::validate::EnvParseError) scheme shared with
+//! [`crate::validate::EnvParseError`] scheme shared with
 //! `POSETRL_VALIDATE_*`).
 //!
 //! On top of the points-to solution, [`memdep`] builds a MemorySSA-style
-//! per-function [`MemDep`](memdep::MemDep): reaching may-def chains for
+//! per-function [`MemDep`]: reaching may-def chains for
 //! every load, a dead-store judgement (no reachable may-reader and a
 //! provably frame-private, in-bounds target), and chain-depth metrics.
 //! Store/load pairs are disambiguated by the points-to sets *and* by the

@@ -22,6 +22,13 @@
 //!   load-dependence chains are dumped, and only the alias lints
 //!   (`store-dead`, `alias-uaf`, `uninit-load`, `const-write`) contribute
 //!   findings. Solver budgets come from the `POSETRL_ALIAS_*` knobs.
+//! - `--scev` switches to scalar-evolution mode: per-loop add
+//!   recurrences, symbolic trip counts and the static block-frequency
+//!   profile are dumped, and only the scev lints (`infinite-loop`,
+//!   `iv-overflow`) contribute findings. Budgets come from the
+//!   `POSETRL_SCEV_*` knobs.
+//! - `--list-lints` prints the full lint registry (code, severity,
+//!   producing analysis) as JSON and exits 0.
 //! - `--json` prints one JSON object per module instead of text lines.
 //! - `--level` is accepted for symmetry with the engine flags; all
 //!   levels run the same static suite here (differential execution needs
@@ -54,6 +61,7 @@ struct Options {
     suites: bool,
     absint: bool,
     alias: bool,
+    scev: bool,
     deny: Severity,
     json: bool,
     quiet: bool,
@@ -62,8 +70,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: mini-analyze [FILES...] [--corpus] [--suites] \
-         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--alias] [--json] [-q]\n\
-         \x20      mini-analyze --validate SRC.pir TGT.pir [--json] [-q]"
+         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--alias] [--scev] [--json] [-q]\n\
+         \x20      mini-analyze --validate SRC.pir TGT.pir [--json] [-q]\n\
+         \x20      mini-analyze --list-lints"
     );
     std::process::exit(exit_codes::USAGE);
 }
@@ -76,6 +85,7 @@ fn parse_args() -> Options {
         suites: false,
         absint: false,
         alias: false,
+        scev: false,
         deny: Severity::Error,
         json: false,
         quiet: false,
@@ -87,6 +97,13 @@ fn parse_args() -> Options {
             "--suites" => opts.suites = true,
             "--absint" => opts.absint = true,
             "--alias" => opts.alias = true,
+            "--scev" => opts.scev = true,
+            "--list-lints" => {
+                let out = serde_json::to_string_pretty(&posetrl_analyze::diag::registry())
+                    .expect("registry serializes");
+                println!("{out}");
+                std::process::exit(exit_codes::CLEAN);
+            }
             "--json" => opts.json = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--deny" => match args.next().as_deref() {
@@ -125,6 +142,19 @@ fn parse_args() -> Options {
 fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
     let mut dump = None;
     let diags = match verify_module(m) {
+        Ok(()) if opts.scev => {
+            // budgets are env-tunable; a malformed knob is a usage error
+            let cfg = posetrl_analyze::ScevConfig::try_from_env().unwrap_or_else(|e| {
+                eprintln!("mini-analyze: {e}");
+                std::process::exit(exit_codes::USAGE);
+            });
+            let ms = posetrl_analyze::scev::analyze_module_cfg(m, &cfg, None);
+            dump = Some(posetrl_analyze::scev::render(m, &ms));
+            let mut out = Vec::new();
+            posetrl_analyze::scev::lint_with(m, &ms, &mut out);
+            posetrl_analyze::analyses::sort_report(&mut out);
+            out
+        }
         Ok(()) if opts.alias => {
             // budgets are env-tunable; a malformed knob is a usage error
             let cfg = AliasConfig::try_from_env().unwrap_or_else(|e| {

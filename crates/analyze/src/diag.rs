@@ -131,6 +131,59 @@ pub mod codes {
     /// A stack address outlives its frame (returned or stored to memory
     /// that survives the call).
     pub const ALIAS_UAF: &str = "alias-uaf";
+    /// A loop provably cannot terminate (no exit edge, or the exit
+    /// condition never triggers).
+    pub const INFINITE_LOOP: &str = "infinite-loop";
+    /// An induction variable must wrap around its type before its loop
+    /// can exit.
+    pub const IV_OVERFLOW: &str = "iv-overflow";
+}
+
+/// One entry of the lint registry: a stable code, the severity it is
+/// emitted at, and the analysis that produces it.
+///
+/// Codes emitted by more than one analysis (the alias-tightened
+/// `const-write`/`uninit-load` variants) list every source and the
+/// highest severity any emitter uses.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintInfo {
+    /// The stable machine-readable code.
+    pub code: &'static str,
+    /// The (highest) severity this code is emitted at.
+    pub severity: Severity,
+    /// The producing analysis (comma-separated when shared).
+    pub analysis: &'static str,
+}
+
+/// The full lint registry, in a stable order (`mini-analyze
+/// --list-lints`). Every code in [`codes`] appears exactly once.
+pub fn registry() -> Vec<LintInfo> {
+    let e = |code, severity, analysis| LintInfo {
+        code,
+        severity,
+        analysis,
+    };
+    vec![
+        e(codes::VERIFY, Severity::Error, "verifier"),
+        e(codes::USE_BEFORE_DEF, Severity::Error, "dataflow"),
+        e(codes::UNDEF_CONTROL, Severity::Warning, "dataflow"),
+        e(codes::UNDEF_TRAP, Severity::Warning, "dataflow"),
+        e(codes::UNDEF_ADDR, Severity::Warning, "dataflow"),
+        e(codes::CONST_OOB, Severity::Error, "dataflow"),
+        e(codes::CONST_WRITE, Severity::Error, "dataflow, alias"),
+        e(codes::UNINIT_LOAD, Severity::Warning, "dataflow, alias"),
+        e(codes::UNREACHABLE_BLOCK, Severity::Note, "dataflow"),
+        e(codes::DEAD_INST, Severity::Note, "dataflow"),
+        e(codes::CALL_TYPE, Severity::Error, "dataflow"),
+        e(codes::DUP_SYMBOL, Severity::Error, "dataflow"),
+        e(codes::RANGE_TRAP, Severity::Warning, "absint"),
+        e(codes::NULL_DEREF, Severity::Warning, "absint"),
+        e(codes::DEAD_BRANCH, Severity::Note, "absint"),
+        e(codes::STORE_DEAD, Severity::Note, "alias"),
+        e(codes::ALIAS_UAF, Severity::Warning, "alias"),
+        e(codes::INFINITE_LOOP, Severity::Warning, "scev"),
+        e(codes::IV_OVERFLOW, Severity::Warning, "scev"),
+    ]
 }
 
 #[cfg(test)]
@@ -141,6 +194,25 @@ mod tests {
     fn severity_ordering() {
         assert!(Severity::Note < Severity::Warning);
         assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn registry_is_complete_and_duplicate_free() {
+        let reg = registry();
+        let mut codes_seen: Vec<&str> = reg.iter().map(|l| l.code).collect();
+        codes_seen.sort_unstable();
+        let n = codes_seen.len();
+        codes_seen.dedup();
+        assert_eq!(codes_seen.len(), n, "duplicate registry entries");
+        for must in [
+            codes::VERIFY,
+            codes::ALIAS_UAF,
+            codes::INFINITE_LOOP,
+            codes::IV_OVERFLOW,
+        ] {
+            assert!(codes_seen.contains(&must), "missing {must}");
+        }
+        assert!(reg.iter().all(|l| !l.analysis.is_empty()));
     }
 
     #[test]

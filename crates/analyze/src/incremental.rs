@@ -24,6 +24,12 @@
 //!   propagates content-wise — a changed function recomputes, and its
 //!   callers recompute only if its *summary* actually moved (a subset of
 //!   the SCC-dependents set, never more).
+//! - **Scev/profile function analyses** — keyed by `(function
+//!   fingerprint, fid+config digest, absint-input digest)`. The trip
+//!   refinement reads the function's own absint facts and argument
+//!   summary, and the profile reads the no-return bit of each direct
+//!   callee; the third key component digests exactly those, so a callee
+//!   edit invalidates callers only when their view actually moved.
 //! - **Validate obligations** — per-function-pair verdicts keyed by the
 //!   pair's transitive call-closure digests (symbolic execution inlines
 //!   callees) + globals fingerprints + config digest. Only `Proved` and
@@ -65,6 +71,12 @@ pub type AbsintKey = (u128, u128, u128);
 pub type AliasKey = (u128, u128, u128);
 /// Key of one memoized validate obligation.
 pub type ValidateKey = (u128, u128, u128);
+/// Key of one memoized scev/profile function analysis: `(function
+/// fingerprint, fid+config digest, absint-input digest)`. The last
+/// component digests the absint facts/summary and callee no-return bits
+/// the result reads, so a callee edit that moves any of those reaches
+/// this class content-wise.
+pub type ScevKey = (u128, u128, u128);
 
 /// A cacheable validate verdict (no counterexample payload).
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +175,8 @@ pub struct IncrementalStats {
     pub absint: ClassStats,
     /// Alias/memdep function-analysis memo.
     pub alias: ClassStats,
+    /// Scev/profile function-analysis memo.
+    pub scev: ClassStats,
     /// Validate obligation memo.
     pub validate: ClassStats,
 }
@@ -171,13 +185,15 @@ impl IncrementalStats {
     /// One-line human-readable rendering.
     pub fn render(&self) -> String {
         format!(
-            "incremental: embed {}/{} absint {}/{} alias {}/{} lint {}/{} validate {}/{} (hits/misses)",
+            "incremental: embed {}/{} absint {}/{} alias {}/{} scev {}/{} lint {}/{} validate {}/{} (hits/misses)",
             self.embed.hits,
             self.embed.misses,
             self.absint.hits,
             self.absint.misses,
             self.alias.hits,
             self.alias.misses,
+            self.scev.hits,
+            self.scev.misses,
             self.lint.hits,
             self.lint.misses,
             self.validate.hits,
@@ -193,6 +209,7 @@ pub struct IncrementalAnalysisManager {
     lint: Mutex<MemoTable<LintKey, Arc<Vec<Diagnostic>>>>,
     absint: Mutex<MemoTable<AbsintKey, Arc<(FuncFacts, AbsVal)>>>,
     alias: Mutex<MemoTable<AliasKey, Arc<crate::alias::AliasFnResult>>>,
+    scev: Mutex<MemoTable<ScevKey, Arc<crate::scev::ScevFnResult>>>,
     validate: Mutex<MemoTable<ValidateKey, CachedVerdict>>,
     embed_hits: AtomicU64,
     embed_misses: AtomicU64,
@@ -202,6 +219,8 @@ pub struct IncrementalAnalysisManager {
     absint_misses: AtomicU64,
     alias_hits: AtomicU64,
     alias_misses: AtomicU64,
+    scev_hits: AtomicU64,
+    scev_misses: AtomicU64,
     validate_hits: AtomicU64,
     validate_misses: AtomicU64,
     // Recompute log: function names whose absint analysis actually
@@ -211,6 +230,8 @@ pub struct IncrementalAnalysisManager {
     // Same log for the alias/memdep class (kept separate so tests can
     // assert on each analysis's invalidation independently).
     alias_recomputed: Mutex<Vec<String>>,
+    // Same log for the scev/profile class.
+    scev_recomputed: Mutex<Vec<String>>,
 }
 
 impl std::fmt::Debug for IncrementalAnalysisManager {
@@ -240,6 +261,7 @@ impl IncrementalAnalysisManager {
             lint: Mutex::new(MemoTable::new(capacity)),
             absint: Mutex::new(MemoTable::new(capacity)),
             alias: Mutex::new(MemoTable::new(capacity)),
+            scev: Mutex::new(MemoTable::new(capacity)),
             validate: Mutex::new(MemoTable::new(capacity)),
             embed_hits: AtomicU64::new(0),
             embed_misses: AtomicU64::new(0),
@@ -249,10 +271,13 @@ impl IncrementalAnalysisManager {
             absint_misses: AtomicU64::new(0),
             alias_hits: AtomicU64::new(0),
             alias_misses: AtomicU64::new(0),
+            scev_hits: AtomicU64::new(0),
+            scev_misses: AtomicU64::new(0),
             validate_hits: AtomicU64::new(0),
             validate_misses: AtomicU64::new(0),
             recomputed: Mutex::new(Vec::new()),
             alias_recomputed: Mutex::new(Vec::new()),
+            scev_recomputed: Mutex::new(Vec::new()),
         }
     }
 
@@ -341,6 +366,25 @@ impl IncrementalAnalysisManager {
         v
     }
 
+    /// Scev/profile function-analysis memo. `name` feeds the scev
+    /// recompute log on a miss.
+    pub fn scev_memo(
+        &self,
+        name: &str,
+        key: ScevKey,
+        compute: impl FnOnce() -> crate::scev::ScevFnResult,
+    ) -> Arc<crate::scev::ScevFnResult> {
+        if let Some(v) = self.scev.lock().unwrap().get(&key) {
+            self.scev_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.scev_misses.fetch_add(1, Ordering::Relaxed);
+        self.scev_recomputed.lock().unwrap().push(name.to_string());
+        let v = Arc::new(compute());
+        self.scev.lock().unwrap().put(key, Arc::clone(&v));
+        v
+    }
+
     /// Validate obligation memo: a cached `Proved`/`Inconclusive`
     /// verdict, or `None` on a miss (the caller computes and reports
     /// back via [`IncrementalAnalysisManager::record_validate`]).
@@ -380,6 +424,10 @@ impl IncrementalAnalysisManager {
                 hits: self.alias_hits.load(Ordering::Relaxed),
                 misses: self.alias_misses.load(Ordering::Relaxed),
             },
+            scev: ClassStats {
+                hits: self.scev_hits.load(Ordering::Relaxed),
+                misses: self.scev_misses.load(Ordering::Relaxed),
+            },
             validate: ClassStats {
                 hits: self.validate_hits.load(Ordering::Relaxed),
                 misses: self.validate_misses.load(Ordering::Relaxed),
@@ -409,6 +457,17 @@ impl IncrementalAnalysisManager {
     /// [`IncrementalAnalysisManager::drain_recomputed`]).
     pub fn drain_alias_recomputed(&self) -> Vec<String> {
         std::mem::take(&mut *self.alias_recomputed.lock().unwrap())
+    }
+
+    /// Total scev/profile analyses actually recomputed so far.
+    pub fn scev_recomputes(&self) -> u64 {
+        self.scev_misses.load(Ordering::Relaxed)
+    }
+
+    /// Drains the scev recompute log (same semantics as
+    /// [`IncrementalAnalysisManager::drain_recomputed`]).
+    pub fn drain_scev_recomputed(&self) -> Vec<String> {
+        std::mem::take(&mut *self.scev_recomputed.lock().unwrap())
     }
 }
 

@@ -31,7 +31,9 @@ pub mod dataflow;
 pub mod diag;
 pub mod exit_codes;
 pub mod incremental;
+pub mod profile;
 pub mod sanitizer;
+pub mod scev;
 pub mod validate;
 
 pub use absint::{analyze_module, analyze_module_with, FnSummary, FuncFacts, ModuleAbsint};
@@ -43,11 +45,13 @@ pub use analyses::{run_all, run_all_with};
 pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
 pub use diag::{codes, Diagnostic, Severity};
 pub use incremental::{CachedVerdict, ClassStats, IncrementalAnalysisManager, IncrementalStats};
+pub use profile::{FnProfile, ModuleProfile};
 pub use sanitizer::{
     check_sanitize_env, expect_verified, MiscompileReport, ParseLevelError, SanitizeLevel,
     Sanitizer, SanitizerStats, TransformVerdict,
 };
+pub use scev::{AddRec, LoopScev, ModuleScev, ScevConfig, ScevFnResult, TripCount};
 pub use validate::{
-    validate_transform, validate_transform_with, EnvParseError, ModuleValidation, ValidateConfig,
-    Verdict,
+    env_budget_or_usage, parse_env_budget, validate_transform, validate_transform_with,
+    EnvParseError, ModuleValidation, ValidateConfig, Verdict,
 };

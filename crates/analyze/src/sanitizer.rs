@@ -26,7 +26,7 @@
 //! erroneous execution, so no comparison is made.
 //!
 //! Reduction and differential execution are budgeted: the delta reducer
-//! stops at [`MAX_REDUCTION_ATTEMPTS`] predicate runs *or* a wall-clock
+//! stops at `MAX_REDUCTION_ATTEMPTS` predicate runs *or* a wall-clock
 //! deadline (`POSETRL_SANITIZE_REDUCE_MS`, default 30 000 ms), emitting
 //! whatever repro it has at that point; the interpreter fuel of every
 //! differential run is `POSETRL_SANITIZE_DIFF_FUEL` (default 2 000 000).

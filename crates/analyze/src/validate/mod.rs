@@ -123,6 +123,21 @@ pub fn parse_env_budget<T: std::str::FromStr>(
     }
 }
 
+/// [`parse_env_budget`] over the process environment with CLI/test
+/// error handling: a malformed knob prints the structured error and
+/// exits with [`crate::exit_codes::USAGE`], so every harness that reads
+/// a numeric `POSETRL_*` variable reports bad values the same way
+/// instead of silently falling back to the default.
+pub fn env_budget_or_usage<T: std::str::FromStr>(key: &'static str, dflt: T) -> T {
+    match parse_env_budget(key, std::env::var(key).ok().as_deref(), dflt) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(crate::exit_codes::USAGE);
+        }
+    }
+}
+
 impl ValidateConfig {
     /// Reads the budgets through `lookup` (`POSETRL_VALIDATE_PATHS`,
     /// `_UNROLL`, `_STEPS`, `_DEPTH`, `_CELLS`, `_PAIRS`, `_CLAUSES`,

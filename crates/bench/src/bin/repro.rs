@@ -8,6 +8,7 @@
 //!   table2      the 15 manual sub-sequences (Table II)
 //!   table3      the 34 ODG sub-sequences (Table III)
 //!   odgstats    ODG node/edge/degree statistics (Section IV-B)
+//!   scevstats   SCEV + static-profile corpus statistics (DESIGN.md §15)
 //!   fig1        O3 vs Oz runtime/size on SPEC (Fig. 1)
 //!   table4      % size reduction vs Oz (Table IV)
 //!   table5      % execution-time improvement vs Oz (Table V)
@@ -64,7 +65,7 @@ fn main() {
                     "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|validate|full] <experiment>..."
                 );
                 println!(
-                    "experiments: table1 table2 table3 odgstats absintstats aliasstats fig1 table4 table5 fig5 table6"
+                    "experiments: table1 table2 table3 odgstats absintstats aliasstats scevstats fig1 table4 table5 fig5 table6"
                 );
                 println!(
                     "             enginestats servestats ablate-reward ablate-ddqn ablate-actions"
@@ -78,7 +79,7 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "all",
         "table1",
         "table2",
@@ -86,6 +87,7 @@ fn main() {
         "odgstats",
         "absintstats",
         "aliasstats",
+        "scevstats",
         "fig1",
         "table4",
         "table5",
@@ -136,6 +138,10 @@ fn main() {
             &s.render(),
             &serde_json::to_value(&s).unwrap(),
         );
+    }
+    if want("scevstats") {
+        let s = experiments::scev_stats();
+        emit("scevstats", &s.render(), &serde_json::to_value(&s).unwrap());
     }
     if want("fig1") {
         let f = experiments::fig1(scale);

@@ -432,11 +432,17 @@ impl PhaseEnv {
         };
         if self.config.static_features {
             let feats = match &self.incr {
-                Some(mgr) => posetrl_analyze::absint::features::features_with_alias(
-                    m,
-                    &posetrl_analyze::analyze_module_with(m, Some(mgr)),
-                    &posetrl_analyze::alias::analyze_module_with(m, Some(mgr)),
-                ),
+                Some(mgr) => {
+                    let mi = posetrl_analyze::analyze_module_with(m, Some(mgr));
+                    let ma = posetrl_analyze::alias::analyze_module_with(m, Some(mgr));
+                    let sc = posetrl_analyze::scev::analyze_module_cfg_absint(
+                        m,
+                        &mi,
+                        &posetrl_analyze::ScevConfig::from_env(),
+                        Some(mgr),
+                    );
+                    posetrl_analyze::absint::features::features_full(m, &mi, &ma, &sc)
+                }
                 None => posetrl_analyze::absint::features::module_features(m),
             };
             v.extend_from_slice(&feats);

@@ -334,16 +334,52 @@ impl Table4 {
 /// Table V: % decrease in execution time w.r.t. Oz (x86).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table5 {
-    /// (suite, manual %, ODG %).
+    /// (suite, manual %, ODG %) under the paper's flat/interpreted costing.
     pub rows: Vec<(String, f64, f64)>,
+    /// The same comparison under the frequency-weighted *static* costing
+    /// ([`posetrl_target::runtime::static_cycles`] over the SCEV-backed
+    /// block-frequency profile): (suite, manual %, ODG %). Diagnostic
+    /// only — the paper's numbers and the reward stay flat.
+    pub weighted_rows: Vec<(String, f64, f64)>,
     /// Per-benchmark detail for the ODG model (feeds Fig. 5a/5b).
     pub details: Vec<BenchmarkResult>,
+}
+
+/// Mean frequency-weighted static-cycle improvement of `model` vs `-Oz`
+/// over `benches` (x86-64, no interpreter run).
+fn weighted_improvement(model: &TrainedModel, benches: &[Benchmark]) -> f64 {
+    let arch = TargetArch::X86_64;
+    let pm = PassManager::new();
+    let mut sum = 0.0f64;
+    for b in benches {
+        let mut oz = b.module.clone();
+        pm.run_pipeline(&mut oz, &pipelines::oz())
+            .expect("Oz pipeline runs");
+        let (mm, _) = model.optimize_with(b.module.clone(), None, None);
+        let ozc = posetrl_target::runtime::static_cycles(
+            &oz,
+            &posetrl_analyze::profile::analyze_module(&oz),
+            arch,
+        );
+        let mc = posetrl_target::runtime::static_cycles(
+            &mm,
+            &posetrl_analyze::profile::analyze_module(&mm),
+            arch,
+        );
+        sum += if ozc > 0.0 {
+            100.0 * (ozc - mc) / ozc
+        } else {
+            0.0
+        };
+    }
+    sum / benches.len().max(1) as f64
 }
 
 /// Reproduces Table V.
 pub fn table5(ctx: &ExperimentContext) -> Table5 {
     let arch = TargetArch::X86_64;
     let mut rows = Vec::new();
+    let mut weighted_rows = Vec::new();
     let mut details = Vec::new();
     for (suite_name, benches) in ctx.suites() {
         let (_, stats_manual) = evaluate_suite(ctx.model("manual", arch), &benches, arch, true);
@@ -353,9 +389,18 @@ pub fn table5(ctx: &ExperimentContext) -> Table5 {
             stats_manual.avg_runtime_improvement_pct,
             stats_odg.avg_runtime_improvement_pct,
         ));
+        weighted_rows.push((
+            suite_name.to_string(),
+            weighted_improvement(ctx.model("manual", arch), &benches),
+            weighted_improvement(ctx.model("ODG", arch), &benches),
+        ));
         details.append(&mut res_odg);
     }
-    Table5 { rows, details }
+    Table5 {
+        rows,
+        weighted_rows,
+        details,
+    }
 }
 
 impl Table5 {
@@ -369,6 +414,16 @@ impl Table5 {
         let _ = writeln!(s, "{:<12} {:>10} {:>10}", "benchmark", "manual", "ODG");
         for (suite, m, o) in &self.rows {
             let _ = writeln!(s, "{:<12} {:>+10.2} {:>+10.2}", suite, m, o);
+        }
+        if !self.weighted_rows.is_empty() {
+            let _ = writeln!(
+                s,
+                "frequency-weighted static costing (diagnostic, not the reward):"
+            );
+            let _ = writeln!(s, "{:<12} {:>10} {:>10}", "benchmark", "manual", "ODG");
+            for (suite, m, o) in &self.weighted_rows {
+                let _ = writeln!(s, "{:<12} {:>+10.2} {:>+10.2}", suite, m, o);
+            }
         }
         s
     }
@@ -718,6 +773,154 @@ impl AliasStats {
             s,
             "mod/ref top: {}/{} functions; dead stores: {}; mean max chain: {:.2}",
             self.top_modref_functions, self.functions, self.dead_stores, self.mean_max_chain
+        );
+        s
+    }
+}
+
+/// Corpus-level statistics of the scalar-evolution + static-profile
+/// analysis: lint counts, trip-count classification, `indvars` /
+/// `loop-unroll` fire rates and block-frequency shape over the training
+/// suite (DESIGN.md §15).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScevStats {
+    /// Modules analyzed.
+    pub modules: usize,
+    /// Natural loops recognized across the corpus.
+    pub loops: usize,
+    /// Loops with an exact symbolic trip count.
+    pub exact_trips: usize,
+    /// Loops with only an upper bound on the trip count.
+    pub bounded_trips: usize,
+    /// Loops whose trip count the analysis gave up on.
+    pub unknown_trips: usize,
+    /// Loops proved to never exit.
+    pub infinite_loops: usize,
+    /// Loops whose induction variable provably wraps before exit.
+    pub iv_wraps: usize,
+    /// Recognized add-recurrences across all loops.
+    pub add_recs: usize,
+    /// Diagnostics per lint code over the whole corpus.
+    pub lint_counts: Vec<(String, usize)>,
+    /// Modules where `indvars` changed at least one instruction.
+    pub indvars_changed: usize,
+    /// Modules where `loop-unroll` changed at least one instruction.
+    pub unroll_changed: usize,
+    /// Mean per-function hot-block ratio of the static profile.
+    pub mean_hot_ratio: f64,
+}
+
+/// Computes [`ScevStats`] over the training suite. Modules are
+/// canonicalized with `mem2reg` + `loop-simplify` first: the generated
+/// corpus keeps induction variables in memory, and scev (like the loop
+/// passes it powers) runs mid-pipeline, after promotion.
+pub fn scev_stats() -> ScevStats {
+    use posetrl_analyze::scev;
+    let pm = PassManager::new();
+    let suite = training_suite();
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut loops = 0usize;
+    let mut exact = 0usize;
+    let mut bounded = 0usize;
+    let mut unknown = 0usize;
+    let mut infinite = 0usize;
+    let mut wraps = 0usize;
+    let mut recs = 0usize;
+    let mut indvars_changed = 0usize;
+    let mut unroll_changed = 0usize;
+    let mut hot_sum = 0.0f64;
+    let mut functions = 0usize;
+    for b in &suite {
+        let mut canon = b.module.clone();
+        let _ = pm.run_pass(&mut canon, "mem2reg").expect("mem2reg");
+        let _ = pm
+            .run_pass(&mut canon, "loop-simplify")
+            .expect("loop-simplify");
+        let mut diags = Vec::new();
+        scev::check(&canon, &mut diags);
+        for d in &diags {
+            *counts.entry(d.code.to_string()).or_default() += 1;
+        }
+        let ms = scev::analyze_module(&canon);
+        for fr in ms.funcs.values() {
+            functions += 1;
+            hot_sum += fr.profile.hot_ratio;
+            for l in &fr.loops {
+                loops += 1;
+                recs += l.recs.len();
+                match l.trip {
+                    scev::TripCount::Exact(_) => exact += 1,
+                    scev::TripCount::Bounded(_) => bounded += 1,
+                    scev::TripCount::Unknown => unknown += 1,
+                }
+                if l.provably_infinite {
+                    infinite += 1;
+                }
+                if l.iv_wraps {
+                    wraps += 1;
+                }
+            }
+        }
+        let mut m = canon.clone();
+        if pm
+            .run_pass(&mut m, "indvars")
+            .expect("indvars is registered")
+        {
+            indvars_changed += 1;
+        }
+        let mut m = canon;
+        if pm
+            .run_pass(&mut m, "loop-unroll")
+            .expect("loop-unroll is registered")
+        {
+            unroll_changed += 1;
+        }
+    }
+    ScevStats {
+        modules: suite.len(),
+        loops,
+        exact_trips: exact,
+        bounded_trips: bounded,
+        unknown_trips: unknown,
+        infinite_loops: infinite,
+        iv_wraps: wraps,
+        add_recs: recs,
+        lint_counts: counts.into_iter().collect(),
+        indvars_changed,
+        unroll_changed,
+        mean_hot_ratio: hot_sum / functions.max(1) as f64,
+    }
+}
+
+impl ScevStats {
+    /// Renders the statistics as text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "scev (post mem2reg+loop-simplify): {} modules, {} loops ({} recs); trips exact {} / bounded {} / unknown {}",
+            self.modules,
+            self.loops,
+            self.add_recs,
+            self.exact_trips,
+            self.bounded_trips,
+            self.unknown_trips
+        );
+        let _ = writeln!(
+            s,
+            "flags: infinite {} / iv-wraps {}; mean hot-block ratio {:.3}",
+            self.infinite_loops, self.iv_wraps, self.mean_hot_ratio
+        );
+        for (code, n) in &self.lint_counts {
+            let _ = writeln!(s, "  {code}: {n}");
+        }
+        let _ = writeln!(
+            s,
+            "indvars changed {} ({:.1}%), loop-unroll changed {} ({:.1}%)",
+            self.indvars_changed,
+            100.0 * self.indvars_changed as f64 / self.modules.max(1) as f64,
+            self.unroll_changed,
+            100.0 * self.unroll_changed as f64 / self.modules.max(1) as f64
         );
         s
     }

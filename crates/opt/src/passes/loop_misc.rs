@@ -366,8 +366,11 @@ fn idiom_one(f: &mut Function) -> bool {
 // ---------------------------------------------------------------------------
 
 /// `-indvars`: canonicalizes induction variables — rewrites `ne`/`sle`
-/// exit tests into the canonical `slt` form and strength-reduces
-/// multiplications of the IV by a constant into additional accumulators.
+/// exit tests into the canonical `slt` form, strength-reduces
+/// multiplications of the IV by a constant into additional accumulators,
+/// and uses the scalar-evolution analysis to unify duplicate add
+/// recurrences and fold exact-trip induction variables into their final
+/// values after the loop.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IndVarSimplify;
 
@@ -380,6 +383,7 @@ impl Pass for IndVarSimplify {
         let mut changed = false;
         module.for_each_body(|_, f| {
             changed |= canonicalize_ivs(f);
+            changed |= scev_simplify(f);
         });
         changed
     }
@@ -477,6 +481,112 @@ fn canonicalize_ivs(f: &mut Function) -> bool {
         }
     }
     changed
+}
+
+/// SCEV-driven simplification: unifies syntactically distinct values
+/// whose `{init,+,step}` recurrences are identical, and replaces uses
+/// of an induction variable *after* an exactly-counted loop with its
+/// final value. One rewrite per analysis round, reanalyzing in between.
+fn scev_simplify(f: &mut Function) -> bool {
+    let mut changed = false;
+    for _ in 0..64 {
+        let sc = posetrl_analyze::scev::analyze_function(
+            f,
+            None,
+            None,
+            &std::collections::BTreeSet::new(),
+            &posetrl_analyze::ScevConfig::default(),
+        );
+        if !scev_simplify_once(f, &sc) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Only these op shapes appear as recognized recurrences; all are pure,
+/// so a redundant one can be dropped once its uses are rewritten.
+fn is_pure_rec(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Phi { .. }
+            | Op::Bin {
+                op: BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl,
+                ..
+            }
+    )
+}
+
+fn scev_simplify_once(f: &mut Function, sc: &posetrl_analyze::ScevFnResult) -> bool {
+    use posetrl_analyze::TripCount;
+    let uses = f.uses();
+    for l in &sc.loops {
+        let header_insts: Vec<InstId> = f
+            .block(BlockId(l.header))
+            .map(|b| b.insts.clone())
+            .unwrap_or_default();
+        // (d) add-rec unification: a recurrence with the same
+        // (type, init, step) as a header phi computes the same value on
+        // every iteration, and the phi dominates the whole loop
+        for (ri, r) in l.recs.iter().enumerate() {
+            let Some(r_init) = r.init else { continue };
+            let Some(p) = l.recs[..ri].iter().find(|p| {
+                p.init == Some(r_init)
+                    && p.step == r.step
+                    && p.ty == r.ty
+                    && header_insts.contains(&InstId(p.inst))
+                    && matches!(f.op(InstId(p.inst)), Op::Phi { .. })
+            }) else {
+                continue;
+            };
+            let (rid, pid) = (InstId(r.inst), InstId(p.inst));
+            if f.inst(rid).is_none() || !is_pure_rec(f.op(rid)) {
+                continue;
+            }
+            f.replace_all_uses(Value::Inst(rid), Value::Inst(pid));
+            if f.uses().get(&rid).map(|u| u.is_empty()).unwrap_or(true) {
+                f.remove_inst(rid);
+            }
+            return true;
+        }
+        // (e) exit-value replacement: after exactly `n` iterations the
+        // IV's value is `init + n*step`; uses outside the loop see it
+        if let TripCount::Exact(n) = l.trip {
+            for r in &l.recs {
+                let Some(init) = r.init else { continue };
+                let rid = InstId(r.inst);
+                if !header_insts.contains(&rid) || !matches!(f.op(rid), Op::Phi { .. }) {
+                    continue;
+                }
+                let Some(users) = uses.get(&rid) else {
+                    continue;
+                };
+                let outside: Vec<InstId> = users
+                    .iter()
+                    .copied()
+                    .filter(|&u| {
+                        f.inst(u)
+                            .map(|i| l.blocks.binary_search(&i.block.0).is_err())
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if outside.is_empty() {
+                    continue;
+                }
+                let fin = r.ty.wrap(init.wrapping_add(r.step.wrapping_mul(n as i64)));
+                let fv = Value::Const(Const::int(r.ty, fin));
+                for u in outside {
+                    if let Some(inst) = f.inst_mut(u) {
+                        inst.op
+                            .map_operands(|v| if v == Value::Inst(rid) { fv } else { v });
+                    }
+                }
+                return true;
+            }
+        }
+    }
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -1192,6 +1302,70 @@ bb3:
         );
         assert_eq!(count_ops(&m, "mul"), 0, "mul replaced by accumulator");
         assert!(count_ops(&m, "phi") >= 3);
+    }
+
+    #[test]
+    fn indvars_unifies_duplicate_induction_variables() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %j = phi i64 [bb0: 0:i64], [bb2: %j2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 10:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %j
+  %i2 = add i64 %i, 1:i64
+  %j2 = add i64 %j, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["indvars", "adce"],
+            &[],
+        );
+        assert_eq!(
+            count_ops(&m, "phi"),
+            2,
+            "the duplicate {{0,+,1}} recurrence %j folds into %i"
+        );
+    }
+
+    #[test]
+    fn indvars_replaces_exit_values() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 10:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}
+"#,
+            &["indvars", "loop-deletion", "adce", "simplifycfg"],
+            &[],
+        );
+        // with `ret %i` folded to `ret 10`, the whole loop becomes dead
+        assert_eq!(
+            count_ops(&m, "condbr"),
+            0,
+            "exit value folded, loop deleted"
+        );
+        assert_eq!(count_ops(&m, "phi"), 0);
     }
 
     #[test]

@@ -286,7 +286,7 @@ impl Pass for LoopUnroll {
         let mut changed = false;
         module.for_each_body(|_, f| {
             for _ in 0..4 {
-                if !unroll_one(f, limits) {
+                if !unroll_one(f, limits, self.aggressive) {
                     break;
                 }
                 changed = true;
@@ -296,26 +296,72 @@ impl Pass for LoopUnroll {
     }
 }
 
-fn unroll_one(f: &mut Function, limits: UnrollLimits) -> bool {
+/// Total-instruction budget for runtime (partial) unrolling: the body
+/// may grow to at most this many instructions.
+const PARTIAL_TOTAL: usize = 96;
+
+/// Selects the runtime unroll factor for a loop of known trip count
+/// `trip`: the largest of 8/4/2 that divides the trip and keeps the
+/// expanded body within [`PARTIAL_TOTAL`].
+fn select_unroll_factor(trip: u64, body_size: usize) -> Option<u64> {
+    [8u64, 4, 2]
+        .into_iter()
+        .find(|&k| trip > k && trip.is_multiple_of(k) && body_size * k as usize <= PARTIAL_TOTAL)
+}
+
+fn unroll_one(f: &mut Function, limits: UnrollLimits, runtime: bool) -> bool {
     let cfg = Cfg::compute(f);
     let dt = DomTree::compute(f, &cfg);
     let forest = LoopForest::compute(f, &cfg, &dt);
+    // independent trip-count analysis; full unrolling is gated on its
+    // agreement with the canonical-loop simulation
+    let sc = posetrl_analyze::scev::analyze_function(
+        f,
+        None,
+        None,
+        &std::collections::BTreeSet::new(),
+        &posetrl_analyze::ScevConfig::default(),
+    );
     for l in forest.loops.iter().rev() {
         let Some(c) = match_canonical(f, &cfg, l, true, true) else {
             continue;
         };
         let body_size = f.block(c.body).unwrap().insts.len();
-        if body_size > limits.body {
-            continue;
+        let scev_trip = sc
+            .loop_at(l.header)
+            .map(|ls| ls.trip)
+            .unwrap_or(posetrl_analyze::TripCount::Unknown);
+        if body_size <= limits.body {
+            if let Some(trip) = c.trip_count(limits.trip) {
+                let scev_agrees = match scev_trip {
+                    posetrl_analyze::TripCount::Exact(n) => n == trip,
+                    posetrl_analyze::TripCount::Bounded(n) => trip <= n,
+                    posetrl_analyze::TripCount::Unknown => false,
+                };
+                if scev_agrees && trip * body_size as u64 <= limits.total {
+                    fully_unroll(f, &c, trip);
+                    return true;
+                }
+            }
         }
-        let Some(trip) = c.trip_count(limits.trip) else {
-            continue;
-        };
-        if trip * body_size as u64 > limits.total {
-            continue;
+        // runtime-factor unrolling: the trip is exactly known but too
+        // large (or the body too big) to flatten, so interleave the body
+        // by a divisor of the trip instead, keeping the loop structure
+        if runtime {
+            if let posetrl_analyze::TripCount::Exact(n) = scev_trip {
+                if let Some(k) = select_unroll_factor(n, body_size) {
+                    if c.step == 1
+                        && matches!(c.pred, IntPred::Slt | IntPred::Ne)
+                        && c.cond_enters_body
+                        && c.trip_count(1 << 20) == Some(n)
+                    {
+                        let body_insts: Vec<InstId> = f.block(c.body).unwrap().insts.clone();
+                        interleave(f, &c, &body_insts, k);
+                        return true;
+                    }
+                }
+            }
         }
-        fully_unroll(f, &c, trip);
-        return true;
     }
     false
 }
@@ -500,15 +546,16 @@ fn interleave_one(f: &mut Function, body_limit: usize) -> bool {
         }
         // the loop must already be interleave-free: iv_next used only by
         // the phi and the compare
-        interleave(f, &c, &body_insts);
+        interleave(f, &c, &body_insts, VEC_WIDTH);
         return true;
     }
     false
 }
 
-/// Clones the body VEC_WIDTH-1 extra times inside itself, chaining phi
-/// values, and rewrites the exit compare to step by VEC_WIDTH.
-fn interleave(f: &mut Function, c: &CanonicalLoop, body_insts: &[InstId]) {
+/// Clones the body `width - 1` extra times inside itself, chaining phi
+/// values, so the induction variable advances `width` steps per header
+/// check. Correct only when the trip count is a multiple of `width`.
+fn interleave(f: &mut Function, c: &CanonicalLoop, body_insts: &[InstId], width: u64) {
     // cur maps each header phi to its value after the previous copy
     let mut cur: HashMap<InstId, Value> = HashMap::new();
     let Op::Phi { incomings, .. } = f.op(c.iv).clone() else {
@@ -522,7 +569,7 @@ fn interleave(f: &mut Function, c: &CanonicalLoop, body_insts: &[InstId]) {
         next0.insert(*p, *next);
     }
 
-    for _copy in 1..VEC_WIDTH {
+    for _copy in 1..width {
         let mut local: HashMap<InstId, Value> = HashMap::new();
         for &id in body_insts {
             let op = f.op(id).clone();
@@ -696,6 +743,68 @@ bb3:
             &[],
         );
         assert!(count_ops(&m, "phi") >= 2, "1000-trip loop not unrolled");
+    }
+
+    #[test]
+    fn aggressive_runtime_unrolls_large_known_trip() {
+        let m = assert_preserves(
+            r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 1000:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#,
+            &["loop-unroll-aggressive"],
+            &[],
+        );
+        // 1000 % 8 == 0: the body is interleaved by the selected factor 8
+        assert!(
+            count_ops(&m, "add") >= 16,
+            "runtime unroll expands the body: {} adds",
+            count_ops(&m, "add")
+        );
+        assert!(count_ops(&m, "condbr") >= 1, "loop structure retained");
+        assert!(count_ops(&m, "phi") >= 2, "header phis retained");
+    }
+
+    #[test]
+    fn runtime_unroll_skips_prime_trips_and_oz() {
+        let src = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %s = phi i64 [bb0: 0:i64], [bb2: %s2]
+  %cc = icmp slt i64 %i, 997:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %s2 = add i64 %s, %i
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %s
+}
+"#;
+        // prime trip: no factor divides it
+        let m = assert_preserves(src, &["loop-unroll-aggressive"], &[]);
+        assert_eq!(count_ops(&m, "add"), 2, "trip 997 has no unroll factor");
+        // -Oz never runtime-unrolls (size-restrained)
+        let m = assert_preserves(&src.replace("997:i64", "1000:i64"), &["loop-unroll"], &[]);
+        assert_eq!(count_ops(&m, "add"), 2, "-Oz keeps the loop untouched");
     }
 
     #[test]

@@ -18,12 +18,66 @@
 //! - [`McaReport::weighted_cycles`] — blocks weighted by `8^loop_depth`
 //!   (capped), a crude execution-frequency prior useful for diagnostics
 //!   and ablations, *not* used by the reward.
+//!
+//! [`CostConfig::freq_weighted`] (env knob `POSETRL_FREQ_CYCLES`) swaps
+//! the depth prior for the trip-count-aware static block frequencies of
+//! [`posetrl_analyze::profile`]. Only `weighted_cycles` changes;
+//! `flat_cycles` — and therefore the reward — is identical either way.
 
 use crate::tables::{inst_cost, machine, Resource};
 use crate::TargetArch;
+use posetrl_analyze::profile::ModuleProfile;
+use posetrl_analyze::validate::parse_env_budget;
+use posetrl_analyze::EnvParseError;
 use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
 use posetrl_ir::{InstId, Module, Value};
 use std::collections::HashMap;
+
+/// Selects the block-weighting scheme for the diagnostic
+/// `weighted_cycles` total. The flat total is never affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostConfig {
+    /// Weight blocks by the SCEV-backed static profile frequencies
+    /// instead of the `8^loop_depth` prior.
+    pub freq_weighted: bool,
+}
+
+impl CostConfig {
+    /// Builds a config from an env-like lookup (`POSETRL_FREQ_CYCLES`,
+    /// strict `0`/`1`). Malformed values are a structured error,
+    /// consistent with the `POSETRL_VALIDATE_*` scheme.
+    pub fn from_vars(lookup: impl Fn(&str) -> Option<String>) -> Result<Self, EnvParseError> {
+        let raw: u8 = parse_env_budget(
+            "POSETRL_FREQ_CYCLES",
+            lookup("POSETRL_FREQ_CYCLES").as_deref(),
+            0,
+        )?;
+        if raw > 1 {
+            return Err(EnvParseError {
+                key: "POSETRL_FREQ_CYCLES",
+                value: raw.to_string(),
+            });
+        }
+        Ok(CostConfig {
+            freq_weighted: raw == 1,
+        })
+    }
+
+    /// [`Self::from_vars`] over the real process environment.
+    pub fn try_from_env() -> Result<Self, EnvParseError> {
+        Self::from_vars(|k| std::env::var(k).ok())
+    }
+
+    /// Lenient variant: malformed knobs fall back to defaults with a
+    /// warning on stderr. Strict CLI entry points should call
+    /// `try_from_env` and exit with a usage error.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| {
+            eprintln!("posetrl-target: {e}; using the default flat/depth costing");
+            CostConfig::default()
+        })
+    }
+}
 
 /// The result of a static throughput analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,10 +106,21 @@ fn depth_weight(depth: u32) -> f64 {
 /// reports (block and instruction iteration follow arena order, never hash
 /// order), which the environment's delta-based rewards rely on.
 pub fn analyze(module: &Module, arch: TargetArch) -> McaReport {
+    analyze_cfg(module, arch, &CostConfig::default())
+}
+
+/// [`analyze`] with an explicit weighting scheme. With
+/// [`CostConfig::freq_weighted`] set, `weighted_cycles` uses the static
+/// profile's per-block frequency estimates (trip-count-aware); the flat
+/// total and throughput are bit-identical to [`analyze`] regardless.
+pub fn analyze_cfg(module: &Module, arch: TargetArch, cost: &CostConfig) -> McaReport {
     let desc = machine(arch);
     let mut flat = 0.0f64;
     let mut weighted = 0.0f64;
     let mut uops = 0u64;
+    let prof: Option<ModuleProfile> = cost
+        .freq_weighted
+        .then(|| posetrl_analyze::profile::analyze_module(module));
 
     for fid in module.func_ids() {
         let f = module.func(fid).expect("live function");
@@ -73,7 +138,11 @@ pub fn analyze(module: &Module, arch: TargetArch) -> McaReport {
             }
             let (cycles, block_uops) = simulate_block(f, &block.insts, arch, &desc);
             flat += cycles;
-            weighted += cycles * depth_weight(loops.depth_of(bid));
+            weighted += cycles
+                * match &prof {
+                    Some(p) => p.freq(fid, bid),
+                    None => depth_weight(loops.depth_of(bid)),
+                };
             uops += block_uops;
         }
     }
@@ -268,6 +337,52 @@ mod tests {
                 r.weighted_cycles,
                 r.flat_cycles
             );
+        }
+    }
+
+    #[test]
+    fn freq_weighting_changes_only_the_diagnostic_total() {
+        let m = straightline(20, true);
+        for arch in TargetArch::ALL {
+            let depth = analyze(&m, arch);
+            let freq = analyze_cfg(
+                &m,
+                arch,
+                &CostConfig {
+                    freq_weighted: true,
+                },
+            );
+            assert_eq!(depth.flat_cycles, freq.flat_cycles, "reward unchanged");
+            assert_eq!(depth.uops, freq.uops);
+            assert_eq!(depth.throughput, freq.throughput);
+            // straight-line code: every block runs once under the profile
+            assert_eq!(freq.weighted_cycles, freq.flat_cycles);
+            // repeated analysis stays bit-identical
+            assert_eq!(
+                freq,
+                analyze_cfg(
+                    &m,
+                    arch,
+                    &CostConfig {
+                        freq_weighted: true
+                    }
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn cost_config_env_knob_is_strict() {
+        assert_eq!(
+            CostConfig::from_vars(|_| None).unwrap(),
+            CostConfig::default()
+        );
+        let on = CostConfig::from_vars(|k| (k == "POSETRL_FREQ_CYCLES").then(|| "1".into()));
+        assert!(on.unwrap().freq_weighted);
+        for bad in ["2", "yes", ""] {
+            let e =
+                CostConfig::from_vars(|k| (k == "POSETRL_FREQ_CYCLES").then(|| bad.to_string()));
+            assert!(e.is_err(), "{bad:?} must be rejected");
         }
     }
 

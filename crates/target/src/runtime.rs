@@ -58,6 +58,36 @@ pub fn dynamic_cycles(module: &Module, profile: &ExecProfile, arch: TargetArch) 
     total
 }
 
+/// Estimates total execution cycles from the *static* block-frequency
+/// profile ([`posetrl_analyze::profile`]) — no interpreter run needed.
+///
+/// Each instruction's dynamic cost is weighted by its block's estimated
+/// frequency (trip-count-aware where SCEV resolved a trip, heuristic
+/// otherwise). This is the `runtime.rs` half of the frequency-weighted
+/// costing diagnostic: useful for flat-vs-weighted comparisons, never
+/// used as the reward signal.
+pub fn static_cycles(
+    module: &Module,
+    profile: &posetrl_analyze::ModuleProfile,
+    arch: TargetArch,
+) -> f64 {
+    let mut total = 0.0f64;
+    for fid in module.func_ids() {
+        let f = module.func(fid).expect("live function");
+        if f.is_decl {
+            continue;
+        }
+        for bid in f.block_ids() {
+            let freq = profile.freq(fid, bid);
+            let block = f.block(bid).expect("live block");
+            for &iid in &block.insts {
+                total += freq * dynamic_cost(f.op(iid), arch);
+            }
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +190,36 @@ mod tests {
                 bigger.add_function(mb_f);
             }
             assert_eq!(base, dynamic_cycles(&bigger, &out.profile, arch));
+        }
+    }
+
+    #[test]
+    fn static_cycles_track_the_trip_count() {
+        // identical instruction mix; only the (constant) trip bound differs,
+        // so the frequency-weighted estimate must separate them while an
+        // unweighted profile cannot
+        let short = loopy(5, false);
+        let long = loopy(50, false);
+        for arch in TargetArch::ALL {
+            let flat_short =
+                static_cycles(&short, &posetrl_analyze::ModuleProfile::default(), arch);
+            let flat_long = static_cycles(&long, &posetrl_analyze::ModuleProfile::default(), arch);
+            assert_eq!(flat_short, flat_long, "flat costing is trip-blind");
+            let w_short = static_cycles(
+                &short,
+                &posetrl_analyze::profile::analyze_module(&short),
+                arch,
+            );
+            let w_long = static_cycles(
+                &long,
+                &posetrl_analyze::profile::analyze_module(&long),
+                arch,
+            );
+            assert!(
+                w_long > w_short * 2.0,
+                "{arch}: trip 50 outweighs trip 5 ({w_short} vs {w_long})"
+            );
+            assert!(w_short > flat_short, "loop bodies are up-weighted");
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Instruction selection is modelled as a per-instruction lowering: every
 //! surviving IR instruction contributes the bytes its machine encoding
-//! would occupy on the target ([`crate::tables`]), every function pays a
+//! would occupy on the target (the per-target cost tables), every function pays a
 //! fixed prologue/epilogue overhead, and globals contribute their
 //! initialized data (aligned). The paper's size metric is a monotone
 //! function of the surviving instruction mix after optimization, and this

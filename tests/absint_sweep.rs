@@ -23,10 +23,7 @@ fn absint_sweep_archives_lint_counts_and_rewrite_rates() {
         return; // nightly CI sets the variable; the default run skips
     }
     // corpus stride for quick local measurements; nightly runs at 1
-    let step: usize = std::env::var("POSETRL_ABSINT_SWEEP_STEP")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let step: usize = posetrl_analyze::env_budget_or_usage("POSETRL_ABSINT_SWEEP_STEP", 1);
     let pm = PassManager::new();
     let cfg = ValidateConfig::from_env();
 

@@ -1,0 +1,17 @@
+; expect:
+; False-positive guard: a downward counted loop (10..0 by -1) moves
+; *toward* its bound — the away-walk heuristic must not fire.
+module "clean_counted_down"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 10:i64], [bb2: %n]
+  %c = icmp sgt i64 %i, 0:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = sub i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}

@@ -1,0 +1,17 @@
+; expect:
+; False-positive guard: the canonical counted loop (0..10 by 1) has an
+; exact trip of 10 and must produce no findings.
+module "clean_counted_up"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}

@@ -1,0 +1,17 @@
+; expect:
+; False-positive guard: `i != 10` with a unit step lands exactly on the
+; bound — the ne-residue test is solvable and the loop exits cleanly.
+module "clean_ne_exact"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp ne i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}

@@ -1,0 +1,26 @@
+; expect:
+; False-positive guard: a 4x3 nested counted loop — both levels have
+; exact trips and the nest produces no findings.
+module "clean_nested"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb4: %ni]
+  %ci = icmp slt i64 %i, 4:i64
+  condbr %ci, bb2, bb5
+bb2:
+  br bb3
+bb3:
+  %j = phi i64 [bb2: 0:i64], [bb3a: %nj]
+  %cj = icmp slt i64 %j, 3:i64
+  condbr %cj, bb3a, bb4
+bb3a:
+  %nj = add i64 %j, 1:i64
+  br bb3
+bb4:
+  %ni = add i64 %i, 1:i64
+  br bb1
+bb5:
+  ret %i
+}

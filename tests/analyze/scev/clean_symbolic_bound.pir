@@ -1,0 +1,23 @@
+; expect:
+; False-positive guard: the bound is a function argument the analysis
+; cannot resolve to a constant — the trip stays Unknown, but an unknown
+; trip is not evidence of non-termination and must not be flagged.
+module "clean_symbolic_bound"
+fn @count(i64) -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, %arg0
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}
+fn @main() -> i64 internal {
+bb0:
+  %a = call @count(7:i64) -> i64
+  ret %a
+}

@@ -1,0 +1,17 @@
+; expect: infinite-loop
+; `i != 9` with i = 0, 2, 4, ...: an even walk can never equal an odd
+; bound, so the exit condition provably never triggers.
+module "infinite_ne_parity"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp ne i64 %i, 9:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 2:i64
+  br bb1
+bb3:
+  ret %i
+}

@@ -1,0 +1,17 @@
+; expect: infinite-loop
+; Downward even walk 10, 8, 6, ... against an odd `ne` bound: the
+; parity mismatch holds for negative steps too.
+module "infinite_ne_parity_down"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 10:i64], [bb2: %n]
+  %c = icmp ne i64 %i, 3:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = sub i64 %i, 2:i64
+  br bb1
+bb3:
+  ret %i
+}

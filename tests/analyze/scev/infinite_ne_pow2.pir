@@ -1,0 +1,17 @@
+; expect: infinite-loop
+; Step 4 reaches only multiples of 4, and 6 mod 4 = 2: the residue test
+; (2^tz(step) must divide bound - init) proves the `ne` exit unsolvable.
+module "infinite_ne_pow2"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp ne i64 %i, 6:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 4:i64
+  br bb1
+bb3:
+  ret %i
+}

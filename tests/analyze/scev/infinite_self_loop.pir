@@ -1,0 +1,10 @@
+; expect: infinite-loop
+; A single-block loop whose only terminator branches back to itself:
+; there is no exit edge at all, so the loop can never terminate.
+module "infinite_self_loop"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  br bb1
+}

@@ -1,0 +1,23 @@
+; expect: infinite-loop
+; Two separately diagnosed non-terminating loops in one module: a
+; zero-step spin in @spin and a no-exit self loop in @main.
+module "infinite_two_loops"
+fn @spin() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 5:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 0:i64
+  br bb1
+bb3:
+  ret %i
+}
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  br bb1
+}

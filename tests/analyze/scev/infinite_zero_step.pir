@@ -1,0 +1,17 @@
+; expect: infinite-loop
+; The induction variable never advances (step 0), so the controlling
+; `slt` test holds forever.
+module "infinite_zero_step"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 0:i64
+  br bb1
+bb3:
+  ret %i
+}

@@ -1,0 +1,17 @@
+; expect: iv-overflow
+; The walk moves *away* from the `slt` upper bound (negative step):
+; only a signed wrap around i64 can ever make the test fail.
+module "iv_wrap_away_down"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = sub i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}

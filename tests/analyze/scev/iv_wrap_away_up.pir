@@ -1,0 +1,17 @@
+; expect: iv-overflow
+; Walking up from 10 while the loop continues as long as `i > 0`: the
+; exit needs i to drop to zero, which only signed overflow can deliver.
+module "iv_wrap_away_up"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 10:i64], [bb2: %n]
+  %c = icmp sgt i64 %i, 0:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret %i
+}

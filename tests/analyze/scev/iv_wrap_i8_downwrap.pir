@@ -1,0 +1,17 @@
+; expect: iv-overflow
+; i8 decrement against `slt 10`: the walk runs down through -128,
+; wraps to 127 and exits — exact trip, but flagged as wrapping.
+module "iv_wrap_i8_downwrap"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i8 [bb0: 0:i8], [bb2: %n]
+  %c = icmp slt i8 %i, 10:i8
+  condbr %c, bb2, bb3
+bb2:
+  %n = sub i8 %i, 1:i8
+  br bb1
+bb3:
+  ret 0:i64
+}

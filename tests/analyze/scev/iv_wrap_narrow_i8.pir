@@ -1,0 +1,17 @@
+; expect: iv-overflow
+; i8 walk 0, 100, -56, 44, ...: the loop does exit (the trip count is
+; exact), but only after the induction variable wraps its 8-bit type.
+module "iv_wrap_narrow_i8"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i8 [bb0: 0:i8], [bb2: %n]
+  %c = icmp slt i8 %i, 120:i8
+  condbr %c, bb2, bb3
+bb2:
+  %n = add i8 %i, 100:i8
+  br bb1
+bb3:
+  ret 0:i64
+}

@@ -1,0 +1,17 @@
+; expect: iv-overflow
+; Same away-walk as iv_wrap_away_down but under `sle`: the inclusive
+; predicate takes the same only-a-wrap-exits classification.
+module "iv_wrap_sle_away"
+fn @main() -> i64 internal {
+bb0:
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp sle i64 %i, 100:i64
+  condbr %c, bb2, bb3
+bb2:
+  %n = sub i64 %i, 3:i64
+  br bb1
+bb3:
+  ret %i
+}

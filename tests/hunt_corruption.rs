@@ -39,10 +39,7 @@ impl XorShift64 {
 }
 
 fn hunt_steps() -> usize {
-    std::env::var("POSETRL_HUNT_STEPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8)
+    posetrl_analyze::env_budget_or_usage("POSETRL_HUNT_STEPS", 8)
 }
 
 #[test]

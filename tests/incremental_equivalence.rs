@@ -24,7 +24,7 @@
 //! faster than from-scratch on the warm episode encode path).
 
 use posetrl_analyze::{
-    absint, alias, run_all, run_all_with, validate_transform, validate_transform_with,
+    absint, alias, run_all, run_all_with, scev, validate_transform, validate_transform_with,
     IncrementalAnalysisManager, ValidateConfig,
 };
 use posetrl_embed::Embedder;
@@ -110,14 +110,17 @@ fn assert_equivalent(
         full_alias, inc_alias,
         "{ctx}: alias summaries / points-to facts / memdep diverged"
     );
+    let full_scev = scev::analyze_module(m);
+    let inc_scev = scev::analyze_module_with(m, Some(mgr));
+    assert_eq!(
+        full_scev, inc_scev,
+        "{ctx}: scev loops / trips / profile frequencies diverged"
+    );
 }
 
 /// Cases per property (see tests/pass_properties.rs).
 fn proptest_cases() -> u32 {
-    std::env::var("POSETRL_PROPTEST_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24)
+    posetrl_analyze::env_budget_or_usage("POSETRL_PROPTEST_CASES", 24)
 }
 
 proptest! {
@@ -236,6 +239,17 @@ fn warm_replay_recomputes_nothing() {
             mgr.drain_alias_recomputed(),
             Vec::<String>::new(),
             "{name}: warm alias replay must be all memo hits"
+        );
+        let _ = scev::analyze_module_with(m, Some(&mgr));
+        assert!(
+            !mgr.drain_scev_recomputed().is_empty(),
+            "{name}: cold scev run must analyze something"
+        );
+        let _ = scev::analyze_module_with(m, Some(&mgr));
+        assert_eq!(
+            mgr.drain_scev_recomputed(),
+            Vec::<String>::new(),
+            "{name}: warm scev replay must be all memo hits"
         );
     }
 }
@@ -415,6 +429,71 @@ fn alias_local_edit_with_stable_summary_stays_local() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Scev-memo invalidation: the per-function results are keyed by
+// fingerprint + config + a digest of the absint inputs the trip engine
+// reads (argument summaries, value facts, callee no-return bits), so a
+// caller edit that moves a callee's argument interval re-analyzes the
+// callee while an unrelated edit stays local.
+// ---------------------------------------------------------------------
+
+/// Distinct function names whose scev analysis re-ran for `text`,
+/// against a manager warmed on `base`.
+fn scev_recomputed_after_edit(base: &str, text: &str) -> BTreeSet<String> {
+    let m0 = parse_module(base).expect("base fixture parses");
+    let mgr = IncrementalAnalysisManager::new();
+    let cold = scev::analyze_module_with(&m0, Some(&mgr));
+    mgr.drain_scev_recomputed();
+    let m1 = parse_module(text).expect("edited fixture parses");
+    let inc = scev::analyze_module_with(&m1, Some(&mgr));
+    assert_eq!(
+        inc,
+        scev::analyze_module(&m1),
+        "incremental scev re-analysis diverged from scratch"
+    );
+    if base == text {
+        assert_eq!(cold, inc);
+    }
+    mgr.drain_scev_recomputed().into_iter().collect()
+}
+
+const SCHAIN: &str = "module \"schain\"\n\n\
+fn @count(i64) -> i64 internal {\nbb0:\n  br bb1\nbb1:\n  %i = phi i64 [bb0: 0:i64], [bb2: %n]\n  %c = icmp slt i64 %i, %arg0\n  condbr %c, bb2, bb3\nbb2:\n  %n = add i64 %i, 1:i64\n  br bb1\nbb3:\n  ret %i\n}\n\n\
+fn @main() -> i64 internal {\nbb0:\n  %a = call @count(10:i64) -> i64\n  ret %a\n}\n";
+
+#[test]
+fn scev_absint_digest_change_reanalyzes_the_bound_consumer() {
+    // widening the call-site constant moves @count's argument interval,
+    // which its symbolic trip bound reads: the absint-input digest in the
+    // scev memo key must move and re-run @count (plus @main, whose own
+    // fingerprint changed)
+    let edited = SCHAIN.replace("@count(10:i64)", "@count(20:i64)");
+    assert_ne!(edited, SCHAIN, "fixture edit must apply");
+    let recomputed = scev_recomputed_after_edit(SCHAIN, &edited);
+    assert!(
+        recomputed.contains("count"),
+        "bound consumer re-runs when its argument interval moves: {recomputed:?}"
+    );
+    assert!(recomputed.contains("main"), "edited caller re-runs");
+}
+
+#[test]
+fn scev_local_edit_with_stable_absint_inputs_stays_local() {
+    // a dead-code edit in @main keeps @count's fingerprint and argument
+    // summary intact: only @main re-runs
+    let edited = SCHAIN.replace(
+        "bb0:\n  %a = call @count(10:i64) -> i64",
+        "bb0:\n  %d = add i64 3:i64, 4:i64\n  %a = call @count(10:i64) -> i64",
+    );
+    assert_ne!(edited, SCHAIN, "fixture edit must apply");
+    let recomputed = scev_recomputed_after_edit(SCHAIN, &edited);
+    let expect: BTreeSet<String> = ["main"].into_iter().map(String::from).collect();
+    assert_eq!(
+        recomputed, expect,
+        "an edit that leaves the callee's absint inputs alone stays local"
+    );
+}
+
 /// Validate obligations: memoized verdicts are bit-identical to fresh
 /// ones, both on the cold run (misses) and the warm rerun (hits).
 #[test]
@@ -457,10 +536,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
     if std::env::var("POSETRL_INCREMENTAL_SWEEP").is_err() {
         return; // nightly CI sets the variable; the default run skips
     }
-    let step: usize = std::env::var("POSETRL_INCREMENTAL_SWEEP_STEP")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let step: usize = posetrl_analyze::env_budget_or_usage("POSETRL_INCREMENTAL_SWEEP_STEP", 1);
     let pm = PassManager::new();
     let space = ActionSpace::odg();
     let embedder = Embedder::default();
@@ -500,6 +576,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
                     run_all(m),
                     absint::analyze_module(m),
                     alias::analyze_module(m),
+                    scev::analyze_module(m),
                 )
             })
             .collect();
@@ -514,6 +591,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
             let _ = run_all_with(m, Some(&mgr));
             let _ = absint::analyze_module_with(m, Some(&mgr));
             let _ = alias::analyze_module_with(m, Some(&mgr));
+            let _ = scev::analyze_module_with(m, Some(&mgr));
         }
         let t1 = std::time::Instant::now();
         let inc: Vec<_> = trajectory
@@ -524,13 +602,15 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
                     run_all_with(m, Some(&mgr)),
                     absint::analyze_module_with(m, Some(&mgr)),
                     alias::analyze_module_with(m, Some(&mgr)),
+                    scev::analyze_module_with(m, Some(&mgr)),
                 )
             })
             .collect();
         inc_ns += t1.elapsed().as_nanos();
 
-        for (i, ((fe, fl, fa, fal), (ie, il, ia, ial))) in full.iter().zip(&inc).enumerate() {
-            if bits(fe) != bits(ie) || fl != il || fa != ia || fal != ial {
+        for (i, ((fe, fl, fa, fal, fs), (ie, il, ia, ial, is))) in full.iter().zip(&inc).enumerate()
+        {
+            if bits(fe) != bits(ie) || fl != il || fa != ia || fal != ial || fs != is {
                 mismatches += 1;
                 mismatch_names.push(format!("{} state {i}", b.name));
             }
@@ -544,6 +624,8 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
         agg_stats.absint.misses += s.absint.misses;
         agg_stats.alias.hits += s.alias.hits;
         agg_stats.alias.misses += s.alias.misses;
+        agg_stats.scev.hits += s.scev.hits;
+        agg_stats.scev.misses += s.scev.misses;
     }
 
     let speedup = full_ns as f64 / inc_ns.max(1) as f64;
@@ -558,6 +640,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
         "lint": class_json(agg_stats.lint),
         "absint": class_json(agg_stats.absint),
         "alias": class_json(agg_stats.alias),
+        "scev": class_json(agg_stats.scev),
     });
     let payload = serde_json::json!({
         "modules": modules,

@@ -34,10 +34,7 @@ fn kind_from(i: u8) -> ProgramKind {
 /// on the nightly CI profile (the vendored proptest stand-in does not read
 /// environment variables itself).
 fn proptest_cases() -> u32 {
-    std::env::var("POSETRL_PROPTEST_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24)
+    posetrl_analyze::env_budget_or_usage("POSETRL_PROPTEST_CASES", 24)
 }
 
 proptest! {

@@ -1,17 +1,18 @@
-//! Nightly alias sweep (opt-in: `POSETRL_ALIAS_SWEEP=1`).
+//! Nightly SCEV sweep (opt-in: `POSETRL_SCEV_SWEEP=1`).
 //!
-//! Runs the interprocedural alias lints over the whole training corpus
-//! and applies every alias-consuming pass (`dse`, `gvn`,
-//! `early-cse-memssa`, `licm`; raw and behind two canonicalizing
-//! prefixes), discharging every module-changing application through the
-//! symbolic translation validator. Archives lint counts and the
+//! Runs the scalar-evolution lints over the whole training corpus and
+//! applies every trip-count-consuming pass (`indvars`, `loop-unroll`,
+//! `loop-unroll-aggressive`, `loop-vectorize`; raw and behind two
+//! canonicalizing prefixes), discharging every module-changing
+//! application through the symbolic translation validator. Archives
+//! lint counts, the trip-count classification census and the
 //! proved/refuted/inconclusive rewrite rates as
-//! `results/alias_sweep.json` for the nightly CI artifact.
+//! `results/scev_sweep.json` for the nightly CI artifact.
 //!
-//! The hard gate: **zero refuted applications**. An inconclusive verdict
-//! is acceptable (the validator's budgets are finite) and its rate is
-//! reported; a refutation means a pass trusted a no-alias or dead-store
-//! fact the points-to domain did not actually prove.
+//! The hard gate: **zero refuted applications**. An inconclusive
+//! verdict is acceptable (the validator's budgets are finite) and its
+//! rate is reported; a refutation means a pass trusted a trip count or
+//! recurrence the analysis did not actually prove.
 
 use posetrl_analyze::{validate_transform, ValidateConfig};
 use posetrl_ir::printer::print_module;
@@ -19,20 +20,30 @@ use posetrl_opt::manager::PassManager;
 use std::collections::BTreeMap;
 
 #[test]
-fn alias_sweep_archives_lint_counts_and_rewrite_rates() {
-    if std::env::var("POSETRL_ALIAS_SWEEP").is_err() {
+fn scev_sweep_archives_lint_counts_and_rewrite_rates() {
+    if std::env::var("POSETRL_SCEV_SWEEP").is_err() {
         return; // nightly CI sets the variable; the default run skips
     }
     // corpus stride for quick local measurements; nightly runs at 1
-    let step: usize = posetrl_analyze::env_budget_or_usage("POSETRL_ALIAS_SWEEP_STEP", 1);
+    let step: usize = posetrl_analyze::env_budget_or_usage("POSETRL_SCEV_SWEEP_STEP", 1);
     let pm = PassManager::new();
     let cfg = ValidateConfig::from_env();
 
-    const PASSES: [&str; 4] = ["dse", "gvn", "early-cse-memssa", "licm"];
-    const PREFIXES: [&[&str]; 3] = [&[], &["mem2reg", "instcombine"], &["sccp", "simplifycfg"]];
+    const PASSES: [&str; 4] = [
+        "indvars",
+        "loop-unroll",
+        "loop-unroll-aggressive",
+        "loop-vectorize",
+    ];
+    const PREFIXES: [&[&str]; 3] = [
+        &[],
+        &["mem2reg", "instcombine"],
+        &["loop-simplify", "simplifycfg"],
+    ];
 
     let mut modules = 0usize;
     let mut lint_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut trips: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut applications = 0usize;
     let mut changed = 0usize;
     let mut proved = 0usize;
@@ -44,9 +55,21 @@ fn alias_sweep_archives_lint_counts_and_rewrite_rates() {
     for b in posetrl_workloads::training_suite().iter().step_by(step) {
         modules += 1;
         let mut diags = Vec::new();
-        posetrl_analyze::alias::check(&b.module, &mut diags);
+        posetrl_analyze::scev::check(&b.module, &mut diags);
         for d in &diags {
             *lint_counts.entry(d.code.to_string()).or_default() += 1;
+        }
+        let ms = posetrl_analyze::scev::analyze_module(&b.module);
+        for fr in ms.funcs.values() {
+            for l in &fr.loops {
+                use posetrl_analyze::scev::TripCount;
+                let class = match l.trip {
+                    TripCount::Exact(_) => "exact",
+                    TripCount::Bounded(_) => "bounded",
+                    TripCount::Unknown => "unknown",
+                };
+                *trips.entry(class).or_default() += 1;
+            }
         }
 
         for pass in PASSES {
@@ -93,30 +116,33 @@ fn alias_sweep_archives_lint_counts_and_rewrite_rates() {
         "inconclusive_rate": inconclusive_rate,
         "per_pass": passes,
     });
+    let trips: BTreeMap<String, usize> =
+        trips.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
     let payload = serde_json::json!({
         "modules": modules,
         "lints": lint_counts,
+        "trip_counts": trips,
         "consumers": consumers,
         "refutations": refutations,
     });
     std::fs::create_dir_all("results").unwrap();
     std::fs::write(
-        "results/alias_sweep.json",
+        "results/scev_sweep.json",
         serde_json::to_string_pretty(&payload).unwrap(),
     )
     .unwrap();
     eprintln!(
-        "[alias-sweep] {modules} modules: {applications} consumer applications \
+        "[scev-sweep] {modules} modules: {applications} consumer applications \
          ({changed} changed): {proved} proved, {refuted} refuted, \
          {inconclusive} inconclusive (proved rate {proved_rate:.3})"
     );
 
     assert_eq!(
         refuted, 0,
-        "alias-backed rewrites were refuted: {refutations:?}"
+        "scev-backed rewrites were refuted: {refutations:?}"
     );
     assert!(
         changed > 0,
-        "no alias consumer ever fired on the corpus — the sweep measured nothing"
+        "no scev consumer ever fired on the corpus — the sweep measured nothing"
     );
 }

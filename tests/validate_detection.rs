@@ -297,10 +297,7 @@ fn kind_from(i: u8) -> ProgramKind {
 }
 
 fn proptest_cases() -> u32 {
-    std::env::var("POSETRL_PROPTEST_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24)
+    posetrl_analyze::env_budget_or_usage("POSETRL_PROPTEST_CASES", 24)
 }
 
 proptest! {
@@ -356,10 +353,7 @@ fn full_corpus_action_sweep_meets_the_proved_rate_floor() {
     let pm = PassManager::new();
     let cfg = ValidateConfig::from_env();
     // corpus stride for quick local measurements; nightly runs at 1
-    let step: usize = std::env::var("POSETRL_VALIDATE_SWEEP_STEP")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let step: usize = posetrl_analyze::env_budget_or_usage("POSETRL_VALIDATE_SWEEP_STEP", 1);
 
     // (pass, module) applications: a pass applied to a module state.
     // A no-op application (pass leaves the module byte-identical) is
