@@ -59,20 +59,30 @@
 //! | 45  | average hot-block ratio (static profile) over functions |
 //! | 46  | frac of blocks inside some natural loop |
 //! | 47  | squash(average recognized recurrences per loop, 4) |
+//! | 48  | frac of loops proved parallel-safe |
+//! | 49  | frac of loops proved vector-safe |
+//! | 50  | frac of loops with a carried dependence |
+//! | 51  | squash(total surviving dependences, 8) |
+//! | 52  | frac of dependences that are flow |
+//! | 53  | frac of dependences that are output |
+//! | 54  | frac of tested pairs disambiguated |
+//! | 55  | squash(mean proved min carried distance, 4) |
 //!
 //! Dims 32–39 come from the interprocedural alias/memdep analysis
 //! ([`crate::alias`]); ⊤ sets count as the configured points-to cap.
 //! Dims 40–47 come from the scalar-evolution and static-profile
-//! analyses ([`crate::scev`], [`crate::profile`]).
+//! analyses ([`crate::scev`], [`crate::profile`]). Dims 48–55 come
+//! from the loop dependence analysis ([`crate::depend`]).
 
 use super::domain::{AbsVal, Nullness, PtrBase};
 use super::{analyze_module, ModuleAbsint};
 use crate::alias::ModuleAlias;
+use crate::depend::{DepKind, DependConfig, ModuleDepend};
 use crate::scev::{ModuleScev, ScevConfig};
 use posetrl_ir::{Module, Op, Ty};
 
 /// Width of the static feature vector.
-pub const FEATURE_DIM: usize = 48;
+pub const FEATURE_DIM: usize = 56;
 
 /// `x / (x + k)`: maps a count into `[0, 1)` monotonically.
 fn squash(x: f64, k: f64) -> f64 {
@@ -107,16 +117,18 @@ pub fn features_with(m: &Module, mi: &ModuleAbsint) -> [f64; FEATURE_DIM] {
 /// same inputs).
 pub fn features_with_alias(m: &Module, mi: &ModuleAbsint, ma: &ModuleAlias) -> [f64; FEATURE_DIM] {
     let sc = crate::scev::analyze_module_cfg_absint(m, mi, &ScevConfig::from_env(), None);
-    features_full(m, mi, ma, &sc)
+    let md = crate::depend::analyze_module_full(m, &sc, ma, &DependConfig::from_env(), None);
+    features_full(m, mi, ma, &sc, &md)
 }
 
-/// Computes the feature vector from precomputed absint, alias, and
-/// SCEV/profile analyses.
+/// Computes the feature vector from precomputed absint, alias,
+/// SCEV/profile, and dependence analyses.
 pub fn features_full(
     m: &Module,
     mi: &ModuleAbsint,
     ma: &ModuleAlias,
     sc: &ModuleScev,
+    md: &ModuleDepend,
 ) -> [f64; FEATURE_DIM] {
     let mut out = [0.0; FEATURE_DIM];
 
@@ -448,6 +460,42 @@ pub fn features_full(
     out[45] = frac(hot_sum, n_prof_funcs);
     out[46] = frac(loop_blocks, n_all_blocks);
     out[47] = squash(frac(rec_sum, n_loops), 4.0);
+
+    // dims 48–55: legality/dependence shape from the depend analysis
+    let (mut d_loops, mut par_loops, mut vec_loops, mut carried_loops) = (0.0, 0.0, 0.0, 0.0);
+    let (mut n_deps, mut flow_deps, mut output_deps, mut disamb) = (0.0, 0.0, 0.0, 0.0);
+    let (mut dist_sum, mut dist_loops) = (0.0, 0.0);
+    for fid in m.func_ids() {
+        let Some(fr) = md.func(fid) else { continue };
+        for l in &fr.loops {
+            d_loops += 1.0;
+            if l.parallel_safe {
+                par_loops += 1.0;
+            }
+            if l.vector_safe {
+                vec_loops += 1.0;
+            }
+            if l.deps.iter().any(|d| d.carried) {
+                carried_loops += 1.0;
+            }
+            n_deps += l.deps.len() as f64;
+            flow_deps += l.deps.iter().filter(|d| d.kind == DepKind::Flow).count() as f64;
+            output_deps += l.deps.iter().filter(|d| d.kind == DepKind::Output).count() as f64;
+            disamb += l.disambiguated as f64;
+            if let Some(d) = l.min_distance {
+                dist_sum += d as f64;
+                dist_loops += 1.0;
+            }
+        }
+    }
+    out[48] = frac(par_loops, d_loops);
+    out[49] = frac(vec_loops, d_loops);
+    out[50] = frac(carried_loops, d_loops);
+    out[51] = squash(n_deps, 8.0);
+    out[52] = frac(flow_deps, n_deps);
+    out[53] = frac(output_deps, n_deps);
+    out[54] = frac(disamb, disamb + n_deps);
+    out[55] = squash(frac(dist_sum, dist_loops), 4.0);
     out
 }
 
@@ -564,10 +612,55 @@ bb2:
             &crate::scev::ScevConfig::default(),
             None,
         );
-        assert_eq!(f, features_full(&m, &mi, &ma, &sc), "paths bit-identical");
+        let md = crate::depend::analyze_module_full(&m, &sc, &ma, &DependConfig::default(), None);
+        assert_eq!(
+            f,
+            features_full(&m, &mi, &ma, &sc, &md),
+            "paths bit-identical"
+        );
         assert!(
             module_features(&parse_module(SAMPLE).unwrap())[40] == 0.0,
             "loop-free module has zero loop mass"
         );
+    }
+
+    const DEP_SAMPLE: &str = r#"
+module "dep"
+
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 16
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %i2 = add i64 %i, 2:i64
+  %ps = gep i64, %a, %i
+  %v = load i64, %ps
+  %pd = gep i64, %a, %i2
+  store i64 %v, %pd
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}
+"#;
+
+    #[test]
+    fn depend_dims_populate_and_stay_zero_on_loop_free_modules() {
+        let m = parse_module(DEP_SAMPLE).unwrap();
+        let f = module_features(&m);
+        assert_eq!(f[48], 0.0, "the carried dep blocks parallelism: {}", f[48]);
+        assert_eq!(f[49], 1.0, "distance 2 admits a jam: {}", f[49]);
+        assert_eq!(f[50], 1.0, "the loop has a carried dep: {}", f[50]);
+        assert!(f[51] > 0.0, "one dependence survives: {}", f[51]);
+        assert_eq!(f[52], 1.0, "it is a flow dep: {}", f[52]);
+        assert!(f[55] > 0.0, "min distance proved: {}", f[55]);
+        let loop_free = module_features(&parse_module(SAMPLE).unwrap());
+        for (i, v) in loop_free.iter().enumerate().take(56).skip(48) {
+            assert_eq!(*v, 0.0, "dim {i} must be zero on a loop-free module");
+        }
     }
 }

@@ -27,6 +27,12 @@
 //!   profile are dumped, and only the scev lints (`infinite-loop`,
 //!   `iv-overflow`) contribute findings. Budgets come from the
 //!   `POSETRL_SCEV_*` knobs.
+//! - `--depend` switches to loop-dependence mode: per-loop dependences
+//!   (kind, distance, carried-ness), disambiguation counts and the
+//!   vectorization/parallelization legality verdicts are dumped, and
+//!   only the depend lints (`loop-carried-uaf`, `overlap-copy`)
+//!   contribute findings. Budgets come from the `POSETRL_DEPEND_*`
+//!   knobs.
 //! - `--list-lints` prints the full lint registry (code, severity,
 //!   producing analysis) as JSON and exits 0.
 //! - `--json` prints one JSON object per module instead of text lines.
@@ -62,6 +68,7 @@ struct Options {
     absint: bool,
     alias: bool,
     scev: bool,
+    depend: bool,
     deny: Severity,
     json: bool,
     quiet: bool,
@@ -70,7 +77,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: mini-analyze [FILES...] [--corpus] [--suites] \
-         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--alias] [--scev] [--json] [-q]\n\
+         [--deny warnings|errors] [--level verify|validate|full] [--absint] [--alias] [--scev] [--depend] [--json] [-q]\n\
          \x20      mini-analyze --validate SRC.pir TGT.pir [--json] [-q]\n\
          \x20      mini-analyze --list-lints"
     );
@@ -86,6 +93,7 @@ fn parse_args() -> Options {
         absint: false,
         alias: false,
         scev: false,
+        depend: false,
         deny: Severity::Error,
         json: false,
         quiet: false,
@@ -98,6 +106,7 @@ fn parse_args() -> Options {
             "--absint" => opts.absint = true,
             "--alias" => opts.alias = true,
             "--scev" => opts.scev = true,
+            "--depend" => opts.depend = true,
             "--list-lints" => {
                 let out = serde_json::to_string_pretty(&posetrl_analyze::diag::registry())
                     .expect("registry serializes");
@@ -142,6 +151,21 @@ fn parse_args() -> Options {
 fn lint(name: &str, m: &Module, opts: &Options) -> Vec<Diagnostic> {
     let mut dump = None;
     let diags = match verify_module(m) {
+        Ok(()) if opts.depend => {
+            // budgets are env-tunable; a malformed knob is a usage error
+            let cfg = posetrl_analyze::DependConfig::try_from_env().unwrap_or_else(|e| {
+                eprintln!("mini-analyze: {e}");
+                std::process::exit(exit_codes::USAGE);
+            });
+            let ms = posetrl_analyze::scev::analyze_module(m);
+            let ma = posetrl_analyze::alias::analyze_module(m);
+            let md = posetrl_analyze::depend::analyze_module_full(m, &ms, &ma, &cfg, None);
+            dump = Some(posetrl_analyze::depend::render(m, &md));
+            let mut out = Vec::new();
+            posetrl_analyze::depend::lint_with(m, &ms, &ma, &mut out);
+            posetrl_analyze::analyses::sort_report(&mut out);
+            out
+        }
         Ok(()) if opts.scev => {
             // budgets are env-tunable; a malformed knob is a usage error
             let cfg = posetrl_analyze::ScevConfig::try_from_env().unwrap_or_else(|e| {

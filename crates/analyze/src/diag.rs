@@ -137,6 +137,13 @@ pub mod codes {
     /// An induction variable must wrap around its type before its loop
     /// can exit.
     pub const IV_OVERFLOW: &str = "iv-overflow";
+    /// A pointer loaded in a loop may hold a stack slot allocated in a
+    /// previous iteration of the same loop (use-after-scope once
+    /// dereferenced).
+    pub const LOOP_CARRIED_UAF: &str = "loop-carried-uaf";
+    /// A memcpy whose source and destination provably overlap without
+    /// coinciding: the copy direction is undefined.
+    pub const OVERLAP_COPY: &str = "overlap-copy";
 }
 
 /// One entry of the lint registry: a stable code, the severity it is
@@ -183,6 +190,8 @@ pub fn registry() -> Vec<LintInfo> {
         e(codes::ALIAS_UAF, Severity::Warning, "alias"),
         e(codes::INFINITE_LOOP, Severity::Warning, "scev"),
         e(codes::IV_OVERFLOW, Severity::Warning, "scev"),
+        e(codes::LOOP_CARRIED_UAF, Severity::Warning, "depend"),
+        e(codes::OVERLAP_COPY, Severity::Warning, "depend"),
     ]
 }
 
@@ -209,6 +218,8 @@ mod tests {
             codes::ALIAS_UAF,
             codes::INFINITE_LOOP,
             codes::IV_OVERFLOW,
+            codes::LOOP_CARRIED_UAF,
+            codes::OVERLAP_COPY,
         ] {
             assert!(codes_seen.contains(&must), "missing {must}");
         }

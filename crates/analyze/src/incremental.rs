@@ -30,6 +30,12 @@
 //!   summary, and the profile reads the no-return bit of each direct
 //!   callee; the third key component digests exactly those, so a callee
 //!   edit invalidates callers only when their view actually moved.
+//! - **Dependence function analyses** — keyed by `(function
+//!   fingerprint, fid+config digest, scev/alias-input digest)`. The
+//!   subscript tests read the function's scev loop structure and the
+//!   alias facts/summaries backing the fallback disambiguation; the
+//!   third component digests exactly those, so an upstream analysis
+//!   shift reaches this class content-wise.
 //! - **Validate obligations** — per-function-pair verdicts keyed by the
 //!   pair's transitive call-closure digests (symbolic execution inlines
 //!   callees) + globals fingerprints + config digest. Only `Proved` and
@@ -77,6 +83,12 @@ pub type ValidateKey = (u128, u128, u128);
 /// the result reads, so a callee edit that moves any of those reaches
 /// this class content-wise.
 pub type ScevKey = (u128, u128, u128);
+/// Key of one memoized dependence function analysis: `(function
+/// fingerprint, fid+config digest, scev/alias-input digest)`. The last
+/// component digests the function's scev loop structure and the alias
+/// facts/summaries the subscript tests and the fallback disambiguation
+/// read, so an upstream analysis shift reaches this class content-wise.
+pub type DependKey = (u128, u128, u128);
 
 /// A cacheable validate verdict (no counterexample payload).
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +189,8 @@ pub struct IncrementalStats {
     pub alias: ClassStats,
     /// Scev/profile function-analysis memo.
     pub scev: ClassStats,
+    /// Dependence function-analysis memo.
+    pub depend: ClassStats,
     /// Validate obligation memo.
     pub validate: ClassStats,
 }
@@ -185,7 +199,7 @@ impl IncrementalStats {
     /// One-line human-readable rendering.
     pub fn render(&self) -> String {
         format!(
-            "incremental: embed {}/{} absint {}/{} alias {}/{} scev {}/{} lint {}/{} validate {}/{} (hits/misses)",
+            "incremental: embed {}/{} absint {}/{} alias {}/{} scev {}/{} depend {}/{} lint {}/{} validate {}/{} (hits/misses)",
             self.embed.hits,
             self.embed.misses,
             self.absint.hits,
@@ -194,6 +208,8 @@ impl IncrementalStats {
             self.alias.misses,
             self.scev.hits,
             self.scev.misses,
+            self.depend.hits,
+            self.depend.misses,
             self.lint.hits,
             self.lint.misses,
             self.validate.hits,
@@ -210,6 +226,7 @@ pub struct IncrementalAnalysisManager {
     absint: Mutex<MemoTable<AbsintKey, Arc<(FuncFacts, AbsVal)>>>,
     alias: Mutex<MemoTable<AliasKey, Arc<crate::alias::AliasFnResult>>>,
     scev: Mutex<MemoTable<ScevKey, Arc<crate::scev::ScevFnResult>>>,
+    depend: Mutex<MemoTable<DependKey, Arc<crate::depend::DependFnResult>>>,
     validate: Mutex<MemoTable<ValidateKey, CachedVerdict>>,
     embed_hits: AtomicU64,
     embed_misses: AtomicU64,
@@ -221,6 +238,8 @@ pub struct IncrementalAnalysisManager {
     alias_misses: AtomicU64,
     scev_hits: AtomicU64,
     scev_misses: AtomicU64,
+    depend_hits: AtomicU64,
+    depend_misses: AtomicU64,
     validate_hits: AtomicU64,
     validate_misses: AtomicU64,
     // Recompute log: function names whose absint analysis actually
@@ -232,6 +251,8 @@ pub struct IncrementalAnalysisManager {
     alias_recomputed: Mutex<Vec<String>>,
     // Same log for the scev/profile class.
     scev_recomputed: Mutex<Vec<String>>,
+    // Same log for the dependence class.
+    depend_recomputed: Mutex<Vec<String>>,
 }
 
 impl std::fmt::Debug for IncrementalAnalysisManager {
@@ -262,6 +283,7 @@ impl IncrementalAnalysisManager {
             absint: Mutex::new(MemoTable::new(capacity)),
             alias: Mutex::new(MemoTable::new(capacity)),
             scev: Mutex::new(MemoTable::new(capacity)),
+            depend: Mutex::new(MemoTable::new(capacity)),
             validate: Mutex::new(MemoTable::new(capacity)),
             embed_hits: AtomicU64::new(0),
             embed_misses: AtomicU64::new(0),
@@ -273,11 +295,14 @@ impl IncrementalAnalysisManager {
             alias_misses: AtomicU64::new(0),
             scev_hits: AtomicU64::new(0),
             scev_misses: AtomicU64::new(0),
+            depend_hits: AtomicU64::new(0),
+            depend_misses: AtomicU64::new(0),
             validate_hits: AtomicU64::new(0),
             validate_misses: AtomicU64::new(0),
             recomputed: Mutex::new(Vec::new()),
             alias_recomputed: Mutex::new(Vec::new()),
             scev_recomputed: Mutex::new(Vec::new()),
+            depend_recomputed: Mutex::new(Vec::new()),
         }
     }
 
@@ -385,6 +410,28 @@ impl IncrementalAnalysisManager {
         v
     }
 
+    /// Dependence function-analysis memo. `name` feeds the depend
+    /// recompute log on a miss.
+    pub fn depend_memo(
+        &self,
+        name: &str,
+        key: DependKey,
+        compute: impl FnOnce() -> crate::depend::DependFnResult,
+    ) -> Arc<crate::depend::DependFnResult> {
+        if let Some(v) = self.depend.lock().unwrap().get(&key) {
+            self.depend_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.depend_misses.fetch_add(1, Ordering::Relaxed);
+        self.depend_recomputed
+            .lock()
+            .unwrap()
+            .push(name.to_string());
+        let v = Arc::new(compute());
+        self.depend.lock().unwrap().put(key, Arc::clone(&v));
+        v
+    }
+
     /// Validate obligation memo: a cached `Proved`/`Inconclusive`
     /// verdict, or `None` on a miss (the caller computes and reports
     /// back via [`IncrementalAnalysisManager::record_validate`]).
@@ -428,6 +475,10 @@ impl IncrementalAnalysisManager {
                 hits: self.scev_hits.load(Ordering::Relaxed),
                 misses: self.scev_misses.load(Ordering::Relaxed),
             },
+            depend: ClassStats {
+                hits: self.depend_hits.load(Ordering::Relaxed),
+                misses: self.depend_misses.load(Ordering::Relaxed),
+            },
             validate: ClassStats {
                 hits: self.validate_hits.load(Ordering::Relaxed),
                 misses: self.validate_misses.load(Ordering::Relaxed),
@@ -468,6 +519,17 @@ impl IncrementalAnalysisManager {
     /// [`IncrementalAnalysisManager::drain_recomputed`]).
     pub fn drain_scev_recomputed(&self) -> Vec<String> {
         std::mem::take(&mut *self.scev_recomputed.lock().unwrap())
+    }
+
+    /// Total dependence analyses actually recomputed so far.
+    pub fn depend_recomputes(&self) -> u64 {
+        self.depend_misses.load(Ordering::Relaxed)
+    }
+
+    /// Drains the depend recompute log (same semantics as
+    /// [`IncrementalAnalysisManager::drain_recomputed`]).
+    pub fn drain_depend_recomputed(&self) -> Vec<String> {
+        std::mem::take(&mut *self.depend_recomputed.lock().unwrap())
     }
 }
 

@@ -28,6 +28,7 @@ pub mod absint;
 pub mod alias;
 pub mod analyses;
 pub mod dataflow;
+pub mod depend;
 pub mod diag;
 pub mod exit_codes;
 pub mod incremental;
@@ -43,6 +44,7 @@ pub use alias::{
 };
 pub use analyses::{run_all, run_all_with};
 pub use dataflow::{solve, BitSet, DataflowAnalysis, Direction, Fixpoint, JoinSemiLattice};
+pub use depend::{DepKind, DependConfig, DependFnResult, Dependence, LoopDepend, ModuleDepend};
 pub use diag::{codes, Diagnostic, Severity};
 pub use incremental::{CachedVerdict, ClassStats, IncrementalAnalysisManager, IncrementalStats};
 pub use profile::{FnProfile, ModuleProfile};

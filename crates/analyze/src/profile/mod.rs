@@ -103,6 +103,18 @@ pub fn analyze_module(m: &Module) -> ModuleProfile {
     of_scev(&crate::scev::analyze_module(m))
 }
 
+/// [`analyze_module`], optionally memoizing the underlying scev/profile
+/// function analyses through an
+/// [`IncrementalAnalysisManager`](crate::incremental::IncrementalAnalysisManager) —
+/// repeated estimates over an unchanged module become memo hits instead
+/// of full recomputes.
+pub fn analyze_module_with(
+    m: &Module,
+    mgr: Option<&crate::incremental::IncrementalAnalysisManager>,
+) -> ModuleProfile {
+    of_scev(&crate::scev::analyze_module_with(m, mgr))
+}
+
 /// Extracts the [`ModuleProfile`] view from a scalar-evolution result.
 pub fn of_scev(sc: &crate::scev::ModuleScev) -> ModuleProfile {
     ModuleProfile {

@@ -9,6 +9,7 @@
 //!   table3      the 34 ODG sub-sequences (Table III)
 //!   odgstats    ODG node/edge/degree statistics (Section IV-B)
 //!   scevstats   SCEV + static-profile corpus statistics (DESIGN.md §15)
+//!   dependstats loop data-dependence corpus statistics (DESIGN.md §16)
 //!   fig1        O3 vs Oz runtime/size on SPEC (Fig. 1)
 //!   table4      % size reduction vs Oz (Table IV)
 //!   table5      % execution-time improvement vs Oz (Table V)
@@ -65,7 +66,7 @@ fn main() {
                     "usage: repro [--scale quick|standard|paper] [--sanitize off|verify|validate|full] <experiment>..."
                 );
                 println!(
-                    "experiments: table1 table2 table3 odgstats absintstats aliasstats scevstats fig1 table4 table5 fig5 table6"
+                    "experiments: table1 table2 table3 odgstats absintstats aliasstats scevstats dependstats fig1 table4 table5 fig5 table6"
                 );
                 println!(
                     "             enginestats servestats ablate-reward ablate-ddqn ablate-actions"
@@ -79,7 +80,7 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "all",
         "table1",
         "table2",
@@ -88,6 +89,7 @@ fn main() {
         "absintstats",
         "aliasstats",
         "scevstats",
+        "dependstats",
         "fig1",
         "table4",
         "table5",
@@ -142,6 +144,14 @@ fn main() {
     if want("scevstats") {
         let s = experiments::scev_stats();
         emit("scevstats", &s.render(), &serde_json::to_value(&s).unwrap());
+    }
+    if want("dependstats") {
+        let s = experiments::depend_stats();
+        emit(
+            "dependstats",
+            &s.render(),
+            &serde_json::to_value(&s).unwrap(),
+        );
     }
     if want("fig1") {
         let f = experiments::fig1(scale);

@@ -441,7 +441,14 @@ impl PhaseEnv {
                         &posetrl_analyze::ScevConfig::from_env(),
                         Some(mgr),
                     );
-                    posetrl_analyze::absint::features::features_full(m, &mi, &ma, &sc)
+                    let md = posetrl_analyze::depend::analyze_module_full(
+                        m,
+                        &sc,
+                        &ma,
+                        &posetrl_analyze::DependConfig::from_env(),
+                        Some(mgr),
+                    );
+                    posetrl_analyze::absint::features::features_full(m, &mi, &ma, &sc, &md)
                 }
                 None => posetrl_analyze::absint::features::module_features(m),
             };

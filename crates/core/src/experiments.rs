@@ -350,6 +350,10 @@ pub struct Table5 {
 fn weighted_improvement(model: &TrainedModel, benches: &[Benchmark]) -> f64 {
     let arch = TargetArch::X86_64;
     let pm = PassManager::new();
+    // One shared manager for the whole sweep: unchanged functions in
+    // the -Oz/model module pairs hit the scev/profile memo instead of
+    // recomputing the profile per call site (bit-identical either way).
+    let mgr = posetrl_analyze::IncrementalAnalysisManager::new();
     let mut sum = 0.0f64;
     for b in benches {
         let mut oz = b.module.clone();
@@ -358,12 +362,12 @@ fn weighted_improvement(model: &TrainedModel, benches: &[Benchmark]) -> f64 {
         let (mm, _) = model.optimize_with(b.module.clone(), None, None);
         let ozc = posetrl_target::runtime::static_cycles(
             &oz,
-            &posetrl_analyze::profile::analyze_module(&oz),
+            &posetrl_analyze::profile::analyze_module_with(&oz, Some(&mgr)),
             arch,
         );
         let mc = posetrl_target::runtime::static_cycles(
             &mm,
-            &posetrl_analyze::profile::analyze_module(&mm),
+            &posetrl_analyze::profile::analyze_module_with(&mm, Some(&mgr)),
             arch,
         );
         sum += if ozc > 0.0 {
@@ -921,6 +925,164 @@ impl ScevStats {
             100.0 * self.indvars_changed as f64 / self.modules.max(1) as f64,
             self.unroll_changed,
             100.0 * self.unroll_changed as f64 / self.modules.max(1) as f64
+        );
+        s
+    }
+}
+
+/// Corpus-level statistics of the loop data-dependence analysis: edge
+/// kinds, proved distances, legality verdicts, lint counts and the
+/// `loop-vec` / `loop-fuse` fire rates over the training suite
+/// (DESIGN.md §16).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DependStats {
+    /// Modules analyzed.
+    pub modules: usize,
+    /// Loops the dependence analysis visited.
+    pub loops: usize,
+    /// Flow (true) dependence edges.
+    pub flow_deps: usize,
+    /// Anti dependence edges.
+    pub anti_deps: usize,
+    /// Output dependence edges.
+    pub output_deps: usize,
+    /// Edges carried across iterations.
+    pub carried_deps: usize,
+    /// Edges with a proved constant distance.
+    pub proved_distances: usize,
+    /// Access pairs the subscript/alias tests refuted outright.
+    pub disambiguated_pairs: usize,
+    /// Loops proved free of carried dependences.
+    pub parallel_safe_loops: usize,
+    /// Loops legal to widen (parallel-safe or min distance >= 2).
+    pub vector_safe_loops: usize,
+    /// Loops spoiled by opaque calls or budget truncation.
+    pub opaque_or_truncated: usize,
+    /// Diagnostics per lint code over the whole corpus.
+    pub lint_counts: Vec<(String, usize)>,
+    /// Modules where `loop-vec` changed at least one instruction.
+    pub loopvec_changed: usize,
+    /// Modules where `loop-fuse` changed at least one instruction.
+    pub loopfuse_changed: usize,
+}
+
+/// Computes [`DependStats`] over the training suite. Modules are
+/// canonicalized with `mem2reg` + `loop-simplify` first, exactly like
+/// [`scev_stats`]: the dependence transforms run mid-pipeline, after
+/// promotion.
+pub fn depend_stats() -> DependStats {
+    use posetrl_analyze::depend;
+    let pm = PassManager::new();
+    let suite = training_suite();
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut st = DependStats {
+        modules: suite.len(),
+        loops: 0,
+        flow_deps: 0,
+        anti_deps: 0,
+        output_deps: 0,
+        carried_deps: 0,
+        proved_distances: 0,
+        disambiguated_pairs: 0,
+        parallel_safe_loops: 0,
+        vector_safe_loops: 0,
+        opaque_or_truncated: 0,
+        lint_counts: Vec::new(),
+        loopvec_changed: 0,
+        loopfuse_changed: 0,
+    };
+    for b in &suite {
+        let mut canon = b.module.clone();
+        let _ = pm.run_pass(&mut canon, "mem2reg").expect("mem2reg");
+        let _ = pm
+            .run_pass(&mut canon, "loop-simplify")
+            .expect("loop-simplify");
+        let mut diags = Vec::new();
+        depend::check(&canon, &mut diags);
+        for d in &diags {
+            *counts.entry(d.code.to_string()).or_default() += 1;
+        }
+        let md = depend::analyze_module(&canon);
+        for fr in md.funcs.values() {
+            for l in &fr.loops {
+                st.loops += 1;
+                st.disambiguated_pairs += l.disambiguated as usize;
+                if l.opaque_calls || l.truncated {
+                    st.opaque_or_truncated += 1;
+                }
+                if l.parallel_safe {
+                    st.parallel_safe_loops += 1;
+                }
+                if l.vector_safe {
+                    st.vector_safe_loops += 1;
+                }
+                for d in &l.deps {
+                    match d.kind {
+                        depend::DepKind::Flow => st.flow_deps += 1,
+                        depend::DepKind::Anti => st.anti_deps += 1,
+                        depend::DepKind::Output => st.output_deps += 1,
+                    }
+                    if d.carried {
+                        st.carried_deps += 1;
+                    }
+                    if d.distance.is_some() {
+                        st.proved_distances += 1;
+                    }
+                }
+            }
+        }
+        let mut m = canon.clone();
+        if pm
+            .run_pass(&mut m, "loop-vec")
+            .expect("loop-vec is registered")
+        {
+            st.loopvec_changed += 1;
+        }
+        let mut m = canon;
+        if pm
+            .run_pass(&mut m, "loop-fuse")
+            .expect("loop-fuse is registered")
+        {
+            st.loopfuse_changed += 1;
+        }
+    }
+    st.lint_counts = counts.into_iter().collect();
+    st
+}
+
+impl DependStats {
+    /// Renders the statistics as text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "depend (post mem2reg+loop-simplify): {} modules, {} loops; edges flow {} / anti {} / output {} ({} carried, {} with proved distance)",
+            self.modules,
+            self.loops,
+            self.flow_deps,
+            self.anti_deps,
+            self.output_deps,
+            self.carried_deps,
+            self.proved_distances
+        );
+        let _ = writeln!(
+            s,
+            "verdicts: parallel-safe {} / vector-safe {} / opaque-or-truncated {}; {} pairs disambiguated",
+            self.parallel_safe_loops,
+            self.vector_safe_loops,
+            self.opaque_or_truncated,
+            self.disambiguated_pairs
+        );
+        for (code, n) in &self.lint_counts {
+            let _ = writeln!(s, "  {code}: {n}");
+        }
+        let _ = writeln!(
+            s,
+            "loop-vec changed {} ({:.1}%), loop-fuse changed {} ({:.1}%)",
+            self.loopvec_changed,
+            100.0 * self.loopvec_changed as f64 / self.modules.max(1) as f64,
+            self.loopfuse_changed,
+            100.0 * self.loopfuse_changed as f64 / self.modules.max(1) as f64
         );
         s
     }

@@ -3,15 +3,16 @@
 use crate::analysis::cfg::Cfg;
 use crate::analysis::dom::DomTree;
 use crate::module::{BlockId, Function};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// A natural loop.
 #[derive(Debug, Clone)]
 pub struct Loop {
     /// The loop header (dominates every block in the loop).
     pub header: BlockId,
-    /// Blocks belonging to the loop (includes the header).
-    pub blocks: HashSet<BlockId>,
+    /// Blocks belonging to the loop (includes the header). Ordered so that
+    /// passes iterating the body visit blocks in a deterministic order.
+    pub blocks: BTreeSet<BlockId>,
     /// Latch blocks: in-loop predecessors of the header (back-edge sources).
     pub latches: Vec<BlockId>,
     /// Nesting depth: 1 for outermost loops.
@@ -81,7 +82,7 @@ impl LoopForest {
                     // back edge b -> s
                     let l = by_header.entry(*s).or_insert_with(|| Loop {
                         header: *s,
-                        blocks: HashSet::from([*s]),
+                        blocks: BTreeSet::from([*s]),
                         latches: Vec::new(),
                         depth: 0,
                     });
@@ -101,7 +102,7 @@ impl LoopForest {
 
         let mut loops: Vec<Loop> = by_header.into_values().collect();
         // depth = 1 + number of other loops whose body strictly contains our header
-        let snapshots: Vec<(BlockId, HashSet<BlockId>)> =
+        let snapshots: Vec<(BlockId, BTreeSet<BlockId>)> =
             loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
         for l in &mut loops {
             let mut depth = 1;

@@ -1,0 +1,768 @@
+//! `-loop-vec` and `-loop-fuse`: dependence-gated loop transforms.
+//!
+//! Both consume the [`posetrl_analyze::depend`] loop data-dependence
+//! analysis (SCEV subscripts × alias facts), which is what separates them
+//! from the structural loop passes: their legality is a statement about
+//! memory, not about the CFG.
+//!
+//! `-loop-vec` widens a counted loop by *unroll-and-jam*: the body is
+//! cloned instruction-major — the `k` lane copies of each instruction run
+//! back to back — so loads from `k` consecutive iterations issue together,
+//! which is the ILP shape a real vectorizer produces. Unlike the
+//! iteration-major `-loop-vectorize` interleaver (always legal), the jam
+//! reorders memory accesses *across* iterations and is only sound when no
+//! loop-carried dependence has distance `< k`; that is exactly
+//! [`posetrl_analyze::LoopDepend::parallel_safe`] /
+//! [`posetrl_analyze::LoopDepend::min_distance`]. Each jam is then costed
+//! with the MCA static-throughput model under the trip-count-aware
+//! frequency weighting ([`posetrl_target::mca::CostConfig`]) and reverted
+//! when it does not pay, so the pass moves the speed metric deliberately
+//! rather than trading blindly.
+//!
+//! `-loop-fuse` merges two adjacent counted loops with identical iteration
+//! spaces into one. Fusion moves every body2 iteration `t` from "after all
+//! of loop1" to "after only iterations `0..=t` of loop1", so it is illegal
+//! exactly when a body2 access at iteration `t2` conflicts with a body1
+//! access at a *later* iteration `t1 > t2` — for shared-coefficient affine
+//! subscripts `c·i + d1` / `c·i + d2` that is `d2 − d1 = c·m` for some
+//! `1 ≤ m < trip` (or `d1 = d2` when `c = 0`). Accesses on provably
+//! disjoint bases are disambiguated by the module alias analysis.
+
+use crate::passes::loop_unroll::{match_canonical, CanonicalLoop};
+use crate::Pass;
+use posetrl_analyze::alias::ModuleAlias;
+use posetrl_analyze::{depend, scev, DependConfig, ScevConfig, TripCount};
+use posetrl_ir::analysis::{Cfg, DomTree, LoopForest};
+use posetrl_ir::{BinOp, Const, FuncId, Function, InstId, IntPred, Module, Op, Value};
+use posetrl_target::mca::{self, CostConfig};
+use posetrl_target::TargetArch;
+use std::collections::HashMap;
+
+/// Total-instruction budget for the jammed body.
+const JAM_TOTAL: usize = 96;
+
+/// The `loop-vec` pass: dependence-gated unroll-and-jam.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopVecJam;
+
+impl Pass for LoopVecJam {
+    fn name(&self) -> &'static str {
+        "loop-vec"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        // frequency weighting makes the gate trip-count-aware: a jammed
+        // body is bigger per block but runs an eighth as many headers
+        let cost = CostConfig {
+            freq_weighted: true,
+        };
+        let dcfg = DependConfig::from_env();
+        let mut changed = false;
+        for _ in 0..4 {
+            // one jam per round so the pre-round alias facts stay sound
+            let pre = module.clone();
+            let ma = posetrl_analyze::alias::analyze_module(module);
+            let mut did = false;
+            module.for_each_body(|fid, f| {
+                if !did && jam_one(f, fid, &ma, &dcfg) {
+                    did = true;
+                }
+            });
+            if !did {
+                break;
+            }
+            let before = mca::analyze_cfg(&pre, TargetArch::X86_64, &cost).weighted_cycles;
+            let after = mca::analyze_cfg(module, TargetArch::X86_64, &cost).weighted_cycles;
+            if after > before {
+                *module = pre;
+                break;
+            }
+            changed = true;
+        }
+        changed
+    }
+}
+
+fn jam_one(f: &mut Function, fid: FuncId, ma: &ModuleAlias, dcfg: &DependConfig) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dt);
+    let sc = scev::analyze_function(
+        f,
+        None,
+        None,
+        &std::collections::BTreeSet::new(),
+        &ScevConfig::default(),
+    );
+    let dep = depend::analyze_function(f, fid, &sc, ma, dcfg);
+    for l in forest.loops.iter().rev() {
+        let Some(c) = match_canonical(f, &cfg, l, true, false) else {
+            continue;
+        };
+        if c.step != 1
+            || !matches!(c.pred, IntPred::Slt | IntPred::Ne)
+            || !c.cond_enters_body
+            || !c.other_phis.is_empty()
+        {
+            continue;
+        }
+        let Some(trip) = c.trip_count(1 << 20) else {
+            continue;
+        };
+        // the canonical simulation and SCEV must agree on the trip
+        if !matches!(sc.loop_at(l.header).map(|ls| ls.trip),
+                     Some(TripCount::Exact(n)) if n == trip)
+        {
+            continue;
+        }
+        let Some(ld) = dep.loop_at(l.header) else {
+            continue;
+        };
+        // jam by k is legal iff no carried dependence exists, or every
+        // carried dependence has a proved distance >= k (lanes t..t+k-1
+        // are reordered against each other; farther pairs keep their
+        // group order)
+        let legal = |k: u64| {
+            ld.parallel_safe || (ld.vector_safe && ld.min_distance.is_some_and(|d| d >= k))
+        };
+        let body_size = f.block(c.body).unwrap().insts.len();
+        let Some(k) = [8u64, 4, 2].into_iter().find(|&k| {
+            trip > k && trip.is_multiple_of(k) && body_size * k as usize <= JAM_TOTAL && legal(k)
+        }) else {
+            continue;
+        };
+        jam(f, &c, k);
+        return true;
+    }
+    false
+}
+
+/// Rewrites the body as `k` instruction-major lanes in a fresh block:
+/// the lane IVs `iv + 1·step .. iv + k·step` first, then for each body
+/// instruction its `k` lane copies adjacently. The IV phi's latch value
+/// becomes `iv + k·step`. Correct only when the trip count is a multiple
+/// of `k` (checked by the caller) and the dependence gate passed.
+fn jam(f: &mut Function, c: &CanonicalLoop, k: u64) {
+    let body_insts: Vec<InstId> = f.block(c.body).unwrap().insts.clone();
+    let Op::Phi { incomings, .. } = f.op(c.iv).clone() else {
+        unreachable!()
+    };
+    let (_, iv_latch) = *incomings.iter().find(|(b, _)| *b == c.body).unwrap();
+    let iv_next_id = iv_latch.as_inst().unwrap();
+    let nb = f.add_block();
+    // iv_vals[j] is lane j's induction value (iteration t + j); the extra
+    // entry iv_vals[k] is the next group's start and the new latch value
+    let mut iv_vals: Vec<Value> = vec![Value::Inst(c.iv)];
+    for m in 1..=k {
+        let id = f.append_inst(
+            nb,
+            Op::Bin {
+                op: BinOp::Add,
+                ty: c.iv_ty,
+                lhs: Value::Inst(c.iv),
+                rhs: Value::Const(Const::int(c.iv_ty, m as i64 * c.step)),
+            },
+        );
+        iv_vals.push(Value::Inst(id));
+    }
+    let mut locals: Vec<HashMap<InstId, Value>> = vec![HashMap::new(); k as usize];
+    for (j, lane) in locals.iter_mut().enumerate() {
+        lane.insert(c.iv, iv_vals[j]);
+        lane.insert(iv_next_id, iv_vals[j + 1]);
+    }
+    for &id in &body_insts {
+        let op = f.op(id).clone();
+        if op.is_terminator() || id == iv_next_id {
+            continue;
+        }
+        for lane in locals.iter_mut() {
+            let mut nop = op.clone();
+            nop.map_operands(|v| match v {
+                Value::Inst(d) => lane.get(&d).copied().unwrap_or(v),
+                other => other,
+            });
+            let nid = f.append_inst(nb, nop);
+            lane.insert(id, Value::Inst(nid));
+        }
+    }
+    f.append_inst(nb, Op::Br { target: c.header });
+    let term = f.terminator(c.header).unwrap();
+    if let Op::CondBr {
+        then_bb, else_bb, ..
+    } = &mut f.inst_mut(term).unwrap().op
+    {
+        if *then_bb == c.body {
+            *then_bb = nb;
+        }
+        if *else_bb == c.body {
+            *else_bb = nb;
+        }
+    }
+    let last_iv = iv_vals[k as usize];
+    if let Op::Phi { incomings, .. } = &mut f.inst_mut(c.iv).unwrap().op {
+        for (b, v) in incomings.iter_mut() {
+            if *b == c.body {
+                *b = nb;
+                *v = last_iv;
+            }
+        }
+    }
+    f.remove_block(c.body);
+}
+
+/// The `loop-fuse` pass: adjacent counted-loop fusion.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopFuse;
+
+impl Pass for LoopFuse {
+    fn name(&self) -> &'static str {
+        "loop-fuse"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for _ in 0..4 {
+            let ma = posetrl_analyze::alias::analyze_module(module);
+            let mut did = false;
+            module.for_each_body(|fid, f| {
+                if !did && fuse_one(f, fid, &ma) {
+                    did = true;
+                }
+            });
+            if !did {
+                break;
+            }
+            changed = true;
+        }
+        changed
+    }
+}
+
+fn fuse_one(f: &mut Function, fid: FuncId, ma: &ModuleAlias) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dt);
+    let mut canon: Vec<CanonicalLoop> = Vec::new();
+    for l in &forest.loops {
+        if let Some(c) = match_canonical(f, &cfg, l, true, false) {
+            canon.push(c);
+        }
+    }
+    for c1 in &canon {
+        for c2 in &canon {
+            // adjacency: loop1's dedicated exit is loop2's preheader
+            if c2.preheader != c1.exit || c1.header == c2.header {
+                continue;
+            }
+            if fusable(f, fid, ma, c1, c2) {
+                fuse(f, c1, c2);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn fusable(
+    f: &Function,
+    fid: FuncId,
+    ma: &ModuleAlias,
+    c1: &CanonicalLoop,
+    c2: &CanonicalLoop,
+) -> bool {
+    // the shared block must be empty glue: a lone `br header2`
+    let glue = &f.block(c1.exit).unwrap().insts;
+    if glue.len() != 1 || !matches!(f.op(glue[0]), Op::Br { target } if *target == c2.header) {
+        return false;
+    }
+    // identical iteration spaces, so iteration t sees the same IV value
+    // in both loops and iv2 can be rewritten to iv1
+    if c1.init != c2.init || c1.step != c2.step || !c2.other_phis.is_empty() {
+        return false;
+    }
+    let (Some(t1), Some(t2)) = (c1.trip_count(1 << 20), c2.trip_count(1 << 20)) else {
+        return false;
+    };
+    if t1 != t2 {
+        return false;
+    }
+    // loop2 must not read loop1's per-iteration state: after fusion a
+    // header1/body1 value seen from body2 would be the current-iteration
+    // value, not the final one
+    for bb in [c2.header, c2.body] {
+        for &id in &f.block(bb).unwrap().insts {
+            let mut tainted = false;
+            let mut op = f.op(id).clone();
+            op.map_operands(|v| {
+                if let Value::Inst(d) = v {
+                    if d != c2.iv {
+                        if let Some(i) = f.inst(d) {
+                            if i.block == c1.header || i.block == c1.body {
+                                tainted = true;
+                            }
+                        }
+                    }
+                }
+                v
+            });
+            if tainted {
+                return false;
+            }
+        }
+    }
+    // dependence test over all cross-loop access pairs with a write
+    let acc1 = collect_accesses(f, c1);
+    let acc2 = collect_accesses(f, c2);
+    let (Some(acc1), Some(acc2)) = (acc1, acc2) else {
+        return false; // memcpy/memset: opaque ranges
+    };
+    for &(w1, p1) in &acc1 {
+        for &(w2, p2) in &acc2 {
+            if !w1 && !w2 {
+                continue;
+            }
+            if !pair_fusable(f, fid, ma, c1, c2, p1, p2, t1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `(is_write, ptr)` for every memory access in the loop body, or `None`
+/// when the body has an access we cannot model as a single cell.
+fn collect_accesses(f: &Function, c: &CanonicalLoop) -> Option<Vec<(bool, Value)>> {
+    let mut out = Vec::new();
+    for &id in &f.block(c.body).unwrap().insts {
+        match f.op(id) {
+            Op::Load { ptr, .. } => out.push((false, *ptr)),
+            Op::Store { ptr, .. } => out.push((true, *ptr)),
+            Op::MemCpy { .. } | Op::MemSet { .. } => return None,
+            _ => {}
+        }
+    }
+    Some(out)
+}
+
+/// Whether a (body1 access, body2 access) pair permits fusion: either the
+/// bases provably never alias, or both subscripts are affine in the IV
+/// with a shared coefficient and no solution `t1 > t2` exists.
+#[allow(clippy::too_many_arguments)]
+fn pair_fusable(
+    f: &Function,
+    fid: FuncId,
+    ma: &ModuleAlias,
+    c1: &CanonicalLoop,
+    c2: &CanonicalLoop,
+    p1: Value,
+    p2: Value,
+    trip: u64,
+) -> bool {
+    let (Some((r1, co1, d1)), Some((r2, co2, d2))) =
+        (subscript(f, c1.iv, p1), subscript(f, c2.iv, p2))
+    else {
+        return false;
+    };
+    if r1 != r2 {
+        // distinct symbolic bases: safe iff the alias analysis proves
+        // the roots disjoint
+        return !ma.may_alias(fid, f, r1, r2);
+    }
+    if co1 != co2 {
+        return false; // unequal coefficients: unknown, be conservative
+    }
+    // conflict at (t1, t2) iff co*t1 + d1 == co*t2 + d2; fusion only
+    // reverses pairs with t1 > t2
+    let diff = d2 - d1;
+    if co1 == 0 {
+        diff != 0
+    } else {
+        let exact = diff % co1 == 0;
+        let m = diff / co1;
+        !(exact && m >= 1 && (m as u64) < trip.max(1))
+    }
+}
+
+/// `root[coeff·iv + off]`: walks a gep chain with constant or IV-affine
+/// indices down to a non-gep base. Mixed element types bail (offsets in
+/// different units are incomparable).
+fn subscript(f: &Function, iv: InstId, ptr: Value) -> Option<(Value, i64, i64)> {
+    let mut coeff = 0i64;
+    let mut off = 0i64;
+    let mut cur = ptr;
+    let mut elem: Option<posetrl_ir::Ty> = None;
+    for _ in 0..16 {
+        let Value::Inst(g) = cur else { break };
+        let Op::Gep {
+            elem_ty,
+            ptr: base,
+            index,
+        } = f.op(g)
+        else {
+            break;
+        };
+        if *elem.get_or_insert(*elem_ty) != *elem_ty {
+            return None;
+        }
+        let (c, d) = affine_index(f, iv, *index)?;
+        coeff += c;
+        off += d;
+        cur = *base;
+    }
+    if matches!(cur, Value::Inst(g) if matches!(f.op(g), Op::Gep { .. })) {
+        return None; // chain deeper than the walk budget
+    }
+    Some((cur, coeff, off))
+}
+
+/// Matches `index = c·iv + d` with constant `c`, `d`.
+fn affine_index(f: &Function, iv: InstId, index: Value) -> Option<(i64, i64)> {
+    if let Some(k) = index.const_int() {
+        return Some((0, k));
+    }
+    let id = index.as_inst()?;
+    if id == iv {
+        return Some((1, 0));
+    }
+    match f.op(id) {
+        Op::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+            ..
+        } => {
+            let (c1, d1) = affine_index(f, iv, *lhs)?;
+            let (c2, d2) = affine_index(f, iv, *rhs)?;
+            Some((c1 + c2, d1 + d2))
+        }
+        Op::Bin {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+            ..
+        } => {
+            let (c1, d1) = affine_index(f, iv, *lhs)?;
+            let (c2, d2) = affine_index(f, iv, *rhs)?;
+            Some((c1 - c2, d1 - d2))
+        }
+        Op::Bin {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+            ..
+        } => {
+            let (c1, d1) = affine_index(f, iv, *lhs)?;
+            let (c2, d2) = affine_index(f, iv, *rhs)?;
+            if c1 == 0 {
+                Some((d1 * c2, d1 * d2))
+            } else if c2 == 0 {
+                Some((c1 * d2, d1 * d2))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Splices body2 into body1 (IV rewritten to iv1), routes loop1's exit
+/// straight to loop2's exit, and deletes the glue block and loop2.
+fn fuse(f: &mut Function, c1: &CanonicalLoop, c2: &CanonicalLoop) {
+    let body2: Vec<InstId> = f.block(c2.body).unwrap().insts.clone();
+    let mut local: HashMap<InstId, Value> = HashMap::new();
+    local.insert(c2.iv, Value::Inst(c1.iv));
+    for &id in &body2 {
+        let op = f.op(id).clone();
+        if op.is_terminator() {
+            continue;
+        }
+        let mut nop = op;
+        nop.map_operands(|v| match v {
+            Value::Inst(d) => local.get(&d).copied().unwrap_or(v),
+            other => other,
+        });
+        let nid = f.insert_before_terminator(c1.body, nop);
+        local.insert(id, Value::Inst(nid));
+    }
+    let term = f.terminator(c1.header).unwrap();
+    if let Op::CondBr {
+        then_bb, else_bb, ..
+    } = &mut f.inst_mut(term).unwrap().op
+    {
+        if *then_bb == c1.exit {
+            *then_bb = c2.exit;
+        }
+        if *else_bb == c1.exit {
+            *else_bb = c2.exit;
+        }
+    }
+    // exit2's phis now flow from header1; iv2's final value equals iv1's
+    // (identical init/step/trip), so a global IV substitution is sound
+    for id in f.block(c2.exit).unwrap().insts.clone() {
+        if let Op::Phi { incomings, .. } = &mut f.inst_mut(id).unwrap().op {
+            for (b, _) in incomings.iter_mut() {
+                if *b == c2.header {
+                    *b = c1.header;
+                }
+            }
+        }
+    }
+    f.replace_all_uses(Value::Inst(c2.iv), Value::Inst(c1.iv));
+    f.remove_block(c1.exit);
+    f.remove_block(c2.header);
+    f.remove_block(c2.body);
+    crate::util::simplify_trivial_phis(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::{assert_preserves, count_ops};
+    use posetrl_ir::interp::RtVal;
+    use posetrl_ir::parser::parse_module;
+    use posetrl_ir::printer::print_module;
+
+    const SAFE_LOOP: &str = r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = alloca i64 x 16
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 16:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, %a, %i
+  %t = mul i64 %i, %arg0
+  store i64 %t, %p
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  %q = gep i64, %a, 7:i64
+  %v = load i64, %q
+  ret %v
+}
+"#;
+
+    #[test]
+    fn jams_independent_iterations_by_eight() {
+        let m = assert_preserves(
+            SAFE_LOOP,
+            &["loop-vec"],
+            &[vec![RtVal::Int(3)], vec![RtVal::Int(-5)]],
+        );
+        assert_eq!(count_ops(&m, "store"), 8, "eight lanes of the store");
+        assert_eq!(count_ops(&m, "condbr"), 1, "loop structure kept");
+    }
+
+    #[test]
+    fn refuses_distance_one_carried_dependence() {
+        // a[i+1] = a[i] + 1: carried flow dependence at distance 1 — any
+        // jam reorders the lanes across it
+        let src = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 16
+  %p0 = gep i64, %a, 0:i64
+  store i64 7:i64, %p0
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 8:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, %a, %i
+  %v = load i64, %p
+  %w = add i64 %v, 1:i64
+  %i1 = add i64 %i, 1:i64
+  %q = gep i64, %a, %i1
+  store i64 %w, %q
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  %r = gep i64, %a, 8:i64
+  %fin = load i64, %r
+  ret %fin
+}
+"#;
+        let before = print_module(&parse_module(src).unwrap());
+        let m = assert_preserves(src, &["loop-vec"], &[]);
+        assert_eq!(print_module(&m), before, "jam must refuse");
+    }
+
+    #[test]
+    fn jam_factor_capped_by_min_distance() {
+        // a[i] = a[i+2] * 3: carried anti dependence at distance 2 — a jam
+        // by 2 is legal, 4 and 8 are not
+        let src = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 24
+  memset i64 %a, 0:i64, 24:i64
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 16:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %i3 = add i64 %i, 2:i64
+  %pr = gep i64, %a, %i3
+  %v = load i64, %pr
+  %w = mul i64 %v, 3:i64
+  %pw = gep i64, %a, %i
+  store i64 %w, %pw
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  %q = gep i64, %a, 5:i64
+  %fin = load i64, %q
+  ret %fin
+}
+"#;
+        let m = assert_preserves(src, &["loop-vec"], &[]);
+        assert_eq!(count_ops(&m, "store"), 2, "jammed by exactly two lanes");
+    }
+
+    #[test]
+    fn fuses_adjacent_compatible_loops() {
+        // a[i] = i*arg, then b[i] = a[i] + 1: the cross-loop pair
+        // (store a[i], load a[i]) has m = 0 — never reversed by fusion
+        let src = r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %b = alloca i64 x 8
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 8:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, %a, %i
+  %t = mul i64 %i, %arg0
+  store i64 %t, %p
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  br bb4
+bb4:
+  %j = phi i64 [bb3: 0:i64], [bb5: %j2]
+  %dd = icmp slt i64 %j, 8:i64
+  condbr %dd, bb5, bb6
+bb5:
+  %q = gep i64, %a, %j
+  %u = load i64, %q
+  %u1 = add i64 %u, 1:i64
+  %r = gep i64, %b, %j
+  store i64 %u1, %r
+  %j2 = add i64 %j, 1:i64
+  br bb4
+bb6:
+  %s = gep i64, %b, 5:i64
+  %fin = load i64, %s
+  ret %fin
+}
+"#;
+        let m = assert_preserves(src, &["loop-fuse"], &[vec![RtVal::Int(4)]]);
+        assert_eq!(count_ops(&m, "condbr"), 1, "one fused loop remains");
+        assert_eq!(count_ops(&m, "phi"), 1, "one shared induction variable");
+    }
+
+    #[test]
+    fn refuses_fusion_over_forward_dependence() {
+        // loop2 reads a[i+1], which loop1 writes at iteration i+1 > i:
+        // fusing would read the cell before it is written
+        let src = r#"
+module "m"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %c = alloca i64 x 8
+  memset i64 %a, 0:i64, 8:i64
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 4:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, %a, %i
+  %t = add i64 %i, 1:i64
+  store i64 %t, %p
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  br bb4
+bb4:
+  %j = phi i64 [bb3: 0:i64], [bb5: %j2]
+  %dd = icmp slt i64 %j, 4:i64
+  condbr %dd, bb5, bb6
+bb5:
+  %j1 = add i64 %j, 1:i64
+  %q = gep i64, %a, %j1
+  %u = load i64, %q
+  %r = gep i64, %c, %j
+  store i64 %u, %r
+  %j2 = add i64 %j, 1:i64
+  br bb4
+bb6:
+  %s = gep i64, %c, 2:i64
+  %fin = load i64, %s
+  ret %fin
+}
+"#;
+        let before = print_module(&parse_module(src).unwrap());
+        let m = assert_preserves(src, &["loop-fuse"], &[]);
+        assert_eq!(print_module(&m), before, "fusion must refuse");
+    }
+
+    #[test]
+    fn fusion_then_jam_compose() {
+        // after fusion the single loop is dependence-free and jams
+        let src = r#"
+module "m"
+fn @main(i64) -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %b = alloca i64 x 8
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %i2]
+  %cc = icmp slt i64 %i, 8:i64
+  condbr %cc, bb2, bb3
+bb2:
+  %p = gep i64, %a, %i
+  store i64 %i, %p
+  %i2 = add i64 %i, 1:i64
+  br bb1
+bb3:
+  br bb4
+bb4:
+  %j = phi i64 [bb3: 0:i64], [bb5: %j2]
+  %dd = icmp slt i64 %j, 8:i64
+  condbr %dd, bb5, bb6
+bb5:
+  %q = gep i64, %a, %j
+  %u = load i64, %q
+  %w = mul i64 %u, %arg0
+  %r = gep i64, %b, %j
+  store i64 %w, %r
+  %j2 = add i64 %j, 1:i64
+  br bb4
+bb6:
+  %s = gep i64, %b, 3:i64
+  %fin = load i64, %s
+  ret %fin
+}
+"#;
+        let m = assert_preserves(src, &["loop-fuse", "loop-vec"], &[vec![RtVal::Int(6)]]);
+        assert_eq!(count_ops(&m, "condbr"), 1);
+        assert!(
+            count_ops(&m, "store") >= 4,
+            "fused body jammed: {}",
+            print_module(&m)
+        );
+    }
+}

@@ -114,13 +114,27 @@ pub fn analyze(module: &Module, arch: TargetArch) -> McaReport {
 /// profile's per-block frequency estimates (trip-count-aware); the flat
 /// total and throughput are bit-identical to [`analyze`] regardless.
 pub fn analyze_cfg(module: &Module, arch: TargetArch, cost: &CostConfig) -> McaReport {
+    analyze_cfg_with(module, arch, cost, None)
+}
+
+/// [`analyze_cfg`], optionally routing the static-profile computation
+/// through an incremental manager: under `POSETRL_FREQ_CYCLES` the
+/// per-function scev/profile analyses become memo hits across repeated
+/// estimates of unchanged functions instead of whole-module recomputes.
+/// Bit-identical to [`analyze_cfg`] for any manager state.
+pub fn analyze_cfg_with(
+    module: &Module,
+    arch: TargetArch,
+    cost: &CostConfig,
+    mgr: Option<&posetrl_analyze::IncrementalAnalysisManager>,
+) -> McaReport {
     let desc = machine(arch);
     let mut flat = 0.0f64;
     let mut weighted = 0.0f64;
     let mut uops = 0u64;
     let prof: Option<ModuleProfile> = cost
         .freq_weighted
-        .then(|| posetrl_analyze::profile::analyze_module(module));
+        .then(|| posetrl_analyze::profile::analyze_module_with(module, mgr));
 
     for fid in module.func_ids() {
         let f = module.func(fid).expect("live function");

@@ -1,0 +1,24 @@
+; expect:
+; b[i] = a[i] over distinct allocas: the alias analysis disambiguates
+; every cross-array pair and the loop is parallel-safe — nothing to
+; report.
+module "clean_disjoint_arrays"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 16
+  %b = alloca i64 x 16
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %ps = gep i64, %a, %i
+  %v = load i64, %ps
+  %pd = gep i64, %b, %i
+  store i64 %v, %pd
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}

@@ -1,0 +1,11 @@
+; expect:
+; memcpy(a+4, a, 4): the windows touch but do not overlap — a false-
+; positive guard for the strict < length comparison.
+module "clean_disjoint_copy"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %d = gep i64, %a, 4:i64
+  memcpy i64 %d, %a, 4:i64
+  ret 0:i64
+}

@@ -1,0 +1,24 @@
+; expect:
+; The slot is allocated, stored and reloaded within one iteration (the
+; feeding store precedes the load), so no stale pointer crosses the
+; back edge — a false-positive guard for loop-carried-uaf.
+module "clean_same_iteration_slot"
+fn @main() -> i64 internal {
+bb0:
+  %cell = alloca ptr x 1
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %slot = alloca i64 x 1
+  store i64 %i, %slot
+  store ptr %slot, %cell
+  %p = load ptr, %cell
+  %v = load i64, %p
+  %n = add i64 %v, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}

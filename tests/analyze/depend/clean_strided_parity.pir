@@ -1,0 +1,24 @@
+; expect:
+; a[2i] = a[2i+1]: even and odd cells never meet (the strong-SIV gcd
+; refutation), so the loop carries nothing despite the shared base.
+module "clean_strided_parity"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 32
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %e = mul i64 %i, 2:i64
+  %o = add i64 %e, 1:i64
+  %ps = gep i64, %a, %o
+  %v = load i64, %ps
+  %pd = gep i64, %a, %e
+  store i64 %v, %pd
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}

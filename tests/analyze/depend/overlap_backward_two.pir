@@ -1,0 +1,11 @@
+; expect: overlap-copy
+; memcpy(a, a+2, 4): the backward-overlapping direction is flagged the
+; same way — the subscript difference 2 is inside the length 4.
+module "overlap_backward_two"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %s = gep i64, %a, 2:i64
+  memcpy i64 %a, %s, 4:i64
+  ret 0:i64
+}

@@ -1,0 +1,12 @@
+; expect: overlap-copy
+; The overlapping endpoints are built by chained geps (1 + 1 vs 0): the
+; symbolic subscript walk accumulates offsets through the chain.
+module "overlap_chained_gep"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %m = gep i64, %a, 1:i64
+  %d = gep i64, %m, 1:i64
+  memcpy i64 %d, %a, 3:i64
+  ret 0:i64
+}

@@ -1,0 +1,11 @@
+; expect: overlap-copy
+; memcpy(a+1, a, 4): source and destination windows overlap by three
+; elements — the copy direction matters and memcpy forbids it.
+module "overlap_forward_one"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %d = gep i64, %a, 1:i64
+  memcpy i64 %d, %a, 4:i64
+  ret 0:i64
+}

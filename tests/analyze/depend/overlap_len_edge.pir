@@ -1,0 +1,11 @@
+; expect: overlap-copy
+; The windows share exactly one element (offset difference 3, length
+; 4): still an overlap — the boundary case the < length test must keep.
+module "overlap_len_edge"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %d = gep i64, %a, 3:i64
+  memcpy i64 %d, %a, 4:i64
+  ret 0:i64
+}

@@ -1,0 +1,14 @@
+; expect: overlap-copy
+; Two independent overlapping copies in one function: each is reported
+; at its own instruction.
+module "overlap_two_copies"
+fn @main() -> i64 internal {
+bb0:
+  %a = alloca i64 x 8
+  %b = alloca i64 x 8
+  %da = gep i64, %a, 1:i64
+  memcpy i64 %da, %a, 2:i64
+  %db = gep i64, %b, 2:i64
+  memcpy i64 %db, %b, 3:i64
+  ret 0:i64
+}

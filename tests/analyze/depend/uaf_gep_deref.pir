@@ -1,0 +1,28 @@
+; expect: loop-carried-uaf
+; The previous iteration's slot is dereferenced through a gep off the
+; loaded pointer — the deref set is closed over gep chains, so the
+; indirection does not hide the stale read.
+module "uaf_gep_deref"
+fn @main() -> i64 internal {
+bb0:
+  %cell = alloca ptr x 1
+  %first = alloca i64 x 4
+  store ptr %first, %cell
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 8:i64
+  condbr %c, bb2, bb3
+bb2:
+  %old = load ptr, %cell
+  %q = gep i64, %old, 1:i64
+  %v = load i64, %q
+  %slot = alloca i64 x 4
+  %s1 = gep i64, %slot, 1:i64
+  store i64 %v, %s1
+  store ptr %slot, %cell
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}

@@ -1,0 +1,27 @@
+; expect: loop-carried-uaf
+; Each iteration dereferences the pointer stored by the PREVIOUS
+; iteration (the feeding store sits after the load in the body), and
+; that pointer is a stack slot allocated inside the loop: a slot from a
+; dead frame-iteration is read back.
+module "uaf_prior_iteration_slot"
+fn @main() -> i64 internal {
+bb0:
+  %cell = alloca ptr x 1
+  %first = alloca i64 x 1
+  store ptr %first, %cell
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 10:i64
+  condbr %c, bb2, bb3
+bb2:
+  %old = load ptr, %cell
+  %v = load i64, %old
+  %slot = alloca i64 x 1
+  store i64 %v, %slot
+  store ptr %slot, %cell
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}

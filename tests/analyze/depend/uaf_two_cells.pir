@@ -1,0 +1,33 @@
+; expect: loop-carried-uaf
+; Two independent handoff cells, each carrying a loop-local slot across
+; the back edge: both loads read a prior iteration's allocation.
+module "uaf_two_cells"
+fn @main() -> i64 internal {
+bb0:
+  %ca = alloca ptr x 1
+  %cb = alloca ptr x 1
+  %fa = alloca i64 x 1
+  %fb = alloca i64 x 1
+  store ptr %fa, %ca
+  store ptr %fb, %cb
+  br bb1
+bb1:
+  %i = phi i64 [bb0: 0:i64], [bb2: %n]
+  %c = icmp slt i64 %i, 6:i64
+  condbr %c, bb2, bb3
+bb2:
+  %oa = load ptr, %ca
+  %va = load i64, %oa
+  %ob = load ptr, %cb
+  %vb = load i64, %ob
+  %sa = alloca i64 x 1
+  %sb = alloca i64 x 1
+  store i64 %va, %sa
+  store i64 %vb, %sb
+  store ptr %sa, %ca
+  store ptr %sb, %cb
+  %n = add i64 %i, 1:i64
+  br bb1
+bb3:
+  ret 0:i64
+}

@@ -1,0 +1,89 @@
+//! Golden corpus for the loop data-dependence analysis and its lints.
+//!
+//! Every `.pir` file under `tests/analyze/depend/` carries an
+//! `; expect: <code>, <code>` header naming exactly the depend lint codes
+//! (`loop-carried-uaf`, `overlap-copy`) the analysis must produce for it;
+//! a bare header pins a false-positive guard. The files double as living
+//! documentation of what the subscript tests can and cannot prove
+//! (see DESIGN.md §16).
+
+use posetrl_analyze::Severity;
+use posetrl_ir::parser::parse_module;
+use posetrl_suite::test_support::{corpus_files, expected_codes};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn depend_corpus_produces_exactly_the_expected_codes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/analyze/depend");
+    let files = corpus_files(&dir, ".pir");
+    assert!(files.len() >= 10, "corpus has at least 10 modules");
+
+    let mut positives = 0usize;
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let expected = expected_codes(&text);
+        let m = parse_module(&text).unwrap_or_else(|e| panic!("{name} parses: {e}"));
+        posetrl_ir::verifier::verify_module(&m).unwrap_or_else(|e| panic!("{name} verifies: {e}"));
+
+        let mut diags = Vec::new();
+        posetrl_analyze::depend::check(&m, &mut diags);
+        let got: BTreeSet<String> = diags.iter().map(|d| d.code.to_string()).collect();
+        assert_eq!(got, expected, "{name}: depend codes diverge from header");
+        positives += diags.len();
+
+        // the dump mode must render every corpus module deterministically
+        let md = posetrl_analyze::depend::analyze_module(&m);
+        let dump = posetrl_analyze::depend::render(&m, &md);
+        assert!(
+            dump.contains(&format!("module {}", m.name)),
+            "{name}: dump names the module"
+        );
+        let md2 = posetrl_analyze::depend::analyze_module(&m);
+        assert_eq!(
+            dump,
+            posetrl_analyze::depend::render(&m, &md2),
+            "{name}: two runs render identically"
+        );
+    }
+    assert!(
+        positives >= 10,
+        "the corpus must pin at least 10 true positives, got {positives}"
+    );
+}
+
+#[test]
+fn depend_lints_are_clean_on_the_example_modules() {
+    // zero false positives at warning severity on the lint-clean example
+    // programs
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/ir");
+    for path in corpus_files(&dir, ".pir") {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let m = parse_module(&text).unwrap_or_else(|e| panic!("{name} parses: {e}"));
+        let mut diags = Vec::new();
+        posetrl_analyze::depend::check(&m, &mut diags);
+        let findings: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(
+            findings.is_empty(),
+            "{name}: unexpected findings {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn depend_dump_mode_is_stable_on_the_training_suite() {
+    // the analysis must terminate and render deterministically on every
+    // generated workload, not just the hand-written corpus
+    for b in posetrl_workloads::suites::training_suite().iter().take(8) {
+        let md = posetrl_analyze::depend::analyze_module(&b.module);
+        let dump = posetrl_analyze::depend::render(&b.module, &md);
+        let md2 = posetrl_analyze::depend::analyze_module(&b.module);
+        let dump2 = posetrl_analyze::depend::render(&b.module, &md2);
+        assert_eq!(dump, dump2, "{}: nondeterministic depend dump", b.name);
+    }
+}

@@ -24,8 +24,8 @@
 //! faster than from-scratch on the warm episode encode path).
 
 use posetrl_analyze::{
-    absint, alias, run_all, run_all_with, scev, validate_transform, validate_transform_with,
-    IncrementalAnalysisManager, ValidateConfig,
+    absint, alias, depend, run_all, run_all_with, scev, validate_transform,
+    validate_transform_with, IncrementalAnalysisManager, ValidateConfig,
 };
 use posetrl_embed::Embedder;
 use posetrl_ir::parser::parse_module;
@@ -115,6 +115,12 @@ fn assert_equivalent(
     assert_eq!(
         full_scev, inc_scev,
         "{ctx}: scev loops / trips / profile frequencies diverged"
+    );
+    let full_dep = depend::analyze_module(m);
+    let inc_dep = depend::analyze_module_with(m, Some(mgr));
+    assert_eq!(
+        full_dep, inc_dep,
+        "{ctx}: dependence edges / distances / verdicts diverged"
     );
 }
 
@@ -250,6 +256,17 @@ fn warm_replay_recomputes_nothing() {
             mgr.drain_scev_recomputed(),
             Vec::<String>::new(),
             "{name}: warm scev replay must be all memo hits"
+        );
+        let _ = depend::analyze_module_with(m, Some(&mgr));
+        assert!(
+            !mgr.drain_depend_recomputed().is_empty(),
+            "{name}: cold depend run must analyze something"
+        );
+        let _ = depend::analyze_module_with(m, Some(&mgr));
+        assert_eq!(
+            mgr.drain_depend_recomputed(),
+            Vec::<String>::new(),
+            "{name}: warm depend replay must be all memo hits"
         );
     }
 }
@@ -494,6 +511,97 @@ fn scev_local_edit_with_stable_absint_inputs_stays_local() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Depend-memo invalidation: each function's dependence analysis is
+// keyed by fingerprint + config + a digest of the scev loop structure
+// and the alias facts/summary/memdep slices it reads, so an edit that
+// moves a callee's mod summary (and with it the caller's alias view)
+// re-analyzes the caller's dependences, while a summary-preserving body
+// edit stays local — the same contract as the alias class above.
+// ---------------------------------------------------------------------
+
+/// Distinct function names whose dependence analysis re-ran for `text`,
+/// against a manager warmed on `base`.
+fn depend_recomputed_after_edit(base: &str, text: &str) -> BTreeSet<String> {
+    let m0 = parse_module(base).expect("base fixture parses");
+    let mgr = IncrementalAnalysisManager::new();
+    let cold = depend::analyze_module_with(&m0, Some(&mgr));
+    mgr.drain_depend_recomputed();
+    let m1 = parse_module(text).expect("edited fixture parses");
+    let inc = depend::analyze_module_with(&m1, Some(&mgr));
+    assert_eq!(
+        inc,
+        depend::analyze_module(&m1),
+        "incremental depend re-analysis diverged from scratch"
+    );
+    if base == text {
+        assert_eq!(cold, inc);
+    }
+    mgr.drain_depend_recomputed().into_iter().collect()
+}
+
+const DCHAIN: &str = "module \"dchain\"\n\n\
+global @g : i64 x 1 mutable internal = []\n\n\
+fn @sink(ptr) -> void internal {\nbb0:\n  store i64 1:i64, %arg0\n  ret\n}\n\n\
+fn @looper(ptr) -> i64 internal {\nbb0:\n  br bb1\nbb1:\n  %i = phi i64 [bb0: 0:i64], [bb2: %n]\n  %c = icmp slt i64 %i, 8:i64\n  condbr %c, bb2, bb3\nbb2:\n  call @sink(%arg0) -> void\n  %v = load i64, %arg0\n  %n = add i64 %i, %v\n  br bb1\nbb3:\n  ret %i\n}\n\n\
+fn @main() -> i64 internal {\nbb0:\n  %s = alloca i64 x 1\n  store i64 0:i64, %s\n  %r = call @looper(%s) -> i64\n  ret %r\n}\n";
+
+#[test]
+fn depend_reanalyzes_a_caller_when_the_callee_alias_view_moves() {
+    // retargeting @sink's store to @g changes its mod summary; @looper's
+    // call-site memdep/facts move with it, so its dependence analysis
+    // (which disambiguates the call against the loop's load) must re-run
+    let edited = DCHAIN.replace("store i64 1:i64, %arg0", "store i64 1:i64, @g");
+    assert_ne!(edited, DCHAIN, "fixture edit must apply");
+    let recomputed = depend_recomputed_after_edit(DCHAIN, &edited);
+    assert!(recomputed.contains("sink"), "edited callee re-runs");
+    assert!(
+        recomputed.contains("looper"),
+        "caller's dependence view follows the callee summary: {recomputed:?}"
+    );
+}
+
+#[test]
+fn depend_local_edit_with_stable_alias_inputs_stays_local() {
+    // a dead integer edit in @main leaves @sink and @looper's
+    // fingerprints and alias slices intact: only @main re-runs
+    let edited = DCHAIN.replace(
+        "bb0:\n  %s = alloca i64 x 1",
+        "bb0:\n  %d = add i64 3:i64, 4:i64\n  %s = alloca i64 x 1",
+    );
+    assert_ne!(edited, DCHAIN, "fixture edit must apply");
+    let recomputed = depend_recomputed_after_edit(DCHAIN, &edited);
+    let expect: BTreeSet<String> = ["main"].into_iter().map(String::from).collect();
+    assert_eq!(
+        recomputed, expect,
+        "an edit that leaves the loop function's inputs alone stays local"
+    );
+}
+
+#[test]
+fn depend_loop_body_edit_moves_the_verdict_and_only_that_function() {
+    // turning the loop's disjoint-array copy into a distance-1 shift
+    // flips vector_safe; the sibling function is untouched
+    const TWO: &str = "module \"dtwo\"\n\n\
+fn @shift(ptr) -> i64 internal {\nbb0:\n  br bb1\nbb1:\n  %i = phi i64 [bb0: 0:i64], [bb2: %n]\n  %c = icmp slt i64 %i, 8:i64\n  condbr %c, bb2, bb3\nbb2:\n  %p = gep i64, %arg0, %i\n  %v = load i64, %p\n  %q = gep i64, %arg0, %i\n  store i64 %v, %q\n  %n = add i64 %i, 1:i64\n  br bb1\nbb3:\n  ret %i\n}\n\n\
+fn @aloof() -> i64 internal {\nbb0:\n  ret 7:i64\n}\n";
+    let edited = TWO.replace(
+        "%q = gep i64, %arg0, %i",
+        "%t = add i64 %i, 1:i64\n  %q = gep i64, %arg0, %t",
+    );
+    assert_ne!(edited, TWO, "fixture edit must apply");
+    let recomputed = depend_recomputed_after_edit(TWO, &edited);
+    let expect: BTreeSet<String> = ["shift"].into_iter().map(String::from).collect();
+    assert_eq!(recomputed, expect, "only the edited loop function re-runs");
+
+    // and the verdicts really did move
+    let m = parse_module(&edited).unwrap();
+    let md = depend::analyze_module(&m);
+    let fid = m.func_by_name("shift").unwrap();
+    let l = &md.func(fid).unwrap().loops[0];
+    assert!(!l.parallel_safe, "the shifted store carries a dependence");
+}
+
 /// Validate obligations: memoized verdicts are bit-identical to fresh
 /// ones, both on the cold run (misses) and the warm rerun (hits).
 #[test]
@@ -577,6 +685,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
                     absint::analyze_module(m),
                     alias::analyze_module(m),
                     scev::analyze_module(m),
+                    depend::analyze_module(m),
                 )
             })
             .collect();
@@ -592,6 +701,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
             let _ = absint::analyze_module_with(m, Some(&mgr));
             let _ = alias::analyze_module_with(m, Some(&mgr));
             let _ = scev::analyze_module_with(m, Some(&mgr));
+            let _ = depend::analyze_module_with(m, Some(&mgr));
         }
         let t1 = std::time::Instant::now();
         let inc: Vec<_> = trajectory
@@ -603,14 +713,16 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
                     absint::analyze_module_with(m, Some(&mgr)),
                     alias::analyze_module_with(m, Some(&mgr)),
                     scev::analyze_module_with(m, Some(&mgr)),
+                    depend::analyze_module_with(m, Some(&mgr)),
                 )
             })
             .collect();
         inc_ns += t1.elapsed().as_nanos();
 
-        for (i, ((fe, fl, fa, fal, fs), (ie, il, ia, ial, is))) in full.iter().zip(&inc).enumerate()
+        for (i, ((fe, fl, fa, fal, fs, fd), (ie, il, ia, ial, is, id))) in
+            full.iter().zip(&inc).enumerate()
         {
-            if bits(fe) != bits(ie) || fl != il || fa != ia || fal != ial || fs != is {
+            if bits(fe) != bits(ie) || fl != il || fa != ia || fal != ial || fs != is || fd != id {
                 mismatches += 1;
                 mismatch_names.push(format!("{} state {i}", b.name));
             }
@@ -626,6 +738,8 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
         agg_stats.alias.misses += s.alias.misses;
         agg_stats.scev.hits += s.scev.hits;
         agg_stats.scev.misses += s.scev.misses;
+        agg_stats.depend.hits += s.depend.hits;
+        agg_stats.depend.misses += s.depend.misses;
     }
 
     let speedup = full_ns as f64 / inc_ns.max(1) as f64;
@@ -641,6 +755,7 @@ fn incremental_sweep_archives_mismatches_and_speedup() {
         "absint": class_json(agg_stats.absint),
         "alias": class_json(agg_stats.alias),
         "scev": class_json(agg_stats.scev),
+        "depend": class_json(agg_stats.depend),
     });
     let payload = serde_json::json!({
         "modules": modules,

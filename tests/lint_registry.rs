@@ -1,0 +1,134 @@
+//! Lint-registry completeness (the `--list-lints` contract).
+//!
+//! Three sources must agree on the set of lint codes:
+//!
+//! 1. the `codes` module in `crates/analyze/src/diag.rs` — the
+//!    declaration site every analysis emits through;
+//! 2. `diag::registry()` — the machine-readable table behind
+//!    `mini-analyze --list-lints`;
+//! 3. the README analysis matrix — the human-facing documentation.
+//!
+//! A code declared but never emitted, emitted but unregistered, or
+//! registered but undocumented is a drift bug this test pins.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parses `pub const IDENT: &str = "code";` declarations out of the
+/// `codes` module source.
+fn declared_codes() -> BTreeSet<(String, String)> {
+    let src = repo_file("crates/analyze/src/diag.rs");
+    let mut out = BTreeSet::new();
+    for line in src.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((ident, rhs)) = rest.split_once(": &str = \"") else {
+            continue;
+        };
+        let Some((code, _)) = rhs.split_once('"') else {
+            continue;
+        };
+        out.insert((ident.trim().to_string(), code.to_string()));
+    }
+    out
+}
+
+#[test]
+fn every_declared_code_is_registered_and_vice_versa() {
+    let declared: BTreeSet<String> = declared_codes().into_iter().map(|(_, c)| c).collect();
+    assert!(
+        declared.len() >= 21,
+        "suspiciously few declared codes: {declared:?}"
+    );
+    let registered: BTreeSet<String> = posetrl_analyze::diag::registry()
+        .iter()
+        .map(|l| l.code.to_string())
+        .collect();
+    assert_eq!(
+        declared, registered,
+        "diag::codes and diag::registry() must list the same codes"
+    );
+}
+
+#[test]
+fn every_declared_code_is_emitted_somewhere() {
+    // each `codes::IDENT` must appear at least once outside diag.rs —
+    // a declaration nothing emits is dead registry weight
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/analyze/src");
+    let mut sources = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        for e in std::fs::read_dir(&dir).unwrap() {
+            let p = e.unwrap().path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs")
+                && p.file_name().is_some_and(|n| n != "diag.rs")
+            {
+                sources.push(std::fs::read_to_string(&p).unwrap());
+            }
+        }
+    }
+    assert!(sources.len() >= 10, "analyze source tree looks truncated");
+    let all = sources.concat();
+    for (ident, code) in declared_codes() {
+        assert!(
+            all.contains(&format!("codes::{ident}")),
+            "codes::{ident} (\"{code}\") is declared but never emitted by any analysis"
+        );
+    }
+}
+
+#[test]
+fn every_registered_code_is_documented_in_the_readme_matrix() {
+    let readme = repo_file("README.md");
+    let matrix: String = readme
+        .lines()
+        .filter(|l| l.starts_with('|'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        matrix.contains("| Analysis | Module | Lints |"),
+        "README analysis matrix header moved"
+    );
+    for l in posetrl_analyze::diag::registry() {
+        assert!(
+            matrix.contains(&format!("`{}`", l.code)),
+            "lint `{}` ({}) is missing from the README analysis matrix",
+            l.code,
+            l.analysis
+        );
+    }
+}
+
+#[test]
+fn list_lints_json_round_trips_the_registry() {
+    // the exact payload `mini-analyze --list-lints` prints
+    let json = serde_json::to_string_pretty(&posetrl_analyze::diag::registry()).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let arr = parsed.as_array().expect("registry serializes as an array");
+    assert_eq!(arr.len(), posetrl_analyze::diag::registry().len());
+    let json_codes: BTreeSet<&str> = arr
+        .iter()
+        .map(|e| e["code"].as_str().expect("every entry has a code"))
+        .collect();
+    for l in posetrl_analyze::diag::registry() {
+        assert!(json_codes.contains(l.code), "`{}` missing in JSON", l.code);
+        let entry = arr
+            .iter()
+            .find(|e| e["code"].as_str() == Some(l.code))
+            .unwrap();
+        assert!(
+            entry["severity"].as_str().is_some() && entry["analysis"].as_str().is_some(),
+            "`{}` entry lacks severity/analysis fields",
+            l.code
+        );
+    }
+}
